@@ -1,0 +1,126 @@
+// Benchmarks regenerating the FlashCoop paper's evaluation, one per table
+// and figure (plus the LAR design-choice ablations from DESIGN.md §5).
+// Each benchmark iteration performs the complete experiment at a reduced
+// -but-representative scale; `cmd/benchrunner` runs them at full scale with
+// printed tables.
+package flashcoop_test
+
+import (
+	"io"
+	"testing"
+
+	"flashcoop/internal/buffer"
+	"flashcoop/internal/experiments"
+)
+
+// benchOpts keeps a single benchmark iteration around a second.
+func benchOpts() experiments.Options {
+	return experiments.Options{Requests: 10000, BufferPages: 1024, SSDBlocks: 1024}
+}
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(benchOpts(), io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Figure 1 (write bandwidth vs request size).
+func BenchmarkFig1(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkTable1 regenerates Table I (workload statistics).
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2 regenerates Table II (SSD configuration).
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkTable3 regenerates Table III (hit ratio vs buffer size).
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "table3") }
+
+// BenchmarkFig6 regenerates Figure 6 (average response time grid).
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7 regenerates Figure 7 (block-erase counts grid).
+func BenchmarkFig7(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8 regenerates Figure 8 (write-length CDFs).
+func BenchmarkFig8(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9 regenerates Figure 9 (dynamic memory allocation).
+func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkHeadline regenerates the abstract's headline comparison.
+func BenchmarkHeadline(b *testing.B) { runExperiment(b, "headline") }
+
+// Ablation benchmarks: each measures a full Fin1/BAST replay with one LAR
+// design choice disabled, reporting the same replay so the -benchmem and
+// custom metrics are comparable across variants.
+
+func runAblation(b *testing.B, variant string) {
+	b.Helper()
+	var opts buffer.LAROptions
+	found := false
+	for _, v := range experiments.AblationVariants() {
+		if v.Name == variant {
+			opts, found = v.Opts, true
+		}
+	}
+	if !found {
+		b.Fatalf("unknown ablation variant %q", variant)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs, err := experiments.RunAblationCell(benchOpts(), opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rs.Resp.Mean(), "ms/req")
+		b.ReportMetric(float64(rs.Erases), "erases")
+		b.ReportMetric(rs.HitRatio*100, "hit%")
+	}
+}
+
+// BenchmarkAblationDefault is the paper-default LAR configuration.
+func BenchmarkAblationDefault(b *testing.B) { runAblation(b, "paper-default") }
+
+// BenchmarkAblationDirtyOrder disables the second-level dirty-count sort.
+func BenchmarkAblationDirtyOrder(b *testing.B) { runAblation(b, "no-dirty-order") }
+
+// BenchmarkAblationCleanFlush disables flushing clean pages with victims.
+func BenchmarkAblationCleanFlush(b *testing.B) { runAblation(b, "no-clean-flush") }
+
+// BenchmarkAblationClustering disables small-write clustering.
+func BenchmarkAblationClustering(b *testing.B) { runAblation(b, "no-clustering") }
+
+// BenchmarkAblationWriteOnly disables read buffering.
+func BenchmarkAblationWriteOnly(b *testing.B) { runAblation(b, "write-only-buffer") }
+
+// BenchmarkAblationSeqPopularity counts per-page instead of per-access
+// popularity.
+func BenchmarkAblationSeqPopularity(b *testing.B) { runAblation(b, "per-page-popularity") }
+
+// Extension benchmarks (beyond the paper): widened policy set, DFTL,
+// short-lived files, dynamic-allocation smoothing, recovery-time and wear
+// studies.
+
+// BenchmarkExtension runs the widened policy / DFTL / TRIM study.
+func BenchmarkExtension(b *testing.B) { runExperiment(b, "extension") }
+
+// BenchmarkSmoothing runs the dynamic-allocation smoothing study.
+func BenchmarkSmoothing(b *testing.B) { runExperiment(b, "smoothing") }
+
+// BenchmarkRecovery runs the recovery-time vs remote-buffer-size study.
+func BenchmarkRecovery(b *testing.B) { runExperiment(b, "recovery") }
+
+// BenchmarkWear runs the flash wear / lifetime study.
+func BenchmarkWear(b *testing.B) { runExperiment(b, "wear") }
+
+// BenchmarkBGGC runs the idle-period garbage collection study.
+func BenchmarkBGGC(b *testing.B) { runExperiment(b, "bggc") }

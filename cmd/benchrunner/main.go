@@ -1,0 +1,61 @@
+// Command benchrunner regenerates the FlashCoop paper's tables and figures
+// on the built-in simulator.
+//
+// Usage:
+//
+//	benchrunner [-experiment id] [-requests n] [-buffer pages] [-blocks n] [-seed n] [-quick]
+//
+// Without -experiment all experiments run in paper order. Available ids:
+// fig1, table1, table2, table3, fig6, fig7, fig8, fig9, headline, ablation.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"flashcoop/internal/experiments"
+)
+
+func main() {
+	var (
+		id       = flag.String("experiment", "", "experiment id (empty = all)")
+		requests = flag.Int("requests", 0, "requests per replay (0 = default)")
+		buffer   = flag.Int("buffer", 0, "buffer pages (0 = default)")
+		blocks   = flag.Int("blocks", 0, "SSD erase blocks (0 = default)")
+		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
+		quick    = flag.Bool("quick", false, "small parameters for a fast smoke run")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{
+		Requests:    *requests,
+		BufferPages: *buffer,
+		SSDBlocks:   *blocks,
+		Seed:        *seed,
+		Quick:       *quick,
+	}
+
+	var list []experiments.Experiment
+	if *id == "" {
+		list = experiments.All()
+	} else {
+		e, err := experiments.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		list = []experiments.Experiment{e}
+	}
+
+	for _, e := range list {
+		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
+		start := time.Now()
+		if err := e.Run(opts, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

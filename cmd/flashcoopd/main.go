@@ -1,0 +1,165 @@
+// Command flashcoopd runs a live FlashCoop storage server: it listens for
+// its cooperative partner, forwards write backups, exchanges heartbeats,
+// and serves a tiny line-oriented client protocol for demos:
+//
+//	WRITE <lpn> <hex-bytes...>   write one page (payload zero-padded)
+//	READ <lpn>                   read one page (prints first 16 bytes hex)
+//	STATS                        print node counters
+//	QUIT                         close the client connection
+//
+// Usage:
+//
+//	flashcoopd -listen :7001 -client :8001 [-peer host:7002] [-policy lar]
+//	           [-buffer 8192] [-remote 8192] [-recover]
+package main
+
+import (
+	"bufio"
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"flashcoop"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7001", "partner-facing address")
+		client  = flag.String("client", "127.0.0.1:8001", "client-facing address")
+		peer    = flag.String("peer", "", "partner address (empty = degraded)")
+		policy  = flag.String("policy", flashcoop.PolicyLAR, "buffer policy: lar, lru, lfu")
+		bufPg   = flag.Int("buffer", 8192, "local buffer pages")
+		remote  = flag.Int("remote", 8192, "remote buffer pages")
+		blocks  = flag.Int("blocks", 2048, "SSD erase blocks")
+		scheme  = flag.String("ftl", "bast", "FTL scheme")
+		recover = flag.Bool("recover", false, "recover dirty data from the partner on startup")
+		dataDir = flag.String("datadir", "", "persist flushed pages here (survives restarts)")
+		syncW   = flag.Bool("sync", false, "fsync the page store on every persist")
+	)
+	flag.Parse()
+
+	node, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name:        *listen,
+		ListenAddr:  *listen,
+		PeerAddr:    *peer,
+		Policy:      *policy,
+		BufferPages: *bufPg,
+		RemotePages: *remote,
+		SSD:         flashcoop.DefaultSSD(*scheme, *blocks),
+		DataDir:     *dataDir,
+		SyncWrites:  *syncW,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Close()
+	log.Printf("flashcoopd: partner port %s, client port %s, policy %s", node.Addr(), *client, *policy)
+
+	if *peer != "" {
+		if err := node.ConnectPeer(); err != nil {
+			log.Printf("flashcoopd: partner not reachable yet: %v", err)
+		} else if *recover {
+			if err := node.RecoverFromPeer(); err != nil {
+				log.Printf("flashcoopd: recovery failed: %v", err)
+			} else {
+				log.Printf("flashcoopd: recovered dirty data from partner")
+			}
+		}
+		node.StartHeartbeat()
+		node.StartRebalance(5 * time.Second)
+	}
+
+	ln, err := net.Listen("tcp", *client)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ln.Close()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go serveClient(node, conn)
+	}
+}
+
+func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	ps := node.Device().PageSize()
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		switch strings.ToUpper(fields[0]) {
+		case "WRITE":
+			if len(fields) < 3 {
+				fmt.Fprintln(conn, "ERR usage: WRITE <lpn> <hex>")
+				continue
+			}
+			lpn, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(conn, "ERR bad lpn:", err)
+				continue
+			}
+			payload, err := hex.DecodeString(fields[2])
+			if err != nil {
+				fmt.Fprintln(conn, "ERR bad hex:", err)
+				continue
+			}
+			page := make([]byte, ps)
+			copy(page, payload)
+			if err := node.Write(lpn, page); err != nil {
+				fmt.Fprintln(conn, "ERR", err)
+				continue
+			}
+			fmt.Fprintln(conn, "OK")
+		case "READ":
+			if len(fields) < 2 {
+				fmt.Fprintln(conn, "ERR usage: READ <lpn>")
+				continue
+			}
+			lpn, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				fmt.Fprintln(conn, "ERR bad lpn:", err)
+				continue
+			}
+			data, err := node.Read(lpn, 1)
+			if err != nil {
+				fmt.Fprintln(conn, "ERR", err)
+				continue
+			}
+			fmt.Fprintf(conn, "OK %s\n", hex.EncodeToString(data[:16]))
+		case "TRIM":
+			if len(fields) < 3 {
+				fmt.Fprintln(conn, "ERR usage: TRIM <lpn> <pages>")
+				continue
+			}
+			lpn, err1 := strconv.ParseInt(fields[1], 10, 64)
+			pages, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				fmt.Fprintln(conn, "ERR bad arguments")
+				continue
+			}
+			if err := node.Trim(lpn, pages); err != nil {
+				fmt.Fprintln(conn, "ERR", err)
+				continue
+			}
+			fmt.Fprintln(conn, "OK")
+		case "STATS":
+			st := node.Stats()
+			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d persists=%d failovers=%d rebalances=%d peerAlive=%v\n",
+				st.Writes, st.Reads, st.Forwards, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive())
+		case "QUIT":
+			return
+		default:
+			fmt.Fprintln(conn, "ERR unknown command")
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"bufio"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"flashcoop"
+)
+
+// testNode spins up a solo live node for protocol tests.
+func testNode(t *testing.T) *flashcoop.LiveNode {
+	t.Helper()
+	n, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "proto-test", ListenAddr: "127.0.0.1:0",
+		BufferPages: 64, RemotePages: 64,
+		SSD:         flashcoop.DefaultSSD("page", 128),
+		CallTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { n.Close() })
+	return n
+}
+
+// call runs one line of the client protocol through serveClient.
+func protoSession(t *testing.T, node *flashcoop.LiveNode, lines []string) []string {
+	t.Helper()
+	server, client := net.Pipe()
+	go serveClient(node, server)
+	defer client.Close()
+
+	rd := bufio.NewReader(client)
+	out := make([]string, 0, len(lines))
+	for _, line := range lines {
+		if err := client.SetDeadline(time.Now().Add(2 * time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := client.Write([]byte(line + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		resp, err := rd.ReadString('\n')
+		if err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		out = append(out, strings.TrimSpace(resp))
+	}
+	return out
+}
+
+func TestClientProtocolWriteReadStats(t *testing.T) {
+	node := testNode(t)
+	resps := protoSession(t, node, []string{
+		"WRITE 5 cafebabe",
+		"READ 5",
+		"TRIM 5 1",
+		"READ 5",
+		"STATS",
+	})
+	if resps[0] != "OK" {
+		t.Fatalf("WRITE: %q", resps[0])
+	}
+	if !strings.HasPrefix(resps[1], "OK cafebabe") {
+		t.Fatalf("READ: %q", resps[1])
+	}
+	if resps[2] != "OK" {
+		t.Fatalf("TRIM: %q", resps[2])
+	}
+	if !strings.HasPrefix(resps[3], "OK 0000") {
+		t.Fatalf("READ after TRIM: %q", resps[3])
+	}
+	if !strings.Contains(resps[4], "writes=1") || !strings.Contains(resps[4], "reads=2") {
+		t.Fatalf("STATS: %q", resps[4])
+	}
+}
+
+func TestClientProtocolErrors(t *testing.T) {
+	node := testNode(t)
+	resps := protoSession(t, node, []string{
+		"WRITE",            // missing args
+		"WRITE x zz",       // bad lpn
+		"WRITE 0 nothex!!", // bad hex
+		"READ",             // missing args
+		"READ notanint",    // bad lpn
+		"TRIM 0",           // missing pages
+		"FROB 1 2",         // unknown command
+	})
+	for i, r := range resps {
+		if !strings.HasPrefix(r, "ERR") {
+			t.Errorf("line %d: expected ERR, got %q", i, r)
+		}
+	}
+}
+
+func TestClientProtocolQuit(t *testing.T) {
+	node := testNode(t)
+	server, client := net.Pipe()
+	done := make(chan struct{})
+	go func() {
+		serveClient(node, server)
+		close(done)
+	}()
+	if _, err := client.Write([]byte("QUIT\n")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("serveClient did not exit on QUIT")
+	}
+	client.Close()
+}

@@ -1,0 +1,111 @@
+// Command flashsim replays an SPC-format trace (a real one or one from
+// tracegen) against the stand-alone SSD simulator and reports device-level
+// results: response times, block erases, GC page copies, write-length
+// distribution, and wear.
+//
+// Usage:
+//
+//	flashsim -trace file.spc [-ftl page|bast|fast] [-blocks n] [-precondition 0.95]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/ftl"
+	"flashcoop/internal/metrics"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/ssd"
+	"flashcoop/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "SPC trace file (required)")
+		scheme    = flag.String("ftl", "bast", "FTL scheme: page, bast, fast")
+		blocks    = flag.Int("blocks", 2048, "erase blocks in the SSD")
+		precond   = flag.Float64("precondition", 0.95, "fraction of the device to age before replay")
+		maxReqs   = flag.Int("max", 0, "replay at most this many requests (0 = all)")
+		asu       = flag.Int("asu", -1, "filter to one ASU (-1 = all)")
+	)
+	flag.Parse()
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "flashsim: -trace is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	opts := trace.DefaultSPCOptions()
+	opts.MaxRequests = *maxReqs
+	opts.ASU = *asu
+	reqs, err := trace.ParseSPC(f, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if len(reqs) == 0 {
+		fatal(fmt.Errorf("trace %s has no requests", *traceFile))
+	}
+
+	p := flash.TableII()
+	p.PlanesPerDie = 8
+	p.BlocksPerPlane = *blocks / p.PlanesPerDie
+	if p.BlocksPerPlane < 1 {
+		p.BlocksPerPlane = 1
+	}
+	dev, err := ssd.New(ssd.Config{Scheme: *scheme, FTL: ftl.Config{Flash: p}})
+	if err != nil {
+		fatal(err)
+	}
+	reqs = trace.Clamp(reqs, dev.UserPages())
+	if err := dev.Precondition(*precond); err != nil {
+		fatal(err)
+	}
+
+	var resp metrics.Summary
+	for i, r := range reqs {
+		var fin sim.VTime
+		var err error
+		if r.Op == trace.Write {
+			fin, err = dev.Write(r.Arrival, r.LPN, r.Pages)
+		} else {
+			fin, err = dev.Read(r.Arrival, r.LPN, r.Pages)
+		}
+		if err != nil {
+			fatal(fmt.Errorf("request %d: %w", i, err))
+		}
+		resp.Add(float64(fin-r.Arrival) / float64(sim.Millisecond))
+	}
+
+	st := dev.Stats()
+	fst := dev.FTL().Flash().Stats()
+	ftlSt := dev.FTL().Stats()
+	wear := dev.FTL().Flash().Wear()
+	fmt.Printf("replayed %d requests on %s FTL (%d blocks)\n", len(reqs), *scheme, p.TotalBlocks())
+	fmt.Printf("response time: mean %.3f ms, min %.3f, max %.3f, stddev %.3f\n",
+		resp.Mean(), resp.Min(), resp.Max(), resp.StdDev())
+	fmt.Printf("device: %d reads (%d pages), %d writes (%d pages)\n",
+		st.ReadOps, st.ReadPages, st.WriteOps, st.WritePages)
+	fmt.Printf("flash: %d erases, %d GC page copies, merges switch/partial/full = %d/%d/%d\n",
+		fst.Erases, fst.CopyPrograms, ftlSt.SwitchMerges, ftlSt.PartialMerges, ftlSt.FullMerges)
+	fmt.Printf("wear: erase count min %d / mean %.1f / max %d (stddev %.1f), %d worn-out blocks\n",
+		wear.MinErase, wear.MeanErase, wear.MaxErase, wear.StdDev, wear.WornOut)
+
+	t := metrics.Table{Title: "write length distribution", Headers: []string{"<=Pages", "CDF%"}}
+	for _, thr := range []int{1, 2, 4, 8, 16, 32, 64} {
+		t.AddRow(thr, st.WriteLengths.FracAtMost(thr)*100)
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "flashsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,113 @@
+// Command tracestat analyzes an SPC-format I/O trace: the paper's Table I
+// statistics plus request-size and block-popularity distributions, the
+// working-set footprint, and the hot-block skew that locality-aware
+// buffering relies on.
+//
+// Usage:
+//
+//	tracestat -trace file.spc [-asu n] [-max n] [-blockpages 64]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"flashcoop/internal/metrics"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+)
+
+func main() {
+	var (
+		traceFile  = flag.String("trace", "", "SPC trace file (required)")
+		asu        = flag.Int("asu", -1, "filter to one ASU (-1 = all)")
+		maxReqs    = flag.Int("max", 0, "analyze at most this many requests (0 = all)")
+		blockPages = flag.Int("blockpages", 64, "pages per logical block for locality analysis")
+	)
+	flag.Parse()
+	if *traceFile == "" {
+		fmt.Fprintln(os.Stderr, "tracestat: -trace is required")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	opts := trace.DefaultSPCOptions()
+	opts.ASU = *asu
+	opts.MaxRequests = *maxReqs
+	reqs, err := trace.ParseSPC(f, opts)
+	if err != nil {
+		fatal(err)
+	}
+	if len(reqs) == 0 {
+		fatal(fmt.Errorf("no requests in %s", *traceFile))
+	}
+
+	s := trace.ComputeStats(reqs)
+	fmt.Printf("trace: %s\n", *traceFile)
+	fmt.Printf("requests:          %d\n", s.Requests)
+	fmt.Printf("avg request size:  %.2f KB\n", s.AvgSizeKB)
+	fmt.Printf("write fraction:    %.2f%%\n", s.WriteFrac*100)
+	fmt.Printf("sequential:        %.2f%%\n", s.SeqFrac*100)
+	fmt.Printf("avg interarrival:  %.2f ms\n", float64(s.AvgInterarrival)/float64(sim.Millisecond))
+	fmt.Printf("footprint:         %d pages (%.1f MB at 4KB)\n\n",
+		s.Footprint, float64(s.Footprint)*4096/(1<<20))
+
+	// Request size distribution (pages).
+	var sizes metrics.Histogram
+	for _, r := range reqs {
+		sizes.Add(r.Pages)
+	}
+	st := metrics.Table{Title: "request size distribution", Headers: []string{"<=Pages", "CDF%"}}
+	for _, thr := range []int{1, 2, 4, 8, 16, 32, 64} {
+		st.AddRow(thr, sizes.FracAtMost(thr)*100)
+	}
+	if err := st.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+
+	// Block popularity skew: what fraction of accesses hit the hottest
+	// X% of touched blocks.
+	counts := make(map[int64]int64)
+	var total int64
+	for _, r := range reqs {
+		for p := r.LPN; p < r.End(); p++ {
+			counts[p/int64(*blockPages)]++
+			total++
+		}
+	}
+	freq := make([]int64, 0, len(counts))
+	for _, c := range counts {
+		freq = append(freq, c)
+	}
+	sort.Slice(freq, func(i, j int) bool { return freq[i] > freq[j] })
+	bt := metrics.Table{
+		Title:   fmt.Sprintf("block popularity skew (%d distinct blocks of %d pages)", len(freq), *blockPages),
+		Headers: []string{"HottestBlocks%", "Accesses%"},
+	}
+	for _, frac := range []float64{0.01, 0.05, 0.10, 0.25, 0.50} {
+		n := int(float64(len(freq)) * frac)
+		if n < 1 {
+			n = 1
+		}
+		var sum int64
+		for _, c := range freq[:n] {
+			sum += c
+		}
+		bt.AddRow(frac*100, float64(sum)/float64(total)*100)
+	}
+	if err := bt.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracestat:", err)
+	os.Exit(1)
+}

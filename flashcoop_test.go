@@ -1,0 +1,76 @@
+package flashcoop_test
+
+import (
+	"testing"
+
+	"flashcoop"
+)
+
+func TestDefaultConfigPair(t *testing.T) {
+	a, b, err := flashcoop.NewPair(
+		flashcoop.DefaultConfig("a", flashcoop.PolicyLAR),
+		flashcoop.DefaultConfig("b", flashcoop.PolicyLAR),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := a.Access(flashcoop.Request{Op: flashcoop.OpWrite, LPN: 0, Pages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= 0 {
+		t.Fatal("write consumed no time")
+	}
+	if !b.Remote().Contains(0) {
+		t.Fatal("backup missing on partner")
+	}
+}
+
+func TestDefaultSSDScaling(t *testing.T) {
+	cfg := flashcoop.DefaultSSD("page", 2048)
+	if got := cfg.FTL.Flash.TotalBlocks(); got != 2048 {
+		t.Fatalf("TotalBlocks = %d, want 2048", got)
+	}
+	// Tiny block counts still produce a valid geometry.
+	small := flashcoop.DefaultSSD("page", 4)
+	if small.FTL.Flash.TotalBlocks() < 4 {
+		t.Fatalf("small geometry: %d blocks", small.FTL.Flash.TotalBlocks())
+	}
+	if err := small.FTL.Flash.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkloadReplayThroughPublicAPI(t *testing.T) {
+	a, _, err := flashcoop.NewPair(
+		flashcoop.DefaultConfig("a", flashcoop.PolicyLAR),
+		flashcoop.DefaultConfig("b", flashcoop.PolicyLAR),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := flashcoop.Fin1(500, 1)
+	prof.AddrPages = a.Device().UserPages()
+	reqs, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := flashcoop.Replay(a, reqs, flashcoop.ReplayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Requests != 500 {
+		t.Fatalf("replayed %d", rs.Requests)
+	}
+	st := flashcoop.ComputeTraceStats(reqs)
+	if st.WriteFrac < 0.8 {
+		t.Fatalf("Fin1 write fraction = %v", st.WriteFrac)
+	}
+}
+
+func TestTableIIFlash(t *testing.T) {
+	p := flashcoop.TableIIFlash()
+	if p.PageSize != 4096 || p.PagesPerBlock != 64 {
+		t.Fatalf("Table II geometry wrong: %+v", p)
+	}
+}

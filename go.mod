@@ -1,0 +1,3 @@
+module flashcoop
+
+go 1.24

@@ -1,0 +1,59 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchAccess drives a skewed single-page write/read mix through a cache.
+func benchAccess(b *testing.B, c Cache) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	lpns := make([]int64, 8192)
+	for i := range lpns {
+		// 80% of accesses in 20% of a 64K-page space.
+		if rng.Intn(5) < 4 {
+			lpns[i] = rng.Int63n(13107)
+		} else {
+			lpns[i] = rng.Int63n(65536)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(Request{
+			LPN:   lpns[i%len(lpns)],
+			Pages: 1,
+			Write: i%10 != 0,
+		})
+	}
+}
+
+func BenchmarkLARAccess(b *testing.B) {
+	benchAccess(b, NewLAR(4096, 64, DefaultLAROptions()))
+}
+
+func BenchmarkLRUAccess(b *testing.B) {
+	benchAccess(b, NewLRU(4096))
+}
+
+func BenchmarkLFUAccess(b *testing.B) {
+	benchAccess(b, NewLFU(4096))
+}
+
+func BenchmarkBPLRUAccess(b *testing.B) {
+	benchAccess(b, NewBPLRU(4096, 64, true, true))
+}
+
+func BenchmarkFABAccess(b *testing.B) {
+	benchAccess(b, NewFAB(4096, 64))
+}
+
+func BenchmarkLARSequentialRuns(b *testing.B) {
+	c := NewLAR(4096, 64, DefaultLAROptions())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(Request{LPN: int64(i*64) % 65536, Pages: 64, Write: true})
+	}
+}

@@ -1,0 +1,326 @@
+package buffer
+
+import (
+	"container/list"
+	"sort"
+)
+
+// BPLRU is the Block Padding LRU write-buffer policy (Kim & Ahn, FAST'08),
+// cited by the FlashCoop paper as the in-SSD state of the art it builds
+// past. Pages are grouped into erase-block-sized logical blocks kept in a
+// single LRU list; touching any page promotes the whole block. The victim
+// is the LRU block, flushed with *page padding*: the pages of the block not
+// present in the buffer are read from the SSD so the device receives one
+// full sequential block write. "LRU compensation" demotes blocks that were
+// written fully sequentially, since they gain nothing from further staying.
+type BPLRU struct {
+	capPages int
+	lenPages int
+	dirtyCnt int
+	ppb      int
+
+	order  *list.List // front = most recent block
+	blocks map[int64]*list.Element
+
+	// Padding can be disabled for ablation; without it the victim's
+	// buffered pages are flushed as contiguous runs.
+	padding      bool
+	compensation bool
+
+	stats Stats
+	// PadReadsIssued counts pages read back from the SSD for padding.
+	padReads int64
+}
+
+type bplruBlock struct {
+	blk     int64
+	pages   map[int64]bool // lpn -> dirty
+	dirty   int
+	seqNext int64 // next lpn if the block has only seen one sequential run
+	seqOK   bool
+}
+
+var _ Cache = (*BPLRU)(nil)
+
+// NewBPLRU constructs a BPLRU cache. padding and compensation select the
+// full algorithm (both true in the original paper).
+func NewBPLRU(capPages, pagesPerBlock int, padding, compensation bool) *BPLRU {
+	if capPages < 0 {
+		capPages = 0
+	}
+	if pagesPerBlock < 1 {
+		pagesPerBlock = 1
+	}
+	return &BPLRU{
+		capPages:     capPages,
+		ppb:          pagesPerBlock,
+		order:        list.New(),
+		blocks:       make(map[int64]*list.Element),
+		padding:      padding,
+		compensation: compensation,
+	}
+}
+
+// Name implements Cache.
+func (c *BPLRU) Name() string { return PolicyBPLRU }
+
+// Capacity implements Cache.
+func (c *BPLRU) Capacity() int { return c.capPages }
+
+// Len implements Cache.
+func (c *BPLRU) Len() int { return c.lenPages }
+
+// DirtyLen implements Cache.
+func (c *BPLRU) DirtyLen() int { return c.dirtyCnt }
+
+// Stats implements Cache.
+func (c *BPLRU) Stats() Stats { return c.stats }
+
+// PadReads reports how many pages were read back for block padding.
+func (c *BPLRU) PadReads() int64 { return c.padReads }
+
+func (c *BPLRU) block(lpn int64) (*list.Element, *bplruBlock) {
+	e, ok := c.blocks[lpn/int64(c.ppb)]
+	if !ok {
+		return nil, nil
+	}
+	return e, e.Value.(*bplruBlock)
+}
+
+// Contains implements Cache.
+func (c *BPLRU) Contains(lpn int64) bool {
+	_, b := c.block(lpn)
+	if b == nil {
+		return false
+	}
+	_, ok := b.pages[lpn]
+	return ok
+}
+
+// IsDirty implements Cache.
+func (c *BPLRU) IsDirty(lpn int64) bool {
+	_, b := c.block(lpn)
+	if b == nil {
+		return false
+	}
+	return b.pages[lpn]
+}
+
+// Access implements Cache.
+func (c *BPLRU) Access(req Request) Result {
+	var res Result
+	c.stats.Accesses++
+	for i := 0; i < req.Pages; i++ {
+		lpn := req.LPN + int64(i)
+		blk := lpn / int64(c.ppb)
+		e, ok := c.blocks[blk]
+		var b *bplruBlock
+		if ok {
+			b = e.Value.(*bplruBlock)
+		} else {
+			b = &bplruBlock{
+				blk:     blk,
+				pages:   make(map[int64]bool),
+				seqNext: lpn,
+				seqOK:   lpn%int64(c.ppb) == 0,
+			}
+			e = c.order.PushFront(b)
+			c.blocks[blk] = e
+		}
+
+		if dirty, present := b.pages[lpn]; present {
+			c.stats.HitPages++
+			if req.Write {
+				res.WriteHits++
+				if !dirty {
+					b.pages[lpn] = true
+					b.dirty++
+					c.dirtyCnt++
+				}
+			} else {
+				res.ReadHits++
+			}
+		} else {
+			c.stats.MissPages++
+			if !req.Write {
+				res.ReadMisses = append(res.ReadMisses, lpn)
+			}
+			b.pages[lpn] = req.Write
+			c.lenPages++
+			if req.Write {
+				b.dirty++
+				c.dirtyCnt++
+			}
+		}
+
+		// Sequential-run tracking for LRU compensation.
+		if lpn == b.seqNext {
+			b.seqNext++
+		} else {
+			b.seqOK = false
+		}
+
+		// Block promotion: the whole block becomes most-recent —
+		// unless compensation demotes a purely sequential full block.
+		if c.compensation && b.seqOK && len(b.pages) == c.ppb {
+			c.order.MoveToBack(e)
+		} else {
+			c.order.MoveToFront(e)
+		}
+	}
+	res.Flush = append(res.Flush, c.evictToFit()...)
+	return res
+}
+
+func (c *BPLRU) evictToFit() []FlushUnit {
+	var units []FlushUnit
+	for c.lenPages > c.capPages && c.order.Len() > 0 {
+		e := c.order.Back()
+		b := e.Value.(*bplruBlock)
+		c.order.Remove(e)
+		delete(c.blocks, b.blk)
+		c.lenPages -= len(b.pages)
+		c.dirtyCnt -= b.dirty
+		if u, ok := c.flushBlock(b); ok {
+			units = append(units, u...)
+		}
+	}
+	return units
+}
+
+// flushBlock converts an evicted block into flush units.
+func (c *BPLRU) flushBlock(b *bplruBlock) ([]FlushUnit, bool) {
+	if b.dirty == 0 {
+		c.stats.CleanDrops += int64(len(b.pages))
+		return nil, false
+	}
+	if c.padding {
+		// Page padding: emit the full block as one sequential write;
+		// pages not buffered must be read back first.
+		lo := b.blk * int64(c.ppb)
+		all := make([]int64, c.ppb)
+		var pads []int64
+		for i := range all {
+			lpn := lo + int64(i)
+			all[i] = lpn
+			if _, ok := b.pages[lpn]; !ok {
+				pads = append(pads, lpn)
+			}
+		}
+		c.padReads += int64(len(pads))
+		c.stats.Evictions++
+		c.stats.FlushPages += int64(len(all))
+		return []FlushUnit{{
+			Pages:      all,
+			Dirty:      b.dirty,
+			Contiguous: true,
+			PadPages:   pads,
+		}}, true
+	}
+	pages := sortedPages(b.pages)
+	var units []FlushUnit
+	for _, run := range runsOf(pages) {
+		dirty := 0
+		for _, p := range run {
+			if b.pages[p] {
+				dirty++
+			}
+		}
+		units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true})
+		c.stats.Evictions++
+		c.stats.FlushPages += int64(len(run))
+	}
+	return units, true
+}
+
+// MarkClean implements Cache.
+func (c *BPLRU) MarkClean(lpn int64) {
+	_, b := c.block(lpn)
+	if b == nil {
+		return
+	}
+	if dirty, ok := b.pages[lpn]; ok && dirty {
+		b.pages[lpn] = false
+		b.dirty--
+		c.dirtyCnt--
+	}
+}
+
+// DirtyPages implements Cache.
+func (c *BPLRU) DirtyPages() []int64 {
+	out := make([]int64, 0, c.dirtyCnt)
+	for _, e := range c.blocks {
+		b := e.Value.(*bplruBlock)
+		for p, d := range b.pages {
+			if d {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlushAll implements Cache: dirty pages flush as per-block runs (padding
+// is pointless at shutdown), clean pages are dropped.
+func (c *BPLRU) FlushAll() []FlushUnit {
+	blks := make([]int64, 0, len(c.blocks))
+	for blk := range c.blocks {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	var units []FlushUnit
+	for _, blk := range blks {
+		b := c.blocks[blk].Value.(*bplruBlock)
+		dirty := make([]int64, 0, b.dirty)
+		for p, d := range b.pages {
+			if d {
+				dirty = append(dirty, p)
+			}
+		}
+		c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		for _, run := range runsOf(dirty) {
+			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true})
+			c.stats.Evictions++
+			c.stats.FlushPages += int64(len(run))
+		}
+	}
+	c.order.Init()
+	c.blocks = make(map[int64]*list.Element)
+	c.lenPages, c.dirtyCnt = 0, 0
+	return units
+}
+
+// Resize implements Cache.
+func (c *BPLRU) Resize(capPages int) []FlushUnit {
+	if capPages < 0 {
+		capPages = 0
+	}
+	c.capPages = capPages
+	return c.evictToFit()
+}
+
+// Invalidate implements Cache.
+func (c *BPLRU) Invalidate(lpn int64) bool {
+	e, b := c.block(lpn)
+	if b == nil {
+		return false
+	}
+	dirty, ok := b.pages[lpn]
+	if !ok {
+		return false
+	}
+	delete(b.pages, lpn)
+	c.lenPages--
+	if dirty {
+		b.dirty--
+		c.dirtyCnt--
+	}
+	b.seqOK = false // the block is no longer a pristine sequential run
+	if len(b.pages) == 0 {
+		c.order.Remove(e)
+		delete(c.blocks, b.blk)
+	}
+	return true
+}

@@ -1,0 +1,146 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBPLRUPadding(t *testing.T) {
+	c := NewBPLRU(4, 4, true, true)
+	// Two dirty pages of block 0 (offsets 1,2), then overflow with
+	// block 10 pages.
+	c.Access(Request{LPN: 1, Pages: 2, Write: true})
+	res := c.Access(Request{LPN: 40, Pages: 3, Write: true})
+	if len(res.Flush) != 1 {
+		t.Fatalf("flush = %+v", res.Flush)
+	}
+	u := res.Flush[0]
+	// Padding expands to the full 4-page block with pages 0 and 3 read
+	// back from the SSD.
+	if u.Len() != 4 || !u.Contiguous || u.Pages[0] != 0 || u.Pages[3] != 3 {
+		t.Fatalf("padded unit = %+v", u)
+	}
+	if len(u.PadPages) != 2 || u.PadPages[0] != 0 || u.PadPages[1] != 3 {
+		t.Fatalf("PadPages = %v", u.PadPages)
+	}
+	if u.Dirty != 2 {
+		t.Fatalf("Dirty = %d", u.Dirty)
+	}
+	if c.PadReads() != 2 {
+		t.Fatalf("PadReads = %d", c.PadReads())
+	}
+}
+
+func TestBPLRUNoPaddingAblation(t *testing.T) {
+	c := NewBPLRU(4, 4, false, true)
+	c.Access(Request{LPN: 1, Pages: 2, Write: true})
+	res := c.Access(Request{LPN: 40, Pages: 3, Write: true})
+	if len(res.Flush) != 1 {
+		t.Fatalf("flush = %+v", res.Flush)
+	}
+	u := res.Flush[0]
+	if u.Len() != 2 || len(u.PadPages) != 0 {
+		t.Fatalf("unpadded unit = %+v", u)
+	}
+}
+
+func TestBPLRUBlockLevelLRU(t *testing.T) {
+	c := NewBPLRU(6, 4, true, true)
+	c.Access(Request{LPN: 0, Pages: 2, Write: true}) // block 0
+	c.Access(Request{LPN: 8, Pages: 2, Write: true}) // block 2
+	// Touch ONE page of block 0: the whole block is promoted.
+	c.Access(Request{LPN: 1, Pages: 1, Write: true})
+	// Overflow: block 2 (LRU) must be the victim, not block 0.
+	res := c.Access(Request{LPN: 40, Pages: 3, Write: true})
+	if len(res.Flush) != 1 {
+		t.Fatalf("flush = %+v", res.Flush)
+	}
+	if res.Flush[0].Pages[0] != 8 {
+		t.Fatalf("victim = %v, want block 2 (page 8)", res.Flush[0].Pages)
+	}
+	if !c.Contains(0) || !c.Contains(1) {
+		t.Fatal("promoted block 0 evicted")
+	}
+}
+
+func TestBPLRUCompensationDemotesSequentialBlocks(t *testing.T) {
+	c := NewBPLRU(7, 4, true, true)
+	// Block 0 filled fully sequentially: compensation sends it to the
+	// LRU end even though it is the most recent.
+	c.Access(Request{LPN: 0, Pages: 4, Write: true})
+	// Block 2, partially and randomly.
+	c.Access(Request{LPN: 9, Pages: 1, Write: true})
+	// Overflow with a NON-sequential partial block (starts mid-block).
+	res := c.Access(Request{LPN: 41, Pages: 3, Write: true})
+	if len(res.Flush) == 0 {
+		t.Fatal("no eviction")
+	}
+	if res.Flush[0].Pages[0] != 0 {
+		t.Fatalf("victim = %v, want demoted sequential block 0", res.Flush[0].Pages)
+	}
+}
+
+func TestFABEvictsLargestBlock(t *testing.T) {
+	c := NewFAB(6, 4)
+	c.Access(Request{LPN: 0, Pages: 3, Write: true}) // block 0: 3 pages
+	c.Access(Request{LPN: 8, Pages: 1, Write: true}) // block 2: 1 page
+	// Overflow with 3 more pages: block 0 (largest) is the victim even
+	// though block 2 is older in LRU terms.
+	res := c.Access(Request{LPN: 40, Pages: 3, Write: true})
+	if len(res.Flush) != 1 {
+		t.Fatalf("flush = %+v", res.Flush)
+	}
+	u := res.Flush[0]
+	if u.Pages[0] != 0 || u.Len() != 3 {
+		t.Fatalf("victim = %+v, want block 0's 3 pages", u)
+	}
+	if !c.Contains(8) {
+		t.Fatal("small block evicted instead")
+	}
+}
+
+func TestFABTieBreaksLRU(t *testing.T) {
+	c := NewFAB(2, 4)
+	c.Access(Request{LPN: 0, Pages: 1, Write: true}) // block 0, older
+	c.Access(Request{LPN: 8, Pages: 1, Write: true}) // block 2, newer
+	res := c.Access(Request{LPN: 40, Pages: 1, Write: true})
+	if len(res.Flush) != 1 || res.Flush[0].Pages[0] != 0 {
+		t.Fatalf("tie-break victim = %+v, want block 0", res.Flush)
+	}
+}
+
+func TestNewByNameExtendedPolicies(t *testing.T) {
+	for _, p := range []string{PolicyBPLRU, PolicyFAB, PolicyLBCLOCK} {
+		c, err := New(p, 16, 4)
+		if err != nil {
+			t.Fatalf("New(%s): %v", p, err)
+		}
+		if c.Name() != p {
+			t.Errorf("Name = %q", c.Name())
+		}
+	}
+	if len(Policies()) != 6 {
+		t.Errorf("Policies() = %v", Policies())
+	}
+}
+
+// TestBlockPoliciesAccounting stress-checks page/dirty accounting for the
+// two block-granular extension policies.
+func TestBlockPoliciesAccounting(t *testing.T) {
+	for _, c := range []Cache{NewBPLRU(64, 8, true, true), NewFAB(64, 8)} {
+		rng := rand.New(rand.NewSource(21))
+		for i := 0; i < 5000; i++ {
+			c.Access(Request{
+				LPN:   rng.Int63n(1024),
+				Pages: 1 + rng.Intn(4),
+				Write: rng.Intn(2) == 0,
+			})
+			if c.Len() > c.Capacity() {
+				t.Fatalf("%s: overflow at step %d", c.Name(), i)
+			}
+			if got := len(c.DirtyPages()); got != c.DirtyLen() {
+				t.Fatalf("%s: DirtyLen %d != enumerated %d", c.Name(), c.DirtyLen(), got)
+			}
+		}
+	}
+}

@@ -1,0 +1,350 @@
+package buffer
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewByName(t *testing.T) {
+	for _, p := range Policies() {
+		c, err := New(p, 16, 4)
+		if err != nil {
+			t.Fatalf("New(%s): %v", p, err)
+		}
+		if c.Name() != p {
+			t.Errorf("Name = %q, want %q", c.Name(), p)
+		}
+		if c.Capacity() != 16 {
+			t.Errorf("%s: Capacity = %d", p, c.Capacity())
+		}
+	}
+	if _, err := New("bogus", 16, 4); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunsOf(t *testing.T) {
+	runs := runsOf([]int64{1, 2, 3, 7, 9, 10})
+	if len(runs) != 3 {
+		t.Fatalf("runs = %v", runs)
+	}
+	if len(runs[0]) != 3 || runs[0][0] != 1 {
+		t.Errorf("run0 = %v", runs[0])
+	}
+	if len(runs[1]) != 1 || runs[1][0] != 7 {
+		t.Errorf("run1 = %v", runs[1])
+	}
+	if len(runs[2]) != 2 || runs[2][0] != 9 {
+		t.Errorf("run2 = %v", runs[2])
+	}
+	if runsOf(nil) != nil {
+		t.Error("empty input should yield nil")
+	}
+}
+
+// allPolicies builds one cache per policy for shared conformance tests.
+func allPolicies(capPages, ppb int) []Cache {
+	return []Cache{
+		NewLAR(capPages, ppb, DefaultLAROptions()),
+		NewLRU(capPages),
+		NewLFU(capPages),
+		NewBPLRU(capPages, ppb, true, true),
+		NewFAB(capPages, ppb),
+		NewLBCLOCK(capPages, ppb),
+	}
+}
+
+func TestWriteHitMissAccounting(t *testing.T) {
+	for _, c := range allPolicies(16, 4) {
+		res := c.Access(Request{LPN: 0, Pages: 2, Write: true})
+		if res.WriteHits != 0 || len(res.ReadMisses) != 0 || len(res.Flush) != 0 {
+			t.Errorf("%s: first write result %+v", c.Name(), res)
+		}
+		if c.Len() != 2 || c.DirtyLen() != 2 {
+			t.Errorf("%s: len=%d dirty=%d", c.Name(), c.Len(), c.DirtyLen())
+		}
+		res = c.Access(Request{LPN: 0, Pages: 2, Write: true})
+		if res.WriteHits != 2 {
+			t.Errorf("%s: rewrite hits = %d", c.Name(), res.WriteHits)
+		}
+		if c.DirtyLen() != 2 {
+			t.Errorf("%s: dirty after rewrite = %d", c.Name(), c.DirtyLen())
+		}
+		st := c.Stats()
+		if st.HitPages != 2 || st.MissPages != 2 {
+			t.Errorf("%s: stats %+v", c.Name(), st)
+		}
+	}
+}
+
+func TestReadMissesReported(t *testing.T) {
+	for _, c := range allPolicies(16, 4) {
+		res := c.Access(Request{LPN: 8, Pages: 3, Write: false})
+		if len(res.ReadMisses) != 3 || res.ReadMisses[0] != 8 {
+			t.Errorf("%s: read misses = %v", c.Name(), res.ReadMisses)
+		}
+		// All policies buffer reads by default; second read hits.
+		res = c.Access(Request{LPN: 8, Pages: 3, Write: false})
+		if res.ReadHits != 3 || len(res.ReadMisses) != 0 {
+			t.Errorf("%s: second read %+v", c.Name(), res)
+		}
+		if c.DirtyLen() != 0 {
+			t.Errorf("%s: reads made pages dirty", c.Name())
+		}
+	}
+}
+
+func TestContainsIsDirty(t *testing.T) {
+	for _, c := range allPolicies(16, 4) {
+		c.Access(Request{LPN: 1, Pages: 1, Write: true})
+		c.Access(Request{LPN: 2, Pages: 1, Write: false})
+		if !c.Contains(1) || !c.Contains(2) || c.Contains(3) {
+			t.Errorf("%s: Contains wrong", c.Name())
+		}
+		if !c.IsDirty(1) || c.IsDirty(2) || c.IsDirty(3) {
+			t.Errorf("%s: IsDirty wrong", c.Name())
+		}
+	}
+}
+
+func TestMarkClean(t *testing.T) {
+	for _, c := range allPolicies(16, 4) {
+		c.Access(Request{LPN: 1, Pages: 1, Write: true})
+		c.MarkClean(1)
+		if c.IsDirty(1) || c.DirtyLen() != 0 {
+			t.Errorf("%s: MarkClean failed", c.Name())
+		}
+		c.MarkClean(1) // idempotent
+		c.MarkClean(9) // absent page is a no-op
+		if c.DirtyLen() != 0 {
+			t.Errorf("%s: MarkClean not idempotent", c.Name())
+		}
+	}
+}
+
+func TestDirtyPagesSorted(t *testing.T) {
+	for _, c := range allPolicies(32, 4) {
+		for _, lpn := range []int64{9, 1, 5} {
+			c.Access(Request{LPN: lpn, Pages: 1, Write: true})
+		}
+		c.Access(Request{LPN: 3, Pages: 1, Write: false})
+		d := c.DirtyPages()
+		if len(d) != 3 || d[0] != 1 || d[1] != 5 || d[2] != 9 {
+			t.Errorf("%s: DirtyPages = %v", c.Name(), d)
+		}
+	}
+}
+
+func TestEvictionCapacityInvariant(t *testing.T) {
+	for _, c := range allPolicies(8, 4) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < 500; i++ {
+			c.Access(Request{LPN: rng.Int63n(100), Pages: 1 + rng.Intn(3), Write: rng.Intn(2) == 0})
+			if c.Len() > c.Capacity() {
+				t.Fatalf("%s: len %d exceeds cap %d", c.Name(), c.Len(), c.Capacity())
+			}
+		}
+	}
+}
+
+func TestFlushAllDrainsEverything(t *testing.T) {
+	for _, c := range allPolicies(64, 4) {
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 40; i++ {
+			c.Access(Request{LPN: rng.Int63n(64), Pages: 1, Write: rng.Intn(2) == 0})
+		}
+		dirtyBefore := c.DirtyLen()
+		units := c.FlushAll()
+		flushed := 0
+		for _, u := range units {
+			flushed += u.Dirty
+		}
+		if flushed != dirtyBefore {
+			t.Errorf("%s: flushed %d dirty, had %d", c.Name(), flushed, dirtyBefore)
+		}
+		if c.Len() != 0 || c.DirtyLen() != 0 {
+			t.Errorf("%s: not empty after FlushAll", c.Name())
+		}
+		// Cache is reusable afterwards.
+		c.Access(Request{LPN: 0, Pages: 1, Write: true})
+		if c.Len() != 1 {
+			t.Errorf("%s: unusable after FlushAll", c.Name())
+		}
+	}
+}
+
+func TestResizeShrinkEvicts(t *testing.T) {
+	for _, c := range allPolicies(16, 4) {
+		for i := int64(0); i < 16; i++ {
+			c.Access(Request{LPN: i, Pages: 1, Write: true})
+		}
+		units := c.Resize(4)
+		if c.Len() > 4 {
+			t.Errorf("%s: len %d after shrink to 4", c.Name(), c.Len())
+		}
+		total := 0
+		for _, u := range units {
+			total += u.Dirty
+		}
+		if total < 12-4 { // at least the overflow must have been flushed dirty
+			t.Errorf("%s: only %d dirty pages flushed on shrink", c.Name(), total)
+		}
+		if c.Capacity() != 4 {
+			t.Errorf("%s: capacity not updated", c.Name())
+		}
+		// Growing requires no eviction.
+		if u := c.Resize(32); len(u) != 0 {
+			t.Errorf("%s: grow evicted %v", c.Name(), u)
+		}
+	}
+}
+
+func TestLRUEvictsLeastRecent(t *testing.T) {
+	c := NewLRU(2)
+	c.Access(Request{LPN: 1, Pages: 1, Write: true})
+	c.Access(Request{LPN: 2, Pages: 1, Write: true})
+	c.Access(Request{LPN: 1, Pages: 1, Write: false}) // refresh 1
+	res := c.Access(Request{LPN: 3, Pages: 1, Write: true})
+	if len(res.Flush) != 1 || res.Flush[0].Pages[0] != 2 {
+		t.Fatalf("LRU evicted %v, want page 2", res.Flush)
+	}
+	if !c.Contains(1) || !c.Contains(3) || c.Contains(2) {
+		t.Fatal("LRU contents wrong")
+	}
+}
+
+func TestLRUCleanEvictionNoFlush(t *testing.T) {
+	c := NewLRU(1)
+	c.Access(Request{LPN: 1, Pages: 1, Write: false})
+	res := c.Access(Request{LPN: 2, Pages: 1, Write: true})
+	if len(res.Flush) != 0 {
+		t.Fatalf("clean eviction produced flush %v", res.Flush)
+	}
+	if c.Stats().CleanDrops != 1 {
+		t.Fatalf("CleanDrops = %d", c.Stats().CleanDrops)
+	}
+}
+
+func TestLFUEvictsLeastFrequent(t *testing.T) {
+	c := NewLFU(2)
+	c.Access(Request{LPN: 1, Pages: 1, Write: true})
+	c.Access(Request{LPN: 1, Pages: 1, Write: true}) // freq 2
+	c.Access(Request{LPN: 2, Pages: 1, Write: true}) // freq 1
+	res := c.Access(Request{LPN: 3, Pages: 1, Write: true})
+	if len(res.Flush) != 1 || res.Flush[0].Pages[0] != 2 {
+		t.Fatalf("LFU evicted %v, want page 2", res.Flush)
+	}
+	if !c.Contains(1) {
+		t.Fatal("popular page evicted")
+	}
+}
+
+func TestLFUTieBreaksLRU(t *testing.T) {
+	c := NewLFU(2)
+	c.Access(Request{LPN: 1, Pages: 1, Write: true})
+	c.Access(Request{LPN: 2, Pages: 1, Write: true})
+	// Both freq 1; page 1 is older.
+	res := c.Access(Request{LPN: 3, Pages: 1, Write: true})
+	if len(res.Flush) != 1 || res.Flush[0].Pages[0] != 1 {
+		t.Fatalf("LFU tie-break evicted %v, want page 1", res.Flush)
+	}
+}
+
+func TestPolicyEvictionsAreSinglePagesForLRULFU(t *testing.T) {
+	for _, c := range []Cache{NewLRU(8), NewLFU(8)} {
+		rng := rand.New(rand.NewSource(3))
+		for i := 0; i < 300; i++ {
+			res := c.Access(Request{LPN: rng.Int63n(200), Pages: 1, Write: true})
+			for _, u := range res.Flush {
+				if u.Len() != 1 {
+					t.Fatalf("%s: flush unit of %d pages", c.Name(), u.Len())
+				}
+			}
+		}
+	}
+}
+
+// Property: for every policy, under random traffic, Len() never exceeds
+// capacity and DirtyLen() equals len(DirtyPages()).
+func TestCacheInvariantsProperty(t *testing.T) {
+	mk := map[string]func() Cache{
+		PolicyLAR: func() Cache { return NewLAR(12, 4, DefaultLAROptions()) },
+		PolicyLRU: func() Cache { return NewLRU(12) },
+		PolicyLFU: func() Cache { return NewLFU(12) },
+	}
+	for name, ctor := range mk {
+		name, ctor := name, ctor
+		t.Run(name, func(t *testing.T) {
+			f := func(seed int64, steps uint8) bool {
+				c := ctor()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < int(steps); i++ {
+					c.Access(Request{
+						LPN:   rng.Int63n(64),
+						Pages: 1 + rng.Intn(5),
+						Write: rng.Intn(2) == 0,
+					})
+					if c.Len() > c.Capacity() {
+						return false
+					}
+					if c.DirtyLen() != len(c.DirtyPages()) {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestInvalidateDropsWithoutFlush(t *testing.T) {
+	for _, c := range allPolicies(16, 4) {
+		c.Access(Request{LPN: 1, Pages: 1, Write: true})
+		c.Access(Request{LPN: 2, Pages: 1, Write: false})
+		if !c.Invalidate(1) {
+			t.Errorf("%s: dirty page not invalidated", c.Name())
+		}
+		if c.Contains(1) || c.DirtyLen() != 0 {
+			t.Errorf("%s: page 1 still present/dirty", c.Name())
+		}
+		if !c.Invalidate(2) {
+			t.Errorf("%s: clean page not invalidated", c.Name())
+		}
+		if c.Invalidate(99) {
+			t.Errorf("%s: absent page reported invalidated", c.Name())
+		}
+		if c.Len() != 0 {
+			t.Errorf("%s: len = %d after invalidating everything", c.Name(), c.Len())
+		}
+		// The cache stays usable.
+		c.Access(Request{LPN: 1, Pages: 1, Write: true})
+		if !c.Contains(1) {
+			t.Errorf("%s: unusable after Invalidate", c.Name())
+		}
+	}
+}
+
+func TestInvalidateStress(t *testing.T) {
+	for _, c := range allPolicies(32, 4) {
+		rng := rand.New(rand.NewSource(31))
+		for i := 0; i < 2000; i++ {
+			lpn := rng.Int63n(128)
+			switch rng.Intn(3) {
+			case 0, 1:
+				c.Access(Request{LPN: lpn, Pages: 1 + rng.Intn(3), Write: rng.Intn(2) == 0})
+			case 2:
+				c.Invalidate(lpn)
+			}
+			if c.Len() > c.Capacity() {
+				t.Fatalf("%s: overflow", c.Name())
+			}
+			if c.DirtyLen() != len(c.DirtyPages()) {
+				t.Fatalf("%s: dirty accounting broken at step %d", c.Name(), i)
+			}
+		}
+	}
+}

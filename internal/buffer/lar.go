@@ -1,0 +1,560 @@
+package buffer
+
+import (
+	"container/list"
+	"sort"
+)
+
+// LAROptions expose the design choices of the Locality-Aware Replacement
+// policy for ablation; the defaults are the paper's design.
+type LAROptions struct {
+	// SeqAsOneAccess counts a multi-page access to a block as a single
+	// popularity increment (paper Section III.B.2), so sequentially
+	// accessed blocks stay unpopular and are evicted early.
+	SeqAsOneAccess bool
+	// FlushCleanWithVictim flushes a victim's clean pages alongside its
+	// dirty pages so logically continuous pages land physically
+	// continuous on the SSD (paper Section III.B.2).
+	FlushCleanWithVictim bool
+	// ClusterSmallWrites groups dirty pages from several tail blocks
+	// into one block-sized scattered write (paper Section III.B.3).
+	ClusterSmallWrites bool
+	// BufferReads inserts read misses into the buffer (paper: LAR
+	// services both reads and writes to preserve block-level locality).
+	BufferReads bool
+	// DirtyOrder selects, among equally unpopular blocks, the one with
+	// the most dirty pages as victim (paper's second-level sort).
+	DirtyOrder bool
+}
+
+// DefaultLAROptions returns the configuration described in the paper.
+func DefaultLAROptions() LAROptions {
+	return LAROptions{
+		SeqAsOneAccess:       true,
+		FlushCleanWithVictim: true,
+		ClusterSmallWrites:   true,
+		BufferReads:          true,
+		DirtyOrder:           true,
+	}
+}
+
+// LAR is the paper's Locality-Aware Replacement cache. Pages are grouped
+// into logical blocks; blocks are ranked by popularity (first level) and by
+// dirty-page count (second level), and the victim block is flushed as
+// sequential runs.
+type LAR struct {
+	opts       LAROptions
+	capPages   int
+	lenPages   int
+	dirtyPages int
+	ppb        int
+
+	blocks  map[int64]*larBlock
+	buckets map[int64]*popBucket
+	minPop  int64
+	stats   Stats
+}
+
+type larBlock struct {
+	blk   int64
+	pages map[int64]bool // lpn -> dirty
+	dirty int
+	pop   int64
+	elem  *list.Element // position in its (pop, dirty) list
+	// bucketPop / bucketDirty are the keys the block is currently
+	// registered under; pop and dirty may run ahead during an access
+	// until reposition() re-files the block.
+	bucketPop   int64
+	bucketDirty int
+}
+
+// popBucket holds the blocks of one popularity value, sub-ordered by dirty
+// count. Because every access to a block bumps its popularity (moving it to
+// another bucket), a block's dirty count is immutable while it resides in a
+// bucket, so the per-dirty lists never need reordering.
+type popBucket struct {
+	byDirty  map[int]*list.List
+	maxDirty int
+	count    int
+}
+
+var _ Cache = (*LAR)(nil)
+
+// NewLAR constructs a LAR cache with the given page capacity, logical block
+// size, and option set.
+func NewLAR(capPages, pagesPerBlock int, opts LAROptions) *LAR {
+	if capPages < 0 {
+		capPages = 0
+	}
+	if pagesPerBlock < 1 {
+		pagesPerBlock = 1
+	}
+	return &LAR{
+		opts:     opts,
+		capPages: capPages,
+		ppb:      pagesPerBlock,
+		blocks:   make(map[int64]*larBlock),
+		buckets:  make(map[int64]*popBucket),
+	}
+}
+
+// Name implements Cache.
+func (c *LAR) Name() string { return PolicyLAR }
+
+// Capacity implements Cache.
+func (c *LAR) Capacity() int { return c.capPages }
+
+// Len implements Cache.
+func (c *LAR) Len() int { return c.lenPages }
+
+// DirtyLen implements Cache.
+func (c *LAR) DirtyLen() int { return c.dirtyPages }
+
+// Stats implements Cache.
+func (c *LAR) Stats() Stats { return c.stats }
+
+// Contains implements Cache.
+func (c *LAR) Contains(lpn int64) bool {
+	b, ok := c.blocks[lpn/int64(c.ppb)]
+	if !ok {
+		return false
+	}
+	_, ok = b.pages[lpn]
+	return ok
+}
+
+// IsDirty implements Cache.
+func (c *LAR) IsDirty(lpn int64) bool {
+	b, ok := c.blocks[lpn/int64(c.ppb)]
+	if !ok {
+		return false
+	}
+	return b.pages[lpn]
+}
+
+// bucket bookkeeping ---------------------------------------------------
+
+func (c *LAR) bucketAdd(b *larBlock) {
+	pb, ok := c.buckets[b.pop]
+	if !ok {
+		pb = &popBucket{byDirty: make(map[int]*list.List)}
+		c.buckets[b.pop] = pb
+	}
+	l, ok := pb.byDirty[b.dirty]
+	if !ok {
+		l = list.New()
+		pb.byDirty[b.dirty] = l
+	}
+	b.elem = l.PushBack(b)
+	b.bucketPop, b.bucketDirty = b.pop, b.dirty
+	pb.count++
+	if b.dirty > pb.maxDirty {
+		pb.maxDirty = b.dirty
+	}
+	if len(c.blocks) == 0 || b.pop < c.minPop || c.bucketEmptyAt(c.minPop) {
+		c.minPop = b.pop
+	}
+}
+
+func (c *LAR) bucketEmptyAt(pop int64) bool {
+	pb, ok := c.buckets[pop]
+	return !ok || pb.count == 0
+}
+
+func (c *LAR) bucketRemove(b *larBlock) {
+	pb := c.buckets[b.bucketPop]
+	l := pb.byDirty[b.bucketDirty]
+	l.Remove(b.elem)
+	b.elem = nil
+	pb.count--
+	if l.Len() == 0 {
+		delete(pb.byDirty, b.bucketDirty)
+		if b.bucketDirty == pb.maxDirty {
+			pb.maxDirty = 0
+			for d := range pb.byDirty {
+				if d > pb.maxDirty {
+					pb.maxDirty = d
+				}
+			}
+		}
+	}
+	if pb.count == 0 {
+		delete(c.buckets, b.bucketPop)
+	}
+}
+
+// advanceMinPop repositions minPop after removals.
+func (c *LAR) advanceMinPop() {
+	if len(c.blocks) == 0 {
+		c.minPop = 0
+		return
+	}
+	if !c.bucketEmptyAt(c.minPop) {
+		return
+	}
+	// Pops grow by one per access, so the next occupied bucket is
+	// usually near; fall back to a full scan if the walk runs long.
+	for step := 0; step < 1024; step++ {
+		c.minPop++
+		if !c.bucketEmptyAt(c.minPop) {
+			return
+		}
+	}
+	first := true
+	for pop, pb := range c.buckets {
+		if pb.count == 0 {
+			continue
+		}
+		if first || pop < c.minPop {
+			c.minPop = pop
+			first = false
+		}
+	}
+}
+
+// reposition moves a block whose pop or dirty changed into its new bucket.
+func (c *LAR) reposition(b *larBlock) {
+	c.bucketRemove(b)
+	c.bucketAdd(b)
+	c.advanceMinPop()
+}
+
+// Access implements Cache.
+func (c *LAR) Access(req Request) Result {
+	var res Result
+	c.stats.Accesses++
+	if req.Pages <= 0 {
+		return res
+	}
+	end := req.LPN + int64(req.Pages)
+	touched := make(map[int64]bool)
+	for blk := req.LPN / int64(c.ppb); blk*int64(c.ppb) < end; blk++ {
+		lo := blk * int64(c.ppb)
+		hi := lo + int64(c.ppb)
+		if lo < req.LPN {
+			lo = req.LPN
+		}
+		if hi > end {
+			hi = end
+		}
+		c.accessBlock(blk, lo, hi, req.Write, &res)
+		touched[blk] = true
+	}
+	// Blocks touched by the request in flight are exempt from eviction
+	// (unless nothing else can be evicted): evicting the data the host
+	// just handed us would defeat buffering entirely.
+	res.Flush = append(res.Flush, c.evictToFit(touched)...)
+	return res
+}
+
+// accessBlock applies the request's page span [lo,hi) inside block blk.
+func (c *LAR) accessBlock(blk, lo, hi int64, write bool, res *Result) {
+	b := c.blocks[blk]
+	touched := int(hi - lo)
+	inserted := false
+
+	for lpn := lo; lpn < hi; lpn++ {
+		if b != nil {
+			if dirty, ok := b.pages[lpn]; ok {
+				c.stats.HitPages++
+				if write {
+					res.WriteHits++
+					if !dirty {
+						b.pages[lpn] = true
+						b.dirty++
+						c.dirtyPages++
+					}
+				} else {
+					res.ReadHits++
+				}
+				continue
+			}
+		}
+		c.stats.MissPages++
+		if !write {
+			res.ReadMisses = append(res.ReadMisses, lpn)
+			if !c.opts.BufferReads {
+				continue
+			}
+		}
+		if b == nil {
+			b = &larBlock{blk: blk, pages: make(map[int64]bool)}
+			c.blocks[blk] = b
+			// Registered in a bucket below, after pop/dirty settle.
+			inserted = true
+		}
+		b.pages[lpn] = write
+		c.lenPages++
+		if write {
+			b.dirty++
+			c.dirtyPages++
+		}
+	}
+
+	if b == nil {
+		return // read misses with read-buffering disabled
+	}
+	if c.opts.SeqAsOneAccess {
+		b.pop++
+	} else {
+		b.pop += int64(touched)
+	}
+	if inserted {
+		c.bucketAdd(b)
+	} else {
+		c.reposition(b)
+	}
+}
+
+// evictToFit evicts victim blocks until the cache fits its capacity.
+// Blocks in exclude are set aside and only evicted if nothing else remains.
+func (c *LAR) evictToFit(exclude map[int64]bool) []FlushUnit {
+	var units []FlushUnit
+	var deferred []*larBlock
+	ignoreExclude := false
+	for c.lenPages > c.capPages && len(c.blocks) > 0 {
+		b := c.victim()
+		if b == nil {
+			if len(deferred) == 0 {
+				break
+			}
+			// Only excluded blocks remain: put them back and
+			// allow evicting them after all.
+			for _, d := range deferred {
+				c.bucketAdd(d)
+			}
+			deferred = deferred[:0]
+			ignoreExclude = true
+			continue
+		}
+		if !ignoreExclude && exclude != nil && exclude[b.blk] {
+			c.bucketRemove(b)
+			c.advanceMinPop()
+			deferred = append(deferred, b)
+			continue
+		}
+		units = append(units, c.evictBlock(b, exclude)...)
+	}
+	for _, d := range deferred {
+		c.bucketAdd(d)
+	}
+	return units
+}
+
+// victim returns the block to evict next: least popular first, then (when
+// DirtyOrder is set) most dirty pages, then oldest insertion.
+func (c *LAR) victim() *larBlock {
+	pb := c.buckets[c.minPop]
+	if pb == nil || pb.count == 0 {
+		return nil
+	}
+	d := pb.maxDirty
+	if !c.opts.DirtyOrder {
+		// Popularity-only ablation: take the oldest block across the
+		// bucket regardless of dirtiness (scan is bounded by ppb+1
+		// distinct dirty values).
+		var oldest *larBlock
+		for _, l := range pb.byDirty {
+			b := l.Front().Value.(*larBlock)
+			if oldest == nil || b.blk < oldest.blk {
+				oldest = b
+			}
+		}
+		return oldest
+	}
+	return pb.byDirty[d].Front().Value.(*larBlock)
+}
+
+// removeBlock unlinks a block entirely and updates page accounting.
+func (c *LAR) removeBlock(b *larBlock) {
+	c.bucketRemove(b)
+	delete(c.blocks, b.blk)
+	c.lenPages -= len(b.pages)
+	c.dirtyPages -= b.dirty
+	c.advanceMinPop()
+}
+
+// evictBlock evicts block b (possibly clustering further tail blocks into
+// the same flush) and returns the flush units.
+func (c *LAR) evictBlock(b *larBlock, exclude map[int64]bool) []FlushUnit {
+	c.removeBlock(b)
+
+	if b.dirty == 0 {
+		// A clean victim is discarded: the SSD already has this data.
+		c.stats.CleanDrops += int64(len(b.pages))
+		return nil
+	}
+
+	flushCount := b.dirty
+	if c.opts.FlushCleanWithVictim {
+		flushCount = len(b.pages)
+	}
+	if c.opts.ClusterSmallWrites && flushCount <= c.ppb/4 {
+		return []FlushUnit{c.clusterFlush(b, exclude)}
+	}
+	pages := c.victimPages(b)
+
+	var units []FlushUnit
+	for _, run := range runsOf(pages) {
+		dirty := 0
+		for _, p := range run {
+			if b.pages[p] {
+				dirty++
+			}
+		}
+		units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true})
+		c.stats.Evictions++
+		c.stats.FlushPages += int64(len(run))
+	}
+	return units
+}
+
+// victimPages returns the pages of a dirty victim that will be flushed:
+// the whole block when FlushCleanWithVictim is set, otherwise dirty only.
+func (c *LAR) victimPages(b *larBlock) []int64 {
+	if c.opts.FlushCleanWithVictim {
+		return sortedPages(b.pages)
+	}
+	dirty := make([]int64, 0, b.dirty)
+	for p, d := range b.pages {
+		if d {
+			dirty = append(dirty, p)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+	c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
+	return dirty
+}
+
+// clusterFlush implements the paper's small-write clustering: the victim's
+// dirty pages are combined with dirty pages of further tail blocks (of the
+// same least popularity) into a single block-sized scattered write.
+func (c *LAR) clusterFlush(b *larBlock, exclude map[int64]bool) FlushUnit {
+	// Clustering uses dirty pages only; clean pages of participants are
+	// dropped (they are not worth rewriting scattered).
+	cluster := make([]int64, 0, c.ppb)
+	dirtyTotal := 0
+	take := func(blk *larBlock) {
+		for p, d := range blk.pages {
+			if d {
+				cluster = append(cluster, p)
+			}
+		}
+		dirtyTotal += blk.dirty
+		c.stats.CleanDrops += int64(len(blk.pages) - blk.dirty)
+	}
+	take(b)
+	for len(cluster) < c.ppb && len(c.blocks) > 0 {
+		next := c.victim()
+		if next == nil || next.pop != b.pop || next.dirty == 0 ||
+			next.dirty > c.ppb/4 || len(cluster)+next.dirty > c.ppb ||
+			(exclude != nil && exclude[next.blk]) {
+			break
+		}
+		c.removeBlock(next)
+		take(next)
+	}
+	sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+	c.stats.Evictions++
+	c.stats.FlushPages += int64(len(cluster))
+	return FlushUnit{Pages: cluster, Dirty: dirtyTotal, Contiguous: false}
+}
+
+// MarkClean implements Cache.
+func (c *LAR) MarkClean(lpn int64) {
+	b, ok := c.blocks[lpn/int64(c.ppb)]
+	if !ok {
+		return
+	}
+	dirty, ok := b.pages[lpn]
+	if !ok || !dirty {
+		return
+	}
+	b.pages[lpn] = false
+	b.dirty--
+	c.dirtyPages--
+	c.reposition(b)
+}
+
+// DirtyPages implements Cache.
+func (c *LAR) DirtyPages() []int64 {
+	out := make([]int64, 0, c.dirtyPages)
+	for _, b := range c.blocks {
+		for p, d := range b.pages {
+			if d {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlushAll implements Cache: every dirty page is flushed as per-block
+// sequential runs; clean pages are dropped.
+func (c *LAR) FlushAll() []FlushUnit {
+	blks := make([]int64, 0, len(c.blocks))
+	for blk := range c.blocks {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	var units []FlushUnit
+	for _, blk := range blks {
+		b := c.blocks[blk]
+		dirty := make([]int64, 0, b.dirty)
+		for p, d := range b.pages {
+			if d {
+				dirty = append(dirty, p)
+			}
+		}
+		c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		for _, run := range runsOf(dirty) {
+			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true})
+			c.stats.Evictions++
+			c.stats.FlushPages += int64(len(run))
+		}
+	}
+	c.blocks = make(map[int64]*larBlock)
+	c.buckets = make(map[int64]*popBucket)
+	c.lenPages, c.dirtyPages, c.minPop = 0, 0, 0
+	return units
+}
+
+// Resize implements Cache.
+func (c *LAR) Resize(capPages int) []FlushUnit {
+	if capPages < 0 {
+		capPages = 0
+	}
+	c.capPages = capPages
+	return c.evictToFit(nil)
+}
+
+// Invalidate implements Cache: the page is dropped without flushing; an
+// emptied block leaves the structure entirely.
+func (c *LAR) Invalidate(lpn int64) bool {
+	b, ok := c.blocks[lpn/int64(c.ppb)]
+	if !ok {
+		return false
+	}
+	dirty, ok := b.pages[lpn]
+	if !ok {
+		return false
+	}
+	delete(b.pages, lpn)
+	c.lenPages--
+	if dirty {
+		b.dirty--
+		c.dirtyPages--
+	}
+	if len(b.pages) == 0 {
+		// The block is already empty (zero pages, zero dirty), so
+		// removeBlock only unlinks it from the bucket structures.
+		c.removeBlock(b)
+		return true
+	}
+	if dirty {
+		c.reposition(b)
+	}
+	return true
+}

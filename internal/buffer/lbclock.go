@@ -1,0 +1,293 @@
+package buffer
+
+import (
+	"container/list"
+	"sort"
+)
+
+// LBCLOCK is the Large Block CLOCK write-caching policy (Debnath et al.,
+// MASCOTS'09), cited by the FlashCoop paper. Erase-block-sized groups sit
+// on a circular CLOCK list with a reference bit; the hand clears bits as it
+// sweeps, and among the candidate victims it prefers the block with the
+// largest number of buffered pages, so evictions approach full-block
+// writes while recently touched blocks survive.
+type LBCLOCK struct {
+	capPages int
+	lenPages int
+	dirtyCnt int
+	ppb      int
+
+	ring   *list.List // circular order; hand is the front
+	blocks map[int64]*list.Element
+
+	stats Stats
+}
+
+type lbcBlock struct {
+	blk   int64
+	pages map[int64]bool // lpn -> dirty
+	dirty int
+	ref   bool
+}
+
+var _ Cache = (*LBCLOCK)(nil)
+
+// NewLBCLOCK constructs an LB-CLOCK cache.
+func NewLBCLOCK(capPages, pagesPerBlock int) *LBCLOCK {
+	if capPages < 0 {
+		capPages = 0
+	}
+	if pagesPerBlock < 1 {
+		pagesPerBlock = 1
+	}
+	return &LBCLOCK{
+		capPages: capPages,
+		ppb:      pagesPerBlock,
+		ring:     list.New(),
+		blocks:   make(map[int64]*list.Element),
+	}
+}
+
+// Name implements Cache.
+func (c *LBCLOCK) Name() string { return PolicyLBCLOCK }
+
+// Capacity implements Cache.
+func (c *LBCLOCK) Capacity() int { return c.capPages }
+
+// Len implements Cache.
+func (c *LBCLOCK) Len() int { return c.lenPages }
+
+// DirtyLen implements Cache.
+func (c *LBCLOCK) DirtyLen() int { return c.dirtyCnt }
+
+// Stats implements Cache.
+func (c *LBCLOCK) Stats() Stats { return c.stats }
+
+func (c *LBCLOCK) block(lpn int64) (*list.Element, *lbcBlock) {
+	e, ok := c.blocks[lpn/int64(c.ppb)]
+	if !ok {
+		return nil, nil
+	}
+	return e, e.Value.(*lbcBlock)
+}
+
+// Contains implements Cache.
+func (c *LBCLOCK) Contains(lpn int64) bool {
+	_, b := c.block(lpn)
+	if b == nil {
+		return false
+	}
+	_, ok := b.pages[lpn]
+	return ok
+}
+
+// IsDirty implements Cache.
+func (c *LBCLOCK) IsDirty(lpn int64) bool {
+	_, b := c.block(lpn)
+	if b == nil {
+		return false
+	}
+	return b.pages[lpn]
+}
+
+// Access implements Cache.
+func (c *LBCLOCK) Access(req Request) Result {
+	var res Result
+	c.stats.Accesses++
+	for i := 0; i < req.Pages; i++ {
+		lpn := req.LPN + int64(i)
+		blk := lpn / int64(c.ppb)
+		e, ok := c.blocks[blk]
+		var b *lbcBlock
+		if ok {
+			b = e.Value.(*lbcBlock)
+		} else {
+			b = &lbcBlock{blk: blk, pages: make(map[int64]bool)}
+			// New blocks enter behind the hand (back of the ring).
+			e = c.ring.PushBack(b)
+			c.blocks[blk] = e
+		}
+		b.ref = true
+
+		if dirty, present := b.pages[lpn]; present {
+			c.stats.HitPages++
+			if req.Write {
+				res.WriteHits++
+				if !dirty {
+					b.pages[lpn] = true
+					b.dirty++
+					c.dirtyCnt++
+				}
+			} else {
+				res.ReadHits++
+			}
+			continue
+		}
+		c.stats.MissPages++
+		if !req.Write {
+			res.ReadMisses = append(res.ReadMisses, lpn)
+		}
+		b.pages[lpn] = req.Write
+		c.lenPages++
+		if req.Write {
+			b.dirty++
+			c.dirtyCnt++
+		}
+	}
+	res.Flush = append(res.Flush, c.evictToFit()...)
+	return res
+}
+
+// sweep advances the CLOCK hand until it finds an unreferenced block,
+// clearing reference bits on the way, then returns the largest
+// unreferenced block found during at most one full rotation.
+func (c *LBCLOCK) sweep() *list.Element {
+	n := c.ring.Len()
+	if n == 0 {
+		return nil
+	}
+	var best *list.Element
+	bestPages := -1
+	for i := 0; i < n; i++ {
+		e := c.ring.Front()
+		b := e.Value.(*lbcBlock)
+		if b.ref {
+			b.ref = false
+			c.ring.MoveToBack(e)
+			continue
+		}
+		// Candidate: track the largest; move past it for now.
+		if len(b.pages) > bestPages {
+			best, bestPages = e, len(b.pages)
+		}
+		c.ring.MoveToBack(e)
+	}
+	if best == nil {
+		// Everything was referenced: the hand cleared all bits; take
+		// the block now at the front (oldest after the sweep).
+		best = c.ring.Front()
+	}
+	return best
+}
+
+func (c *LBCLOCK) evictToFit() []FlushUnit {
+	var units []FlushUnit
+	for c.lenPages > c.capPages && c.ring.Len() > 0 {
+		e := c.sweep()
+		if e == nil {
+			break
+		}
+		b := e.Value.(*lbcBlock)
+		c.ring.Remove(e)
+		delete(c.blocks, b.blk)
+		c.lenPages -= len(b.pages)
+		c.dirtyCnt -= b.dirty
+		if b.dirty == 0 {
+			c.stats.CleanDrops += int64(len(b.pages))
+			continue
+		}
+		pages := sortedPages(b.pages)
+		for _, run := range runsOf(pages) {
+			dirty := 0
+			for _, p := range run {
+				if b.pages[p] {
+					dirty++
+				}
+			}
+			units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true})
+			c.stats.Evictions++
+			c.stats.FlushPages += int64(len(run))
+		}
+	}
+	return units
+}
+
+// MarkClean implements Cache.
+func (c *LBCLOCK) MarkClean(lpn int64) {
+	_, b := c.block(lpn)
+	if b == nil {
+		return
+	}
+	if dirty, ok := b.pages[lpn]; ok && dirty {
+		b.pages[lpn] = false
+		b.dirty--
+		c.dirtyCnt--
+	}
+}
+
+// Invalidate implements Cache.
+func (c *LBCLOCK) Invalidate(lpn int64) bool {
+	e, b := c.block(lpn)
+	if b == nil {
+		return false
+	}
+	dirty, ok := b.pages[lpn]
+	if !ok {
+		return false
+	}
+	delete(b.pages, lpn)
+	c.lenPages--
+	if dirty {
+		b.dirty--
+		c.dirtyCnt--
+	}
+	if len(b.pages) == 0 {
+		c.ring.Remove(e)
+		delete(c.blocks, b.blk)
+	}
+	return true
+}
+
+// DirtyPages implements Cache.
+func (c *LBCLOCK) DirtyPages() []int64 {
+	out := make([]int64, 0, c.dirtyCnt)
+	for _, e := range c.blocks {
+		b := e.Value.(*lbcBlock)
+		for p, d := range b.pages {
+			if d {
+				out = append(out, p)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlushAll implements Cache.
+func (c *LBCLOCK) FlushAll() []FlushUnit {
+	blks := make([]int64, 0, len(c.blocks))
+	for blk := range c.blocks {
+		blks = append(blks, blk)
+	}
+	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	var units []FlushUnit
+	for _, blk := range blks {
+		b := c.blocks[blk].Value.(*lbcBlock)
+		dirty := make([]int64, 0, b.dirty)
+		for p, d := range b.pages {
+			if d {
+				dirty = append(dirty, p)
+			}
+		}
+		c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
+		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		for _, run := range runsOf(dirty) {
+			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true})
+			c.stats.Evictions++
+			c.stats.FlushPages += int64(len(run))
+		}
+	}
+	c.ring.Init()
+	c.blocks = make(map[int64]*list.Element)
+	c.lenPages, c.dirtyCnt = 0, 0
+	return units
+}
+
+// Resize implements Cache.
+func (c *LBCLOCK) Resize(capPages int) []FlushUnit {
+	if capPages < 0 {
+		capPages = 0
+	}
+	c.capPages = capPages
+	return c.evictToFit()
+}

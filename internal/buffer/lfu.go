@@ -1,0 +1,222 @@
+package buffer
+
+import (
+	"container/list"
+	"sort"
+)
+
+// LFU is the page-granular Least-Frequently-Used baseline: pages carry an
+// access counter, the victim is the page with the smallest count (ties
+// broken LRU within the frequency class). Like LRU, its evictions are
+// single pages and therefore small SSD writes.
+type LFU struct {
+	capPages int
+	pages    map[int64]*list.Element
+	freqs    map[int64]*list.List // frequency -> pages (front = most recent)
+	minFreq  int64
+	dirty    int
+	stats    Stats
+}
+
+type lfuPage struct {
+	lpn   int64
+	dirty bool
+	freq  int64
+}
+
+var _ Cache = (*LFU)(nil)
+
+// NewLFU constructs an LFU cache with the given page capacity.
+func NewLFU(capPages int) *LFU {
+	if capPages < 0 {
+		capPages = 0
+	}
+	return &LFU{
+		capPages: capPages,
+		pages:    make(map[int64]*list.Element),
+		freqs:    make(map[int64]*list.List),
+	}
+}
+
+// Name implements Cache.
+func (c *LFU) Name() string { return PolicyLFU }
+
+// Capacity implements Cache.
+func (c *LFU) Capacity() int { return c.capPages }
+
+// Len implements Cache.
+func (c *LFU) Len() int { return len(c.pages) }
+
+// DirtyLen implements Cache.
+func (c *LFU) DirtyLen() int { return c.dirty }
+
+// Stats implements Cache.
+func (c *LFU) Stats() Stats { return c.stats }
+
+// Contains implements Cache.
+func (c *LFU) Contains(lpn int64) bool {
+	_, ok := c.pages[lpn]
+	return ok
+}
+
+// IsDirty implements Cache.
+func (c *LFU) IsDirty(lpn int64) bool {
+	e, ok := c.pages[lpn]
+	return ok && e.Value.(*lfuPage).dirty
+}
+
+func (c *LFU) pushAtFreq(pg *lfuPage) *list.Element {
+	l, ok := c.freqs[pg.freq]
+	if !ok {
+		l = list.New()
+		c.freqs[pg.freq] = l
+	}
+	return l.PushFront(pg)
+}
+
+func (c *LFU) bump(e *list.Element) *list.Element {
+	pg := e.Value.(*lfuPage)
+	l := c.freqs[pg.freq]
+	l.Remove(e)
+	if l.Len() == 0 {
+		delete(c.freqs, pg.freq)
+		if c.minFreq == pg.freq {
+			c.minFreq++
+		}
+	}
+	pg.freq++
+	ne := c.pushAtFreq(pg)
+	c.pages[pg.lpn] = ne
+	return ne
+}
+
+// Access implements Cache.
+func (c *LFU) Access(req Request) Result {
+	var res Result
+	c.stats.Accesses++
+	for i := 0; i < req.Pages; i++ {
+		lpn := req.LPN + int64(i)
+		if e, ok := c.pages[lpn]; ok {
+			c.stats.HitPages++
+			e = c.bump(e)
+			pg := e.Value.(*lfuPage)
+			if req.Write {
+				res.WriteHits++
+				if !pg.dirty {
+					pg.dirty = true
+					c.dirty++
+				}
+			} else {
+				res.ReadHits++
+			}
+			continue
+		}
+		c.stats.MissPages++
+		if !req.Write {
+			res.ReadMisses = append(res.ReadMisses, lpn)
+		}
+		pg := &lfuPage{lpn: lpn, dirty: req.Write, freq: 1}
+		c.pages[lpn] = c.pushAtFreq(pg)
+		c.minFreq = 1
+		if req.Write {
+			c.dirty++
+		}
+	}
+	res.Flush = append(res.Flush, c.evictToFit()...)
+	return res
+}
+
+func (c *LFU) evictToFit() []FlushUnit {
+	var units []FlushUnit
+	for len(c.pages) > c.capPages {
+		l := c.freqs[c.minFreq]
+		for l == nil || l.Len() == 0 {
+			delete(c.freqs, c.minFreq)
+			c.minFreq++
+			l = c.freqs[c.minFreq]
+		}
+		e := l.Back() // least recent within the class
+		pg := e.Value.(*lfuPage)
+		l.Remove(e)
+		if l.Len() == 0 {
+			delete(c.freqs, pg.freq)
+		}
+		delete(c.pages, pg.lpn)
+		if pg.dirty {
+			c.dirty--
+			units = append(units, FlushUnit{Pages: []int64{pg.lpn}, Dirty: 1, Contiguous: true})
+			c.stats.Evictions++
+			c.stats.FlushPages++
+		} else {
+			c.stats.CleanDrops++
+		}
+	}
+	return units
+}
+
+// MarkClean implements Cache.
+func (c *LFU) MarkClean(lpn int64) {
+	if e, ok := c.pages[lpn]; ok {
+		pg := e.Value.(*lfuPage)
+		if pg.dirty {
+			pg.dirty = false
+			c.dirty--
+		}
+	}
+}
+
+// DirtyPages implements Cache.
+func (c *LFU) DirtyPages() []int64 {
+	out := make([]int64, 0, c.dirty)
+	for lpn, e := range c.pages {
+		if e.Value.(*lfuPage).dirty {
+			out = append(out, lpn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlushAll implements Cache.
+func (c *LFU) FlushAll() []FlushUnit {
+	dirty := c.DirtyPages()
+	units := make([]FlushUnit, 0, len(dirty))
+	for _, lpn := range dirty {
+		units = append(units, FlushUnit{Pages: []int64{lpn}, Dirty: 1, Contiguous: true})
+		c.stats.Evictions++
+		c.stats.FlushPages++
+	}
+	c.stats.CleanDrops += int64(len(c.pages) - len(dirty))
+	c.pages = make(map[int64]*list.Element)
+	c.freqs = make(map[int64]*list.List)
+	c.minFreq, c.dirty = 0, 0
+	return units
+}
+
+// Resize implements Cache.
+func (c *LFU) Resize(capPages int) []FlushUnit {
+	if capPages < 0 {
+		capPages = 0
+	}
+	c.capPages = capPages
+	return c.evictToFit()
+}
+
+// Invalidate implements Cache.
+func (c *LFU) Invalidate(lpn int64) bool {
+	e, ok := c.pages[lpn]
+	if !ok {
+		return false
+	}
+	pg := e.Value.(*lfuPage)
+	if pg.dirty {
+		c.dirty--
+	}
+	l := c.freqs[pg.freq]
+	l.Remove(e)
+	if l.Len() == 0 {
+		delete(c.freqs, pg.freq)
+	}
+	delete(c.pages, lpn)
+	return true
+}

@@ -1,0 +1,184 @@
+package buffer
+
+import (
+	"container/list"
+	"sort"
+)
+
+// LRU is the classic page-granular Least-Recently-Used cache the paper
+// compares LAR against. Evictions are single pages: a dirty victim becomes
+// a one-page flush, which is exactly why LRU feeds the SSD small random
+// writes (Figure 8).
+type LRU struct {
+	capPages int
+	order    *list.List // front = most recent
+	pages    map[int64]*list.Element
+	dirty    int
+	stats    Stats
+}
+
+type lruPage struct {
+	lpn   int64
+	dirty bool
+}
+
+var _ Cache = (*LRU)(nil)
+
+// NewLRU constructs an LRU cache with the given page capacity.
+func NewLRU(capPages int) *LRU {
+	if capPages < 0 {
+		capPages = 0
+	}
+	return &LRU{
+		capPages: capPages,
+		order:    list.New(),
+		pages:    make(map[int64]*list.Element),
+	}
+}
+
+// Name implements Cache.
+func (c *LRU) Name() string { return PolicyLRU }
+
+// Capacity implements Cache.
+func (c *LRU) Capacity() int { return c.capPages }
+
+// Len implements Cache.
+func (c *LRU) Len() int { return len(c.pages) }
+
+// DirtyLen implements Cache.
+func (c *LRU) DirtyLen() int { return c.dirty }
+
+// Stats implements Cache.
+func (c *LRU) Stats() Stats { return c.stats }
+
+// Contains implements Cache.
+func (c *LRU) Contains(lpn int64) bool {
+	_, ok := c.pages[lpn]
+	return ok
+}
+
+// IsDirty implements Cache.
+func (c *LRU) IsDirty(lpn int64) bool {
+	e, ok := c.pages[lpn]
+	return ok && e.Value.(*lruPage).dirty
+}
+
+// Access implements Cache.
+func (c *LRU) Access(req Request) Result {
+	var res Result
+	c.stats.Accesses++
+	for i := 0; i < req.Pages; i++ {
+		lpn := req.LPN + int64(i)
+		if e, ok := c.pages[lpn]; ok {
+			c.stats.HitPages++
+			c.order.MoveToFront(e)
+			pg := e.Value.(*lruPage)
+			if req.Write {
+				res.WriteHits++
+				if !pg.dirty {
+					pg.dirty = true
+					c.dirty++
+				}
+			} else {
+				res.ReadHits++
+			}
+			continue
+		}
+		c.stats.MissPages++
+		if !req.Write {
+			res.ReadMisses = append(res.ReadMisses, lpn)
+		}
+		e := c.order.PushFront(&lruPage{lpn: lpn, dirty: req.Write})
+		c.pages[lpn] = e
+		if req.Write {
+			c.dirty++
+		}
+	}
+	res.Flush = append(res.Flush, c.evictToFit()...)
+	return res
+}
+
+func (c *LRU) evictToFit() []FlushUnit {
+	var units []FlushUnit
+	for len(c.pages) > c.capPages {
+		e := c.order.Back()
+		if e == nil {
+			break
+		}
+		pg := e.Value.(*lruPage)
+		c.order.Remove(e)
+		delete(c.pages, pg.lpn)
+		if pg.dirty {
+			c.dirty--
+			units = append(units, FlushUnit{Pages: []int64{pg.lpn}, Dirty: 1, Contiguous: true})
+			c.stats.Evictions++
+			c.stats.FlushPages++
+		} else {
+			c.stats.CleanDrops++
+		}
+	}
+	return units
+}
+
+// MarkClean implements Cache.
+func (c *LRU) MarkClean(lpn int64) {
+	if e, ok := c.pages[lpn]; ok {
+		pg := e.Value.(*lruPage)
+		if pg.dirty {
+			pg.dirty = false
+			c.dirty--
+		}
+	}
+}
+
+// DirtyPages implements Cache.
+func (c *LRU) DirtyPages() []int64 {
+	out := make([]int64, 0, c.dirty)
+	for e := c.order.Front(); e != nil; e = e.Next() {
+		if pg := e.Value.(*lruPage); pg.dirty {
+			out = append(out, pg.lpn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FlushAll implements Cache: dirty pages are flushed one per unit (LRU has
+// no grouping knowledge), clean pages are dropped.
+func (c *LRU) FlushAll() []FlushUnit {
+	dirty := c.DirtyPages()
+	units := make([]FlushUnit, 0, len(dirty))
+	for _, lpn := range dirty {
+		units = append(units, FlushUnit{Pages: []int64{lpn}, Dirty: 1, Contiguous: true})
+		c.stats.Evictions++
+		c.stats.FlushPages++
+	}
+	c.stats.CleanDrops += int64(len(c.pages) - len(dirty))
+	c.order.Init()
+	c.pages = make(map[int64]*list.Element)
+	c.dirty = 0
+	return units
+}
+
+// Resize implements Cache.
+func (c *LRU) Resize(capPages int) []FlushUnit {
+	if capPages < 0 {
+		capPages = 0
+	}
+	c.capPages = capPages
+	return c.evictToFit()
+}
+
+// Invalidate implements Cache.
+func (c *LRU) Invalidate(lpn int64) bool {
+	e, ok := c.pages[lpn]
+	if !ok {
+		return false
+	}
+	if e.Value.(*lruPage).dirty {
+		c.dirty--
+	}
+	c.order.Remove(e)
+	delete(c.pages, lpn)
+	return true
+}

@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func BenchmarkMessageMarshal(b *testing.B) {
+	lpns := make([]int64, 64)
+	data := make([]byte, 64*4096)
+	for i := range lpns {
+		lpns[i] = int64(i * 7)
+	}
+	m := &Message{Type: MsgWriteFwd, Seq: 42, LPNs: lpns, Data: data}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Marshal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMessageUnmarshal(b *testing.B) {
+	lpns := make([]int64, 64)
+	data := make([]byte, 64*4096)
+	m := &Message{Type: MsgWriteFwd, Seq: 42, LPNs: lpns, Data: data}
+	body, err := m.Marshal()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got Message
+		if err := got.Unmarshal(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveWriteRTT measures the end-to-end cost of one cooperative
+// page write over loopback TCP: buffer insert + forward + remote ack.
+func BenchmarkLiveWriteRTT(b *testing.B) {
+	a, err := NewLiveNode(LiveConfig{
+		Name: "a", ListenAddr: "127.0.0.1:0",
+		BufferPages: 1 << 20, RemotePages: 1 << 20, SSD: liveSSD(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	bn, err := NewLiveNode(LiveConfig{
+		Name: "b", ListenAddr: "127.0.0.1:0", PeerAddr: a.Addr(),
+		BufferPages: 1 << 20, RemotePages: 1 << 20, SSD: liveSSD(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bn.Close()
+	if err := bn.ConnectPeer(); err != nil {
+		b.Fatal(err)
+	}
+	ps := bn.Device().PageSize()
+	pg := make([]byte, ps)
+	user := bn.Device().UserPages()
+	b.ReportAllocs()
+	b.SetBytes(int64(ps))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bn.Write(int64(i)%user, pg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

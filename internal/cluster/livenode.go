@@ -1,0 +1,641 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"flashcoop/internal/buffer"
+	"flashcoop/internal/core"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/ssd"
+)
+
+// LiveConfig parameterizes a live TCP FlashCoop node.
+type LiveConfig struct {
+	Name       string
+	ListenAddr string // e.g. "127.0.0.1:0"
+	PeerAddr   string // partner address; empty starts degraded
+
+	Policy      string // "lar", "lru", "lfu", "bplru", "fab", "lbclock"
+	BufferPages int
+	RemotePages int
+	SSD         ssd.Config
+
+	// DataDir, when set, persists flushed pages in a slotted file there
+	// so the node's durable contents survive restarts. Empty keeps an
+	// in-memory store (like the simulator).
+	DataDir string
+	// SyncWrites fsyncs the page store after every persist (slower,
+	// stronger durability). Only meaningful with DataDir.
+	SyncWrites bool
+
+	HeartbeatInterval time.Duration // default 500ms
+	FailureThreshold  int           // default 3
+	CallTimeout       time.Duration // default 2s
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 500 * time.Millisecond
+	}
+	if c.FailureThreshold == 0 {
+		c.FailureThreshold = 3
+	}
+	if c.CallTimeout == 0 {
+		c.CallTimeout = 2 * time.Second
+	}
+	if c.Policy == "" {
+		c.Policy = buffer.PolicyLAR
+	}
+	return c
+}
+
+// LiveStats counts live-node activity.
+type LiveStats struct {
+	Writes          int64
+	Reads           int64
+	Forwards        int64
+	ForwardFailures int64
+	Persists        int64 // pages made durable
+	HeartbeatsSent  int64
+	HeartbeatMisses int64
+	Failovers       int64
+	Rebalances      int64
+}
+
+// LiveNode is a FlashCoop storage server over real TCP. It owns a policy
+// buffer with an actual data plane (page payloads), a simulated SSD for
+// timing/wear accounting, and a remote store of partner backups.
+type LiveNode struct {
+	cfg LiveConfig
+
+	mu         sync.Mutex
+	buf        buffer.Cache
+	dirtyData  map[int64][]byte // payloads of locally buffered dirty pages
+	store      pageStore        // the "SSD" contents (durable medium)
+	dev        *ssd.Device
+	remote     *core.RemoteStore
+	remoteData map[int64][]byte // payloads backed up for the partner
+	stats      LiveStats
+	peerAlive  bool
+	missed     int
+	winReads   int64 // workload window for dynamic allocation
+	winWrites  int64
+
+	ln       net.Listener
+	peer     *peerClient
+	start    time.Time
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+
+	connsMu sync.Mutex
+	conns   map[net.Conn]struct{}
+}
+
+// NewLiveNode constructs the node, binds its listener, and starts serving
+// partner requests. Call ConnectPeer (and optionally StartHeartbeat) next.
+func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
+	cfg = cfg.withDefaults()
+	dev, err := ssd.New(cfg.SSD)
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
+	}
+	buf, err := buffer.New(cfg.Policy, cfg.BufferPages, dev.PagesPerBlock())
+	if err != nil {
+		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
+	}
+	var store pageStore = newMemStore()
+	if cfg.DataDir != "" {
+		store, err = newFileStore(cfg.DataDir, dev.PageSize(), cfg.SyncWrites)
+		if err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	if err != nil {
+		store.close()
+		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
+	}
+	n := &LiveNode{
+		cfg:        cfg,
+		buf:        buf,
+		dirtyData:  make(map[int64][]byte),
+		store:      store,
+		dev:        dev,
+		remote:     core.NewRemoteStore(cfg.RemotePages),
+		remoteData: make(map[int64][]byte),
+		ln:         ln,
+		start:      time.Now(),
+		stop:       make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+	}
+	if cfg.PeerAddr != "" {
+		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout)
+	}
+	n.wg.Add(1)
+	go n.acceptLoop()
+	return n, nil
+}
+
+// Addr reports the node's listen address.
+func (n *LiveNode) Addr() string { return n.ln.Addr().String() }
+
+// Stats returns a snapshot of the node's counters.
+func (n *LiveNode) Stats() LiveStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// PeerAlive reports whether the partner is currently reachable.
+func (n *LiveNode) PeerAlive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.peerAlive
+}
+
+// Device exposes the timing/wear model.
+func (n *LiveNode) Device() *ssd.Device { return n.dev }
+
+// Buffer exposes the local buffer.
+func (n *LiveNode) Buffer() buffer.Cache { return n.buf }
+
+// Remote exposes the partner-backup store.
+func (n *LiveNode) Remote() *core.RemoteStore { return n.remote }
+
+// vnow maps wall-clock time onto the device's virtual time line.
+func (n *LiveNode) vnow() sim.VTime { return sim.FromDuration(time.Since(n.start)) }
+
+// errNoPeer is returned by partner operations on a solo node.
+var errNoPeer = errors.New("cluster: no peer configured")
+
+// ConnectPeer dials the partner and performs the hello exchange.
+func (n *LiveNode) ConnectPeer() error {
+	if n.peer == nil {
+		return errNoPeer
+	}
+	resp, err := n.peer.call(&Message{Type: MsgHello})
+	if err != nil {
+		return err
+	}
+	if resp.Type != MsgHelloAck {
+		return fmt.Errorf("cluster: unexpected hello response %v", resp.Type)
+	}
+	n.mu.Lock()
+	n.peerAlive = true
+	n.missed = 0
+	n.mu.Unlock()
+	return nil
+}
+
+// StartHeartbeat launches the background availability monitor.
+func (n *LiveNode) StartHeartbeat() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(n.cfg.HeartbeatInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				n.heartbeatOnce()
+			}
+		}
+	}()
+}
+
+func (n *LiveNode) heartbeatOnce() {
+	if n.peer == nil {
+		return
+	}
+	n.mu.Lock()
+	n.stats.HeartbeatsSent++
+	n.mu.Unlock()
+	_, err := n.peer.call(&Message{Type: MsgHeartbeat})
+	n.mu.Lock()
+	if err == nil {
+		n.missed = 0
+		if !n.peerAlive {
+			n.peerAlive = true // partner is back
+		}
+		n.mu.Unlock()
+		return
+	}
+	n.stats.HeartbeatMisses++
+	n.missed++
+	trigger := n.peerAlive && n.missed >= n.cfg.FailureThreshold
+	if trigger {
+		n.peerAlive = false
+		n.stats.Failovers++
+	}
+	n.mu.Unlock()
+	if trigger {
+		// Remote failure: buffered dirty data has lost its backup;
+		// make it durable immediately (paper Section III.D).
+		if err := n.FlushAll(); err != nil {
+			// The flush failing is unrecoverable state-wise; the
+			// data stays dirty and will be retried on next write.
+			_ = err
+		}
+	}
+}
+
+// Write stores one page-aligned write. data must be pages*PageSize bytes.
+func (n *LiveNode) Write(lpn int64, data []byte) error {
+	ps := n.dev.PageSize()
+	if len(data) == 0 || len(data)%ps != 0 {
+		return fmt.Errorf("cluster %s: write of %d bytes not page aligned", n.cfg.Name, len(data))
+	}
+	pages := len(data) / ps
+
+	n.mu.Lock()
+	n.stats.Writes++
+	n.winWrites++
+	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: true})
+	lpns := make([]int64, pages)
+	for i := 0; i < pages; i++ {
+		lpns[i] = lpn + int64(i)
+		pg := make([]byte, ps)
+		copy(pg, data[i*ps:(i+1)*ps])
+		n.dirtyData[lpns[i]] = pg
+	}
+	if err := n.applyFlushLocked(res.Flush); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	alive := n.peerAlive
+	n.mu.Unlock()
+
+	if alive && n.peer != nil {
+		_, err := n.peer.call(&Message{Type: MsgWriteFwd, LPNs: lpns, Data: data})
+		if err == nil {
+			n.mu.Lock()
+			n.stats.Forwards++
+			n.mu.Unlock()
+			return nil
+		}
+		n.mu.Lock()
+		n.stats.ForwardFailures++
+		n.peerAlive = false
+		n.stats.Failovers++
+		n.mu.Unlock()
+	}
+	// Degraded mode: no backup exists, write through synchronously.
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, p := range lpns {
+		if err := n.persistLocked(p); err != nil {
+			return err
+		}
+		n.buf.MarkClean(p)
+	}
+	return nil
+}
+
+// Read returns the payload of `pages` pages starting at lpn. Unwritten
+// pages read as zeros.
+func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
+	if pages <= 0 {
+		return nil, fmt.Errorf("cluster %s: empty read", n.cfg.Name)
+	}
+	ps := n.dev.PageSize()
+	out := make([]byte, pages*ps)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Reads++
+	n.winReads++
+	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: false})
+	for i := 0; i < pages; i++ {
+		p := lpn + int64(i)
+		src := n.dirtyData[p]
+		if src == nil {
+			src = n.store.get(p)
+		}
+		if src != nil {
+			copy(out[i*ps:], src)
+		}
+	}
+	if len(res.ReadMisses) > 0 {
+		if _, err := n.dev.Read(n.vnow(), res.ReadMisses[0], len(res.ReadMisses)); err != nil {
+			return nil, err
+		}
+	}
+	if err := n.applyFlushLocked(res.Flush); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// persistLocked makes one page durable in the store and the timing model.
+func (n *LiveNode) persistLocked(lpn int64) error {
+	data := n.dirtyData[lpn]
+	if data == nil {
+		return nil // clean or unknown: already durable
+	}
+	if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
+		return fmt.Errorf("cluster %s: persist lpn %d: %w", n.cfg.Name, lpn, err)
+	}
+	if err := n.store.put(lpn, data); err != nil {
+		return err
+	}
+	delete(n.dirtyData, lpn)
+	n.stats.Persists++
+	return nil
+}
+
+// applyFlushLocked persists eviction units and schedules backup discards.
+func (n *LiveNode) applyFlushLocked(units []buffer.FlushUnit) error {
+	var flushed []int64
+	for _, u := range units {
+		for _, p := range u.Pages {
+			if err := n.persistLocked(p); err != nil {
+				return err
+			}
+		}
+		flushed = append(flushed, u.Pages...)
+	}
+	if len(flushed) > 0 && n.peerAlive && n.peer != nil {
+		// Discard asynchronously: losing a discard only wastes remote
+		// memory, never correctness.
+		go func(lpns []int64) {
+			_, _ = n.peer.call(&Message{Type: MsgDiscard, LPNs: lpns})
+		}(flushed)
+	}
+	return nil
+}
+
+// FlushAll persists every dirty page (used at shutdown and on failover).
+func (n *LiveNode) FlushAll() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	units := n.buf.FlushAll()
+	for _, u := range units {
+		for _, p := range u.Pages {
+			if err := n.persistLocked(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RecoverFromPeer runs the local-failure recovery procedure after a
+// restart: fetch the partner's RCT contents, persist them, and tell the
+// partner to clean its remote buffer.
+func (n *LiveNode) RecoverFromPeer() error {
+	if n.peer == nil {
+		return errNoPeer
+	}
+	resp, err := n.peer.call(&Message{Type: MsgFetchRCT})
+	if err != nil {
+		return err
+	}
+	if resp.Type != MsgRCTData {
+		return fmt.Errorf("cluster: unexpected RCT response %v", resp.Type)
+	}
+	ps := n.dev.PageSize()
+	if len(resp.Data) != len(resp.LPNs)*ps {
+		return fmt.Errorf("%w: RCT payload size mismatch", ErrBadFrame)
+	}
+	n.mu.Lock()
+	for i, lpn := range resp.LPNs {
+		pg := make([]byte, ps)
+		copy(pg, resp.Data[i*ps:(i+1)*ps])
+		if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		if err := n.store.put(lpn, pg); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+		n.stats.Persists++
+	}
+	n.mu.Unlock()
+	_, err = n.peer.call(&Message{Type: MsgCleanRemote})
+	return err
+}
+
+// Close shuts the node down cleanly, flushing dirty data first.
+func (n *LiveNode) Close() error {
+	err := n.FlushAll()
+	n.shutdown()
+	n.wg.Wait()
+	if cerr := n.store.close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Crash simulates an abrupt failure: all networking stops and NOTHING is
+// flushed — volatile state is lost exactly as on a power cut. Used by
+// failure-injection tests and the failover example.
+func (n *LiveNode) Crash() {
+	n.shutdown()
+	n.wg.Wait()
+}
+
+// shutdown stops the listener, all accepted connections, and the peer
+// client; it is safe to call more than once.
+func (n *LiveNode) shutdown() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.ln.Close()
+		n.connsMu.Lock()
+		for c := range n.conns {
+			c.Close()
+		}
+		n.connsMu.Unlock()
+		if n.peer != nil {
+			n.peer.close()
+		}
+	})
+}
+
+// acceptLoop serves partner connections.
+func (n *LiveNode) acceptLoop() {
+	defer n.wg.Done()
+	for {
+		conn, err := n.ln.Accept()
+		if err != nil {
+			select {
+			case <-n.stop:
+				return
+			default:
+				continue
+			}
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.serveConn(conn)
+		}()
+	}
+}
+
+func (n *LiveNode) serveConn(conn net.Conn) {
+	n.connsMu.Lock()
+	n.conns[conn] = struct{}{}
+	n.connsMu.Unlock()
+	defer func() {
+		conn.Close()
+		n.connsMu.Lock()
+		delete(n.conns, conn)
+		n.connsMu.Unlock()
+	}()
+	for {
+		msg, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := n.handle(msg)
+		resp.Seq = msg.Seq
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one partner request.
+func (n *LiveNode) handle(m *Message) *Message {
+	switch m.Type {
+	case MsgHello:
+		return &Message{Type: MsgHelloAck}
+	case MsgHeartbeat:
+		return &Message{Type: MsgHeartbeatAck}
+	case MsgWriteFwd:
+		ps := n.dev.PageSize()
+		if len(m.Data) != len(m.LPNs)*ps {
+			return &Message{Type: MsgError, Err: "write-fwd payload size mismatch"}
+		}
+		n.mu.Lock()
+		n.remote.Insert(m.LPNs)
+		for i, lpn := range m.LPNs {
+			if n.remote.Contains(lpn) {
+				pg := make([]byte, ps)
+				copy(pg, m.Data[i*ps:(i+1)*ps])
+				n.remoteData[lpn] = pg
+			}
+		}
+		n.gcRemoteDataLocked()
+		n.mu.Unlock()
+		return &Message{Type: MsgWriteAck}
+	case MsgDiscard:
+		n.mu.Lock()
+		n.remote.Discard(m.LPNs)
+		for _, lpn := range m.LPNs {
+			delete(n.remoteData, lpn)
+		}
+		n.mu.Unlock()
+		return &Message{Type: MsgDiscardAck}
+	case MsgFetchRCT:
+		ps := n.dev.PageSize()
+		n.mu.Lock()
+		lpns := make([]int64, 0, n.remote.Len())
+		for lpn := range n.remoteData {
+			if n.remote.Contains(lpn) {
+				lpns = append(lpns, lpn)
+			}
+		}
+		sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
+		data := make([]byte, 0, len(lpns)*ps)
+		for _, lpn := range lpns {
+			data = append(data, n.remoteData[lpn]...)
+		}
+		n.mu.Unlock()
+		return &Message{Type: MsgRCTData, LPNs: lpns, Data: data}
+	case MsgCleanRemote:
+		n.mu.Lock()
+		n.remote.Drain()
+		n.remoteData = make(map[int64][]byte)
+		n.mu.Unlock()
+		return &Message{Type: MsgCleanAck}
+	case MsgWorkloadInfo:
+		n.mu.Lock()
+		info := n.localInfoLocked()
+		n.mu.Unlock()
+		return &Message{Type: MsgWorkloadInfoAck, Info: info}
+	default:
+		return &Message{Type: MsgError, Err: fmt.Sprintf("unhandled message %v", m.Type)}
+	}
+}
+
+// gcRemoteDataLocked drops payloads whose RCT entries were evicted by
+// remote-store overflow.
+func (n *LiveNode) gcRemoteDataLocked() {
+	if len(n.remoteData) <= n.remote.Len() {
+		return
+	}
+	for lpn := range n.remoteData {
+		if !n.remote.Contains(lpn) {
+			delete(n.remoteData, lpn)
+		}
+	}
+}
+
+// peerClient is a mutex-serialized RPC client over one TCP connection,
+// redialing on demand.
+type peerClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu   sync.Mutex
+	conn net.Conn
+	seq  uint64
+}
+
+func newPeerClient(addr string, timeout time.Duration) *peerClient {
+	return &peerClient{addr: addr, timeout: timeout}
+}
+
+func (p *peerClient) call(m *Message) (*Message, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn == nil {
+		conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+		if err != nil {
+			return nil, err
+		}
+		p.conn = conn
+	}
+	p.seq++
+	m.Seq = p.seq
+	deadline := time.Now().Add(p.timeout)
+	_ = p.conn.SetDeadline(deadline)
+	if err := WriteFrame(p.conn, m); err != nil {
+		p.conn.Close()
+		p.conn = nil
+		return nil, err
+	}
+	resp, err := ReadFrame(p.conn)
+	if err != nil {
+		p.conn.Close()
+		p.conn = nil
+		return nil, err
+	}
+	if resp.Seq != m.Seq {
+		p.conn.Close()
+		p.conn = nil
+		return nil, fmt.Errorf("cluster: response seq %d != request %d", resp.Seq, m.Seq)
+	}
+	if resp.Type == MsgError {
+		return nil, fmt.Errorf("cluster: peer error: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+func (p *peerClient) close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.conn != nil {
+		p.conn.Close()
+		p.conn = nil
+	}
+}

@@ -1,0 +1,200 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// pageStore is the durable medium behind a live node: what survives once a
+// page has been flushed from the cooperative buffer.
+type pageStore interface {
+	// get returns the stored payload for lpn, or nil when absent.
+	get(lpn int64) []byte
+	// put stores the payload (exactly one page).
+	put(lpn int64, data []byte) error
+	// remove deletes the page (TRIM).
+	remove(lpn int64) error
+	// pages reports how many pages are stored.
+	pages() int
+	close() error
+}
+
+// memStore is the default in-memory medium (contents die with the process,
+// like the simulator's SSD).
+type memStore struct {
+	m map[int64][]byte
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[int64][]byte)} }
+
+func (s *memStore) get(lpn int64) []byte { return s.m[lpn] }
+
+func (s *memStore) put(lpn int64, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.m[lpn] = cp
+	return nil
+}
+
+func (s *memStore) remove(lpn int64) error {
+	delete(s.m, lpn)
+	return nil
+}
+
+func (s *memStore) pages() int { return len(s.m) }
+
+func (s *memStore) close() error { return nil }
+
+// fileStore persists pages in a single slotted file so a restarted daemon
+// keeps its data. Layout: fixed-size records of [8-byte big-endian lpn |
+// page payload]; a record whose lpn field is -1 is a free slot. The index
+// is rebuilt by scanning the file at open.
+type fileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	index    map[int64]int64 // lpn -> slot number
+	free     []int64         // reusable slots
+	slots    int64           // total slots in the file
+	sync     bool            // fsync after every put
+}
+
+const fileStoreName = "pagestore.dat"
+
+// freeSlotMarker marks a deleted record.
+const freeSlotMarker = int64(-1)
+
+// newFileStore opens (creating if needed) the page store in dir.
+func newFileStore(dir string, pageSize int, syncWrites bool) (*fileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cluster: pagestore dir: %w", err)
+	}
+	path := filepath.Join(dir, fileStoreName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: pagestore: %w", err)
+	}
+	s := &fileStore{
+		f:        f,
+		pageSize: pageSize,
+		index:    make(map[int64]int64),
+		sync:     syncWrites,
+	}
+	if err := s.load(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return s, nil
+}
+
+func (s *fileStore) recordSize() int64 { return int64(8 + s.pageSize) }
+
+// load rebuilds the index from the slotted file.
+func (s *fileStore) load() error {
+	st, err := s.f.Stat()
+	if err != nil {
+		return err
+	}
+	rs := s.recordSize()
+	if st.Size()%rs != 0 {
+		return fmt.Errorf("cluster: pagestore size %d not a multiple of record size %d (page size mismatch?)",
+			st.Size(), rs)
+	}
+	s.slots = st.Size() / rs
+	var hdr [8]byte
+	for slot := int64(0); slot < s.slots; slot++ {
+		if _, err := s.f.ReadAt(hdr[:], slot*rs); err != nil {
+			return fmt.Errorf("cluster: pagestore load: %w", err)
+		}
+		lpn := int64(binary.BigEndian.Uint64(hdr[:]))
+		if lpn == freeSlotMarker {
+			s.free = append(s.free, slot)
+			continue
+		}
+		if lpn < 0 {
+			return fmt.Errorf("cluster: pagestore corrupt lpn %d at slot %d", lpn, slot)
+		}
+		s.index[lpn] = slot
+	}
+	return nil
+}
+
+func (s *fileStore) get(lpn int64) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.index[lpn]
+	if !ok {
+		return nil
+	}
+	buf := make([]byte, s.pageSize)
+	if _, err := s.f.ReadAt(buf, slot*s.recordSize()+8); err != nil {
+		return nil
+	}
+	return buf
+}
+
+func (s *fileStore) put(lpn int64, data []byte) error {
+	if len(data) != s.pageSize {
+		return fmt.Errorf("cluster: pagestore put of %d bytes, want %d", len(data), s.pageSize)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.index[lpn]
+	if !ok {
+		if n := len(s.free); n > 0 {
+			slot = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			slot = s.slots
+			s.slots++
+		}
+	}
+	rec := make([]byte, s.recordSize())
+	binary.BigEndian.PutUint64(rec[:8], uint64(lpn))
+	copy(rec[8:], data)
+	if _, err := s.f.WriteAt(rec, slot*s.recordSize()); err != nil {
+		return fmt.Errorf("cluster: pagestore write: %w", err)
+	}
+	s.index[lpn] = slot
+	if s.sync {
+		return s.f.Sync()
+	}
+	return nil
+}
+
+func (s *fileStore) remove(lpn int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	slot, ok := s.index[lpn]
+	if !ok {
+		return nil
+	}
+	var hdr [8]byte
+	binary.BigEndian.PutUint64(hdr[:], ^uint64(0)) // freeSlotMarker (-1)
+	if _, err := s.f.WriteAt(hdr[:], slot*s.recordSize()); err != nil {
+		return fmt.Errorf("cluster: pagestore remove: %w", err)
+	}
+	delete(s.index, lpn)
+	s.free = append(s.free, slot)
+	return nil
+}
+
+func (s *fileStore) pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.index)
+}
+
+func (s *fileStore) close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.f.Sync(); err != nil && err != io.EOF {
+		s.f.Close()
+		return err
+	}
+	return s.f.Close()
+}

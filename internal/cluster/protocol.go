@@ -1,0 +1,265 @@
+// Package cluster implements FlashCoop's cooperative-pair networking: a
+// compact binary wire protocol, a length-framed connection type, and a live
+// TCP storage node (LiveNode) that buffers writes, forwards backups to its
+// partner, persists evicted blocks, exchanges heartbeats and workload
+// information, and recovers dirty data from the partner after a crash.
+//
+// The simulation experiments (internal/experiments) use the deterministic
+// in-process model from internal/core; this package is the same protocol
+// running over real sockets, suitable for a two-machine deployment.
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// MsgType identifies a protocol message.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgHello MsgType = iota + 1
+	MsgHelloAck
+	MsgWriteFwd // forward write backup: LPNs + page data
+	MsgWriteAck
+	MsgDiscard // drop backups for flushed pages: LPNs
+	MsgDiscardAck
+	MsgHeartbeat
+	MsgHeartbeatAck
+	MsgFetchRCT // request all backups held for me
+	MsgRCTData  // response: LPNs + page data
+	MsgCleanRemote
+	MsgCleanAck
+	MsgWorkloadInfo // dynamic-allocation exchange
+	MsgWorkloadInfoAck
+	MsgError
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	names := map[MsgType]string{
+		MsgHello: "hello", MsgHelloAck: "hello-ack",
+		MsgWriteFwd: "write-fwd", MsgWriteAck: "write-ack",
+		MsgDiscard: "discard", MsgDiscardAck: "discard-ack",
+		MsgHeartbeat: "heartbeat", MsgHeartbeatAck: "heartbeat-ack",
+		MsgFetchRCT: "fetch-rct", MsgRCTData: "rct-data",
+		MsgCleanRemote: "clean-remote", MsgCleanAck: "clean-ack",
+		MsgWorkloadInfo: "workload-info", MsgWorkloadInfoAck: "workload-info-ack",
+		MsgError: "error",
+	}
+	if s, ok := names[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Info mirrors core.WorkloadInfo on the wire.
+type Info struct {
+	WriteFrac float64
+	Mem       float64
+	CPU       float64
+	Net       float64
+}
+
+// Message is one protocol frame.
+type Message struct {
+	Type MsgType
+	Seq  uint64
+	LPNs []int64
+	Data []byte
+	Info Info
+	Err  string
+}
+
+// MaxFrameBytes bounds a single frame (16 MiB of payload covers thousands
+// of 4KB pages per forward).
+const MaxFrameBytes = 16 << 20
+
+// Encoding errors.
+var (
+	ErrFrameTooLarge = errors.New("cluster: frame exceeds MaxFrameBytes")
+	ErrBadFrame      = errors.New("cluster: malformed frame")
+)
+
+// Marshal encodes the message body (without the outer length prefix).
+func (m *Message) Marshal() ([]byte, error) {
+	if len(m.Err) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: error string too long", ErrBadFrame)
+	}
+	size := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + len(m.Data) + 8*4 + 2 + len(m.Err)
+	if size > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, byte(m.Type))
+	buf = binary.BigEndian.AppendUint64(buf, m.Seq)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.LPNs)))
+	for _, lpn := range m.LPNs {
+		buf = binary.BigEndian.AppendUint64(buf, uint64(lpn))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data)))
+	buf = append(buf, m.Data...)
+	for _, f := range [4]float64{m.Info.WriteFrac, m.Info.Mem, m.Info.CPU, m.Info.Net} {
+		buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(f))
+	}
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Err)))
+	buf = append(buf, m.Err...)
+	return buf, nil
+}
+
+// Unmarshal decodes a message body produced by Marshal.
+func (m *Message) Unmarshal(buf []byte) error {
+	r := reader{buf: buf}
+	t, err := r.u8()
+	if err != nil {
+		return err
+	}
+	m.Type = MsgType(t)
+	if m.Seq, err = r.u64(); err != nil {
+		return err
+	}
+	nl, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nl)*8 > len(r.buf)-r.off {
+		return fmt.Errorf("%w: lpn count %d exceeds frame", ErrBadFrame, nl)
+	}
+	m.LPNs = make([]int64, nl)
+	for i := range m.LPNs {
+		v, err := r.u64()
+		if err != nil {
+			return err
+		}
+		m.LPNs[i] = int64(v)
+	}
+	nd, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if m.Data, err = r.bytes(int(nd)); err != nil {
+		return err
+	}
+	var fs [4]float64
+	for i := range fs {
+		v, err := r.u64()
+		if err != nil {
+			return err
+		}
+		fs[i] = math.Float64frombits(v)
+	}
+	m.Info = Info{WriteFrac: fs[0], Mem: fs[1], CPU: fs[2], Net: fs[3]}
+	ne, err := r.u16()
+	if err != nil {
+		return err
+	}
+	eb, err := r.bytes(int(ne))
+	if err != nil {
+		return err
+	}
+	m.Err = string(eb)
+	if r.off != len(r.buf) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(r.buf)-r.off)
+	}
+	return nil
+}
+
+type reader struct {
+	buf []byte
+	off int
+}
+
+func (r *reader) need(n int) error {
+	if r.off+n > len(r.buf) {
+		return fmt.Errorf("%w: truncated at offset %d", ErrBadFrame, r.off)
+	}
+	return nil
+}
+
+func (r *reader) u8() (uint8, error) {
+	if err := r.need(1); err != nil {
+		return 0, err
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v, nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	if err := r.need(2); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint16(r.buf[r.off:])
+	r.off += 2
+	return v, nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	if err := r.need(4); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if err := r.need(8); err != nil {
+		return 0, err
+	}
+	v := binary.BigEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, ErrBadFrame
+	}
+	if err := r.need(n); err != nil {
+		return nil, err
+	}
+	v := r.buf[r.off : r.off+n]
+	r.off += n
+	return v, nil
+}
+
+// WriteFrame writes a length-prefixed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	body, err := m.Marshal()
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(body)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameBytes {
+		return nil, ErrFrameTooLarge
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	var m Message
+	if err := m.Unmarshal(body); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}

@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"time"
+
+	"flashcoop/internal/core"
+)
+
+// localInfoLocked measures this node's workload window and resource usage
+// for the dynamic-allocation exchange. Callers hold n.mu.
+func (n *LiveNode) localInfoLocked() Info {
+	info := Info{}
+	if total := n.winReads + n.winWrites; total > 0 {
+		info.WriteFrac = float64(n.winWrites) / float64(total)
+	}
+	n.winReads, n.winWrites = 0, 0
+	if n.buf.Capacity() > 0 {
+		info.Mem = float64(n.buf.Len()) / float64(n.buf.Capacity())
+	}
+	info.CPU = n.dev.Utilization(n.vnow())
+	return info
+}
+
+// RebalanceOnce runs one dynamic-allocation round: exchange workload
+// information with the partner, evaluate Equation 1, and resize the local
+// buffer / remote store partition over the pooled memory. It returns the
+// effective θ.
+func (n *LiveNode) RebalanceOnce() (float64, error) {
+	if n.peer == nil {
+		return 0, errNoPeer
+	}
+	n.mu.Lock()
+	local := n.localInfoLocked()
+	n.mu.Unlock()
+
+	resp, err := n.peer.call(&Message{Type: MsgWorkloadInfo, Info: local})
+	if err != nil {
+		return 0, err
+	}
+	peerInfo := core.WorkloadInfo{
+		WriteFrac: resp.Info.WriteFrac,
+		Mem:       resp.Info.Mem,
+		CPU:       resp.Info.CPU,
+		Net:       resp.Info.Net,
+	}
+	localInfo := core.WorkloadInfo{
+		WriteFrac: local.WriteFrac,
+		Mem:       local.Mem,
+		CPU:       local.CPU,
+		Net:       local.Net,
+	}
+	theta := core.Theta(core.DefaultAllocParams(), localInfo, peerInfo)
+
+	n.mu.Lock()
+	total := n.cfg.BufferPages + n.cfg.RemotePages
+	remotePages := int(theta * float64(total))
+	localPages := total - remotePages
+	n.remote.Resize(remotePages)
+	n.gcRemoteDataLocked()
+	units := n.buf.Resize(localPages)
+	for _, u := range units {
+		for _, p := range u.Pages {
+			if err := n.persistLocked(p); err != nil {
+				n.mu.Unlock()
+				return theta, err
+			}
+		}
+	}
+	n.stats.Rebalances++
+	n.mu.Unlock()
+	return theta, nil
+}
+
+// StartRebalance launches a background loop that runs RebalanceOnce at the
+// given interval until the node closes. Failed rounds (e.g. partner down)
+// are skipped; the heartbeat path owns failure handling.
+func (n *LiveNode) StartRebalance(interval time.Duration) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-n.stop:
+				return
+			case <-t.C:
+				if n.PeerAlive() {
+					_, _ = n.RebalanceOnce()
+				}
+			}
+		}
+	}()
+}
+
+// Trim discards pages of a deleted short-lived file: buffered dirty copies
+// die without ever being persisted, the partner's backups are dropped, and
+// the SSD mapping is trimmed.
+func (n *LiveNode) Trim(lpn int64, pages int) error {
+	n.mu.Lock()
+	var dropped []int64
+	for i := 0; i < pages; i++ {
+		p := lpn + int64(i)
+		wasDirty := n.buf.IsDirty(p)
+		if n.buf.Invalidate(p) && wasDirty {
+			dropped = append(dropped, p)
+		}
+		delete(n.dirtyData, p)
+		if err := n.store.remove(p); err != nil {
+			n.mu.Unlock()
+			return err
+		}
+	}
+	if err := n.dev.Trim(lpn, pages); err != nil {
+		n.mu.Unlock()
+		return err
+	}
+	alive := n.peerAlive
+	n.mu.Unlock()
+	if len(dropped) > 0 && alive && n.peer != nil {
+		go func(lpns []int64) {
+			_, _ = n.peer.call(&Message{Type: MsgDiscard, LPNs: lpns})
+		}(dropped)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+	"flashcoop/internal/workload"
+)
+
+func benchNode(b *testing.B, policy string) *Node {
+	b.Helper()
+	cfg := testCfg("bench", policy)
+	cfg.BufferPages = 1024
+	cfg.RemotePages = 1024
+	peer := cfg
+	peer.Name = "peer"
+	n, _, err := NewPair(cfg, peer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return n
+}
+
+// BenchmarkNodeBufferedWrite measures the full cooperative write path:
+// buffer insert, forward, and any eviction flushing.
+func BenchmarkNodeBufferedWrite(b *testing.B) {
+	n := benchNode(b, "lar")
+	user := n.Device().UserPages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var at sim.VTime
+	for i := 0; i < b.N; i++ {
+		req := trace.Request{Arrival: at, Op: trace.Write, LPN: int64(i*7) % user, Pages: 1}
+		if _, err := n.Access(req); err != nil {
+			b.Fatal(err)
+		}
+		at += sim.Microsecond
+	}
+}
+
+// BenchmarkNodeReplayFin1 measures end-to-end replay throughput
+// (requests/second of simulated Fin1 traffic through a full node).
+func BenchmarkNodeReplayFin1(b *testing.B) {
+	prof := workload.Fin1(5000, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := benchNode(b, "lar")
+		p := prof
+		p.AddrPages = n.Device().UserPages() / 2
+		reqs, err := p.Generate()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Replay(n, reqs, ReplayOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,615 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/ftl"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/ssd"
+	"flashcoop/internal/trace"
+	"flashcoop/internal/workload"
+)
+
+func testSSD() ssd.Config {
+	return ssd.Config{
+		Scheme: "bast",
+		FTL: ftl.Config{
+			Flash:     flash.Small(256, 8),
+			OPRatio:   0.2,
+			LogBlocks: 8,
+		},
+	}
+}
+
+func testCfg(name, policy string) Config {
+	return Config{
+		Name:        name,
+		Policy:      policy,
+		BufferPages: 64,
+		RemotePages: 64,
+		SSD:         testSSD(),
+	}
+}
+
+func testPair(t *testing.T, policy string) (*Node, *Node) {
+	t.Helper()
+	a, b, err := NewPair(testCfg("a", policy), testCfg("b", policy))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func wr(at sim.VTime, lpn int64, pages int) trace.Request {
+	return trace.Request{Arrival: at, Op: trace.Write, LPN: lpn, Pages: pages}
+}
+
+func rd(at sim.VTime, lpn int64, pages int) trace.Request {
+	return trace.Request{Arrival: at, Op: trace.Read, LPN: lpn, Pages: pages}
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	if _, err := NewNode(testCfg("x", "nonsense")); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	cfg := testCfg("x", "lar")
+	cfg.SSD.Scheme = "nope"
+	if _, err := NewNode(cfg); err == nil {
+		t.Fatal("bad SSD scheme accepted")
+	}
+	for _, p := range []string{"lar", "lru", "lfu", "baseline"} {
+		if _, err := NewNode(testCfg("x", p)); err != nil {
+			t.Fatalf("policy %s: %v", p, err)
+		}
+	}
+}
+
+func TestBaselineSynchronousWrite(t *testing.T) {
+	n, err := NewNode(testCfg("base", PolicyBaseline))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, err := n.Access(wr(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A synchronous SSD write takes at least bus+program time.
+	if done < 300*sim.Microsecond {
+		t.Errorf("baseline write completed in %v, faster than the device", done)
+	}
+	if n.Stats().SyncWrites != 1 || n.Stats().BufferedWrites != 0 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestBufferedWriteAckedByNetwork(t *testing.T) {
+	a, b := testPair(t, "lar")
+	done, err := a.Access(wr(0, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Response is the network ack, far below a synchronous SSD write.
+	want := a.cfg.Net.AckTime(a.Device().PageSize())
+	if done != want {
+		t.Errorf("buffered write done at %v, want ack time %v", done, want)
+	}
+	if !b.Remote().Contains(10) {
+		t.Error("backup not stored in partner's remote buffer")
+	}
+	if a.Stats().BufferedWrites != 1 {
+		t.Errorf("stats = %+v", a.Stats())
+	}
+}
+
+func TestReadHitVsMiss(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	if _, err := a.Access(wr(0, 5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Hit: costs only the buffer-hit latency.
+	done, err := a.Access(rd(sim.Second, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done - sim.Second; got != a.cfg.BufferHitLatency {
+		t.Errorf("hit latency %v, want %v", got, a.cfg.BufferHitLatency)
+	}
+	// Miss: must touch the SSD.
+	done, err = a.Access(rd(2*sim.Second, 999, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done - 2*sim.Second; got <= a.cfg.BufferHitLatency {
+		t.Errorf("miss latency %v suspiciously low", got)
+	}
+	// Missed page was cached: reading it again hits.
+	done, err = a.Access(rd(3*sim.Second, 999, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done - 3*sim.Second; got != a.cfg.BufferHitLatency {
+		t.Errorf("second read latency %v, want hit", got)
+	}
+}
+
+func TestEvictionFlushesAndDiscardsBackups(t *testing.T) {
+	a, b := testPair(t, "lar")
+	// Fill beyond the 64-page buffer with writes of distinct blocks.
+	var at sim.VTime
+	for i := int64(0); i < 80; i++ {
+		if _, err := a.Access(wr(at, i*8, 1)); err != nil {
+			t.Fatal(err)
+		}
+		at += sim.Millisecond
+	}
+	if a.Stats().FlushOps == 0 {
+		t.Fatal("no eviction flushes despite overflow")
+	}
+	if a.Device().Stats().WriteOps == 0 {
+		t.Fatal("flushes never reached the SSD")
+	}
+	if b.Remote().Stats().Discards == 0 {
+		t.Fatal("no backups discarded after flush")
+	}
+	// Remote store never holds more than what is still dirty locally.
+	if b.Remote().Len() > a.Buffer().DirtyLen() {
+		t.Errorf("remote holds %d pages, local dirty is %d",
+			b.Remote().Len(), a.Buffer().DirtyLen())
+	}
+}
+
+func TestDegradedModeWriteThrough(t *testing.T) {
+	a, b := testPair(t, "lar")
+	b.Fail()
+	done, err := a.Access(wr(0, 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Failure was detected and the write went through synchronously.
+	if a.PeerAlive() {
+		t.Error("peer still considered alive")
+	}
+	if a.Stats().SyncWrites != 1 {
+		t.Errorf("stats = %+v", a.Stats())
+	}
+	if done < 300*sim.Microsecond {
+		t.Errorf("degraded write done at %v, too fast for sync write", done)
+	}
+	if a.Buffer().IsDirty(0) {
+		t.Error("write-through page left dirty")
+	}
+}
+
+func TestHeartbeatDeclaresFailure(t *testing.T) {
+	a, b := testPair(t, "lar")
+	// Buffer a dirty page first.
+	if _, err := a.Access(wr(0, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	b.Fail()
+	var at sim.VTime
+	for i := 0; i < a.cfg.FailureThreshold; i++ {
+		at += 100 * sim.Millisecond
+		if _, err := a.Heartbeat(at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.PeerAlive() {
+		t.Fatal("peer not declared dead after threshold misses")
+	}
+	if a.Stats().RemoteFailures != 1 {
+		t.Errorf("RemoteFailures = %d", a.Stats().RemoteFailures)
+	}
+	// The dirty page was flushed during the remote-failure procedure.
+	if a.Buffer().DirtyLen() != 0 {
+		t.Error("dirty pages not flushed on remote failure")
+	}
+	if a.Device().Stats().WriteOps == 0 {
+		t.Error("failure flush never reached the SSD")
+	}
+}
+
+func TestHeartbeatRecovery(t *testing.T) {
+	a, b := testPair(t, "lar")
+	b.Fail()
+	for i := 0; i < 5; i++ {
+		if _, err := a.Heartbeat(sim.VTime(i) * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.PeerAlive() {
+		t.Fatal("peer alive after failure")
+	}
+	if _, err := b.RecoverFromLocalFailure(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Heartbeat(11 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !a.PeerAlive() {
+		t.Fatal("peer not rediscovered after recovery")
+	}
+	// Cooperative buffering resumes.
+	if _, err := a.Access(wr(12*sim.Second, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().BufferedWrites != 1 {
+		t.Error("buffering did not resume")
+	}
+}
+
+func TestLocalFailureRecoveryWritesBackups(t *testing.T) {
+	a, b := testPair(t, "lar")
+	// a buffers dirty pages 0..9, backups live on b.
+	for i := int64(0); i < 10; i++ {
+		if _, err := a.Access(wr(sim.VTime(i)*sim.Millisecond, i, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if b.Remote().Len() != 10 {
+		t.Fatalf("backups = %d, want 10", b.Remote().Len())
+	}
+	// a crashes, losing its buffer.
+	a.Fail()
+	if _, err := a.Access(wr(0, 0, 1)); err != ErrNodeFailed {
+		t.Fatalf("access on failed node: %v", err)
+	}
+	writes0 := a.Device().Stats().WritePages
+	done, err := a.RecoverFromLocalFailure(sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done <= sim.Second {
+		t.Error("recovery consumed no time")
+	}
+	// The 10 dirty pages were recovered into a's SSD from b's backups.
+	if got := a.Device().Stats().WritePages - writes0; got != 10 {
+		t.Errorf("recovered %d pages, want 10", got)
+	}
+	if b.Remote().Len() != 0 {
+		t.Error("partner's remote buffer not cleaned after recovery")
+	}
+	if a.Stats().LocalRecoveries != 1 {
+		t.Errorf("LocalRecoveries = %d", a.Stats().LocalRecoveries)
+	}
+}
+
+func TestBothFailedRecovery(t *testing.T) {
+	a, b := testPair(t, "lar")
+	a.Fail()
+	b.Fail()
+	if _, err := a.RecoverFromLocalFailure(0); err != nil {
+		t.Fatal(err)
+	}
+	if a.PeerAlive() {
+		t.Error("peer should not be alive when both failed")
+	}
+}
+
+func TestRebalance(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	local := WorkloadInfo{Mem: 0.5, CPU: 0.2, Net: 0.1}
+	peerInfo := WorkloadInfo{WriteFrac: 0.91}
+	theta, err := a.Rebalance(0, local, peerInfo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.91 * (1 - (0.4*0.5 + 0.2*0.2 + 0.4*0.1))
+	if math.Abs(theta-want) > 1e-12 {
+		t.Errorf("theta = %v, want %v", theta, want)
+	}
+	_, remote := a.alloc.Split(theta)
+	if a.Remote().Capacity() != remote {
+		t.Errorf("remote capacity %d, want %d", a.Remote().Capacity(), remote)
+	}
+	if a.Buffer().Capacity() != a.alloc.TotalPages()-remote {
+		t.Errorf("local capacity %d", a.Buffer().Capacity())
+	}
+}
+
+func TestTheta(t *testing.T) {
+	p := DefaultAllocParams()
+	// Write-intensive remote, idle local server: large θ.
+	hi := Theta(p, WorkloadInfo{}, WorkloadInfo{WriteFrac: 0.91})
+	// Read-intensive remote: small θ.
+	lo := Theta(p, WorkloadInfo{}, WorkloadInfo{WriteFrac: 0.10})
+	if hi <= lo {
+		t.Errorf("theta(fin1)=%v <= theta(fin2)=%v", hi, lo)
+	}
+	// θ decreases with local load.
+	busy := Theta(p, WorkloadInfo{Mem: 1, CPU: 1, Net: 1}, WorkloadInfo{WriteFrac: 0.91})
+	if busy >= hi {
+		t.Errorf("theta under load %v not below idle %v", busy, hi)
+	}
+	// Clamping.
+	if Theta(p, WorkloadInfo{Mem: -5}, WorkloadInfo{WriteFrac: 5}) > 1 {
+		t.Error("theta not clamped")
+	}
+}
+
+func TestAllocatorWindow(t *testing.T) {
+	a := NewAllocator(DefaultAllocParams(), 100)
+	a.Observe(true)
+	a.Observe(true)
+	a.Observe(false)
+	info := a.WindowInfo(0.5, 0.5, 0.5)
+	if math.Abs(info.WriteFrac-2.0/3.0) > 1e-12 {
+		t.Errorf("WriteFrac = %v", info.WriteFrac)
+	}
+	// Window resets.
+	info = a.WindowInfo(0, 0, 0)
+	if info.WriteFrac != 0 {
+		t.Errorf("window not reset: %v", info.WriteFrac)
+	}
+	l, r := a.Split(0.25)
+	if l != 75 || r != 25 {
+		t.Errorf("Split = %d,%d", l, r)
+	}
+}
+
+func TestRemoteStore(t *testing.T) {
+	r := NewRemoteStore(3)
+	r.Insert([]int64{1, 2, 3})
+	if r.Len() != 3 || !r.Contains(2) {
+		t.Fatalf("len=%d", r.Len())
+	}
+	// Overflow drops the oldest.
+	r.Insert([]int64{4})
+	if r.Contains(1) || !r.Contains(4) {
+		t.Error("overflow did not drop oldest")
+	}
+	if r.Stats().Overflows != 1 {
+		t.Errorf("Overflows = %d", r.Stats().Overflows)
+	}
+	// Reinsert refreshes.
+	r.Insert([]int64{2})
+	r.Insert([]int64{5})
+	if r.Contains(3) || !r.Contains(2) {
+		t.Error("refresh did not protect page 2")
+	}
+	r.Discard([]int64{2, 99})
+	if r.Contains(2) || r.Stats().Discards != 1 {
+		t.Error("discard wrong")
+	}
+	got := r.Drain()
+	if len(got) != 2 || r.Len() != 0 {
+		t.Errorf("drain = %v", got)
+	}
+	// Resize shrink.
+	r2 := NewRemoteStore(5)
+	r2.Insert([]int64{1, 2, 3, 4})
+	r2.Resize(2)
+	if r2.Len() != 2 || r2.Contains(1) {
+		t.Error("resize did not evict oldest")
+	}
+	// Zero-capacity store drops everything.
+	r3 := NewRemoteStore(0)
+	r3.Insert([]int64{7})
+	if r3.Len() != 0 || r3.Stats().Overflows != 1 {
+		t.Error("zero-cap store kept a page")
+	}
+}
+
+func TestReplaySmoke(t *testing.T) {
+	for _, policy := range []string{"lar", "lru", "lfu", "baseline"} {
+		a, _ := testPair(t, policy)
+		prof := workload.Fin1(400, 9)
+		prof.AddrPages = a.Device().UserPages()
+		prof.PagesPerBlock = a.Device().PagesPerBlock()
+		reqs, err := prof.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Replay(a, reqs, ReplayOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+		if rs.Requests != 400 || rs.Resp.Count() != 400 {
+			t.Fatalf("%s: stats %+v", policy, rs)
+		}
+		if rs.Resp.Mean() <= 0 {
+			t.Errorf("%s: zero mean response", policy)
+		}
+		if policy != "baseline" && rs.HitRatio <= 0 {
+			t.Errorf("%s: zero hit ratio", policy)
+		}
+		if err := a.Device().FTL().CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", policy, err)
+		}
+	}
+}
+
+func TestReplayDrainAtEnd(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	reqs := []trace.Request{wr(0, 0, 2), wr(sim.Millisecond, 100, 2)}
+	rs, err := Replay(a, reqs, ReplayOptions{DrainAtEnd: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Buffer().DirtyLen() != 0 {
+		t.Error("dirty pages left after drain")
+	}
+	if rs.WriteLengths.Total() == 0 {
+		t.Error("drain writes not recorded")
+	}
+}
+
+func TestReplayTimeScale(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	reqs := []trace.Request{wr(0, 0, 1), wr(sim.Second, 8, 1)}
+	rs, err := Replay(a, reqs, ReplayOptions{TimeScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.EndTime >= sim.Second {
+		t.Errorf("time scale not applied: end %v", rs.EndTime)
+	}
+}
+
+func TestReplayWithRebalance(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	prof := workload.Fin1(200, 3)
+	prof.AddrPages = a.Device().UserPages()
+	prof.PagesPerBlock = a.Device().PagesPerBlock()
+	reqs, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Replay(a, reqs, ReplayOptions{RebalanceEvery: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Thetas) != 4 {
+		t.Fatalf("thetas = %v", rs.Thetas)
+	}
+	for _, th := range rs.Thetas {
+		if th < 0 || th > 1 {
+			t.Errorf("theta out of range: %v", th)
+		}
+	}
+}
+
+func TestNetworkModel(t *testing.T) {
+	m := Default10GbE()
+	ack := m.AckTime(4096)
+	if ack <= m.RTT {
+		t.Errorf("AckTime(4K) = %v, want > RTT", ack)
+	}
+	zero := NetworkModel{RTT: 10 * sim.Microsecond}
+	if zero.AckTime(1<<20) != 10*sim.Microsecond {
+		t.Error("zero-bandwidth model should cost RTT only")
+	}
+}
+
+func TestBufferedFasterThanBaseline(t *testing.T) {
+	prof := workload.Fin1(1500, 4)
+	run := func(policy string) float64 {
+		a, _ := testPair(t, policy)
+		p := prof
+		p.AddrPages = a.Device().UserPages()
+		p.PagesPerBlock = a.Device().PagesPerBlock()
+		reqs, err := p.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Replay(a, reqs, ReplayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rs.Resp.Mean()
+	}
+	lar := run("lar")
+	base := run("baseline")
+	if lar >= base {
+		t.Errorf("LAR mean %v ms not faster than baseline %v ms", lar, base)
+	}
+}
+
+// TestBackgroundGCReducesForegroundLatency compares a baseline node with
+// and without idle-period GC under bursty random writes: with background
+// collection, the foreground stream meets fewer on-demand collections.
+func TestBackgroundGCReducesForegroundLatency(t *testing.T) {
+	run := func(bg bool) float64 {
+		cfg := testCfg("n", PolicyBaseline)
+		cfg.SSD.Scheme = "page"
+		cfg.BackgroundGC = bg
+		peer := cfg
+		peer.Name = "p"
+		n, _, err := NewPair(cfg, peer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Device().Precondition(0.95); err != nil {
+			t.Fatal(err)
+		}
+		rng := sim.NewRand(3)
+		user := n.Device().UserPages()
+		var at sim.VTime
+		var sum float64
+		const reqs = 3000
+		for i := 0; i < reqs; i++ {
+			lpn := rng.Int63n(user)
+			done, err := n.Access(trace.Request{Arrival: at, Op: trace.Write, LPN: lpn, Pages: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += float64(done - at)
+			// Generous idle gaps between requests.
+			at += 20 * sim.Millisecond
+		}
+		return sum / reqs
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Errorf("background GC did not help: %.0fns vs %.0fns", with, without)
+	}
+}
+
+func TestReadAheadPrefetches(t *testing.T) {
+	cfg := testCfg("a", "lar")
+	cfg.ReadAhead = 4
+	peer := cfg
+	peer.Name = "b"
+	a, _, err := NewPair(cfg, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Device().Precondition(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Two back-to-back sequential reads: the second continues the run
+	// and triggers read-ahead of the following 4 pages.
+	if _, err := a.Access(rd(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Access(rd(sim.Millisecond, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().PrefetchedPages == 0 {
+		t.Fatal("no pages prefetched")
+	}
+	// Pages 4..7 are now buffered: reading them is a pure hit.
+	done, err := a.Access(rd(sim.Second, 4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := done - sim.Second; got != a.cfg.BufferHitLatency {
+		t.Errorf("prefetched read latency %v, want hit latency %v", got, a.cfg.BufferHitLatency)
+	}
+}
+
+func TestReadAheadDisabledByDefault(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	if _, err := a.Access(rd(0, 0, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Access(rd(sim.Millisecond, 2, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats().PrefetchedPages != 0 {
+		t.Fatal("prefetch ran with ReadAhead=0")
+	}
+}
+
+func TestReadAheadClampedAtEnd(t *testing.T) {
+	cfg := testCfg("a", "lar")
+	cfg.ReadAhead = 8
+	peer := cfg
+	peer.Name = "b"
+	a, _, err := NewPair(cfg, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	user := a.Device().UserPages()
+	if _, err := a.Access(rd(0, user-4, 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Continues the run right at the end of the device: the prefetch
+	// must clamp, not error.
+	if _, err := a.Access(rd(sim.Millisecond, user-2, 2)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,146 @@
+package core
+
+import "math"
+
+// Dynamic memory allocation (paper Section III.C, Equation 1): each server
+// sizes its remote buffer as a fraction θ of its pooled memory,
+//
+//	θ_i = a_j · (1 − b_i)
+//	a_j = λ_write_j / λ_j            (neighbour's write intensity)
+//	b_i = α·m_i + β·p_i + γ·n_i      (local resource usage)
+//
+// so more memory is lent to the neighbour when the neighbour is
+// write-intensive and the local server is lightly loaded.
+
+// WorkloadInfo is the per-server snapshot the cooperative pair exchanges
+// periodically to drive dynamic allocation.
+type WorkloadInfo struct {
+	// WriteFrac is λ_write/λ, the fraction of arriving requests that are
+	// writes.
+	WriteFrac float64
+	// Mem, CPU, Net are the local resource utilizations m, p, n in [0,1].
+	Mem, CPU, Net float64
+}
+
+// AllocParams are the adjustment factors α, β, γ of Equation 1.
+type AllocParams struct {
+	Alpha, Beta, Gamma float64
+}
+
+// DefaultAllocParams returns the factors used in the paper's Figure 9
+// evaluation (α=0.4, β=0.2, γ=0.4).
+func DefaultAllocParams() AllocParams { return AllocParams{Alpha: 0.4, Beta: 0.2, Gamma: 0.4} }
+
+// Theta evaluates Equation 1 for local usage `local` and the neighbour's
+// workload `peer`, clamped to [0,1].
+func Theta(p AllocParams, local WorkloadInfo, peer WorkloadInfo) float64 {
+	b := p.Alpha*clamp01(local.Mem) + p.Beta*clamp01(local.CPU) + p.Gamma*clamp01(local.Net)
+	theta := clamp01(peer.WriteFrac) * (1 - clamp01(b))
+	return clamp01(theta)
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+// Smoothing damps the θ sequence the allocator acts on. The paper leaves
+// "a cost effective way at a reasonable computation workload" as future
+// work; this implements the obvious candidate: an exponentially weighted
+// moving average plus a minimum-change threshold, so transient workload
+// blips neither thrash the buffer partition nor trigger needless resizes.
+type Smoothing struct {
+	// Alpha is the EWMA weight of the newest sample in (0,1]; 0 (or 1)
+	// disables averaging and uses raw θ.
+	Alpha float64
+	// MinDelta suppresses rebalances whose |θ−θ_applied| is below this
+	// threshold (e.g. 0.05 = ignore shifts under five points).
+	MinDelta float64
+}
+
+// Allocator tracks the sliding-window workload observation a node reports
+// to its peer and converts θ into buffer sizes.
+type Allocator struct {
+	params     AllocParams
+	totalPages int // pooled memory (local buffer + remote buffer), pages
+
+	windowReqs   int64
+	windowWrites int64
+
+	smoothing  Smoothing
+	ewma       float64
+	hasEWMA    bool
+	applied    float64
+	hasApplied bool
+}
+
+// NewAllocator builds an allocator over a memory pool of totalPages.
+func NewAllocator(params AllocParams, totalPages int) *Allocator {
+	if totalPages < 0 {
+		totalPages = 0
+	}
+	return &Allocator{params: params, totalPages: totalPages}
+}
+
+// Observe records one arriving request for the workload window.
+func (a *Allocator) Observe(write bool) {
+	a.windowReqs++
+	if write {
+		a.windowWrites++
+	}
+}
+
+// WindowInfo reports the write fraction observed since the last call and
+// resets the window. Resource utilizations are supplied by the caller
+// (measured by the node).
+func (a *Allocator) WindowInfo(mem, cpu, net float64) WorkloadInfo {
+	info := WorkloadInfo{Mem: clamp01(mem), CPU: clamp01(cpu), Net: clamp01(net)}
+	if a.windowReqs > 0 {
+		info.WriteFrac = float64(a.windowWrites) / float64(a.windowReqs)
+	}
+	a.windowReqs, a.windowWrites = 0, 0
+	return info
+}
+
+// SetSmoothing configures θ damping for subsequent Smooth calls.
+func (a *Allocator) SetSmoothing(s Smoothing) { a.smoothing = s }
+
+// Smooth feeds one raw θ sample through the damping pipeline and reports
+// the effective θ plus whether the partition should actually be resized.
+// With zero-valued Smoothing it returns (theta, true) unchanged.
+func (a *Allocator) Smooth(theta float64) (float64, bool) {
+	theta = clamp01(theta)
+	eff := theta
+	if a.smoothing.Alpha > 0 && a.smoothing.Alpha < 1 {
+		if a.hasEWMA {
+			eff = a.smoothing.Alpha*theta + (1-a.smoothing.Alpha)*a.ewma
+		}
+		a.ewma = eff
+		a.hasEWMA = true
+	}
+	if a.hasApplied && a.smoothing.MinDelta > 0 &&
+		math.Abs(eff-a.applied) < a.smoothing.MinDelta {
+		return a.applied, false
+	}
+	a.applied = eff
+	a.hasApplied = true
+	return eff, true
+}
+
+// Split converts θ into (localPages, remotePages) over the memory pool.
+func (a *Allocator) Split(theta float64) (localPages, remotePages int) {
+	remotePages = int(clamp01(theta) * float64(a.totalPages))
+	if remotePages > a.totalPages {
+		remotePages = a.totalPages
+	}
+	return a.totalPages - remotePages, remotePages
+}
+
+// TotalPages reports the size of the pooled memory.
+func (a *Allocator) TotalPages() int { return a.totalPages }

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"container/list"
+	"sort"
+)
+
+// RemoteStore is the Remote Caching Table (RCT) plus backing pages a server
+// keeps on behalf of its cooperative partner: a bounded set of the
+// partner's dirty pages, discarded when the partner flushes them and
+// drained wholesale during failure recovery.
+type RemoteStore struct {
+	capPages int
+	order    *list.List // front = oldest
+	pages    map[int64]*list.Element
+
+	stats RemoteStats
+}
+
+// RemoteStats counts remote-buffer activity.
+type RemoteStats struct {
+	Inserts   int64
+	Discards  int64
+	Overflows int64 // backups dropped because the remote buffer was full
+}
+
+// NewRemoteStore constructs a remote store holding at most capPages pages.
+func NewRemoteStore(capPages int) *RemoteStore {
+	if capPages < 0 {
+		capPages = 0
+	}
+	return &RemoteStore{
+		capPages: capPages,
+		order:    list.New(),
+		pages:    make(map[int64]*list.Element),
+	}
+}
+
+// Capacity reports the page capacity.
+func (r *RemoteStore) Capacity() int { return r.capPages }
+
+// Len reports the number of backed-up pages.
+func (r *RemoteStore) Len() int { return len(r.pages) }
+
+// Stats returns a snapshot of the counters.
+func (r *RemoteStore) Stats() RemoteStats { return r.stats }
+
+// Contains reports whether lpn is backed up here.
+func (r *RemoteStore) Contains(lpn int64) bool {
+	_, ok := r.pages[lpn]
+	return ok
+}
+
+// Insert backs up the given pages. A page already present is refreshed
+// (moved to the young end). When the store is full the oldest backups are
+// dropped and counted as overflows — the partner's data is then protected
+// only by its own buffer, as when a too-small θ is configured.
+func (r *RemoteStore) Insert(lpns []int64) {
+	for _, lpn := range lpns {
+		if e, ok := r.pages[lpn]; ok {
+			r.order.MoveToBack(e)
+			continue
+		}
+		r.stats.Inserts++
+		if r.capPages == 0 {
+			r.stats.Overflows++
+			continue
+		}
+		for len(r.pages) >= r.capPages {
+			oldest := r.order.Front()
+			old := oldest.Value.(int64)
+			r.order.Remove(oldest)
+			delete(r.pages, old)
+			r.stats.Overflows++
+		}
+		r.pages[lpn] = r.order.PushBack(lpn)
+	}
+}
+
+// Discard drops backups for pages the partner has flushed to its SSD.
+func (r *RemoteStore) Discard(lpns []int64) {
+	for _, lpn := range lpns {
+		if e, ok := r.pages[lpn]; ok {
+			r.order.Remove(e)
+			delete(r.pages, lpn)
+			r.stats.Discards++
+		}
+	}
+}
+
+// Drain removes and returns all backed-up pages in ascending order; used
+// when the partner recovers from a local failure and needs its dirty data.
+func (r *RemoteStore) Drain() []int64 {
+	out := make([]int64, 0, len(r.pages))
+	for lpn := range r.pages {
+		out = append(out, lpn)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	r.order.Init()
+	r.pages = make(map[int64]*list.Element)
+	return out
+}
+
+// Resize changes the capacity, dropping oldest backups on shrink.
+func (r *RemoteStore) Resize(capPages int) {
+	if capPages < 0 {
+		capPages = 0
+	}
+	r.capPages = capPages
+	for len(r.pages) > r.capPages {
+		oldest := r.order.Front()
+		old := oldest.Value.(int64)
+		r.order.Remove(oldest)
+		delete(r.pages, old)
+		r.stats.Overflows++
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+
+	"flashcoop/internal/metrics"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+)
+
+// ReplayOptions tune a trace replay.
+type ReplayOptions struct {
+	// DrainAtEnd flushes the buffer when the trace ends so that erase
+	// counts include all buffered dirty data. The paper measures during
+	// replay (short-lived data may die in the buffer), so the default
+	// is false.
+	DrainAtEnd bool
+	// TimeScale divides all interarrival gaps, intensifying the load
+	// (2.0 = twice the arrival rate). Zero or one keeps the trace's
+	// original timing.
+	TimeScale float64
+	// HeartbeatEvery injects a heartbeat probe every k requests
+	// (0 = none); used by failure-injection tests.
+	HeartbeatEvery int
+	// RebalanceEvery runs a dynamic-allocation round every k requests
+	// (0 = none). Peer workload info is measured from the peer node.
+	RebalanceEvery int
+}
+
+// ReplayStats is the outcome of replaying one trace on one node.
+type ReplayStats struct {
+	Requests int
+	// Resp summarizes per-request response times in milliseconds.
+	Resp      metrics.Summary
+	ReadResp  metrics.Summary
+	WriteResp metrics.Summary
+	// RespHist tracks the response-time distribution for tail-latency
+	// percentiles (milliseconds).
+	RespHist metrics.LatencyHist
+	// Erases is the number of block erases incurred during the replay.
+	Erases int64
+	// WriteLengths is the distribution of write sizes that reached the
+	// SSD during the replay.
+	WriteLengths metrics.Histogram
+	// HitRatio is the buffer's page hit ratio (0 for baseline nodes).
+	HitRatio float64
+	// EndTime is the virtual time at which the last request completed.
+	EndTime sim.VTime
+	// Thetas records θ from each rebalance round, in order.
+	Thetas []float64
+}
+
+// Replay drives a request stream through node n and collects the metrics
+// the paper's figures report. The node's device counters are snapshotted,
+// so Replay composes with preconditioning.
+func Replay(n *Node, reqs []trace.Request, opts ReplayOptions) (ReplayStats, error) {
+	var rs ReplayStats
+	erase0 := n.Device().Erases()
+	n.Device().ResetMeasurement()
+
+	scaled := reqs
+	if opts.TimeScale > 0 && opts.TimeScale != 1 {
+		scaled = make([]trace.Request, len(reqs))
+		copy(scaled, reqs)
+		for i := range scaled {
+			scaled[i].Arrival = sim.VTime(float64(scaled[i].Arrival) / opts.TimeScale)
+		}
+	}
+
+	var hit0, miss0 int64
+	if n.Buffer() != nil {
+		bs := n.Buffer().Stats()
+		hit0, miss0 = bs.HitPages, bs.MissPages
+	}
+
+	var end sim.VTime
+	for i, req := range scaled {
+		done, err := n.Access(req)
+		if err != nil {
+			return rs, fmt.Errorf("replay request %d: %w", i, err)
+		}
+		end = sim.Max(end, done)
+		resp := float64(done-req.Arrival) / float64(sim.Millisecond)
+		rs.Resp.Add(resp)
+		rs.RespHist.Add(resp)
+		if req.Op == trace.Write {
+			rs.WriteResp.Add(resp)
+		} else {
+			rs.ReadResp.Add(resp)
+		}
+		if opts.HeartbeatEvery > 0 && (i+1)%opts.HeartbeatEvery == 0 {
+			if fin, err := n.Heartbeat(req.Arrival); err == nil {
+				end = sim.Max(end, fin)
+			}
+		}
+		if opts.RebalanceEvery > 0 && (i+1)%opts.RebalanceEvery == 0 && n.peer != nil {
+			local := n.LocalInfo(req.Arrival)
+			peerInfo := n.peer.LocalInfo(req.Arrival)
+			theta, err := n.Rebalance(req.Arrival, local, peerInfo)
+			if err != nil {
+				return rs, fmt.Errorf("replay rebalance at %d: %w", i, err)
+			}
+			rs.Thetas = append(rs.Thetas, theta)
+		}
+	}
+
+	if opts.DrainAtEnd && n.Buffer() != nil {
+		units := n.Buffer().FlushAll()
+		if err := n.submitFlushes(end, units); err != nil {
+			return rs, fmt.Errorf("replay drain: %w", err)
+		}
+	}
+
+	rs.Requests = len(scaled)
+	rs.Erases = n.Device().Erases() - erase0
+	rs.WriteLengths.Merge(&n.Device().Stats().WriteLengths)
+	rs.EndTime = end
+	if n.Buffer() != nil {
+		bs := n.Buffer().Stats()
+		hits, misses := bs.HitPages-hit0, bs.MissPages-miss0
+		if hits+misses > 0 {
+			rs.HitRatio = float64(hits) / float64(hits+misses)
+		}
+	}
+	return rs, nil
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"flashcoop/internal/sim"
+)
+
+func TestTrimDropsBufferedDirtyData(t *testing.T) {
+	a, b := testPair(t, "lar")
+	// Write a short-lived "file" of 4 pages.
+	if _, err := a.Access(wr(0, 100, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Remote().Len() != 4 {
+		t.Fatalf("backups = %d", b.Remote().Len())
+	}
+	writes0 := a.Device().Stats().WriteOps
+
+	// The file is deleted before ever reaching the SSD.
+	if err := a.Trim(sim.Millisecond, 100, 4); err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if st.Trims != 1 || st.TrimDropped != 4 || st.TrimDirtyDropped != 4 {
+		t.Fatalf("trim stats = %+v", st)
+	}
+	if a.Buffer().Len() != 0 {
+		t.Error("pages still buffered after trim")
+	}
+	if b.Remote().Len() != 0 {
+		t.Error("backups not discarded after trim")
+	}
+	// Crucially: the SSD never saw a write.
+	if a.Device().Stats().WriteOps != writes0 {
+		t.Error("trimmed data was written to the SSD")
+	}
+}
+
+func TestTrimInvalidatesSSDMapping(t *testing.T) {
+	a, _ := testPair(t, "baseline")
+	// Baseline writes synchronously; trim must free the flash copy.
+	if _, err := a.Access(wr(0, 5, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Trim(sim.Millisecond, 5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Device().Stats().TrimPages; got != 2 {
+		t.Fatalf("device TrimPages = %d", got)
+	}
+	// A read of trimmed pages is a cheap zero-fill again.
+	done, err := a.Access(rd(sim.Second, 5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testSSD().FTL.Flash
+	if got := done - sim.Second; got != p.BusLatency {
+		t.Errorf("trimmed read latency = %v, want bus-only %v", got, p.BusLatency)
+	}
+	if err := a.Device().FTL().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrimValidation(t *testing.T) {
+	a, _ := testPair(t, "lar")
+	if err := a.Trim(0, 0, 0); err == nil {
+		t.Error("empty trim accepted")
+	}
+	if err := a.Trim(0, -5, 1); err == nil {
+		t.Error("negative lpn trim accepted")
+	}
+	a.Fail()
+	if err := a.Trim(0, 0, 1); err != ErrNodeFailed {
+		t.Errorf("trim on failed node: %v", err)
+	}
+}
+
+func TestTrimAcrossAllFTLs(t *testing.T) {
+	for _, scheme := range []string{"page", "bast", "fast", "dftl"} {
+		cfg := testCfg("a", "lar")
+		cfg.SSD.Scheme = scheme
+		peer := cfg
+		peer.Name = "b"
+		a, _, err := NewPair(cfg, peer)
+		if err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		// Write through to the device, then trim.
+		for i := int64(0); i < 32; i++ {
+			if _, err := a.Access(wr(sim.VTime(i), i, 1)); err != nil {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+		}
+		units := a.Buffer().FlushAll()
+		if err := a.submitFlushes(sim.Second, units); err != nil {
+			t.Fatalf("%s: %v", scheme, err)
+		}
+		if err := a.Trim(2*sim.Second, 0, 32); err != nil {
+			t.Fatalf("%s trim: %v", scheme, err)
+		}
+		if err := a.Device().FTL().CheckInvariants(); err != nil {
+			t.Fatalf("%s after trim: %v", scheme, err)
+		}
+		// Double trim is harmless.
+		if err := a.Trim(3*sim.Second, 0, 32); err != nil {
+			t.Fatalf("%s double trim: %v", scheme, err)
+		}
+	}
+}
+
+func TestSmoothingEWMA(t *testing.T) {
+	a := NewAllocator(DefaultAllocParams(), 100)
+	a.SetSmoothing(Smoothing{Alpha: 0.5})
+	// First sample passes through.
+	th, apply := a.Smooth(0.8)
+	if !apply || th != 0.8 {
+		t.Fatalf("first sample: %v %v", th, apply)
+	}
+	// Second sample is averaged: 0.5*0.0 + 0.5*0.8 = 0.4.
+	th, apply = a.Smooth(0)
+	if !apply || math.Abs(th-0.4) > 1e-12 {
+		t.Fatalf("EWMA: %v %v", th, apply)
+	}
+}
+
+func TestSmoothingMinDelta(t *testing.T) {
+	a := NewAllocator(DefaultAllocParams(), 100)
+	a.SetSmoothing(Smoothing{MinDelta: 0.1})
+	th, apply := a.Smooth(0.5)
+	if !apply || th != 0.5 {
+		t.Fatalf("first: %v %v", th, apply)
+	}
+	// Small change suppressed, applied value retained.
+	th, apply = a.Smooth(0.55)
+	if apply || th != 0.5 {
+		t.Fatalf("small delta: %v %v", th, apply)
+	}
+	// Large change applied.
+	th, apply = a.Smooth(0.9)
+	if !apply || th != 0.9 {
+		t.Fatalf("large delta: %v %v", th, apply)
+	}
+}
+
+func TestSmoothingDisabledPassesThrough(t *testing.T) {
+	a := NewAllocator(DefaultAllocParams(), 100)
+	for _, v := range []float64{0.1, 0.9, 0.2} {
+		th, apply := a.Smooth(v)
+		if !apply || th != v {
+			t.Fatalf("pass-through broken: %v %v", th, apply)
+		}
+	}
+}
+
+func TestRebalanceWithSmoothingSuppressesResizes(t *testing.T) {
+	cfg := testCfg("a", "lar")
+	cfg.AllocSmoothing = Smoothing{MinDelta: 0.2}
+	peer := cfg
+	peer.Name = "b"
+	a, _, err := NewPair(cfg, peer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerInfo := WorkloadInfo{WriteFrac: 0.9}
+	if _, err := a.Rebalance(0, WorkloadInfo{}, peerInfo); err != nil {
+		t.Fatal(err)
+	}
+	// A tiny workload shift must not trigger a second resize.
+	if _, err := a.Rebalance(sim.Second, WorkloadInfo{Mem: 0.05}, peerInfo); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Rebalances; got != 1 {
+		t.Fatalf("Rebalances = %d, want 1 (second suppressed)", got)
+	}
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flashcoop/internal/buffer"
+	"flashcoop/internal/core"
+	"flashcoop/internal/metrics"
+)
+
+// AblationVariant is one LAR design choice toggled off (DESIGN.md §5).
+type AblationVariant struct {
+	Name string
+	Opts buffer.LAROptions
+}
+
+// AblationVariants lists the paper-default LAR plus one variant per
+// design choice, each with exactly that choice disabled.
+func AblationVariants() []AblationVariant {
+	def := buffer.DefaultLAROptions()
+	mk := func(name string, mutate func(*buffer.LAROptions)) AblationVariant {
+		o := def
+		mutate(&o)
+		return AblationVariant{Name: name, Opts: o}
+	}
+	return []AblationVariant{
+		{Name: "paper-default", Opts: def},
+		mk("no-dirty-order", func(o *buffer.LAROptions) { o.DirtyOrder = false }),
+		mk("no-clean-flush", func(o *buffer.LAROptions) { o.FlushCleanWithVictim = false }),
+		mk("no-clustering", func(o *buffer.LAROptions) { o.ClusterSmallWrites = false }),
+		mk("write-only-buffer", func(o *buffer.LAROptions) { o.BufferReads = false }),
+		mk("per-page-popularity", func(o *buffer.LAROptions) { o.SeqAsOneAccess = false }),
+	}
+}
+
+// RunAblationCell replays Fin1 on BAST with the given LAR option set.
+func RunAblationCell(o Options, opts buffer.LAROptions) (core.ReplayStats, error) {
+	o = o.withDefaults()
+	cfg := core.Config{
+		Name:        "s1",
+		Policy:      buffer.PolicyLAR,
+		BufferPages: o.BufferPages,
+		RemotePages: o.BufferPages,
+		LAR:         &opts,
+		SSD:         ssdConfig("bast", o.SSDBlocks),
+	}
+	peerCfg := cfg
+	peerCfg.Name = "s2"
+	n, _, err := core.NewPair(cfg, peerCfg)
+	if err != nil {
+		return core.ReplayStats{}, err
+	}
+	reqs, err := requestsFor(o, "Fin1", n)
+	if err != nil {
+		return core.ReplayStats{}, err
+	}
+	if err := n.Device().Precondition(0.95); err != nil {
+		return core.ReplayStats{}, err
+	}
+	return core.Replay(n, reqs, core.ReplayOptions{})
+}
+
+// RunAblation prints the LAR design-choice ablation table: each variant's
+// response time, erases, hit ratio, and small-write fraction on Fin1/BAST.
+func RunAblation(o Options, w io.Writer) error {
+	t := metrics.Table{
+		Title:   "LAR ablations (Fin1, BAST): effect of each design choice",
+		Headers: []string{"Variant", "RespMs", "Erases", "HitRatio%", "1pageWrites%", ">4pageWrites%"},
+	}
+	for _, v := range AblationVariants() {
+		rs, err := RunAblationCell(o, v.Opts)
+		if err != nil {
+			return fmt.Errorf("ablation %s: %w", v.Name, err)
+		}
+		t.AddRow(v.Name, rs.Resp.Mean(), float64(rs.Erases), rs.HitRatio*100,
+			rs.WriteLengths.FracAtMost(1)*100,
+			rs.WriteLengths.FracGreater(4)*100)
+	}
+	return t.Render(w)
+}

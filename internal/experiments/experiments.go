@@ -1,0 +1,212 @@
+// Package experiments regenerates every table and figure of the FlashCoop
+// paper's evaluation (Section IV) on the built-in simulator. Each
+// experiment prints the same rows/series the paper reports; absolute
+// numbers differ (the substrate is a simulator and the traces are
+// synthetic, statistics-matched stand-ins for the SPC financial traces),
+// but the qualitative shape — who wins, by roughly what factor — is the
+// reproduction target. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"flashcoop/internal/core"
+	"flashcoop/internal/ssd"
+	"flashcoop/internal/trace"
+	"flashcoop/internal/workload"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/ftl"
+)
+
+// Options size an experiment run. The zero value selects full-size
+// defaults; Quick shrinks everything for tests.
+type Options struct {
+	// Requests per replay (default 60000; Quick: 3000).
+	Requests int
+	// BufferPages is the cooperative buffer size (default 4096).
+	BufferPages int
+	// SSDBlocks sizes the simulated SSD (default 2048 blocks = 512MB).
+	SSDBlocks int
+	// AddrPages is the workload's logical address space (default half
+	// the device's user pages).
+	AddrPages int64
+	// Seed drives all stochastic generation.
+	Seed int64
+	// Quick selects small parameters for unit tests.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Requests == 0 {
+		if o.Quick {
+			o.Requests = 3000
+		} else {
+			o.Requests = 100000
+		}
+	}
+	if o.BufferPages == 0 {
+		if o.Quick {
+			o.BufferPages = 512
+		} else {
+			o.BufferPages = 4096
+		}
+	}
+	if o.SSDBlocks == 0 {
+		if o.Quick {
+			o.SSDBlocks = 512
+		} else {
+			o.SSDBlocks = 2048
+		}
+	}
+	if o.Seed == 0 {
+		o.Seed = 42
+	}
+	return o
+}
+
+// The evaluation grid of the paper's Figures 6-8.
+var (
+	// Schemes are the FTL configurations (paper Section IV.A.3).
+	Schemes = []string{"bast", "fast", "page"}
+	// Workloads are the Table I traces.
+	Workloads = []string{"Fin1", "Fin2", "Mix"}
+	// Policies are the compared systems: FlashCoop with LAR/LRU/LFU,
+	// plus the bufferless Baseline.
+	Policies = []string{"lar", "lru", "lfu", "baseline"}
+)
+
+// ssdConfig builds a Table II-timed SSD with the requested FTL scheme.
+func ssdConfig(scheme string, blocks int) ssd.Config {
+	p := flash.TableII()
+	p.PlanesPerDie = 8
+	p.BlocksPerPlane = blocks / p.PlanesPerDie
+	if p.BlocksPerPlane < 1 {
+		p.BlocksPerPlane = 1
+	}
+	return ssd.Config{Scheme: scheme, FTL: ftl.Config{Flash: p}}
+}
+
+// newPair builds a cooperative pair whose first node runs the given
+// policy over the given FTL scheme.
+func newPair(o Options, scheme, policy string) (*core.Node, error) {
+	cfg := core.Config{
+		Name:        "s1",
+		Policy:      policy,
+		BufferPages: o.BufferPages,
+		RemotePages: o.BufferPages,
+		SSD:         ssdConfig(scheme, o.SSDBlocks),
+	}
+	peerCfg := cfg
+	peerCfg.Name = "s2"
+	a, _, err := core.NewPair(cfg, peerCfg)
+	return a, err
+}
+
+// requestsFor generates the named workload sized to the node's device.
+func requestsFor(o Options, name string, dev *core.Node) ([]trace.Request, error) {
+	prof, err := workload.ByName(name, o.Requests, o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	addr := o.AddrPages
+	if addr == 0 {
+		addr = dev.Device().UserPages() / 2
+	}
+	if addr > dev.Device().UserPages() {
+		addr = dev.Device().UserPages()
+	}
+	prof.AddrPages = addr
+	prof.PagesPerBlock = dev.Device().PagesPerBlock()
+	return prof.Generate()
+}
+
+// RunCell replays one (scheme, workload, policy) grid cell on a
+// preconditioned device and returns the replay statistics.
+func RunCell(o Options, scheme, wl, policy string) (core.ReplayStats, error) {
+	o = o.withDefaults()
+	n, err := newPair(o, scheme, policy)
+	if err != nil {
+		return core.ReplayStats{}, err
+	}
+	reqs, err := requestsFor(o, wl, n)
+	if err != nil {
+		return core.ReplayStats{}, err
+	}
+	// Age the device: the paper evaluates steady-state SSD behaviour.
+	if err := n.Device().Precondition(0.95); err != nil {
+		return core.ReplayStats{}, err
+	}
+	return core.Replay(n, reqs, core.ReplayOptions{})
+}
+
+// Grid lazily computes and caches the full Figures 6-8 evaluation grid.
+type Grid struct {
+	opts  Options
+	cells map[string]core.ReplayStats
+}
+
+// NewGrid prepares a grid evaluator with the given options.
+func NewGrid(o Options) *Grid {
+	return &Grid{opts: o.withDefaults(), cells: make(map[string]core.ReplayStats)}
+}
+
+// Cell returns the replay stats for one grid cell, computing it on first
+// use.
+func (g *Grid) Cell(scheme, wl, policy string) (core.ReplayStats, error) {
+	key := scheme + "|" + wl + "|" + policy
+	if rs, ok := g.cells[key]; ok {
+		return rs, nil
+	}
+	rs, err := RunCell(g.opts, scheme, wl, policy)
+	if err != nil {
+		return rs, fmt.Errorf("cell %s: %w", key, err)
+	}
+	g.cells[key] = rs
+	return rs, nil
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(o Options, w io.Writer) error
+}
+
+// All lists every experiment in paper order.
+func All() []Experiment {
+	return []Experiment{
+		{ID: "fig1", Title: "Figure 1: SSD write bandwidth vs request size", Run: RunFig1},
+		{ID: "table1", Title: "Table I: workload specification", Run: RunTable1},
+		{ID: "table2", Title: "Table II: SSD configuration", Run: RunTable2},
+		{ID: "table3", Title: "Table III: cache hit ratio vs buffer size", Run: RunTable3},
+		{ID: "fig6", Title: "Figure 6: average response time", Run: RunFig6},
+		{ID: "fig7", Title: "Figure 7: garbage collection overhead (erases)", Run: RunFig7},
+		{ID: "fig8", Title: "Figure 8: write length distribution (CDF)", Run: RunFig8},
+		{ID: "fig9", Title: "Figure 9: dynamic memory allocation (θ)", Run: RunFig9},
+		{ID: "headline", Title: "Headline: overall improvement vs Baseline", Run: RunHeadline},
+		{ID: "ablation", Title: "Ablations: LAR design choices", Run: RunAblation},
+		{ID: "extension", Title: "Extensions: BPLRU/FAB/LB-CLOCK policies, DFTL, short-lived files", Run: RunExtension},
+		{ID: "smoothing", Title: "Extensions: dynamic-allocation smoothing", Run: RunSmoothingStudy},
+		{ID: "recovery", Title: "Extensions: recovery time vs remote buffer size", Run: RunRecoveryStudy},
+		{ID: "wear", Title: "Extensions: flash wear / lifetime", Run: RunWearStudy},
+		{ID: "bggc", Title: "Extensions: on-demand vs idle-period GC", Run: RunBGGCStudy},
+	}
+}
+
+// ByID finds an experiment by identifier.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	ids := make([]string, 0, len(All()))
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Experiment{}, fmt.Errorf("experiments: unknown id %q (have %v)", id, ids)
+}

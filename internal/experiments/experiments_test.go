@@ -1,0 +1,317 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options { return Options{Quick: true} }
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(quickOpts(), &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("fig6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+func TestFig1Shape(t *testing.T) {
+	rows, err := RunFig1Data(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig1Sizes) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's core premise: sequential writes are far faster
+		// than random writes at every request size.
+		if r.Sequential <= r.Random {
+			t.Errorf("size %d: seq %.3f <= rnd %.3f", r.ReqBytes, r.Sequential, r.Random)
+		}
+		if r.Sequential <= 0 || r.Random <= 0 || r.Mixed <= 0 {
+			t.Errorf("size %d: non-positive bandwidth %+v", r.ReqBytes, r)
+		}
+	}
+	// Bandwidth grows with request size for sequential writes.
+	if rows[len(rows)-1].Sequential <= rows[0].Sequential {
+		t.Error("sequential bandwidth did not grow with request size")
+	}
+}
+
+func TestGridShapeLARBeatsBaseline(t *testing.T) {
+	g := NewGrid(quickOpts())
+	for _, scheme := range []string{"bast", "fast"} {
+		lar, err := g.Cell(scheme, "Fin1", "lar")
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := g.Cell(scheme, "Fin1", "baseline")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lar.Resp.Mean() >= base.Resp.Mean() {
+			t.Errorf("%s: LAR %.3fms not faster than baseline %.3fms",
+				scheme, lar.Resp.Mean(), base.Resp.Mean())
+		}
+		if lar.Erases >= base.Erases {
+			t.Errorf("%s: LAR %d erases not fewer than baseline %d",
+				scheme, lar.Erases, base.Erases)
+		}
+		// LAR's write stream must be more sequential than LRU's.
+		lru, err := g.Cell(scheme, "Fin1", "lru")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lar.WriteLengths.FracAtMost(1) >= lru.WriteLengths.FracAtMost(1) {
+			t.Errorf("%s: LAR 1-page fraction %.2f not below LRU %.2f",
+				scheme, lar.WriteLengths.FracAtMost(1), lru.WriteLengths.FracAtMost(1))
+		}
+	}
+}
+
+func TestGridCellCached(t *testing.T) {
+	g := NewGrid(quickOpts())
+	a, err := g.Cell("bast", "Fin2", "lar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Cell("bast", "Fin2", "lar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resp.Mean() != b.Resp.Mean() || a.Erases != b.Erases {
+		t.Fatal("cached cell differs from original")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	rows, err := RunTable3Data(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for pol, h := range r.HitRatio {
+			if h <= 0 || h >= 1 {
+				t.Errorf("buffer %d %s: hit ratio %v out of range", r.BufferPages, pol, h)
+			}
+		}
+	}
+	// Hit ratio grows with buffer size for every policy.
+	for _, pol := range []string{"lar", "lru", "lfu"} {
+		if rows[len(rows)-1].HitRatio[pol] <= rows[0].HitRatio[pol] {
+			t.Errorf("%s: hit ratio did not grow with buffer size", pol)
+		}
+	}
+}
+
+func TestFig9Shape(t *testing.T) {
+	rows := RunFig9Data(quickOpts())
+	if len(rows) != len(Fig9Rates) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for i, r := range rows {
+		// Write-intensive remote workload earns more remote buffer.
+		if r.ThetaFin1 <= r.ThetaFin2 {
+			t.Errorf("rate %.1f: θ(Fin1)=%.1f <= θ(Fin2)=%.1f", r.Rate, r.ThetaFin1, r.ThetaFin2)
+		}
+		// θ decreases as the local server gets busier.
+		if i > 0 && r.ThetaFin1 >= rows[i-1].ThetaFin1 {
+			t.Errorf("θ(Fin1) not decreasing at rate %.1f", r.Rate)
+		}
+	}
+}
+
+func TestMeasuredThetaRespondsToWorkload(t *testing.T) {
+	fin1, err := MeasuredTheta(quickOpts(), "Fin1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin2, err := MeasuredTheta(quickOpts(), "Fin2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin1 <= fin2 {
+		t.Errorf("measured θ: Fin1 remote %.3f not above Fin2 remote %.3f", fin1, fin2)
+	}
+}
+
+func TestAblationVariants(t *testing.T) {
+	vs := AblationVariants()
+	if len(vs) != 6 {
+		t.Fatalf("variants = %d, want 6", len(vs))
+	}
+	names := map[string]bool{}
+	for _, v := range vs {
+		if names[v.Name] {
+			t.Errorf("duplicate variant %q", v.Name)
+		}
+		names[v.Name] = true
+	}
+	// The no-clustering variant must actually produce small writes.
+	var noCluster, def AblationVariant
+	for _, v := range vs {
+		switch v.Name {
+		case "no-clustering":
+			noCluster = v
+		case "paper-default":
+			def = v
+		}
+	}
+	rsNC, err := RunAblationCell(quickOpts(), noCluster.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rsDef, err := RunAblationCell(quickOpts(), def.Opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsNC.WriteLengths.FracAtMost(1) <= rsDef.WriteLengths.FracAtMost(1) {
+		t.Errorf("no-clustering 1-page fraction %.2f not above default %.2f",
+			rsNC.WriteLengths.FracAtMost(1), rsDef.WriteLengths.FracAtMost(1))
+	}
+}
+
+func TestRunTable1MatchesTargets(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable1(quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, wl := range Workloads {
+		if !strings.Contains(out, wl) {
+			t.Errorf("Table I output missing %s:\n%s", wl, out)
+		}
+	}
+}
+
+func TestRunTable2Constants(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RunTable2(quickOpts(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"25µs", "200µs", "1.5ms", "100µs", "4 GB", "256 KB", "100 K"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Table II missing %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestRecoveryStudyShape(t *testing.T) {
+	points, err := RunRecoveryStudyData(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		// More backed-up data must take longer to recover.
+		if points[i].RecoveryTime <= points[i-1].RecoveryTime {
+			t.Errorf("recovery time not increasing: %v -> %v",
+				points[i-1].RecoveryTime, points[i].RecoveryTime)
+		}
+		if points[i].BackedPages <= points[i-1].BackedPages {
+			t.Errorf("backed pages not increasing")
+		}
+	}
+}
+
+func TestWearStudyShape(t *testing.T) {
+	points, err := RunWearStudyData(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := make(map[string]WearPoint)
+	for _, p := range points {
+		byPolicy[p.Policy] = p
+	}
+	lar, base := byPolicy["lar"], byPolicy["baseline"]
+	// The lifetime claim: LAR wears the flash less than the baseline.
+	if lar.MeanErase >= base.MeanErase {
+		t.Errorf("LAR mean erase %.1f not below baseline %.1f", lar.MeanErase, base.MeanErase)
+	}
+	if lar.MaxErase >= base.MaxErase {
+		t.Errorf("LAR max erase %d not below baseline %d", lar.MaxErase, base.MaxErase)
+	}
+}
+
+func TestBGGCStudyShape(t *testing.T) {
+	points, err := RunBGGCStudyData(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		if p.Policy != "baseline" {
+			continue
+		}
+		// Idle-period GC must not make the baseline slower.
+		if p.RespIdleGC > p.RespOnDemand {
+			t.Errorf("idle GC made baseline slower: %.3f -> %.3f", p.RespOnDemand, p.RespIdleGC)
+		}
+	}
+}
+
+func TestTrimStudyShape(t *testing.T) {
+	none, err := RunTrimStudyData(quickOpts(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := RunTrimStudyData(quickOpts(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.SSDWritePages >= none.SSDWritePages {
+		t.Errorf("trimming did not reduce SSD writes: %d vs %d",
+			half.SSDWritePages, none.SSDWritePages)
+	}
+	if half.TrimDirtyDropped == 0 {
+		t.Error("no dirty pages died in the buffer")
+	}
+}
+
+// TestRunCellDeterministic guards the whole stack against nondeterminism
+// (map-iteration order leaking into simulation results): identical options
+// must produce bit-identical headline metrics.
+func TestRunCellDeterministic(t *testing.T) {
+	a, err := RunCell(quickOpts(), "bast", "Fin1", "lar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunCell(quickOpts(), "bast", "Fin1", "lar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Resp.Mean() != b.Resp.Mean() {
+		t.Errorf("response means differ: %v vs %v", a.Resp.Mean(), b.Resp.Mean())
+	}
+	if a.Erases != b.Erases {
+		t.Errorf("erase counts differ: %d vs %d", a.Erases, b.Erases)
+	}
+	if a.HitRatio != b.HitRatio {
+		t.Errorf("hit ratios differ: %v vs %v", a.HitRatio, b.HitRatio)
+	}
+	if a.WriteLengths.Total() != b.WriteLengths.Total() {
+		t.Errorf("write counts differ: %d vs %d", a.WriteLengths.Total(), b.WriteLengths.Total())
+	}
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flashcoop/internal/core"
+	"flashcoop/internal/metrics"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+	"flashcoop/internal/workload"
+)
+
+// ExtensionPolicies is the widened policy set: the paper's three plus the
+// related-work buffer schemes implemented as extensions.
+var ExtensionPolicies = []string{"lar", "bplru", "fab", "lbclock", "lru", "lfu", "baseline"}
+
+// RunExtension prints two beyond-the-paper studies: (1) the widened policy
+// comparison (BPLRU and FAB next to LAR) on Fin1, and (2) the DFTL
+// demand-paged FTL as a fourth SSD configuration.
+func RunExtension(o Options, w io.Writer) error {
+	o = o.withDefaults()
+
+	t := metrics.Table{
+		Title:   "Extension A: widened policy comparison (Fin1, BAST)",
+		Headers: []string{"Policy", "RespMs", "P99Ms", "Erases", "HitRatio%", "1pageWrites%", ">4pageWrites%"},
+	}
+	for _, policy := range ExtensionPolicies {
+		rs, err := RunCell(o, "bast", "Fin1", policy)
+		if err != nil {
+			return fmt.Errorf("extension policy %s: %w", policy, err)
+		}
+		t.AddRow(policy, rs.Resp.Mean(), rs.RespHist.P99(), float64(rs.Erases), rs.HitRatio*100,
+			rs.WriteLengths.FracAtMost(1)*100, rs.WriteLengths.FracGreater(4)*100)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	t2 := metrics.Table{
+		Title:   "Extension B: DFTL and Superblock as the SSD's FTL (Fin1)",
+		Headers: []string{"FTL", "FlashCoop+LAR ms", "Baseline ms", "LAR erases", "Baseline erases"},
+	}
+	for _, scheme := range []string{"dftl", "superblock"} {
+		lar, err := RunCell(o, scheme, "Fin1", "lar")
+		if err != nil {
+			return fmt.Errorf("extension %s: %w", scheme, err)
+		}
+		base, err := RunCell(o, scheme, "Fin1", "baseline")
+		if err != nil {
+			return fmt.Errorf("extension %s: %w", scheme, err)
+		}
+		t2.AddRow(scheme, lar.Resp.Mean(), base.Resp.Mean(),
+			float64(lar.Erases), float64(base.Erases))
+	}
+	if err := t2.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+
+	return runTrimStudy(o, w)
+}
+
+// TrimStudy quantifies the paper's short-lived-file claim: a fraction of
+// written data is deleted (trimmed) shortly after being written, and dirty
+// pages that die in the buffer never cost an SSD write.
+type TrimStudyResult struct {
+	TrimFrac         float64
+	SSDWritePages    int64
+	Erases           int64
+	TrimDirtyDropped int64
+}
+
+// RunTrimStudyData replays Fin1 with a given fraction of write bursts
+// deleted after a short delay, for FlashCoop+LAR.
+func RunTrimStudyData(o Options, trimFrac float64) (TrimStudyResult, error) {
+	o = o.withDefaults()
+	n, err := newPair(o, "bast", "lar")
+	if err != nil {
+		return TrimStudyResult{}, err
+	}
+	reqs, err := requestsFor(o, "Fin1", n)
+	if err != nil {
+		return TrimStudyResult{}, err
+	}
+	if err := n.Device().Precondition(0.95); err != nil {
+		return TrimStudyResult{}, err
+	}
+	erase0 := n.Device().Erases()
+	n.Device().ResetMeasurement()
+
+	rng := sim.NewRand(o.Seed + 1000)
+	// A sliding window of recent writes; each entry may be trimmed when
+	// it ages out of the window (short-lived files).
+	type pending struct {
+		lpn   int64
+		pages int
+	}
+	var window []pending
+	const windowLen = 64
+	for _, req := range reqs {
+		if _, err := n.Access(req); err != nil {
+			return TrimStudyResult{}, err
+		}
+		if req.Op != trace.Write {
+			continue
+		}
+		window = append(window, pending{lpn: req.LPN, pages: req.Pages})
+		if len(window) > windowLen {
+			old := window[0]
+			window = window[1:]
+			if rng.Float64() < trimFrac {
+				if err := n.Trim(req.Arrival, old.lpn, old.pages); err != nil {
+					return TrimStudyResult{}, err
+				}
+			}
+		}
+	}
+	st := n.Stats()
+	return TrimStudyResult{
+		TrimFrac:         trimFrac,
+		SSDWritePages:    n.Device().Stats().WritePages,
+		Erases:           n.Device().Erases() - erase0,
+		TrimDirtyDropped: st.TrimDirtyDropped,
+	}, nil
+}
+
+func runTrimStudy(o Options, w io.Writer) error {
+	t := metrics.Table{
+		Title:   "Extension C: short-lived files (TRIM) — writes the SSD never absorbs (Fin1, LAR)",
+		Headers: []string{"TrimFrac", "SSDWritePages", "Erases", "DirtyDiedInBuffer"},
+	}
+	for _, frac := range []float64{0, 0.25, 0.5} {
+		r, err := RunTrimStudyData(o, frac)
+		if err != nil {
+			return fmt.Errorf("trim study %.2f: %w", frac, err)
+		}
+		t.AddRow(r.TrimFrac, float64(r.SSDWritePages), float64(r.Erases), float64(r.TrimDirtyDropped))
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w, "\nMore deletion => fewer SSD writes and erases: buffered short-lived data dies in RAM\n(paper Section III.A's delayed-write benefit).")
+	return err
+}
+
+// RunSmoothingStudy compares dynamic allocation with and without θ
+// smoothing (the paper's future-work question): how many resizes occur and
+// how stable θ is across a drifting dual replay.
+func RunSmoothingStudy(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	t := metrics.Table{
+		Title:   "Extension D: dynamic-allocation smoothing (EWMA + min-delta)",
+		Headers: []string{"Config", "Rebalances", "MeanTheta"},
+	}
+	for _, s := range []struct {
+		name   string
+		smooth core.Smoothing
+	}{
+		{"raw (paper)", core.Smoothing{}},
+		{"ewma-0.3", core.Smoothing{Alpha: 0.3}},
+		{"ewma-0.3+delta-0.05", core.Smoothing{Alpha: 0.3, MinDelta: 0.05}},
+	} {
+		rebal, mean, err := smoothingRun(o, s.smooth)
+		if err != nil {
+			return fmt.Errorf("smoothing %s: %w", s.name, err)
+		}
+		t.AddRow(s.name, float64(rebal), mean)
+	}
+	return t.Render(w)
+}
+
+func smoothingRun(o Options, s core.Smoothing) (int64, float64, error) {
+	cfg := core.Config{
+		Name:           "s1",
+		Policy:         "lar",
+		BufferPages:    o.BufferPages,
+		RemotePages:    o.BufferPages,
+		SSD:            ssdConfig("bast", o.SSDBlocks),
+		AllocSmoothing: s,
+	}
+	peerCfg := cfg
+	peerCfg.Name = "s2"
+	local, _, err := core.NewPair(cfg, peerCfg)
+	if err != nil {
+		return 0, 0, err
+	}
+	remote := local.Peer()
+	localProf, err := workload.ByName("Fin2", o.Requests/4, o.Seed)
+	if err != nil {
+		return 0, 0, err
+	}
+	localProf.AddrPages = local.Device().UserPages() / 2
+	localReqs, err := localProf.Generate()
+	if err != nil {
+		return 0, 0, err
+	}
+	remoteProf, err := workload.ByName("Fin1", o.Requests/4, o.Seed+5)
+	if err != nil {
+		return 0, 0, err
+	}
+	remoteProf.AddrPages = remote.Device().UserPages() / 2
+	remoteReqs, err := remoteProf.Generate()
+	if err != nil {
+		return 0, 0, err
+	}
+	n := len(localReqs)
+	if len(remoteReqs) < n {
+		n = len(remoteReqs)
+	}
+	every := n / 16
+	if every == 0 {
+		every = 1
+	}
+	var sum float64
+	var count int
+	for i := 0; i < n; i++ {
+		if _, err := local.Access(localReqs[i]); err != nil {
+			return 0, 0, err
+		}
+		if _, err := remote.Access(remoteReqs[i]); err != nil {
+			return 0, 0, err
+		}
+		if (i+1)%every == 0 {
+			at := localReqs[i].Arrival
+			theta, err := local.Rebalance(at, local.LocalInfo(at), remote.LocalInfo(at))
+			if err != nil {
+				return 0, 0, err
+			}
+			sum += theta
+			count++
+		}
+	}
+	mean := 0.0
+	if count > 0 {
+		mean = sum / float64(count)
+	}
+	return local.Stats().Rebalances, mean, nil
+}

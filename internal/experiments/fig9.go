@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flashcoop/internal/core"
+	"flashcoop/internal/metrics"
+)
+
+// Fig9Rates are the local access arrival rates swept in the paper's
+// Figure 9 (arbitrary load units, 0.1–0.5).
+var Fig9Rates = []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+
+// Fig9Row is one x-position of Figure 9: θ (%) when the remote server
+// runs Fin1 vs Fin2.
+type Fig9Row struct {
+	Rate      float64
+	ThetaFin1 float64
+	ThetaFin2 float64
+}
+
+// localUsage maps the paper's abstract "access arrival rate" onto local
+// resource utilizations (m, p, n). The mapping is calibrated so that with
+// α=0.4, β=0.2, γ=0.4 the θ values land in the paper's reported range
+// (e.g. ~21% at rate 0.3 with Fin1 remote).
+func localUsage(rate float64) core.WorkloadInfo {
+	return core.WorkloadInfo{
+		Mem: 0.35 + 1.35*rate,
+		CPU: 0.30 + 1.20*rate,
+		Net: 0.45 + 1.40*rate,
+	}
+}
+
+// RunFig9Data evaluates Equation 1 across the arrival-rate sweep with the
+// paper's α=0.4, β=0.2, γ=0.4 and the remote server running Fin1 (91%
+// writes) or Fin2 (10% writes).
+func RunFig9Data(o Options) []Fig9Row {
+	_ = o
+	params := core.DefaultAllocParams()
+	fin1 := core.WorkloadInfo{WriteFrac: 0.91}
+	fin2 := core.WorkloadInfo{WriteFrac: 0.10}
+	rows := make([]Fig9Row, 0, len(Fig9Rates))
+	for _, rate := range Fig9Rates {
+		local := localUsage(rate)
+		rows = append(rows, Fig9Row{
+			Rate:      rate,
+			ThetaFin1: core.Theta(params, local, fin1) * 100,
+			ThetaFin2: core.Theta(params, local, fin2) * 100,
+		})
+	}
+	return rows
+}
+
+// RunFig9 prints the Figure 9 series and additionally runs a live
+// rebalancing replay to confirm θ responds to measured workloads.
+func RunFig9(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	t := metrics.Table{
+		Title:   "Figure 9: remote-buffer share θ (%) vs local access arrival rate (α=0.4 β=0.2 γ=0.4)",
+		Headers: []string{"Rate", "Fin1 remote", "Fin2 remote"},
+	}
+	for _, r := range RunFig9Data(o) {
+		t.AddRow(r.Rate, r.ThetaFin1, r.ThetaFin2)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nPaper anchors: θ=21.2%% at rate 0.3 with Fin1 remote; 9.1%% with Fin2 remote.\n")
+
+	// End-to-end check: a dual replay (the local server under load, the
+	// remote server running Fin1 or Fin2) with periodic rebalancing
+	// produces θ values driven by the measured write intensity of the
+	// partner — write-heavy partners earn a bigger remote buffer.
+	thFin1, err := MeasuredTheta(o, "Fin1")
+	if err != nil {
+		return err
+	}
+	thFin2, err := MeasuredTheta(o, "Fin2")
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Measured mean θ from dual replay with rebalancing: Fin1 remote %.1f%%, Fin2 remote %.1f%%\n",
+		thFin1*100, thFin2*100)
+	return nil
+}
+
+// MeasuredTheta runs a dual replay — Fin2 on the local node, the named
+// workload on the remote node — with periodic rebalancing and returns the
+// mean θ the local node computed from measured workload information.
+func MeasuredTheta(o Options, remoteWL string) (float64, error) {
+	o = o.withDefaults()
+	local, err := newPair(o, "bast", "lar")
+	if err != nil {
+		return 0, err
+	}
+	remote := local.Peer()
+	localReqs, err := requestsFor(o, "Fin2", local)
+	if err != nil {
+		return 0, err
+	}
+	remoteReqs, err := requestsFor(o, remoteWL, remote)
+	if err != nil {
+		return 0, err
+	}
+	every := (len(localReqs) + len(remoteReqs)) / 16
+	if every == 0 {
+		every = 1
+	}
+	ds, err := core.DualReplay(local, remote, localReqs, remoteReqs,
+		core.DualReplayOptions{RebalanceEvery: every})
+	if err != nil {
+		return 0, err
+	}
+	if len(ds.LocalThetas) == 0 {
+		return 0, nil
+	}
+	var sum float64
+	for _, th := range ds.LocalThetas {
+		sum += th
+	}
+	return sum / float64(len(ds.LocalThetas)), nil
+}

@@ -1,0 +1,239 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flashcoop/internal/core"
+	"flashcoop/internal/metrics"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+)
+
+// RecoveryPoint is one measurement of the paper's Section III.D trade-off:
+// a larger remote buffer means more buffered optimization opportunity but a
+// longer transfer during failure recovery.
+type RecoveryPoint struct {
+	RemotePages  int
+	BackedPages  int
+	RecoveryTime sim.VTime
+}
+
+// RunRecoveryStudyData fills remote buffers of increasing size with dirty
+// backups and measures the local-failure recovery time (RCT transfer +
+// sequential SSD writes of the recovered data).
+func RunRecoveryStudyData(o Options) ([]RecoveryPoint, error) {
+	o = o.withDefaults()
+	sizes := []int{512, 1024, 2048, 4096, 8192}
+	if o.Quick {
+		sizes = []int{64, 128, 256}
+	}
+	points := make([]RecoveryPoint, 0, len(sizes))
+	for _, size := range sizes {
+		cfg := core.Config{
+			Name:        "s1",
+			Policy:      "lar",
+			BufferPages: size, // buffer everything so backups accumulate
+			RemotePages: size,
+			SSD:         ssdConfig("bast", o.SSDBlocks),
+		}
+		peerCfg := cfg
+		peerCfg.Name = "s2"
+		a, _, err := core.NewPair(cfg, peerCfg)
+		if err != nil {
+			return nil, err
+		}
+		b := a.Peer()
+		// Fill a's buffer with dirty pages (distinct blocks to avoid
+		// evictions), so b's remote store holds `size` backups.
+		ppb := int64(a.Device().PagesPerBlock())
+		var at sim.VTime
+		for i := int64(0); i < int64(size); i++ {
+			lpn := (i / ppb) * ppb * 2 // every other block
+			lpn += i % ppb
+			if lpn >= a.Device().UserPages() {
+				break
+			}
+			if _, err := a.Access(trace.Request{
+				Arrival: at, Op: trace.Write, LPN: lpn, Pages: 1,
+			}); err != nil {
+				return nil, err
+			}
+			at += sim.Microsecond
+		}
+		backed := b.Remote().Len()
+
+		// a crashes and recovers: the recovery time is the paper's
+		// reliability cost of the remote buffer size.
+		a.Fail()
+		start := at + sim.Second
+		done, err := a.RecoverFromLocalFailure(start)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, RecoveryPoint{
+			RemotePages:  size,
+			BackedPages:  backed,
+			RecoveryTime: done - start,
+		})
+	}
+	return points, nil
+}
+
+// RunRecoveryStudy prints the recovery-time trade-off table.
+func RunRecoveryStudy(o Options, w io.Writer) error {
+	points, err := RunRecoveryStudyData(o)
+	if err != nil {
+		return err
+	}
+	t := metrics.Table{
+		Title:   "Extension E: failure-recovery time vs remote buffer size (paper Section III.D trade-off)",
+		Headers: []string{"RemotePages", "BackedPages", "RecoveryMs"},
+	}
+	for _, p := range points {
+		t.AddRow(p.RemotePages, p.BackedPages, p.RecoveryTime.Msec())
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "\nRecovery time grows with the amount of backed-up data: the paper's reliability/perf trade-off.")
+	return err
+}
+
+// WearPoint is one system's erase-count distribution after a replay —
+// the lifetime claim of the paper made visible.
+type WearPoint struct {
+	Policy    string
+	MaxErase  int
+	MeanErase float64
+	StdDev    float64
+}
+
+// RunWearStudyData replays an extended Fin1 under each policy and reports
+// the flash wear distribution.
+func RunWearStudyData(o Options) ([]WearPoint, error) {
+	o = o.withDefaults()
+	points := make([]WearPoint, 0, 4)
+	for _, policy := range []string{"lar", "lru", "lfu", "baseline"} {
+		rsPolicy := policy
+		n, err := newPair(o, "bast", rsPolicy)
+		if err != nil {
+			return nil, err
+		}
+		reqs, err := requestsFor(o, "Fin1", n)
+		if err != nil {
+			return nil, err
+		}
+		if err := n.Device().Precondition(0.95); err != nil {
+			return nil, err
+		}
+		if _, err := core.Replay(n, reqs, core.ReplayOptions{}); err != nil {
+			return nil, err
+		}
+		w := n.Device().FTL().Flash().Wear()
+		points = append(points, WearPoint{
+			Policy:    rsPolicy,
+			MaxErase:  w.MaxErase,
+			MeanErase: w.MeanErase,
+			StdDev:    w.StdDev,
+		})
+	}
+	return points, nil
+}
+
+// RunWearStudy prints the lifetime (wear) comparison.
+func RunWearStudy(o Options, w io.Writer) error {
+	points, err := RunWearStudyData(o)
+	if err != nil {
+		return err
+	}
+	t := metrics.Table{
+		Title:   "Extension F: flash wear after Fin1 replay (lifetime claim, BAST)",
+		Headers: []string{"Policy", "MaxErase", "MeanErase", "StdDev"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Policy, p.MaxErase, p.MeanErase, p.StdDev)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "\nLower mean/max erase counts = proportionally longer SSD lifetime (100K-cycle budget).")
+	return err
+}
+
+// BGGCPoint compares one system with and without idle-period GC.
+type BGGCPoint struct {
+	Policy       string
+	RespOnDemand float64
+	RespIdleGC   float64
+	P99OnDemand  float64
+	P99IdleGC    float64
+}
+
+// RunBGGCStudyData measures the effect of idle-period garbage collection
+// (paper Section II.C.2: "internal operations running in the background
+// may compete for resources with incoming foreground requests") on the
+// Fin1 replay, for the baseline and FlashCoop+LAR.
+func RunBGGCStudyData(o Options) ([]BGGCPoint, error) {
+	o = o.withDefaults()
+	points := make([]BGGCPoint, 0, 2)
+	for _, policy := range []string{"baseline", "lar"} {
+		var resp [2]float64
+		var p99 [2]float64
+		for i, bg := range []bool{false, true} {
+			cfg := core.Config{
+				Name:         "s1",
+				Policy:       policy,
+				BufferPages:  o.BufferPages,
+				RemotePages:  o.BufferPages,
+				SSD:          ssdConfig("bast", o.SSDBlocks),
+				BackgroundGC: bg,
+			}
+			peerCfg := cfg
+			peerCfg.Name = "s2"
+			n, _, err := core.NewPair(cfg, peerCfg)
+			if err != nil {
+				return nil, err
+			}
+			reqs, err := requestsFor(o, "Fin1", n)
+			if err != nil {
+				return nil, err
+			}
+			if err := n.Device().Precondition(0.95); err != nil {
+				return nil, err
+			}
+			rs, err := core.Replay(n, reqs, core.ReplayOptions{})
+			if err != nil {
+				return nil, err
+			}
+			resp[i] = rs.Resp.Mean()
+			p99[i] = rs.RespHist.P99()
+		}
+		points = append(points, BGGCPoint{
+			Policy:       policy,
+			RespOnDemand: resp[0], RespIdleGC: resp[1],
+			P99OnDemand: p99[0], P99IdleGC: p99[1],
+		})
+	}
+	return points, nil
+}
+
+// RunBGGCStudy prints the idle-period GC comparison.
+func RunBGGCStudy(o Options, w io.Writer) error {
+	points, err := RunBGGCStudyData(o)
+	if err != nil {
+		return err
+	}
+	t := metrics.Table{
+		Title:   "Extension G: on-demand vs idle-period garbage collection (Fin1, BAST)",
+		Headers: []string{"System", "RespMs", "RespMs+idleGC", "P99Ms", "P99Ms+idleGC"},
+	}
+	for _, p := range points {
+		t.AddRow(p.Policy, p.RespOnDemand, p.RespIdleGC, p.P99OnDemand, p.P99IdleGC)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "\nMoving collection into idle periods takes merge work off the critical path,\ncutting foreground means and tails — the background-GC interference the paper describes.")
+	return err
+}

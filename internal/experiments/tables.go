@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/metrics"
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+	"flashcoop/internal/workload"
+)
+
+// RunTable1 prints the workload specification (paper Table I) computed
+// from the synthetic trace generators, next to the paper's targets.
+func RunTable1(o Options, w io.Writer) error {
+	o = o.withDefaults()
+	t := metrics.Table{
+		Title: "Table I: workload specification (generated vs paper targets)",
+		Headers: []string{"Workload", "AvgReqKB", "Write%", "Seq%", "InterarrMs",
+			"PaperKB", "PaperW%", "PaperSeq%", "PaperMs"},
+	}
+	paper := map[string][4]float64{
+		"Fin1": {4.38, 91, 2.0, 133.50},
+		"Fin2": {4.84, 10, 0.20, 64.53},
+		"Mix":  {3.16, 50, 50, 199.91},
+	}
+	for _, name := range Workloads {
+		prof, err := workload.ByName(name, o.Requests, o.Seed)
+		if err != nil {
+			return err
+		}
+		reqs, err := prof.Generate()
+		if err != nil {
+			return err
+		}
+		s := trace.ComputeStats(reqs)
+		p := paper[name]
+		t.AddRow(name, s.AvgSizeKB, s.WriteFrac*100, s.SeqFrac*100,
+			float64(s.AvgInterarrival)/float64(sim.Millisecond),
+			p[0], p[1], p[2], p[3])
+	}
+	return t.Render(w)
+}
+
+// RunTable2 prints the SSD configuration (paper Table II) as implemented
+// by the flash substrate.
+func RunTable2(_ Options, w io.Writer) error {
+	p := flash.TableII()
+	t := metrics.Table{
+		Title:   "Table II: SSD configuration",
+		Headers: []string{"Parameter", "Value"},
+	}
+	dieBytes := int64(p.BlocksPerPlane) * int64(p.PlanesPerDie) * int64(p.BlockBytes())
+	t.AddRow("Page read to register", p.ReadLatency.Duration().String())
+	t.AddRow("Page program from register", p.ProgramLatency.Duration().String())
+	t.AddRow("Block erase", p.EraseLatency.Duration().String())
+	t.AddRow("Serial access to register", p.BusLatency.Duration().String())
+	t.AddRow("Die size", fmt.Sprintf("%d GB", dieBytes>>30))
+	t.AddRow("Block size", fmt.Sprintf("%d KB", p.BlockBytes()>>10))
+	t.AddRow("Page size", fmt.Sprintf("%d KB", p.PageSize>>10))
+	t.AddRow("Data register", fmt.Sprintf("%d KB", p.PageSize>>10))
+	t.AddRow("Erase cycles", fmt.Sprintf("%d K", p.EraseCycles/1000))
+	return t.Render(w)
+}
+
+// Table3Sizes are the buffer sizes (pages) of the paper's Table III sweep.
+var Table3Sizes = []int{1024, 2048, 4096, 8192}
+
+// Table3Row is one buffer size's hit ratios per policy.
+type Table3Row struct {
+	BufferPages int
+	HitRatio    map[string]float64 // policy -> ratio
+}
+
+// RunTable3Data measures cache hit ratio vs buffer size under Fin1 for
+// LAR, LRU and LFU (paper Table III).
+func RunTable3Data(o Options) ([]Table3Row, error) {
+	o = o.withDefaults()
+	sizes := Table3Sizes
+	if o.Quick {
+		sizes = []int{128, 256}
+	}
+	rows := make([]Table3Row, 0, len(sizes))
+	for _, size := range sizes {
+		row := Table3Row{BufferPages: size, HitRatio: make(map[string]float64)}
+		for _, policy := range []string{"lar", "lru", "lfu"} {
+			opt := o
+			opt.BufferPages = size
+			rs, err := RunCell(opt, "bast", "Fin1", policy)
+			if err != nil {
+				return nil, err
+			}
+			row.HitRatio[policy] = rs.HitRatio
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RunTable3 prints the Table III sweep.
+func RunTable3(o Options, w io.Writer) error {
+	rows, err := RunTable3Data(o)
+	if err != nil {
+		return err
+	}
+	t := metrics.Table{
+		Title:   "Table III: cache hit ratio (%) vs buffer size, workload Fin1",
+		Headers: []string{"BufferPages", "LAR", "LRU", "LFU"},
+	}
+	for _, r := range rows {
+		t.AddRow(r.BufferPages, r.HitRatio["lar"]*100, r.HitRatio["lru"]*100, r.HitRatio["lfu"]*100)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\nPaper: LAR 55.21/67.34/78.87/91.83, LRU 50.53/61.53/71.81/83.32, LFU 46.80/52.71/69.84/80.08\n")
+	return err
+}

@@ -1,0 +1,431 @@
+// Package flash models a NAND flash memory array at the level of detail the
+// FlashCoop paper's SSD simulator relies on: pages that must be programmed
+// after an erase and in ascending order within a block, block-granular
+// erases with a finite endurance budget, and the Table II operation timings
+// (page read to register, page program from register, block erase, and the
+// serial data-bus transfer between the controller and a plane register).
+//
+// The array tracks page state (free / valid / invalid) and the logical page
+// number stored in each physical page's out-of-band area, which is what a
+// Flash Translation Layer needs to run garbage collection and recovery. The
+// actual data payload is not stored; the simulator is concerned with timing
+// and wear, not content.
+package flash
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"flashcoop/internal/sim"
+)
+
+// Page states as tracked in the simulated out-of-band metadata.
+const (
+	PageFree    PageState = iota // erased, programmable
+	PageValid                    // holds live data for some LPN
+	PageInvalid                  // superseded data awaiting garbage collection
+)
+
+// PageState describes the lifecycle state of one physical page.
+type PageState uint8
+
+// String returns the conventional name of the page state.
+func (s PageState) String() string {
+	switch s {
+	case PageFree:
+		return "free"
+	case PageValid:
+		return "valid"
+	case PageInvalid:
+		return "invalid"
+	default:
+		return fmt.Sprintf("PageState(%d)", uint8(s))
+	}
+}
+
+// Errors reported by flash array operations.
+var (
+	ErrOutOfRange     = errors.New("flash: address out of range")
+	ErrNotFree        = errors.New("flash: programming a page that is not free")
+	ErrProgramOrder   = errors.New("flash: pages must be programmed in ascending order within a block")
+	ErrWornOut        = errors.New("flash: block exceeded its erase endurance")
+	ErrEraseLiveBlock = errors.New("flash: erasing a block that still holds valid pages")
+)
+
+// Params describes the geometry and operation timings of a flash array.
+// The zero value is not usable; start from TableII or Small and adjust.
+type Params struct {
+	PageSize       int // data bytes per page
+	PagesPerBlock  int // pages per erase block
+	BlocksPerPlane int // erase blocks per plane
+	PlanesPerDie   int // planes per die
+	Dies           int // dies in the array
+
+	ReadLatency    sim.VTime // page read (cell array -> register)
+	ProgramLatency sim.VTime // page program (register -> cell array)
+	EraseLatency   sim.VTime // block erase
+	BusLatency     sim.VTime // serial transfer of one page over the data bus
+
+	// EraseCycles is the endurance budget per block; erasing beyond it
+	// fails with ErrWornOut. Zero means unlimited (useful in long tests).
+	EraseCycles int
+}
+
+// TableII returns the SSD configuration from Table II of the FlashCoop
+// paper: 4KB pages, 256KB blocks (64 pages), 4GB dies, 25us read, 200us
+// program, 1.5ms erase, 100us serial register access, 100K erase cycles.
+func TableII() Params {
+	return Params{
+		PageSize:       4096,
+		PagesPerBlock:  64,
+		BlocksPerPlane: 2048, // 2048 blocks x 256KB = 512MB per plane
+		PlanesPerDie:   8,    // 8 planes x 512MB = 4GB die
+		Dies:           1,
+		ReadLatency:    25 * sim.Microsecond,
+		ProgramLatency: 200 * sim.Microsecond,
+		EraseLatency:   1500 * sim.Microsecond,
+		BusLatency:     100 * sim.Microsecond,
+		EraseCycles:    100_000,
+	}
+}
+
+// Small returns a scaled-down geometry with Table II timings, convenient
+// for unit tests and quick experiments (4 pages per block by default can be
+// overridden by the caller).
+func Small(blocks, pagesPerBlock int) Params {
+	p := TableII()
+	p.PagesPerBlock = pagesPerBlock
+	p.BlocksPerPlane = blocks
+	p.PlanesPerDie = 1
+	p.Dies = 1
+	return p
+}
+
+// Validate reports whether the parameters describe a usable array.
+func (p Params) Validate() error {
+	switch {
+	case p.PageSize <= 0:
+		return fmt.Errorf("flash: PageSize %d must be positive", p.PageSize)
+	case p.PagesPerBlock <= 0:
+		return fmt.Errorf("flash: PagesPerBlock %d must be positive", p.PagesPerBlock)
+	case p.BlocksPerPlane <= 0:
+		return fmt.Errorf("flash: BlocksPerPlane %d must be positive", p.BlocksPerPlane)
+	case p.PlanesPerDie <= 0:
+		return fmt.Errorf("flash: PlanesPerDie %d must be positive", p.PlanesPerDie)
+	case p.Dies <= 0:
+		return fmt.Errorf("flash: Dies %d must be positive", p.Dies)
+	case p.ReadLatency < 0 || p.ProgramLatency < 0 || p.EraseLatency < 0 || p.BusLatency < 0:
+		return errors.New("flash: latencies must be non-negative")
+	case p.EraseCycles < 0:
+		return errors.New("flash: EraseCycles must be non-negative")
+	}
+	return nil
+}
+
+// TotalBlocks reports the number of erase blocks in the array.
+func (p Params) TotalBlocks() int { return p.BlocksPerPlane * p.PlanesPerDie * p.Dies }
+
+// TotalPages reports the number of physical pages in the array.
+func (p Params) TotalPages() int { return p.TotalBlocks() * p.PagesPerBlock }
+
+// BlockBytes reports the size of one erase block in bytes.
+func (p Params) BlockBytes() int { return p.PageSize * p.PagesPerBlock }
+
+// Bytes reports the raw capacity of the array in bytes.
+func (p Params) Bytes() int64 { return int64(p.TotalPages()) * int64(p.PageSize) }
+
+// PlaneOfBlock reports the global plane index holding block pbn.
+func (p Params) PlaneOfBlock(pbn int) int { return pbn / p.BlocksPerPlane }
+
+// DieOfBlock reports the die index holding block pbn.
+func (p Params) DieOfBlock(pbn int) int { return pbn / (p.BlocksPerPlane * p.PlanesPerDie) }
+
+// Stats aggregates operation counts for a flash array.
+type Stats struct {
+	Reads    int64 // page reads
+	Programs int64 // page programs
+	Erases   int64 // block erases
+	// CopyReads/CopyPrograms count the subset of reads/programs issued as
+	// internal data movement (garbage collection, merges) rather than on
+	// behalf of host I/O. FTLs mark these via the *Internal op variants.
+	CopyReads    int64
+	CopyPrograms int64
+}
+
+type blockMeta struct {
+	eraseCount  int
+	nextProgram int // next programmable page offset within the block
+	validPages  int
+	wornOut     bool
+}
+
+type pageMeta struct {
+	state PageState
+	lpn   int64 // logical page stored here, valid only when state == PageValid
+}
+
+// Array is a simulated NAND flash array. It is not safe for concurrent use;
+// callers (FTLs) serialize access, matching a single flash channel.
+type Array struct {
+	p      Params
+	blocks []blockMeta
+	pages  []pageMeta
+	stats  Stats
+}
+
+// NewArray allocates a fully-erased array with the given parameters.
+func NewArray(p Params) (*Array, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Array{
+		p:      p,
+		blocks: make([]blockMeta, p.TotalBlocks()),
+		pages:  make([]pageMeta, p.TotalPages()),
+	}, nil
+}
+
+// Params returns the array's configuration.
+func (a *Array) Params() Params { return a.p }
+
+// Stats returns a snapshot of the operation counters.
+func (a *Array) Stats() Stats { return a.stats }
+
+// BlockOfPage reports the erase block containing physical page ppn.
+func (a *Array) BlockOfPage(ppn int) int { return ppn / a.p.PagesPerBlock }
+
+// PageOffset reports ppn's offset within its erase block.
+func (a *Array) PageOffset(ppn int) int { return ppn % a.p.PagesPerBlock }
+
+func (a *Array) checkPage(ppn int) error {
+	if ppn < 0 || ppn >= len(a.pages) {
+		return fmt.Errorf("%w: page %d of %d", ErrOutOfRange, ppn, len(a.pages))
+	}
+	return nil
+}
+
+func (a *Array) checkBlock(pbn int) error {
+	if pbn < 0 || pbn >= len(a.blocks) {
+		return fmt.Errorf("%w: block %d of %d", ErrOutOfRange, pbn, len(a.blocks))
+	}
+	return nil
+}
+
+// ReadPage simulates reading physical page ppn into the plane register and
+// transferring it over the data bus, returning the elapsed device time.
+func (a *Array) ReadPage(ppn int) (sim.VTime, error) {
+	return a.read(ppn, false)
+}
+
+// ReadPageInternal is ReadPage for FTL-internal data movement (GC, merges);
+// it is accounted separately in Stats.CopyReads.
+func (a *Array) ReadPageInternal(ppn int) (sim.VTime, error) {
+	return a.read(ppn, true)
+}
+
+func (a *Array) read(ppn int, internal bool) (sim.VTime, error) {
+	if err := a.checkPage(ppn); err != nil {
+		return 0, err
+	}
+	a.stats.Reads++
+	if internal {
+		a.stats.CopyReads++
+	}
+	return a.p.ReadLatency + a.p.BusLatency, nil
+}
+
+// ProgramPage simulates programming physical page ppn with the data of
+// logical page lpn. NAND constraints are enforced: the page must be free,
+// pages within a block must be programmed in ascending order, and the block
+// must not be worn out.
+func (a *Array) ProgramPage(ppn int, lpn int64) (sim.VTime, error) {
+	return a.program(ppn, lpn, false)
+}
+
+// ProgramPageInternal is ProgramPage for FTL-internal data movement.
+func (a *Array) ProgramPageInternal(ppn int, lpn int64) (sim.VTime, error) {
+	return a.program(ppn, lpn, true)
+}
+
+func (a *Array) program(ppn int, lpn int64, internal bool) (sim.VTime, error) {
+	if err := a.checkPage(ppn); err != nil {
+		return 0, err
+	}
+	pg := &a.pages[ppn]
+	blk := &a.blocks[a.BlockOfPage(ppn)]
+	switch {
+	case blk.wornOut:
+		return 0, fmt.Errorf("%w: block %d", ErrWornOut, a.BlockOfPage(ppn))
+	case pg.state != PageFree:
+		return 0, fmt.Errorf("%w: page %d is %v", ErrNotFree, ppn, pg.state)
+	case a.PageOffset(ppn) != blk.nextProgram:
+		return 0, fmt.Errorf("%w: page %d (offset %d, expected %d)",
+			ErrProgramOrder, ppn, a.PageOffset(ppn), blk.nextProgram)
+	}
+	pg.state = PageValid
+	pg.lpn = lpn
+	blk.nextProgram++
+	blk.validPages++
+	a.stats.Programs++
+	if internal {
+		a.stats.CopyPrograms++
+	}
+	return a.p.BusLatency + a.p.ProgramLatency, nil
+}
+
+// InvalidatePage marks a valid page as superseded. It is a metadata-only
+// operation in the FTL's mapping structures and costs no device time.
+func (a *Array) InvalidatePage(ppn int) error {
+	if err := a.checkPage(ppn); err != nil {
+		return err
+	}
+	pg := &a.pages[ppn]
+	if pg.state != PageValid {
+		return fmt.Errorf("flash: invalidating page %d in state %v", ppn, pg.state)
+	}
+	pg.state = PageInvalid
+	a.blocks[a.BlockOfPage(ppn)].validPages--
+	return nil
+}
+
+// EraseBlock simulates erasing block pbn, returning the elapsed device time.
+// Erasing a block that still holds valid pages is refused: it would destroy
+// live data and always indicates an FTL bug in this simulator.
+func (a *Array) EraseBlock(pbn int) (sim.VTime, error) {
+	if err := a.checkBlock(pbn); err != nil {
+		return 0, err
+	}
+	blk := &a.blocks[pbn]
+	if blk.wornOut {
+		return 0, fmt.Errorf("%w: block %d", ErrWornOut, pbn)
+	}
+	if blk.validPages > 0 {
+		return 0, fmt.Errorf("%w: block %d has %d valid pages", ErrEraseLiveBlock, pbn, blk.validPages)
+	}
+	base := pbn * a.p.PagesPerBlock
+	for i := 0; i < a.p.PagesPerBlock; i++ {
+		a.pages[base+i] = pageMeta{state: PageFree}
+	}
+	blk.nextProgram = 0
+	blk.eraseCount++
+	a.stats.Erases++
+	if a.p.EraseCycles > 0 && blk.eraseCount >= a.p.EraseCycles {
+		blk.wornOut = true
+	}
+	return a.p.EraseLatency, nil
+}
+
+// PageInfo reports the state of physical page ppn and, for valid pages, the
+// logical page stored there (from the simulated out-of-band area).
+func (a *Array) PageInfo(ppn int) (PageState, int64, error) {
+	if err := a.checkPage(ppn); err != nil {
+		return 0, 0, err
+	}
+	pg := a.pages[ppn]
+	return pg.state, pg.lpn, nil
+}
+
+// BlockInfo describes the observable state of one erase block.
+type BlockInfo struct {
+	EraseCount  int
+	ValidPages  int
+	FreePages   int
+	NextProgram int
+	WornOut     bool
+}
+
+// BlockInfo reports the state of erase block pbn.
+func (a *Array) BlockInfo(pbn int) (BlockInfo, error) {
+	if err := a.checkBlock(pbn); err != nil {
+		return BlockInfo{}, err
+	}
+	b := a.blocks[pbn]
+	return BlockInfo{
+		EraseCount:  b.eraseCount,
+		ValidPages:  b.validPages,
+		FreePages:   a.p.PagesPerBlock - b.nextProgram,
+		NextProgram: b.nextProgram,
+		WornOut:     b.wornOut,
+	}, nil
+}
+
+// WearStats summarizes erase-count distribution across blocks, used by
+// wear-leveling evaluation.
+type WearStats struct {
+	MinErase  int
+	MaxErase  int
+	MeanErase float64
+	StdDev    float64
+	WornOut   int
+}
+
+// Wear computes the erase-count distribution over all blocks.
+func (a *Array) Wear() WearStats {
+	w := WearStats{MinErase: math.MaxInt}
+	var sum, sumSq float64
+	for i := range a.blocks {
+		e := a.blocks[i].eraseCount
+		if e < w.MinErase {
+			w.MinErase = e
+		}
+		if e > w.MaxErase {
+			w.MaxErase = e
+		}
+		sum += float64(e)
+		sumSq += float64(e) * float64(e)
+		if a.blocks[i].wornOut {
+			w.WornOut++
+		}
+	}
+	n := float64(len(a.blocks))
+	w.MeanErase = sum / n
+	variance := sumSq/n - w.MeanErase*w.MeanErase
+	if variance > 0 {
+		w.StdDev = math.Sqrt(variance)
+	}
+	return w
+}
+
+// CopyBack moves a valid page to a free page without transferring the data
+// over the serial bus: the page is read into the plane register and
+// programmed directly from it (the NAND copy-back command). Real chips
+// restrict copy-back to the same plane; this model relaxes that to the
+// same die. The destination must satisfy the usual program constraints.
+// Both halves are accounted as internal (GC) operations. The source page
+// remains valid; the caller invalidates it after updating its mapping.
+func (a *Array) CopyBack(srcPPN, dstPPN int) (sim.VTime, error) {
+	if err := a.checkPage(srcPPN); err != nil {
+		return 0, err
+	}
+	if err := a.checkPage(dstPPN); err != nil {
+		return 0, err
+	}
+	if a.p.DieOfBlock(a.BlockOfPage(srcPPN)) != a.p.DieOfBlock(a.BlockOfPage(dstPPN)) {
+		return 0, fmt.Errorf("flash: copy-back across dies (page %d -> %d)", srcPPN, dstPPN)
+	}
+	src := a.pages[srcPPN]
+	if src.state != PageValid {
+		return 0, fmt.Errorf("flash: copy-back from %v page %d", src.state, srcPPN)
+	}
+	dst := &a.pages[dstPPN]
+	blk := &a.blocks[a.BlockOfPage(dstPPN)]
+	switch {
+	case blk.wornOut:
+		return 0, fmt.Errorf("%w: block %d", ErrWornOut, a.BlockOfPage(dstPPN))
+	case dst.state != PageFree:
+		return 0, fmt.Errorf("%w: page %d is %v", ErrNotFree, dstPPN, dst.state)
+	case a.PageOffset(dstPPN) != blk.nextProgram:
+		return 0, fmt.Errorf("%w: page %d (offset %d, expected %d)",
+			ErrProgramOrder, dstPPN, a.PageOffset(dstPPN), blk.nextProgram)
+	}
+	dst.state = PageValid
+	dst.lpn = src.lpn
+	blk.nextProgram++
+	blk.validPages++
+	a.stats.Reads++
+	a.stats.CopyReads++
+	a.stats.Programs++
+	a.stats.CopyPrograms++
+	return a.p.ReadLatency + a.p.ProgramLatency, nil
+}

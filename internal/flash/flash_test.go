@@ -1,0 +1,355 @@
+package flash
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashcoop/internal/sim"
+)
+
+func mustArray(t *testing.T, p Params) *Array {
+	t.Helper()
+	a, err := NewArray(p)
+	if err != nil {
+		t.Fatalf("NewArray: %v", err)
+	}
+	return a
+}
+
+func TestTableIIGeometry(t *testing.T) {
+	p := TableII()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("TableII invalid: %v", err)
+	}
+	if p.BlockBytes() != 256*1024 {
+		t.Errorf("block size = %d, want 256KB", p.BlockBytes())
+	}
+	// One die must be 4GB as in Table II.
+	dieBytes := int64(p.BlocksPerPlane) * int64(p.PlanesPerDie) * int64(p.BlockBytes())
+	if dieBytes != 4<<30 {
+		t.Errorf("die size = %d, want 4GB", dieBytes)
+	}
+	if p.ReadLatency != 25*sim.Microsecond || p.ProgramLatency != 200*sim.Microsecond ||
+		p.EraseLatency != 1500*sim.Microsecond || p.BusLatency != 100*sim.Microsecond {
+		t.Errorf("Table II latencies wrong: %+v", p)
+	}
+	if p.EraseCycles != 100_000 {
+		t.Errorf("EraseCycles = %d, want 100000", p.EraseCycles)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []func(*Params){
+		func(p *Params) { p.PageSize = 0 },
+		func(p *Params) { p.PagesPerBlock = -1 },
+		func(p *Params) { p.BlocksPerPlane = 0 },
+		func(p *Params) { p.PlanesPerDie = 0 },
+		func(p *Params) { p.Dies = 0 },
+		func(p *Params) { p.ReadLatency = -1 },
+		func(p *Params) { p.EraseCycles = -1 },
+	}
+	for i, mutate := range bad {
+		p := TableII()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	p := TableII()
+	p.Dies = 2
+	if got, want := p.TotalBlocks(), 2048*8*2; got != want {
+		t.Errorf("TotalBlocks = %d, want %d", got, want)
+	}
+	if p.PlaneOfBlock(2048) != 1 {
+		t.Errorf("PlaneOfBlock(2048) = %d, want 1", p.PlaneOfBlock(2048))
+	}
+	if p.DieOfBlock(2048*8) != 1 {
+		t.Errorf("DieOfBlock = %d, want 1", p.DieOfBlock(2048*8))
+	}
+	a := mustArray(t, Small(4, 8))
+	if a.BlockOfPage(17) != 2 || a.PageOffset(17) != 1 {
+		t.Errorf("BlockOfPage/PageOffset(17) = %d/%d, want 2/1", a.BlockOfPage(17), a.PageOffset(17))
+	}
+}
+
+func TestProgramReadInvalidateErase(t *testing.T) {
+	a := mustArray(t, Small(2, 4))
+	p := a.Params()
+
+	lat, err := a.ProgramPage(0, 42)
+	if err != nil {
+		t.Fatalf("ProgramPage: %v", err)
+	}
+	if want := p.BusLatency + p.ProgramLatency; lat != want {
+		t.Errorf("program latency = %v, want %v", lat, want)
+	}
+	st, lpn, err := a.PageInfo(0)
+	if err != nil || st != PageValid || lpn != 42 {
+		t.Fatalf("PageInfo = %v,%d,%v; want valid,42,nil", st, lpn, err)
+	}
+
+	lat, err = a.ReadPage(0)
+	if err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if want := p.ReadLatency + p.BusLatency; lat != want {
+		t.Errorf("read latency = %v, want %v", lat, want)
+	}
+
+	if err := a.InvalidatePage(0); err != nil {
+		t.Fatalf("InvalidatePage: %v", err)
+	}
+	st, _, _ = a.PageInfo(0)
+	if st != PageInvalid {
+		t.Errorf("state after invalidate = %v, want invalid", st)
+	}
+
+	lat, err = a.EraseBlock(0)
+	if err != nil {
+		t.Fatalf("EraseBlock: %v", err)
+	}
+	if lat != p.EraseLatency {
+		t.Errorf("erase latency = %v, want %v", lat, p.EraseLatency)
+	}
+	st, _, _ = a.PageInfo(0)
+	if st != PageFree {
+		t.Errorf("state after erase = %v, want free", st)
+	}
+	bi, _ := a.BlockInfo(0)
+	if bi.EraseCount != 1 || bi.NextProgram != 0 || bi.ValidPages != 0 {
+		t.Errorf("BlockInfo after erase = %+v", bi)
+	}
+}
+
+func TestProgramConstraints(t *testing.T) {
+	a := mustArray(t, Small(2, 4))
+
+	// Out-of-order programming within a block is refused.
+	if _, err := a.ProgramPage(1, 1); !errors.Is(err, ErrProgramOrder) {
+		t.Errorf("out-of-order program: err = %v, want ErrProgramOrder", err)
+	}
+	// Double program is refused.
+	if _, err := a.ProgramPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ProgramPage(0, 2); err == nil {
+		t.Error("reprogramming a valid page succeeded")
+	}
+	// Out of range.
+	if _, err := a.ProgramPage(999, 1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("out of range: err = %v", err)
+	}
+	if _, err := a.ReadPage(-1); !errors.Is(err, ErrOutOfRange) {
+		t.Errorf("read out of range: err = %v", err)
+	}
+}
+
+func TestEraseLiveBlockRefused(t *testing.T) {
+	a := mustArray(t, Small(2, 4))
+	if _, err := a.ProgramPage(0, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.EraseBlock(0); !errors.Is(err, ErrEraseLiveBlock) {
+		t.Errorf("erase of live block: err = %v, want ErrEraseLiveBlock", err)
+	}
+}
+
+func TestWearOut(t *testing.T) {
+	p := Small(1, 2)
+	p.EraseCycles = 3
+	a := mustArray(t, p)
+	for i := 0; i < 3; i++ {
+		if _, err := a.EraseBlock(0); err != nil {
+			t.Fatalf("erase %d: %v", i, err)
+		}
+	}
+	bi, _ := a.BlockInfo(0)
+	if !bi.WornOut {
+		t.Fatal("block not worn out after EraseCycles erases")
+	}
+	if _, err := a.EraseBlock(0); !errors.Is(err, ErrWornOut) {
+		t.Errorf("erase of worn block: err = %v, want ErrWornOut", err)
+	}
+	if _, err := a.ProgramPage(0, 1); !errors.Is(err, ErrWornOut) {
+		t.Errorf("program of worn block: err = %v, want ErrWornOut", err)
+	}
+	w := a.Wear()
+	if w.WornOut != 1 || w.MaxErase != 3 {
+		t.Errorf("Wear = %+v", w)
+	}
+}
+
+func TestStatsAndInternalOps(t *testing.T) {
+	a := mustArray(t, Small(2, 4))
+	if _, err := a.ProgramPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ProgramPageInternal(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadPage(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.ReadPageInternal(1); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.Programs != 2 || s.CopyPrograms != 1 || s.Reads != 2 || s.CopyReads != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestWearStats(t *testing.T) {
+	a := mustArray(t, Small(4, 2))
+	for i := 0; i < 3; i++ {
+		if _, err := a.EraseBlock(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := a.EraseBlock(1); err != nil {
+		t.Fatal(err)
+	}
+	w := a.Wear()
+	if w.MinErase != 0 || w.MaxErase != 3 {
+		t.Errorf("min/max = %d/%d, want 0/3", w.MinErase, w.MaxErase)
+	}
+	if w.MeanErase != 1.0 {
+		t.Errorf("mean = %v, want 1", w.MeanErase)
+	}
+	if w.StdDev <= 0 {
+		t.Errorf("stddev = %v, want > 0", w.StdDev)
+	}
+}
+
+// Property: under any sequence of program/invalidate/erase operations, the
+// per-block valid-page counter equals the number of pages in PageValid state
+// and nextProgram equals the count of non-free pages.
+func TestBlockAccountingProperty(t *testing.T) {
+	const blocks, ppb = 4, 8
+	f := func(ops []uint8, seed int64) bool {
+		a, err := NewArray(Small(blocks, ppb))
+		if err != nil {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for _, op := range ops {
+			switch op % 3 {
+			case 0: // program next free page of a random block
+				b := rng.Intn(blocks)
+				bi, _ := a.BlockInfo(b)
+				if bi.NextProgram < ppb {
+					if _, err := a.ProgramPage(b*ppb+bi.NextProgram, rng.Int63n(100)); err != nil {
+						return false
+					}
+				}
+			case 1: // invalidate a random valid page
+				ppn := rng.Intn(blocks * ppb)
+				if st, _, _ := a.PageInfo(ppn); st == PageValid {
+					if err := a.InvalidatePage(ppn); err != nil {
+						return false
+					}
+				}
+			case 2: // erase a random block if it holds no valid pages
+				b := rng.Intn(blocks)
+				bi, _ := a.BlockInfo(b)
+				if bi.ValidPages == 0 {
+					if _, err := a.EraseBlock(b); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		// Check invariants.
+		for b := 0; b < blocks; b++ {
+			bi, _ := a.BlockInfo(b)
+			valid, nonFree := 0, 0
+			for i := 0; i < ppb; i++ {
+				st, _, _ := a.PageInfo(b*ppb + i)
+				if st == PageValid {
+					valid++
+				}
+				if st != PageFree {
+					nonFree++
+				}
+			}
+			if bi.ValidPages != valid || bi.NextProgram != nonFree {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPageStateString(t *testing.T) {
+	if PageFree.String() != "free" || PageValid.String() != "valid" || PageInvalid.String() != "invalid" {
+		t.Error("PageState.String wrong")
+	}
+	if PageState(9).String() == "" {
+		t.Error("unknown state should still format")
+	}
+}
+
+func TestCopyBack(t *testing.T) {
+	a := mustArray(t, Small(2, 4))
+	p := a.Params()
+	if _, err := a.ProgramPage(0, 42); err != nil {
+		t.Fatal(err)
+	}
+	lat, err := a.CopyBack(0, 4) // block 0 page 0 -> block 1 page 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copy-back skips both bus transfers.
+	if want := p.ReadLatency + p.ProgramLatency; lat != want {
+		t.Errorf("copy-back latency %v, want %v", lat, want)
+	}
+	st, lpn, _ := a.PageInfo(4)
+	if st != PageValid || lpn != 42 {
+		t.Errorf("destination = %v/%d", st, lpn)
+	}
+	// Source stays valid until the caller invalidates it.
+	st, _, _ = a.PageInfo(0)
+	if st != PageValid {
+		t.Errorf("source state = %v", st)
+	}
+	s := a.Stats()
+	if s.CopyReads != 1 || s.CopyPrograms != 1 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestCopyBackConstraints(t *testing.T) {
+	a := mustArray(t, Small(2, 4))
+	if _, err := a.CopyBack(0, 4); err == nil {
+		t.Error("copy-back from free page accepted")
+	}
+	if _, err := a.ProgramPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Out-of-order destination.
+	if _, err := a.CopyBack(0, 5); !errors.Is(err, ErrProgramOrder) {
+		t.Errorf("out-of-order copy-back: %v", err)
+	}
+	// Cross-die copy-back refused.
+	pp := Small(2, 4)
+	pp.Dies = 2
+	pp.BlocksPerPlane = 1
+	b, err := NewArray(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.ProgramPage(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.CopyBack(0, 4); err == nil {
+		t.Error("cross-die copy-back accepted")
+	}
+}

@@ -1,0 +1,513 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/sim"
+)
+
+// BAST (Block-Associative Sector Translation) is a hybrid FTL: most of the
+// address space uses block-level mapping, and a small pool of page-mapped
+// log blocks absorbs incoming writes. Each log block is exclusively
+// associated with one logical block. When the pool is exhausted, or a log
+// block fills up, the log is merged with its data block via a switch,
+// partial, or full merge (Kim et al., "A space-efficient flash translation
+// layer for CompactFlash systems").
+type BAST struct {
+	cfg       Config
+	arr       *flash.Array
+	ppb       int
+	userPages int64
+
+	dataMap []int32          // lbn -> physical data block; -1 when unmapped
+	logs    map[int]*bastLog // lbn -> its associated log block
+	pool    *blockPool
+	stats   Stats
+	seq     int64 // logical clock for log-block LRU
+}
+
+type bastLog struct {
+	lbn      int
+	pbn      int
+	pageMap  []int16 // logical offset -> physical offset inside the log; -1 absent
+	writePtr int
+	seqSoFar bool // every write i so far targeted logical offset i
+	lastUse  int64
+}
+
+var _ FTL = (*BAST)(nil)
+
+// NewBAST constructs a BAST FTL over a fresh flash array.
+func NewBAST(cfg Config) (*BAST, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arr, err := flash.NewArray(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	userBlocks, err := hybridUserBlocks(cfg, cfg.LogBlocks)
+	if err != nil {
+		return nil, err
+	}
+	f := &BAST{
+		cfg:       cfg,
+		arr:       arr,
+		ppb:       cfg.Flash.PagesPerBlock,
+		userPages: int64(userBlocks) * int64(cfg.Flash.PagesPerBlock),
+		dataMap:   make([]int32, userBlocks),
+		logs:      make(map[int]*bastLog),
+		pool:      newBlockPool(arr),
+	}
+	for i := range f.dataMap {
+		f.dataMap[i] = -1
+	}
+	for b := 0; b < cfg.Flash.TotalBlocks(); b++ {
+		f.pool.put(b)
+	}
+	return f, nil
+}
+
+// hybridUserBlocks computes the exported logical block count for a hybrid
+// FTL that reserves logSlots log blocks plus transient merge headroom.
+func hybridUserBlocks(cfg Config, logSlots int) (int, error) {
+	total := cfg.Flash.TotalBlocks()
+	byOP := int(float64(total) * (1 - cfg.OPRatio))
+	user := total - logSlots - 2 // 2 blocks of transient merge headroom
+	if byOP < user {
+		user = byOP
+	}
+	if user < 1 {
+		return 0, fmt.Errorf("%w: geometry too small for %d log blocks", ErrUnsupported, logSlots)
+	}
+	return user, nil
+}
+
+// Name implements FTL.
+func (f *BAST) Name() string { return "bast" }
+
+// UserPages implements FTL.
+func (f *BAST) UserPages() int64 { return f.userPages }
+
+// Flash implements FTL.
+func (f *BAST) Flash() *flash.Array { return f.arr }
+
+// Stats implements FTL.
+func (f *BAST) Stats() Stats { return f.stats }
+
+func (f *BAST) split(lpn int64) (lbn, off int) {
+	return int(lpn / int64(f.ppb)), int(lpn % int64(f.ppb))
+}
+
+// Read implements FTL.
+func (f *BAST) Read(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	mapped := 0
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		lbn, off := f.split(p)
+		ppn := -1
+		if log, ok := f.logs[lbn]; ok && log.pageMap[off] >= 0 {
+			ppn = log.pbn*f.ppb + int(log.pageMap[off])
+		} else if dpb := f.dataMap[lbn]; dpb >= 0 {
+			cand := int(dpb)*f.ppb + off
+			if st, _, err := f.arr.PageInfo(cand); err == nil && st == flash.PageValid {
+				ppn = cand
+			}
+		}
+		if ppn < 0 {
+			total += f.cfg.Flash.BusLatency // zero-fill from controller
+			continue
+		}
+		lat, err := f.arr.ReadPage(ppn)
+		if err != nil {
+			return total, err
+		}
+		total += lat
+		mapped++
+	}
+	total -= interleaveDiscount(mapped, f.cfg.InterleaveWays, f.cfg.Flash.ReadLatency)
+	f.stats.HostReadOps++
+	f.stats.HostReadPages += int64(n)
+	return total, nil
+}
+
+// Write implements FTL.
+func (f *BAST) Write(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	for i := 0; i < n; i++ {
+		lat, err := f.writeOne(lpn + int64(i))
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	total -= interleaveDiscount(n, f.cfg.InterleaveWays, f.cfg.Flash.ProgramLatency)
+	f.stats.HostWriteOps++
+	f.stats.HostWritePages += int64(n)
+	return total, nil
+}
+
+func (f *BAST) writeOne(lpn int64) (sim.VTime, error) {
+	lbn, off := f.split(lpn)
+	var total sim.VTime
+
+	log, ok := f.logs[lbn]
+	if ok && log.writePtr == f.ppb {
+		// The associated log block is full: merge it first.
+		lat, err := f.merge(log)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		ok = false
+	}
+	if !ok {
+		// Need a fresh log block for this lbn; evict the least
+		// recently used log if the pool of slots is exhausted.
+		if len(f.logs) >= f.cfg.LogBlocks {
+			victim := f.lruLog()
+			lat, err := f.merge(victim)
+			total += lat
+			if err != nil {
+				return total, err
+			}
+		}
+		pbn, err := f.pool.get()
+		if err != nil {
+			return total, err
+		}
+		log = &bastLog{
+			lbn:      lbn,
+			pbn:      pbn,
+			pageMap:  make([]int16, f.ppb),
+			seqSoFar: true,
+		}
+		for i := range log.pageMap {
+			log.pageMap[i] = -1
+		}
+		f.logs[lbn] = log
+	}
+
+	// Invalidate the superseded version, if any.
+	if prev := log.pageMap[off]; prev >= 0 {
+		if err := f.arr.InvalidatePage(log.pbn*f.ppb + int(prev)); err != nil {
+			return total, err
+		}
+	} else if dpb := f.dataMap[lbn]; dpb >= 0 {
+		cand := int(dpb)*f.ppb + off
+		if st, _, err := f.arr.PageInfo(cand); err == nil && st == flash.PageValid {
+			if err := f.arr.InvalidatePage(cand); err != nil {
+				return total, err
+			}
+		}
+	}
+
+	ppn := log.pbn*f.ppb + log.writePtr
+	lat, err := f.arr.ProgramPage(ppn, lpn)
+	if err != nil {
+		return total, err
+	}
+	total += lat
+	if log.writePtr != off {
+		log.seqSoFar = false
+	}
+	log.pageMap[off] = int16(log.writePtr)
+	log.writePtr++
+	f.seq++
+	log.lastUse = f.seq
+	return total, nil
+}
+
+func (f *BAST) lruLog() *bastLog {
+	var victim *bastLog
+	for _, l := range f.logs {
+		if victim == nil || l.lastUse < victim.lastUse ||
+			(l.lastUse == victim.lastUse && l.lbn < victim.lbn) {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// merge reconciles a log block with its data block and frees the log slot.
+// It classifies the merge as switch, partial, or full, exactly as the
+// paper's Section II discusses.
+func (f *BAST) merge(log *bastLog) (sim.VTime, error) {
+	defer delete(f.logs, log.lbn)
+	switch {
+	case log.seqSoFar && log.writePtr == f.ppb:
+		f.stats.SwitchMerges++
+		return f.switchMerge(log)
+	case log.seqSoFar:
+		f.stats.PartialMerges++
+		return f.partialMerge(log)
+	default:
+		f.stats.FullMerges++
+		return f.fullMerge(log)
+	}
+}
+
+// switchMerge promotes a fully, sequentially written log block to be the
+// data block; the old data block (all pages already invalidated by the log
+// writes) is erased.
+func (f *BAST) switchMerge(log *bastLog) (sim.VTime, error) {
+	var total sim.VTime
+	if old := f.dataMap[log.lbn]; old >= 0 {
+		lat, err := f.arr.EraseBlock(int(old))
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		f.pool.put(int(old))
+	}
+	f.dataMap[log.lbn] = int32(log.pbn)
+	f.stats.GCTime += total
+	return total, nil
+}
+
+// partialMerge completes a sequentially-written log block by copying the
+// remaining tail offsets from the data block, then switches.
+func (f *BAST) partialMerge(log *bastLog) (sim.VTime, error) {
+	total, err := f.copyTail(log.pbn, log.lbn, log.writePtr)
+	if err != nil {
+		return total, err
+	}
+	lat, err := f.switchMerge(log)
+	total += lat
+	f.stats.GCTime += total - lat // switchMerge adds its own share
+	return total, err
+}
+
+// copyTail copies logical offsets [from, ppb) of lbn from its current data
+// block into dst at matching physical offsets. Offsets that were never
+// written are only padded (programmed with zero-fill) when a later offset
+// must be programmed above them, respecting NAND program ordering.
+func (f *BAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
+	var total sim.VTime
+	old := f.dataMap[lbn]
+	// Find the last offset >= from that holds live data.
+	last := from - 1
+	if old >= 0 {
+		for off := f.ppb - 1; off >= from; off-- {
+			st, _, err := f.arr.PageInfo(int(old)*f.ppb + off)
+			if err != nil {
+				return total, err
+			}
+			if st == flash.PageValid {
+				last = off
+				break
+			}
+		}
+	}
+	for off := from; off <= last; off++ {
+		lpn := int64(lbn)*int64(f.ppb) + int64(off)
+		if old >= 0 {
+			src := int(old)*f.ppb + off
+			if st, _, err := f.arr.PageInfo(src); err == nil && st == flash.PageValid {
+				rlat, err := f.arr.ReadPageInternal(src)
+				if err != nil {
+					return total, err
+				}
+				total += rlat
+				if err := f.arr.InvalidatePage(src); err != nil {
+					return total, err
+				}
+			}
+		}
+		// Program the destination whether we found a source or are
+		// padding a hole below live data.
+		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// fullMerge collects the newest version of every offset from the log and
+// data blocks into a freshly allocated block, then erases both sources.
+func (f *BAST) fullMerge(log *bastLog) (sim.VTime, error) {
+	var total sim.VTime
+	old := f.dataMap[log.lbn]
+
+	// Last offset holding live data anywhere determines how far we
+	// must program (holes below it are padded).
+	last := -1
+	for off := f.ppb - 1; off >= 0; off-- {
+		if log.pageMap[off] >= 0 {
+			last = off
+			break
+		}
+		if old >= 0 {
+			if st, _, err := f.arr.PageInfo(int(old)*f.ppb + off); err == nil && st == flash.PageValid {
+				last = off
+				break
+			}
+		}
+	}
+	dst := -1
+	if last >= 0 {
+		var err error
+		dst, err = f.pool.get()
+		if err != nil {
+			return total, err
+		}
+	}
+	for off := 0; off <= last; off++ {
+		lpn := int64(log.lbn)*int64(f.ppb) + int64(off)
+		src := -1
+		if p := log.pageMap[off]; p >= 0 {
+			src = log.pbn*f.ppb + int(p)
+		} else if old >= 0 {
+			cand := int(old)*f.ppb + off
+			if st, _, err := f.arr.PageInfo(cand); err == nil && st == flash.PageValid {
+				src = cand
+			}
+		}
+		if src >= 0 {
+			rlat, err := f.arr.ReadPageInternal(src)
+			if err != nil {
+				return total, err
+			}
+			total += rlat
+			if err := f.arr.InvalidatePage(src); err != nil {
+				return total, err
+			}
+		}
+		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+	}
+
+	elat, err := f.arr.EraseBlock(log.pbn)
+	total += elat
+	if err != nil {
+		return total, err
+	}
+	f.pool.put(log.pbn)
+	if old >= 0 {
+		elat, err := f.arr.EraseBlock(int(old))
+		total += elat
+		if err != nil {
+			return total, err
+		}
+		f.pool.put(int(old))
+	}
+	f.dataMap[log.lbn] = int32(dst) // -1 when nothing was live anywhere
+	f.stats.GCTime += total
+	return total, nil
+}
+
+// CheckInvariants implements FTL.
+func (f *BAST) CheckInvariants() error {
+	for lbn, dpb := range f.dataMap {
+		if dpb < 0 {
+			continue
+		}
+		for off := 0; off < f.ppb; off++ {
+			st, lpn, err := f.arr.PageInfo(int(dpb)*f.ppb + off)
+			if err != nil {
+				return err
+			}
+			if st == flash.PageValid && lpn != int64(lbn)*int64(f.ppb)+int64(off) {
+				return fmt.Errorf("bast: data block %d offset %d holds lpn %d", dpb, off, lpn)
+			}
+		}
+	}
+	for lbn, log := range f.logs {
+		if log.lbn != lbn {
+			return fmt.Errorf("bast: log map key %d != log lbn %d", lbn, log.lbn)
+		}
+		bi, err := f.arr.BlockInfo(log.pbn)
+		if err != nil {
+			return err
+		}
+		if bi.NextProgram != log.writePtr {
+			return fmt.Errorf("bast: log %d writePtr %d != flash frontier %d", lbn, log.writePtr, bi.NextProgram)
+		}
+		for off, pos := range log.pageMap {
+			if pos < 0 {
+				continue
+			}
+			st, lpn, err := f.arr.PageInfo(log.pbn*f.ppb + int(pos))
+			if err != nil {
+				return err
+			}
+			if st != flash.PageValid || lpn != int64(lbn)*int64(f.ppb)+int64(off) {
+				return fmt.Errorf("bast: log %d offset %d: state %v lpn %d", lbn, off, st, lpn)
+			}
+		}
+	}
+	return nil
+}
+
+// Trim implements FTL.
+func (f *BAST) Trim(lpn int64, n int) error {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		lbn, off := f.split(p)
+		if log, ok := f.logs[lbn]; ok && log.pageMap[off] >= 0 {
+			if err := f.arr.InvalidatePage(log.pbn*f.ppb + int(log.pageMap[off])); err != nil {
+				return err
+			}
+			log.pageMap[off] = -1
+			continue
+		}
+		if dpb := f.dataMap[lbn]; dpb >= 0 {
+			cand := int(dpb)*f.ppb + off
+			if st, _, err := f.arr.PageInfo(cand); err == nil && st == flash.PageValid {
+				if err := f.arr.InvalidatePage(cand); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CollectBackground implements FTL: work the foreground would otherwise
+// pay for is prepaid during idle time — full log blocks are merged, and
+// when the log pool is exhausted (so the next write to a new logical block
+// must merge synchronously) the LRU log is merged to keep a slot free.
+func (f *BAST) CollectBackground(budget sim.VTime) (sim.VTime, error) {
+	var spent sim.VTime
+	for spent < budget {
+		var victim *bastLog
+		// Full logs first: their capacity is spent, merging is free win.
+		for _, log := range f.logs {
+			if log.writePtr == f.ppb && (victim == nil || log.lastUse < victim.lastUse) {
+				victim = log
+			}
+		}
+		// Otherwise keep one log slot free for the next new logical
+		// block, exactly the merge the foreground would do on demand.
+		if victim == nil && len(f.logs) >= f.cfg.LogBlocks {
+			victim = f.lruLog()
+		}
+		if victim == nil {
+			break
+		}
+		lat, err := f.merge(victim)
+		spent += lat
+		if err != nil {
+			return spent, err
+		}
+		f.stats.BackgroundGC++
+	}
+	return spent, nil
+}

@@ -1,0 +1,80 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"flashcoop/internal/flash"
+)
+
+func benchConfig() Config {
+	return Config{
+		Flash:     flash.Small(1024, 64),
+		OPRatio:   0.15,
+		LogBlocks: 16,
+	}
+}
+
+func benchFTL(b *testing.B, scheme string) FTL {
+	b.Helper()
+	f, err := New(scheme, benchConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+func benchRandomWrites(b *testing.B, scheme string) {
+	f := benchFTL(b, scheme)
+	rng := rand.New(rand.NewSource(1))
+	user := f.UserPages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Write(rng.Int63n(user), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchSequentialWrites(b *testing.B, scheme string) {
+	f := benchFTL(b, scheme)
+	ppb := benchConfig().Flash.PagesPerBlock
+	user := f.UserPages()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lpn := (int64(i) * int64(ppb)) % (user - int64(ppb))
+		if _, err := f.Write(lpn, ppb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPageFTLRandomWrite(b *testing.B) { benchRandomWrites(b, "page") }
+func BenchmarkBASTRandomWrite(b *testing.B)    { benchRandomWrites(b, "bast") }
+func BenchmarkFASTRandomWrite(b *testing.B)    { benchRandomWrites(b, "fast") }
+func BenchmarkDFTLRandomWrite(b *testing.B)    { benchRandomWrites(b, "dftl") }
+
+func BenchmarkPageFTLSequentialWrite(b *testing.B) { benchSequentialWrites(b, "page") }
+func BenchmarkBASTSequentialWrite(b *testing.B)    { benchSequentialWrites(b, "bast") }
+func BenchmarkFASTSequentialWrite(b *testing.B)    { benchSequentialWrites(b, "fast") }
+func BenchmarkDFTLSequentialWrite(b *testing.B)    { benchSequentialWrites(b, "dftl") }
+
+func BenchmarkPageFTLRead(b *testing.B) {
+	f := benchFTL(b, "page")
+	user := f.UserPages()
+	for lpn := int64(0); lpn < user; lpn += 64 {
+		if _, err := f.Write(lpn, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(2))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Read(rng.Int63n(user), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

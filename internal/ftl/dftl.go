@@ -1,0 +1,608 @@
+package ftl
+
+import (
+	"container/list"
+	"fmt"
+	"sort"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/sim"
+)
+
+// DFTL is the Demand-based Flash Translation Layer (Gupta, Kim, Urgaonkar —
+// ASPLOS'09), cited by the FlashCoop paper as the modern page-mapped
+// alternative to hybrid FTLs. The full page-level mapping lives on flash in
+// translation pages; a small Cached Mapping Table (CMT) in controller SRAM
+// holds only the hot mappings, fetched on demand and written back on
+// eviction. Data and translation blocks share one greedy garbage collector.
+//
+// Address-translation cost model:
+//   - CMT hit: free (SRAM).
+//   - CMT miss: one flash read of the translation page (if one exists).
+//   - Evicting a dirty CMT entry: read-modify-write of its translation
+//     page (one read + one program; the superseded page is invalidated).
+//   - Relocating data pages in GC updates mappings through the same paths,
+//     batched per translation page.
+//
+// Translation pages are stored in the same array with the out-of-band
+// logical number -(tvpn+1), so flash-level invariants cover them too.
+type DFTL struct {
+	cfg        Config
+	arr        *flash.Array
+	ppb        int
+	userPages  int64
+	entriesPer int64 // mapping entries per translation page
+
+	l2p []int32 // ground-truth mapping (simulator state; device "stores" it on flash)
+	gtd []int32 // global translation directory: tvpn -> ppn of translation page; -1 none
+
+	cmt     map[int64]*list.Element // lpn -> CMT entry
+	cmtLRU  *list.List              // front = most recent
+	cmtCap  int
+	cmtHits int64
+	cmtMiss int64
+
+	activeData  int
+	activeTrans int
+	gcActive    int
+	pool        *blockPool
+	stats       Stats
+	collecting  bool // guards against re-entrant garbage collection
+}
+
+type cmtEntry struct {
+	lpn   int64
+	dirty bool
+}
+
+var _ FTL = (*DFTL)(nil)
+
+// NewDFTL constructs a DFTL over a fresh flash array. cfg.CMTEntries caps
+// the cached mapping table (default 4096 entries when zero).
+func NewDFTL(cfg Config) (*DFTL, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arr, err := flash.NewArray(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	totalPages := cfg.Flash.TotalPages()
+	if totalPages > 1<<31-1 {
+		return nil, fmt.Errorf("%w: array too large for 32-bit physical page numbers", ErrUnsupported)
+	}
+	ppb := cfg.Flash.PagesPerBlock
+	entriesPer := int64(cfg.Flash.PageSize / 4) // 4-byte mapping entries
+	if entriesPer < 1 {
+		entriesPer = 1
+	}
+	// Reserve space for translation pages plus GC headroom: enough
+	// blocks to hold every translation page twice over, plus slack.
+	userBlocks := int(float64(cfg.Flash.TotalBlocks()) * (1 - cfg.OPRatio))
+	transPagesFor := func(ub int) int {
+		tp := (int64(ub)*int64(ppb) + entriesPer - 1) / entriesPer
+		return int(tp)
+	}
+	minSlack := cfg.GCHighWater + 4 + 2*(transPagesFor(userBlocks)+ppb-1)/ppb
+	if userBlocks > cfg.Flash.TotalBlocks()-minSlack {
+		userBlocks = cfg.Flash.TotalBlocks() - minSlack
+	}
+	if userBlocks < 1 {
+		return nil, fmt.Errorf("%w: geometry too small for DFTL slack", ErrUnsupported)
+	}
+	userPages := int64(userBlocks) * int64(ppb)
+	f := &DFTL{
+		cfg:         cfg,
+		arr:         arr,
+		ppb:         ppb,
+		userPages:   userPages,
+		entriesPer:  entriesPer,
+		l2p:         make([]int32, userPages),
+		gtd:         make([]int32, (userPages+entriesPer-1)/entriesPer),
+		cmt:         make(map[int64]*list.Element),
+		cmtLRU:      list.New(),
+		cmtCap:      cfg.CMTEntries,
+		activeData:  -1,
+		activeTrans: -1,
+		gcActive:    -1,
+		pool:        newBlockPool(arr),
+	}
+	if f.cmtCap == 0 {
+		f.cmtCap = 4096
+	}
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	for i := range f.gtd {
+		f.gtd[i] = -1
+	}
+	for b := 0; b < cfg.Flash.TotalBlocks(); b++ {
+		f.pool.put(b)
+	}
+	return f, nil
+}
+
+// Name implements FTL.
+func (f *DFTL) Name() string { return "dftl" }
+
+// UserPages implements FTL.
+func (f *DFTL) UserPages() int64 { return f.userPages }
+
+// Flash implements FTL.
+func (f *DFTL) Flash() *flash.Array { return f.arr }
+
+// Stats implements FTL.
+func (f *DFTL) Stats() Stats { return f.stats }
+
+// CMTStats reports cached-mapping-table hits and misses.
+func (f *DFTL) CMTStats() (hits, misses int64) { return f.cmtHits, f.cmtMiss }
+
+func (f *DFTL) tvpn(lpn int64) int64 { return lpn / f.entriesPer }
+
+// lookup charges the address-translation cost for lpn and returns it.
+// The mapping value itself comes from the in-memory ground truth.
+func (f *DFTL) lookup(lpn int64) (sim.VTime, error) {
+	if e, ok := f.cmt[lpn]; ok {
+		f.cmtHits++
+		f.cmtLRU.MoveToFront(e)
+		return 0, nil
+	}
+	f.cmtMiss++
+	var total sim.VTime
+	// Fetch the translation page if one has ever been written.
+	if tp := f.gtd[f.tvpn(lpn)]; tp >= 0 {
+		lat, err := f.arr.ReadPageInternal(int(tp))
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	lat, err := f.cmtInsert(lpn, false)
+	total += lat
+	return total, err
+}
+
+// cmtInsert adds lpn to the CMT (dirty or clean), evicting as needed.
+func (f *DFTL) cmtInsert(lpn int64, dirty bool) (sim.VTime, error) {
+	var total sim.VTime
+	if e, ok := f.cmt[lpn]; ok {
+		ent := e.Value.(*cmtEntry)
+		ent.dirty = ent.dirty || dirty
+		f.cmtLRU.MoveToFront(e)
+		return 0, nil
+	}
+	for len(f.cmt) >= f.cmtCap {
+		back := f.cmtLRU.Back()
+		victim := back.Value.(*cmtEntry)
+		f.cmtLRU.Remove(back)
+		delete(f.cmt, victim.lpn)
+		if victim.dirty {
+			lat, err := f.writeTranslation(f.tvpn(victim.lpn))
+			total += lat
+			if err != nil {
+				return total, err
+			}
+		}
+	}
+	f.cmt[lpn] = f.cmtLRU.PushFront(&cmtEntry{lpn: lpn, dirty: dirty})
+	return total, nil
+}
+
+// writeTranslation persists the translation page for tvpn: read-modify-
+// write into the translation frontier. All clean+dirty entries of that
+// tvpn currently in the CMT become clean (batch update, as in the paper).
+func (f *DFTL) writeTranslation(tvpn int64) (sim.VTime, error) {
+	var total sim.VTime
+	if old := f.gtd[tvpn]; old >= 0 {
+		lat, err := f.arr.ReadPageInternal(int(old))
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	// Program first, invalidate after: programFrontier may trigger GC,
+	// which can itself relocate (and re-point gtd at) this translation
+	// page, so the superseded version must be re-fetched afterwards.
+	ppn, lat, err := f.programFrontier(&f.activeTrans, -(tvpn + 1))
+	total += lat
+	if err != nil {
+		return total, err
+	}
+	if old := f.gtd[tvpn]; old >= 0 && int(old) != ppn {
+		if st, _, err := f.arr.PageInfo(int(old)); err == nil && st == flash.PageValid {
+			if err := f.arr.InvalidatePage(int(old)); err != nil {
+				return total, err
+			}
+		}
+	}
+	f.gtd[tvpn] = int32(ppn)
+	// Batch-clean sibling CMT entries of the same translation page.
+	for e := f.cmtLRU.Front(); e != nil; e = e.Next() {
+		ent := e.Value.(*cmtEntry)
+		if ent.dirty && f.tvpn(ent.lpn) == tvpn {
+			ent.dirty = false
+		}
+	}
+	return total, nil
+}
+
+// programFrontier programs one page at the given frontier (allocating a
+// fresh block when full) and returns the physical page used.
+func (f *DFTL) programFrontier(frontier *int, oobLPN int64) (int, sim.VTime, error) {
+	var total sim.VTime
+	if *frontier < 0 || f.blockFull(*frontier) {
+		if f.pool.len() <= f.cfg.GCLowWater {
+			lat, err := f.collect()
+			total += lat
+			if err != nil {
+				return 0, total, err
+			}
+		}
+		// Re-check: the collection above may itself have written
+		// translation pages and already replaced this frontier with a
+		// fresh block; allocating again would leak the partial block.
+		if *frontier < 0 || f.blockFull(*frontier) {
+			b, err := f.pool.get()
+			if err != nil {
+				return 0, total, err
+			}
+			*frontier = b
+		}
+	}
+	bi, err := f.arr.BlockInfo(*frontier)
+	if err != nil {
+		return 0, total, err
+	}
+	ppn := *frontier*f.ppb + bi.NextProgram
+	lat, err := f.arr.ProgramPageInternal(ppn, oobLPN)
+	total += lat
+	if err != nil {
+		return 0, total, err
+	}
+	return ppn, total, nil
+}
+
+func (f *DFTL) blockFull(pbn int) bool {
+	bi, err := f.arr.BlockInfo(pbn)
+	if err != nil {
+		panic(err)
+	}
+	return bi.NextProgram == f.ppb
+}
+
+// Read implements FTL.
+func (f *DFTL) Read(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	mapped := 0
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		lat, err := f.lookup(p)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		ppn := f.l2p[p]
+		if ppn < 0 {
+			total += f.cfg.Flash.BusLatency
+			continue
+		}
+		rlat, err := f.arr.ReadPage(int(ppn))
+		if err != nil {
+			return total, err
+		}
+		total += rlat
+		mapped++
+	}
+	total -= interleaveDiscount(mapped, f.cfg.InterleaveWays, f.cfg.Flash.ReadLatency)
+	f.stats.HostReadOps++
+	f.stats.HostReadPages += int64(n)
+	return total, nil
+}
+
+// Write implements FTL.
+func (f *DFTL) Write(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		lat, err := f.lookup(p)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		// Program the data page at the data frontier. Host programs go
+		// through the public op so CopyPrograms stays internal-only.
+		if f.activeData < 0 || f.blockFull(f.activeData) {
+			if f.pool.len() <= f.cfg.GCLowWater {
+				gcLat, err := f.collect()
+				total += gcLat
+				if err != nil {
+					return total, err
+				}
+			}
+			b, err := f.pool.get()
+			if err != nil {
+				return total, err
+			}
+			f.activeData = b
+		}
+		bi, err := f.arr.BlockInfo(f.activeData)
+		if err != nil {
+			return total, err
+		}
+		ppn := f.activeData*f.ppb + bi.NextProgram
+		wlat, err := f.arr.ProgramPage(ppn, p)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+		if old := f.l2p[p]; old >= 0 {
+			if err := f.arr.InvalidatePage(int(old)); err != nil {
+				return total, err
+			}
+		}
+		f.l2p[p] = int32(ppn)
+		clat, err := f.cmtInsert(p, true)
+		total += clat
+		if err != nil {
+			return total, err
+		}
+		// The entry was just updated: mark dirty even if it existed.
+		if e, ok := f.cmt[p]; ok {
+			e.Value.(*cmtEntry).dirty = true
+		}
+	}
+	total -= interleaveDiscount(n, f.cfg.InterleaveWays, f.cfg.Flash.ProgramLatency)
+	f.stats.HostWriteOps++
+	f.stats.HostWritePages += int64(n)
+	return total, nil
+}
+
+// collect reclaims blocks until the pool reaches high water. Data and
+// translation victims are handled uniformly; relocated data pages update
+// their mappings in batch per translation page.
+func (f *DFTL) collect() (sim.VTime, error) {
+	if f.collecting {
+		// Re-entrant call from a translation write inside a reclaim:
+		// the reserved slack blocks carry us through.
+		return 0, nil
+	}
+	f.collecting = true
+	defer func() { f.collecting = false }()
+	var total sim.VTime
+	// Mapping updates for relocated data pages are batched across the
+	// whole collection cycle (one translation write per touched
+	// translation page), keeping GC write amplification bounded.
+	touched := make(map[int64]bool)
+	for f.pool.len() < f.cfg.GCHighWater {
+		victim := f.pickVictim()
+		if victim < 0 {
+			break
+		}
+		lat, err := f.reclaim(victim, touched)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		f.stats.GCRuns++
+	}
+	tvpns := make([]int64, 0, len(touched))
+	for t := range touched {
+		tvpns = append(tvpns, t)
+	}
+	sort.Slice(tvpns, func(i, j int) bool { return tvpns[i] < tvpns[j] })
+	for _, t := range tvpns {
+		lat, err := f.writeTranslation(t)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	}
+	f.stats.GCTime += total
+	return total, nil
+}
+
+func (f *DFTL) pickVictim() int {
+	best, bestInvalid, bestErase := -1, 0, 0
+	for b := 0; b < f.cfg.Flash.TotalBlocks(); b++ {
+		if b == f.activeData || b == f.activeTrans || b == f.gcActive || f.pool.contains(b) {
+			continue
+		}
+		bi, err := f.arr.BlockInfo(b)
+		if err != nil {
+			panic(err)
+		}
+		if bi.NextProgram != f.ppb || bi.WornOut {
+			continue
+		}
+		invalid := f.ppb - bi.ValidPages
+		if invalid == 0 {
+			continue
+		}
+		if invalid > bestInvalid || (invalid == bestInvalid && bi.EraseCount < bestErase) {
+			best, bestInvalid, bestErase = b, invalid, bi.EraseCount
+		}
+	}
+	return best
+}
+
+func (f *DFTL) reclaim(victim int, touched map[int64]bool) (sim.VTime, error) {
+	var total sim.VTime
+	base := victim * f.ppb
+	for off := 0; off < f.ppb; off++ {
+		ppn := base + off
+		st, oob, err := f.arr.PageInfo(ppn)
+		if err != nil {
+			return total, err
+		}
+		if st != flash.PageValid {
+			continue
+		}
+		rlat, err := f.arr.ReadPageInternal(ppn)
+		if err != nil {
+			return total, err
+		}
+		total += rlat
+		if err := f.arr.InvalidatePage(ppn); err != nil {
+			return total, err
+		}
+		if oob < 0 {
+			// Translation page: rewrite it at the translation frontier.
+			tvpn := -oob - 1
+			newPPN, wlat, err := f.gcProgram(tvpn, true)
+			total += wlat
+			if err != nil {
+				return total, err
+			}
+			f.gtd[tvpn] = int32(newPPN)
+			continue
+		}
+		// Data page: relocate and note its translation page for a
+		// batched mapping update.
+		newPPN, wlat, err := f.gcProgram(oob, false)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+		f.l2p[oob] = int32(newPPN)
+		if e, ok := f.cmt[oob]; ok {
+			e.Value.(*cmtEntry).dirty = true
+		} else {
+			touched[f.tvpn(oob)] = true
+		}
+	}
+	elat, err := f.arr.EraseBlock(victim)
+	total += elat
+	if err != nil {
+		return total, err
+	}
+	f.pool.put(victim)
+	return total, nil
+}
+
+// gcProgram relocates one page (data or translation) to the GC frontier.
+func (f *DFTL) gcProgram(key int64, translation bool) (int, sim.VTime, error) {
+	oob := key
+	if translation {
+		oob = -(key + 1)
+	}
+	var total sim.VTime
+	if f.gcActive < 0 || f.blockFull(f.gcActive) {
+		b, err := f.pool.get()
+		if err != nil {
+			return 0, total, err
+		}
+		f.gcActive = b
+	}
+	bi, err := f.arr.BlockInfo(f.gcActive)
+	if err != nil {
+		return 0, total, err
+	}
+	ppn := f.gcActive*f.ppb + bi.NextProgram
+	lat, err := f.arr.ProgramPageInternal(ppn, oob)
+	total += lat
+	if err != nil {
+		return 0, total, err
+	}
+	return ppn, total, nil
+}
+
+// CheckInvariants implements FTL.
+func (f *DFTL) CheckInvariants() error {
+	for lpn, ppn := range f.l2p {
+		if ppn < 0 {
+			continue
+		}
+		st, got, err := f.arr.PageInfo(int(ppn))
+		if err != nil {
+			return err
+		}
+		if st != flash.PageValid || got != int64(lpn) {
+			return fmt.Errorf("dftl: lpn %d maps to page %d (%v holding %d)", lpn, ppn, st, got)
+		}
+	}
+	for tvpn, ppn := range f.gtd {
+		if ppn < 0 {
+			continue
+		}
+		st, got, err := f.arr.PageInfo(int(ppn))
+		if err != nil {
+			return err
+		}
+		if st != flash.PageValid || got != -(int64(tvpn)+1) {
+			return fmt.Errorf("dftl: gtd[%d]=%d (%v holding %d)", tvpn, ppn, st, got)
+		}
+	}
+	if len(f.cmt) > f.cmtCap {
+		return fmt.Errorf("dftl: CMT %d exceeds cap %d", len(f.cmt), f.cmtCap)
+	}
+	if len(f.cmt) != f.cmtLRU.Len() {
+		return fmt.Errorf("dftl: CMT map %d != LRU %d", len(f.cmt), f.cmtLRU.Len())
+	}
+	return nil
+}
+
+// Trim implements FTL. The mapping change is recorded in the CMT as dirty
+// so it eventually persists like any other update.
+func (f *DFTL) Trim(lpn int64, n int) error {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		if ppn := f.l2p[p]; ppn >= 0 {
+			if err := f.arr.InvalidatePage(int(ppn)); err != nil {
+				return err
+			}
+			f.l2p[p] = -1
+			if e, ok := f.cmt[p]; ok {
+				e.Value.(*cmtEntry).dirty = true
+			}
+		}
+	}
+	return nil
+}
+
+// CollectBackground implements FTL: the shared greedy collector runs while
+// budget remains and the free pool is below twice the high water mark.
+func (f *DFTL) CollectBackground(budget sim.VTime) (sim.VTime, error) {
+	if f.collecting {
+		return 0, nil
+	}
+	f.collecting = true
+	defer func() { f.collecting = false }()
+	var spent sim.VTime
+	touched := make(map[int64]bool)
+	for spent < budget && f.pool.len() < 2*f.cfg.GCHighWater {
+		victim := f.pickVictim()
+		if victim < 0 {
+			break
+		}
+		lat, err := f.reclaim(victim, touched)
+		spent += lat
+		if err != nil {
+			return spent, err
+		}
+		f.stats.GCRuns++
+		f.stats.BackgroundGC++
+	}
+	tvpns := make([]int64, 0, len(touched))
+	for t := range touched {
+		tvpns = append(tvpns, t)
+	}
+	sort.Slice(tvpns, func(i, j int) bool { return tvpns[i] < tvpns[j] })
+	for _, t := range tvpns {
+		lat, err := f.writeTranslation(t)
+		spent += lat
+		if err != nil {
+			return spent, err
+		}
+	}
+	return spent, nil
+}

@@ -1,0 +1,170 @@
+package ftl
+
+import (
+	"math/rand"
+	"testing"
+
+	"flashcoop/internal/flash"
+)
+
+// dftlConfig uses a larger geometry than the shared testConfig so the
+// logical space spans several translation pages (1024 mappings each).
+func dftlConfig(cmt int) Config {
+	cfg := testConfig()
+	cfg.Flash = flash.Small(512, 16) // 8192 physical pages
+	cfg.CMTEntries = cmt
+	return cfg
+}
+
+func TestDFTLCMTHitMiss(t *testing.T) {
+	f, err := NewDFTL(dftlConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := f.CMTStats()
+	// Immediate re-access hits the CMT.
+	if _, err := f.Read(5, 1); err != nil {
+		t.Fatal(err)
+	}
+	h1, m1 := f.CMTStats()
+	if h1 != h0+1 || m1 != m0 {
+		t.Fatalf("re-read: hits %d->%d misses %d->%d", h0, h1, m0, m1)
+	}
+}
+
+func TestDFTLCMTMissCostsTranslationRead(t *testing.T) {
+	f, err := NewDFTL(dftlConfig(2)) // tiny CMT forces evictions
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write pages in three different translation regions (entriesPer is
+	// 1024 for 4K pages, so space them far apart).
+	step := f.entriesPer
+	for i := int64(0); i < 3; i++ {
+		if _, err := f.Write(i*step, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Writing the third evicted a dirty entry -> a translation page
+	// exists for at least one tvpn.
+	persisted := 0
+	for _, ppn := range f.gtd {
+		if ppn >= 0 {
+			persisted++
+		}
+	}
+	if persisted == 0 {
+		t.Fatal("no translation pages persisted despite CMT pressure")
+	}
+	// A cold read of an address whose translation page exists must cost
+	// more than a CMT-hot read (extra translation-page fetch).
+	var coldLPN int64 = -1
+	for tvpn, ppn := range f.gtd {
+		if ppn >= 0 {
+			coldLPN = int64(tvpn) * f.entriesPer
+			break
+		}
+	}
+	if _, ok := f.cmt[coldLPN]; ok {
+		// Push it out by touching other regions.
+		for i := int64(5); i < 9; i++ {
+			if _, err := f.Read(i*step, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cold, err := f.Read(coldLPN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := f.Read(coldLPN, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold <= warm {
+		t.Errorf("cold read %v not costlier than warm read %v", cold, warm)
+	}
+}
+
+func TestDFTLTranslationPagesOnFlash(t *testing.T) {
+	f, err := NewDFTL(dftlConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 500; i++ {
+		if _, err := f.Write(rng.Int63n(f.userPages), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Every persisted translation page must be valid flash holding the
+	// encoded tvpn marker.
+	found := 0
+	for tvpn, ppn := range f.gtd {
+		if ppn < 0 {
+			continue
+		}
+		st, oob, err := f.arr.PageInfo(int(ppn))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st != flash.PageValid || oob != -(int64(tvpn)+1) {
+			t.Fatalf("gtd[%d]=%d: state %v oob %d", tvpn, ppn, st, oob)
+		}
+		found++
+	}
+	if found == 0 {
+		t.Fatal("no translation pages after 500 writes with a 4-entry CMT")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFTLGCRelocatesTranslationPages(t *testing.T) {
+	cfg := dftlConfig(4)
+	cfg.Flash = flash.Small(32, 8) // small device to force GC quickly
+	f, err := NewDFTL(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < int(f.userPages)*6; i++ {
+		if _, err := f.Write(rng.Int63n(f.userPages), 1); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("GC never ran")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDFTLSmallerCMTIsSlower(t *testing.T) {
+	run := func(cmt int) int64 {
+		f, err := NewDFTL(dftlConfig(cmt))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		var total int64
+		for i := 0; i < 2000; i++ {
+			lat, err := f.Write(rng.Int63n(f.userPages), 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += int64(lat)
+		}
+		return total
+	}
+	small := run(4)
+	large := run(100000) // effectively unbounded: pure page FTL behaviour
+	if small <= large {
+		t.Errorf("4-entry CMT total %d not slower than unbounded %d", small, large)
+	}
+}

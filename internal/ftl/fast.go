@@ -1,0 +1,530 @@
+package ftl
+
+import (
+	"fmt"
+	"sort"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/sim"
+)
+
+// FAST (Fully-Associative Sector Translation) is a hybrid FTL that keeps a
+// single sequential log block dedicated to sequential updates and shares the
+// remaining log blocks fully-associatively among random writes (Lee et al.,
+// "A log buffer-based flash translation layer using fully-associative sector
+// translation"). Random log space is reclaimed by merging the oldest random
+// log block, which requires a full merge for every logical block that still
+// has live pages in it — the expensive behaviour the FlashCoop paper
+// exploits LAR to avoid.
+type FAST struct {
+	cfg       Config
+	arr       *flash.Array
+	ppb       int
+	userPages int64
+
+	dataMap []int32         // lbn -> physical data block; -1 when unmapped
+	logMap  map[int64]int32 // lpn -> ppn for pages currently living in a log block
+	swLog   *fastLog        // sequential log block, nil when inactive
+	rwLogs  []*fastLog      // random log blocks, oldest first; frontier is the last
+	pool    *blockPool
+	stats   Stats
+}
+
+type fastLog struct {
+	pbn      int
+	writePtr int
+	lbn      int // associated lbn for the sequential log; -1 for random logs
+}
+
+var _ FTL = (*FAST)(nil)
+
+// NewFAST constructs a FAST FTL over a fresh flash array. cfg.LogBlocks
+// random log blocks are used plus one dedicated sequential log block.
+func NewFAST(cfg Config) (*FAST, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arr, err := flash.NewArray(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	userBlocks, err := hybridUserBlocks(cfg, cfg.LogBlocks+1)
+	if err != nil {
+		return nil, err
+	}
+	f := &FAST{
+		cfg:       cfg,
+		arr:       arr,
+		ppb:       cfg.Flash.PagesPerBlock,
+		userPages: int64(userBlocks) * int64(cfg.Flash.PagesPerBlock),
+		dataMap:   make([]int32, userBlocks),
+		logMap:    make(map[int64]int32),
+		pool:      newBlockPool(arr),
+	}
+	for i := range f.dataMap {
+		f.dataMap[i] = -1
+	}
+	for b := 0; b < cfg.Flash.TotalBlocks(); b++ {
+		f.pool.put(b)
+	}
+	return f, nil
+}
+
+// Name implements FTL.
+func (f *FAST) Name() string { return "fast" }
+
+// UserPages implements FTL.
+func (f *FAST) UserPages() int64 { return f.userPages }
+
+// Flash implements FTL.
+func (f *FAST) Flash() *flash.Array { return f.arr }
+
+// Stats implements FTL.
+func (f *FAST) Stats() Stats { return f.stats }
+
+func (f *FAST) split(lpn int64) (lbn, off int) {
+	return int(lpn / int64(f.ppb)), int(lpn % int64(f.ppb))
+}
+
+// locate returns the physical page currently holding lpn, or -1.
+func (f *FAST) locate(lpn int64) int {
+	if ppn, ok := f.logMap[lpn]; ok {
+		return int(ppn)
+	}
+	lbn, off := f.split(lpn)
+	if dpb := f.dataMap[lbn]; dpb >= 0 {
+		cand := int(dpb)*f.ppb + off
+		if st, _, err := f.arr.PageInfo(cand); err == nil && st == flash.PageValid {
+			return cand
+		}
+	}
+	return -1
+}
+
+// Read implements FTL.
+func (f *FAST) Read(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	mapped := 0
+	for i := 0; i < n; i++ {
+		ppn := f.locate(lpn + int64(i))
+		if ppn < 0 {
+			total += f.cfg.Flash.BusLatency
+			continue
+		}
+		lat, err := f.arr.ReadPage(ppn)
+		if err != nil {
+			return total, err
+		}
+		total += lat
+		mapped++
+	}
+	total -= interleaveDiscount(mapped, f.cfg.InterleaveWays, f.cfg.Flash.ReadLatency)
+	f.stats.HostReadOps++
+	f.stats.HostReadPages += int64(n)
+	return total, nil
+}
+
+// Write implements FTL.
+func (f *FAST) Write(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	for i := 0; i < n; i++ {
+		lat, err := f.writeOne(lpn + int64(i))
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	total -= interleaveDiscount(n, f.cfg.InterleaveWays, f.cfg.Flash.ProgramLatency)
+	f.stats.HostWriteOps++
+	f.stats.HostWritePages += int64(n)
+	return total, nil
+}
+
+func (f *FAST) writeOne(lpn int64) (sim.VTime, error) {
+	lbn, off := f.split(lpn)
+	var total sim.VTime
+
+	switch {
+	case f.swLog != nil && f.swLog.lbn == lbn && f.swLog.writePtr == off && off < f.ppb:
+		// Continues the current sequential run.
+		return f.appendLog(f.swLog, lpn, total)
+	case off == 0:
+		// A write to offset 0 starts a new sequential run: retire the
+		// previous sequential log first.
+		if f.swLog != nil {
+			lat, err := f.mergeSW()
+			total += lat
+			if err != nil {
+				return total, err
+			}
+		}
+		pbn, err := f.pool.get()
+		if err != nil {
+			return total, err
+		}
+		f.swLog = &fastLog{pbn: pbn, lbn: lbn}
+		return f.appendLog(f.swLog, lpn, total)
+	default:
+		// Random write: append to the random log frontier.
+		frontier, lat, err := f.rwFrontier()
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		return f.appendLog(frontier, lpn, total)
+	}
+}
+
+// rwFrontier returns the random log block with free space, reclaiming the
+// oldest random log if the pool of slots is exhausted.
+func (f *FAST) rwFrontier() (*fastLog, sim.VTime, error) {
+	var total sim.VTime
+	if n := len(f.rwLogs); n > 0 && f.rwLogs[n-1].writePtr < f.ppb {
+		return f.rwLogs[n-1], total, nil
+	}
+	if len(f.rwLogs) >= f.cfg.LogBlocks {
+		lat, err := f.reclaimOldestRW()
+		total += lat
+		if err != nil {
+			return nil, total, err
+		}
+	}
+	pbn, err := f.pool.get()
+	if err != nil {
+		return nil, total, err
+	}
+	log := &fastLog{pbn: pbn, lbn: -1}
+	f.rwLogs = append(f.rwLogs, log)
+	return log, total, nil
+}
+
+// appendLog programs lpn at the log's frontier, maintaining invalidation
+// and the fully-associative log map.
+func (f *FAST) appendLog(log *fastLog, lpn int64, total sim.VTime) (sim.VTime, error) {
+	if prev := f.locate(lpn); prev >= 0 {
+		if err := f.arr.InvalidatePage(prev); err != nil {
+			return total, err
+		}
+	}
+	ppn := log.pbn*f.ppb + log.writePtr
+	lat, err := f.arr.ProgramPage(ppn, lpn)
+	if err != nil {
+		return total, err
+	}
+	total += lat
+	log.writePtr++
+	f.logMap[lpn] = int32(ppn)
+
+	// A full sequential log switches immediately, exactly like BAST.
+	if log == f.swLog && log.writePtr == f.ppb {
+		mlat, err := f.mergeSW()
+		total += mlat
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// mergeSW retires the sequential log block via switch, partial, or full
+// merge depending on how much of it is still live.
+func (f *FAST) mergeSW() (sim.VTime, error) {
+	log := f.swLog
+	f.swLog = nil
+	bi, err := f.arr.BlockInfo(log.pbn)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case bi.ValidPages == f.ppb:
+		// Entire block live and sequential by construction: switch.
+		f.stats.SwitchMerges++
+		return f.swSwitch(log)
+	case bi.ValidPages == log.writePtr:
+		// All written pages still live: complete the tail and switch.
+		f.stats.PartialMerges++
+		var total sim.VTime
+		tail, err := f.copyTail(log.pbn, log.lbn, log.writePtr)
+		total += tail
+		if err != nil {
+			return total, err
+		}
+		lat, err := f.swSwitch(log)
+		total += lat
+		f.stats.GCTime += tail
+		return total, err
+	default:
+		// Some of its pages were superseded by random writes: fall
+		// back to a full merge of the associated logical block.
+		f.stats.FullMerges++
+		total, err := f.fullMergeLBN(log.lbn)
+		if err != nil {
+			return total, err
+		}
+		// The log block itself is now fully invalid.
+		lat, err := f.eraseToPool(log.pbn)
+		total += lat
+		return total, err
+	}
+}
+
+// swSwitch promotes the sequential log block to be lbn's data block.
+func (f *FAST) swSwitch(log *fastLog) (sim.VTime, error) {
+	var total sim.VTime
+	// Drop log-map entries now served by the block mapping.
+	base := int64(log.lbn) * int64(f.ppb)
+	for off := 0; off < f.ppb; off++ {
+		if ppn, ok := f.logMap[base+int64(off)]; ok && int(ppn)/f.ppb == log.pbn {
+			delete(f.logMap, base+int64(off))
+		}
+	}
+	if old := f.dataMap[log.lbn]; old >= 0 {
+		lat, err := f.eraseToPool(int(old))
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	}
+	f.dataMap[log.lbn] = int32(log.pbn)
+	f.stats.GCTime += total
+	return total, nil
+}
+
+// copyTail mirrors BAST's partial-merge tail copy for the sequential log.
+func (f *FAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
+	var total sim.VTime
+	last := from - 1
+	for off := f.ppb - 1; off >= from; off-- {
+		lpn := int64(lbn)*int64(f.ppb) + int64(off)
+		if f.locate(lpn) >= 0 {
+			last = off
+			break
+		}
+	}
+	for off := from; off <= last; off++ {
+		lpn := int64(lbn)*int64(f.ppb) + int64(off)
+		src := f.locate(lpn)
+		if src >= 0 {
+			rlat, err := f.arr.ReadPageInternal(src)
+			if err != nil {
+				return total, err
+			}
+			total += rlat
+			if err := f.arr.InvalidatePage(src); err != nil {
+				return total, err
+			}
+			delete(f.logMap, lpn)
+		}
+		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+		f.logMap[lpn] = int32(dst*f.ppb + off)
+	}
+	return total, nil
+}
+
+// reclaimOldestRW performs FAST's signature reclamation: the oldest random
+// log block is selected, and every logical block that still has live pages
+// in it is fully merged.
+func (f *FAST) reclaimOldestRW() (sim.VTime, error) {
+	victim := f.rwLogs[0]
+	f.rwLogs = f.rwLogs[1:]
+	var total sim.VTime
+
+	// Collect the distinct logical blocks with live pages in the victim.
+	lbns := make(map[int]bool)
+	base := victim.pbn * f.ppb
+	for i := 0; i < f.ppb; i++ {
+		st, lpn, err := f.arr.PageInfo(base + i)
+		if err != nil {
+			return total, err
+		}
+		if st == flash.PageValid {
+			lbn, _ := f.split(lpn)
+			lbns[lbn] = true
+		}
+	}
+	order := make([]int, 0, len(lbns))
+	for lbn := range lbns {
+		order = append(order, lbn)
+	}
+	sort.Ints(order) // deterministic merge order
+	for _, lbn := range order {
+		f.stats.FullMerges++
+		lat, err := f.fullMergeLBN(lbn)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	}
+	lat, err := f.eraseToPool(victim.pbn)
+	total += lat
+	return total, err
+}
+
+// fullMergeLBN gathers the newest version of every offset of lbn — from any
+// log block or the data block — into a fresh block and installs it as the
+// new data block. If the sequential log was dedicated to this lbn it is
+// retired as part of the merge.
+func (f *FAST) fullMergeLBN(lbn int) (sim.VTime, error) {
+	var total sim.VTime
+	base := int64(lbn) * int64(f.ppb)
+
+	last := -1
+	for off := f.ppb - 1; off >= 0; off-- {
+		if f.locate(base+int64(off)) >= 0 {
+			last = off
+			break
+		}
+	}
+	if last < 0 {
+		// Nothing live anywhere: drop the mapping entirely.
+		if old := f.dataMap[lbn]; old >= 0 {
+			lat, err := f.eraseToPool(int(old))
+			total += lat
+			if err != nil {
+				return total, err
+			}
+			f.dataMap[lbn] = -1
+		}
+		return total, nil
+	}
+	dst, err := f.pool.get()
+	if err != nil {
+		return total, err
+	}
+	for off := 0; off <= last; off++ {
+		lpn := base + int64(off)
+		src := f.locate(lpn)
+		if src >= 0 {
+			rlat, err := f.arr.ReadPageInternal(src)
+			if err != nil {
+				return total, err
+			}
+			total += rlat
+			if err := f.arr.InvalidatePage(src); err != nil {
+				return total, err
+			}
+			delete(f.logMap, lpn)
+		}
+		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+	}
+	if old := f.dataMap[lbn]; old >= 0 {
+		lat, err := f.eraseToPool(int(old))
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	}
+	f.dataMap[lbn] = int32(dst)
+
+	// If the sequential log belonged to this lbn, its live pages were
+	// just consumed; retire it.
+	if f.swLog != nil && f.swLog.lbn == lbn {
+		sw := f.swLog
+		f.swLog = nil
+		lat, err := f.eraseToPool(sw.pbn)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	}
+	f.stats.GCTime += total
+	return total, nil
+}
+
+// eraseToPool erases a fully-invalid block and returns it to the free pool.
+func (f *FAST) eraseToPool(pbn int) (sim.VTime, error) {
+	lat, err := f.arr.EraseBlock(pbn)
+	if err != nil {
+		return lat, err
+	}
+	f.pool.put(pbn)
+	return lat, nil
+}
+
+// CheckInvariants implements FTL.
+func (f *FAST) CheckInvariants() error {
+	for lpn, ppn := range f.logMap {
+		st, got, err := f.arr.PageInfo(int(ppn))
+		if err != nil {
+			return err
+		}
+		if st != flash.PageValid || got != lpn {
+			return fmt.Errorf("fast: logMap[%d]=%d but page is %v holding %d", lpn, ppn, st, got)
+		}
+	}
+	for lbn, dpb := range f.dataMap {
+		if dpb < 0 {
+			continue
+		}
+		for off := 0; off < f.ppb; off++ {
+			st, lpn, err := f.arr.PageInfo(int(dpb)*f.ppb + off)
+			if err != nil {
+				return err
+			}
+			want := int64(lbn)*int64(f.ppb) + int64(off)
+			if st == flash.PageValid {
+				if lpn != want {
+					return fmt.Errorf("fast: data block %d offset %d holds lpn %d, want %d", dpb, off, lpn, want)
+				}
+				// A live data page must not be shadowed by a log entry
+				// pointing somewhere else.
+				if lm, ok := f.logMap[want]; ok && int(lm) != int(dpb)*f.ppb+off {
+					return fmt.Errorf("fast: lpn %d live in data block %d but shadowed by logMap=%d", want, dpb, lm)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Trim implements FTL.
+func (f *FAST) Trim(lpn int64, n int) error {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		if ppn := f.locate(p); ppn >= 0 {
+			if err := f.arr.InvalidatePage(ppn); err != nil {
+				return err
+			}
+			delete(f.logMap, p)
+		}
+	}
+	return nil
+}
+
+// CollectBackground implements FTL: when the random-log pool is exhausted
+// (the state in which the next random write would pay for a reclamation),
+// the oldest random log block is reclaimed proactively.
+func (f *FAST) CollectBackground(budget sim.VTime) (sim.VTime, error) {
+	var spent sim.VTime
+	for spent < budget {
+		n := len(f.rwLogs)
+		if n < f.cfg.LogBlocks || f.rwLogs[n-1].writePtr < f.ppb {
+			break
+		}
+		lat, err := f.reclaimOldestRW()
+		spent += lat
+		if err != nil {
+			return spent, err
+		}
+		f.stats.BackgroundGC++
+	}
+	return spent, nil
+}

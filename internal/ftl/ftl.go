@@ -1,0 +1,233 @@
+// Package ftl implements the Flash Translation Layers the FlashCoop paper
+// evaluates against — a page-level FTL with greedy garbage collection and
+// the two classic hybrid log-block FTLs BAST (Block-Associative Sector
+// Translation) and FAST (Fully-Associative Sector Translation) — plus two
+// related-work schemes as extensions: DFTL (demand-paged page mapping) and
+// the Superblock FTL.
+//
+// An FTL sits between the host's logical page addresses and the physical
+// NAND array from package flash. Each host read or write returns the
+// simulated device time it consumed, including any garbage-collection or
+// merge work triggered in its critical path, which is how random writes
+// manifest as long latencies on real SSDs.
+//
+// Timing model notes:
+//   - Multi-page requests are issued as one run. The cell-programming
+//     portion of a run is overlapped across InterleaveWays planes/dies
+//     (striping + interleaving as in the paper's Section II.C.4), while
+//     bus transfers and GC work remain serial. Large sequential writes
+//     therefore enjoy parallelism that single-page random writes cannot.
+//   - A read of a never-written logical page is served from the controller
+//     (zero-fill) and costs only the bus transfer.
+package ftl
+
+import (
+	"errors"
+	"fmt"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/sim"
+)
+
+// Errors returned by FTL operations.
+var (
+	ErrOutOfSpace  = errors.New("ftl: no free blocks available (over-provisioning exhausted)")
+	ErrBadRequest  = errors.New("ftl: request outside logical address space")
+	ErrUnsupported = errors.New("ftl: unsupported configuration")
+)
+
+// FTL is the interface shared by all translation layers.
+type FTL interface {
+	// Name identifies the FTL scheme ("page", "bast", "fast", "dftl",
+	// "superblock").
+	Name() string
+
+	// Read services a host read of n consecutive logical pages starting
+	// at lpn and returns the device time consumed.
+	Read(lpn int64, n int) (sim.VTime, error)
+
+	// Write services a host write of n consecutive logical pages starting
+	// at lpn and returns the device time consumed, including any merges
+	// or garbage collection performed in the critical path.
+	Write(lpn int64, n int) (sim.VTime, error)
+
+	// Trim invalidates n consecutive logical pages starting at lpn
+	// (TRIM/discard): their flash copies become garbage immediately,
+	// making future collection cheaper. It is a mapping-metadata
+	// operation and consumes no device time in this model.
+	Trim(lpn int64, n int) error
+
+	// CollectBackground performs proactive housekeeping (garbage
+	// collection or merges) worth up to `budget` of device time and
+	// returns the time actually consumed. The final work unit is atomic
+	// and may overshoot the budget slightly. Devices call this during
+	// idle periods so reclamation happens off the host's critical path
+	// (the background GC the paper's Section II.C.2 describes).
+	CollectBackground(budget sim.VTime) (sim.VTime, error)
+
+	// UserPages reports the exported logical capacity in pages.
+	UserPages() int64
+
+	// Flash exposes the underlying array for wear and erase accounting.
+	Flash() *flash.Array
+
+	// Stats returns a snapshot of FTL-level counters.
+	Stats() Stats
+
+	// CheckInvariants validates internal consistency (mapping tables vs.
+	// flash metadata); it is used by tests and costs no simulated time.
+	CheckInvariants() error
+}
+
+// Stats aggregates FTL-level counters. Erase counts and page-copy counts
+// live in flash.Stats; these cover host traffic and merge classification.
+type Stats struct {
+	HostReadPages  int64
+	HostWritePages int64
+	HostReadOps    int64
+	HostWriteOps   int64
+
+	// Hybrid-FTL merge classification (always zero for the page FTL).
+	SwitchMerges  int64
+	PartialMerges int64
+	FullMerges    int64
+
+	// GCRuns counts page-FTL garbage collection victim reclaims.
+	GCRuns int64
+
+	// BackgroundGC counts housekeeping units performed off the critical
+	// path via CollectBackground.
+	BackgroundGC int64
+
+	// WearLevelMoves counts static wear-leveling block migrations.
+	WearLevelMoves int64
+
+	// GCTime is device time spent on GC/merge work in the critical path.
+	GCTime sim.VTime
+}
+
+// Config parameterizes FTL construction.
+type Config struct {
+	Flash flash.Params
+
+	// OPRatio is the fraction of physical capacity reserved as
+	// over-provisioning (not exported to the host). Typical SSDs reserve
+	// 7-15%; the default used when zero is 0.10.
+	OPRatio float64
+
+	// GCLowWater / GCHighWater are free-block thresholds for the page
+	// FTL's garbage collector: collection starts when the free pool drops
+	// below low water and continues until it reaches high water.
+	// Defaults (when zero): 2 and 4 blocks.
+	GCLowWater  int
+	GCHighWater int
+
+	// LogBlocks is the number of log blocks for hybrid FTLs. For BAST it
+	// is the size of the log block pool; for FAST it is the number of
+	// random-write log blocks (one additional sequential log block is
+	// always kept). Default when zero: 8.
+	LogBlocks int
+
+	// InterleaveWays bounds how many pages of one run can program in
+	// parallel across planes/dies. Default when zero:
+	// PlanesPerDie * Dies.
+	InterleaveWays int
+
+	// CMTEntries caps DFTL's cached mapping table (SRAM-resident
+	// mapping entries). Default when zero: 4096. Ignored by other FTLs.
+	CMTEntries int
+
+	// UseCopyBack lets the page-level FTL's garbage collector relocate
+	// pages with the NAND copy-back command (no bus transfers) when the
+	// source and destination share a die, roughly halving GC data-
+	// movement time.
+	UseCopyBack bool
+
+	// WearLevelThreshold enables static wear leveling in the page-level
+	// FTL: when the erase-count spread (max-min) exceeds this value,
+	// background collection migrates the coldest block's data so its
+	// unused write cycles return to circulation. 0 disables it.
+	WearLevelThreshold int
+}
+
+func (c Config) withDefaults() Config {
+	if c.OPRatio == 0 {
+		c.OPRatio = 0.10
+	}
+	if c.GCLowWater == 0 {
+		c.GCLowWater = 2
+	}
+	if c.GCHighWater == 0 {
+		c.GCHighWater = c.GCLowWater + 2
+	}
+	if c.LogBlocks == 0 {
+		c.LogBlocks = 8
+	}
+	if c.InterleaveWays == 0 {
+		c.InterleaveWays = c.Flash.PlanesPerDie * c.Flash.Dies
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if err := c.Flash.Validate(); err != nil {
+		return err
+	}
+	if c.OPRatio < 0 || c.OPRatio >= 1 {
+		return fmt.Errorf("%w: OPRatio %v must be in [0,1)", ErrUnsupported, c.OPRatio)
+	}
+	if c.GCHighWater < c.GCLowWater {
+		return fmt.Errorf("%w: GCHighWater < GCLowWater", ErrUnsupported)
+	}
+	if c.LogBlocks < 1 {
+		return fmt.Errorf("%w: LogBlocks must be >= 1", ErrUnsupported)
+	}
+	if c.InterleaveWays < 1 {
+		return fmt.Errorf("%w: InterleaveWays must be >= 1", ErrUnsupported)
+	}
+	return nil
+}
+
+// New constructs an FTL by scheme name: "page", "bast", "fast", "dftl" or
+// "superblock".
+func New(scheme string, cfg Config) (FTL, error) {
+	switch scheme {
+	case "page":
+		return NewPageFTL(cfg)
+	case "bast":
+		return NewBAST(cfg)
+	case "fast":
+		return NewFAST(cfg)
+	case "dftl":
+		return NewDFTL(cfg)
+	case "superblock":
+		return NewSuperblock(cfg)
+	default:
+		return nil, fmt.Errorf("%w: unknown FTL scheme %q", ErrUnsupported, scheme)
+	}
+}
+
+// Schemes lists the available FTL scheme names.
+func Schemes() []string { return []string{"page", "bast", "fast", "dftl", "superblock"} }
+
+// interleaveDiscount returns the device time saved when n host pages of one
+// run program in parallel across `ways` planes instead of serially.
+func interleaveDiscount(n, ways int, program sim.VTime) sim.VTime {
+	if n <= 1 || ways <= 1 {
+		return 0
+	}
+	if ways > n {
+		ways = n
+	}
+	serial := sim.VTime(n) * program
+	parallel := sim.VTime((n+ways-1)/ways) * program
+	return serial - parallel
+}
+
+// checkRange validates a host request against the logical address space.
+func checkRange(lpn int64, n int, userPages int64) error {
+	if n <= 0 || lpn < 0 || lpn+int64(n) > userPages {
+		return fmt.Errorf("%w: lpn=%d n=%d user=%d", ErrBadRequest, lpn, n, userPages)
+	}
+	return nil
+}

@@ -1,0 +1,733 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/sim"
+)
+
+// testConfig returns a small geometry suitable for exhaustive testing.
+func testConfig() Config {
+	return Config{
+		Flash:          flash.Small(64, 8),
+		OPRatio:        0.25,
+		GCLowWater:     2,
+		GCHighWater:    4,
+		LogBlocks:      4,
+		InterleaveWays: 1,
+	}
+}
+
+func newFTL(t *testing.T, scheme string, cfg Config) FTL {
+	t.Helper()
+	f, err := New(scheme, cfg)
+	if err != nil {
+		t.Fatalf("New(%s): %v", scheme, err)
+	}
+	return f
+}
+
+func TestNewUnknownScheme(t *testing.T) {
+	if _, err := New("nope", testConfig()); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSchemesConstructAll(t *testing.T) {
+	for _, s := range Schemes() {
+		f := newFTL(t, s, testConfig())
+		if f.Name() != s {
+			t.Errorf("Name() = %q, want %q", f.Name(), s)
+		}
+		if f.UserPages() <= 0 {
+			t.Errorf("%s: UserPages = %d", s, f.UserPages())
+		}
+		if f.UserPages() >= int64(testConfig().Flash.TotalPages()) {
+			t.Errorf("%s: no over-provisioning reserved", s)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := testConfig()
+	cfg.OPRatio = 1.5
+	if _, err := NewPageFTL(cfg); err == nil {
+		t.Error("OPRatio 1.5 accepted")
+	}
+	cfg = testConfig()
+	cfg.GCLowWater, cfg.GCHighWater = 5, 3
+	if _, err := NewPageFTL(cfg); err == nil {
+		t.Error("GCHighWater < GCLowWater accepted")
+	}
+	cfg = testConfig()
+	cfg.LogBlocks = -1
+	if _, err := NewBAST(cfg); err == nil {
+		t.Error("negative LogBlocks accepted")
+	}
+}
+
+func TestRangeChecks(t *testing.T) {
+	for _, s := range Schemes() {
+		f := newFTL(t, s, testConfig())
+		if _, err := f.Write(-1, 1); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: negative lpn: %v", s, err)
+		}
+		if _, err := f.Write(f.UserPages(), 1); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: lpn past end: %v", s, err)
+		}
+		if _, err := f.Read(0, 0); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: zero-length read: %v", s, err)
+		}
+		if _, err := f.Read(f.UserPages()-1, 2); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: read spanning end: %v", s, err)
+		}
+	}
+}
+
+func TestUnmappedReadCostsBusOnly(t *testing.T) {
+	for _, s := range Schemes() {
+		f := newFTL(t, s, testConfig())
+		lat, err := f.Read(10, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if want := testConfig().Flash.BusLatency; lat != want {
+			t.Errorf("%s: unmapped read latency = %v, want %v", s, lat, want)
+		}
+	}
+}
+
+func TestWriteThenReadMapped(t *testing.T) {
+	cfg := testConfig()
+	for _, s := range Schemes() {
+		f := newFTL(t, s, cfg)
+		if _, err := f.Write(5, 1); err != nil {
+			t.Fatalf("%s write: %v", s, err)
+		}
+		lat, err := f.Read(5, 1)
+		if err != nil {
+			t.Fatalf("%s read: %v", s, err)
+		}
+		if want := cfg.Flash.ReadLatency + cfg.Flash.BusLatency; lat != want {
+			t.Errorf("%s: mapped read latency = %v, want %v", s, lat, want)
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestSequentialWriteLatencyCheaperWithInterleave(t *testing.T) {
+	for _, s := range Schemes() {
+		cfg := testConfig()
+		cfg.InterleaveWays = 1
+		serial := newFTL(t, s, cfg)
+		latSerial, err := serial.Write(0, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		cfg.InterleaveWays = 4
+		par := newFTL(t, s, cfg)
+		latPar, err := par.Write(0, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if latPar >= latSerial {
+			t.Errorf("%s: interleaved write %v not faster than serial %v", s, latPar, latSerial)
+		}
+		// Bus time is never discounted: at least n*bus must remain.
+		if latPar < 8*cfg.Flash.BusLatency {
+			t.Errorf("%s: interleaved write %v cheaper than pure bus time", s, latPar)
+		}
+	}
+}
+
+func TestInterleaveDiscount(t *testing.T) {
+	p := 200 * sim.Microsecond
+	if d := interleaveDiscount(1, 8, p); d != 0 {
+		t.Errorf("single page discount = %v", d)
+	}
+	if d := interleaveDiscount(8, 1, p); d != 0 {
+		t.Errorf("ways=1 discount = %v", d)
+	}
+	// 8 pages over 4 ways: serial 8p, parallel 2p, discount 6p.
+	if d := interleaveDiscount(8, 4, p); d != 6*p {
+		t.Errorf("discount = %v, want %v", d, 6*p)
+	}
+	// ways > n clamps to n: 3 pages, 8 ways -> parallel 1p, discount 2p.
+	if d := interleaveDiscount(3, 8, p); d != 2*p {
+		t.Errorf("clamped discount = %v, want %v", d, 2*p)
+	}
+}
+
+// TestOverwriteStress drives each FTL far past its physical capacity with
+// random single-page overwrites and validates invariants throughout.
+func TestOverwriteStress(t *testing.T) {
+	for _, s := range Schemes() {
+		t.Run(s, func(t *testing.T) {
+			f := newFTL(t, s, testConfig())
+			rng := rand.New(rand.NewSource(1))
+			user := f.UserPages()
+			writes := int(user) * 6
+			for i := 0; i < writes; i++ {
+				lpn := rng.Int63n(user)
+				if _, err := f.Write(lpn, 1); err != nil {
+					t.Fatalf("write %d (lpn %d): %v", i, lpn, err)
+				}
+				if i%500 == 0 {
+					if err := f.CheckInvariants(); err != nil {
+						t.Fatalf("after write %d: %v", i, err)
+					}
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if f.Flash().Stats().Erases == 0 {
+				t.Error("no erases after writing 6x capacity")
+			}
+		})
+	}
+}
+
+// TestSequentialCheaperThanRandom verifies the core premise of the paper
+// (Figure 1): sustained random single-page writes cost more device time per
+// page than sequential block-sized writes, on every FTL.
+func TestSequentialCheaperThanRandom(t *testing.T) {
+	for _, s := range Schemes() {
+		t.Run(s, func(t *testing.T) {
+			cfg := testConfig()
+			cfg.InterleaveWays = 4
+
+			seq := newFTL(t, s, cfg)
+			var seqTime sim.VTime
+			ppb := cfg.Flash.PagesPerBlock
+			user := seq.UserPages()
+			// Two full sequential passes (second pass forces reclaim).
+			for pass := 0; pass < 2; pass++ {
+				for lpn := int64(0); lpn+int64(ppb) <= user; lpn += int64(ppb) {
+					lat, err := seq.Write(lpn, ppb)
+					if err != nil {
+						t.Fatal(err)
+					}
+					seqTime += lat
+				}
+			}
+
+			rnd := newFTL(t, s, cfg)
+			var rndTime sim.VTime
+			rng := rand.New(rand.NewSource(7))
+			pages := (int(user) / ppb) * ppb * 2
+			for i := 0; i < pages; i++ {
+				lat, err := rnd.Write(rng.Int63n(user), 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rndTime += lat
+			}
+
+			if rndTime <= seqTime {
+				t.Errorf("random writes (%v) not slower than sequential (%v)", rndTime, seqTime)
+			}
+			seqErases := seq.Flash().Stats().Erases
+			rndErases := rnd.Flash().Stats().Erases
+			if rndErases <= seqErases {
+				t.Errorf("random erases (%d) not more than sequential (%d)", rndErases, seqErases)
+			}
+		})
+	}
+}
+
+func TestPageFTLGCReclaims(t *testing.T) {
+	f := newFTL(t, "page", testConfig()).(*PageFTL)
+	user := f.UserPages()
+	// Overwrite page 0 repeatedly until GC must have run.
+	for i := int64(0); i < user*3; i++ {
+		if _, err := f.Write(i%user, 1); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Error("GC never ran")
+	}
+	if f.Stats().GCTime == 0 {
+		t.Error("GCTime not accounted")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBASTSwitchMerge(t *testing.T) {
+	f := newFTL(t, "bast", testConfig()).(*BAST)
+	ppb := testConfig().Flash.PagesPerBlock
+	// Fill block 0's log sequentially twice: the second fill forces the
+	// first (fully sequential) log to switch-merge.
+	for pass := 0; pass < 2; pass++ {
+		for off := 0; off < ppb; off++ {
+			if _, err := f.Write(int64(off), 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Third write triggers merge of the second full log.
+	if _, err := f.Write(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.SwitchMerges < 2 {
+		t.Errorf("SwitchMerges = %d, want >= 2", st.SwitchMerges)
+	}
+	if st.FullMerges != 0 {
+		t.Errorf("FullMerges = %d for purely sequential writes", st.FullMerges)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBASTFullMergeOnRandom(t *testing.T) {
+	f := newFTL(t, "bast", testConfig()).(*BAST)
+	ppb := int64(testConfig().Flash.PagesPerBlock)
+	// Random-order writes within one block, repeated so the log fills
+	// out of order and must full-merge.
+	order := []int64{3, 1, 2, 0, 5, 4, 7, 6}
+	for pass := 0; pass < 3; pass++ {
+		for _, off := range order {
+			if _, err := f.Write(off%ppb, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if f.Stats().FullMerges == 0 {
+		t.Error("no full merges despite out-of-order writes")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBASTLogEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.LogBlocks = 2
+	f := newFTL(t, "bast", cfg).(*BAST)
+	ppb := int64(cfg.Flash.PagesPerBlock)
+	// Touch 3 distinct logical blocks: the third write must evict the
+	// least-recently-used log.
+	for _, lbn := range []int64{0, 1, 2} {
+		if _, err := f.Write(lbn*ppb+1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(f.logs) != 2 {
+		t.Errorf("live logs = %d, want 2", len(f.logs))
+	}
+	if _, ok := f.logs[0]; ok {
+		t.Error("LRU log (lbn 0) not evicted")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFASTSequentialSwitch(t *testing.T) {
+	f := newFTL(t, "fast", testConfig()).(*FAST)
+	ppb := testConfig().Flash.PagesPerBlock
+	// A full sequential block write should switch-merge immediately.
+	if _, err := f.Write(0, ppb); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().SwitchMerges != 1 {
+		t.Errorf("SwitchMerges = %d, want 1", f.Stats().SwitchMerges)
+	}
+	if f.swLog != nil {
+		t.Error("sequential log still active after switch")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFASTPartialMerge(t *testing.T) {
+	f := newFTL(t, "fast", testConfig()).(*FAST)
+	ppb := testConfig().Flash.PagesPerBlock
+	// Half a block sequentially, then a new sequential run elsewhere
+	// forces a partial merge of the first.
+	if _, err := f.Write(0, ppb/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(int64(ppb), 1); err != nil { // offset 0 of lbn 1
+		t.Fatal(err)
+	}
+	if f.Stats().PartialMerges != 1 {
+		t.Errorf("PartialMerges = %d, want 1", f.Stats().PartialMerges)
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFASTRandomLogReclaim(t *testing.T) {
+	cfg := testConfig()
+	cfg.LogBlocks = 2
+	f := newFTL(t, "fast", cfg).(*FAST)
+	user := f.UserPages()
+	rng := rand.New(rand.NewSource(3))
+	ppb := int64(cfg.Flash.PagesPerBlock)
+	// Enough random non-offset-0 writes to exhaust both random logs.
+	for i := 0; i < int(ppb)*5; i++ {
+		lpn := rng.Int63n(user)
+		if lpn%ppb == 0 {
+			lpn++ // keep it random-path
+		}
+		if _, err := f.Write(lpn, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Stats().FullMerges == 0 {
+		t.Error("random log reclamation never performed full merges")
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property test: after an arbitrary mix of reads and writes, every FTL's
+// invariants hold and all latencies are non-negative.
+func TestFTLRandomOpsProperty(t *testing.T) {
+	for _, s := range Schemes() {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			fn := func(seed int64, opsRaw []uint16) bool {
+				f, err := New(s, testConfig())
+				if err != nil {
+					return false
+				}
+				rng := rand.New(rand.NewSource(seed))
+				user := f.UserPages()
+				for range opsRaw {
+					lpn := rng.Int63n(user)
+					n := 1 + rng.Intn(4)
+					if lpn+int64(n) > user {
+						n = 1
+					}
+					var lat sim.VTime
+					if rng.Intn(2) == 0 {
+						lat, err = f.Write(lpn, n)
+					} else {
+						lat, err = f.Read(lpn, n)
+					}
+					if err != nil || lat < 0 {
+						return false
+					}
+				}
+				return f.CheckInvariants() == nil
+			}
+			if err := quick.Check(fn, &quick.Config{MaxCount: 20}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWearLeveling checks that the lowest-erase-count allocation policy
+// keeps wear reasonably even under a skewed workload.
+func TestWearLeveling(t *testing.T) {
+	cfg := testConfig()
+	f := newFTL(t, "page", cfg).(*PageFTL)
+	rng := rand.New(rand.NewSource(11))
+	user := f.UserPages()
+	hot := user / 8 // 12.5% of the space takes most writes
+	for i := 0; i < int(user)*8; i++ {
+		var lpn int64
+		if rng.Intn(10) < 8 {
+			lpn = rng.Int63n(hot)
+		} else {
+			lpn = rng.Int63n(user)
+		}
+		if _, err := f.Write(lpn, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w := f.Flash().Wear()
+	if w.MaxErase == 0 {
+		t.Fatal("no wear at all")
+	}
+	// All blocks rotate through the pool, so max wear should stay within
+	// a small factor of the mean.
+	if float64(w.MaxErase) > 6*w.MeanErase+6 {
+		t.Errorf("wear skew too high: max=%d mean=%.1f", w.MaxErase, w.MeanErase)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	for _, s := range Schemes() {
+		f := newFTL(t, s, testConfig())
+		if _, err := f.Write(0, 3); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Read(0, 2); err != nil {
+			t.Fatal(err)
+		}
+		st := f.Stats()
+		if st.HostWriteOps != 1 || st.HostWritePages != 3 {
+			t.Errorf("%s: write stats %+v", s, st)
+		}
+		if st.HostReadOps != 1 || st.HostReadPages != 2 {
+			t.Errorf("%s: read stats %+v", s, st)
+		}
+	}
+}
+
+func TestTrimAllSchemes(t *testing.T) {
+	for _, s := range Schemes() {
+		t.Run(s, func(t *testing.T) {
+			f := newFTL(t, s, testConfig())
+			if _, err := f.Write(0, 4); err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Trim(0, 4); err != nil {
+				t.Fatal(err)
+			}
+			// Trimmed pages read as unmapped (bus-only latency).
+			lat, err := f.Read(0, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := testConfig().Flash.BusLatency; lat != want {
+				t.Errorf("trimmed read latency %v, want %v", lat, want)
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// Trim of never-written pages is a no-op.
+			if err := f.Trim(100, 4); err != nil {
+				t.Fatal(err)
+			}
+			// Double trim is harmless.
+			if err := f.Trim(0, 4); err != nil {
+				t.Fatal(err)
+			}
+			// Out-of-range trim is rejected.
+			if err := f.Trim(f.UserPages(), 1); err == nil {
+				t.Error("out-of-range trim accepted")
+			}
+		})
+	}
+}
+
+// TestTrimFreesGarbage verifies trimmed space is reclaimable: after
+// trimming everything, a full rewrite must succeed without ErrOutOfSpace.
+func TestTrimFreesGarbage(t *testing.T) {
+	for _, s := range Schemes() {
+		t.Run(s, func(t *testing.T) {
+			f := newFTL(t, s, testConfig())
+			user := f.UserPages()
+			for pass := 0; pass < 3; pass++ {
+				for lpn := int64(0); lpn < user; lpn++ {
+					if _, err := f.Write(lpn, 1); err != nil {
+						t.Fatalf("pass %d write %d: %v", pass, lpn, err)
+					}
+				}
+				if err := f.Trim(0, int(user)); err != nil {
+					t.Fatalf("pass %d trim: %v", pass, err)
+				}
+				if err := f.CheckInvariants(); err != nil {
+					t.Fatalf("pass %d: %v", pass, err)
+				}
+			}
+		})
+	}
+}
+
+// TestCopyBackCheaperGC compares the page FTL's GC cost with and without
+// the NAND copy-back command under identical random-overwrite pressure.
+func TestCopyBackCheaperGC(t *testing.T) {
+	run := func(useCopyBack bool) (sim.VTime, error) {
+		cfg := testConfig()
+		cfg.UseCopyBack = useCopyBack
+		f, err := NewPageFTL(cfg)
+		if err != nil {
+			return 0, err
+		}
+		rng := rand.New(rand.NewSource(8))
+		user := f.UserPages()
+		for i := 0; i < int(user)*4; i++ {
+			if _, err := f.Write(rng.Int63n(user), 1); err != nil {
+				return 0, err
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			return 0, err
+		}
+		return f.Stats().GCTime, nil
+	}
+	plain, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain == 0 {
+		t.Fatal("no GC occurred")
+	}
+	if cb >= plain {
+		t.Errorf("copy-back GC time %v not below plain %v", cb, plain)
+	}
+}
+
+// TestCollectBackgroundAllSchemes pressures each FTL, then lets background
+// collection run and verifies it performs work without breaking invariants
+// and respects the budget within one atomic unit.
+func TestCollectBackgroundAllSchemes(t *testing.T) {
+	for _, s := range Schemes() {
+		t.Run(s, func(t *testing.T) {
+			f := newFTL(t, s, testConfig())
+			rng := rand.New(rand.NewSource(13))
+			user := f.UserPages()
+			for i := 0; i < int(user)*3; i++ {
+				if _, err := f.Write(rng.Int63n(user), 1); err != nil {
+					t.Fatal(err)
+				}
+			}
+			budget := 50 * sim.Millisecond
+			spent, err := f.CollectBackground(budget)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if spent < 0 {
+				t.Fatalf("negative time %v", spent)
+			}
+			// One atomic unit may overshoot; a full-block merge tops
+			// out around ~35ms on this geometry.
+			if spent > budget+50*sim.Millisecond {
+				t.Fatalf("budget blown: spent %v of %v", spent, budget)
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			// The FTL remains writable afterwards.
+			if _, err := f.Write(0, 1); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCollectBackgroundZeroBudget performs no work.
+func TestCollectBackgroundZeroBudget(t *testing.T) {
+	for _, s := range Schemes() {
+		f := newFTL(t, s, testConfig())
+		spent, err := f.CollectBackground(0)
+		if err != nil || spent != 0 {
+			t.Errorf("%s: spent=%v err=%v", s, spent, err)
+		}
+	}
+}
+
+// TestShadowMapConformance runs a mixed write/trim/read workload against
+// every FTL while tracking the expected logical state in a shadow map:
+// written-and-not-trimmed pages must read as mapped (costing a media read),
+// everything else as zero-fill (bus only).
+func TestShadowMapConformance(t *testing.T) {
+	// BAST and FAST zero-pad merge holes (so never-written offsets can
+	// become mapped); only the exact-mapping schemes assert the unmapped
+	// direction.
+	pads := map[string]bool{"bast": true, "fast": true}
+	for _, s := range Schemes() {
+		s := s
+		t.Run(s, func(t *testing.T) {
+			f := newFTL(t, s, testConfig())
+			rng := rand.New(rand.NewSource(23))
+			user := f.UserPages()
+			shadow := make(map[int64]bool) // lpn -> written (and not trimmed)
+			busOnly := testConfig().Flash.BusLatency
+			for step := 0; step < 4000; step++ {
+				lpn := rng.Int63n(user)
+				switch rng.Intn(4) {
+				case 0, 1:
+					if _, err := f.Write(lpn, 1); err != nil {
+						t.Fatalf("step %d write: %v", step, err)
+					}
+					shadow[lpn] = true
+				case 2:
+					if err := f.Trim(lpn, 1); err != nil {
+						t.Fatalf("step %d trim: %v", step, err)
+					}
+					delete(shadow, lpn)
+				case 3:
+					lat, err := f.Read(lpn, 1)
+					if err != nil {
+						t.Fatalf("step %d read: %v", step, err)
+					}
+					if shadow[lpn] && lat <= busOnly {
+						t.Fatalf("step %d: written lpn %d read as unmapped", step, lpn)
+					}
+					if !pads[s] && !shadow[lpn] && lat != busOnly {
+						t.Fatalf("step %d: unwritten/trimmed lpn %d read as mapped (lat %v)", step, lpn, lat)
+					}
+				}
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestStaticWearLeveling drives an extremely skewed workload (hot pages
+// overwritten constantly, cold data parked) and verifies that static wear
+// leveling narrows the erase-count spread.
+func TestStaticWearLeveling(t *testing.T) {
+	run := func(threshold int) flash.WearStats {
+		cfg := testConfig()
+		cfg.WearLevelThreshold = threshold
+		f, err := NewPageFTL(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		user := f.UserPages()
+		// Park cold data across the lower half of the space.
+		for lpn := int64(0); lpn < user/2; lpn++ {
+			if _, err := f.Write(lpn, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Hammer a tiny hot set, interleaved with background rounds
+		// (as an idle device would run them).
+		rng := rand.New(rand.NewSource(2))
+		hotBase := user / 2
+		hotSpan := user - hotBase
+		for i := 0; i < int(user)*8; i++ {
+			lpn := hotBase + rng.Int63n(hotSpan)
+			if _, err := f.Write(lpn, 1); err != nil {
+				t.Fatal(err)
+			}
+			if i%64 == 0 {
+				if _, err := f.CollectBackground(10 * sim.Millisecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := f.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+		if threshold > 0 && f.Stats().WearLevelMoves == 0 {
+			t.Fatal("wear leveling never migrated a block")
+		}
+		return f.Flash().Wear()
+	}
+	without := run(0)
+	with := run(4)
+	spreadWithout := without.MaxErase - without.MinErase
+	spreadWith := with.MaxErase - with.MinErase
+	if spreadWith >= spreadWithout {
+		t.Errorf("wear leveling did not narrow the spread: %d vs %d", spreadWith, spreadWithout)
+	}
+}

@@ -1,0 +1,427 @@
+package ftl
+
+import (
+	"fmt"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/sim"
+)
+
+// PageFTL is a page-level mapping FTL: every logical page maps independently
+// to a physical page, writes always go to the current active block's write
+// frontier, and a greedy garbage collector reclaims the block with the most
+// invalid pages when the free pool runs low (Section II.B of the paper).
+type PageFTL struct {
+	cfg       Config
+	arr       *flash.Array
+	ppb       int
+	userPages int64
+
+	l2p      []int32 // lpn -> ppn; -1 when unmapped
+	active   int     // host write frontier block; -1 when none
+	gcActive int     // GC copy destination block; -1 when none
+	pool     *blockPool
+	stats    Stats
+}
+
+var _ FTL = (*PageFTL)(nil)
+
+// NewPageFTL constructs a page-level FTL over a fresh flash array.
+func NewPageFTL(cfg Config) (*PageFTL, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	arr, err := flash.NewArray(cfg.Flash)
+	if err != nil {
+		return nil, err
+	}
+	totalPages := cfg.Flash.TotalPages()
+	if totalPages > 1<<31-1 {
+		return nil, fmt.Errorf("%w: array too large for 32-bit physical page numbers", ErrUnsupported)
+	}
+	userPages := int64(float64(totalPages) * (1 - cfg.OPRatio))
+	// Round user capacity down to whole blocks and keep at least
+	// GCHighWater+1 blocks of slack so the collector can always make
+	// forward progress.
+	ppb := cfg.Flash.PagesPerBlock
+	userBlocks := int(userPages) / ppb
+	minSlack := cfg.GCHighWater + 2
+	if userBlocks > cfg.Flash.TotalBlocks()-minSlack {
+		userBlocks = cfg.Flash.TotalBlocks() - minSlack
+	}
+	if userBlocks < 1 {
+		return nil, fmt.Errorf("%w: geometry too small for over-provisioning slack", ErrUnsupported)
+	}
+	f := &PageFTL{
+		cfg:       cfg,
+		arr:       arr,
+		ppb:       ppb,
+		userPages: int64(userBlocks) * int64(ppb),
+		l2p:       make([]int32, int64(userBlocks)*int64(ppb)),
+		active:    -1,
+		gcActive:  -1,
+		pool:      newBlockPool(arr),
+	}
+	for i := range f.l2p {
+		f.l2p[i] = -1
+	}
+	for b := 0; b < cfg.Flash.TotalBlocks(); b++ {
+		f.pool.put(b)
+	}
+	return f, nil
+}
+
+// Name implements FTL.
+func (f *PageFTL) Name() string { return "page" }
+
+// UserPages implements FTL.
+func (f *PageFTL) UserPages() int64 { return f.userPages }
+
+// Flash implements FTL.
+func (f *PageFTL) Flash() *flash.Array { return f.arr }
+
+// Stats implements FTL.
+func (f *PageFTL) Stats() Stats { return f.stats }
+
+// Read implements FTL.
+func (f *PageFTL) Read(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	mapped := 0
+	for i := 0; i < n; i++ {
+		ppn := f.l2p[lpn+int64(i)]
+		if ppn < 0 {
+			// Never written: controller zero-fills, bus transfer only.
+			total += f.cfg.Flash.BusLatency
+			continue
+		}
+		lat, err := f.arr.ReadPage(int(ppn))
+		if err != nil {
+			return total, err
+		}
+		total += lat
+		mapped++
+	}
+	total -= interleaveDiscount(mapped, f.cfg.InterleaveWays, f.cfg.Flash.ReadLatency)
+	f.stats.HostReadOps++
+	f.stats.HostReadPages += int64(n)
+	return total, nil
+}
+
+// Write implements FTL.
+func (f *PageFTL) Write(lpn int64, n int) (sim.VTime, error) {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return 0, err
+	}
+	var total sim.VTime
+	for i := 0; i < n; i++ {
+		lat, err := f.writeOne(lpn + int64(i))
+		if err != nil {
+			return total, err
+		}
+		total += lat
+	}
+	total -= interleaveDiscount(n, f.cfg.InterleaveWays, f.cfg.Flash.ProgramLatency)
+	f.stats.HostWriteOps++
+	f.stats.HostWritePages += int64(n)
+	return total, nil
+}
+
+func (f *PageFTL) writeOne(lpn int64) (sim.VTime, error) {
+	var total sim.VTime
+	// Ensure the host frontier has a free page, collecting garbage first
+	// if the free pool is low.
+	if f.active < 0 || f.blockFull(f.active) {
+		if f.pool.len() <= f.cfg.GCLowWater {
+			gcLat, err := f.collect()
+			total += gcLat
+			if err != nil {
+				return total, err
+			}
+		}
+		b, err := f.pool.get()
+		if err != nil {
+			return total, err
+		}
+		f.active = b
+	}
+	bi, err := f.arr.BlockInfo(f.active)
+	if err != nil {
+		return total, err
+	}
+	ppn := f.active*f.ppb + bi.NextProgram
+	lat, err := f.arr.ProgramPage(ppn, lpn)
+	if err != nil {
+		return total, err
+	}
+	total += lat
+	if old := f.l2p[lpn]; old >= 0 {
+		if err := f.arr.InvalidatePage(int(old)); err != nil {
+			return total, err
+		}
+	}
+	f.l2p[lpn] = int32(ppn)
+	return total, nil
+}
+
+func (f *PageFTL) blockFull(pbn int) bool {
+	bi, err := f.arr.BlockInfo(pbn)
+	if err != nil {
+		panic(err)
+	}
+	return bi.NextProgram == f.ppb
+}
+
+// collect runs greedy garbage collection until the free pool reaches the
+// high-water mark, returning the device time consumed.
+func (f *PageFTL) collect() (sim.VTime, error) {
+	var total sim.VTime
+	for f.pool.len() < f.cfg.GCHighWater {
+		victim := f.pickVictim()
+		if victim < 0 {
+			// Nothing reclaimable; further writes will fail with
+			// ErrOutOfSpace when the pool drains completely.
+			return total, nil
+		}
+		lat, err := f.reclaim(victim)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+		f.stats.GCRuns++
+	}
+	f.stats.GCTime += total
+	return total, nil
+}
+
+// pickVictim returns the fully-written block with the most invalid pages
+// (ties broken toward the lower erase count to spread wear), or -1 if no
+// block has any invalid page.
+func (f *PageFTL) pickVictim() int {
+	best, bestInvalid, bestErase := -1, 0, 0
+	for b := 0; b < f.cfg.Flash.TotalBlocks(); b++ {
+		if b == f.active || b == f.gcActive || f.pool.contains(b) {
+			continue
+		}
+		bi, err := f.arr.BlockInfo(b)
+		if err != nil {
+			panic(err)
+		}
+		if bi.NextProgram != f.ppb || bi.WornOut {
+			continue
+		}
+		invalid := f.ppb - bi.ValidPages
+		if invalid == 0 {
+			continue
+		}
+		if invalid > bestInvalid || (invalid == bestInvalid && bi.EraseCount < bestErase) {
+			best, bestInvalid, bestErase = b, invalid, bi.EraseCount
+		}
+	}
+	return best
+}
+
+// reclaim moves the victim's valid pages to the GC frontier and erases it.
+func (f *PageFTL) reclaim(victim int) (sim.VTime, error) {
+	var total sim.VTime
+	base := victim * f.ppb
+	for off := 0; off < f.ppb; off++ {
+		ppn := base + off
+		st, lpn, err := f.arr.PageInfo(ppn)
+		if err != nil {
+			return total, err
+		}
+		if st != flash.PageValid {
+			continue
+		}
+		wlat, err := f.gcMove(ppn, lpn)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+		if err := f.arr.InvalidatePage(ppn); err != nil {
+			return total, err
+		}
+	}
+	elat, err := f.arr.EraseBlock(victim)
+	total += elat
+	if err != nil {
+		return total, err
+	}
+	f.pool.put(victim)
+	return total, nil
+}
+
+// gcMove relocates one valid page (at src) to the GC destination frontier,
+// via copy-back when enabled and legal, otherwise read + program.
+func (f *PageFTL) gcMove(src int, lpn int64) (sim.VTime, error) {
+	if f.gcActive < 0 || f.blockFull(f.gcActive) {
+		b, err := f.pool.get()
+		if err != nil {
+			return 0, err
+		}
+		f.gcActive = b
+	}
+	bi, err := f.arr.BlockInfo(f.gcActive)
+	if err != nil {
+		return 0, err
+	}
+	dst := f.gcActive*f.ppb + bi.NextProgram
+	var total sim.VTime
+	sameDie := f.cfg.Flash.DieOfBlock(f.arr.BlockOfPage(src)) ==
+		f.cfg.Flash.DieOfBlock(f.gcActive)
+	if f.cfg.UseCopyBack && sameDie {
+		lat, err := f.arr.CopyBack(src, dst)
+		total += lat
+		if err != nil {
+			return total, err
+		}
+	} else {
+		rlat, err := f.arr.ReadPageInternal(src)
+		total += rlat
+		if err != nil {
+			return total, err
+		}
+		wlat, err := f.arr.ProgramPageInternal(dst, lpn)
+		total += wlat
+		if err != nil {
+			return total, err
+		}
+	}
+	f.l2p[lpn] = int32(dst)
+	return total, nil
+}
+
+// CheckInvariants implements FTL.
+func (f *PageFTL) CheckInvariants() error {
+	mapped := 0
+	for lpn, ppn := range f.l2p {
+		if ppn < 0 {
+			continue
+		}
+		mapped++
+		st, got, err := f.arr.PageInfo(int(ppn))
+		if err != nil {
+			return err
+		}
+		if st != flash.PageValid {
+			return fmt.Errorf("page ftl: lpn %d maps to %v page %d", lpn, st, ppn)
+		}
+		if got != int64(lpn) {
+			return fmt.Errorf("page ftl: lpn %d maps to page %d holding lpn %d", lpn, ppn, got)
+		}
+	}
+	valid := 0
+	for b := 0; b < f.cfg.Flash.TotalBlocks(); b++ {
+		bi, err := f.arr.BlockInfo(b)
+		if err != nil {
+			return err
+		}
+		valid += bi.ValidPages
+		if f.pool.contains(b) && bi.NextProgram != 0 {
+			return fmt.Errorf("page ftl: pooled block %d not erased", b)
+		}
+	}
+	if valid != mapped {
+		return fmt.Errorf("page ftl: %d valid flash pages but %d mapped lpns", valid, mapped)
+	}
+	return nil
+}
+
+// Trim implements FTL.
+func (f *PageFTL) Trim(lpn int64, n int) error {
+	if err := checkRange(lpn, n, f.userPages); err != nil {
+		return err
+	}
+	for i := 0; i < n; i++ {
+		p := lpn + int64(i)
+		if ppn := f.l2p[p]; ppn >= 0 {
+			if err := f.arr.InvalidatePage(int(ppn)); err != nil {
+				return err
+			}
+			f.l2p[p] = -1
+		}
+	}
+	return nil
+}
+
+// CollectBackground implements FTL: greedy reclamation keeps running while
+// budget remains, good victims exist, and the pool is below twice the high
+// water mark (no point hoarding more free blocks than that).
+func (f *PageFTL) CollectBackground(budget sim.VTime) (sim.VTime, error) {
+	var spent sim.VTime
+	// One static wear-leveling step takes priority when the spread is
+	// past the threshold; endurance is a harder constraint than having a
+	// deeper free pool.
+	lat, err := f.wearLevel()
+	spent += lat
+	if err != nil {
+		return spent, err
+	}
+	for spent < budget && f.pool.len() < 2*f.cfg.GCHighWater {
+		victim := f.pickVictim()
+		if victim < 0 {
+			break
+		}
+		lat, err := f.reclaim(victim)
+		spent += lat
+		if err != nil {
+			return spent, err
+		}
+		f.stats.GCRuns++
+		f.stats.BackgroundGC++
+	}
+	// Leftover budget goes to static wear leveling.
+	for spent < budget {
+		lat, err := f.wearLevel()
+		spent += lat
+		if err != nil {
+			return spent, err
+		}
+		if lat == 0 {
+			break
+		}
+	}
+	return spent, nil
+}
+
+// wearLevel performs one static wear-leveling step: if the erase spread
+// exceeds the configured threshold, the coldest full block's data is
+// migrated to the GC frontier and the block (with its unspent erase
+// budget) returns to the allocation pool. Returns the device time used,
+// or 0 when no step was needed.
+func (f *PageFTL) wearLevel() (sim.VTime, error) {
+	thr := f.cfg.WearLevelThreshold
+	if thr <= 0 {
+		return 0, nil
+	}
+	coldest, coldErase, maxErase := -1, 0, 0
+	for b := 0; b < f.cfg.Flash.TotalBlocks(); b++ {
+		bi, err := f.arr.BlockInfo(b)
+		if err != nil {
+			return 0, err
+		}
+		if bi.EraseCount > maxErase {
+			maxErase = bi.EraseCount
+		}
+		if b == f.active || b == f.gcActive || f.pool.contains(b) ||
+			bi.NextProgram != f.ppb || bi.WornOut {
+			continue
+		}
+		if coldest < 0 || bi.EraseCount < coldErase {
+			coldest, coldErase = b, bi.EraseCount
+		}
+	}
+	if coldest < 0 || maxErase-coldErase <= thr {
+		return 0, nil
+	}
+	lat, err := f.reclaim(coldest)
+	if err != nil {
+		return lat, err
+	}
+	f.stats.WearLevelMoves++
+	return lat, nil
+}

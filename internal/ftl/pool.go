@@ -1,0 +1,89 @@
+package ftl
+
+import (
+	"container/heap"
+	"fmt"
+
+	"flashcoop/internal/flash"
+)
+
+// blockPool hands out erased blocks, preferring the block with the lowest
+// erase count. This implements the simple static wear-leveling policy the
+// paper's Section II.B describes: "ensure that equal use is made of all the
+// available write cycles for each block".
+type blockPool struct {
+	arr  *flash.Array
+	h    eraseHeap
+	in   map[int]bool // membership, to catch double-free bugs
+	size int
+}
+
+type poolEntry struct {
+	pbn   int
+	erase int
+}
+
+type eraseHeap []poolEntry
+
+func (h eraseHeap) Len() int      { return len(h) }
+func (h eraseHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h eraseHeap) Less(i, j int) bool {
+	if h[i].erase != h[j].erase {
+		return h[i].erase < h[j].erase
+	}
+	return h[i].pbn < h[j].pbn // deterministic tie-break
+}
+func (h *eraseHeap) Push(x any) { *h = append(*h, x.(poolEntry)) }
+func (h *eraseHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func newBlockPool(arr *flash.Array) *blockPool {
+	return &blockPool{arr: arr, in: make(map[int]bool)}
+}
+
+// put returns an erased block to the pool.
+func (p *blockPool) put(pbn int) {
+	if p.in[pbn] {
+		panic(fmt.Sprintf("ftl: block %d freed twice", pbn))
+	}
+	bi, err := p.arr.BlockInfo(pbn)
+	if err != nil {
+		panic(err)
+	}
+	if bi.NextProgram != 0 {
+		panic(fmt.Sprintf("ftl: block %d returned to pool while not erased", pbn))
+	}
+	p.in[pbn] = true
+	heap.Push(&p.h, poolEntry{pbn: pbn, erase: bi.EraseCount})
+	p.size++
+}
+
+// get removes and returns the free block with the lowest erase count, or an
+// ErrOutOfSpace error when the pool is empty.
+func (p *blockPool) get() (int, error) {
+	for p.h.Len() > 0 {
+		e := heap.Pop(&p.h).(poolEntry)
+		delete(p.in, e.pbn)
+		p.size--
+		bi, err := p.arr.BlockInfo(e.pbn)
+		if err != nil {
+			return 0, err
+		}
+		if bi.WornOut {
+			continue // retired block: drop it from circulation
+		}
+		return e.pbn, nil
+	}
+	return 0, ErrOutOfSpace
+}
+
+// len reports how many blocks are available.
+func (p *blockPool) len() int { return p.size }
+
+// contains reports whether pbn is currently in the pool.
+func (p *blockPool) contains(pbn int) bool { return p.in[pbn] }

@@ -1,0 +1,81 @@
+package ftl
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestSuperblockConstruction(t *testing.T) {
+	f, err := NewSuperblock(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Name() != "superblock" {
+		t.Fatalf("Name = %q", f.Name())
+	}
+	// Capacity is whole superblocks.
+	sbPages := int64(f.sbBlocks) * int64(f.ppb)
+	if f.UserPages()%sbPages != 0 {
+		t.Fatalf("UserPages %d not a multiple of superblock size %d", f.UserPages(), sbPages)
+	}
+	// Geometry too small is refused.
+	cfg := testConfig()
+	cfg.LogBlocks = 1000
+	if _, err := NewSuperblock(cfg); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("oversized superblock accepted: %v", err)
+	}
+}
+
+func TestSuperblockLocalizedGC(t *testing.T) {
+	f, err := NewSuperblock(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hammer a single superblock: its local GC must reclaim space
+	// without touching other superblocks' budgets.
+	sbPages := int64(f.sbBlocks) * int64(f.ppb)
+	rng := rand.New(rand.NewSource(3))
+	for i := int64(0); i < sbPages*8; i++ {
+		if _, err := f.Write(rng.Int63n(sbPages), 1); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if f.Stats().GCRuns == 0 {
+		t.Fatal("local GC never ran")
+	}
+	// Only the first superblock owns blocks.
+	for i := 1; i < len(f.sbs); i++ {
+		if len(f.sbs[i].phys) != 0 {
+			t.Fatalf("superblock %d allocated blocks without traffic", i)
+		}
+	}
+	if len(f.sbs[0].phys) > f.maxPhys {
+		t.Fatalf("superblock 0 exceeded its budget: %d blocks", len(f.sbs[0].phys))
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSuperblockBudgetBoundsAllocation(t *testing.T) {
+	f, err := NewSuperblock(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	user := f.UserPages()
+	for i := 0; i < int(user)*4; i++ {
+		if _, err := f.Write(rng.Int63n(user), 1); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i, sb := range f.sbs {
+		if len(sb.phys) > f.maxPhys {
+			t.Fatalf("superblock %d over budget: %d", i, len(sb.phys))
+		}
+	}
+	if err := f.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

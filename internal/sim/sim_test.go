@@ -1,0 +1,150 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVTimeConversions(t *testing.T) {
+	if FromDuration(time.Millisecond) != Millisecond {
+		t.Fatalf("FromDuration(1ms) = %d, want %d", FromDuration(time.Millisecond), Millisecond)
+	}
+	if got := (2 * Millisecond).Msec(); got != 2.0 {
+		t.Fatalf("Msec = %v, want 2", got)
+	}
+	if got := (3 * Second).Seconds(); got != 3.0 {
+		t.Fatalf("Seconds = %v, want 3", got)
+	}
+	if got := Millisecond.Duration(); got != time.Millisecond {
+		t.Fatalf("Duration = %v, want 1ms", got)
+	}
+	if s := (1500 * Microsecond).String(); s != "1.5ms" {
+		t.Fatalf("String = %q, want 1.5ms", s)
+	}
+}
+
+func TestMaxMin(t *testing.T) {
+	if Max(1, 2) != 2 || Max(2, 1) != 2 {
+		t.Fatal("Max broken")
+	}
+	if Min(1, 2) != 1 || Min(2, 1) != 1 {
+		t.Fatal("Min broken")
+	}
+}
+
+func TestQueueIdleArrival(t *testing.T) {
+	var q Queue
+	start, finish := q.Serve(100, 50)
+	if start != 100 || finish != 150 {
+		t.Fatalf("Serve idle: start=%d finish=%d, want 100,150", start, finish)
+	}
+	if q.BusyUntil() != 150 {
+		t.Fatalf("BusyUntil = %d, want 150", q.BusyUntil())
+	}
+	if q.Waited != 0 {
+		t.Fatalf("Waited = %d, want 0", q.Waited)
+	}
+}
+
+func TestQueueBackToBack(t *testing.T) {
+	var q Queue
+	q.Serve(0, 100)
+	start, finish := q.Serve(10, 100)
+	if start != 100 || finish != 200 {
+		t.Fatalf("queued request: start=%d finish=%d, want 100,200", start, finish)
+	}
+	if q.Waited != 90 {
+		t.Fatalf("Waited = %d, want 90", q.Waited)
+	}
+	if q.Served != 2 {
+		t.Fatalf("Served = %d, want 2", q.Served)
+	}
+}
+
+func TestQueueUtilization(t *testing.T) {
+	var q Queue
+	q.Serve(0, 500)
+	if u := q.Utilization(1000); u != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", u)
+	}
+	if u := q.Utilization(0); u != 0 {
+		t.Fatalf("Utilization(0) = %v, want 0", u)
+	}
+	// Utilization is clamped to 1 even if the device is saturated past now.
+	q.Serve(0, 10000)
+	if u := q.Utilization(1000); u != 1 {
+		t.Fatalf("saturated Utilization = %v, want 1", u)
+	}
+}
+
+func TestQueueReset(t *testing.T) {
+	var q Queue
+	q.Serve(0, 100)
+	q.Reset()
+	if q.BusyUntil() != 0 || q.Busy != 0 || q.Served != 0 {
+		t.Fatal("Reset did not clear queue state")
+	}
+}
+
+func TestQueueNegativeServicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service time did not panic")
+		}
+	}()
+	var q Queue
+	q.Serve(0, -1)
+}
+
+// Property: service is FIFO and work-conserving — each finish time equals
+// max(arrival, previous finish) + service, and finish times never decrease.
+func TestQueueFIFOProperty(t *testing.T) {
+	f := func(arrivals []uint16, services []uint16) bool {
+		var q Queue
+		var prevFinish VTime
+		var clock VTime
+		n := len(arrivals)
+		if len(services) < n {
+			n = len(services)
+		}
+		for i := 0; i < n; i++ {
+			clock += VTime(arrivals[i]) // non-decreasing arrivals
+			svc := VTime(services[i])
+			start, finish := q.Serve(clock, svc)
+			if start != Max(clock, prevFinish) {
+				return false
+			}
+			if finish != start+svc {
+				return false
+			}
+			if finish < prevFinish {
+				return false
+			}
+			prevFinish = finish
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("NewRand with equal seeds diverged")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	for i := 0; i < 10; i++ {
+		if NewRand(42).Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}

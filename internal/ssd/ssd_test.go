@@ -1,0 +1,251 @@
+package ssd
+
+import (
+	"testing"
+
+	"flashcoop/internal/flash"
+	"flashcoop/internal/ftl"
+	"flashcoop/internal/sim"
+)
+
+func testConfig(scheme string) Config {
+	return Config{
+		Scheme: scheme,
+		FTL: ftl.Config{
+			Flash:          flash.Small(64, 8),
+			OPRatio:        0.25,
+			LogBlocks:      4,
+			InterleaveWays: 1,
+		},
+	}
+}
+
+func newDevice(t *testing.T, scheme string) *Device {
+	t.Helper()
+	d, err := New(testConfig(scheme))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return d
+}
+
+func TestNewBadScheme(t *testing.T) {
+	if _, err := New(Config{Scheme: "bogus"}); err == nil {
+		t.Fatal("bogus scheme accepted")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	d := newDevice(t, "page")
+	if d.PageSize() != 4096 {
+		t.Errorf("PageSize = %d", d.PageSize())
+	}
+	if d.PagesPerBlock() != 8 {
+		t.Errorf("PagesPerBlock = %d", d.PagesPerBlock())
+	}
+	if d.UserPages() <= 0 {
+		t.Errorf("UserPages = %d", d.UserPages())
+	}
+	if d.FTL().Name() != "page" {
+		t.Errorf("FTL name = %q", d.FTL().Name())
+	}
+}
+
+func TestWriteReadTimeline(t *testing.T) {
+	d := newDevice(t, "page")
+	fin1, err := d.Write(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin1 <= 0 {
+		t.Fatalf("finish = %v", fin1)
+	}
+	// A read arriving while the write is in flight queues behind it.
+	fin2, err := d.Read(fin1/2, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin2 <= fin1 {
+		t.Errorf("queued read finished at %v, write at %v", fin2, fin1)
+	}
+	st := d.Stats()
+	if st.WriteOps != 1 || st.ReadOps != 1 || st.WritePages != 1 || st.ReadPages != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ReadTime <= 0 || st.WriteTime <= 0 {
+		t.Errorf("times not accumulated: %+v", st)
+	}
+}
+
+func TestWriteLengthHistogram(t *testing.T) {
+	d := newDevice(t, "page")
+	if _, err := d.Write(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(0, 8, 4); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Write(0, 16, 4); err != nil {
+		t.Fatal(err)
+	}
+	h := &d.Stats().WriteLengths
+	if h.Total() != 3 || h.Count(1) != 1 || h.Count(4) != 2 {
+		t.Errorf("write lengths: total=%d c1=%d c4=%d", h.Total(), h.Count(1), h.Count(4))
+	}
+}
+
+func TestWriteCluster(t *testing.T) {
+	d := newDevice(t, "page")
+	// Scattered pages in one burst count as one large write.
+	fin, err := d.WriteCluster(0, []int64{3, 100, 200, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin <= 0 {
+		t.Fatal("no time elapsed")
+	}
+	h := &d.Stats().WriteLengths
+	if h.Total() != 1 || h.Count(4) != 1 {
+		t.Errorf("cluster write not recorded as one 4-page write: %v", h.Values())
+	}
+	// Empty cluster is a no-op.
+	fin2, err := d.WriteCluster(fin, nil)
+	if err != nil || fin2 != fin {
+		t.Errorf("empty cluster: fin=%v err=%v", fin2, err)
+	}
+}
+
+func TestClusterFasterThanSeparateWrites(t *testing.T) {
+	cfg := testConfig("page")
+	cfg.FTL.Flash.PlanesPerDie = 4 // enable interleaving
+	dc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lpns := []int64{3, 100, 200, 7}
+	finCluster, err := dc.WriteCluster(0, lpns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finSep sim.VTime
+	for _, lpn := range lpns {
+		finSep, err = ds.Write(finSep, lpn, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if finCluster >= finSep {
+		t.Errorf("cluster (%v) not faster than separate writes (%v)", finCluster, finSep)
+	}
+}
+
+func TestPrecondition(t *testing.T) {
+	d := newDevice(t, "bast")
+	if err := d.Precondition(1.0); err != nil {
+		t.Fatal(err)
+	}
+	// Measurement state is reset but the mapping is aged.
+	if d.Stats().WriteOps != 0 {
+		t.Error("stats not reset after precondition")
+	}
+	if d.BusyUntil() != 0 {
+		t.Error("queue not reset after precondition")
+	}
+	// Reads of preconditioned pages are mapped (cost more than bus-only).
+	lat0, err := d.Read(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := testConfig("bast").FTL.Flash
+	if lat0 != p.ReadLatency+p.BusLatency {
+		t.Errorf("preconditioned read latency = %v, want %v", lat0, p.ReadLatency+p.BusLatency)
+	}
+	// Fill ratio <= 0 is a no-op.
+	d2 := newDevice(t, "page")
+	if err := d2.Precondition(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.Read(0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErasesExposed(t *testing.T) {
+	d := newDevice(t, "page")
+	user := d.UserPages()
+	var at sim.VTime
+	var err error
+	for i := int64(0); i < user*4; i++ {
+		at, err = d.Write(at, i%user, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Erases() == 0 {
+		t.Error("no erases after 4x overwrite")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	d := newDevice(t, "page")
+	fin, err := d.Write(0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u := d.Utilization(fin * 2); u <= 0 || u > 1 {
+		t.Errorf("utilization = %v", u)
+	}
+}
+
+func TestAllSchemesServeIO(t *testing.T) {
+	for _, s := range []string{"page", "bast", "fast"} {
+		d := newDevice(t, s)
+		var at sim.VTime
+		var err error
+		for i := 0; i < 100; i++ {
+			at, err = d.Write(at, int64(i%50), 1)
+			if err != nil {
+				t.Fatalf("%s write: %v", s, err)
+			}
+		}
+		if _, err := d.Read(at, 25, 1); err != nil {
+			t.Fatalf("%s read: %v", s, err)
+		}
+		if err := d.FTL().CheckInvariants(); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestDeviceTrim(t *testing.T) {
+	d := newDevice(t, "page")
+	if _, err := d.Write(0, 10, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Trim(10, 4); err != nil {
+		t.Fatal(err)
+	}
+	st := d.Stats()
+	if st.TrimOps != 1 || st.TrimPages != 4 {
+		t.Errorf("trim stats = %+v", st)
+	}
+	// Trim consumes no device time.
+	if d.BusyUntil() != 0 {
+		// BusyUntil reflects only the earlier write's service.
+		before := d.BusyUntil()
+		if err := d.Trim(10, 4); err != nil {
+			t.Fatal(err)
+		}
+		if d.BusyUntil() != before {
+			t.Error("trim consumed device time")
+		}
+	}
+	// Out of range trim errors.
+	if err := d.Trim(d.UserPages(), 1); err == nil {
+		t.Error("out-of-range trim accepted")
+	}
+}

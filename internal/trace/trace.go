@@ -1,0 +1,257 @@
+// Package trace defines the I/O request model used throughout the
+// simulator, a parser and writer for the SPC (Storage Performance Council)
+// trace format the paper's Fin1/Fin2 workloads are distributed in, and the
+// aggregate statistics reported in the paper's Table I.
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"flashcoop/internal/sim"
+)
+
+// Op is the request direction.
+type Op uint8
+
+// Request directions.
+const (
+	Read Op = iota
+	Write
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == Write {
+		return "write"
+	}
+	return "read"
+}
+
+// Request is one I/O request in a trace, already aligned to the simulator's
+// page granularity.
+type Request struct {
+	Arrival sim.VTime // arrival time relative to trace start
+	Op      Op
+	LPN     int64 // first logical page
+	Pages   int   // page count (>= 1)
+	Bytes   int   // original byte size before page alignment
+}
+
+// End reports the first logical page after the request.
+func (r Request) End() int64 { return r.LPN + int64(r.Pages) }
+
+// Stats summarizes a trace in the units the paper's Table I reports.
+type Stats struct {
+	Requests        int
+	AvgSizeKB       float64
+	WriteFrac       float64
+	SeqFrac         float64
+	AvgInterarrival sim.VTime
+	Footprint       int64 // distinct logical pages touched
+}
+
+// ComputeStats derives Table I statistics from a request stream. A request
+// is sequential when it starts exactly where the previous request ended,
+// matching the convention used for the paper's "Seq. (%)" column.
+func ComputeStats(reqs []Request) Stats {
+	var s Stats
+	s.Requests = len(reqs)
+	if len(reqs) == 0 {
+		return s
+	}
+	var bytes, writes, seq int64
+	touched := make(map[int64]struct{})
+	var prevEnd int64 = -1
+	for _, r := range reqs {
+		bytes += int64(r.Bytes)
+		if r.Op == Write {
+			writes++
+		}
+		if prevEnd >= 0 && r.LPN == prevEnd {
+			seq++
+		}
+		prevEnd = r.End()
+		for p := r.LPN; p < r.End(); p++ {
+			touched[p] = struct{}{}
+		}
+	}
+	n := float64(len(reqs))
+	s.AvgSizeKB = float64(bytes) / n / 1024
+	s.WriteFrac = float64(writes) / n
+	s.SeqFrac = float64(seq) / n
+	if len(reqs) > 1 {
+		span := reqs[len(reqs)-1].Arrival - reqs[0].Arrival
+		s.AvgInterarrival = span / sim.VTime(len(reqs)-1)
+	}
+	s.Footprint = int64(len(touched))
+	return s
+}
+
+// SPCOptions controls SPC-format parsing.
+type SPCOptions struct {
+	// SectorBytes is the unit of the trace's LBA column (512 for the
+	// UMass financial traces).
+	SectorBytes int
+	// PageBytes is the simulator's page size used to align requests.
+	PageBytes int
+	// ASU filters to a single Application Storage Unit (one server), as
+	// the paper did; -1 keeps all ASUs.
+	ASU int
+	// MaxRequests stops after this many parsed requests; 0 means all.
+	MaxRequests int
+}
+
+// DefaultSPCOptions matches the UMass SPC financial traces with 4KB pages
+// and no ASU filtering.
+func DefaultSPCOptions() SPCOptions {
+	return SPCOptions{SectorBytes: 512, PageBytes: 4096, ASU: -1}
+}
+
+// ParseSPC reads an SPC-format trace: one request per line,
+// "ASU,LBA,Size,Opcode,Timestamp" with size in bytes, opcode r/R/w/W, and
+// timestamp in seconds. Blank lines and lines starting with '#' are
+// skipped. Extra trailing fields are ignored, as in the SPC specification.
+func ParseSPC(r io.Reader, opts SPCOptions) ([]Request, error) {
+	if opts.SectorBytes <= 0 || opts.PageBytes <= 0 {
+		return nil, errors.New("trace: SectorBytes and PageBytes must be positive")
+	}
+	var reqs []Request
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		req, asu, err := parseSPCLine(line, opts)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", lineNo, err)
+		}
+		if opts.ASU >= 0 && asu != opts.ASU {
+			continue
+		}
+		reqs = append(reqs, req)
+		if opts.MaxRequests > 0 && len(reqs) >= opts.MaxRequests {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return reqs, nil
+}
+
+func parseSPCLine(line string, opts SPCOptions) (Request, int, error) {
+	fields := strings.Split(line, ",")
+	if len(fields) < 5 {
+		return Request{}, 0, fmt.Errorf("want >=5 fields, got %d", len(fields))
+	}
+	asu, err := strconv.Atoi(strings.TrimSpace(fields[0]))
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("asu: %w", err)
+	}
+	lba, err := strconv.ParseInt(strings.TrimSpace(fields[1]), 10, 64)
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("lba: %w", err)
+	}
+	size, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("size: %w", err)
+	}
+	if size <= 0 {
+		return Request{}, 0, fmt.Errorf("size %d must be positive", size)
+	}
+	var op Op
+	switch strings.ToLower(strings.TrimSpace(fields[3])) {
+	case "r":
+		op = Read
+	case "w":
+		op = Write
+	default:
+		return Request{}, 0, fmt.Errorf("opcode %q", fields[3])
+	}
+	ts, err := strconv.ParseFloat(strings.TrimSpace(fields[4]), 64)
+	if err != nil {
+		return Request{}, 0, fmt.Errorf("timestamp: %w", err)
+	}
+
+	startByte := lba * int64(opts.SectorBytes)
+	endByte := startByte + int64(size)
+	firstPage := startByte / int64(opts.PageBytes)
+	lastPage := (endByte - 1) / int64(opts.PageBytes)
+	return Request{
+		Arrival: sim.VTime(ts * float64(sim.Second)),
+		Op:      op,
+		LPN:     firstPage,
+		Pages:   int(lastPage-firstPage) + 1,
+		Bytes:   size,
+	}, asu, nil
+}
+
+// WriteSPC emits requests in SPC format, the inverse of ParseSPC. All
+// requests are written as ASU 0.
+func WriteSPC(w io.Writer, reqs []Request, opts SPCOptions) error {
+	if opts.SectorBytes <= 0 || opts.PageBytes <= 0 {
+		return errors.New("trace: SectorBytes and PageBytes must be positive")
+	}
+	bw := bufio.NewWriter(w)
+	for _, r := range reqs {
+		opc := "r"
+		if r.Op == Write {
+			opc = "w"
+		}
+		lba := r.LPN * int64(opts.PageBytes) / int64(opts.SectorBytes)
+		bytes := r.Bytes
+		if bytes == 0 {
+			bytes = r.Pages * opts.PageBytes
+		}
+		if _, err := fmt.Fprintf(bw, "0,%d,%d,%s,%.6f\n",
+			lba, bytes, opc, r.Arrival.Seconds()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Clamp rewrites requests to fit inside an address space of `pages` logical
+// pages by wrapping their page addresses, preserving request sizes. It is
+// used to replay large traces against a smaller simulated device.
+func Clamp(reqs []Request, pages int64) []Request {
+	out := make([]Request, len(reqs))
+	for i, r := range reqs {
+		if int64(r.Pages) > pages {
+			r.Pages = int(pages)
+		}
+		r.LPN %= pages
+		if r.LPN+int64(r.Pages) > pages {
+			r.LPN = pages - int64(r.Pages)
+		}
+		out[i] = r
+	}
+	return out
+}
+
+// Merge interleaves two traces by arrival time into one stream, preserving
+// the relative order of equal-time requests (a then b). It is used to
+// combine per-server request streams for dual replays.
+func Merge(a, b []Request) []Request {
+	out := make([]Request, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		if j >= len(b) || (i < len(a) && a[i].Arrival <= b[j].Arrival) {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"flashcoop/internal/sim"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Op.String wrong")
+	}
+}
+
+func TestRequestEnd(t *testing.T) {
+	r := Request{LPN: 10, Pages: 3}
+	if r.End() != 13 {
+		t.Fatalf("End = %d", r.End())
+	}
+}
+
+func TestParseSPCBasic(t *testing.T) {
+	in := `# comment line
+0,8,4096,w,0.5
+
+1,16,512,R,1.0
+0,16,8192,r,2.0
+`
+	reqs, err := ParseSPC(strings.NewReader(in), DefaultSPCOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("got %d requests, want 3", len(reqs))
+	}
+	// 0,8,4096,w,0.5: byte offset 8*512=4096 -> page 1, 4096 bytes -> 1 page.
+	if reqs[0].Op != Write || reqs[0].LPN != 1 || reqs[0].Pages != 1 || reqs[0].Bytes != 4096 {
+		t.Errorf("req0 = %+v", reqs[0])
+	}
+	if reqs[0].Arrival != sim.VTime(float64(sim.Second)*0.5) {
+		t.Errorf("arrival = %v", reqs[0].Arrival)
+	}
+	// 1,16,512,R: offset 8192 -> page 2, 512 bytes within one page.
+	if reqs[1].Op != Read || reqs[1].LPN != 2 || reqs[1].Pages != 1 {
+		t.Errorf("req1 = %+v", reqs[1])
+	}
+	// 0,16,8192,r: offset 8192, 8192 bytes -> pages 2..3.
+	if reqs[2].LPN != 2 || reqs[2].Pages != 2 {
+		t.Errorf("req2 = %+v", reqs[2])
+	}
+}
+
+func TestParseSPCUnaligned(t *testing.T) {
+	// Offset 1 sector (512B), size 4096B: spans pages 0 and 1.
+	in := "0,1,4096,w,0\n"
+	reqs, err := ParseSPC(strings.NewReader(in), DefaultSPCOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reqs[0].LPN != 0 || reqs[0].Pages != 2 {
+		t.Errorf("unaligned request = %+v", reqs[0])
+	}
+}
+
+func TestParseSPCASUFilter(t *testing.T) {
+	in := "0,0,512,w,0\n1,0,512,w,0\n0,8,512,r,1\n"
+	opts := DefaultSPCOptions()
+	opts.ASU = 0
+	reqs, err := ParseSPC(strings.NewReader(in), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 2 {
+		t.Fatalf("ASU filter: got %d, want 2", len(reqs))
+	}
+}
+
+func TestParseSPCMaxRequests(t *testing.T) {
+	in := strings.Repeat("0,0,512,w,0\n", 10)
+	opts := DefaultSPCOptions()
+	opts.MaxRequests = 3
+	reqs, err := ParseSPC(strings.NewReader(in), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 3 {
+		t.Fatalf("MaxRequests: got %d", len(reqs))
+	}
+}
+
+func TestParseSPCErrors(t *testing.T) {
+	bad := []string{
+		"0,0,512",          // too few fields
+		"x,0,512,w,0",      // bad asu
+		"0,x,512,w,0",      // bad lba
+		"0,0,x,w,0",        // bad size
+		"0,0,0,w,0",        // zero size
+		"0,0,512,q,0",      // bad opcode
+		"0,0,512,w,notime", // bad timestamp
+	}
+	for _, line := range bad {
+		if _, err := ParseSPC(strings.NewReader(line+"\n"), DefaultSPCOptions()); err == nil {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+	if _, err := ParseSPC(strings.NewReader(""), SPCOptions{}); err == nil {
+		t.Error("zero options accepted")
+	}
+}
+
+func TestWriteParseRoundTrip(t *testing.T) {
+	orig := []Request{
+		{Arrival: 0, Op: Write, LPN: 0, Pages: 1, Bytes: 4096},
+		{Arrival: sim.Second, Op: Read, LPN: 5, Pages: 2, Bytes: 8192},
+		{Arrival: 2 * sim.Second, Op: Write, LPN: 100, Pages: 1, Bytes: 4096},
+	}
+	var buf bytes.Buffer
+	if err := WriteSPC(&buf, orig, DefaultSPCOptions()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseSPC(&buf, DefaultSPCOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(orig) {
+		t.Fatalf("round trip length %d != %d", len(got), len(orig))
+	}
+	for i := range orig {
+		if got[i].Op != orig[i].Op || got[i].LPN != orig[i].LPN || got[i].Pages != orig[i].Pages {
+			t.Errorf("req %d: got %+v, want %+v", i, got[i], orig[i])
+		}
+	}
+}
+
+// Property: any page-aligned request survives an SPC round trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(lpnRaw uint32, pagesRaw uint8, isWrite bool, tsRaw uint16) bool {
+		r := Request{
+			Arrival: sim.VTime(tsRaw) * sim.Millisecond,
+			LPN:     int64(lpnRaw % 1_000_000),
+			Pages:   int(pagesRaw%16) + 1,
+		}
+		r.Bytes = r.Pages * 4096
+		if isWrite {
+			r.Op = Write
+		}
+		var buf bytes.Buffer
+		if err := WriteSPC(&buf, []Request{r}, DefaultSPCOptions()); err != nil {
+			return false
+		}
+		got, err := ParseSPC(&buf, DefaultSPCOptions())
+		if err != nil || len(got) != 1 {
+			return false
+		}
+		g := got[0]
+		return g.Op == r.Op && g.LPN == r.LPN && g.Pages == r.Pages && g.Bytes == r.Bytes
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	reqs := []Request{
+		{Arrival: 0, Op: Write, LPN: 0, Pages: 1, Bytes: 4096},
+		{Arrival: 100 * sim.Millisecond, Op: Write, LPN: 1, Pages: 1, Bytes: 4096}, // sequential
+		{Arrival: 200 * sim.Millisecond, Op: Read, LPN: 50, Pages: 2, Bytes: 8192},
+	}
+	s := ComputeStats(reqs)
+	if s.Requests != 3 {
+		t.Errorf("Requests = %d", s.Requests)
+	}
+	if math.Abs(s.WriteFrac-2.0/3.0) > 1e-12 {
+		t.Errorf("WriteFrac = %v", s.WriteFrac)
+	}
+	if math.Abs(s.SeqFrac-1.0/3.0) > 1e-12 {
+		t.Errorf("SeqFrac = %v", s.SeqFrac)
+	}
+	if want := (4096 + 4096 + 8192) / 3.0 / 1024; math.Abs(s.AvgSizeKB-want) > 1e-9 {
+		t.Errorf("AvgSizeKB = %v, want %v", s.AvgSizeKB, want)
+	}
+	if s.AvgInterarrival != 100*sim.Millisecond {
+		t.Errorf("AvgInterarrival = %v", s.AvgInterarrival)
+	}
+	if s.Footprint != 4 { // pages 0,1,50,51
+		t.Errorf("Footprint = %d", s.Footprint)
+	}
+	if z := ComputeStats(nil); z.Requests != 0 {
+		t.Error("empty stats nonzero")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	reqs := []Request{
+		{LPN: 1000, Pages: 2},
+		{LPN: 98, Pages: 5},  // would run past 100
+		{LPN: 5, Pages: 200}, // larger than the space
+	}
+	out := Clamp(reqs, 100)
+	for i, r := range out {
+		if r.LPN < 0 || r.End() > 100 {
+			t.Errorf("req %d escapes space: %+v", i, r)
+		}
+	}
+	if out[0].LPN != 0 || out[0].Pages != 2 {
+		t.Errorf("wrap wrong: %+v", out[0])
+	}
+	if out[1].LPN != 95 || out[1].Pages != 5 {
+		t.Errorf("shift wrong: %+v", out[1])
+	}
+	if out[2].Pages != 100 {
+		t.Errorf("oversize clamp wrong: %+v", out[2])
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := []Request{
+		{Arrival: 0, LPN: 1, Pages: 1},
+		{Arrival: 2 * sim.Second, LPN: 2, Pages: 1},
+	}
+	b := []Request{
+		{Arrival: sim.Second, LPN: 3, Pages: 1},
+		{Arrival: 2 * sim.Second, LPN: 4, Pages: 1},
+	}
+	got := Merge(a, b)
+	if len(got) != 4 {
+		t.Fatalf("len = %d", len(got))
+	}
+	wantLPN := []int64{1, 3, 2, 4} // stable: a wins ties
+	for i, w := range wantLPN {
+		if got[i].LPN != w {
+			t.Fatalf("order wrong at %d: %v", i, got)
+		}
+	}
+	var prev sim.VTime
+	for _, r := range got {
+		if r.Arrival < prev {
+			t.Fatal("merge not time-ordered")
+		}
+		prev = r.Arrival
+	}
+	if len(Merge(nil, nil)) != 0 {
+		t.Fatal("empty merge")
+	}
+}
+
+// Property: Merge output is sorted by arrival and a permutation of inputs.
+func TestMergeProperty(t *testing.T) {
+	f := func(aRaw, bRaw []uint16) bool {
+		mk := func(raw []uint16) []Request {
+			out := make([]Request, len(raw))
+			var clock sim.VTime
+			for i, v := range raw {
+				clock += sim.VTime(v)
+				out[i] = Request{Arrival: clock, LPN: int64(i), Pages: 1}
+			}
+			return out
+		}
+		a, b := mk(aRaw), mk(bRaw)
+		got := Merge(a, b)
+		if len(got) != len(a)+len(b) {
+			return false
+		}
+		var prev sim.VTime
+		for _, r := range got {
+			if r.Arrival < prev {
+				return false
+			}
+			prev = r.Arrival
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,28 @@
+package workload
+
+import "testing"
+
+func BenchmarkFin1Generate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fin1(10000, int64(i)).Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMixGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Mix(10000, int64(i)).Generate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFixedSizeSequential(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		FixedSize(Sequential, 4096, 10000, 1<<16, 4096, int64(i))
+	}
+}

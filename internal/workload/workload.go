@@ -1,0 +1,389 @@
+// Package workload synthesizes the I/O request streams the FlashCoop paper
+// evaluates with. The real Fin1/Fin2 traces (SPC financial traces from the
+// UMass repository) are not redistributable, so this package generates
+// streams matched to their published Table I statistics — request size,
+// write ratio, sequentiality, and interarrival time — plus the skewed
+// block-level temporal locality that financial OLTP workloads exhibit and
+// that locality-aware buffering exploits.
+//
+// Popularity is Zipf-distributed over logical *blocks* (not pages) and the
+// block ranks are scattered across the address space with a seeded
+// permutation, so hot blocks are not artificially adjacent. Accesses inside
+// a block pick a uniform page offset; this yields the "pages in the same
+// logical block are likely to be accessed again" behaviour the paper's LAR
+// policy is designed around, without injecting artificial sequentiality.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+)
+
+// SizePoint is one entry of a discrete request-size distribution.
+type SizePoint struct {
+	Bytes  int
+	Weight float64
+}
+
+// Profile describes a synthetic workload.
+type Profile struct {
+	Name      string
+	Requests  int
+	AddrPages int64 // logical address space, in pages
+	PageBytes int
+	// PagesPerBlock sets the block granularity used for temporal
+	// locality (should match the simulated SSD's erase block).
+	PagesPerBlock int
+
+	WriteFrac float64 // fraction of requests that are writes
+	SeqFrac   float64 // probability a request continues the previous one
+
+	// Sizes is the request-size distribution; weights need not sum to 1.
+	Sizes []SizePoint
+
+	// ZipfS / ZipfV shape the block-popularity distribution
+	// (see math/rand.NewZipf; ZipfS must be > 1).
+	ZipfS float64
+	ZipfV float64
+
+	// DriftEvery injects popularity drift: every DriftEvery requests one
+	// hot rank is re-homed to a random block (a hotspot moves). Real
+	// OLTP traces show this churn; it is what lets recency-based
+	// policies (LRU) outperform frequency-based ones (LFU) whose counts
+	// go stale, as in the paper's Table III. Zero disables drift.
+	DriftEvery int
+
+	// MeanInterarrival is the mean of the exponential interarrival
+	// distribution.
+	MeanInterarrival sim.VTime
+
+	Seed int64
+}
+
+// Validate reports whether the profile can generate a stream.
+func (p Profile) Validate() error {
+	switch {
+	case p.Requests <= 0:
+		return fmt.Errorf("workload %s: Requests must be positive", p.Name)
+	case p.AddrPages <= 0:
+		return fmt.Errorf("workload %s: AddrPages must be positive", p.Name)
+	case p.PageBytes <= 0:
+		return fmt.Errorf("workload %s: PageBytes must be positive", p.Name)
+	case p.PagesPerBlock <= 0:
+		return fmt.Errorf("workload %s: PagesPerBlock must be positive", p.Name)
+	case p.WriteFrac < 0 || p.WriteFrac > 1:
+		return fmt.Errorf("workload %s: WriteFrac out of range", p.Name)
+	case p.SeqFrac < 0 || p.SeqFrac > 1:
+		return fmt.Errorf("workload %s: SeqFrac out of range", p.Name)
+	case len(p.Sizes) == 0:
+		return fmt.Errorf("workload %s: empty size distribution", p.Name)
+	case p.ZipfS <= 1:
+		return fmt.Errorf("workload %s: ZipfS must be > 1", p.Name)
+	case p.MeanInterarrival < 0:
+		return fmt.Errorf("workload %s: negative MeanInterarrival", p.Name)
+	}
+	return nil
+}
+
+// Generate produces the request stream described by the profile. The same
+// profile (including Seed) always yields the same stream.
+func (p Profile) Generate() ([]trace.Request, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := sim.NewRand(p.Seed)
+	blocks := p.AddrPages / int64(p.PagesPerBlock)
+	if blocks < 1 {
+		blocks = 1
+	}
+	zipf := rand.NewZipf(rng, p.ZipfS, p.ZipfV, uint64(blocks-1))
+	perm := newScatter(blocks, rng)
+
+	totalWeight := 0.0
+	for _, sp := range p.Sizes {
+		totalWeight += sp.Weight
+	}
+
+	reqs := make([]trace.Request, 0, p.Requests)
+	var clock sim.VTime
+	var prevEnd int64 = -1
+	for i := 0; i < p.Requests; i++ {
+		if p.DriftEvery > 0 && i > 0 && i%p.DriftEvery == 0 {
+			// Move one (likely hot) rank to a random block.
+			perm.swap(int64(zipf.Uint64()), rng.Int63n(blocks))
+		}
+		bytes := p.pickSize(rng, totalWeight)
+		pages := (bytes + p.PageBytes - 1) / p.PageBytes
+		if pages < 1 {
+			pages = 1
+		}
+		if int64(pages) > p.AddrPages {
+			pages = int(p.AddrPages)
+		}
+
+		var lpn int64
+		if prevEnd >= 0 && rng.Float64() < p.SeqFrac {
+			lpn = prevEnd
+			if lpn+int64(pages) > p.AddrPages {
+				lpn = 0 // wrap a run that reached the end
+			}
+		} else {
+			blk := perm.apply(int64(zipf.Uint64()))
+			off := rng.Intn(p.PagesPerBlock)
+			lpn = blk*int64(p.PagesPerBlock) + int64(off)
+			if lpn+int64(pages) > p.AddrPages {
+				lpn = p.AddrPages - int64(pages)
+			}
+		}
+
+		op := trace.Read
+		if rng.Float64() < p.WriteFrac {
+			op = trace.Write
+		}
+		reqs = append(reqs, trace.Request{
+			Arrival: clock,
+			Op:      op,
+			LPN:     lpn,
+			Pages:   pages,
+			Bytes:   bytes,
+		})
+		prevEnd = lpn + int64(pages)
+		if p.MeanInterarrival > 0 {
+			clock += sim.VTime(rng.ExpFloat64() * float64(p.MeanInterarrival))
+		}
+	}
+	return reqs, nil
+}
+
+func (p Profile) pickSize(rng *rand.Rand, totalWeight float64) int {
+	x := rng.Float64() * totalWeight
+	for _, sp := range p.Sizes {
+		x -= sp.Weight
+		if x < 0 {
+			return sp.Bytes
+		}
+	}
+	return p.Sizes[len(p.Sizes)-1].Bytes
+}
+
+// scatter maps Zipf ranks onto scattered block addresses so popular blocks
+// are spread over the whole device rather than clustered at low addresses.
+type scatter struct {
+	perm []int32
+	n    int64
+}
+
+func newScatter(n int64, rng *rand.Rand) *scatter {
+	s := &scatter{n: n}
+	if n <= int64(1)<<22 { // up to 4M blocks: explicit permutation
+		s.perm = make([]int32, n)
+		for i := range s.perm {
+			s.perm[i] = int32(i)
+		}
+		rng.Shuffle(len(s.perm), func(i, j int) {
+			s.perm[i], s.perm[j] = s.perm[j], s.perm[i]
+		})
+	}
+	return s
+}
+
+func (s *scatter) apply(rank int64) int64 {
+	if s.perm != nil {
+		return int64(s.perm[rank%s.n])
+	}
+	// Multiplicative scatter for huge spaces (bijective only when n is
+	// not a multiple of the constant, which holds for any sane geometry).
+	const mult = 2654435761
+	return (rank * mult) % s.n
+}
+
+// swap exchanges the blocks assigned to two ranks (popularity drift).
+// It is a no-op for the multiplicative fallback.
+func (s *scatter) swap(rankA, rankB int64) {
+	if s.perm == nil {
+		return
+	}
+	a, b := rankA%s.n, rankB%s.n
+	s.perm[a], s.perm[b] = s.perm[b], s.perm[a]
+}
+
+// Default profile parameters shared by the paper-matched workloads.
+const (
+	defaultPageBytes = 4096
+	defaultPPB       = 64
+	defaultAddr      = int64(1) << 16 // 64Ki pages = 256MB
+)
+
+// Fin1 returns the write-dominant financial-trace profile (Table I: 4.38KB
+// average request, 91% writes, 2% sequential, 133.50ms interarrival).
+func Fin1(requests int, seed int64) Profile {
+	return Profile{
+		Name:          "Fin1",
+		Requests:      requests,
+		AddrPages:     defaultAddr,
+		PageBytes:     defaultPageBytes,
+		PagesPerBlock: defaultPPB,
+		WriteFrac:     0.91,
+		SeqFrac:       0.02,
+		Sizes: []SizePoint{
+			{Bytes: 512, Weight: 0.05},
+			{Bytes: 2048, Weight: 0.06},
+			{Bytes: 4096, Weight: 0.79},
+			{Bytes: 8192, Weight: 0.08},
+			{Bytes: 16384, Weight: 0.02},
+		},
+		ZipfS:            1.7,
+		ZipfV:            8,
+		DriftEvery:       requests / 20,
+		MeanInterarrival: sim.VTime(133.50 * float64(sim.Millisecond)),
+		Seed:             seed,
+	}
+}
+
+// Fin2 returns the read-dominant financial-trace profile (Table I: 4.84KB
+// average request, 10% writes, 0.2% sequential, 64.53ms interarrival).
+func Fin2(requests int, seed int64) Profile {
+	return Profile{
+		Name:          "Fin2",
+		Requests:      requests,
+		AddrPages:     defaultAddr,
+		PageBytes:     defaultPageBytes,
+		PagesPerBlock: defaultPPB,
+		WriteFrac:     0.10,
+		SeqFrac:       0.002,
+		Sizes: []SizePoint{
+			{Bytes: 512, Weight: 0.04},
+			{Bytes: 2048, Weight: 0.04},
+			{Bytes: 4096, Weight: 0.76},
+			{Bytes: 8192, Weight: 0.13},
+			{Bytes: 16384, Weight: 0.03},
+		},
+		ZipfS:            1.7,
+		ZipfV:            8,
+		DriftEvery:       requests / 20,
+		MeanInterarrival: sim.VTime(64.53 * float64(sim.Millisecond)),
+		Seed:             seed,
+	}
+}
+
+// Mix returns the synthetic mixed profile (Table I: 3.16KB average request,
+// 50% writes, 50% sequential, 199.91ms interarrival).
+func Mix(requests int, seed int64) Profile {
+	return Profile{
+		Name:          "Mix",
+		Requests:      requests,
+		AddrPages:     defaultAddr,
+		PageBytes:     defaultPageBytes,
+		PagesPerBlock: defaultPPB,
+		WriteFrac:     0.50,
+		SeqFrac:       0.50,
+		Sizes: []SizePoint{
+			{Bytes: 512, Weight: 0.18},
+			{Bytes: 2048, Weight: 0.27},
+			{Bytes: 4096, Weight: 0.45},
+			{Bytes: 8192, Weight: 0.10},
+		},
+		ZipfS:            1.6,
+		ZipfV:            8,
+		DriftEvery:       requests / 20,
+		MeanInterarrival: sim.VTime(199.91 * float64(sim.Millisecond)),
+		Seed:             seed,
+	}
+}
+
+// ByName returns the named paper workload profile ("fin1", "fin2", "mix").
+func ByName(name string, requests int, seed int64) (Profile, error) {
+	switch name {
+	case "fin1", "Fin1":
+		return Fin1(requests, seed), nil
+	case "fin2", "Fin2":
+		return Fin2(requests, seed), nil
+	case "mix", "Mix":
+		return Mix(requests, seed), nil
+	case "websearch", "WebSearch":
+		return WebSearch(requests, seed), nil
+	default:
+		return Profile{}, fmt.Errorf("workload: unknown profile %q", name)
+	}
+}
+
+// Pattern selects the address pattern of a fixed-size stream (Figure 1).
+type Pattern int
+
+// Fixed-size stream patterns.
+const (
+	Sequential Pattern = iota
+	Random
+	MixedSeqRandom // alternating sequential and random, 50:50
+)
+
+// FixedSize generates a back-to-back stream of count same-sized write
+// requests (all arriving at time zero, closed-loop), reproducing the access
+// patterns of the paper's Figure 1 bandwidth sweep.
+func FixedSize(pattern Pattern, reqBytes, count int, addrPages int64, pageBytes int, seed int64) []trace.Request {
+	rng := sim.NewRand(seed)
+	pages := (reqBytes + pageBytes - 1) / pageBytes
+	if pages < 1 {
+		pages = 1
+	}
+	reqs := make([]trace.Request, 0, count)
+	var seqNext int64
+	for i := 0; i < count; i++ {
+		seq := false
+		switch pattern {
+		case Sequential:
+			seq = true
+		case Random:
+			seq = false
+		case MixedSeqRandom:
+			seq = i%2 == 0
+		}
+		var lpn int64
+		if seq {
+			lpn = seqNext
+			if lpn+int64(pages) > addrPages {
+				lpn = 0
+			}
+			seqNext = lpn + int64(pages)
+		} else {
+			lpn = rng.Int63n(addrPages - int64(pages) + 1)
+		}
+		reqs = append(reqs, trace.Request{
+			Op:    trace.Write,
+			LPN:   lpn,
+			Pages: pages,
+			Bytes: reqBytes,
+		})
+	}
+	return reqs
+}
+
+// WebSearch returns a profile modeled on the SPC WebSearch traces from the
+// same UMass repository as Fin1/Fin2: overwhelmingly read-dominant with
+// larger requests and mild sequentiality. It exercises the read path and
+// the read-intensive end of the dynamic-allocation spectrum.
+func WebSearch(requests int, seed int64) Profile {
+	return Profile{
+		Name:          "WebSearch",
+		Requests:      requests,
+		AddrPages:     defaultAddr,
+		PageBytes:     defaultPageBytes,
+		PagesPerBlock: defaultPPB,
+		WriteFrac:     0.01,
+		SeqFrac:       0.10,
+		Sizes: []SizePoint{
+			{Bytes: 8192, Weight: 0.55},
+			{Bytes: 16384, Weight: 0.25},
+			{Bytes: 32768, Weight: 0.15},
+			{Bytes: 65536, Weight: 0.05},
+		},
+		ZipfS:            1.5,
+		ZipfV:            8,
+		DriftEvery:       requests / 20,
+		MeanInterarrival: sim.VTime(3 * float64(sim.Millisecond)),
+		Seed:             seed,
+	}
+}

@@ -1,0 +1,270 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"flashcoop/internal/sim"
+	"flashcoop/internal/trace"
+)
+
+func TestProfileValidate(t *testing.T) {
+	good := Fin1(100, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("Fin1 invalid: %v", err)
+	}
+	bad := []func(*Profile){
+		func(p *Profile) { p.Requests = 0 },
+		func(p *Profile) { p.AddrPages = 0 },
+		func(p *Profile) { p.PageBytes = 0 },
+		func(p *Profile) { p.PagesPerBlock = 0 },
+		func(p *Profile) { p.WriteFrac = 1.5 },
+		func(p *Profile) { p.SeqFrac = -0.1 },
+		func(p *Profile) { p.Sizes = nil },
+		func(p *Profile) { p.ZipfS = 1.0 },
+		func(p *Profile) { p.MeanInterarrival = -1 },
+	}
+	for i, mutate := range bad {
+		p := Fin1(100, 1)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid profile accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Fin1(500, 42).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fin1(500, 42).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c, err := Fin1(500, 43).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestGenerateBounds(t *testing.T) {
+	for _, name := range []string{"fin1", "fin2", "mix"} {
+		p, err := ByName(name, 2000, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reqs, err := p.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(reqs) != 2000 {
+			t.Fatalf("%s: got %d requests", name, len(reqs))
+		}
+		var prev sim.VTime
+		for i, r := range reqs {
+			if r.LPN < 0 || r.End() > p.AddrPages {
+				t.Fatalf("%s req %d escapes address space: %+v", name, i, r)
+			}
+			if r.Pages < 1 || r.Bytes <= 0 {
+				t.Fatalf("%s req %d malformed: %+v", name, i, r)
+			}
+			if r.Arrival < prev {
+				t.Fatalf("%s req %d arrival decreased", name, i)
+			}
+			prev = r.Arrival
+		}
+	}
+}
+
+// TestPaperStatistics verifies the generated streams match Table I of the
+// paper within tolerance: write ratio, sequentiality, and mean size.
+func TestPaperStatistics(t *testing.T) {
+	cases := []struct {
+		name      string
+		profile   Profile
+		writeFrac float64
+		seqFrac   float64
+		avgKB     float64
+		interMS   float64
+	}{
+		{"Fin1", Fin1(30000, 1), 0.91, 0.02, 4.38, 133.50},
+		{"Fin2", Fin2(30000, 2), 0.10, 0.002, 4.84, 64.53},
+		{"Mix", Mix(30000, 3), 0.50, 0.50, 3.16, 199.91},
+	}
+	for _, c := range cases {
+		reqs, err := c.profile.Generate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := trace.ComputeStats(reqs)
+		if math.Abs(s.WriteFrac-c.writeFrac) > 0.02 {
+			t.Errorf("%s: WriteFrac = %.3f, want ~%.2f", c.name, s.WriteFrac, c.writeFrac)
+		}
+		// Sequential continuations may additionally appear by accident;
+		// allow a wider band.
+		if math.Abs(s.SeqFrac-c.seqFrac) > 0.05 {
+			t.Errorf("%s: SeqFrac = %.3f, want ~%.3f", c.name, s.SeqFrac, c.seqFrac)
+		}
+		if math.Abs(s.AvgSizeKB-c.avgKB) > 0.75 {
+			t.Errorf("%s: AvgSizeKB = %.2f, want ~%.2f", c.name, s.AvgSizeKB, c.avgKB)
+		}
+		gotMS := float64(s.AvgInterarrival) / float64(sim.Millisecond)
+		if math.Abs(gotMS-c.interMS) > c.interMS*0.1 {
+			t.Errorf("%s: interarrival = %.1fms, want ~%.1fms", c.name, gotMS, c.interMS)
+		}
+	}
+}
+
+// TestTemporalLocality checks that the Zipf block popularity creates a
+// skewed footprint: the hottest 10% of touched blocks should absorb well
+// over half of the block accesses.
+func TestTemporalLocality(t *testing.T) {
+	reqs, err := Fin1(20000, 5).Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int64]int)
+	for _, r := range reqs {
+		counts[r.LPN/64]++
+	}
+	freq := make([]int, 0, len(counts))
+	total := 0
+	for _, c := range counts {
+		freq = append(freq, c)
+		total += c
+	}
+	// Sort descending (insertion into a simple slice sort).
+	for i := 1; i < len(freq); i++ {
+		for j := i; j > 0 && freq[j] > freq[j-1]; j-- {
+			freq[j], freq[j-1] = freq[j-1], freq[j]
+		}
+	}
+	top := len(freq) / 10
+	if top == 0 {
+		top = 1
+	}
+	hot := 0
+	for _, c := range freq[:top] {
+		hot += c
+	}
+	if frac := float64(hot) / float64(total); frac < 0.5 {
+		t.Errorf("top-10%% blocks take only %.1f%% of accesses, want >50%%", frac*100)
+	}
+}
+
+// TestScatterBijective verifies hot blocks are spread out, not clustered.
+func TestScatterBijective(t *testing.T) {
+	rng := sim.NewRand(1)
+	s := newScatter(1000, rng)
+	seen := make(map[int64]bool)
+	for i := int64(0); i < 1000; i++ {
+		v := s.apply(i)
+		if v < 0 || v >= 1000 {
+			t.Fatalf("scatter(%d) = %d out of range", i, v)
+		}
+		if seen[v] {
+			t.Fatalf("scatter not bijective at %d", i)
+		}
+		seen[v] = true
+	}
+	// Huge-space fallback must stay in range too.
+	big := &scatter{n: int64(1) << 30}
+	for i := int64(0); i < 1000; i++ {
+		if v := big.apply(i); v < 0 || v >= big.n {
+			t.Fatalf("multiplicative scatter out of range: %d", v)
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("bogus", 10, 1); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}
+
+func TestFixedSizePatterns(t *testing.T) {
+	const space = int64(10000)
+	seq := FixedSize(Sequential, 8192, 100, space, 4096, 1)
+	if len(seq) != 100 {
+		t.Fatalf("len = %d", len(seq))
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i].LPN != seq[i-1].End() && seq[i].LPN != 0 {
+			t.Fatalf("sequential stream broken at %d", i)
+		}
+	}
+	for _, r := range seq {
+		if r.Pages != 2 || r.Op != trace.Write {
+			t.Fatalf("bad request: %+v", r)
+		}
+	}
+
+	rnd := FixedSize(Random, 4096, 100, space, 4096, 1)
+	seqCount := 0
+	for i := 1; i < len(rnd); i++ {
+		if rnd[i].LPN == rnd[i-1].End() {
+			seqCount++
+		}
+	}
+	if seqCount > 5 {
+		t.Errorf("random stream has %d sequential continuations", seqCount)
+	}
+
+	mix := FixedSize(MixedSeqRandom, 4096, 100, space, 4096, 1)
+	if len(mix) != 100 {
+		t.Fatal("mixed stream wrong length")
+	}
+	for _, r := range mix {
+		if r.End() > space {
+			t.Fatalf("mixed request escapes space: %+v", r)
+		}
+	}
+
+	// Sub-page requests round up to one page.
+	small := FixedSize(Random, 512, 10, space, 4096, 2)
+	for _, r := range small {
+		if r.Pages != 1 || r.Bytes != 512 {
+			t.Fatalf("sub-page request: %+v", r)
+		}
+	}
+}
+
+func TestWebSearchProfile(t *testing.T) {
+	prof := WebSearch(10000, 4)
+	if err := prof.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	reqs, err := prof.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.ComputeStats(reqs)
+	if s.WriteFrac > 0.03 {
+		t.Errorf("WebSearch write fraction = %.3f, want ~0.01", s.WriteFrac)
+	}
+	if s.AvgSizeKB < 8 {
+		t.Errorf("WebSearch avg size = %.1fKB, want larger requests", s.AvgSizeKB)
+	}
+	if _, err := ByName("websearch", 100, 1); err != nil {
+		t.Fatal(err)
+	}
+}
