@@ -1,0 +1,37 @@
+# Developer entry points. `make ci` is the gate scripts/ci.sh runs in CI;
+# the bench targets regenerate the paper figures and perf records.
+
+GO ?= go
+
+.PHONY: all build test race vet ci bench bench-grid profile
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detect the two packages with real concurrency: the parallel
+# experiment grid and the cluster message loop.
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/cluster/...
+
+vet:
+	$(GO) vet ./...
+
+ci:
+	./scripts/ci.sh
+
+# Regenerate every paper table/figure; grid cells fan out over all CPUs.
+bench:
+	$(GO) run ./cmd/benchrunner
+
+# Just the grid-backed figures plus the per-cell perf record.
+bench-grid:
+	$(GO) run ./cmd/benchrunner -experiment fig6 -gridjson BENCH_grid.json
+
+# Full run with CPU and heap profiles for pprof.
+profile:
+	$(GO) run ./cmd/benchrunner -cpuprofile cpu.pprof -memprofile mem.pprof

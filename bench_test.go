@@ -59,6 +59,31 @@ func BenchmarkFig9(b *testing.B) { runExperiment(b, "fig9") }
 // BenchmarkHeadline regenerates the abstract's headline comparison.
 func BenchmarkHeadline(b *testing.B) { runExperiment(b, "headline") }
 
+// BenchmarkGridShared regenerates all four grid-backed figures (fig6, fig7,
+// fig8, headline) from one precomputed Grid, the way cmd/benchrunner does:
+// each of the 36 (scheme, workload, policy) cells is simulated exactly once
+// and the figures only read the cache. Compare against the sum of
+// BenchmarkFig6..BenchmarkHeadline, which recompute overlapping cells.
+func BenchmarkGridShared(b *testing.B) {
+	ids := []string{"fig6", "fig7", "fig8", "headline"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g := experiments.NewGrid(benchOpts())
+		if err := g.Precompute(1); err != nil {
+			b.Fatal(err)
+		}
+		for _, id := range ids {
+			e, err := experiments.ByID(id)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.RunGrid(g, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // Ablation benchmarks: each measures a full Fin1/BAST replay with one LAR
 // design choice disabled, reporting the same replay so the -benchmem and
 // custom metrics are comparable across variants.

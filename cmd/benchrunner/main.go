@@ -3,31 +3,75 @@
 //
 // Usage:
 //
-//	benchrunner [-experiment id] [-requests n] [-buffer pages] [-blocks n] [-seed n] [-quick]
+//	benchrunner [-experiment id] [-requests n] [-buffer pages] [-blocks n] [-seed n]
+//	            [-quick] [-parallel n] [-gridjson path] [-cpuprofile path] [-memprofile path]
 //
 // Without -experiment all experiments run in paper order. Available ids:
 // fig1, table1, table2, table3, fig6, fig7, fig8, fig9, headline, ablation.
+//
+// The grid experiments (fig6, fig7, fig8, headline) share a single
+// evaluation Grid: each of the 36 (scheme, workload, policy) cells is
+// computed exactly once and reused across figures. -parallel fans the
+// cell computations out across a worker pool (default: all CPUs); every
+// cell owns its seeded RNG and simulator, so the printed tables are
+// byte-identical to a serial run. -gridjson writes a machine-readable
+// per-cell record (wall-clock + headline stats) for perf tracking, and
+// -cpuprofile/-memprofile capture standard pprof profiles.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"flashcoop/internal/experiments"
 )
 
+// gridRecord is the schema of the -gridjson perf record.
+type gridRecord struct {
+	GeneratedAt string                   `json:"generated_at"`
+	Parallelism int                      `json:"parallelism"`
+	Requests    int                      `json:"requests"`
+	BufferPages int                      `json:"buffer_pages"`
+	SSDBlocks   int                      `json:"ssd_blocks"`
+	Seed        int64                    `json:"seed"`
+	Quick       bool                     `json:"quick"`
+	GridWallMs  float64                  `json:"grid_wall_ms"`
+	Cells       []experiments.CellReport `json:"cells"`
+}
+
 func main() {
 	var (
-		id       = flag.String("experiment", "", "experiment id (empty = all)")
-		requests = flag.Int("requests", 0, "requests per replay (0 = default)")
-		buffer   = flag.Int("buffer", 0, "buffer pages (0 = default)")
-		blocks   = flag.Int("blocks", 0, "SSD erase blocks (0 = default)")
-		seed     = flag.Int64("seed", 0, "random seed (0 = default)")
-		quick    = flag.Bool("quick", false, "small parameters for a fast smoke run")
+		id         = flag.String("experiment", "", "experiment id (empty = all)")
+		requests   = flag.Int("requests", 0, "requests per replay (0 = default)")
+		buffer     = flag.Int("buffer", 0, "buffer pages (0 = default)")
+		blocks     = flag.Int("blocks", 0, "SSD erase blocks (0 = default)")
+		seed       = flag.Int64("seed", 0, "random seed (0 = default)")
+		quick      = flag.Bool("quick", false, "small parameters for a fast smoke run")
+		parallel   = flag.Int("parallel", runtime.NumCPU(), "grid cell workers (<=1 = serial)")
+		gridJSON   = flag.String("gridjson", "BENCH_grid.json", "write per-cell grid stats to this file (empty = skip)")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	opts := experiments.Options{
 		Requests:    *requests,
@@ -49,13 +93,82 @@ func main() {
 		list = []experiments.Experiment{e}
 	}
 
+	// One Grid serves every grid-backed experiment in the run; cells are
+	// computed once, in parallel, and the figures only read the cache.
+	grid := experiments.NewGrid(opts)
+	usesGrid := false
+	for _, e := range list {
+		if e.RunGrid != nil {
+			usesGrid = true
+		}
+	}
+	var gridWall time.Duration
+	if usesGrid {
+		workers := *parallel
+		if workers < 1 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("=== grid: precomputing %d cells with %d workers ===\n",
+			len(experiments.GridKeys()), workers)
+		start := time.Now()
+		if err := grid.Precompute(workers); err != nil {
+			fmt.Fprintf(os.Stderr, "grid precompute failed: %v\n", err)
+			os.Exit(1)
+		}
+		gridWall = time.Since(start)
+		fmt.Printf("(grid completed in %v)\n\n", gridWall.Round(time.Millisecond))
+	}
+
 	for _, e := range list {
 		fmt.Printf("=== %s: %s ===\n", e.ID, e.Title)
 		start := time.Now()
-		if err := e.Run(opts, os.Stdout); err != nil {
+		var err error
+		if e.RunGrid != nil {
+			err = e.RunGrid(grid, os.Stdout)
+		} else {
+			err = e.Run(opts, os.Stdout)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+
+	if usesGrid && *gridJSON != "" {
+		rec := gridRecord{
+			GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+			Parallelism: *parallel,
+			Requests:    grid.Options().Requests,
+			BufferPages: grid.Options().BufferPages,
+			SSDBlocks:   grid.Options().SSDBlocks,
+			Seed:        grid.Options().Seed,
+			Quick:       grid.Options().Quick,
+			GridWallMs:  float64(gridWall) / float64(time.Millisecond),
+			Cells:       grid.Report(),
+		}
+		data, err := json.MarshalIndent(rec, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*gridJSON, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gridjson: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote per-cell grid stats to %s\n", *gridJSON)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -2,7 +2,7 @@ package buffer
 
 import (
 	"container/list"
-	"sort"
+	"slices"
 )
 
 // BPLRU is the Block Padding LRU write-buffer policy (Kim & Ahn, FAST'08),
@@ -257,7 +257,7 @@ func (c *BPLRU) DirtyPages() []int64 {
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 
@@ -268,7 +268,7 @@ func (c *BPLRU) FlushAll() []FlushUnit {
 	for blk := range c.blocks {
 		blks = append(blks, blk)
 	}
-	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
+	slices.Sort(blks)
 	var units []FlushUnit
 	for _, blk := range blks {
 		b := c.blocks[blk].Value.(*bplruBlock)
@@ -279,7 +279,7 @@ func (c *BPLRU) FlushAll() []FlushUnit {
 			}
 		}
 		c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
-		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		slices.Sort(dirty)
 		for _, run := range runsOf(dirty) {
 			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true})
 			c.stats.Evictions++

@@ -14,7 +14,7 @@ package buffer
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // Request is one host access applied to a cache.
@@ -169,6 +169,6 @@ func sortedPages(m map[int64]bool) []int64 {
 	for p := range m {
 		out = append(out, p)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }

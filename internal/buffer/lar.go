@@ -2,7 +2,7 @@ package buffer
 
 import (
 	"container/list"
-	"sort"
+	"slices"
 )
 
 // LAROptions expose the design choices of the Locality-Aware Replacement
@@ -51,13 +51,39 @@ type LAR struct {
 
 	blocks  map[int64]*larBlock
 	buckets map[int64]*popBucket
+	// popHeap is a min-heap over the popularity values that ever gained a
+	// bucket; stale entries (emptied buckets) are dropped lazily when they
+	// surface at the top, making min-popularity tracking O(1) amortized.
+	popHeap []int64
 	minPop  int64
 	stats   Stats
+
+	// touched is reused across Access calls to carry the blocks of the
+	// request in flight into eviction (they are exempt from victimhood).
+	touched []int64
+	// free recycles evicted block descriptors (and their page-state
+	// arrays) so steady-state eviction/insertion churn does not allocate.
+	free []*larBlock
 }
 
+// pageState is one page's residency inside its block: absent, buffered
+// clean, or buffered dirty.
+type pageState uint8
+
+const (
+	pageAbsent pageState = iota
+	pageClean
+	pageDirty
+)
+
+// larBlock tracks one logical block's buffered pages. Pages live in an
+// offset-indexed state array rather than a map: per-page operations are
+// array indexing, and an in-order offset walk yields the block's pages
+// already sorted, so eviction never sorts.
 type larBlock struct {
 	blk   int64
-	pages map[int64]bool // lpn -> dirty
+	st    []pageState // page offset within the block -> state
+	count int         // buffered pages (st != pageAbsent)
 	dirty int
 	pop   int64
 	elem  *list.Element // position in its (pop, dirty) list
@@ -113,23 +139,41 @@ func (c *LAR) DirtyLen() int { return c.dirtyPages }
 // Stats implements Cache.
 func (c *LAR) Stats() Stats { return c.stats }
 
+// base returns the first LPN of block b.
+func (c *LAR) base(b *larBlock) int64 { return b.blk * int64(c.ppb) }
+
 // Contains implements Cache.
 func (c *LAR) Contains(lpn int64) bool {
 	b, ok := c.blocks[lpn/int64(c.ppb)]
-	if !ok {
-		return false
-	}
-	_, ok = b.pages[lpn]
-	return ok
+	return ok && b.st[lpn%int64(c.ppb)] != pageAbsent
 }
 
 // IsDirty implements Cache.
 func (c *LAR) IsDirty(lpn int64) bool {
 	b, ok := c.blocks[lpn/int64(c.ppb)]
-	if !ok {
-		return false
+	return ok && b.st[lpn%int64(c.ppb)] == pageDirty
+}
+
+// block descriptor recycling ------------------------------------------
+
+// newBlock returns a zeroed block descriptor for blk, reusing a recycled
+// one when available.
+func (c *LAR) newBlock(blk int64) *larBlock {
+	if n := len(c.free); n > 0 {
+		b := c.free[n-1]
+		c.free = c.free[:n-1]
+		st := b.st
+		clear(st)
+		*b = larBlock{blk: blk, st: st}
+		return b
 	}
-	return b.pages[lpn]
+	return &larBlock{blk: blk, st: make([]pageState, c.ppb)}
+}
+
+// release returns an unlinked block descriptor to the freelist. The caller
+// must be done reading b.
+func (c *LAR) release(b *larBlock) {
+	c.free = append(c.free, b)
 }
 
 // bucket bookkeeping ---------------------------------------------------
@@ -139,6 +183,7 @@ func (c *LAR) bucketAdd(b *larBlock) {
 	if !ok {
 		pb = &popBucket{byDirty: make(map[int]*list.List)}
 		c.buckets[b.pop] = pb
+		c.heapPush(b.pop)
 	}
 	l, ok := pb.byDirty[b.dirty]
 	if !ok {
@@ -151,9 +196,7 @@ func (c *LAR) bucketAdd(b *larBlock) {
 	if b.dirty > pb.maxDirty {
 		pb.maxDirty = b.dirty
 	}
-	if len(c.blocks) == 0 || b.pop < c.minPop || c.bucketEmptyAt(c.minPop) {
-		c.minPop = b.pop
-	}
+	c.advanceMinPop()
 }
 
 func (c *LAR) bucketEmptyAt(pop int64) bool {
@@ -183,40 +226,62 @@ func (c *LAR) bucketRemove(b *larBlock) {
 	}
 }
 
-// advanceMinPop repositions minPop after removals.
-func (c *LAR) advanceMinPop() {
-	if len(c.blocks) == 0 {
-		c.minPop = 0
-		return
+// heapPush adds a popularity value to the min-heap.
+func (c *LAR) heapPush(v int64) {
+	c.popHeap = append(c.popHeap, v)
+	i := len(c.popHeap) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if c.popHeap[p] <= c.popHeap[i] {
+			break
+		}
+		c.popHeap[p], c.popHeap[i] = c.popHeap[i], c.popHeap[p]
+		i = p
 	}
-	if !c.bucketEmptyAt(c.minPop) {
-		return
-	}
-	// Pops grow by one per access, so the next occupied bucket is
-	// usually near; fall back to a full scan if the walk runs long.
-	for step := 0; step < 1024; step++ {
-		c.minPop++
-		if !c.bucketEmptyAt(c.minPop) {
+}
+
+// heapPop removes the heap's minimum.
+func (c *LAR) heapPop() {
+	n := len(c.popHeap) - 1
+	c.popHeap[0] = c.popHeap[n]
+	c.popHeap = c.popHeap[:n]
+	i := 0
+	for {
+		l, r, s := 2*i+1, 2*i+2, i
+		if l < n && c.popHeap[l] < c.popHeap[s] {
+			s = l
+		}
+		if r < n && c.popHeap[r] < c.popHeap[s] {
+			s = r
+		}
+		if s == i {
 			return
 		}
+		c.popHeap[i], c.popHeap[s] = c.popHeap[s], c.popHeap[i]
+		i = s
 	}
-	first := true
-	for pop, pb := range c.buckets {
-		if pb.count == 0 {
-			continue
+}
+
+// advanceMinPop repoints minPop at the least occupied popularity. The heap
+// holds every occupied popularity (plus stale entries for emptied buckets,
+// dropped here when they reach the top), so this is O(1) amortized — each
+// heap entry is popped at most once per push.
+func (c *LAR) advanceMinPop() {
+	for len(c.popHeap) > 0 {
+		top := c.popHeap[0]
+		if !c.bucketEmptyAt(top) {
+			c.minPop = top
+			return
 		}
-		if first || pop < c.minPop {
-			c.minPop = pop
-			first = false
-		}
+		c.heapPop()
 	}
+	c.minPop = 0
 }
 
 // reposition moves a block whose pop or dirty changed into its new bucket.
 func (c *LAR) reposition(b *larBlock) {
 	c.bucketRemove(b)
 	c.bucketAdd(b)
-	c.advanceMinPop()
 }
 
 // Access implements Cache.
@@ -227,7 +292,7 @@ func (c *LAR) Access(req Request) Result {
 		return res
 	}
 	end := req.LPN + int64(req.Pages)
-	touched := make(map[int64]bool)
+	c.touched = c.touched[:0]
 	for blk := req.LPN / int64(c.ppb); blk*int64(c.ppb) < end; blk++ {
 		lo := blk * int64(c.ppb)
 		hi := lo + int64(c.ppb)
@@ -238,12 +303,12 @@ func (c *LAR) Access(req Request) Result {
 			hi = end
 		}
 		c.accessBlock(blk, lo, hi, req.Write, &res)
-		touched[blk] = true
+		c.touched = append(c.touched, blk)
 	}
 	// Blocks touched by the request in flight are exempt from eviction
 	// (unless nothing else can be evicted): evicting the data the host
 	// just handed us would defeat buffering entirely.
-	res.Flush = append(res.Flush, c.evictToFit(touched)...)
+	res.Flush = append(res.Flush, c.evictToFit(c.touched)...)
 	return res
 }
 
@@ -252,23 +317,23 @@ func (c *LAR) accessBlock(blk, lo, hi int64, write bool, res *Result) {
 	b := c.blocks[blk]
 	touched := int(hi - lo)
 	inserted := false
+	base := blk * int64(c.ppb)
 
 	for lpn := lo; lpn < hi; lpn++ {
-		if b != nil {
-			if dirty, ok := b.pages[lpn]; ok {
-				c.stats.HitPages++
-				if write {
-					res.WriteHits++
-					if !dirty {
-						b.pages[lpn] = true
-						b.dirty++
-						c.dirtyPages++
-					}
-				} else {
-					res.ReadHits++
+		off := int(lpn - base)
+		if b != nil && b.st[off] != pageAbsent {
+			c.stats.HitPages++
+			if write {
+				res.WriteHits++
+				if b.st[off] == pageClean {
+					b.st[off] = pageDirty
+					b.dirty++
+					c.dirtyPages++
 				}
-				continue
+			} else {
+				res.ReadHits++
 			}
+			continue
 		}
 		c.stats.MissPages++
 		if !write {
@@ -278,17 +343,20 @@ func (c *LAR) accessBlock(blk, lo, hi int64, write bool, res *Result) {
 			}
 		}
 		if b == nil {
-			b = &larBlock{blk: blk, pages: make(map[int64]bool)}
+			b = c.newBlock(blk)
 			c.blocks[blk] = b
 			// Registered in a bucket below, after pop/dirty settle.
 			inserted = true
 		}
-		b.pages[lpn] = write
-		c.lenPages++
 		if write {
+			b.st[off] = pageDirty
 			b.dirty++
 			c.dirtyPages++
+		} else {
+			b.st[off] = pageClean
 		}
+		b.count++
+		c.lenPages++
 	}
 
 	if b == nil {
@@ -306,9 +374,19 @@ func (c *LAR) accessBlock(blk, lo, hi int64, write bool, res *Result) {
 	}
 }
 
+// containsBlk reports whether blk appears in the (short) exclusion list.
+func containsBlk(s []int64, blk int64) bool {
+	for _, v := range s {
+		if v == blk {
+			return true
+		}
+	}
+	return false
+}
+
 // evictToFit evicts victim blocks until the cache fits its capacity.
 // Blocks in exclude are set aside and only evicted if nothing else remains.
-func (c *LAR) evictToFit(exclude map[int64]bool) []FlushUnit {
+func (c *LAR) evictToFit(exclude []int64) []FlushUnit {
 	var units []FlushUnit
 	var deferred []*larBlock
 	ignoreExclude := false
@@ -327,7 +405,7 @@ func (c *LAR) evictToFit(exclude map[int64]bool) []FlushUnit {
 			ignoreExclude = true
 			continue
 		}
-		if !ignoreExclude && exclude != nil && exclude[b.blk] {
+		if !ignoreExclude && containsBlk(exclude, b.blk) {
 			c.bucketRemove(b)
 			c.advanceMinPop()
 			deferred = append(deferred, b)
@@ -369,25 +447,26 @@ func (c *LAR) victim() *larBlock {
 func (c *LAR) removeBlock(b *larBlock) {
 	c.bucketRemove(b)
 	delete(c.blocks, b.blk)
-	c.lenPages -= len(b.pages)
+	c.lenPages -= b.count
 	c.dirtyPages -= b.dirty
 	c.advanceMinPop()
 }
 
 // evictBlock evicts block b (possibly clustering further tail blocks into
 // the same flush) and returns the flush units.
-func (c *LAR) evictBlock(b *larBlock, exclude map[int64]bool) []FlushUnit {
+func (c *LAR) evictBlock(b *larBlock, exclude []int64) []FlushUnit {
 	c.removeBlock(b)
 
 	if b.dirty == 0 {
 		// A clean victim is discarded: the SSD already has this data.
-		c.stats.CleanDrops += int64(len(b.pages))
+		c.stats.CleanDrops += int64(b.count)
+		c.release(b)
 		return nil
 	}
 
 	flushCount := b.dirty
 	if c.opts.FlushCleanWithVictim {
-		flushCount = len(b.pages)
+		flushCount = b.count
 	}
 	if c.opts.ClusterSmallWrites && flushCount <= c.ppb/4 {
 		return []FlushUnit{c.clusterFlush(b, exclude)}
@@ -395,10 +474,11 @@ func (c *LAR) evictBlock(b *larBlock, exclude map[int64]bool) []FlushUnit {
 	pages := c.victimPages(b)
 
 	var units []FlushUnit
+	base := c.base(b)
 	for _, run := range runsOf(pages) {
 		dirty := 0
 		for _, p := range run {
-			if b.pages[p] {
+			if b.st[p-base] == pageDirty {
 				dirty++
 			}
 		}
@@ -406,55 +486,66 @@ func (c *LAR) evictBlock(b *larBlock, exclude map[int64]bool) []FlushUnit {
 		c.stats.Evictions++
 		c.stats.FlushPages += int64(len(run))
 	}
+	c.release(b)
 	return units
 }
 
 // victimPages returns the pages of a dirty victim that will be flushed:
 // the whole block when FlushCleanWithVictim is set, otherwise dirty only.
+// The offset walk yields them already in ascending order.
 func (c *LAR) victimPages(b *larBlock) []int64 {
+	base := c.base(b)
 	if c.opts.FlushCleanWithVictim {
-		return sortedPages(b.pages)
+		pages := make([]int64, 0, b.count)
+		for off, st := range b.st {
+			if st != pageAbsent {
+				pages = append(pages, base+int64(off))
+			}
+		}
+		return pages
 	}
 	dirty := make([]int64, 0, b.dirty)
-	for p, d := range b.pages {
-		if d {
-			dirty = append(dirty, p)
+	for off, st := range b.st {
+		if st == pageDirty {
+			dirty = append(dirty, base+int64(off))
 		}
 	}
-	sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
-	c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
+	c.stats.CleanDrops += int64(b.count - b.dirty)
 	return dirty
 }
 
 // clusterFlush implements the paper's small-write clustering: the victim's
 // dirty pages are combined with dirty pages of further tail blocks (of the
 // same least popularity) into a single block-sized scattered write.
-func (c *LAR) clusterFlush(b *larBlock, exclude map[int64]bool) FlushUnit {
+func (c *LAR) clusterFlush(b *larBlock, exclude []int64) FlushUnit {
 	// Clustering uses dirty pages only; clean pages of participants are
 	// dropped (they are not worth rewriting scattered).
 	cluster := make([]int64, 0, c.ppb)
 	dirtyTotal := 0
 	take := func(blk *larBlock) {
-		for p, d := range blk.pages {
-			if d {
-				cluster = append(cluster, p)
+		base := c.base(blk)
+		for off, st := range blk.st {
+			if st == pageDirty {
+				cluster = append(cluster, base+int64(off))
 			}
 		}
 		dirtyTotal += blk.dirty
-		c.stats.CleanDrops += int64(len(blk.pages) - blk.dirty)
+		c.stats.CleanDrops += int64(blk.count - blk.dirty)
+		c.release(blk)
 	}
+	pop := b.pop
 	take(b)
 	for len(cluster) < c.ppb && len(c.blocks) > 0 {
 		next := c.victim()
-		if next == nil || next.pop != b.pop || next.dirty == 0 ||
+		if next == nil || next.pop != pop || next.dirty == 0 ||
 			next.dirty > c.ppb/4 || len(cluster)+next.dirty > c.ppb ||
-			(exclude != nil && exclude[next.blk]) {
+			containsBlk(exclude, next.blk) {
 			break
 		}
 		c.removeBlock(next)
 		take(next)
 	}
-	sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+	slices.Sort(cluster)
 	c.stats.Evictions++
 	c.stats.FlushPages += int64(len(cluster))
 	return FlushUnit{Pages: cluster, Dirty: dirtyTotal, Contiguous: false}
@@ -466,49 +557,55 @@ func (c *LAR) MarkClean(lpn int64) {
 	if !ok {
 		return
 	}
-	dirty, ok := b.pages[lpn]
-	if !ok || !dirty {
+	off := lpn % int64(c.ppb)
+	if b.st[off] != pageDirty {
 		return
 	}
-	b.pages[lpn] = false
+	b.st[off] = pageClean
 	b.dirty--
 	c.dirtyPages--
 	c.reposition(b)
 }
 
+// sortedBlocks returns the buffered block numbers in ascending order.
+func (c *LAR) sortedBlocks() []int64 {
+	blks := make([]int64, 0, len(c.blocks))
+	for blk := range c.blocks {
+		blks = append(blks, blk)
+	}
+	slices.Sort(blks)
+	return blks
+}
+
 // DirtyPages implements Cache.
 func (c *LAR) DirtyPages() []int64 {
 	out := make([]int64, 0, c.dirtyPages)
-	for _, b := range c.blocks {
-		for p, d := range b.pages {
-			if d {
-				out = append(out, p)
+	for _, blk := range c.sortedBlocks() {
+		b := c.blocks[blk]
+		base := c.base(b)
+		for off, st := range b.st {
+			if st == pageDirty {
+				out = append(out, base+int64(off))
 			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
 // FlushAll implements Cache: every dirty page is flushed as per-block
 // sequential runs; clean pages are dropped.
 func (c *LAR) FlushAll() []FlushUnit {
-	blks := make([]int64, 0, len(c.blocks))
-	for blk := range c.blocks {
-		blks = append(blks, blk)
-	}
-	sort.Slice(blks, func(i, j int) bool { return blks[i] < blks[j] })
 	var units []FlushUnit
-	for _, blk := range blks {
+	for _, blk := range c.sortedBlocks() {
 		b := c.blocks[blk]
+		base := c.base(b)
 		dirty := make([]int64, 0, b.dirty)
-		for p, d := range b.pages {
-			if d {
-				dirty = append(dirty, p)
+		for off, st := range b.st {
+			if st == pageDirty {
+				dirty = append(dirty, base+int64(off))
 			}
 		}
-		c.stats.CleanDrops += int64(len(b.pages) - len(dirty))
-		sort.Slice(dirty, func(i, j int) bool { return dirty[i] < dirty[j] })
+		c.stats.CleanDrops += int64(b.count - len(dirty))
 		for _, run := range runsOf(dirty) {
 			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true})
 			c.stats.Evictions++
@@ -517,6 +614,7 @@ func (c *LAR) FlushAll() []FlushUnit {
 	}
 	c.blocks = make(map[int64]*larBlock)
 	c.buckets = make(map[int64]*popBucket)
+	c.popHeap = c.popHeap[:0]
 	c.lenPages, c.dirtyPages, c.minPop = 0, 0, 0
 	return units
 }
@@ -537,23 +635,26 @@ func (c *LAR) Invalidate(lpn int64) bool {
 	if !ok {
 		return false
 	}
-	dirty, ok := b.pages[lpn]
-	if !ok {
+	off := lpn % int64(c.ppb)
+	st := b.st[off]
+	if st == pageAbsent {
 		return false
 	}
-	delete(b.pages, lpn)
+	b.st[off] = pageAbsent
+	b.count--
 	c.lenPages--
-	if dirty {
+	if st == pageDirty {
 		b.dirty--
 		c.dirtyPages--
 	}
-	if len(b.pages) == 0 {
+	if b.count == 0 {
 		// The block is already empty (zero pages, zero dirty), so
 		// removeBlock only unlinks it from the bucket structures.
 		c.removeBlock(b)
+		c.release(b)
 		return true
 	}
-	if dirty {
+	if st == pageDirty {
 		c.reposition(b)
 	}
 	return true

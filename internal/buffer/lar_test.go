@@ -282,16 +282,22 @@ func TestLARStress(t *testing.T) {
 	// Recount everything from scratch.
 	pages, dirty := 0, 0
 	for _, b := range c.blocks {
-		pages += len(b.pages)
-		d := 0
-		for _, isDirty := range b.pages {
-			if isDirty {
+		n, d := 0, 0
+		for _, st := range b.st {
+			if st != pageAbsent {
+				n++
+			}
+			if st == pageDirty {
 				d++
 			}
+		}
+		if n != b.count {
+			t.Fatalf("block %d page count %d != recount %d", b.blk, b.count, n)
 		}
 		if d != b.dirty {
 			t.Fatalf("block %d dirty count %d != recount %d", b.blk, b.dirty, d)
 		}
+		pages += n
 		dirty += d
 	}
 	if pages != c.Len() || dirty != c.DirtyLen() {

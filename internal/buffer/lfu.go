@@ -2,7 +2,7 @@ package buffer
 
 import (
 	"container/list"
-	"sort"
+	"slices"
 )
 
 // LFU is the page-granular Least-Frequently-Used baseline: pages carry an
@@ -173,7 +173,7 @@ func (c *LFU) DirtyPages() []int64 {
 			out = append(out, lpn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -2,7 +2,7 @@ package buffer
 
 import (
 	"container/list"
-	"sort"
+	"slices"
 )
 
 // LRU is the classic page-granular Least-Recently-Used cache the paper
@@ -139,7 +139,7 @@ func (c *LRU) DirtyPages() []int64 {
 			out = append(out, pg.lpn)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -195,7 +195,7 @@ func TestLiveWriteReadRoundTrip(t *testing.T) {
 		t.Fatal("read returned wrong data")
 	}
 	// Backup must exist on the partner.
-	if !b.Remote().Contains(10) {
+	if !b.RemoteContains(10) {
 		t.Fatal("no backup on partner")
 	}
 	// Unwritten page reads as zeros.
@@ -280,8 +280,8 @@ func TestLiveRecoveryAfterCrash(t *testing.T) {
 		}
 	}
 	// Partner's remote buffer was cleaned.
-	if b.Remote().Len() != 0 {
-		t.Errorf("remote buffer not cleaned: %d", b.Remote().Len())
+	if b.RemoteLen() != 0 {
+		t.Errorf("remote buffer not cleaned: %d", b.RemoteLen())
 	}
 }
 

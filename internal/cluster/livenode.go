@@ -165,8 +165,27 @@ func (n *LiveNode) Device() *ssd.Device { return n.dev }
 // Buffer exposes the local buffer.
 func (n *LiveNode) Buffer() buffer.Cache { return n.buf }
 
-// Remote exposes the partner-backup store.
+// Remote exposes the partner-backup store. The store itself is not
+// synchronized and the serve loop mutates it on partner messages, so only
+// touch it through this method when the node is quiesced (stopped, or its
+// partner disconnected); use RemoteLen/RemoteContains while serving.
 func (n *LiveNode) Remote() *core.RemoteStore { return n.remote }
+
+// RemoteLen reports the number of partner pages backed up here, safely
+// with respect to the serve loop.
+func (n *LiveNode) RemoteLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.remote.Len()
+}
+
+// RemoteContains reports whether lpn is backed up here, safely with
+// respect to the serve loop.
+func (n *LiveNode) RemoteContains(lpn int64) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.remote.Contains(lpn)
+}
 
 // vnow maps wall-clock time onto the device's virtual time line.
 func (n *LiveNode) vnow() sim.VTime { return sim.FromDuration(time.Since(n.start)) }

@@ -90,8 +90,8 @@ func TestLiveTrim(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if b.Remote().Len() != 8 {
-		t.Fatalf("backups = %d", b.Remote().Len())
+	if b.RemoteLen() != 8 {
+		t.Fatalf("backups = %d", b.RemoteLen())
 	}
 	persists0 := a.Stats().Persists
 	if err := a.Trim(0, 8); err != nil {
@@ -106,10 +106,10 @@ func TestLiveTrim(t *testing.T) {
 	}
 	// The discard notice is async; wait for it.
 	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) && b.Remote().Len() > 0 {
+	for time.Now().Before(deadline) && b.RemoteLen() > 0 {
 		time.Sleep(5 * time.Millisecond)
 	}
-	if b.Remote().Len() != 0 {
+	if b.RemoteLen() != 0 {
 		t.Error("backups not discarded after trim")
 	}
 	// Reads of trimmed pages return zeros.

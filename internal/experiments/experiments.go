@@ -10,7 +10,10 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"flashcoop/internal/core"
 	"flashcoop/internal/ssd"
@@ -24,16 +27,18 @@ import (
 // Options size an experiment run. The zero value selects full-size
 // defaults; Quick shrinks everything for tests.
 type Options struct {
-	// Requests per replay (default 60000; Quick: 3000).
+	// Requests per replay (default 100000; Quick: 3000).
 	Requests int
-	// BufferPages is the cooperative buffer size (default 4096).
+	// BufferPages is the cooperative buffer size in pages
+	// (default 4096; Quick: 512).
 	BufferPages int
-	// SSDBlocks sizes the simulated SSD (default 2048 blocks = 512MB).
+	// SSDBlocks sizes the simulated SSD in erase blocks
+	// (default 2048 blocks = 512MB at 256KB/block; Quick: 512).
 	SSDBlocks int
-	// AddrPages is the workload's logical address space (default half
-	// the device's user pages).
+	// AddrPages is the workload's logical address space in pages
+	// (default half the device's user pages, capped at the full device).
 	AddrPages int64
-	// Seed drives all stochastic generation.
+	// Seed drives all stochastic generation (default 42).
 	Seed int64
 	// Quick selects small parameters for unit tests.
 	Quick bool
@@ -142,30 +147,169 @@ func RunCell(o Options, scheme, wl, policy string) (core.ReplayStats, error) {
 	return core.Replay(n, reqs, core.ReplayOptions{})
 }
 
+// CellKey names one (scheme, workload, policy) cell of the evaluation grid.
+type CellKey struct {
+	Scheme   string
+	Workload string
+	Policy   string
+}
+
+func (k CellKey) String() string {
+	return k.Scheme + "|" + k.Workload + "|" + k.Policy
+}
+
+// GridKeys enumerates the full Figures 6-8 grid (Schemes × Workloads ×
+// Policies) in deterministic order.
+func GridKeys() []CellKey {
+	keys := make([]CellKey, 0, len(Schemes)*len(Workloads)*len(Policies))
+	for _, scheme := range Schemes {
+		for _, wl := range Workloads {
+			for _, policy := range Policies {
+				keys = append(keys, CellKey{scheme, wl, policy})
+			}
+		}
+	}
+	return keys
+}
+
+// cellResult is one computed (or in-flight) grid cell. The done channel
+// implements per-cell singleflight: the first caller computes, later
+// callers for the same key block on done and read the shared result.
+type cellResult struct {
+	done chan struct{}
+	rs   core.ReplayStats
+	err  error
+	wall time.Duration
+}
+
 // Grid lazily computes and caches the full Figures 6-8 evaluation grid.
+// It is safe for concurrent use: each cell is computed exactly once even
+// when many goroutines request it at the same time, and every cell owns
+// its seeded RNG, nodes and simulated SSD, so cells share no mutable
+// state and parallel results are bit-identical to serial ones.
 type Grid struct {
 	opts  Options
-	cells map[string]core.ReplayStats
+	mu    sync.Mutex
+	cells map[CellKey]*cellResult
 }
 
 // NewGrid prepares a grid evaluator with the given options.
 func NewGrid(o Options) *Grid {
-	return &Grid{opts: o.withDefaults(), cells: make(map[string]core.ReplayStats)}
+	return &Grid{opts: o.withDefaults(), cells: make(map[CellKey]*cellResult)}
 }
 
+// Options returns the (defaulted) options the grid's cells run with.
+func (g *Grid) Options() Options { return g.opts }
+
 // Cell returns the replay stats for one grid cell, computing it on first
-// use.
+// use. Concurrent calls for the same cell compute it once and share the
+// result.
 func (g *Grid) Cell(scheme, wl, policy string) (core.ReplayStats, error) {
-	key := scheme + "|" + wl + "|" + policy
-	if rs, ok := g.cells[key]; ok {
-		return rs, nil
+	key := CellKey{scheme, wl, policy}
+	g.mu.Lock()
+	c, ok := g.cells[key]
+	if !ok {
+		c = &cellResult{done: make(chan struct{})}
+		g.cells[key] = c
+		g.mu.Unlock()
+		start := time.Now()
+		c.rs, c.err = RunCell(g.opts, scheme, wl, policy)
+		c.wall = time.Since(start)
+		if c.err != nil {
+			c.err = fmt.Errorf("cell %s: %w", key, c.err)
+		}
+		close(c.done)
+	} else {
+		g.mu.Unlock()
+		<-c.done
 	}
-	rs, err := RunCell(g.opts, scheme, wl, policy)
-	if err != nil {
-		return rs, fmt.Errorf("cell %s: %w", key, err)
+	return c.rs, c.err
+}
+
+// Precompute fans the full grid out across a pool of parallelism workers
+// (GOMAXPROCS when parallelism <= 0) and blocks until every cell is done.
+// It returns the first cell error, if any. Later Cell calls are cache
+// hits, so one precomputed Grid serves fig6/fig7/fig8/headline without
+// recomputation.
+func (g *Grid) Precompute(parallelism int) error {
+	keys := GridKeys()
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
 	}
-	g.cells[key] = rs
-	return rs, nil
+	if parallelism > len(keys) {
+		parallelism = len(keys)
+	}
+	work := make(chan CellKey)
+	errs := make(chan error, len(keys))
+	var wg sync.WaitGroup
+	for i := 0; i < parallelism; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				_, err := g.Cell(k.Scheme, k.Workload, k.Policy)
+				errs <- err
+			}
+		}()
+	}
+	for _, k := range keys {
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CellReport is one computed cell's headline stats and compute cost, for
+// the machine-readable perf record benchrunner emits.
+type CellReport struct {
+	Scheme   string  `json:"scheme"`
+	Workload string  `json:"workload"`
+	Policy   string  `json:"policy"`
+	WallMs   float64 `json:"wall_ms"`
+	RespMs   float64 `json:"resp_ms"`
+	Erases   int64   `json:"erases"`
+	HitRatio float64 `json:"hit_ratio"`
+	Requests int     `json:"requests"`
+}
+
+// Report snapshots every completed cell in deterministic grid order.
+// In-flight and failed cells are skipped.
+func (g *Grid) Report() []CellReport {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []CellReport
+	for _, k := range GridKeys() {
+		c, ok := g.cells[k]
+		if !ok {
+			continue
+		}
+		select {
+		case <-c.done:
+		default:
+			continue
+		}
+		if c.err != nil {
+			continue
+		}
+		out = append(out, CellReport{
+			Scheme:   k.Scheme,
+			Workload: k.Workload,
+			Policy:   k.Policy,
+			WallMs:   float64(c.wall) / float64(time.Millisecond),
+			RespMs:   c.rs.Resp.Mean(),
+			Erases:   c.rs.Erases,
+			HitRatio: c.rs.HitRatio,
+			Requests: c.rs.Requests,
+		})
+	}
+	return out
 }
 
 // Experiment is one reproducible table or figure.
@@ -173,6 +317,10 @@ type Experiment struct {
 	ID    string
 	Title string
 	Run   func(o Options, w io.Writer) error
+	// RunGrid, when non-nil, renders the experiment from a shared
+	// (possibly precomputed) evaluation Grid instead of building its
+	// own, so several experiments reuse the same cells.
+	RunGrid func(g *Grid, w io.Writer) error
 }
 
 // All lists every experiment in paper order.
@@ -182,11 +330,11 @@ func All() []Experiment {
 		{ID: "table1", Title: "Table I: workload specification", Run: RunTable1},
 		{ID: "table2", Title: "Table II: SSD configuration", Run: RunTable2},
 		{ID: "table3", Title: "Table III: cache hit ratio vs buffer size", Run: RunTable3},
-		{ID: "fig6", Title: "Figure 6: average response time", Run: RunFig6},
-		{ID: "fig7", Title: "Figure 7: garbage collection overhead (erases)", Run: RunFig7},
-		{ID: "fig8", Title: "Figure 8: write length distribution (CDF)", Run: RunFig8},
+		{ID: "fig6", Title: "Figure 6: average response time", Run: RunFig6, RunGrid: RunFig6Grid},
+		{ID: "fig7", Title: "Figure 7: garbage collection overhead (erases)", Run: RunFig7, RunGrid: RunFig7Grid},
+		{ID: "fig8", Title: "Figure 8: write length distribution (CDF)", Run: RunFig8, RunGrid: RunFig8Grid},
 		{ID: "fig9", Title: "Figure 9: dynamic memory allocation (θ)", Run: RunFig9},
-		{ID: "headline", Title: "Headline: overall improvement vs Baseline", Run: RunHeadline},
+		{ID: "headline", Title: "Headline: overall improvement vs Baseline", Run: RunHeadline, RunGrid: RunHeadlineGrid},
 		{ID: "ablation", Title: "Ablations: LAR design choices", Run: RunAblation},
 		{ID: "extension", Title: "Extensions: BPLRU/FAB/LB-CLOCK policies, DFTL, short-lived files", Run: RunExtension},
 		{ID: "smoothing", Title: "Extensions: dynamic-allocation smoothing", Run: RunSmoothingStudy},

@@ -13,7 +13,11 @@ var Fig8Thresholds = []int{1, 2, 4, 8, 16, 32, 64}
 // RunFig6 prints Figure 6: average response time (ms) per FTL, workload
 // and policy.
 func RunFig6(o Options, w io.Writer) error {
-	g := NewGrid(o)
+	return RunFig6Grid(NewGrid(o), w)
+}
+
+// RunFig6Grid renders Figure 6 from a shared (possibly precomputed) grid.
+func RunFig6Grid(g *Grid, w io.Writer) error {
 	return renderGrid(g, w,
 		"Figure 6%s: average response time (ms), %s FTL",
 		func(rsMean float64) float64 { return rsMean },
@@ -23,7 +27,11 @@ func RunFig6(o Options, w io.Writer) error {
 // RunFig7 prints Figure 7: block-erase counts (garbage collection
 // overhead) per FTL, workload and policy.
 func RunFig7(o Options, w io.Writer) error {
-	g := NewGrid(o)
+	return RunFig7Grid(NewGrid(o), w)
+}
+
+// RunFig7Grid renders Figure 7 from a shared (possibly precomputed) grid.
+func RunFig7Grid(g *Grid, w io.Writer) error {
 	return renderGrid(g, w,
 		"Figure 7%s: block erases during replay, %s FTL",
 		func(v float64) float64 { return v },
@@ -72,7 +80,11 @@ func renderGrid(g *Grid, w io.Writer, titleFmt string, _ func(float64) float64, 
 
 // RunFig8 prints Figure 8: the CDF of write lengths passed to the SSD.
 func RunFig8(o Options, w io.Writer) error {
-	g := NewGrid(o)
+	return RunFig8Grid(NewGrid(o), w)
+}
+
+// RunFig8Grid renders Figure 8 from a shared (possibly precomputed) grid.
+func RunFig8Grid(g *Grid, w io.Writer) error {
 	letters := map[string]string{"Fin1": "(a)", "Fin2": "(b)", "Mix": "(c)"}
 	// Figure 8 is reported for the BAST configuration.
 	for _, wl := range Workloads {
@@ -105,7 +117,11 @@ func RunFig8(o Options, w io.Writer) error {
 // improvement and garbage-collection reduction of FlashCoop+LAR vs the
 // Baseline, averaged across the BAST grid (the paper's primary setup).
 func RunHeadline(o Options, w io.Writer) error {
-	g := NewGrid(o)
+	return RunHeadlineGrid(NewGrid(o), w)
+}
+
+// RunHeadlineGrid renders the headline comparison from a shared grid.
+func RunHeadlineGrid(g *Grid, w io.Writer) error {
 	var perfSum, gcSum float64
 	var cnt int
 	t := metrics.Table{

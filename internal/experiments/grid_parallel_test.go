@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"sync"
+	"testing"
+
+	"flashcoop/internal/core"
+)
+
+// TestPrecomputeMatchesSerial is the determinism contract of the parallel
+// grid: every cell computed by a Precompute worker pool — at parallelism 1
+// and at fan-out — must be identical, field for field, to the same cell
+// computed by a plain serial RunCell. Run it under -race to also exercise
+// the cache's locking.
+func TestPrecomputeMatchesSerial(t *testing.T) {
+	want := make(map[CellKey]core.ReplayStats, len(GridKeys()))
+	for _, k := range GridKeys() {
+		rs, err := RunCell(quickOpts(), k.Scheme, k.Workload, k.Policy)
+		if err != nil {
+			t.Fatalf("serial %v: %v", k, err)
+		}
+		want[k] = rs
+	}
+	for _, parallelism := range []int{1, 4} {
+		g := NewGrid(quickOpts())
+		if err := g.Precompute(parallelism); err != nil {
+			t.Fatalf("Precompute(%d): %v", parallelism, err)
+		}
+		for _, k := range GridKeys() {
+			got, err := g.Cell(k.Scheme, k.Workload, k.Policy)
+			if err != nil {
+				t.Fatalf("parallelism %d, cell %v: %v", parallelism, k, err)
+			}
+			if !reflect.DeepEqual(got, want[k]) {
+				t.Errorf("parallelism %d, cell %v: stats differ from serial run", parallelism, k)
+			}
+		}
+	}
+}
+
+// TestFig6RenderingIdenticalAfterPrecompute checks the end-to-end property
+// benchrunner relies on: rendering a figure from a precomputed grid is
+// byte-identical to rendering it from a lazily-computed serial grid.
+func TestFig6RenderingIdenticalAfterPrecompute(t *testing.T) {
+	var serialOut, parOut bytes.Buffer
+	if err := RunFig6Grid(NewGrid(quickOpts()), &serialOut); err != nil {
+		t.Fatal(err)
+	}
+	g := NewGrid(quickOpts())
+	if err := g.Precompute(4); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunFig6Grid(g, &parOut); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(serialOut.Bytes(), parOut.Bytes()) {
+		t.Errorf("fig6 rendering differs:\nserial:\n%s\nprecomputed:\n%s",
+			serialOut.String(), parOut.String())
+	}
+}
+
+// TestGridCellConcurrent hammers one cell from many goroutines; the
+// singleflight cache must compute it once and hand every caller the same
+// result (the -race build verifies the synchronization).
+func TestGridCellConcurrent(t *testing.T) {
+	g := NewGrid(quickOpts())
+	const callers = 8
+	results := make([]core.ReplayStats, callers)
+	errs := make([]error, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = g.Cell("bast", "Fin2", "lar")
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("caller %d: %v", i, errs[i])
+		}
+		if !reflect.DeepEqual(results[i], results[0]) {
+			t.Errorf("caller %d saw a different result", i)
+		}
+	}
+	if got := len(g.Report()); got != 1 {
+		t.Errorf("computed cells = %d, want 1", got)
+	}
+}
+
+// TestGridReportOrder checks that Report returns completed cells in the
+// canonical grid order with coherent fields, which BENCH_grid.json relies
+// on for diffability across runs.
+func TestGridReportOrder(t *testing.T) {
+	g := NewGrid(quickOpts())
+	if err := g.Precompute(2); err != nil {
+		t.Fatal(err)
+	}
+	reports := g.Report()
+	keys := GridKeys()
+	if len(reports) != len(keys) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(keys))
+	}
+	for i, r := range reports {
+		k := keys[i]
+		if r.Scheme != k.Scheme || r.Workload != k.Workload || r.Policy != k.Policy {
+			t.Errorf("report %d is %s/%s/%s, want %s/%s/%s",
+				i, r.Scheme, r.Workload, r.Policy, k.Scheme, k.Workload, k.Policy)
+		}
+		if r.Requests <= 0 || r.RespMs <= 0 {
+			t.Errorf("report %d has empty stats: %+v", i, r)
+		}
+	}
+}

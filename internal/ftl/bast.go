@@ -25,6 +25,12 @@ type BAST struct {
 	pool    *blockPool
 	stats   Stats
 	seq     int64 // logical clock for log-block LRU
+
+	// srcScratch caches the per-offset source page of a merge (one flash
+	// lookup per offset instead of one per scan); logFree recycles log
+	// descriptors so the write path does not allocate per log block.
+	srcScratch []int32
+	logFree    []*bastLog
 }
 
 type bastLog struct {
@@ -185,15 +191,7 @@ func (f *BAST) writeOne(lpn int64) (sim.VTime, error) {
 		if err != nil {
 			return total, err
 		}
-		log = &bastLog{
-			lbn:      lbn,
-			pbn:      pbn,
-			pageMap:  make([]int16, f.ppb),
-			seqSoFar: true,
-		}
-		for i := range log.pageMap {
-			log.pageMap[i] = -1
-		}
+		log = f.newLog(lbn, pbn)
 		f.logs[lbn] = log
 	}
 
@@ -227,6 +225,23 @@ func (f *BAST) writeOne(lpn int64) (sim.VTime, error) {
 	return total, nil
 }
 
+// newLog returns a fresh log descriptor for lbn over pbn, reusing a
+// recycled one when available.
+func (f *BAST) newLog(lbn, pbn int) *bastLog {
+	var log *bastLog
+	if n := len(f.logFree); n > 0 {
+		log = f.logFree[n-1]
+		f.logFree = f.logFree[:n-1]
+		*log = bastLog{lbn: lbn, pbn: pbn, pageMap: log.pageMap, seqSoFar: true}
+	} else {
+		log = &bastLog{lbn: lbn, pbn: pbn, pageMap: make([]int16, f.ppb), seqSoFar: true}
+	}
+	for i := range log.pageMap {
+		log.pageMap[i] = -1
+	}
+	return log
+}
+
 func (f *BAST) lruLog() *bastLog {
 	var victim *bastLog
 	for _, l := range f.logs {
@@ -242,7 +257,10 @@ func (f *BAST) lruLog() *bastLog {
 // It classifies the merge as switch, partial, or full, exactly as the
 // paper's Section II discusses.
 func (f *BAST) merge(log *bastLog) (sim.VTime, error) {
-	defer delete(f.logs, log.lbn)
+	defer func() {
+		delete(f.logs, log.lbn)
+		f.logFree = append(f.logFree, log)
+	}()
 	switch {
 	case log.seqSoFar && log.writePtr == f.ppb:
 		f.stats.SwitchMerges++
@@ -287,40 +305,59 @@ func (f *BAST) partialMerge(log *bastLog) (sim.VTime, error) {
 	return total, err
 }
 
+// dataSrcs records, for logical offsets [lo, hi) of data block old, the
+// physical page currently holding live data (-1 when absent) into the
+// reused merge scratch, so merge copy loops look each page up once.
+func (f *BAST) dataSrcs(old, lo, hi int) ([]int32, error) {
+	if f.srcScratch == nil {
+		f.srcScratch = make([]int32, f.ppb)
+	}
+	src := f.srcScratch
+	for off := lo; off < hi; off++ {
+		src[off] = -1
+		if old < 0 {
+			continue
+		}
+		cand := old*f.ppb + off
+		st, _, err := f.arr.PageInfo(cand)
+		if err != nil {
+			return nil, err
+		}
+		if st == flash.PageValid {
+			src[off] = int32(cand)
+		}
+	}
+	return src, nil
+}
+
 // copyTail copies logical offsets [from, ppb) of lbn from its current data
 // block into dst at matching physical offsets. Offsets that were never
 // written are only padded (programmed with zero-fill) when a later offset
 // must be programmed above them, respecting NAND program ordering.
 func (f *BAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 	var total sim.VTime
-	old := f.dataMap[lbn]
+	src, err := f.dataSrcs(int(f.dataMap[lbn]), from, f.ppb)
+	if err != nil {
+		return total, err
+	}
 	// Find the last offset >= from that holds live data.
 	last := from - 1
-	if old >= 0 {
-		for off := f.ppb - 1; off >= from; off-- {
-			st, _, err := f.arr.PageInfo(int(old)*f.ppb + off)
-			if err != nil {
-				return total, err
-			}
-			if st == flash.PageValid {
-				last = off
-				break
-			}
+	for off := f.ppb - 1; off >= from; off-- {
+		if src[off] >= 0 {
+			last = off
+			break
 		}
 	}
 	for off := from; off <= last; off++ {
 		lpn := int64(lbn)*int64(f.ppb) + int64(off)
-		if old >= 0 {
-			src := int(old)*f.ppb + off
-			if st, _, err := f.arr.PageInfo(src); err == nil && st == flash.PageValid {
-				rlat, err := f.arr.ReadPageInternal(src)
-				if err != nil {
-					return total, err
-				}
-				total += rlat
-				if err := f.arr.InvalidatePage(src); err != nil {
-					return total, err
-				}
+		if s := src[off]; s >= 0 {
+			rlat, err := f.arr.ReadPageInternal(int(s))
+			if err != nil {
+				return total, err
+			}
+			total += rlat
+			if err := f.arr.InvalidatePage(int(s)); err != nil {
+				return total, err
 			}
 		}
 		// Program the destination whether we found a source or are
@@ -340,24 +377,24 @@ func (f *BAST) fullMerge(log *bastLog) (sim.VTime, error) {
 	var total sim.VTime
 	old := f.dataMap[log.lbn]
 
-	// Last offset holding live data anywhere determines how far we
-	// must program (holes below it are padded).
+	// One pass records each offset's newest source (the log block wins
+	// over the data block) and the last offset holding live data, which
+	// determines how far we must program (holes below it are padded).
+	src, err := f.dataSrcs(int(old), 0, f.ppb)
+	if err != nil {
+		return total, err
+	}
 	last := -1
-	for off := f.ppb - 1; off >= 0; off-- {
-		if log.pageMap[off] >= 0 {
-			last = off
-			break
+	for off := 0; off < f.ppb; off++ {
+		if p := log.pageMap[off]; p >= 0 {
+			src[off] = int32(log.pbn*f.ppb + int(p))
 		}
-		if old >= 0 {
-			if st, _, err := f.arr.PageInfo(int(old)*f.ppb + off); err == nil && st == flash.PageValid {
-				last = off
-				break
-			}
+		if src[off] >= 0 {
+			last = off
 		}
 	}
 	dst := -1
 	if last >= 0 {
-		var err error
 		dst, err = f.pool.get()
 		if err != nil {
 			return total, err
@@ -365,22 +402,13 @@ func (f *BAST) fullMerge(log *bastLog) (sim.VTime, error) {
 	}
 	for off := 0; off <= last; off++ {
 		lpn := int64(log.lbn)*int64(f.ppb) + int64(off)
-		src := -1
-		if p := log.pageMap[off]; p >= 0 {
-			src = log.pbn*f.ppb + int(p)
-		} else if old >= 0 {
-			cand := int(old)*f.ppb + off
-			if st, _, err := f.arr.PageInfo(cand); err == nil && st == flash.PageValid {
-				src = cand
-			}
-		}
-		if src >= 0 {
-			rlat, err := f.arr.ReadPageInternal(src)
+		if s := src[off]; s >= 0 {
+			rlat, err := f.arr.ReadPageInternal(int(s))
 			if err != nil {
 				return total, err
 			}
 			total += rlat
-			if err := f.arr.InvalidatePage(src); err != nil {
+			if err := f.arr.InvalidatePage(int(s)); err != nil {
 				return total, err
 			}
 		}

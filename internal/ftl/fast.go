@@ -2,7 +2,7 @@ package ftl
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
@@ -28,6 +28,12 @@ type FAST struct {
 	rwLogs  []*fastLog      // random log blocks, oldest first; frontier is the last
 	pool    *blockPool
 	stats   Stats
+
+	// srcScratch caches the per-offset source page of a merge (one locate
+	// per offset instead of one per scan); lbnScratch collects the victim
+	// logical blocks during random-log reclamation without a per-call map.
+	srcScratch []int32
+	lbnScratch []int
 }
 
 type fastLog struct {
@@ -297,20 +303,35 @@ func (f *FAST) swSwitch(log *fastLog) (sim.VTime, error) {
 	return total, nil
 }
 
+// locateSrcs records the current physical page of lbn's offsets [lo, hi)
+// (-1 when absent) into the reused merge scratch, so merge copy loops pay
+// one locate per offset instead of one per scan.
+func (f *FAST) locateSrcs(lbn, lo, hi int) []int32 {
+	if f.srcScratch == nil {
+		f.srcScratch = make([]int32, f.ppb)
+	}
+	src := f.srcScratch
+	base := int64(lbn) * int64(f.ppb)
+	for off := lo; off < hi; off++ {
+		src[off] = int32(f.locate(base + int64(off)))
+	}
+	return src
+}
+
 // copyTail mirrors BAST's partial-merge tail copy for the sequential log.
 func (f *FAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 	var total sim.VTime
+	srcs := f.locateSrcs(lbn, from, f.ppb)
 	last := from - 1
 	for off := f.ppb - 1; off >= from; off-- {
-		lpn := int64(lbn)*int64(f.ppb) + int64(off)
-		if f.locate(lpn) >= 0 {
+		if srcs[off] >= 0 {
 			last = off
 			break
 		}
 	}
 	for off := from; off <= last; off++ {
 		lpn := int64(lbn)*int64(f.ppb) + int64(off)
-		src := f.locate(lpn)
+		src := int(srcs[off])
 		if src >= 0 {
 			rlat, err := f.arr.ReadPageInternal(src)
 			if err != nil {
@@ -341,7 +362,7 @@ func (f *FAST) reclaimOldestRW() (sim.VTime, error) {
 	var total sim.VTime
 
 	// Collect the distinct logical blocks with live pages in the victim.
-	lbns := make(map[int]bool)
+	order := f.lbnScratch[:0]
 	base := victim.pbn * f.ppb
 	for i := 0; i < f.ppb; i++ {
 		st, lpn, err := f.arr.PageInfo(base + i)
@@ -350,14 +371,12 @@ func (f *FAST) reclaimOldestRW() (sim.VTime, error) {
 		}
 		if st == flash.PageValid {
 			lbn, _ := f.split(lpn)
-			lbns[lbn] = true
+			order = append(order, lbn)
 		}
 	}
-	order := make([]int, 0, len(lbns))
-	for lbn := range lbns {
-		order = append(order, lbn)
-	}
-	sort.Ints(order) // deterministic merge order
+	slices.Sort(order) // deterministic merge order
+	order = slices.Compact(order)
+	f.lbnScratch = order
 	for _, lbn := range order {
 		f.stats.FullMerges++
 		lat, err := f.fullMergeLBN(lbn)
@@ -379,9 +398,10 @@ func (f *FAST) fullMergeLBN(lbn int) (sim.VTime, error) {
 	var total sim.VTime
 	base := int64(lbn) * int64(f.ppb)
 
+	srcs := f.locateSrcs(lbn, 0, f.ppb)
 	last := -1
 	for off := f.ppb - 1; off >= 0; off-- {
-		if f.locate(base+int64(off)) >= 0 {
+		if srcs[off] >= 0 {
 			last = off
 			break
 		}
@@ -404,7 +424,7 @@ func (f *FAST) fullMergeLBN(lbn int) (sim.VTime, error) {
 	}
 	for off := 0; off <= last; off++ {
 		lpn := base + int64(off)
-		src := f.locate(lpn)
+		src := int(srcs[off])
 		if src >= 0 {
 			rlat, err := f.arr.ReadPageInternal(src)
 			if err != nil {

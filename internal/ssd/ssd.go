@@ -28,7 +28,9 @@ type Config struct {
 }
 
 // Device is a simulated SSD. It is not safe for concurrent use; in live
-// (non-simulated) deployments the owning node serializes access.
+// (non-simulated) deployments the owning node serializes access, and the
+// parallel experiment grid confines each Device (with its FTL and stats)
+// to the one worker goroutine that simulates that grid cell.
 type Device struct {
 	f     ftl.FTL
 	q     sim.Queue
