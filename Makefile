@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-grid profile
+.PHONY: all build test race vet ci bench bench-grid bench-cluster profile
 
 all: build
 
@@ -27,6 +27,11 @@ ci:
 # Regenerate every paper table/figure; grid cells fan out over all CPUs.
 bench:
 	$(GO) run ./cmd/benchrunner
+
+# Measure the live replication path: sync vs pipelined throughput and
+# latency percentiles over a localhost pair, recorded as BENCH_cluster.json.
+bench-cluster:
+	$(GO) run ./cmd/loadgen -writers 32 -ops 32000 -json BENCH_cluster.json
 
 # Just the grid-backed figures plus the per-cell perf record.
 bench-grid:

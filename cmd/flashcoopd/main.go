@@ -11,6 +11,10 @@
 //
 //	flashcoopd -listen :7001 -client :8001 [-peer host:7002] [-policy lar]
 //	           [-buffer 8192] [-remote 8192] [-recover]
+//	           [-batch 64] [-inflight 4]
+//
+// STATS reports, besides the counters, the write and forward latency
+// percentiles (wlat_*/flat_*) and the forward batching factor.
 package main
 
 import (
@@ -38,21 +42,25 @@ func main() {
 		blocks  = flag.Int("blocks", 2048, "SSD erase blocks")
 		scheme  = flag.String("ftl", "bast", "FTL scheme")
 		recover = flag.Bool("recover", false, "recover dirty data from the partner on startup")
-		dataDir = flag.String("datadir", "", "persist flushed pages here (survives restarts)")
-		syncW   = flag.Bool("sync", false, "fsync the page store on every persist")
+		dataDir  = flag.String("datadir", "", "persist flushed pages here (survives restarts)")
+		syncW    = flag.Bool("sync", false, "fsync the page store on every persist")
+		batch    = flag.Int("batch", 0, "max pages group-committed per forward frame (0 = default)")
+		inflight = flag.Int("inflight", 0, "max unacked forward frames on the wire (0 = default)")
 	)
 	flag.Parse()
 
 	node, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
-		Name:        *listen,
-		ListenAddr:  *listen,
-		PeerAddr:    *peer,
-		Policy:      *policy,
-		BufferPages: *bufPg,
-		RemotePages: *remote,
-		SSD:         flashcoop.DefaultSSD(*scheme, *blocks),
-		DataDir:     *dataDir,
-		SyncWrites:  *syncW,
+		Name:          *listen,
+		ListenAddr:    *listen,
+		PeerAddr:      *peer,
+		Policy:        *policy,
+		BufferPages:   *bufPg,
+		RemotePages:   *remote,
+		SSD:           flashcoop.DefaultSSD(*scheme, *blocks),
+		DataDir:       *dataDir,
+		SyncWrites:    *syncW,
+		MaxBatchPages: *batch,
+		MaxInflight:   *inflight,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -154,8 +162,15 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			fmt.Fprintln(conn, "OK")
 		case "STATS":
 			st := node.Stats()
-			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d persists=%d failovers=%d rebalances=%d peerAlive=%v\n",
-				st.Writes, st.Reads, st.Forwards, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive())
+			wl, fl := node.WriteLatencyStats(), node.ForwardLatencyStats()
+			batching := 1.0
+			if st.FwdFrames > 0 {
+				batching = float64(st.Forwards) / float64(st.FwdFrames)
+			}
+			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d fwdFrames=%d batching=%.2f persists=%d failovers=%d rebalances=%d peerAlive=%v "+
+				"wlat_p50=%.3fms wlat_p95=%.3fms wlat_p99=%.3fms flat_p50=%.3fms flat_p95=%.3fms flat_p99=%.3fms\n",
+				st.Writes, st.Reads, st.Forwards, st.FwdFrames, batching, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive(),
+				wl.P50, wl.P95, wl.P99, fl.P50, fl.P95, fl.P99)
 		case "QUIT":
 			return
 		default:

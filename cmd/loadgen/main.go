@@ -1,0 +1,232 @@
+// Command loadgen measures the live cluster write path: it brings up a
+// cooperative pair on localhost TCP, drives it with N concurrent writers,
+// and reports replicated-write throughput plus client-observed latency
+// percentiles. With -compare (the default) it runs the workload twice —
+// once with the forwarder degenerated to one synchronous round trip per
+// write (the pre-pipeline behavior) and once with batching + pipelining —
+// and reports the speedup, recording both runs as JSON so the perf
+// trajectory is tracked like the experiment grid.
+//
+// Usage:
+//
+//	loadgen [-writers 8] [-ops 40000] [-pages 1] [-span 256] [-policy lar]
+//	        [-buffer 16384] [-remote 16384] [-blocks 8192]
+//	        [-batch 64] [-inflight 4] [-compare] [-json BENCH_cluster.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"sync"
+	"time"
+
+	"flashcoop"
+	"flashcoop/internal/metrics"
+)
+
+type options struct {
+	writers  int
+	ops      int
+	pages    int
+	span     int
+	policy   string
+	buffer   int
+	remote   int
+	blocks   int
+	batch    int
+	inflight int
+}
+
+// runResult is one benchmark run, JSON-serialized into BENCH_cluster.json.
+type runResult struct {
+	Name           string  `json:"name"`
+	Writers        int     `json:"writers"`
+	Ops            int     `json:"ops"`
+	PagesPerOp     int     `json:"pages_per_op"`
+	MaxBatchPages  int     `json:"max_batch_pages"`
+	MaxInflight    int     `json:"max_inflight"`
+	Seconds        float64 `json:"seconds"`
+	WritesPerSec   float64 `json:"writes_per_sec"`
+	MBPerSec       float64 `json:"mb_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	Forwards       int64   `json:"forwards"`
+	FwdFrames      int64   `json:"fwd_frames"`
+	BatchingFactor float64 `json:"batching_factor"`
+}
+
+type report struct {
+	GeneratedAt string      `json:"generated_at"`
+	GoVersion   string      `json:"go_version"`
+	CPUs        int         `json:"cpus"`
+	Runs        []runResult `json:"runs"`
+	// Speedup is pipelined writes/sec over sync writes/sec (0 when only
+	// one run was requested).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	var (
+		opt      options
+		compare  = flag.Bool("compare", true, "also run the synchronous (batch=1, inflight=1) configuration and report speedup")
+		jsonPath = flag.String("json", "", "write results to this JSON file (e.g. BENCH_cluster.json)")
+	)
+	flag.IntVar(&opt.writers, "writers", 8, "concurrent writer goroutines")
+	flag.IntVar(&opt.ops, "ops", 40000, "total writes, split across writers")
+	flag.IntVar(&opt.pages, "pages", 1, "pages per write")
+	flag.IntVar(&opt.span, "span", 256, "distinct write locations per writer (cache-resident working set)")
+	flag.StringVar(&opt.policy, "policy", flashcoop.PolicyLAR, "buffer policy")
+	flag.IntVar(&opt.buffer, "buffer", 16384, "local buffer pages")
+	flag.IntVar(&opt.remote, "remote", 16384, "remote buffer pages")
+	flag.IntVar(&opt.blocks, "blocks", 8192, "SSD erase blocks")
+	flag.IntVar(&opt.batch, "batch", 64, "max pages group-committed per forward frame")
+	flag.IntVar(&opt.inflight, "inflight", 4, "max unacked frames on the wire")
+	flag.Parse()
+
+	rep := report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		CPUs:        runtime.NumCPU(),
+	}
+	if *compare {
+		sync, err := runOnce("sync", opt, 1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Runs = append(rep.Runs, sync)
+		// Collect the first pair's buffers now so the GC doesn't tax the
+		// second run with the first run's garbage.
+		runtime.GC()
+	}
+	piped, err := runOnce("pipelined", opt, opt.batch, opt.inflight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep.Runs = append(rep.Runs, piped)
+	if *compare && rep.Runs[0].WritesPerSec > 0 {
+		rep.Speedup = piped.WritesPerSec / rep.Runs[0].WritesPerSec
+	}
+
+	tbl := metrics.Table{
+		Title:   "Replicated-write throughput (localhost pair)",
+		Headers: []string{"run", "writers", "ops", "writes/s", "MB/s", "p50 ms", "p95 ms", "p99 ms", "frames", "batch x"},
+	}
+	for _, r := range rep.Runs {
+		tbl.AddRow(r.Name, r.Writers, r.Ops, r.WritesPerSec, r.MBPerSec,
+			r.P50Ms, r.P95Ms, r.P99Ms, fmt.Sprintf("%d", r.FwdFrames), r.BatchingFactor)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if rep.Speedup > 0 {
+		fmt.Printf("\npipelined/sync speedup: %.2fx\n", rep.Speedup)
+	}
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+}
+
+// runOnce brings up a fresh pair and pushes the whole workload through it.
+func runOnce(name string, opt options, batch, inflight int) (runResult, error) {
+	backup, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "backup", ListenAddr: "127.0.0.1:0",
+		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+		SSD: flashcoop.DefaultSSD("bast", opt.blocks),
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	defer backup.Close()
+	writer, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "writer", ListenAddr: "127.0.0.1:0", PeerAddr: backup.Addr(),
+		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+		SSD:           flashcoop.DefaultSSD("bast", opt.blocks),
+		MaxBatchPages: batch, MaxInflight: inflight,
+	})
+	if err != nil {
+		return runResult{}, err
+	}
+	defer writer.Close()
+	if err := writer.ConnectPeer(); err != nil {
+		return runResult{}, err
+	}
+
+	ps := writer.Device().PageSize()
+	user := writer.Device().UserPages()
+	// Each writer rewrites a private, cache-resident span so the run
+	// measures the replication path (the paper's RAM-speed ack claim),
+	// not eviction or heap growth. Spans shrink if they would not fit
+	// the device or the buffer.
+	span := int64(opt.span) * int64(opt.pages)
+	if max := user / int64(opt.writers); span > max {
+		span = max
+	}
+	if max := int64(opt.buffer) / int64(opt.writers); span > max {
+		span = max
+	}
+	perWriter := opt.ops / opt.writers
+	hists := make(chan *metrics.LatencyHist, opt.writers)
+	errs := make(chan error, opt.writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var h metrics.LatencyHist
+			buf := make([]byte, opt.pages*ps)
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			base := int64(w) * span
+			for i := 0; i < perWriter; i++ {
+				lpn := base + (int64(i)*int64(opt.pages))%span
+				t0 := time.Now()
+				if err := writer.Write(lpn, buf); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				h.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+			}
+			hists <- &h
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return runResult{}, err
+	}
+	close(hists)
+	var all metrics.LatencyHist
+	for h := range hists {
+		all.Merge(h)
+	}
+	st := writer.Stats()
+	ops := opt.writers * perWriter
+	r := runResult{
+		Name: name, Writers: opt.writers, Ops: ops, PagesPerOp: opt.pages,
+		MaxBatchPages: batch, MaxInflight: inflight,
+		Seconds:      elapsed,
+		WritesPerSec: float64(ops) / elapsed,
+		MBPerSec:     float64(ops*opt.pages*ps) / elapsed / (1 << 20),
+		P50Ms:        all.P50(), P95Ms: all.P95(), P99Ms: all.P99(),
+		Forwards: st.Forwards, FwdFrames: st.FwdFrames,
+	}
+	if st.FwdFrames > 0 {
+		r.BatchingFactor = float64(st.Forwards) / float64(st.FwdFrames)
+	}
+	return r, nil
+}

@@ -117,6 +117,8 @@ type (
 	LiveNode = cluster.LiveNode
 	// LiveStats counts live-node activity.
 	LiveStats = cluster.LiveStats
+	// LatencyStats summarizes a live node's latency percentiles (ms).
+	LatencyStats = cluster.LatencyStats
 )
 
 // NewNode constructs a stand-alone simulated node; attach a partner with

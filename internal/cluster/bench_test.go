@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync/atomic"
 	"testing"
 )
 
@@ -72,5 +73,51 @@ func BenchmarkLiveWriteRTT(b *testing.B) {
 		if err := bn.Write(int64(i)%user, pg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkLiveWriteConcurrent measures the pipelined path under parallel
+// writers: group commit should amortize frames across goroutines, so
+// writes/sec here should beat BenchmarkLiveWriteRTT by a wide margin.
+func BenchmarkLiveWriteConcurrent(b *testing.B) {
+	a, err := NewLiveNode(LiveConfig{
+		Name: "a", ListenAddr: "127.0.0.1:0",
+		BufferPages: 1 << 20, RemotePages: 1 << 20, SSD: liveSSD(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer a.Close()
+	bn, err := NewLiveNode(LiveConfig{
+		Name: "b", ListenAddr: "127.0.0.1:0", PeerAddr: a.Addr(),
+		BufferPages: 1 << 20, RemotePages: 1 << 20, SSD: liveSSD(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer bn.Close()
+	if err := bn.ConnectPeer(); err != nil {
+		b.Fatal(err)
+	}
+	ps := bn.Device().PageSize()
+	user := bn.Device().UserPages()
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.SetBytes(int64(ps))
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		pg := make([]byte, ps)
+		for pb.Next() {
+			lpn := next.Add(1) % user
+			if err := bn.Write(lpn, pg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	st := bn.Stats()
+	if st.FwdFrames > 0 {
+		b.ReportMetric(float64(st.Forwards)/float64(st.FwdFrames), "writes/frame")
 	}
 }

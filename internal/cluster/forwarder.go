@@ -1,0 +1,198 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// errNodeClosing aborts forwards caught in a shutdown.
+var errNodeClosing = errors.New("cluster: node closing")
+
+// fwdEntry is one unit of partner traffic queued for the forwarder: a
+// write backup (data non-nil, done non-nil) or a discard (data and done
+// nil — discards are advisory and never acked to a caller).
+type fwdEntry struct {
+	lpns []int64
+	data []byte
+	done chan error
+}
+
+func (e fwdEntry) isDiscard() bool { return e.data == nil }
+
+// forwardLoop is the node's single forwarder goroutine. It drains the
+// forward queue, group-commits consecutive same-type entries into one
+// frame (amortizing frames, syscalls, and peer round trips across
+// concurrent writers), and keeps up to MaxInflight frames on the wire —
+// batch k+1 is sent while batch k's ack is still pending.
+//
+// The batching is self-clocking: a batch keeps absorbing queued entries
+// for exactly as long as it waits for a free in-flight slot. Under light
+// load a slot is free immediately and a single write goes out with no
+// added latency; under heavy load the wire is busy, the wait is one frame
+// service time, and every write that arrives in that window rides the
+// same frame. Entries of different types are never merged across each
+// other, so the per-LPN write/discard order clients produced is preserved
+// on the wire.
+func (n *LiveNode) forwardLoop() {
+	defer n.wg.Done()
+	inflight := make(chan struct{}, n.cfg.MaxInflight)
+	var carry *fwdEntry
+	abort := func(batch []fwdEntry) {
+		ackBatch(batch, errNodeClosing)
+		if carry != nil {
+			ackBatch([]fwdEntry{*carry}, errNodeClosing)
+		}
+		n.drainForwardQueue()
+	}
+	for {
+		var first fwdEntry
+		if carry != nil {
+			first, carry = *carry, nil
+		} else {
+			select {
+			case <-n.stop:
+				abort(nil)
+				return
+			case first = <-n.fwdq:
+			}
+		}
+		batch := append(make([]fwdEntry, 0, 8), first)
+		pages := len(first.lpns)
+		acquired := false
+	collect:
+		for pages < n.cfg.MaxBatchPages {
+			select {
+			case e := <-n.fwdq:
+				if e.isDiscard() != first.isDiscard() {
+					carry = &e
+					break collect
+				}
+				batch = append(batch, e)
+				pages += len(e.lpns)
+			case inflight <- struct{}{}:
+				acquired = true
+				break collect
+			case <-n.stop:
+				abort(batch)
+				return
+			}
+		}
+		if !acquired {
+			select {
+			case inflight <- struct{}{}:
+			case <-n.stop:
+				abort(batch)
+				return
+			}
+		}
+		n.sendBatch(batch, inflight)
+	}
+}
+
+// sendBatch marshals one coalesced frame, starts it on the pipeline, and
+// hands completion to a goroutine so the forwarder can keep batching.
+func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
+	peer := n.peer
+	if peer == nil {
+		<-inflight
+		ackBatch(batch, errNoPeer)
+		return
+	}
+	msg := buildBatchFrame(batch)
+	pc, err := peer.start(msg)
+	if err != nil {
+		<-inflight
+		ackBatch(batch, err)
+		return
+	}
+	if !batch[0].isDiscard() {
+		atomic.AddInt64(&n.stats.FwdFrames, 1)
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		defer func() { <-inflight }()
+		resp, err := peer.wait(pc)
+		if err == nil && resp.Type != MsgWriteAck && resp.Type != MsgDiscardAck {
+			err = fmt.Errorf("cluster: unexpected forward response %v", resp.Type)
+		}
+		ackBatch(batch, err)
+	}()
+}
+
+// buildBatchFrame concatenates a same-type batch into one wire message.
+func buildBatchFrame(batch []fwdEntry) *Message {
+	if batch[0].isDiscard() {
+		lpns := batch[0].lpns
+		if len(batch) > 1 {
+			lpns = append([]int64(nil), lpns...)
+			for _, e := range batch[1:] {
+				lpns = append(lpns, e.lpns...)
+			}
+		}
+		return &Message{Type: MsgDiscard, LPNs: lpns}
+	}
+	if len(batch) == 1 {
+		return &Message{Type: MsgWriteFwd, LPNs: batch[0].lpns, Data: batch[0].data}
+	}
+	var npages, nbytes int
+	for _, e := range batch {
+		npages += len(e.lpns)
+		nbytes += len(e.data)
+	}
+	lpns := make([]int64, 0, npages)
+	data := make([]byte, 0, nbytes)
+	for _, e := range batch {
+		lpns = append(lpns, e.lpns...)
+		data = append(data, e.data...)
+	}
+	return &Message{Type: MsgWriteFwd, LPNs: lpns, Data: data}
+}
+
+// ackBatch completes every waiting writer in the batch. Discards have no
+// waiter; a failed discard only wastes remote memory, never correctness.
+func ackBatch(batch []fwdEntry, err error) {
+	for _, e := range batch {
+		if e.done != nil {
+			e.done <- err
+		}
+	}
+}
+
+// drainForwardQueue fails whatever is still queued at shutdown so no
+// Write goroutine is left waiting on an ack that will never come.
+func (n *LiveNode) drainForwardQueue() {
+	for {
+		select {
+		case e := <-n.fwdq:
+			ackBatch([]fwdEntry{e}, errNodeClosing)
+		default:
+			return
+		}
+	}
+}
+
+// enqueueForward queues a write backup and returns its ack channel. It
+// blocks when the queue is full (backpressure on writers) and fails fast
+// during shutdown.
+func (n *LiveNode) enqueueForward(lpns []int64, data []byte) (chan error, error) {
+	done := make(chan error, 1)
+	select {
+	case n.fwdq <- fwdEntry{lpns: lpns, data: data, done: done}:
+		return done, nil
+	case <-n.stop:
+		return nil, errNodeClosing
+	}
+}
+
+// enqueueDiscard queues an advisory discard. It never blocks: when the
+// queue is saturated with write traffic the discard is dropped (counted),
+// which only costs remote buffer space until the next overwrite or clean.
+func (n *LiveNode) enqueueDiscard(lpns []int64) {
+	select {
+	case n.fwdq <- fwdEntry{lpns: lpns}:
+	default:
+		atomic.AddInt64(&n.stats.DiscardDrops, 1)
+	}
+}

@@ -6,10 +6,12 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flashcoop/internal/buffer"
 	"flashcoop/internal/core"
+	"flashcoop/internal/metrics"
 	"flashcoop/internal/sim"
 	"flashcoop/internal/ssd"
 )
@@ -36,6 +38,16 @@ type LiveConfig struct {
 	HeartbeatInterval time.Duration // default 500ms
 	FailureThreshold  int           // default 3
 	CallTimeout       time.Duration // default 2s
+
+	// Replication pipeline knobs. MaxBatchPages caps how many pages the
+	// forwarder group-commits into one MsgWriteFwd frame; MaxInflight caps
+	// unacked frames on the wire; ForwardQueue sizes the queue between
+	// writers and the forwarder (full queue = backpressure on writers).
+	// MaxBatchPages=1 with MaxInflight=1 degenerates to the old one
+	// synchronous round trip per write.
+	MaxBatchPages int // default 64
+	MaxInflight   int // default 4
+	ForwardQueue  int // default 256
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -51,15 +63,31 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	if c.Policy == "" {
 		c.Policy = buffer.PolicyLAR
 	}
+	if c.MaxBatchPages <= 0 {
+		c.MaxBatchPages = 64
+	}
+	if c.MaxInflight <= 0 {
+		// Small on purpose: the forwarder batches for as long as it waits
+		// for a slot, so a modest window yields large group commits under
+		// load while still overlapping round trips. See forwardLoop.
+		c.MaxInflight = 4
+	}
+	if c.ForwardQueue <= 0 {
+		c.ForwardQueue = 256
+	}
 	return c
 }
 
-// LiveStats counts live-node activity.
+// LiveStats counts live-node activity. All fields are updated and read
+// atomically, so hot paths never take the node mutex just to bump a
+// counter.
 type LiveStats struct {
 	Writes          int64
 	Reads           int64
-	Forwards        int64
+	Forwards        int64 // write ops whose backup was acked by the partner
+	FwdFrames       int64 // MsgWriteFwd frames sent (Forwards/FwdFrames = batching factor)
 	ForwardFailures int64
+	DiscardDrops    int64 // advisory discards dropped on a saturated queue
 	Persists        int64 // pages made durable
 	HeartbeatsSent  int64
 	HeartbeatMisses int64
@@ -67,9 +95,19 @@ type LiveStats struct {
 	Rebalances      int64
 }
 
+// LatencyStats summarizes a latency distribution; quantiles are in
+// milliseconds.
+type LatencyStats struct {
+	Count         int64
+	P50, P95, P99 float64
+}
+
 // LiveNode is a FlashCoop storage server over real TCP. It owns a policy
 // buffer with an actual data plane (page payloads), a simulated SSD for
-// timing/wear accounting, and a remote store of partner backups.
+// timing/wear accounting, and a remote store of partner backups. Backup
+// forwarding is pipelined: writers enqueue onto a coalescing forward queue
+// and a single forwarder goroutine group-commits batches over the peer
+// client's duplex connection (see forwarder.go, peerclient.go).
 type LiveNode struct {
 	cfg LiveConfig
 
@@ -80,11 +118,19 @@ type LiveNode struct {
 	dev        *ssd.Device
 	remote     *core.RemoteStore
 	remoteData map[int64][]byte // payloads backed up for the partner
-	stats      LiveStats
 	peerAlive  bool
 	missed     int
 	winReads   int64 // workload window for dynamic allocation
 	winWrites  int64
+
+	stats    LiveStats // atomic access only
+	pagePool sync.Pool // page-size []byte buffers for dirtyData/remoteData
+
+	latMu    sync.Mutex
+	writeLat metrics.LatencyHist // full Write latency, ms
+	fwdLat   metrics.LatencyHist // forward enqueue-to-ack latency, ms
+
+	fwdq chan fwdEntry
 
 	ln       net.Listener
 	peer     *peerClient
@@ -129,27 +175,71 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		dev:        dev,
 		remote:     core.NewRemoteStore(cfg.RemotePages),
 		remoteData: make(map[int64][]byte),
+		fwdq:       make(chan fwdEntry, cfg.ForwardQueue),
 		ln:         ln,
 		start:      time.Now(),
 		stop:       make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
 	}
+	ps := dev.PageSize()
+	n.pagePool.New = func() any { return make([]byte, ps) }
 	if cfg.PeerAddr != "" {
 		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout)
 	}
-	n.wg.Add(1)
+	n.wg.Add(2)
 	go n.acceptLoop()
+	go n.forwardLoop()
 	return n, nil
 }
+
+func (n *LiveNode) getPage() []byte  { return n.pagePool.Get().([]byte) }
+func (n *LiveNode) putPage(p []byte) { n.pagePool.Put(p) }
 
 // Addr reports the node's listen address.
 func (n *LiveNode) Addr() string { return n.ln.Addr().String() }
 
 // Stats returns a snapshot of the node's counters.
 func (n *LiveNode) Stats() LiveStats {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.stats
+	return LiveStats{
+		Writes:          atomic.LoadInt64(&n.stats.Writes),
+		Reads:           atomic.LoadInt64(&n.stats.Reads),
+		Forwards:        atomic.LoadInt64(&n.stats.Forwards),
+		FwdFrames:       atomic.LoadInt64(&n.stats.FwdFrames),
+		ForwardFailures: atomic.LoadInt64(&n.stats.ForwardFailures),
+		DiscardDrops:    atomic.LoadInt64(&n.stats.DiscardDrops),
+		Persists:        atomic.LoadInt64(&n.stats.Persists),
+		HeartbeatsSent:  atomic.LoadInt64(&n.stats.HeartbeatsSent),
+		HeartbeatMisses: atomic.LoadInt64(&n.stats.HeartbeatMisses),
+		Failovers:       atomic.LoadInt64(&n.stats.Failovers),
+		Rebalances:      atomic.LoadInt64(&n.stats.Rebalances),
+	}
+}
+
+// WriteLatencyStats reports percentiles of the full Write path (local
+// buffering + forward ack, or degraded write-through).
+func (n *LiveNode) WriteLatencyStats() LatencyStats {
+	n.latMu.Lock()
+	defer n.latMu.Unlock()
+	return snapshotLatency(&n.writeLat)
+}
+
+// ForwardLatencyStats reports percentiles of the forward enqueue-to-ack
+// leg alone.
+func (n *LiveNode) ForwardLatencyStats() LatencyStats {
+	n.latMu.Lock()
+	defer n.latMu.Unlock()
+	return snapshotLatency(&n.fwdLat)
+}
+
+func snapshotLatency(h *metrics.LatencyHist) LatencyStats {
+	return LatencyStats{Count: h.Count(), P50: h.P50(), P95: h.P95(), P99: h.P99()}
+}
+
+func (n *LiveNode) recordLatency(h *metrics.LatencyHist, since time.Time) {
+	ms := float64(time.Since(since)) / float64(time.Millisecond)
+	n.latMu.Lock()
+	h.Add(ms)
+	n.latMu.Unlock()
 }
 
 // PeerAlive reports whether the partner is currently reachable.
@@ -234,9 +324,7 @@ func (n *LiveNode) heartbeatOnce() {
 	if n.peer == nil {
 		return
 	}
-	n.mu.Lock()
-	n.stats.HeartbeatsSent++
-	n.mu.Unlock()
+	atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
 	_, err := n.peer.call(&Message{Type: MsgHeartbeat})
 	n.mu.Lock()
 	if err == nil {
@@ -247,12 +335,12 @@ func (n *LiveNode) heartbeatOnce() {
 		n.mu.Unlock()
 		return
 	}
-	n.stats.HeartbeatMisses++
+	atomic.AddInt64(&n.stats.HeartbeatMisses, 1)
 	n.missed++
 	trigger := n.peerAlive && n.missed >= n.cfg.FailureThreshold
 	if trigger {
 		n.peerAlive = false
-		n.stats.Failovers++
+		atomic.AddInt64(&n.stats.Failovers, 1)
 	}
 	n.mu.Unlock()
 	if trigger {
@@ -267,54 +355,85 @@ func (n *LiveNode) heartbeatOnce() {
 }
 
 // Write stores one page-aligned write. data must be pages*PageSize bytes.
+//
+// The local part (buffer insert, dirty payload capture, any eviction
+// flush) happens under the node mutex; the backup forward does not. The
+// write is queued onto the forwarder, which coalesces it with other
+// pending writes into one frame, and the caller blocks only until its
+// batch's ack arrives — many Write goroutines therefore share round trips
+// and overlap with each other's local work.
 func (n *LiveNode) Write(lpn int64, data []byte) error {
 	ps := n.dev.PageSize()
 	if len(data) == 0 || len(data)%ps != 0 {
 		return fmt.Errorf("cluster %s: write of %d bytes not page aligned", n.cfg.Name, len(data))
 	}
 	pages := len(data) / ps
+	t0 := time.Now()
+	atomic.AddInt64(&n.stats.Writes, 1)
 
-	n.mu.Lock()
-	n.stats.Writes++
-	n.winWrites++
-	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: true})
+	// Copy payloads into pooled buffers before taking the lock.
 	lpns := make([]int64, pages)
+	copies := make([][]byte, pages)
 	for i := 0; i < pages; i++ {
 		lpns[i] = lpn + int64(i)
-		pg := make([]byte, ps)
+		pg := n.getPage()
 		copy(pg, data[i*ps:(i+1)*ps])
-		n.dirtyData[lpns[i]] = pg
+		copies[i] = pg
 	}
-	if err := n.applyFlushLocked(res.Flush); err != nil {
-		n.mu.Unlock()
-		return err
+
+	n.mu.Lock()
+	n.winWrites++
+	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: true})
+	for i, p := range lpns {
+		if old := n.dirtyData[p]; old != nil {
+			n.putPage(old)
+		}
+		n.dirtyData[p] = copies[i]
 	}
+	err := n.applyFlushLocked(res.Flush)
 	alive := n.peerAlive
 	n.mu.Unlock()
+	if err != nil {
+		return err
+	}
 
 	if alive && n.peer != nil {
-		_, err := n.peer.call(&Message{Type: MsgWriteFwd, LPNs: lpns, Data: data})
-		if err == nil {
-			n.mu.Lock()
-			n.stats.Forwards++
-			n.mu.Unlock()
+		tf := time.Now()
+		done, ferr := n.enqueueForward(lpns, data)
+		if ferr == nil {
+			// Also watch n.stop: an entry enqueued as the forwarder exits
+			// would otherwise wait forever for an ack nobody sends.
+			select {
+			case ferr = <-done:
+			case <-n.stop:
+				ferr = errNodeClosing
+			}
+		}
+		if ferr == nil {
+			atomic.AddInt64(&n.stats.Forwards, 1)
+			n.recordLatency(&n.fwdLat, tf)
+			n.recordLatency(&n.writeLat, t0)
 			return nil
 		}
+		atomic.AddInt64(&n.stats.ForwardFailures, 1)
 		n.mu.Lock()
-		n.stats.ForwardFailures++
-		n.peerAlive = false
-		n.stats.Failovers++
+		if n.peerAlive {
+			n.peerAlive = false
+			atomic.AddInt64(&n.stats.Failovers, 1)
+		}
 		n.mu.Unlock()
 	}
 	// Degraded mode: no backup exists, write through synchronously.
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	for _, p := range lpns {
 		if err := n.persistLocked(p); err != nil {
+			n.mu.Unlock()
 			return err
 		}
 		n.buf.MarkClean(p)
 	}
+	n.mu.Unlock()
+	n.recordLatency(&n.writeLat, t0)
 	return nil
 }
 
@@ -326,9 +445,9 @@ func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
 	}
 	ps := n.dev.PageSize()
 	out := make([]byte, pages*ps)
+	atomic.AddInt64(&n.stats.Reads, 1)
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.stats.Reads++
 	n.winReads++
 	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: false})
 	for i := 0; i < pages; i++ {
@@ -353,6 +472,7 @@ func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
 }
 
 // persistLocked makes one page durable in the store and the timing model.
+// The dirty payload buffer is recycled into the page pool.
 func (n *LiveNode) persistLocked(lpn int64) error {
 	data := n.dirtyData[lpn]
 	if data == nil {
@@ -365,11 +485,14 @@ func (n *LiveNode) persistLocked(lpn int64) error {
 		return err
 	}
 	delete(n.dirtyData, lpn)
-	n.stats.Persists++
+	n.putPage(data)
+	atomic.AddInt64(&n.stats.Persists, 1)
 	return nil
 }
 
-// applyFlushLocked persists eviction units and schedules backup discards.
+// applyFlushLocked persists eviction units and queues backup discards on
+// the forward pipeline (ordered behind any backup still queued for the
+// same pages, unlike the old fire-and-forget goroutine).
 func (n *LiveNode) applyFlushLocked(units []buffer.FlushUnit) error {
 	var flushed []int64
 	for _, u := range units {
@@ -381,11 +504,7 @@ func (n *LiveNode) applyFlushLocked(units []buffer.FlushUnit) error {
 		flushed = append(flushed, u.Pages...)
 	}
 	if len(flushed) > 0 && n.peerAlive && n.peer != nil {
-		// Discard asynchronously: losing a discard only wastes remote
-		// memory, never correctness.
-		go func(lpns []int64) {
-			_, _ = n.peer.call(&Message{Type: MsgDiscard, LPNs: lpns})
-		}(flushed)
+		n.enqueueDiscard(flushed)
 	}
 	return nil
 }
@@ -425,17 +544,15 @@ func (n *LiveNode) RecoverFromPeer() error {
 	}
 	n.mu.Lock()
 	for i, lpn := range resp.LPNs {
-		pg := make([]byte, ps)
-		copy(pg, resp.Data[i*ps:(i+1)*ps])
 		if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
 			n.mu.Unlock()
 			return err
 		}
-		if err := n.store.put(lpn, pg); err != nil {
+		if err := n.store.put(lpn, resp.Data[i*ps:(i+1)*ps]); err != nil {
 			n.mu.Unlock()
 			return err
 		}
-		n.stats.Persists++
+		atomic.AddInt64(&n.stats.Persists, 1)
 	}
 	n.mu.Unlock()
 	_, err = n.peer.call(&Message{Type: MsgCleanRemote})
@@ -461,8 +578,8 @@ func (n *LiveNode) Crash() {
 	n.wg.Wait()
 }
 
-// shutdown stops the listener, all accepted connections, and the peer
-// client; it is safe to call more than once.
+// shutdown stops the listener, all accepted connections, the forwarder,
+// and the peer client; it is safe to call more than once.
 func (n *LiveNode) shutdown() {
 	n.stopOnce.Do(func() {
 		close(n.stop)
@@ -538,7 +655,10 @@ func (n *LiveNode) handle(m *Message) *Message {
 		n.remote.Insert(m.LPNs)
 		for i, lpn := range m.LPNs {
 			if n.remote.Contains(lpn) {
-				pg := make([]byte, ps)
+				pg := n.remoteData[lpn]
+				if pg == nil {
+					pg = n.getPage()
+				}
 				copy(pg, m.Data[i*ps:(i+1)*ps])
 				n.remoteData[lpn] = pg
 			}
@@ -550,7 +670,10 @@ func (n *LiveNode) handle(m *Message) *Message {
 		n.mu.Lock()
 		n.remote.Discard(m.LPNs)
 		for _, lpn := range m.LPNs {
-			delete(n.remoteData, lpn)
+			if pg := n.remoteData[lpn]; pg != nil {
+				n.putPage(pg)
+				delete(n.remoteData, lpn)
+			}
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgDiscardAck}
@@ -573,7 +696,10 @@ func (n *LiveNode) handle(m *Message) *Message {
 	case MsgCleanRemote:
 		n.mu.Lock()
 		n.remote.Drain()
-		n.remoteData = make(map[int64][]byte)
+		for lpn, pg := range n.remoteData {
+			n.putPage(pg)
+			delete(n.remoteData, lpn)
+		}
 		n.mu.Unlock()
 		return &Message{Type: MsgCleanAck}
 	case MsgWorkloadInfo:
@@ -592,69 +718,10 @@ func (n *LiveNode) gcRemoteDataLocked() {
 	if len(n.remoteData) <= n.remote.Len() {
 		return
 	}
-	for lpn := range n.remoteData {
+	for lpn, pg := range n.remoteData {
 		if !n.remote.Contains(lpn) {
+			n.putPage(pg)
 			delete(n.remoteData, lpn)
 		}
-	}
-}
-
-// peerClient is a mutex-serialized RPC client over one TCP connection,
-// redialing on demand.
-type peerClient struct {
-	addr    string
-	timeout time.Duration
-
-	mu   sync.Mutex
-	conn net.Conn
-	seq  uint64
-}
-
-func newPeerClient(addr string, timeout time.Duration) *peerClient {
-	return &peerClient{addr: addr, timeout: timeout}
-}
-
-func (p *peerClient) call(m *Message) (*Message, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.conn == nil {
-		conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
-		if err != nil {
-			return nil, err
-		}
-		p.conn = conn
-	}
-	p.seq++
-	m.Seq = p.seq
-	deadline := time.Now().Add(p.timeout)
-	_ = p.conn.SetDeadline(deadline)
-	if err := WriteFrame(p.conn, m); err != nil {
-		p.conn.Close()
-		p.conn = nil
-		return nil, err
-	}
-	resp, err := ReadFrame(p.conn)
-	if err != nil {
-		p.conn.Close()
-		p.conn = nil
-		return nil, err
-	}
-	if resp.Seq != m.Seq {
-		p.conn.Close()
-		p.conn = nil
-		return nil, fmt.Errorf("cluster: response seq %d != request %d", resp.Seq, m.Seq)
-	}
-	if resp.Type == MsgError {
-		return nil, fmt.Errorf("cluster: peer error: %s", resp.Err)
-	}
-	return resp, nil
-}
-
-func (p *peerClient) close() {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.conn != nil {
-		p.conn.Close()
-		p.conn = nil
 	}
 }

@@ -1,0 +1,291 @@
+package cluster
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// Peer client errors.
+var (
+	errClientClosed = errors.New("cluster: peer client closed")
+	errCallTimeout  = errors.New("cluster: peer call timed out")
+	// errDialBackoff is returned when the redial gate is closed: a recent
+	// dial failed and the backoff window has not elapsed yet. Callers get
+	// an immediate failure instead of hammering a dead partner.
+	errDialBackoff = errors.New("cluster: peer dial backing off")
+)
+
+// Redial backoff bounds. The first failed dial arms a short window; each
+// further failure doubles it (with ±25% jitter) up to the cap.
+const (
+	dialBackoffBase = 25 * time.Millisecond
+	dialBackoffCap  = 2 * time.Second
+)
+
+// peerClient is a pipelined RPC client over one TCP connection. Many calls
+// may be in flight at once: a writer goroutine streams frames onto the
+// socket (coalescing flushes when the send queue is hot) and a reader
+// goroutine matches responses to waiters by Seq, so a round trip no longer
+// serializes the connection. Redials are gated by bounded exponential
+// backoff so a dead partner is probed, not hammered.
+type peerClient struct {
+	addr    string
+	timeout time.Duration
+
+	mu        sync.Mutex
+	sess      *peerSession
+	seq       uint64
+	closed    bool
+	backoff   time.Duration
+	nextDial  time.Time
+	dials     int // dial attempts (for tests)
+	dialSkips int // calls rejected by the backoff gate (for tests)
+	rng       *rand.Rand
+
+	wg sync.WaitGroup
+}
+
+// peerCall is one in-flight request.
+type peerCall struct {
+	msg  *Message
+	sess *peerSession
+	done chan struct{}
+	resp *Message
+	err  error
+}
+
+// peerSession is the state of one live connection: its send queue, the
+// in-flight call table, and the pair of pump goroutines.
+type peerSession struct {
+	client *peerClient
+	conn   net.Conn
+	sendq  chan *peerCall
+	dead   chan struct{}
+
+	mu      sync.Mutex
+	pending map[uint64]*peerCall
+	err     error
+
+	failOnce sync.Once
+}
+
+func newPeerClient(addr string, timeout time.Duration) *peerClient {
+	return &peerClient{
+		addr:    addr,
+		timeout: timeout,
+		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// call sends one request and waits for its response (or timeout). It is
+// safe for concurrent use; concurrent calls share the pipeline.
+func (p *peerClient) call(m *Message) (*Message, error) {
+	pc, err := p.start(m)
+	if err != nil {
+		return nil, err
+	}
+	return p.wait(pc)
+}
+
+// start enqueues a request onto the pipeline without waiting for the
+// response. The caller must eventually wait(pc).
+func (p *peerClient) start(m *Message) (*peerCall, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, errClientClosed
+	}
+	s := p.sess
+	if s == nil {
+		var err error
+		if s, err = p.dialLocked(); err != nil {
+			p.mu.Unlock()
+			return nil, err
+		}
+	}
+	p.seq++
+	m.Seq = p.seq
+	pc := &peerCall{msg: m, sess: s, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.err != nil {
+		err := s.err
+		s.mu.Unlock()
+		p.mu.Unlock()
+		return nil, err
+	}
+	s.pending[m.Seq] = pc
+	s.mu.Unlock()
+	p.mu.Unlock()
+
+	select {
+	case s.sendq <- pc:
+		return pc, nil
+	case <-s.dead:
+		// The session failed while we were queueing; the drain already
+		// completed (or will complete) this call with the session error.
+		<-pc.done
+		return nil, pc.err
+	}
+}
+
+// wait blocks until the call completes or the client timeout elapses. A
+// timeout tears the session down (the connection is no longer trustworthy:
+// a late response would be matched against nothing).
+func (p *peerClient) wait(pc *peerCall) (*Message, error) {
+	t := time.NewTimer(p.timeout)
+	defer t.Stop()
+	select {
+	case <-pc.done:
+		return pc.resp, pc.err
+	case <-t.C:
+		pc.sess.fail(errCallTimeout)
+		<-pc.done
+		return pc.resp, pc.err
+	}
+}
+
+// dialLocked connects (subject to the backoff gate) and starts the pump
+// goroutines. Caller holds p.mu.
+func (p *peerClient) dialLocked() (*peerSession, error) {
+	if now := time.Now(); now.Before(p.nextDial) {
+		p.dialSkips++
+		return nil, fmt.Errorf("%w (%v remaining)", errDialBackoff, p.nextDial.Sub(now).Round(time.Millisecond))
+	}
+	p.dials++
+	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	if err != nil {
+		d := p.backoff
+		if d == 0 {
+			d = dialBackoffBase
+		} else {
+			d *= 2
+			if d > dialBackoffCap {
+				d = dialBackoffCap
+			}
+		}
+		p.backoff = d
+		// ±25% jitter so paired nodes don't probe in lockstep.
+		jitter := time.Duration(p.rng.Int63n(int64(d)/2+1)) - d/4
+		p.nextDial = time.Now().Add(d + jitter)
+		return nil, err
+	}
+	p.backoff = 0
+	p.nextDial = time.Time{}
+	s := &peerSession{
+		client:  p,
+		conn:    conn,
+		sendq:   make(chan *peerCall, 256),
+		dead:    make(chan struct{}),
+		pending: make(map[uint64]*peerCall),
+	}
+	p.sess = s
+	p.wg.Add(2)
+	go s.writeLoop()
+	go s.readLoop()
+	return s, nil
+}
+
+// dialStats reports dial attempts and backoff-gated rejections (tests).
+func (p *peerClient) dialStats() (dials, skips int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.dials, p.dialSkips
+}
+
+// close tears down the current session and fails all in-flight calls.
+func (p *peerClient) close() {
+	p.mu.Lock()
+	p.closed = true
+	s := p.sess
+	p.mu.Unlock()
+	if s != nil {
+		s.fail(errClientClosed)
+	}
+	p.wg.Wait()
+}
+
+// writeLoop streams queued frames onto the socket through one buffered
+// writer, flushing only when the queue momentarily drains — consecutive
+// frames from a hot queue share syscalls.
+func (s *peerSession) writeLoop() {
+	defer s.client.wg.Done()
+	bw := bufio.NewWriterSize(s.conn, 64<<10)
+	for {
+		select {
+		case pc := <-s.sendq:
+			_ = s.conn.SetWriteDeadline(time.Now().Add(s.client.timeout))
+			if err := WriteFrame(bw, pc.msg); err != nil {
+				s.fail(err)
+				return
+			}
+			if len(s.sendq) == 0 {
+				if err := bw.Flush(); err != nil {
+					s.fail(err)
+					return
+				}
+			}
+		case <-s.dead:
+			return
+		}
+	}
+}
+
+// readLoop matches response frames to pending calls by Seq, tolerating
+// out-of-order completion.
+func (s *peerSession) readLoop() {
+	defer s.client.wg.Done()
+	for {
+		msg, err := ReadFrame(s.conn)
+		if err != nil {
+			s.fail(err)
+			return
+		}
+		s.mu.Lock()
+		pc := s.pending[msg.Seq]
+		delete(s.pending, msg.Seq)
+		s.mu.Unlock()
+		if pc == nil {
+			s.fail(fmt.Errorf("cluster: response with unknown seq %d", msg.Seq))
+			return
+		}
+		if msg.Type == MsgError {
+			pc.err = fmt.Errorf("cluster: peer error: %s", msg.Err)
+		} else {
+			pc.resp = msg
+		}
+		close(pc.done)
+	}
+}
+
+// fail tears the session down once: the connection closes, both pumps
+// exit, every pending call completes with err, and the client detaches so
+// the next start() redials.
+func (s *peerSession) fail(err error) {
+	s.failOnce.Do(func() {
+		s.mu.Lock()
+		s.err = err
+		drained := make([]*peerCall, 0, len(s.pending))
+		for seq, pc := range s.pending {
+			delete(s.pending, seq)
+			drained = append(drained, pc)
+		}
+		s.mu.Unlock()
+		close(s.dead)
+		s.conn.Close()
+		p := s.client
+		p.mu.Lock()
+		if p.sess == s {
+			p.sess = nil
+		}
+		p.mu.Unlock()
+		for _, pc := range drained {
+			pc.err = err
+			close(pc.done)
+		}
+	})
+}

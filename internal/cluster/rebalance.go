@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"sync/atomic"
 	"time"
 
 	"flashcoop/internal/core"
@@ -66,7 +67,7 @@ func (n *LiveNode) RebalanceOnce() (float64, error) {
 			}
 		}
 	}
-	n.stats.Rebalances++
+	atomic.AddInt64(&n.stats.Rebalances, 1)
 	n.mu.Unlock()
 	return theta, nil
 }
@@ -105,7 +106,10 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 		if n.buf.Invalidate(p) && wasDirty {
 			dropped = append(dropped, p)
 		}
-		delete(n.dirtyData, p)
+		if pg := n.dirtyData[p]; pg != nil {
+			n.putPage(pg)
+			delete(n.dirtyData, p)
+		}
 		if err := n.store.remove(p); err != nil {
 			n.mu.Unlock()
 			return err
@@ -115,12 +119,9 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 		n.mu.Unlock()
 		return err
 	}
-	alive := n.peerAlive
-	n.mu.Unlock()
-	if len(dropped) > 0 && alive && n.peer != nil {
-		go func(lpns []int64) {
-			_, _ = n.peer.call(&Message{Type: MsgDiscard, LPNs: lpns})
-		}(dropped)
+	if len(dropped) > 0 && n.peerAlive && n.peer != nil {
+		n.enqueueDiscard(dropped)
 	}
+	n.mu.Unlock()
 	return nil
 }

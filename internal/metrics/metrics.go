@@ -272,6 +272,21 @@ func (h *LatencyHist) Add(v float64) {
 // Count reports the number of recorded samples.
 func (h *LatencyHist) Count() int64 { return h.total }
 
+// Merge adds all samples from other into h (bucket-exact: both sides use
+// the same geometric bucketing). Lets concurrent workers record into
+// private histograms and combine them afterwards without locking.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+}
+
 // Quantile returns an upper bound of the q-quantile (q in [0,1]).
 func (h *LatencyHist) Quantile(q float64) float64 {
 	if h.total == 0 {

@@ -239,3 +239,49 @@ func TestLatencyHistProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Property: merging two histograms is sample-exact — identical to having
+// recorded every sample into one histogram.
+func TestLatencyHistMerge(t *testing.T) {
+	f := func(seed int64, naRaw, nbRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		na, nb := int(naRaw)%100, int(nbRaw)%100
+		var a, b, all LatencyHist
+		for i := 0; i < na; i++ {
+			v := rng.Float64() * 50
+			a.Add(v)
+			all.Add(v)
+		}
+		for i := 0; i < nb; i++ {
+			v := rng.Float64() * 5000
+			b.Add(v)
+			all.Add(v)
+		}
+		a.Merge(&b)
+		if a.Count() != all.Count() {
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.95, 0.99, 1} {
+			if a.Quantile(q) != all.Quantile(q) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyHistMergeEmpty(t *testing.T) {
+	var a, b LatencyHist
+	a.Add(3)
+	a.Merge(&b) // merging empty is a no-op
+	if a.Count() != 1 {
+		t.Fatalf("Count = %d", a.Count())
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.Count() != 1 || b.P50() != a.P50() {
+		t.Fatalf("merge into empty: count=%d", b.Count())
+	}
+}

@@ -8,3 +8,8 @@ go vet ./...
 go build ./...
 go test ./...
 go test -race ./internal/experiments/... ./internal/cluster/...
+
+# Smoke-test the live write path end to end: a small loadgen run over a
+# localhost pair exercises the pipelined forwarder, batching, and the
+# latency histograms without taking benchmark-length time.
+go run ./cmd/loadgen -writers 4 -ops 2000 -compare=false
