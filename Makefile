@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci bench bench-grid bench-cluster profile
+.PHONY: all build test race vet ci chaos fuzz cover bench bench-grid bench-cluster profile
 
 all: build
 
@@ -23,6 +23,20 @@ vet:
 
 ci:
 	./scripts/ci.sh
+
+# Seeded fault-injection runs against a live localhost pair, under the
+# race detector. Reproduce a failure with CHAOS_SEED=<seed> make chaos.
+chaos:
+	$(GO) test -race -v -run 'TestChaos' ./internal/cluster/check/
+
+# Short fuzz budgets for the wire-format and trace-parser fuzz targets.
+fuzz:
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/trace/
+
+cover:
+	$(GO) test -cover ./...
 
 # Regenerate every paper table/figure; grid cells fan out over all CPUs.
 bench:

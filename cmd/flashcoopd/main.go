@@ -11,7 +11,7 @@
 //
 //	flashcoopd -listen :7001 -client :8001 [-peer host:7002] [-policy lar]
 //	           [-buffer 8192] [-remote 8192] [-recover]
-//	           [-batch 64] [-inflight 4]
+//	           [-batch 64] [-inflight 4] [-chaos-seed N]
 //
 // STATS reports, besides the counters, the write and forward latency
 // percentiles (wlat_*/flat_*) and the forward batching factor.
@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"flashcoop"
+	"flashcoop/internal/faultnet"
 )
 
 func main() {
@@ -46,10 +47,11 @@ func main() {
 		syncW    = flag.Bool("sync", false, "fsync the page store on every persist")
 		batch    = flag.Int("batch", 0, "max pages group-committed per forward frame (0 = default)")
 		inflight = flag.Int("inflight", 0, "max unacked forward frames on the wire (0 = default)")
+		chaos    = flag.Int64("chaos-seed", 0, "run this node's transport through a seeded fault injector (0 = off); for failure drills, never production")
 	)
 	flag.Parse()
 
-	node, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+	cfg := flashcoop.LiveConfig{
 		Name:          *listen,
 		ListenAddr:    *listen,
 		PeerAddr:      *peer,
@@ -61,7 +63,22 @@ func main() {
 		SyncWrites:    *syncW,
 		MaxBatchPages: *batch,
 		MaxInflight:   *inflight,
-	})
+	}
+	if *chaos != 0 {
+		// A moderate, framing-preserving schedule: enough latency and
+		// connection churn to drill failover and redial handling, with a
+		// reproducible schedule per seed.
+		nw := faultnet.New(*chaos)
+		nw.SetFaults(faultnet.Faults{
+			DelayProb: 0.2,
+			DelayMax:  2 * time.Millisecond,
+			ResetProb: 0.005,
+		})
+		cfg.Dialer = nw.Dial
+		cfg.Listener = nw.Listen
+		log.Printf("flashcoopd: CHAOS MODE, transport faults seeded with %d", *chaos)
+	}
+	node, err := flashcoop.NewLiveNode(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,364 @@
+package check
+
+import (
+	"math/rand"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"flashcoop/internal/cluster"
+	"flashcoop/internal/faultnet"
+	"flashcoop/internal/flash"
+	"flashcoop/internal/ftl"
+	"flashcoop/internal/ssd"
+)
+
+// The chaos harness drives a localhost cooperative pair with concurrent
+// writers under a seeded fault schedule while crashing and recovering both
+// sides, then checks the durability invariants at every quiescent point.
+// A failing run prints its seed; rerun it with
+//
+//	CHAOS_SEED=<seed> go test -run TestChaos ./internal/cluster/check
+//
+// The default seed is fixed so CI stays stable; set CHAOS_SEED to explore.
+//
+// The fault model is single-failure: the script never takes both nodes
+// down at once, matching the paper's availability argument — an acked
+// write may live only in one node's RAM plus the partner's RAM, so losing
+// both simultaneously is unrecoverable by design.
+//
+// Each writer owns a disjoint slice of the LPN space (lpn ≡ writer mod
+// chaosWriters). With one writer per page, the order in which a page's
+// writes are acknowledged is the order they took effect, which is what
+// makes the Tracker's "last acked value must survive" judgment sound; two
+// concurrent writers racing one page could have their acks observed in
+// either order and the checker would cry wolf.
+
+func chaosSeed(t *testing.T) int64 {
+	seed := int64(20260805)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	return seed
+}
+
+const (
+	chaosWriters  = 8
+	chaosLPNSpace = 128 // small space forces overwrites and evictions
+	chaosMinOps   = 200 // the run must exercise at least this many writes
+)
+
+func chaosSSD() ssd.Config {
+	return ssd.Config{
+		Scheme: "page",
+		FTL:    ftl.Config{Flash: flash.Small(256, 8), OPRatio: 0.2},
+	}
+}
+
+// chaosPair is the harness state: node A takes all client writes, node B
+// is its backup partner. Crash cycles swap in replacement nodes; writers
+// reach the current A through the pointer guarded by mu.
+type chaosPair struct {
+	t            *testing.T
+	seed         int64
+	netA, netB   *faultnet.Network
+	faults       faultnet.Faults
+	addrA, addrB string
+	dirA         string
+
+	mu sync.RWMutex // writers hold R around each op; cycles hold W to swap A
+	a  *cluster.LiveNode
+	b  *cluster.LiveNode
+}
+
+func (c *chaosPair) nodeConfig(name, addr, dir string, nw *faultnet.Network) cluster.LiveConfig {
+	return cluster.LiveConfig{
+		Name:       name,
+		ListenAddr: addr,
+		Policy:     "lar",
+		// RemotePages covers the whole LPN space so the RCT never drops a
+		// backup for capacity — that overflow is a documented sizing
+		// tradeoff (core.RemoteStore), not the bug class hunted here.
+		BufferPages:       48,
+		RemotePages:       chaosLPNSpace * 2,
+		SSD:               chaosSSD(),
+		DataDir:           dir,
+		HeartbeatInterval: 25 * time.Millisecond,
+		FailureThreshold:  2,
+		CallTimeout:       250 * time.Millisecond,
+		Dialer:            nw.Dial,
+		Listener:          nw.Listen,
+	}
+}
+
+// startNode creates a node, retrying briefly: a replacement rebinds the
+// crashed node's fixed address, which can race the old socket's teardown.
+func (c *chaosPair) startNode(cfg cluster.LiveConfig) *cluster.LiveNode {
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		n, err := cluster.NewLiveNode(cfg)
+		if err == nil {
+			return n
+		}
+		if time.Now().After(deadline) {
+			c.t.Fatalf("seed %d: node %s did not start: %v", c.seed, cfg.Name, err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func (c *chaosPair) waitFor(what string, cond func() bool) {
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			c.t.Fatalf("seed %d: timed out waiting for %s", c.seed, what)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// calmly retries op until it succeeds. If it keeps failing for a while the
+// fault schedule is suspended — an operator running a recovery would stop
+// the chaos drill too — and restored afterwards.
+func (c *chaosPair) calmly(what string, op func() error) {
+	start := time.Now()
+	calmed := false
+	for {
+		err := op()
+		if err == nil {
+			break
+		}
+		if time.Since(start) > 12*time.Second {
+			c.t.Fatalf("seed %d: %s never succeeded: %v", c.seed, what, err)
+		}
+		if !calmed && time.Since(start) > 3*time.Second {
+			c.netA.SetFaults(faultnet.Faults{})
+			c.netB.SetFaults(faultnet.Faults{})
+			calmed = true
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if calmed {
+		c.netA.SetFaults(c.faults)
+		c.netB.SetFaults(c.faults)
+	}
+}
+
+// checkInvariants runs the durability checkers against the current pair.
+// Call only at quiescent points (writers paused or finished).
+func (c *chaosPair) checkInvariants(tr *Tracker, stage string) {
+	vs := Durability(tr, c.a, c.b)
+	vs = append(vs, DiscardSafety(tr, c.a, c.b)...)
+	for _, v := range vs {
+		c.t.Errorf("%s: %s", stage, v)
+	}
+	if len(vs) > 0 {
+		c.t.Fatalf("invariant violations at %q; reproduce with CHAOS_SEED=%d", stage, c.seed)
+	}
+}
+
+// restartB replaces a crashed B with a fresh node on the same address and
+// waits for A's heartbeat to revive the partnership.
+func (c *chaosPair) restartB() {
+	c.b = c.startNode(c.nodeConfig("B", c.addrB, c.t.TempDir(), c.netB))
+	c.b.SetPeer(c.addrA)
+	c.waitFor("A to re-establish the pair", func() bool {
+		c.mu.RLock()
+		defer c.mu.RUnlock()
+		return c.a.PeerAlive()
+	})
+}
+
+func runChaos(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker) {
+	t.Logf("chaos seed %d (rerun: CHAOS_SEED=%d go test -run %s ./internal/cluster/check)", seed, seed, t.Name())
+
+	c := &chaosPair{
+		t:      t,
+		seed:   seed,
+		netA:   faultnet.New(seed),
+		netB:   faultnet.New(seed + 1),
+		faults: faults,
+		dirA:   t.TempDir(),
+	}
+	if tap != nil {
+		c.netA.SetTap(tap)
+		c.netB.SetTap(tap)
+	}
+
+	// Bind both listeners fault-free on :0 first to learn the pair's
+	// fixed addresses; replacement nodes rebind the same address.
+	c.a = c.startNode(c.nodeConfig("A", "127.0.0.1:0", c.dirA, c.netA))
+	c.b = c.startNode(c.nodeConfig("B", "127.0.0.1:0", t.TempDir(), c.netB))
+	c.addrA, c.addrB = c.a.Addr(), c.b.Addr()
+	c.a.SetPeer(c.addrB)
+	c.b.SetPeer(c.addrA)
+	c.calmly("initial hello", c.a.ConnectPeer)
+	c.a.StartHeartbeat()
+	defer func() {
+		c.a.Close()
+		c.b.Close()
+	}()
+
+	c.netA.SetFaults(faults)
+	c.netB.SetFaults(faults)
+
+	// Writers hammer node A until the cycle script finishes. Payloads are
+	// random pages, so distinct attempts to one LPN are distinguishable
+	// when the checkers compare copies against the history.
+	tr := NewTracker()
+	ps := c.a.Device().PageSize()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < chaosWriters; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*0x9E3779B9))
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				lpn := int64(w) + chaosWriters*rng.Int63n(chaosLPNSpace/chaosWriters)
+				data := make([]byte, ps)
+				rng.Read(data)
+				id := tr.Attempt(lpn, data)
+				c.mu.RLock()
+				err := c.a.Write(lpn, data)
+				c.mu.RUnlock()
+				if err == nil {
+					tr.Acked(lpn, id)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	// --- Phase 0: warm up with live replication traffic.
+	c.waitFor("warmup writes", func() bool { return tr.Ops() >= chaosMinOps+50 })
+
+	// --- Phase 1: asymmetric partition. A cannot reach B, so forwards
+	// fail and A degrades to write-through — while B, which can still
+	// serve, keeps holding now-stale backups. Healing re-pairs them; the
+	// stale backups stay on B until overwritten, arming the stale-recovery
+	// trap that phase 3's crash must not fall into.
+	c.netA.SetPartitioned(true)
+	c.waitFor("A to declare B dead", func() bool { return !c.a.PeerAlive() })
+	time.Sleep(200 * time.Millisecond) // degraded writes pile up
+	c.netA.SetPartitioned(false)
+	c.waitFor("partition to heal", func() bool { return c.a.PeerAlive() })
+
+	// --- Phase 2: backup failure, triggered from inside the fault
+	// schedule: a crash-at-step hook fires B's crash mid-traffic. A loses
+	// the backup target, fails over, and flushes its dirty data durable.
+	crashed := make(chan struct{})
+	c.netB.CrashAt(c.netB.Steps()+20, func() {
+		// The hook runs on one of B's connection goroutines; Crash waits
+		// for those same goroutines, so it must run elsewhere.
+		go func() {
+			c.b.Crash()
+			close(crashed)
+		}()
+	})
+	select {
+	case <-crashed:
+	case <-time.After(15 * time.Second):
+		t.Fatalf("seed %d: crash-at-step hook never fired", seed)
+	}
+	c.waitFor("A to fail over", func() bool { return !c.a.PeerAlive() })
+	time.Sleep(150 * time.Millisecond) // failover flush + degraded writes
+	c.restartB()
+
+	// --- Phase 3: primary failure. A crashes mid-write, losing its RAM;
+	// a replacement reopens the same page store and recovers the lost
+	// dirty pages from B's RCT. Acked writes must all survive the swap.
+	c.a.Crash()
+	c.mu.Lock()
+	a2 := c.startNode(c.nodeConfig("A", c.addrA, c.dirA, c.netA))
+	a2.SetPeer(c.addrB)
+	c.calmly("post-crash hello", a2.ConnectPeer)
+	c.calmly("recover from peer", a2.RecoverFromPeer)
+	a2.StartHeartbeat()
+	c.a = a2
+	c.checkInvariants(tr, "after primary crash+recovery")
+	c.mu.Unlock()
+
+	// --- Phase 4: second backup failure, this time a straight kill, so
+	// both crash styles (mid-schedule hook and external) are exercised.
+	time.Sleep(150 * time.Millisecond)
+	c.b.Crash()
+	c.waitFor("A to fail over again", func() bool { return !c.a.PeerAlive() })
+	time.Sleep(150 * time.Millisecond)
+	c.restartB()
+
+	// --- Wind down and verify.
+	time.Sleep(150 * time.Millisecond)
+	close(done)
+	wg.Wait()
+
+	c.checkInvariants(tr, "final state")
+
+	// Read-back: node A must serve a tracked value for every acked page.
+	for _, lpn := range tr.Pages() {
+		got, err := c.a.Read(lpn, 1)
+		if err != nil {
+			t.Fatalf("seed %d: final read of lpn %d: %v", seed, lpn, err)
+		}
+		if !tr.Valid(lpn, got) {
+			t.Errorf("final read of lpn %d returned an untracked value; reproduce with CHAOS_SEED=%d", lpn, seed)
+		}
+	}
+
+	if tap != nil {
+		for _, v := range tap.Violations() {
+			t.Errorf("wire: %s (reproduce with CHAOS_SEED=%d)", v, seed)
+		}
+	}
+	if n := tr.Ops(); n < chaosMinOps {
+		t.Errorf("only %d write attempts; the schedule must drive at least %d", n, chaosMinOps)
+	}
+
+	st := c.a.Stats()
+	t.Logf("ops=%d acked_pages=%d forwards=%d fwd_failures=%d failovers=%d stale_recovery_skips=%d net_steps=%d/%d",
+		tr.Ops(), len(tr.Pages()), st.Forwards, st.ForwardFailures, st.Failovers,
+		st.StaleRecoverySkips, c.netA.Steps(), c.netB.Steps())
+}
+
+// TestChaosClean runs the script under framing-preserving faults (latency
+// and connection resets) with the wire-level seq checker tapped in.
+func TestChaosClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	runChaos(t, chaosSeed(t), faultnet.Faults{
+		DelayProb: 0.2,
+		DelayMax:  2 * time.Millisecond,
+		ResetProb: 0.01,
+	}, NewSeqChecker())
+}
+
+// TestChaosCorrupting adds byte-level mangling — dropped, duplicated, and
+// truncated frames — which desynchronizes framing and drives the decode/
+// session-teardown/redial paths. No seq tap: reassembly is meaningless on
+// a deliberately garbled stream.
+func TestChaosCorrupting(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	runChaos(t, chaosSeed(t)+100, faultnet.Faults{
+		DelayProb:    0.15,
+		DelayMax:     time.Millisecond,
+		DropProb:     0.003,
+		DupProb:      0.006,
+		TruncateProb: 0.003,
+		ResetProb:    0.008,
+	}, nil)
+}

@@ -159,7 +159,7 @@ func livePair(t *testing.T) (*LiveNode, *LiveNode) {
 		a.Close()
 		t.Fatal(err)
 	}
-	a.peer = newPeerClient(b.Addr(), 500*time.Millisecond)
+	a.SetPeer(b.Addr())
 	if err := a.ConnectPeer(); err != nil {
 		t.Fatal(err)
 	}
@@ -386,7 +386,7 @@ func TestPeerClientSeqMismatch(t *testing.T) {
 		}
 		_ = WriteFrame(conn, &Message{Type: MsgHeartbeatAck, Seq: 9999})
 	}()
-	p := newPeerClient(ln.Addr().String(), 500*time.Millisecond)
+	p := newPeerClient(ln.Addr().String(), 500*time.Millisecond, nil)
 	if _, err := p.call(&Message{Type: MsgHeartbeat}); err == nil {
 		t.Fatal("sequence mismatch accepted")
 	}

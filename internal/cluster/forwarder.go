@@ -11,11 +11,14 @@ var errNodeClosing = errors.New("cluster: node closing")
 
 // fwdEntry is one unit of partner traffic queued for the forwarder: a
 // write backup (data non-nil, done non-nil) or a discard (data and done
-// nil — discards are advisory and never acked to a caller).
+// nil — discards are advisory and never acked to a caller). stamps runs
+// parallel to lpns so the partner can order the frame against backups it
+// already holds.
 type fwdEntry struct {
-	lpns []int64
-	data []byte
-	done chan error
+	lpns   []int64
+	stamps []uint64
+	data   []byte
+	done   chan error
 }
 
 func (e fwdEntry) isDiscard() bool { return e.data == nil }
@@ -124,17 +127,19 @@ func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
 // buildBatchFrame concatenates a same-type batch into one wire message.
 func buildBatchFrame(batch []fwdEntry) *Message {
 	if batch[0].isDiscard() {
-		lpns := batch[0].lpns
+		lpns, stamps := batch[0].lpns, batch[0].stamps
 		if len(batch) > 1 {
 			lpns = append([]int64(nil), lpns...)
+			stamps = append([]uint64(nil), stamps...)
 			for _, e := range batch[1:] {
 				lpns = append(lpns, e.lpns...)
+				stamps = append(stamps, e.stamps...)
 			}
 		}
-		return &Message{Type: MsgDiscard, LPNs: lpns}
+		return &Message{Type: MsgDiscard, LPNs: lpns, Stamps: stamps}
 	}
 	if len(batch) == 1 {
-		return &Message{Type: MsgWriteFwd, LPNs: batch[0].lpns, Data: batch[0].data}
+		return &Message{Type: MsgWriteFwd, LPNs: batch[0].lpns, Stamps: batch[0].stamps, Data: batch[0].data}
 	}
 	var npages, nbytes int
 	for _, e := range batch {
@@ -142,12 +147,14 @@ func buildBatchFrame(batch []fwdEntry) *Message {
 		nbytes += len(e.data)
 	}
 	lpns := make([]int64, 0, npages)
+	stamps := make([]uint64, 0, npages)
 	data := make([]byte, 0, nbytes)
 	for _, e := range batch {
 		lpns = append(lpns, e.lpns...)
+		stamps = append(stamps, e.stamps...)
 		data = append(data, e.data...)
 	}
-	return &Message{Type: MsgWriteFwd, LPNs: lpns, Data: data}
+	return &Message{Type: MsgWriteFwd, LPNs: lpns, Stamps: stamps, Data: data}
 }
 
 // ackBatch completes every waiting writer in the batch. Discards have no
@@ -176,10 +183,10 @@ func (n *LiveNode) drainForwardQueue() {
 // enqueueForward queues a write backup and returns its ack channel. It
 // blocks when the queue is full (backpressure on writers) and fails fast
 // during shutdown.
-func (n *LiveNode) enqueueForward(lpns []int64, data []byte) (chan error, error) {
+func (n *LiveNode) enqueueForward(lpns []int64, stamps []uint64, data []byte) (chan error, error) {
 	done := make(chan error, 1)
 	select {
-	case n.fwdq <- fwdEntry{lpns: lpns, data: data, done: done}:
+	case n.fwdq <- fwdEntry{lpns: lpns, stamps: stamps, data: data, done: done}:
 		return done, nil
 	case <-n.stop:
 		return nil, errNodeClosing
@@ -189,9 +196,9 @@ func (n *LiveNode) enqueueForward(lpns []int64, data []byte) (chan error, error)
 // enqueueDiscard queues an advisory discard. It never blocks: when the
 // queue is saturated with write traffic the discard is dropped (counted),
 // which only costs remote buffer space until the next overwrite or clean.
-func (n *LiveNode) enqueueDiscard(lpns []int64) {
+func (n *LiveNode) enqueueDiscard(lpns []int64, stamps []uint64) {
 	select {
-	case n.fwdq <- fwdEntry{lpns: lpns}:
+	case n.fwdq <- fwdEntry{lpns: lpns, stamps: stamps}:
 	default:
 		atomic.AddInt64(&n.stats.DiscardDrops, 1)
 	}

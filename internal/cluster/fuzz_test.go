@@ -1,0 +1,103 @@
+package cluster
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// messagesEqual compares two messages field by field, with Info floats
+// compared bitwise: the wire format preserves NaN payloads exactly, but
+// NaN != NaN under reflect.DeepEqual.
+func messagesEqual(a, b *Message) bool {
+	bits := func(i Info) [4]uint64 {
+		return [4]uint64{
+			math.Float64bits(i.WriteFrac), math.Float64bits(i.Mem),
+			math.Float64bits(i.CPU), math.Float64bits(i.Net),
+		}
+	}
+	return a.Type == b.Type && a.Seq == b.Seq && a.Err == b.Err &&
+		reflect.DeepEqual(a.LPNs, b.LPNs) &&
+		reflect.DeepEqual(a.Stamps, b.Stamps) &&
+		bytes.Equal(a.Data, b.Data) &&
+		bits(a.Info) == bits(b.Info)
+}
+
+// fuzzSeedMessages are valid frames covering every field combination, so
+// the fuzzers start from the interesting part of the input space.
+func fuzzSeedMessages() []*Message {
+	return []*Message{
+		{Type: MsgHello, Seq: 1},
+		{Type: MsgHeartbeatAck, Seq: 1<<63 + 7},
+		{Type: MsgWriteFwd, Seq: 42, LPNs: []int64{1, 2, 3}, Stamps: []uint64{9, 10, 11}, Data: []byte("abcdef")},
+		{Type: MsgDiscard, Seq: 5, LPNs: []int64{-1, 0, 1 << 40}, Stamps: []uint64{0, ^uint64(0), 1}},
+		{Type: MsgRCTData, Seq: 9, LPNs: []int64{7}, Stamps: []uint64{3}, Data: bytes.Repeat([]byte{0xAB}, 512)},
+		{Type: MsgWorkloadInfo, Seq: 2, Info: Info{WriteFrac: 0.75, Mem: 0.5, CPU: 0.1, Net: 0.9}},
+		{Type: MsgError, Seq: 3, Err: "something broke"},
+	}
+}
+
+// FuzzDecodeMessage checks that Unmarshal never panics on arbitrary bytes
+// and that any message it does accept survives a marshal/unmarshal round
+// trip unchanged — the decoder and encoder must agree on the format.
+func FuzzDecodeMessage(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		b, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unmarshal(data); err != nil {
+			return
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("accepted message failed to re-marshal: %v", err)
+		}
+		var m2 Message
+		if err := m2.Unmarshal(b); err != nil {
+			t.Fatalf("re-marshaled message failed to decode: %v", err)
+		}
+		if !messagesEqual(&m, &m2) {
+			t.Fatalf("round trip changed the message:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the length-prefixed frame
+// reader: it must reject garbage with an error, never panic, and never
+// accept a frame whose re-encoding differs.
+func FuzzReadFrame(f *testing.F) {
+	for _, m := range fuzzSeedMessages() {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatalf("accepted frame failed to re-encode: %v", err)
+		}
+		m2, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatalf("re-encoded frame failed to read back: %v", err)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("frame round trip changed the message:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"flashcoop/internal/testutil"
+)
+
+// TestNoLeakHeartbeatCloseRace closes a node immediately after starting
+// its heartbeat, across several timings: the monitor goroutine must wind
+// down whether it never ticked, is mid-call against a dead partner, or is
+// waiting out the dial backoff.
+func TestNoLeakHeartbeatCloseRace(t *testing.T) {
+	verify := testutil.CheckGoroutineLeak(t)
+
+	// A dead partner address: reserve a port, then close it.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	for _, delay := range []time.Duration{0, 5 * time.Millisecond, 30 * time.Millisecond} {
+		n, err := NewLiveNode(LiveConfig{
+			Name: "hb", ListenAddr: "127.0.0.1:0", PeerAddr: deadAddr,
+			BufferPages: 8, RemotePages: 8, SSD: liveSSD(),
+			HeartbeatInterval: 2 * time.Millisecond,
+			CallTimeout:       50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.StartHeartbeat()
+		time.Sleep(delay)
+		if err := n.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify()
+}
+
+// TestNoLeakRecoverFromPeerError drives RecoverFromPeer down its failure
+// paths — no peer configured, peer unreachable, peer gone mid-exchange —
+// and verifies nothing is left running afterwards.
+func TestNoLeakRecoverFromPeerError(t *testing.T) {
+	verify := testutil.CheckGoroutineLeak(t)
+
+	// Solo node: errNoPeer, trivially.
+	solo, err := NewLiveNode(LiveConfig{
+		Name: "solo", ListenAddr: "127.0.0.1:0",
+		BufferPages: 8, RemotePages: 8, SSD: liveSSD(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := solo.RecoverFromPeer(); err == nil {
+		t.Fatal("recovery without a peer should fail")
+	}
+	if err := solo.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Peer address with nobody listening: the fetch call fails.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+	orphan, err := NewLiveNode(LiveConfig{
+		Name: "orphan", ListenAddr: "127.0.0.1:0", PeerAddr: deadAddr,
+		BufferPages: 8, RemotePages: 8, SSD: liveSSD(),
+		CallTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := orphan.RecoverFromPeer(); err == nil {
+		t.Fatal("recovery against a dead peer should fail")
+	}
+	if err := orphan.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partner crashes between the node's connect and its recovery: the
+	// in-flight fetch errors out rather than wedging the caller.
+	a, b := livePair(t)
+	b.Crash()
+	if err := a.RecoverFromPeer(); err == nil {
+		t.Fatal("recovery from a crashed peer should fail")
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	verify()
+}

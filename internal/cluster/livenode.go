@@ -48,6 +48,13 @@ type LiveConfig struct {
 	MaxBatchPages int // default 64
 	MaxInflight   int // default 4
 	ForwardQueue  int // default 256
+
+	// Dialer and Listener inject the transport. nil defaults to the real
+	// net package (net.DialTimeout / net.Listen) at zero cost; tests and
+	// chaos harnesses plug fault-injecting wrappers in here (see
+	// internal/faultnet).
+	Dialer   func(network, addr string, timeout time.Duration) (net.Conn, error)
+	Listener func(network, addr string) (net.Listener, error)
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
@@ -93,6 +100,11 @@ type LiveStats struct {
 	HeartbeatMisses int64
 	Failovers       int64
 	Rebalances      int64
+	// StaleRecoverySkips counts RCT pages ignored during RecoverFromPeer
+	// because the local durable copy carried an equal or newer write
+	// stamp (e.g. the page was written through degraded mode while the
+	// partner still held an old backup).
+	StaleRecoverySkips int64
 }
 
 // LatencyStats summarizes a latency distribution; quantiles are in
@@ -111,17 +123,20 @@ type LatencyStats struct {
 type LiveNode struct {
 	cfg LiveConfig
 
-	mu         sync.Mutex
-	buf        buffer.Cache
-	dirtyData  map[int64][]byte // payloads of locally buffered dirty pages
-	store      pageStore        // the "SSD" contents (durable medium)
-	dev        *ssd.Device
-	remote     *core.RemoteStore
-	remoteData map[int64][]byte // payloads backed up for the partner
-	peerAlive  bool
-	missed     int
-	winReads   int64 // workload window for dynamic allocation
-	winWrites  int64
+	mu          sync.Mutex
+	buf         buffer.Cache
+	dirtyData   map[int64][]byte  // payloads of locally buffered dirty pages
+	dirtyStamp  map[int64]uint64  // write stamps of those pages
+	stamp       uint64            // monotonic write stamp; resumes from store.maxStamp()
+	store       pageStore         // the "SSD" contents (durable medium)
+	dev         *ssd.Device
+	remote      *core.RemoteStore
+	remoteData  map[int64][]byte  // payloads backed up for the partner
+	remoteStamp map[int64]uint64  // write stamps of those backups
+	peerAlive   bool
+	missed      int
+	winReads    int64 // workload window for dynamic allocation
+	winWrites   int64
 
 	stats    LiveStats // atomic access only
 	pagePool sync.Pool // page-size []byte buffers for dirtyData/remoteData
@@ -132,12 +147,14 @@ type LiveNode struct {
 
 	fwdq chan fwdEntry
 
-	ln       net.Listener
-	peer     *peerClient
-	start    time.Time
-	stop     chan struct{}
-	stopOnce sync.Once
-	wg       sync.WaitGroup
+	ln        net.Listener
+	peer      *peerClient
+	start     time.Time
+	stop      chan struct{}
+	stopOnce  sync.Once
+	storeOnce sync.Once // Close and Crash both release the store
+	storeErr  error
+	wg        sync.WaitGroup
 
 	connsMu sync.Mutex
 	conns   map[net.Conn]struct{}
@@ -162,29 +179,36 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 			return nil, err
 		}
 	}
-	ln, err := net.Listen("tcp", cfg.ListenAddr)
+	listen := cfg.Listener
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		store.close()
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
 	}
 	n := &LiveNode{
-		cfg:        cfg,
-		buf:        buf,
-		dirtyData:  make(map[int64][]byte),
-		store:      store,
-		dev:        dev,
-		remote:     core.NewRemoteStore(cfg.RemotePages),
-		remoteData: make(map[int64][]byte),
-		fwdq:       make(chan fwdEntry, cfg.ForwardQueue),
-		ln:         ln,
-		start:      time.Now(),
-		stop:       make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
+		cfg:         cfg,
+		buf:         buf,
+		dirtyData:   make(map[int64][]byte),
+		dirtyStamp:  make(map[int64]uint64),
+		stamp:       store.maxStamp(),
+		store:       store,
+		dev:         dev,
+		remote:      core.NewRemoteStore(cfg.RemotePages),
+		remoteData:  make(map[int64][]byte),
+		remoteStamp: make(map[int64]uint64),
+		fwdq:        make(chan fwdEntry, cfg.ForwardQueue),
+		ln:          ln,
+		start:       time.Now(),
+		stop:        make(chan struct{}),
+		conns:       make(map[net.Conn]struct{}),
 	}
 	ps := dev.PageSize()
 	n.pagePool.New = func() any { return make([]byte, ps) }
 	if cfg.PeerAddr != "" {
-		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout)
+		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout, cfg.Dialer)
 	}
 	n.wg.Add(2)
 	go n.acceptLoop()
@@ -208,10 +232,11 @@ func (n *LiveNode) Stats() LiveStats {
 		ForwardFailures: atomic.LoadInt64(&n.stats.ForwardFailures),
 		DiscardDrops:    atomic.LoadInt64(&n.stats.DiscardDrops),
 		Persists:        atomic.LoadInt64(&n.stats.Persists),
-		HeartbeatsSent:  atomic.LoadInt64(&n.stats.HeartbeatsSent),
-		HeartbeatMisses: atomic.LoadInt64(&n.stats.HeartbeatMisses),
-		Failovers:       atomic.LoadInt64(&n.stats.Failovers),
-		Rebalances:      atomic.LoadInt64(&n.stats.Rebalances),
+		HeartbeatsSent:     atomic.LoadInt64(&n.stats.HeartbeatsSent),
+		HeartbeatMisses:    atomic.LoadInt64(&n.stats.HeartbeatMisses),
+		Failovers:          atomic.LoadInt64(&n.stats.Failovers),
+		Rebalances:         atomic.LoadInt64(&n.stats.Rebalances),
+		StaleRecoverySkips: atomic.LoadInt64(&n.stats.StaleRecoverySkips),
 	}
 }
 
@@ -384,11 +409,15 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 	n.mu.Lock()
 	n.winWrites++
 	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: true})
+	stamps := make([]uint64, pages)
 	for i, p := range lpns {
 		if old := n.dirtyData[p]; old != nil {
 			n.putPage(old)
 		}
 		n.dirtyData[p] = copies[i]
+		n.stamp++
+		stamps[i] = n.stamp
+		n.dirtyStamp[p] = n.stamp
 	}
 	err := n.applyFlushLocked(res.Flush)
 	alive := n.peerAlive
@@ -399,7 +428,7 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 
 	if alive && n.peer != nil {
 		tf := time.Now()
-		done, ferr := n.enqueueForward(lpns, data)
+		done, ferr := n.enqueueForward(lpns, stamps, data)
 		if ferr == nil {
 			// Also watch n.stop: an entry enqueued as the forwarder exits
 			// would otherwise wait forever for an ack nobody sends.
@@ -481,10 +510,11 @@ func (n *LiveNode) persistLocked(lpn int64) error {
 	if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
 		return fmt.Errorf("cluster %s: persist lpn %d: %w", n.cfg.Name, lpn, err)
 	}
-	if err := n.store.put(lpn, data); err != nil {
+	if err := n.store.put(lpn, data, n.dirtyStamp[lpn]); err != nil {
 		return err
 	}
 	delete(n.dirtyData, lpn)
+	delete(n.dirtyStamp, lpn)
 	n.putPage(data)
 	atomic.AddInt64(&n.stats.Persists, 1)
 	return nil
@@ -495,16 +525,22 @@ func (n *LiveNode) persistLocked(lpn int64) error {
 // same pages, unlike the old fire-and-forget goroutine).
 func (n *LiveNode) applyFlushLocked(units []buffer.FlushUnit) error {
 	var flushed []int64
+	var stamps []uint64
 	for _, u := range units {
 		for _, p := range u.Pages {
+			// Capture the stamp before persistLocked retires it: the
+			// partner drops its backup only when the discard's stamp is
+			// at least as new as the backup it holds.
+			st := n.dirtyStamp[p]
 			if err := n.persistLocked(p); err != nil {
 				return err
 			}
+			flushed = append(flushed, p)
+			stamps = append(stamps, st)
 		}
-		flushed = append(flushed, u.Pages...)
 	}
 	if len(flushed) > 0 && n.peerAlive && n.peer != nil {
-		n.enqueueDiscard(flushed)
+		n.enqueueDiscard(flushed, stamps)
 	}
 	return nil
 }
@@ -526,7 +562,15 @@ func (n *LiveNode) FlushAll() error {
 
 // RecoverFromPeer runs the local-failure recovery procedure after a
 // restart: fetch the partner's RCT contents, persist them, and tell the
-// partner to clean its remote buffer.
+// partner to clean its remote buffer. Call it before serving writes.
+//
+// Backups are applied under a write-stamp guard: a page whose local
+// durable copy carries an equal or newer stamp is skipped (counted in
+// StaleRecoverySkips). Without the guard, a partner that was wrongly
+// declared dead — an asymmetric partition, or heartbeat timeouts under
+// load — keeps serving old backups for pages this node has since written
+// through degraded mode, and a blind recovery would roll acknowledged
+// writes back to those stale versions.
 func (n *LiveNode) RecoverFromPeer() error {
 	if n.peer == nil {
 		return errNoPeer
@@ -542,17 +586,28 @@ func (n *LiveNode) RecoverFromPeer() error {
 	if len(resp.Data) != len(resp.LPNs)*ps {
 		return fmt.Errorf("%w: RCT payload size mismatch", ErrBadFrame)
 	}
+	if len(resp.Stamps) != len(resp.LPNs) {
+		return fmt.Errorf("%w: RCT stamp count mismatch", ErrBadFrame)
+	}
 	n.mu.Lock()
 	for i, lpn := range resp.LPNs {
+		st := resp.Stamps[i]
+		if local, ok := n.store.getStamp(lpn); ok && local >= st {
+			atomic.AddInt64(&n.stats.StaleRecoverySkips, 1)
+			continue
+		}
 		if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
 			n.mu.Unlock()
 			return err
 		}
-		if err := n.store.put(lpn, resp.Data[i*ps:(i+1)*ps]); err != nil {
+		if err := n.store.put(lpn, resp.Data[i*ps:(i+1)*ps], st); err != nil {
 			n.mu.Unlock()
 			return err
 		}
 		atomic.AddInt64(&n.stats.Persists, 1)
+		if st > n.stamp {
+			n.stamp = st
+		}
 	}
 	n.mu.Unlock()
 	_, err = n.peer.call(&Message{Type: MsgCleanRemote})
@@ -564,18 +619,27 @@ func (n *LiveNode) Close() error {
 	err := n.FlushAll()
 	n.shutdown()
 	n.wg.Wait()
-	if cerr := n.store.close(); err == nil {
+	if cerr := n.closeStore(); err == nil {
 		err = cerr
 	}
 	return err
 }
 
 // Crash simulates an abrupt failure: all networking stops and NOTHING is
-// flushed — volatile state is lost exactly as on a power cut. Used by
-// failure-injection tests and the failover example.
+// flushed — volatile state is lost exactly as on a power cut, while the
+// durable page store (the "SSD") is released so a replacement node can
+// reopen it. Used by failure-injection tests and the failover example.
 func (n *LiveNode) Crash() {
 	n.shutdown()
 	n.wg.Wait()
+	n.closeStore()
+}
+
+// closeStore releases the durable medium exactly once; Close and Crash
+// may both run against the same node.
+func (n *LiveNode) closeStore() error {
+	n.storeOnce.Do(func() { n.storeErr = n.store.close() })
+	return n.storeErr
 }
 
 // shutdown stops the listener, all accepted connections, the forwarder,
@@ -651,29 +715,57 @@ func (n *LiveNode) handle(m *Message) *Message {
 		if len(m.Data) != len(m.LPNs)*ps {
 			return &Message{Type: MsgError, Err: "write-fwd payload size mismatch"}
 		}
+		if len(m.Stamps) != 0 && len(m.Stamps) != len(m.LPNs) {
+			return &Message{Type: MsgError, Err: "write-fwd stamp count mismatch"}
+		}
 		n.mu.Lock()
 		n.remote.Insert(m.LPNs)
 		for i, lpn := range m.LPNs {
-			if n.remote.Contains(lpn) {
-				pg := n.remoteData[lpn]
-				if pg == nil {
-					pg = n.getPage()
-				}
-				copy(pg, m.Data[i*ps:(i+1)*ps])
-				n.remoteData[lpn] = pg
+			if !n.remote.Contains(lpn) {
+				continue
 			}
+			var st uint64
+			if len(m.Stamps) > 0 {
+				st = m.Stamps[i]
+			}
+			// Writers enqueue forwards outside the node mutex, so two
+			// backups for one page can arrive in either order; keep the
+			// one with the newer stamp.
+			if cur, ok := n.remoteStamp[lpn]; ok && cur > st {
+				continue
+			}
+			pg := n.remoteData[lpn]
+			if pg == nil {
+				pg = n.getPage()
+			}
+			copy(pg, m.Data[i*ps:(i+1)*ps])
+			n.remoteData[lpn] = pg
+			n.remoteStamp[lpn] = st
 		}
 		n.gcRemoteDataLocked()
 		n.mu.Unlock()
 		return &Message{Type: MsgWriteAck}
 	case MsgDiscard:
 		n.mu.Lock()
-		n.remote.Discard(m.LPNs)
-		for _, lpn := range m.LPNs {
+		dropped := m.LPNs
+		if len(m.Stamps) == len(m.LPNs) {
+			// A discard only covers the version it was issued for: a
+			// backup newer than the discard's stamp must survive.
+			dropped = dropped[:0:0]
+			for i, lpn := range m.LPNs {
+				if cur, ok := n.remoteStamp[lpn]; ok && cur > m.Stamps[i] {
+					continue
+				}
+				dropped = append(dropped, lpn)
+			}
+		}
+		n.remote.Discard(dropped)
+		for _, lpn := range dropped {
 			if pg := n.remoteData[lpn]; pg != nil {
 				n.putPage(pg)
 				delete(n.remoteData, lpn)
 			}
+			delete(n.remoteStamp, lpn)
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgDiscardAck}
@@ -688,17 +780,22 @@ func (n *LiveNode) handle(m *Message) *Message {
 		}
 		sort.Slice(lpns, func(i, j int) bool { return lpns[i] < lpns[j] })
 		data := make([]byte, 0, len(lpns)*ps)
+		stamps := make([]uint64, 0, len(lpns))
 		for _, lpn := range lpns {
 			data = append(data, n.remoteData[lpn]...)
+			stamps = append(stamps, n.remoteStamp[lpn])
 		}
 		n.mu.Unlock()
-		return &Message{Type: MsgRCTData, LPNs: lpns, Data: data}
+		return &Message{Type: MsgRCTData, LPNs: lpns, Stamps: stamps, Data: data}
 	case MsgCleanRemote:
 		n.mu.Lock()
 		n.remote.Drain()
 		for lpn, pg := range n.remoteData {
 			n.putPage(pg)
 			delete(n.remoteData, lpn)
+		}
+		for lpn := range n.remoteStamp {
+			delete(n.remoteStamp, lpn)
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgCleanAck}
@@ -722,6 +819,55 @@ func (n *LiveNode) gcRemoteDataLocked() {
 		if !n.remote.Contains(lpn) {
 			n.putPage(pg)
 			delete(n.remoteData, lpn)
+			delete(n.remoteStamp, lpn)
 		}
 	}
+}
+
+// SetPeer points the node at its partner's address, creating the peer
+// client with the node's configured dialer and timeout. Call it before any
+// partner traffic (ConnectPeer, Write, StartHeartbeat); it exists so a
+// pair can be wired up after both listeners are bound.
+func (n *LiveNode) SetPeer(addr string) {
+	n.peer = newPeerClient(addr, n.cfg.CallTimeout, n.cfg.Dialer)
+}
+
+// SnapshotDirty returns a copy of the locally buffered dirty payloads,
+// keyed by LPN. It is an inspection hook for invariant checkers (see
+// internal/cluster/check); taking it briefly blocks the write path.
+func (n *LiveNode) SnapshotDirty() map[int64][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int64][]byte, len(n.dirtyData))
+	for lpn, pg := range n.dirtyData {
+		cp := make([]byte, len(pg))
+		copy(cp, pg)
+		out[lpn] = cp
+	}
+	return out
+}
+
+// SnapshotRemote returns a copy of the partner backups held here, keyed by
+// LPN. Inspection hook for invariant checkers.
+func (n *LiveNode) SnapshotRemote() map[int64][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make(map[int64][]byte, len(n.remoteData))
+	for lpn, pg := range n.remoteData {
+		if !n.remote.Contains(lpn) {
+			continue
+		}
+		cp := make([]byte, len(pg))
+		copy(cp, pg)
+		out[lpn] = cp
+	}
+	return out
+}
+
+// DurableGet returns a copy of the persisted payload for lpn, or nil when
+// the page has never been flushed. Inspection hook for invariant checkers.
+func (n *LiveNode) DurableGet(lpn int64) []byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.store.get(lpn)
 }

@@ -1,0 +1,108 @@
+package cluster
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"flashcoop/internal/faultnet"
+)
+
+// TestStaleBackupNotRecovered reproduces the heartbeat-false-positive
+// rollback scenario end-to-end over an injected transport:
+//
+//  1. A forwards a backup of page P (v1) to B.
+//  2. An asymmetric partition cuts A→B; A declares B dead and writes P
+//     again (v2) through degraded mode, making v2 durable locally.
+//  3. The partition heals. B still holds the v1 backup — from its side
+//     nothing ever failed.
+//  4. A runs RecoverFromPeer (as a restarted node would). Without the
+//     write-stamp guard the stale v1 backup would overwrite durable v2,
+//     rolling back an acknowledged write.
+func TestStaleBackupNotRecovered(t *testing.T) {
+	netA := faultnet.New(7)
+
+	b, err := NewLiveNode(LiveConfig{
+		Name: "B", ListenAddr: "127.0.0.1:0",
+		BufferPages: 32, RemotePages: 32, SSD: liveSSD(),
+		CallTimeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	a, err := NewLiveNode(LiveConfig{
+		Name: "A", ListenAddr: "127.0.0.1:0", PeerAddr: b.Addr(),
+		BufferPages: 32, RemotePages: 32, SSD: liveSSD(),
+		DataDir:     t.TempDir(),
+		CallTimeout: 300 * time.Millisecond,
+		Dialer:      netA.Dial,
+		Listener:    netA.Listen,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.ConnectPeer(); err != nil {
+		t.Fatal(err)
+	}
+
+	ps := a.Device().PageSize()
+	const lpn = 5
+	v1, v2 := page(0x11, ps), page(0x22, ps)
+
+	if err := a.Write(lpn, v1); err != nil {
+		t.Fatal(err)
+	}
+	if !b.RemoteContains(lpn) {
+		t.Fatal("backup of v1 did not reach B")
+	}
+
+	// Asymmetric partition: A cannot reach B; B is untouched.
+	netA.SetPartitioned(true)
+	if err := a.Write(lpn, v2); err != nil {
+		t.Fatalf("degraded write should succeed locally: %v", err)
+	}
+	if a.PeerAlive() {
+		t.Fatal("A should have declared B dead after the forward failed")
+	}
+	if got := a.DurableGet(lpn); !bytes.Equal(got, v2) {
+		t.Fatal("degraded write-through did not persist v2")
+	}
+
+	// Heal, then run recovery like a freshly restarted node would.
+	netA.SetPartitioned(false)
+	reconnect := func() error {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			err := a.ConnectPeer()
+			if err == nil {
+				return nil
+			}
+			// The partition armed the redial backoff gate; wait it out.
+			if !errors.Is(err, errDialBackoff) || time.Now().After(deadline) {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := reconnect(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.RecoverFromPeer(); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := a.Stats().StaleRecoverySkips; got < 1 {
+		t.Fatalf("StaleRecoverySkips = %d, want >= 1", got)
+	}
+	got, err := a.Read(lpn, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v2) {
+		t.Fatalf("acknowledged v2 rolled back to a stale peer backup (got %x...)", got[0])
+	}
+}

@@ -10,33 +10,54 @@ import (
 )
 
 // pageStore is the durable medium behind a live node: what survives once a
-// page has been flushed from the cooperative buffer.
+// page has been flushed from the cooperative buffer. Each page carries its
+// write stamp (the node's monotonic per-page version) so that crash
+// recovery can tell a stale peer backup from newer durable data.
 type pageStore interface {
 	// get returns the stored payload for lpn, or nil when absent.
 	get(lpn int64) []byte
-	// put stores the payload (exactly one page).
-	put(lpn int64, data []byte) error
+	// getStamp returns the stored write stamp for lpn.
+	getStamp(lpn int64) (uint64, bool)
+	// put stores the payload (exactly one page) with its write stamp.
+	put(lpn int64, data []byte, stamp uint64) error
 	// remove deletes the page (TRIM).
 	remove(lpn int64) error
 	// pages reports how many pages are stored.
 	pages() int
+	// maxStamp reports the largest stamp currently stored; a restarted
+	// node resumes its stamp counter from here.
+	maxStamp() uint64
 	close() error
 }
 
 // memStore is the default in-memory medium (contents die with the process,
 // like the simulator's SSD).
 type memStore struct {
-	m map[int64][]byte
+	m   map[int64]memPage
+	max uint64
 }
 
-func newMemStore() *memStore { return &memStore{m: make(map[int64][]byte)} }
+type memPage struct {
+	data  []byte
+	stamp uint64
+}
 
-func (s *memStore) get(lpn int64) []byte { return s.m[lpn] }
+func newMemStore() *memStore { return &memStore{m: make(map[int64]memPage)} }
 
-func (s *memStore) put(lpn int64, data []byte) error {
+func (s *memStore) get(lpn int64) []byte { return s.m[lpn].data }
+
+func (s *memStore) getStamp(lpn int64) (uint64, bool) {
+	p, ok := s.m[lpn]
+	return p.stamp, ok
+}
+
+func (s *memStore) put(lpn int64, data []byte, stamp uint64) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	s.m[lpn] = cp
+	s.m[lpn] = memPage{data: cp, stamp: stamp}
+	if stamp > s.max {
+		s.max = stamp
+	}
 	return nil
 }
 
@@ -47,23 +68,34 @@ func (s *memStore) remove(lpn int64) error {
 
 func (s *memStore) pages() int { return len(s.m) }
 
+func (s *memStore) maxStamp() uint64 { return s.max }
+
 func (s *memStore) close() error { return nil }
 
 // fileStore persists pages in a single slotted file so a restarted daemon
 // keeps its data. Layout: fixed-size records of [8-byte big-endian lpn |
-// page payload]; a record whose lpn field is -1 is a free slot. The index
-// is rebuilt by scanning the file at open.
+// 8-byte big-endian write stamp | page payload]; a record whose lpn field
+// is -1 is a free slot. The index is rebuilt by scanning the file at open.
 type fileStore struct {
 	mu       sync.Mutex
 	f        *os.File
 	pageSize int
-	index    map[int64]int64 // lpn -> slot number
-	free     []int64         // reusable slots
-	slots    int64           // total slots in the file
-	sync     bool            // fsync after every put
+	index    map[int64]fileSlot // lpn -> slot + cached stamp
+	free     []int64            // reusable slots
+	slots    int64              // total slots in the file
+	max      uint64             // largest stamp seen
+	sync     bool               // fsync after every put
+}
+
+type fileSlot struct {
+	slot  int64
+	stamp uint64
 }
 
 const fileStoreName = "pagestore.dat"
+
+// fileHeaderSize is the per-record metadata: lpn + write stamp.
+const fileHeaderSize = 16
 
 // freeSlotMarker marks a deleted record.
 const freeSlotMarker = int64(-1)
@@ -81,7 +113,7 @@ func newFileStore(dir string, pageSize int, syncWrites bool) (*fileStore, error)
 	s := &fileStore{
 		f:        f,
 		pageSize: pageSize,
-		index:    make(map[int64]int64),
+		index:    make(map[int64]fileSlot),
 		sync:     syncWrites,
 	}
 	if err := s.load(); err != nil {
@@ -91,7 +123,7 @@ func newFileStore(dir string, pageSize int, syncWrites bool) (*fileStore, error)
 	return s, nil
 }
 
-func (s *fileStore) recordSize() int64 { return int64(8 + s.pageSize) }
+func (s *fileStore) recordSize() int64 { return int64(fileHeaderSize + s.pageSize) }
 
 // load rebuilds the index from the slotted file.
 func (s *fileStore) load() error {
@@ -101,16 +133,16 @@ func (s *fileStore) load() error {
 	}
 	rs := s.recordSize()
 	if st.Size()%rs != 0 {
-		return fmt.Errorf("cluster: pagestore size %d not a multiple of record size %d (page size mismatch?)",
+		return fmt.Errorf("cluster: pagestore size %d not a multiple of record size %d (page size or format mismatch?)",
 			st.Size(), rs)
 	}
 	s.slots = st.Size() / rs
-	var hdr [8]byte
+	var hdr [fileHeaderSize]byte
 	for slot := int64(0); slot < s.slots; slot++ {
 		if _, err := s.f.ReadAt(hdr[:], slot*rs); err != nil {
 			return fmt.Errorf("cluster: pagestore load: %w", err)
 		}
-		lpn := int64(binary.BigEndian.Uint64(hdr[:]))
+		lpn := int64(binary.BigEndian.Uint64(hdr[:8]))
 		if lpn == freeSlotMarker {
 			s.free = append(s.free, slot)
 			continue
@@ -118,7 +150,11 @@ func (s *fileStore) load() error {
 		if lpn < 0 {
 			return fmt.Errorf("cluster: pagestore corrupt lpn %d at slot %d", lpn, slot)
 		}
-		s.index[lpn] = slot
+		stamp := binary.BigEndian.Uint64(hdr[8:])
+		s.index[lpn] = fileSlot{slot: slot, stamp: stamp}
+		if stamp > s.max {
+			s.max = stamp
+		}
 	}
 	return nil
 }
@@ -126,40 +162,51 @@ func (s *fileStore) load() error {
 func (s *fileStore) get(lpn int64) []byte {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	slot, ok := s.index[lpn]
+	fs, ok := s.index[lpn]
 	if !ok {
 		return nil
 	}
 	buf := make([]byte, s.pageSize)
-	if _, err := s.f.ReadAt(buf, slot*s.recordSize()+8); err != nil {
+	if _, err := s.f.ReadAt(buf, fs.slot*s.recordSize()+fileHeaderSize); err != nil {
 		return nil
 	}
 	return buf
 }
 
-func (s *fileStore) put(lpn int64, data []byte) error {
+func (s *fileStore) getStamp(lpn int64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fs, ok := s.index[lpn]
+	return fs.stamp, ok
+}
+
+func (s *fileStore) put(lpn int64, data []byte, stamp uint64) error {
 	if len(data) != s.pageSize {
 		return fmt.Errorf("cluster: pagestore put of %d bytes, want %d", len(data), s.pageSize)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	slot, ok := s.index[lpn]
-	if !ok {
-		if n := len(s.free); n > 0 {
-			slot = s.free[n-1]
-			s.free = s.free[:n-1]
-		} else {
-			slot = s.slots
-			s.slots++
-		}
+	var slot int64
+	if fs, ok := s.index[lpn]; ok {
+		slot = fs.slot
+	} else if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		slot = s.slots
+		s.slots++
 	}
 	rec := make([]byte, s.recordSize())
 	binary.BigEndian.PutUint64(rec[:8], uint64(lpn))
-	copy(rec[8:], data)
+	binary.BigEndian.PutUint64(rec[8:16], stamp)
+	copy(rec[fileHeaderSize:], data)
 	if _, err := s.f.WriteAt(rec, slot*s.recordSize()); err != nil {
 		return fmt.Errorf("cluster: pagestore write: %w", err)
 	}
-	s.index[lpn] = slot
+	s.index[lpn] = fileSlot{slot: slot, stamp: stamp}
+	if stamp > s.max {
+		s.max = stamp
+	}
 	if s.sync {
 		return s.f.Sync()
 	}
@@ -169,17 +216,17 @@ func (s *fileStore) put(lpn int64, data []byte) error {
 func (s *fileStore) remove(lpn int64) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	slot, ok := s.index[lpn]
+	fs, ok := s.index[lpn]
 	if !ok {
 		return nil
 	}
 	var hdr [8]byte
 	binary.BigEndian.PutUint64(hdr[:], ^uint64(0)) // freeSlotMarker (-1)
-	if _, err := s.f.WriteAt(hdr[:], slot*s.recordSize()); err != nil {
+	if _, err := s.f.WriteAt(hdr[:], fs.slot*s.recordSize()); err != nil {
 		return fmt.Errorf("cluster: pagestore remove: %w", err)
 	}
 	delete(s.index, lpn)
-	s.free = append(s.free, slot)
+	s.free = append(s.free, fs.slot)
 	return nil
 }
 
@@ -187,6 +234,12 @@ func (s *fileStore) pages() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.index)
+}
+
+func (s *fileStore) maxStamp() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
 }
 
 func (s *fileStore) close() error {

@@ -12,11 +12,17 @@ func TestMemStoreBasics(t *testing.T) {
 	if s.get(1) != nil || s.pages() != 0 {
 		t.Fatal("empty store not empty")
 	}
-	if err := s.put(1, []byte{0xAA}); err != nil {
+	if err := s.put(1, []byte{0xAA}, 5); err != nil {
 		t.Fatal(err)
 	}
 	if got := s.get(1); got == nil || got[0] != 0xAA {
 		t.Fatal("get after put wrong")
+	}
+	if st, ok := s.getStamp(1); !ok || st != 5 {
+		t.Fatalf("stamp = %d, %v; want 5, true", st, ok)
+	}
+	if s.maxStamp() != 5 {
+		t.Fatalf("maxStamp = %d", s.maxStamp())
 	}
 	if err := s.remove(1); err != nil {
 		t.Fatal(err)
@@ -44,12 +50,12 @@ func TestFileStoreRoundTrip(t *testing.T) {
 		return p
 	}
 	for i := int64(0); i < 20; i++ {
-		if err := s.put(i*7, pg(byte(i))); err != nil {
+		if err := s.put(i*7, pg(byte(i)), uint64(i+1)); err != nil {
 			t.Fatal(err)
 		}
 	}
-	// Overwrite reuses the slot.
-	if err := s.put(0, pg(0xEE)); err != nil {
+	// Overwrite reuses the slot (and bumps the stamp).
+	if err := s.put(0, pg(0xEE), 42); err != nil {
 		t.Fatal(err)
 	}
 	if s.pages() != 20 {
@@ -63,7 +69,7 @@ func TestFileStoreRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	slotsBefore := s.slots
-	if err := s.put(999, pg(0x77)); err != nil {
+	if err := s.put(999, pg(0x77), 43); err != nil {
 		t.Fatal(err)
 	}
 	if s.slots != slotsBefore {
@@ -91,6 +97,14 @@ func TestFileStoreRoundTrip(t *testing.T) {
 	if got := s2.get(999); !bytes.Equal(got, pg(0x77)) {
 		t.Fatal("page 999 lost across restart")
 	}
+	// Write stamps survive the restart too: recovery relies on them to
+	// rank durable data against peer backups.
+	if st, ok := s2.getStamp(0); !ok || st != 42 {
+		t.Fatalf("stamp of page 0 after reopen = %d, %v; want 42, true", st, ok)
+	}
+	if s2.maxStamp() != 43 {
+		t.Fatalf("maxStamp after reopen = %d; want 43", s2.maxStamp())
+	}
 }
 
 func TestFileStoreRejectsWrongPageSize(t *testing.T) {
@@ -99,10 +113,10 @@ func TestFileStoreRejectsWrongPageSize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.put(0, make([]byte, 100)); err == nil {
+	if err := s.put(0, make([]byte, 100), 1); err == nil {
 		t.Fatal("short put accepted")
 	}
-	if err := s.put(0, make([]byte, 512)); err != nil {
+	if err := s.put(0, make([]byte, 512), 1); err != nil {
 		t.Fatal(err)
 	}
 	s.close()
@@ -128,10 +142,11 @@ func TestFileStoreFuzzAgainstMem(t *testing.T) {
 		case 0, 1:
 			pg := make([]byte, ps)
 			rng.Read(pg)
-			if err := fs.put(lpn, pg); err != nil {
+			st := uint64(i + 1)
+			if err := fs.put(lpn, pg, st); err != nil {
 				t.Fatal(err)
 			}
-			if err := ms.put(lpn, pg); err != nil {
+			if err := ms.put(lpn, pg, st); err != nil {
 				t.Fatal(err)
 			}
 		case 2:
@@ -150,6 +165,11 @@ func TestFileStoreFuzzAgainstMem(t *testing.T) {
 		a, b := fs.get(lpn), ms.get(lpn)
 		if (a == nil) != (b == nil) || (a != nil && !bytes.Equal(a, b)) {
 			t.Fatalf("divergence at lpn %d", lpn)
+		}
+		sa, oka := fs.getStamp(lpn)
+		sb, okb := ms.getStamp(lpn)
+		if oka != okb || sa != sb {
+			t.Fatalf("stamp divergence at lpn %d: file (%d,%v) mem (%d,%v)", lpn, sa, oka, sb, okb)
 		}
 	}
 }

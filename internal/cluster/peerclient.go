@@ -33,9 +33,15 @@ const (
 // goroutine matches responses to waiters by Seq, so a round trip no longer
 // serializes the connection. Redials are gated by bounded exponential
 // backoff so a dead partner is probed, not hammered.
+// dialFunc opens the transport to a partner; the default is
+// net.DialTimeout. Tests inject fault-laden transports here (see
+// internal/faultnet).
+type dialFunc func(network, addr string, timeout time.Duration) (net.Conn, error)
+
 type peerClient struct {
 	addr    string
 	timeout time.Duration
+	dial    dialFunc
 
 	mu        sync.Mutex
 	sess      *peerSession
@@ -74,10 +80,14 @@ type peerSession struct {
 	failOnce sync.Once
 }
 
-func newPeerClient(addr string, timeout time.Duration) *peerClient {
+func newPeerClient(addr string, timeout time.Duration, dial dialFunc) *peerClient {
+	if dial == nil {
+		dial = net.DialTimeout
+	}
 	return &peerClient{
 		addr:    addr,
 		timeout: timeout,
+		dial:    dial,
 		rng:     rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
 }
@@ -157,7 +167,7 @@ func (p *peerClient) dialLocked() (*peerSession, error) {
 		return nil, fmt.Errorf("%w (%v remaining)", errDialBackoff, p.nextDial.Sub(now).Round(time.Millisecond))
 	}
 	p.dials++
-	conn, err := net.DialTimeout("tcp", p.addr, p.timeout)
+	conn, err := p.dial("tcp", p.addr, p.timeout)
 	if err != nil {
 		d := p.backoff
 		if d == 0 {

@@ -3,12 +3,13 @@ package cluster
 import (
 	"fmt"
 	"net"
-	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"flashcoop/internal/testutil"
 )
 
 // TestPeerClientPipelined verifies that many calls share one connection
@@ -35,7 +36,7 @@ func TestPeerClientPipelined(t *testing.T) {
 			}
 		}
 	}()
-	p := newPeerClient(ln.Addr().String(), time.Second)
+	p := newPeerClient(ln.Addr().String(), time.Second, nil)
 	defer p.close()
 	const callers, per = 8, 50
 	var wg sync.WaitGroup
@@ -95,7 +96,7 @@ func TestPeerClientOutOfOrderResponses(t *testing.T) {
 			}
 		}
 	}()
-	p := newPeerClient(ln.Addr().String(), time.Second)
+	p := newPeerClient(ln.Addr().String(), time.Second, nil)
 	defer p.close()
 	const pairs = 20
 	for i := 0; i < pairs; i++ {
@@ -131,7 +132,7 @@ func TestPeerClientDialBackoff(t *testing.T) {
 	}
 	addr := ln.Addr().String()
 	ln.Close()
-	p := newPeerClient(addr, 100*time.Millisecond)
+	p := newPeerClient(addr, 100*time.Millisecond, nil)
 	defer p.close()
 	const attempts = 50
 	for i := 0; i < attempts; i++ {
@@ -294,7 +295,7 @@ func TestDiscardsRideThePipeline(t *testing.T) {
 // discards, heartbeats) and verifies Close returns the process to its
 // baseline goroutine count — the old code leaked a goroutine per flush.
 func TestNoGoroutineLeakAfterClose(t *testing.T) {
-	before := runtime.NumGoroutine()
+	verify := testutil.CheckGoroutineLeak(t)
 	a, b := livePair(t)
 	a.StartHeartbeat()
 	b.StartHeartbeat()
@@ -316,24 +317,7 @@ func TestNoGoroutineLeakAfterClose(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(3 * time.Second)
-	for time.Now().Before(deadline) {
-		if runtime.NumGoroutine() <= before {
-			return
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
-	buf := make([]byte, 1<<16)
-	n := runtime.Stack(buf, true)
-	t.Fatalf("goroutines leaked after Close: %d -> %d\n%s",
-		before, runtime.NumGoroutine(), truncateStacks(string(buf[:n])))
-}
-
-func truncateStacks(s string) string {
-	if len(s) > 4000 {
-		return s[:4000] + "\n...[truncated]"
-	}
-	return s
+	verify()
 }
 
 // TestWriteAfterCloseFailsFast ensures a Write racing a Close neither

@@ -65,14 +65,19 @@ type Info struct {
 	Net       float64
 }
 
-// Message is one protocol frame.
+// Message is one protocol frame. Stamps, when present, runs parallel to
+// LPNs and carries each page's write stamp — a node-local monotonic
+// version that survives restarts — so the receiver can order a frame's
+// pages against state it already holds (stale backups are never allowed
+// to overwrite newer data; see livenode.go).
 type Message struct {
-	Type MsgType
-	Seq  uint64
-	LPNs []int64
-	Data []byte
-	Info Info
-	Err  string
+	Type   MsgType
+	Seq    uint64
+	LPNs   []int64
+	Stamps []uint64
+	Data   []byte
+	Info   Info
+	Err    string
 }
 
 // MaxFrameBytes bounds a single frame (16 MiB of payload covers thousands
@@ -90,7 +95,7 @@ func (m *Message) Marshal() ([]byte, error) {
 	if len(m.Err) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: error string too long", ErrBadFrame)
 	}
-	size := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + len(m.Data) + 8*4 + 2 + len(m.Err)
+	size := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + 8*len(m.Stamps) + 4 + len(m.Data) + 8*4 + 2 + len(m.Err)
 	if size > MaxFrameBytes {
 		return nil, ErrFrameTooLarge
 	}
@@ -100,6 +105,10 @@ func (m *Message) Marshal() ([]byte, error) {
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.LPNs)))
 	for _, lpn := range m.LPNs {
 		buf = binary.BigEndian.AppendUint64(buf, uint64(lpn))
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Stamps)))
+	for _, st := range m.Stamps {
+		buf = binary.BigEndian.AppendUint64(buf, st)
 	}
 	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Data)))
 	buf = append(buf, m.Data...)
@@ -136,6 +145,19 @@ func (m *Message) Unmarshal(buf []byte) error {
 			return err
 		}
 		m.LPNs[i] = int64(v)
+	}
+	ns, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(ns)*8 > len(r.buf)-r.off {
+		return fmt.Errorf("%w: stamp count %d exceeds frame", ErrBadFrame, ns)
+	}
+	m.Stamps = make([]uint64, ns)
+	for i := range m.Stamps {
+		if m.Stamps[i], err = r.u64(); err != nil {
+			return err
+		}
 	}
 	nd, err := r.u32()
 	if err != nil {

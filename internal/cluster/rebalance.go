@@ -100,16 +100,21 @@ func (n *LiveNode) StartRebalance(interval time.Duration) {
 func (n *LiveNode) Trim(lpn int64, pages int) error {
 	n.mu.Lock()
 	var dropped []int64
+	var stamps []uint64
 	for i := 0; i < pages; i++ {
 		p := lpn + int64(i)
 		wasDirty := n.buf.IsDirty(p)
 		if n.buf.Invalidate(p) && wasDirty {
 			dropped = append(dropped, p)
+			// The trim supersedes every version written so far, so the
+			// discard carries the node's current stamp.
+			stamps = append(stamps, n.stamp)
 		}
 		if pg := n.dirtyData[p]; pg != nil {
 			n.putPage(pg)
 			delete(n.dirtyData, p)
 		}
+		delete(n.dirtyStamp, p)
 		if err := n.store.remove(p); err != nil {
 			n.mu.Unlock()
 			return err
@@ -120,7 +125,7 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 		return err
 	}
 	if len(dropped) > 0 && n.peerAlive && n.peer != nil {
-		n.enqueueDiscard(dropped)
+		n.enqueueDiscard(dropped, stamps)
 	}
 	n.mu.Unlock()
 	return nil

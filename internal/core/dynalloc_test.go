@@ -1,0 +1,134 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestThetaBoundaries pins Equation 1 down at its edges: θ = a_j·(1−b_i)
+// with a_j the neighbour's write intensity and b_i = α·m + β·p + γ·n the
+// local usage, everything clamped to [0,1].
+func TestThetaBoundaries(t *testing.T) {
+	p := DefaultAllocParams() // α=0.4 β=0.2 γ=0.4
+	cases := []struct {
+		name        string
+		local, peer WorkloadInfo
+		want        float64
+	}{
+		{
+			// A read-only neighbour forwards no backups: lend nothing.
+			name: "zero write intensity",
+			peer: WorkloadInfo{WriteFrac: 0},
+			want: 0,
+		},
+		{
+			// b_i = α+β+γ = 1 when every local resource is saturated:
+			// nothing to spare regardless of the neighbour's appetite.
+			name:  "saturated local usage",
+			local: WorkloadInfo{Mem: 1, CPU: 1, Net: 1},
+			peer:  WorkloadInfo{WriteFrac: 1},
+			want:  0,
+		},
+		{
+			// Fully write-bound neighbour, idle local server: the whole
+			// pool is offered.
+			name: "idle server, write-only neighbour",
+			peer: WorkloadInfo{WriteFrac: 1},
+			want: 1,
+		},
+		{
+			// Equal-intensity pair at the midpoint: θ = 0.5·(1−0.5) and
+			// both directions agree by symmetry.
+			name:  "equal-intensity pair",
+			local: WorkloadInfo{WriteFrac: 0.5, Mem: 0.5, CPU: 0.5, Net: 0.5},
+			peer:  WorkloadInfo{WriteFrac: 0.5, Mem: 0.5, CPU: 0.5, Net: 0.5},
+			want:  0.25,
+		},
+		{
+			// Out-of-range inputs are clamped, not propagated.
+			name:  "inputs clamped",
+			local: WorkloadInfo{Mem: -3, CPU: 42, Net: -1},
+			peer:  WorkloadInfo{WriteFrac: 7},
+			want:  1 - p.Beta, // b = 0.4·0 + 0.2·1 + 0.4·0
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Theta(p, tc.local, tc.peer)
+			if math.Abs(got-tc.want) > 1e-12 {
+				t.Fatalf("Theta = %v, want %v", got, tc.want)
+			}
+			if rev := Theta(p, tc.local, tc.peer); rev != got {
+				t.Fatalf("Theta not deterministic: %v then %v", got, rev)
+			}
+		})
+	}
+
+	// Symmetry at equal intensity: each side computes the same θ for the
+	// other, so the pooled memory splits identically on both servers.
+	eq := WorkloadInfo{WriteFrac: 0.5, Mem: 0.5, CPU: 0.5, Net: 0.5}
+	if ab, ba := Theta(p, eq, eq), Theta(p, eq, eq); ab != ba {
+		t.Fatalf("equal-intensity pair disagrees: %v vs %v", ab, ba)
+	}
+}
+
+// TestSplitRounding checks the θ→pages conversion at the buffer-size
+// boundaries: the two partitions always cover the pool exactly, θ=0 and
+// θ=1 hit the empty and full partitions, and fractional θ truncates
+// rather than over-allocating the remote share.
+func TestSplitRounding(t *testing.T) {
+	cases := []struct {
+		name       string
+		total      int
+		theta      float64
+		wantLocal  int
+		wantRemote int
+	}{
+		{"zero theta keeps the pool local", 100, 0, 100, 0},
+		{"full theta lends the pool", 100, 1, 0, 100},
+		{"exact quarter", 100, 0.25, 75, 25},
+		{"truncates, never rounds up", 3, 0.5, 2, 1}, // 1.5 pages → 1
+		{"just under a page boundary", 100, 0.2499999, 76, 24},
+		{"just over a page boundary", 100, 0.2500001, 75, 25},
+		{"single-page pool, theta below one", 1, 0.99, 1, 0},
+		{"single-page pool, theta one", 1, 1, 0, 1},
+		{"empty pool", 0, 0.7, 0, 0},
+		{"negative theta clamps to zero", 10, -0.3, 10, 0},
+		{"theta above one clamps to full", 10, 1.7, 0, 10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := NewAllocator(DefaultAllocParams(), tc.total)
+			l, r := a.Split(tc.theta)
+			if l != tc.wantLocal || r != tc.wantRemote {
+				t.Fatalf("Split(%v) over %d pages = (%d,%d), want (%d,%d)",
+					tc.theta, tc.total, l, r, tc.wantLocal, tc.wantRemote)
+			}
+			if l+r != tc.total {
+				t.Fatalf("partitions cover %d of %d pages", l+r, tc.total)
+			}
+			if l < 0 || r < 0 {
+				t.Fatalf("negative partition: (%d,%d)", l, r)
+			}
+		})
+	}
+}
+
+// TestWindowInfoBoundaries covers the workload window at its edges: an
+// empty window reports zero write intensity instead of dividing by zero,
+// and the window resets after each report.
+func TestWindowInfoBoundaries(t *testing.T) {
+	a := NewAllocator(DefaultAllocParams(), 100)
+	if info := a.WindowInfo(0, 0, 0); info.WriteFrac != 0 {
+		t.Fatalf("empty window WriteFrac = %v", info.WriteFrac)
+	}
+	for i := 0; i < 10; i++ {
+		a.Observe(i%2 == 0) // 5 writes of 10
+	}
+	if info := a.WindowInfo(0, 0, 0); info.WriteFrac != 0.5 {
+		t.Fatalf("WriteFrac = %v, want 0.5", info.WriteFrac)
+	}
+	if info := a.WindowInfo(0, 0, 0); info.WriteFrac != 0 {
+		t.Fatalf("window did not reset: WriteFrac = %v", info.WriteFrac)
+	}
+}

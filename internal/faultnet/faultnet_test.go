@@ -1,0 +1,253 @@
+package faultnet
+
+import (
+	"bytes"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// echoServer accepts one connection on ln and echoes bytes back.
+func echoServer(t *testing.T, ln net.Listener) {
+	t.Helper()
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		io.Copy(c, c)
+	}()
+}
+
+func TestPassThroughWhenNoFaults(t *testing.T) {
+	n := New(1)
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("hello faultnet")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo mismatch: %q", got)
+	}
+}
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := New(2)
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+	n.SetPartitioned(true)
+	if _, err := n.Dial("tcp", ln.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial succeeded through a partition")
+	}
+	n.SetPartitioned(false)
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	n.SetPartitioned(true)
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write succeeded through a partition")
+	}
+	n.SetPartitioned(false)
+	if _, err := c.Write([]byte("x")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDeterministicSchedule checks that two networks with the same seed
+// make identical fault decisions for the same operation sequence.
+func TestDeterministicSchedule(t *testing.T) {
+	f := Faults{DropProb: 0.3, DupProb: 0.2, TruncateProb: 0.1, ResetProb: 0.1}
+	script := func(seed int64) []decision {
+		n := New(seed)
+		n.SetFaults(f)
+		c := &conn{net: n, id: 1, rng: n.connRNG(1)}
+		out := make([]decision, 64)
+		for i := range out {
+			out[i] = c.draw(f, 100)
+		}
+		return out
+	}
+	a, b := script(42), script(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d: schedules diverge: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	diverged := false
+	for i, d := range script(43) {
+		if d != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+func TestDropSwallowsWrite(t *testing.T) {
+	n := New(7)
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	received := make(chan int, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer c.Close()
+		total := 0
+		buf := make([]byte, 1024)
+		for {
+			c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+			m, err := c.Read(buf)
+			total += m
+			if err != nil {
+				received <- total
+				return
+			}
+		}
+	}()
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaults(Faults{DropProb: 1})
+	if m, err := c.Write([]byte("vanishes")); err != nil || m != 8 {
+		t.Fatalf("dropped write reported (%d, %v), want (8, nil)", m, err)
+	}
+	c.Close()
+	if got := <-received; got != 0 {
+		t.Fatalf("peer received %d bytes of a dropped write", got)
+	}
+}
+
+func TestTruncateResetsConn(t *testing.T) {
+	n := New(11)
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetFaults(Faults{TruncateProb: 1})
+	wrote, err := c.Write(bytes.Repeat([]byte("z"), 100))
+	if err == nil {
+		t.Fatal("truncated write reported success")
+	}
+	if wrote >= 100 {
+		t.Fatalf("truncation kept %d of 100 bytes", wrote)
+	}
+	// The connection is dead afterwards.
+	n.SetFaults(Faults{})
+	if _, err := c.Write([]byte("more")); err == nil {
+		t.Fatal("write after truncation reset succeeded")
+	}
+}
+
+type recordingTap struct {
+	mu  sync.Mutex
+	out []byte
+	in  []byte
+}
+
+func (r *recordingTap) Observe(_ uint64, _, outbound bool, b []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if outbound {
+		r.out = append(r.out, b...)
+	} else {
+		r.in = append(r.in, b...)
+	}
+}
+
+func TestTapSeesWireBytes(t *testing.T) {
+	n := New(13)
+	tap := &recordingTap{}
+	n.SetTap(tap)
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	msg := []byte("tapped")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	tap.mu.Lock()
+	defer tap.mu.Unlock()
+	// The dialed conn's writes and the accepted conn's reads both carry msg.
+	if !bytes.Contains(tap.out, msg) {
+		t.Errorf("outbound tap missing payload: %q", tap.out)
+	}
+	if !bytes.Contains(tap.in, msg) {
+		t.Errorf("inbound tap missing payload: %q", tap.in)
+	}
+}
+
+func TestCrashAtFires(t *testing.T) {
+	n := New(17)
+	fired := make(chan struct{})
+	n.CrashAt(3, func() { close(fired) })
+	ln, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	echoServer(t, ln)
+	c, err := n.Dial("tcp", ln.Addr().String(), time.Second) // step 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.Write([]byte("a")) // step 2
+	c.Write([]byte("b")) // step 3
+	select {
+	case <-fired:
+	case <-time.After(time.Second):
+		t.Fatal("crash hook never fired")
+	}
+	if n.Steps() < 3 {
+		t.Fatalf("step counter %d, want >= 3", n.Steps())
+	}
+}

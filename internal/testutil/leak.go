@@ -1,0 +1,44 @@
+// Package testutil holds helpers shared by the test suites; it contains
+// no production code.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// CheckGoroutineLeak snapshots the goroutine count and returns a function
+// that fails the test if the count has not returned to the baseline once
+// everything under test is shut down. Use it as the first line of a test:
+//
+//	defer testutil.CheckGoroutineLeak(t)()
+//
+// The verifier polls for a grace period before declaring a leak, because
+// goroutines unwind asynchronously after Close; on failure it dumps the
+// stacks of whatever is still running.
+func CheckGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(3 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<16)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutines leaked: %d -> %d\n%s",
+			before, runtime.NumGoroutine(), truncateStacks(string(buf[:n])))
+	}
+}
+
+func truncateStacks(s string) string {
+	if len(s) > 4000 {
+		return s[:4000] + "\n...[truncated]"
+	}
+	return s
+}

@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse throws arbitrary text at the SPC parser. Whatever comes back
+// must be a well-formed request stream: no panics, and every accepted
+// request honors the invariants the simulator relies on (non-negative
+// page addresses and arrival times, at least one page, positive size).
+// Accepted traces must also survive a WriteSPC/ParseSPC round trip.
+func FuzzParse(f *testing.F) {
+	f.Add("0,384,512,w,0.015\n1,0,4096,R,1.5\n# comment\n\n2,8,1024,r,2.25\n")
+	f.Add("0,-7,512,w,0.1\n")
+	f.Add("0,9223372036854775807,512,w,0.1\n")
+	f.Add("0,1,512,w,NaN\n")
+	f.Add("0,1,512,w,-1\n")
+	f.Add("0,1,512,w,1e300\n")
+	f.Add("junk line\n")
+	f.Add("0,1,0,r,0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		opts := DefaultSPCOptions()
+		reqs, err := ParseSPC(strings.NewReader(in), opts)
+		if err != nil {
+			return
+		}
+		for i, r := range reqs {
+			if r.LPN < 0 {
+				t.Fatalf("request %d: negative LPN %d from %q", i, r.LPN, in)
+			}
+			if r.Pages < 1 {
+				t.Fatalf("request %d: %d pages from %q", i, r.Pages, in)
+			}
+			if r.Arrival < 0 {
+				t.Fatalf("request %d: negative arrival %d from %q", i, r.Arrival, in)
+			}
+			if r.Bytes <= 0 {
+				t.Fatalf("request %d: non-positive size %d from %q", i, r.Bytes, in)
+			}
+			if r.End() < r.LPN {
+				t.Fatalf("request %d: page range overflows (%d + %d)", i, r.LPN, r.Pages)
+			}
+		}
+		var buf bytes.Buffer
+		if err := WriteSPC(&buf, reqs, opts); err != nil {
+			t.Fatalf("WriteSPC of parsed trace failed: %v", err)
+		}
+		if _, err := ParseSPC(&buf, opts); err != nil {
+			t.Fatalf("re-parse of written trace failed: %v", err)
+		}
+	})
+}

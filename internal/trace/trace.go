@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -161,6 +162,12 @@ func parseSPCLine(line string, opts SPCOptions) (Request, int, error) {
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("lba: %w", err)
 	}
+	if lba < 0 {
+		return Request{}, 0, fmt.Errorf("lba %d must be non-negative", lba)
+	}
+	if lba > math.MaxInt64/int64(opts.SectorBytes) {
+		return Request{}, 0, fmt.Errorf("lba %d overflows the byte address space", lba)
+	}
 	size, err := strconv.Atoi(strings.TrimSpace(fields[2]))
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("size: %w", err)
@@ -181,8 +188,18 @@ func parseSPCLine(line string, opts SPCOptions) (Request, int, error) {
 	if err != nil {
 		return Request{}, 0, fmt.Errorf("timestamp: %w", err)
 	}
+	// ParseFloat happily returns NaN, ±Inf, and negatives, all of which
+	// poison virtual-time arithmetic downstream (float→int conversion of
+	// a NaN is not even well-defined).
+	if math.IsNaN(ts) || math.IsInf(ts, 0) || ts < 0 ||
+		ts > float64(math.MaxInt64)/float64(sim.Second) {
+		return Request{}, 0, fmt.Errorf("timestamp %v outside the representable virtual-time range", ts)
+	}
 
 	startByte := lba * int64(opts.SectorBytes)
+	if int64(size) > math.MaxInt64-startByte {
+		return Request{}, 0, fmt.Errorf("request end overflows the byte address space")
+	}
 	endByte := startByte + int64(size)
 	firstPage := startByte / int64(opts.PageBytes)
 	lastPage := (endByte - 1) / int64(opts.PageBytes)

@@ -1,13 +1,25 @@
 #!/bin/sh
-# CI gate: vet, build, full test suite, then the race detector on the two
-# packages that do real concurrency (the parallel experiment grid and the
-# cluster message loop). Run from the repository root.
+# CI gate: vet, build, full test suite with a coverage report, then the
+# race detector on the packages that do real concurrency (the parallel
+# experiment grid, the cluster message loop, and the chaos suite in
+# internal/cluster/check). Run from the repository root.
 set -eux
 
 go vet ./...
 go build ./...
-go test ./...
+go test -cover ./...
+
+# The ./internal/cluster/... pattern includes internal/cluster/check, so
+# the seeded chaos runs (crash/recover cycles under injected faults) go
+# through the race detector here.
 go test -race ./internal/experiments/... ./internal/cluster/...
+
+# Fuzz smoke: a short budget per target catches frame-decoder and trace-
+# parser regressions without benchmark-length time. Each invocation fuzzes
+# exactly one target (-run '^$' skips the unit tests, already run above).
+go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 10s ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/trace/
 
 # Smoke-test the live write path end to end: a small loadgen run over a
 # localhost pair exercises the pipelined forwarder, batching, and the
