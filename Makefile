@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos fuzz cover bench bench-grid bench-cluster profile
+.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster profile
 
 all: build
 
@@ -29,11 +29,20 @@ ci:
 chaos:
 	$(GO) test -race -v -run 'TestChaos' ./internal/cluster/check/
 
+# The link-flap drill alone: repeated asymmetric partition/heal cycles
+# against a live pair with writers running, durability-checked after every
+# heal. CHAOS_FLAPS=<n> raises the cycle count, CHAOS_SEED=<seed> replays.
+chaos-flap:
+	$(GO) test -race -v -run 'TestChaosLinkFlap' ./internal/cluster/check/
+
 # Short fuzz budgets for the wire-format and trace-parser fuzz targets.
+# The bounded -fuzzminimizetime keeps fresh corpora from spending the
+# whole budget minimizing their first interesting inputs.
 fuzz:
-	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s ./internal/cluster/
-	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s ./internal/cluster/
-	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s ./internal/trace/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeResync$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 cover:
 	$(GO) test -cover ./...

@@ -5,6 +5,7 @@
 //	flashcoopctl -addr 127.0.0.1:8001 write <lpn> <hex-bytes>
 //	flashcoopctl -addr 127.0.0.1:8001 read <lpn>
 //	flashcoopctl -addr 127.0.0.1:8001 stats
+//	flashcoopctl -addr 127.0.0.1:8001 health
 //	flashcoopctl -addr 127.0.0.1:8001 bench -n 1000   # sequential write benchmark
 package main
 
@@ -60,6 +61,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(resp)
+	case "health":
+		resp, err := call(conn, rd, "HEALTH")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(resp)
 	case "bench":
 		start := time.Now()
 		for i := 0; i < *n; i++ {
@@ -96,7 +103,7 @@ func call(conn net.Conn, rd *bufio.Reader, line string) (string, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | bench [-n count]")
+	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | bench [-n count]")
 	os.Exit(2)
 }
 

@@ -5,6 +5,7 @@
 //	WRITE <lpn> <hex-bytes...>   write one page (payload zero-padded)
 //	READ <lpn>                   read one page (prints first 16 bytes hex)
 //	STATS                        print node counters
+//	HEALTH                       print the peer lifecycle state and counters
 //	QUIT                         close the client connection
 //
 // Usage:
@@ -34,15 +35,15 @@ import (
 
 func main() {
 	var (
-		listen  = flag.String("listen", "127.0.0.1:7001", "partner-facing address")
-		client  = flag.String("client", "127.0.0.1:8001", "client-facing address")
-		peer    = flag.String("peer", "", "partner address (empty = degraded)")
-		policy  = flag.String("policy", flashcoop.PolicyLAR, "buffer policy: lar, lru, lfu")
-		bufPg   = flag.Int("buffer", 8192, "local buffer pages")
-		remote  = flag.Int("remote", 8192, "remote buffer pages")
-		blocks  = flag.Int("blocks", 2048, "SSD erase blocks")
-		scheme  = flag.String("ftl", "bast", "FTL scheme")
-		recover = flag.Bool("recover", false, "recover dirty data from the partner on startup")
+		listen   = flag.String("listen", "127.0.0.1:7001", "partner-facing address")
+		client   = flag.String("client", "127.0.0.1:8001", "client-facing address")
+		peer     = flag.String("peer", "", "partner address (empty = degraded)")
+		policy   = flag.String("policy", flashcoop.PolicyLAR, "buffer policy: lar, lru, lfu")
+		bufPg    = flag.Int("buffer", 8192, "local buffer pages")
+		remote   = flag.Int("remote", 8192, "remote buffer pages")
+		blocks   = flag.Int("blocks", 2048, "SSD erase blocks")
+		scheme   = flag.String("ftl", "bast", "FTL scheme")
+		recover  = flag.Bool("recover", false, "recover dirty data from the partner on startup")
 		dataDir  = flag.String("datadir", "", "persist flushed pages here (survives restarts)")
 		syncW    = flag.Bool("sync", false, "fsync the page store on every persist")
 		batch    = flag.Int("batch", 0, "max pages group-committed per forward frame (0 = default)")
@@ -184,10 +185,18 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			if st.FwdFrames > 0 {
 				batching = float64(st.Forwards) / float64(st.FwdFrames)
 			}
-			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d fwdFrames=%d batching=%.2f persists=%d failovers=%d rebalances=%d peerAlive=%v "+
+			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d fwdFrames=%d batching=%.2f persists=%d failovers=%d rebalances=%d peerAlive=%v state=%s "+
+				"rejoins=%d resynced=%d overloads=%d breakerTrips=%d "+
 				"wlat_p50=%.3fms wlat_p95=%.3fms wlat_p99=%.3fms flat_p50=%.3fms flat_p95=%.3fms flat_p99=%.3fms\n",
-				st.Writes, st.Reads, st.Forwards, st.FwdFrames, batching, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive(),
+				st.Writes, st.Reads, st.Forwards, st.FwdFrames, batching, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive(), node.PeerLifecycle(),
+				st.Rejoins, st.ResyncedPages, st.Overloads, st.BreakerTrips,
 				wl.P50, wl.P95, wl.P99, fl.P50, fl.P95, fl.P99)
+		case "HEALTH":
+			st := node.Stats()
+			fmt.Fprintf(conn, "OK state=%s peerAlive=%v failovers=%d suspects=%d probes=%d probeFailures=%d rejoins=%d "+
+				"resyncedPages=%d resyncFailures=%d journalDrops=%d overloads=%d breakerTrips=%d\n",
+				node.PeerLifecycle(), node.PeerAlive(), st.Failovers, st.Suspects, st.Probes, st.ProbeFailures, st.Rejoins,
+				st.ResyncedPages, st.ResyncFailures, st.JournalDrops, st.Overloads, st.BreakerTrips)
 		case "QUIT":
 			return
 		default:

@@ -95,6 +95,17 @@ func TestClientProtocolErrors(t *testing.T) {
 	}
 }
 
+func TestClientProtocolHealth(t *testing.T) {
+	node := testNode(t)
+	resps := protoSession(t, node, []string{"HEALTH"})
+	// A solo node never joined a pair, so it reports degraded.
+	for _, want := range []string{"OK state=degraded", "peerAlive=false", "rejoins=0", "overloads=0"} {
+		if !strings.Contains(resps[0], want) {
+			t.Errorf("HEALTH missing %q: %q", want, resps[0])
+		}
+	}
+}
+
 func TestClientProtocolQuit(t *testing.T) {
 	node := testNode(t)
 	server, client := net.Pipe()

@@ -12,19 +12,31 @@
 //	loadgen [-writers 8] [-ops 40000] [-pages 1] [-span 256] [-policy lar]
 //	        [-buffer 16384] [-remote 16384] [-blocks 8192]
 //	        [-batch 64] [-inflight 4] [-compare] [-json BENCH_cluster.json]
+//
+// With -flap N the workload changes to a resilience drill instead: the
+// writer node's transport runs through a seeded fault injector, and the
+// link to the partner is cut and healed N times while the writers run.
+// The drill reports how many writes were acked, shed (ErrOverloaded), and
+// failed, plus the failover/rejoin/resync counters, so the cost of a
+// flapping link is tracked the same way raw throughput is:
+//
+//	loadgen -flap 3 [-flap-seed 1] [-writers 8] [-json BENCH_cluster.json]
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flashcoop"
+	"flashcoop/internal/faultnet"
 	"flashcoop/internal/metrics"
 )
 
@@ -60,6 +72,22 @@ type runResult struct {
 	BatchingFactor float64 `json:"batching_factor"`
 }
 
+// flapResult is one -flap drill: N partition/heal cycles under load.
+type flapResult struct {
+	Cycles        int     `json:"cycles"`
+	Seed          int64   `json:"seed"`
+	Writers       int     `json:"writers"`
+	Seconds       float64 `json:"seconds"`
+	Acked         int64   `json:"acked"`
+	Shed          int64   `json:"shed"`
+	Failed        int64   `json:"failed"`
+	Failovers     int64   `json:"failovers"`
+	Rejoins       int64   `json:"rejoins"`
+	ResyncedPages int64   `json:"resynced_pages"`
+	Overloads     int64   `json:"overloads"`
+	BreakerTrips  int64   `json:"breaker_trips"`
+}
+
 type report struct {
 	GeneratedAt string      `json:"generated_at"`
 	GoVersion   string      `json:"go_version"`
@@ -67,7 +95,8 @@ type report struct {
 	Runs        []runResult `json:"runs"`
 	// Speedup is pipelined writes/sec over sync writes/sec (0 when only
 	// one run was requested).
-	Speedup float64 `json:"speedup,omitempty"`
+	Speedup float64     `json:"speedup,omitempty"`
+	Flap    *flapResult `json:"flap,omitempty"`
 }
 
 func main() {
@@ -75,6 +104,8 @@ func main() {
 		opt      options
 		compare  = flag.Bool("compare", true, "also run the synchronous (batch=1, inflight=1) configuration and report speedup")
 		jsonPath = flag.String("json", "", "write results to this JSON file (e.g. BENCH_cluster.json)")
+		flap     = flag.Int("flap", 0, "run a link-flap drill with this many partition/heal cycles instead of the throughput runs (0 = off)")
+		flapSeed = flag.Int64("flap-seed", 1, "fault-injector seed for -flap (drills are reproducible per seed)")
 	)
 	flag.IntVar(&opt.writers, "writers", 8, "concurrent writer goroutines")
 	flag.IntVar(&opt.ops, "ops", 40000, "total writes, split across writers")
@@ -92,6 +123,20 @@ func main() {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		CPUs:        runtime.NumCPU(),
+	}
+	if *flap > 0 {
+		fr, err := runFlap(opt, *flap, *flapSeed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.Flap = &fr
+		fmt.Printf("link-flap drill: %d cycles in %.2fs (seed %d, %d writers)\n",
+			fr.Cycles, fr.Seconds, fr.Seed, fr.Writers)
+		fmt.Printf("  writes: %d acked, %d shed (ErrOverloaded), %d failed\n", fr.Acked, fr.Shed, fr.Failed)
+		fmt.Printf("  lifecycle: %d failovers, %d rejoins, %d pages resynced, %d overloads, %d breaker trips\n",
+			fr.Failovers, fr.Rejoins, fr.ResyncedPages, fr.Overloads, fr.BreakerTrips)
+		writeReport(rep, *jsonPath)
+		return
 	}
 	if *compare {
 		sync, err := runOnce("sync", opt, 1, 1)
@@ -126,16 +171,21 @@ func main() {
 	if rep.Speedup > 0 {
 		fmt.Printf("\npipelined/sync speedup: %.2fx\n", rep.Speedup)
 	}
-	if *jsonPath != "" {
-		out, err := json.MarshalIndent(rep, "", "  ")
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+	writeReport(rep, *jsonPath)
+}
+
+func writeReport(rep report, jsonPath string) {
+	if jsonPath == "" {
+		return
 	}
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(jsonPath, append(out, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", jsonPath)
 }
 
 // runOnce brings up a fresh pair and pushes the whole workload through it.
@@ -229,4 +279,122 @@ func runOnce(name string, opt options, batch, inflight int) (runResult, error) {
 		r.BatchingFactor = float64(st.Forwards) / float64(st.FwdFrames)
 	}
 	return r, nil
+}
+
+// runFlap cuts and heals the writer→backup link cycles times while the
+// writers keep running, and reports how the pair rode it out. A fast
+// heartbeat makes the failover/rejoin walk visible in seconds rather than
+// the production-scale defaults.
+func runFlap(opt options, cycles int, seed int64) (flapResult, error) {
+	nw := faultnet.New(seed)
+	backup, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "backup", ListenAddr: "127.0.0.1:0",
+		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+		SSD: flashcoop.DefaultSSD("bast", opt.blocks),
+	})
+	if err != nil {
+		return flapResult{}, err
+	}
+	defer backup.Close()
+	writer, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "writer", ListenAddr: "127.0.0.1:0", PeerAddr: backup.Addr(),
+		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+		SSD:           flashcoop.DefaultSSD("bast", opt.blocks),
+		MaxBatchPages: opt.batch, MaxInflight: opt.inflight,
+		HeartbeatInterval: 25 * time.Millisecond,
+		FailureThreshold:  2,
+		CallTimeout:       250 * time.Millisecond,
+		Dialer:            nw.Dial,
+		Listener:          nw.Listen,
+	})
+	if err != nil {
+		return flapResult{}, err
+	}
+	defer writer.Close()
+	if err := writer.ConnectPeer(); err != nil {
+		return flapResult{}, err
+	}
+	writer.StartHeartbeat()
+
+	ps := writer.Device().PageSize()
+	span := int64(opt.span) * int64(opt.pages)
+	if max := writer.Device().UserPages() / int64(opt.writers); span > max {
+		span = max
+	}
+	var acked, shed, failed int64
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < opt.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			buf := make([]byte, opt.pages*ps)
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			base := int64(w) * span
+			for i := int64(0); ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				err := writer.Write(base+(i*int64(opt.pages))%span, buf)
+				switch {
+				case err == nil:
+					atomic.AddInt64(&acked, 1)
+				case errors.Is(err, flashcoop.ErrOverloaded):
+					atomic.AddInt64(&shed, 1)
+				default:
+					atomic.AddInt64(&failed, 1)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		before := writer.Stats().Rejoins
+		nw.SetPartitioned(true)
+		if err := waitUntil(10*time.Second, func() bool { return !writer.PeerAlive() }); err != nil {
+			return flapResult{}, fmt.Errorf("cycle %d: failover: %w", c+1, err)
+		}
+		time.Sleep(150 * time.Millisecond) // degraded writes fill the resync journal
+		nw.SetPartitioned(false)
+		if err := waitUntil(20*time.Second, func() bool {
+			return writer.PeerAlive() && writer.Stats().Rejoins > before
+		}); err != nil {
+			return flapResult{}, fmt.Errorf("cycle %d: rejoin: %w", c+1, err)
+		}
+		time.Sleep(100 * time.Millisecond) // cooperative traffic resumes
+	}
+	elapsed := time.Since(start).Seconds()
+	close(done)
+	wg.Wait()
+
+	st := writer.Stats()
+	return flapResult{
+		Cycles: cycles, Seed: seed, Writers: opt.writers,
+		Seconds:       elapsed,
+		Acked:         atomic.LoadInt64(&acked),
+		Shed:          atomic.LoadInt64(&shed),
+		Failed:        atomic.LoadInt64(&failed),
+		Failovers:     st.Failovers,
+		Rejoins:       st.Rejoins,
+		ResyncedPages: st.ResyncedPages,
+		Overloads:     st.Overloads,
+		BreakerTrips:  st.BreakerTrips,
+	}, nil
+}
+
+func waitUntil(timeout time.Duration, cond func() bool) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("condition not reached within %v", timeout)
 }

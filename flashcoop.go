@@ -119,7 +119,26 @@ type (
 	LiveStats = cluster.LiveStats
 	// LatencyStats summarizes a live node's latency percentiles (ms).
 	LatencyStats = cluster.LatencyStats
+	// PeerState is a live node's partner lifecycle state.
+	PeerState = cluster.PeerState
 )
+
+// Peer lifecycle states (see LiveNode.PeerLifecycle): cooperative
+// buffering is on in StateHealthy (and pre-failover StateSuspect); a node
+// that failed over walks Probing→Resyncing back to Healthy, re-replicating
+// the writes it persisted alone before backups resume.
+const (
+	StateHealthy   = cluster.StateHealthy
+	StateSuspect   = cluster.StateSuspect
+	StateDegraded  = cluster.StateDegraded
+	StateProbing   = cluster.StateProbing
+	StateResyncing = cluster.StateResyncing
+)
+
+// ErrOverloaded is returned by LiveNode.Write when the bounded admission
+// queue (or the forward pipeline) stays saturated past the configured
+// write deadline; the write was shed, not acknowledged.
+var ErrOverloaded = cluster.ErrOverloaded
 
 // NewNode constructs a stand-alone simulated node; attach a partner with
 // Node.Attach or use NewPair.

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+	"time"
 )
 
 // errNodeClosing aborts forwards caught in a shutdown.
@@ -112,6 +113,7 @@ func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
 	if !batch[0].isDiscard() {
 		atomic.AddInt64(&n.stats.FwdFrames, 1)
 	}
+	t0 := time.Now()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -121,6 +123,17 @@ func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
 			err = fmt.Errorf("cluster: unexpected forward response %v", resp.Type)
 		}
 		ackBatch(batch, err)
+		// Feed the circuit breaker with the frame's service time: a
+		// partner answering, but so slowly that the inflight window stays
+		// saturated, eventually trips the node to Degraded just as a dead
+		// partner would (failed frames already degrade via the writer).
+		if err == nil && !batch[0].isDiscard() && n.brk.observe(int64(time.Since(t0))) {
+			atomic.AddInt64(&n.stats.BreakerTrips, 1)
+			n.mu.Lock()
+			act := n.lc.forwardFailed()
+			n.mu.Unlock()
+			n.applyAction(act)
+		}
 	}()
 }
 
@@ -180,14 +193,29 @@ func (n *LiveNode) drainForwardQueue() {
 	}
 }
 
-// enqueueForward queues a write backup and returns its ack channel. It
-// blocks when the queue is full (backpressure on writers) and fails fast
-// during shutdown.
+// enqueueForward queues a write backup and returns its ack channel. A
+// momentarily full queue applies backpressure, but only up to the write
+// deadline: past it the write is shed with ErrOverloaded rather than
+// queueing without bound behind a saturated pipeline. Fails fast during
+// shutdown.
 func (n *LiveNode) enqueueForward(lpns []int64, stamps []uint64, data []byte) (chan error, error) {
 	done := make(chan error, 1)
+	e := fwdEntry{lpns: lpns, stamps: stamps, data: data, done: done}
 	select {
-	case n.fwdq <- fwdEntry{lpns: lpns, stamps: stamps, data: data, done: done}:
+	case n.fwdq <- e:
 		return done, nil
+	case <-n.stop:
+		return nil, errNodeClosing
+	default:
+	}
+	t := time.NewTimer(n.cfg.WriteDeadline)
+	defer t.Stop()
+	select {
+	case n.fwdq <- e:
+		return done, nil
+	case <-t.C:
+		atomic.AddInt64(&n.stats.Overloads, 1)
+		return nil, ErrOverloaded
 	case <-n.stop:
 		return nil, errNodeClosing
 	}

@@ -5,6 +5,9 @@ import (
 	"math"
 	"reflect"
 	"testing"
+
+	"flashcoop/internal/core"
+	"flashcoop/internal/ssd"
 )
 
 // messagesEqual compares two messages field by field, with Info floats
@@ -35,6 +38,7 @@ func fuzzSeedMessages() []*Message {
 		{Type: MsgRCTData, Seq: 9, LPNs: []int64{7}, Stamps: []uint64{3}, Data: bytes.Repeat([]byte{0xAB}, 512)},
 		{Type: MsgWorkloadInfo, Seq: 2, Info: Info{WriteFrac: 0.75, Mem: 0.5, CPU: 0.1, Net: 0.9}},
 		{Type: MsgError, Seq: 3, Err: "something broke"},
+		{Type: MsgResync, Seq: 11, LPNs: []int64{4, 5}, Stamps: []uint64{8, 2}, Data: bytes.Repeat([]byte{0xCD}, 1024)},
 	}
 }
 
@@ -66,6 +70,71 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if !messagesEqual(&m, &m2) {
 			t.Fatalf("round trip changed the message:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeResync decodes arbitrary bytes as a MsgResync frame and feeds
+// the result to a live node's request handler: the stamp-guarded RCT
+// insert must reject malformed shapes (payload/stamp count mismatches,
+// hostile LPNs) with MsgError, never panic, and any accepted frame must
+// survive a marshal round trip. This is the path a partner's rejoin
+// stream arrives on, so a malicious or corrupted peer must not be able to
+// crash the backup side.
+func FuzzDecodeResync(f *testing.F) {
+	// A bare node, not NewLiveNode: the resync handler only needs the RCT
+	// side, and skipping the listener + background goroutines keeps each
+	// fuzz worker process self-contained.
+	dev, err := ssd.New(liveSSD())
+	if err != nil {
+		f.Fatal(err)
+	}
+	n := &LiveNode{
+		dev:         dev,
+		remote:      core.NewRemoteStore(128),
+		remoteData:  make(map[int64][]byte),
+		remoteStamp: make(map[int64]uint64),
+	}
+	ps := dev.PageSize()
+	n.pagePool.New = func() any { return make([]byte, ps) }
+
+	well := &Message{Type: MsgResync, Seq: 1, LPNs: []int64{0, 3}, Stamps: []uint64{5, 6}, Data: make([]byte, 2*ps)}
+	short := &Message{Type: MsgResync, Seq: 2, LPNs: []int64{1}, Stamps: []uint64{1}, Data: []byte{0xEE}}
+	skewed := &Message{Type: MsgResync, Seq: 3, LPNs: []int64{2, 4}, Stamps: []uint64{7}, Data: make([]byte, 2*ps)}
+	hostile := &Message{Type: MsgResync, Seq: 4, LPNs: []int64{-9, 1 << 50}, Stamps: []uint64{^uint64(0), 0}, Data: make([]byte, 2*ps)}
+	for _, m := range []*Message{well, short, skewed, hostile} {
+		b, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unmarshal(data); err != nil {
+			return
+		}
+		// Every decodable message is retyped into the resync path so the
+		// handler's shape validation sees the full input space, not just
+		// the tiny fraction that fuzzed the type byte right.
+		m.Type = MsgResync
+		resp := n.handle(&m)
+		if resp == nil {
+			t.Fatal("handler returned no response")
+		}
+		if resp.Type != MsgResyncAck && resp.Type != MsgError {
+			t.Fatalf("resync frame answered with %v, want resync-ack or error", resp.Type)
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("decoded resync frame failed to re-marshal: %v", err)
+		}
+		var m2 Message
+		if err := m2.Unmarshal(b); err != nil {
+			t.Fatalf("re-marshaled resync frame failed to decode: %v", err)
+		}
+		if !messagesEqual(&m, &m2) {
+			t.Fatalf("round trip changed the frame:\n  first:  %+v\n  second: %+v", m, m2)
 		}
 	})
 }

@@ -1,0 +1,215 @@
+package cluster
+
+import "fmt"
+
+// PeerState is one stage of the partner lifecycle. The pair moves through
+// an explicit state machine instead of a peerAlive boolean, because
+// re-admission after an outage is a protocol step, not a flag flip: pages
+// written through degraded mode must be re-replicated (Resyncing) before
+// cooperative buffering may resume, or the "every acked dirty page has a
+// remote backup" invariant is silently violated after any transient
+// partition.
+//
+//	          hb miss                    probe ok
+//	Healthy ─────────► Suspect          Probing ────► Resyncing
+//	   │                 │  ▲              ▲  │            │
+//	   │ forward fail    │  └──────────────┘  │            │ journal
+//	   │                 │   probe failed     │            │ drained
+//	   │     threshold   ▼                    │            ▼
+//	   └──────────────► Degraded ─────────────┘         Healthy
+//	                        ▲      probe attempt
+//	                        └── Resyncing (mid-stream failure)
+type PeerState uint32
+
+// Peer lifecycle states. StateDegraded is the zero value: a node starts
+// alone (write-through) until ConnectPeer or a probe completes a resync.
+const (
+	StateDegraded  PeerState = iota // partner lost (or never joined): write-through
+	StateHealthy                    // cooperative buffering active
+	StateSuspect                    // heartbeat misses below FailureThreshold
+	StateProbing                    // failed over; re-dialing the partner with backoff
+	StateResyncing                  // partner answered; streaming the degraded-write journal
+)
+
+// String names the state (lower-case, used in STATS/HEALTH output).
+func (s PeerState) String() string {
+	switch s {
+	case StateDegraded:
+		return "degraded"
+	case StateHealthy:
+		return "healthy"
+	case StateSuspect:
+		return "suspect"
+	case StateProbing:
+		return "probing"
+	case StateResyncing:
+		return "resyncing"
+	}
+	return fmt.Sprintf("PeerState(%d)", uint32(s))
+}
+
+// legalEdges is the full transition relation. Anything not listed here is
+// a bug in the event methods below, caught by mustTo.
+var legalEdges = map[PeerState]map[PeerState]bool{
+	StateHealthy:   {StateSuspect: true, StateDegraded: true},
+	StateSuspect:   {StateHealthy: true, StateDegraded: true, StateProbing: true},
+	StateDegraded:  {StateProbing: true},
+	StateProbing:   {StateResyncing: true, StateSuspect: true},
+	StateResyncing: {StateHealthy: true, StateDegraded: true},
+}
+
+// lcAction tells the LiveNode what side effect an event demands. The
+// machine itself is pure (no I/O, no locks, no goroutines); the node
+// executes actions outside its mutex.
+type lcAction int
+
+const (
+	lcNone      lcAction = iota
+	lcFailover           // a live cooperative session was lost: flush dirty data, start probing
+	lcKickProbe          // contact while failed over: wake the prober now instead of waiting out its backoff
+)
+
+// lifecycle is the pure peer state machine. All access is guarded by the
+// owning LiveNode's mutex.
+type lifecycle struct {
+	state     PeerState
+	missed    int // consecutive failed contacts (heartbeats or probes)
+	threshold int // misses tolerated before Suspect collapses to Degraded
+	// failedOver distinguishes the two flavors of Suspect: before failover
+	// the cooperative session is still live (a lone heartbeat miss must not
+	// stop replication), after failover a heartbeat success alone must NOT
+	// re-enter cooperative mode — only a completed resync may.
+	failedOver bool
+}
+
+// to performs one transition, rejecting anything outside legalEdges.
+func (l *lifecycle) to(next PeerState) error {
+	if !legalEdges[l.state][next] {
+		return fmt.Errorf("cluster: illegal peer transition %v -> %v", l.state, next)
+	}
+	l.state = next
+	return nil
+}
+
+// mustTo is to() for the event methods, whose transitions are legal by
+// construction; a failure here is a programming error.
+func (l *lifecycle) mustTo(next PeerState) {
+	if err := l.to(next); err != nil {
+		panic(err)
+	}
+}
+
+// alive reports whether cooperative buffering is on: Healthy, or Suspect
+// with the session still live (pre-failover misses don't stop forwarding).
+func (l *lifecycle) alive() bool {
+	return l.state == StateHealthy || (l.state == StateSuspect && !l.failedOver)
+}
+
+// heartbeatOK handles a successful heartbeat round trip.
+func (l *lifecycle) heartbeatOK() lcAction {
+	l.missed = 0
+	switch l.state {
+	case StateSuspect:
+		if l.failedOver {
+			// The partner answers again but cooperative mode stays off
+			// until the degraded-write journal is resynced; hand the
+			// recovery to the prober (the silent-rejoin bug was exactly
+			// flipping alive here).
+			return lcKickProbe
+		}
+		l.mustTo(StateHealthy)
+		return lcNone
+	case StateDegraded:
+		return lcKickProbe
+	default:
+		// Healthy: nothing to do. Probing/Resyncing: the prober owns
+		// progress; a concurrent heartbeat must not interfere.
+		return lcNone
+	}
+}
+
+// heartbeatMiss handles a failed heartbeat round trip.
+func (l *lifecycle) heartbeatMiss() lcAction {
+	switch l.state {
+	case StateHealthy:
+		l.missed++
+		l.mustTo(StateSuspect)
+		if l.missed >= l.threshold {
+			return l.failoverLocked()
+		}
+		return lcNone
+	case StateSuspect:
+		l.missed++
+		if l.missed < l.threshold {
+			return lcNone
+		}
+		if l.failedOver {
+			// Already failed over (e.g. a probe regressed us to Suspect);
+			// no second flush is owed.
+			l.mustTo(StateDegraded)
+			return lcNone
+		}
+		return l.failoverLocked()
+	default:
+		// Degraded/Probing/Resyncing: misses carry no new information.
+		return lcNone
+	}
+}
+
+// forwardFailed handles a backup forward failing while cooperative mode
+// was on — hard evidence, so Suspect's tolerance does not apply.
+func (l *lifecycle) forwardFailed() lcAction {
+	switch l.state {
+	case StateHealthy:
+		l.mustTo(StateDegraded)
+		l.failedOver = true
+		return lcFailover
+	case StateSuspect:
+		if l.failedOver {
+			return lcNone
+		}
+		return l.failoverLocked()
+	default:
+		return lcNone
+	}
+}
+
+// failoverLocked collapses a live session to Degraded. Callers have
+// established the session was live (failedOver false).
+func (l *lifecycle) failoverLocked() lcAction {
+	if l.state != StateDegraded {
+		l.mustTo(StateDegraded)
+	}
+	l.failedOver = true
+	return lcFailover
+}
+
+// probeStart moves Degraded or post-failover Suspect into Probing.
+func (l *lifecycle) probeStart() { l.mustTo(StateProbing) }
+
+// probeOK records a probe round trip: the partner is reachable, begin
+// streaming the degraded-write journal.
+func (l *lifecycle) probeOK() { l.mustTo(StateResyncing) }
+
+// probeFailed regresses Probing to Suspect (hysteresis: one answered probe
+// does not have to mean a stable link) and, once the miss budget is spent,
+// to Degraded so the prober falls back to its backoff cadence.
+func (l *lifecycle) probeFailed() {
+	l.missed++
+	l.mustTo(StateSuspect)
+	if l.missed >= l.threshold {
+		l.mustTo(StateDegraded)
+	}
+}
+
+// resyncDone completes the rejoin: every degraded write is re-replicated,
+// cooperative buffering resumes.
+func (l *lifecycle) resyncDone() {
+	l.mustTo(StateHealthy)
+	l.missed = 0
+	l.failedOver = false
+}
+
+// resyncFailed aborts a mid-stream resync (reset, timeout, stall) back to
+// Degraded; the journal keeps the unsent pages for the next attempt.
+func (l *lifecycle) resyncFailed() { l.mustTo(StateDegraded) }

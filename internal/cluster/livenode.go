@@ -38,6 +38,34 @@ type LiveConfig struct {
 	HeartbeatInterval time.Duration // default 500ms
 	FailureThreshold  int           // default 3
 	CallTimeout       time.Duration // default 2s
+	// BulkTimeout bounds the large single-frame transfers — the RCT fetch
+	// and clean of RecoverFromPeer, and each MsgResync chunk — so a hung
+	// partner cannot wedge recovery forever, without tarring a big but
+	// healthy frame with the per-page CallTimeout. Default 5×CallTimeout.
+	BulkTimeout time.Duration
+
+	// Overload protection. AdmissionLimit bounds how many Writes may be in
+	// the node at once; a write that cannot be admitted within
+	// WriteDeadline is shed with ErrOverloaded instead of queueing without
+	// bound (default 1024 / CallTimeout). The same deadline bounds how
+	// long an admitted write may wait for space in the forward queue.
+	// BreakerThreshold and BreakerWindow drive the forwarder's circuit
+	// breaker: BreakerWindow consecutive forward frames each slower than
+	// BreakerThreshold trip the node to Degraded (peer technically up but
+	// saturated); the trip feeds the same lifecycle machinery as a failed
+	// heartbeat, so the prober + resync bring the pair back once the
+	// partner recovers. Defaults CallTimeout/2 and 16; BreakerThreshold<0
+	// disables the breaker.
+	AdmissionLimit   int
+	WriteDeadline    time.Duration
+	BreakerThreshold time.Duration
+	BreakerWindow    int
+
+	// ResyncJournalLimit caps the degraded-write journal (lpn→stamp, so
+	// ~16 bytes/entry). Pages dropped beyond the cap are counted and
+	// simply not resynced — they are durable locally and the stamp guards
+	// keep the partner from ever serving a staler version. Default 262144.
+	ResyncJournalLimit int
 
 	// Replication pipeline knobs. MaxBatchPages caps how many pages the
 	// forwarder group-commits into one MsgWriteFwd frame; MaxInflight caps
@@ -82,6 +110,24 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	if c.ForwardQueue <= 0 {
 		c.ForwardQueue = 256
 	}
+	if c.BulkTimeout == 0 {
+		c.BulkTimeout = 5 * c.CallTimeout
+	}
+	if c.AdmissionLimit <= 0 {
+		c.AdmissionLimit = 1024
+	}
+	if c.WriteDeadline == 0 {
+		c.WriteDeadline = c.CallTimeout
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = c.CallTimeout / 2
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 16
+	}
+	if c.ResyncJournalLimit <= 0 {
+		c.ResyncJournalLimit = 1 << 18
+	}
 	return c
 }
 
@@ -105,6 +151,19 @@ type LiveStats struct {
 	// stamp (e.g. the page was written through degraded mode while the
 	// partner still held an old backup).
 	StaleRecoverySkips int64
+
+	// Lifecycle counters (see lifecycle.go).
+	Suspects       int64 // Healthy→Suspect transitions (first heartbeat miss)
+	Probes         int64 // probe round trips attempted while failed over
+	ProbeFailures  int64 // probes the partner did not answer
+	Rejoins        int64 // completed Resyncing→Healthy transitions after a failover
+	ResyncedPages  int64 // degraded-write pages re-replicated during rejoins
+	ResyncFailures int64 // resync streams aborted mid-flight (back to Degraded)
+	JournalDrops   int64 // degraded writes not journaled (journal at capacity)
+
+	// Overload counters.
+	Overloads    int64 // writes shed with ErrOverloaded
+	BreakerTrips int64 // circuit-breaker trips to Degraded on saturated forwards
 }
 
 // LatencyStats summarizes a latency distribution; quantiles are in
@@ -123,20 +182,30 @@ type LatencyStats struct {
 type LiveNode struct {
 	cfg LiveConfig
 
-	mu          sync.Mutex
-	buf         buffer.Cache
-	dirtyData   map[int64][]byte  // payloads of locally buffered dirty pages
-	dirtyStamp  map[int64]uint64  // write stamps of those pages
-	stamp       uint64            // monotonic write stamp; resumes from store.maxStamp()
-	store       pageStore         // the "SSD" contents (durable medium)
-	dev         *ssd.Device
-	remote      *core.RemoteStore
-	remoteData  map[int64][]byte  // payloads backed up for the partner
-	remoteStamp map[int64]uint64  // write stamps of those backups
-	peerAlive   bool
-	missed      int
-	winReads    int64 // workload window for dynamic allocation
-	winWrites   int64
+	mu            sync.Mutex
+	buf           buffer.Cache
+	dirtyData     map[int64][]byte // payloads of locally buffered dirty pages
+	dirtyStamp    map[int64]uint64 // write stamps of those pages
+	stamp         uint64           // monotonic write stamp; resumes from store.maxStamp()
+	store         pageStore        // the "SSD" contents (durable medium)
+	dev           *ssd.Device
+	remote        *core.RemoteStore
+	remoteData    map[int64][]byte // payloads backed up for the partner
+	remoteStamp   map[int64]uint64 // write stamps of those backups
+	lc            lifecycle        // peer lifecycle state machine (see lifecycle.go)
+	outage        map[int64]uint64 // degraded-write journal: lpn → stamp at write-through
+	proberRunning bool
+	closing       bool  // set by shutdown before stop closes; gates prober starts
+	winReads      int64 // workload window for dynamic allocation
+	winWrites     int64
+
+	// resyncMu serializes rejoin attempts: the background prober and an
+	// explicit ConnectPeer may race, and only one of them may own the
+	// Probing→Resyncing→Healthy walk at a time.
+	resyncMu  sync.Mutex
+	probeKick chan struct{} // buffered(1): wakes the prober out of its backoff sleep
+	admit     chan struct{} // write admission semaphore (AdmissionLimit slots)
+	brk       breaker
 
 	stats    LiveStats // atomic access only
 	pagePool sync.Pool // page-size []byte buffers for dirtyData/remoteData
@@ -199,6 +268,11 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		remote:      core.NewRemoteStore(cfg.RemotePages),
 		remoteData:  make(map[int64][]byte),
 		remoteStamp: make(map[int64]uint64),
+		lc:          lifecycle{state: StateDegraded, threshold: cfg.FailureThreshold},
+		outage:      make(map[int64]uint64),
+		probeKick:   make(chan struct{}, 1),
+		admit:       make(chan struct{}, cfg.AdmissionLimit),
+		brk:         breaker{threshold: int64(cfg.BreakerThreshold), window: int32(cfg.BreakerWindow)},
 		fwdq:        make(chan fwdEntry, cfg.ForwardQueue),
 		ln:          ln,
 		start:       time.Now(),
@@ -225,18 +299,27 @@ func (n *LiveNode) Addr() string { return n.ln.Addr().String() }
 // Stats returns a snapshot of the node's counters.
 func (n *LiveNode) Stats() LiveStats {
 	return LiveStats{
-		Writes:          atomic.LoadInt64(&n.stats.Writes),
-		Reads:           atomic.LoadInt64(&n.stats.Reads),
-		Forwards:        atomic.LoadInt64(&n.stats.Forwards),
-		FwdFrames:       atomic.LoadInt64(&n.stats.FwdFrames),
-		ForwardFailures: atomic.LoadInt64(&n.stats.ForwardFailures),
-		DiscardDrops:    atomic.LoadInt64(&n.stats.DiscardDrops),
-		Persists:        atomic.LoadInt64(&n.stats.Persists),
+		Writes:             atomic.LoadInt64(&n.stats.Writes),
+		Reads:              atomic.LoadInt64(&n.stats.Reads),
+		Forwards:           atomic.LoadInt64(&n.stats.Forwards),
+		FwdFrames:          atomic.LoadInt64(&n.stats.FwdFrames),
+		ForwardFailures:    atomic.LoadInt64(&n.stats.ForwardFailures),
+		DiscardDrops:       atomic.LoadInt64(&n.stats.DiscardDrops),
+		Persists:           atomic.LoadInt64(&n.stats.Persists),
 		HeartbeatsSent:     atomic.LoadInt64(&n.stats.HeartbeatsSent),
 		HeartbeatMisses:    atomic.LoadInt64(&n.stats.HeartbeatMisses),
 		Failovers:          atomic.LoadInt64(&n.stats.Failovers),
 		Rebalances:         atomic.LoadInt64(&n.stats.Rebalances),
 		StaleRecoverySkips: atomic.LoadInt64(&n.stats.StaleRecoverySkips),
+		Suspects:           atomic.LoadInt64(&n.stats.Suspects),
+		Probes:             atomic.LoadInt64(&n.stats.Probes),
+		ProbeFailures:      atomic.LoadInt64(&n.stats.ProbeFailures),
+		Rejoins:            atomic.LoadInt64(&n.stats.Rejoins),
+		ResyncedPages:      atomic.LoadInt64(&n.stats.ResyncedPages),
+		ResyncFailures:     atomic.LoadInt64(&n.stats.ResyncFailures),
+		JournalDrops:       atomic.LoadInt64(&n.stats.JournalDrops),
+		Overloads:          atomic.LoadInt64(&n.stats.Overloads),
+		BreakerTrips:       atomic.LoadInt64(&n.stats.BreakerTrips),
 	}
 }
 
@@ -267,11 +350,21 @@ func (n *LiveNode) recordLatency(h *metrics.LatencyHist, since time.Time) {
 	n.latMu.Unlock()
 }
 
-// PeerAlive reports whether the partner is currently reachable.
+// PeerAlive reports whether cooperative buffering is currently on:
+// Healthy, or Suspect with the session still live. A node that failed
+// over stays not-alive until a resync completes, however many heartbeats
+// succeed in between.
 func (n *LiveNode) PeerAlive() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.peerAlive
+	return n.lc.alive()
+}
+
+// PeerLifecycle reports the partner lifecycle state.
+func (n *LiveNode) PeerLifecycle() PeerState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lc.state
 }
 
 // Device exposes the timing/wear model.
@@ -308,10 +401,18 @@ func (n *LiveNode) vnow() sim.VTime { return sim.FromDuration(time.Since(n.start
 // errNoPeer is returned by partner operations on a solo node.
 var errNoPeer = errors.New("cluster: no peer configured")
 
-// ConnectPeer dials the partner and performs the hello exchange.
+// ConnectPeer dials the partner, performs the hello exchange, and walks
+// the lifecycle to Healthy — including a resync of any degraded-write
+// journal, so a reconnect after an outage never skips re-replication.
 func (n *LiveNode) ConnectPeer() error {
 	if n.peer == nil {
 		return errNoPeer
+	}
+	n.mu.Lock()
+	healthy := n.lc.state == StateHealthy
+	n.mu.Unlock()
+	if healthy {
+		return nil
 	}
 	resp, err := n.peer.call(&Message{Type: MsgHello})
 	if err != nil {
@@ -320,11 +421,7 @@ func (n *LiveNode) ConnectPeer() error {
 	if resp.Type != MsgHelloAck {
 		return fmt.Errorf("cluster: unexpected hello response %v", resp.Type)
 	}
-	n.mu.Lock()
-	n.peerAlive = true
-	n.missed = 0
-	n.mu.Unlock()
-	return nil
+	return n.rejoin()
 }
 
 // StartHeartbeat launches the background availability monitor.
@@ -352,29 +449,40 @@ func (n *LiveNode) heartbeatOnce() {
 	atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
 	_, err := n.peer.call(&Message{Type: MsgHeartbeat})
 	n.mu.Lock()
+	var act lcAction
 	if err == nil {
-		n.missed = 0
-		if !n.peerAlive {
-			n.peerAlive = true // partner is back
+		act = n.lc.heartbeatOK()
+	} else {
+		atomic.AddInt64(&n.stats.HeartbeatMisses, 1)
+		before := n.lc.state
+		act = n.lc.heartbeatMiss()
+		if before == StateHealthy && n.lc.state != StateHealthy {
+			atomic.AddInt64(&n.stats.Suspects, 1)
 		}
-		n.mu.Unlock()
-		return
-	}
-	atomic.AddInt64(&n.stats.HeartbeatMisses, 1)
-	n.missed++
-	trigger := n.peerAlive && n.missed >= n.cfg.FailureThreshold
-	if trigger {
-		n.peerAlive = false
-		atomic.AddInt64(&n.stats.Failovers, 1)
 	}
 	n.mu.Unlock()
-	if trigger {
+	n.applyAction(act)
+}
+
+// applyAction executes the side effect a lifecycle event demanded; it must
+// be called without n.mu held.
+func (n *LiveNode) applyAction(act lcAction) {
+	switch act {
+	case lcFailover:
+		atomic.AddInt64(&n.stats.Failovers, 1)
+		n.startProber()
 		// Remote failure: buffered dirty data has lost its backup;
 		// make it durable immediately (paper Section III.D).
 		if err := n.FlushAll(); err != nil {
 			// The flush failing is unrecoverable state-wise; the
 			// data stays dirty and will be retried on next write.
 			_ = err
+		}
+	case lcKickProbe:
+		n.startProber()
+		select {
+		case n.probeKick <- struct{}{}:
+		default:
 		}
 	}
 }
@@ -394,6 +502,10 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 	}
 	pages := len(data) / ps
 	t0 := time.Now()
+	if err := n.admitWrite(); err != nil {
+		return err
+	}
+	defer n.releaseWrite()
 	atomic.AddInt64(&n.stats.Writes, 1)
 
 	// Copy payloads into pooled buffers before taking the lock.
@@ -420,7 +532,7 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 		n.dirtyStamp[p] = n.stamp
 	}
 	err := n.applyFlushLocked(res.Flush)
-	alive := n.peerAlive
+	alive := n.lc.alive()
 	n.mu.Unlock()
 	if err != nil {
 		return err
@@ -444,27 +556,63 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 			n.recordLatency(&n.writeLat, t0)
 			return nil
 		}
+		if errors.Is(ferr, ErrOverloaded) {
+			// Shedding is not a peer failure: the partner is fine, we are
+			// saturated. The write fails fast unacked (its page stays
+			// dirty locally and gets persisted by normal eviction).
+			return ferr
+		}
 		atomic.AddInt64(&n.stats.ForwardFailures, 1)
 		n.mu.Lock()
-		if n.peerAlive {
-			n.peerAlive = false
-			atomic.AddInt64(&n.stats.Failovers, 1)
-		}
+		act := n.lc.forwardFailed()
 		n.mu.Unlock()
+		n.applyAction(act)
 	}
-	// Degraded mode: no backup exists, write through synchronously.
+	// Degraded mode: no backup exists, write through synchronously — and
+	// journal the page so the resync stream re-replicates it on rejoin.
 	n.mu.Lock()
+	journal := n.peer != nil && !n.lc.alive()
 	for _, p := range lpns {
+		st := n.dirtyStamp[p]
 		if err := n.persistLocked(p); err != nil {
 			n.mu.Unlock()
 			return err
 		}
 		n.buf.MarkClean(p)
+		if journal {
+			n.journalLocked(p, st)
+		}
 	}
 	n.mu.Unlock()
 	n.recordLatency(&n.writeLat, t0)
 	return nil
 }
+
+// admitWrite claims one admission slot, shedding the write with
+// ErrOverloaded when none frees up within WriteDeadline. The fast path is
+// one non-blocking channel send.
+func (n *LiveNode) admitWrite() error {
+	select {
+	case n.admit <- struct{}{}:
+		return nil
+	case <-n.stop:
+		return errNodeClosing
+	default:
+	}
+	t := time.NewTimer(n.cfg.WriteDeadline)
+	defer t.Stop()
+	select {
+	case n.admit <- struct{}{}:
+		return nil
+	case <-t.C:
+		atomic.AddInt64(&n.stats.Overloads, 1)
+		return ErrOverloaded
+	case <-n.stop:
+		return errNodeClosing
+	}
+}
+
+func (n *LiveNode) releaseWrite() { <-n.admit }
 
 // Read returns the payload of `pages` pages starting at lpn. Unwritten
 // pages read as zeros.
@@ -539,7 +687,7 @@ func (n *LiveNode) applyFlushLocked(units []buffer.FlushUnit) error {
 			stamps = append(stamps, st)
 		}
 	}
-	if len(flushed) > 0 && n.peerAlive && n.peer != nil {
+	if len(flushed) > 0 && n.lc.alive() && n.peer != nil {
 		n.enqueueDiscard(flushed, stamps)
 	}
 	return nil
@@ -575,7 +723,9 @@ func (n *LiveNode) RecoverFromPeer() error {
 	if n.peer == nil {
 		return errNoPeer
 	}
-	resp, err := n.peer.call(&Message{Type: MsgFetchRCT})
+	// The RCT fetch moves the partner's whole remote buffer in one frame;
+	// budget it as a bulk transfer, not a per-page call.
+	resp, err := n.peer.callT(&Message{Type: MsgFetchRCT}, n.cfg.BulkTimeout)
 	if err != nil {
 		return err
 	}
@@ -610,7 +760,7 @@ func (n *LiveNode) RecoverFromPeer() error {
 		}
 	}
 	n.mu.Unlock()
-	_, err = n.peer.call(&Message{Type: MsgCleanRemote})
+	_, err = n.peer.callT(&Message{Type: MsgCleanRemote}, n.cfg.BulkTimeout)
 	return err
 }
 
@@ -646,6 +796,11 @@ func (n *LiveNode) closeStore() error {
 // and the peer client; it is safe to call more than once.
 func (n *LiveNode) shutdown() {
 	n.stopOnce.Do(func() {
+		// Mark closing under the mutex first so no new prober goroutine
+		// can wg.Add after wg.Wait has started.
+		n.mu.Lock()
+		n.closing = true
+		n.mu.Unlock()
 		close(n.stop)
 		n.ln.Close()
 		n.connsMu.Lock()
@@ -711,40 +866,13 @@ func (n *LiveNode) handle(m *Message) *Message {
 	case MsgHeartbeat:
 		return &Message{Type: MsgHeartbeatAck}
 	case MsgWriteFwd:
-		ps := n.dev.PageSize()
-		if len(m.Data) != len(m.LPNs)*ps {
-			return &Message{Type: MsgError, Err: "write-fwd payload size mismatch"}
-		}
-		if len(m.Stamps) != 0 && len(m.Stamps) != len(m.LPNs) {
-			return &Message{Type: MsgError, Err: "write-fwd stamp count mismatch"}
-		}
-		n.mu.Lock()
-		n.remote.Insert(m.LPNs)
-		for i, lpn := range m.LPNs {
-			if !n.remote.Contains(lpn) {
-				continue
-			}
-			var st uint64
-			if len(m.Stamps) > 0 {
-				st = m.Stamps[i]
-			}
-			// Writers enqueue forwards outside the node mutex, so two
-			// backups for one page can arrive in either order; keep the
-			// one with the newer stamp.
-			if cur, ok := n.remoteStamp[lpn]; ok && cur > st {
-				continue
-			}
-			pg := n.remoteData[lpn]
-			if pg == nil {
-				pg = n.getPage()
-			}
-			copy(pg, m.Data[i*ps:(i+1)*ps])
-			n.remoteData[lpn] = pg
-			n.remoteStamp[lpn] = st
-		}
-		n.gcRemoteDataLocked()
-		n.mu.Unlock()
-		return &Message{Type: MsgWriteAck}
+		return n.applyBackup(m, MsgWriteAck)
+	case MsgResync:
+		// A partner re-replicating its degraded-write journal after an
+		// outage. Identical stamp-guarded RCT insert as a live forward:
+		// resync frames may interleave with fresh forwards once the
+		// partner flips back to Healthy, and the newest stamp must win.
+		return n.applyBackup(m, MsgResyncAck)
 	case MsgDiscard:
 		n.mu.Lock()
 		dropped := m.LPNs
@@ -807,6 +935,45 @@ func (n *LiveNode) handle(m *Message) *Message {
 	default:
 		return &Message{Type: MsgError, Err: fmt.Sprintf("unhandled message %v", m.Type)}
 	}
+}
+
+// applyBackup inserts one frame of partner pages (a live MsgWriteFwd or a
+// rejoin MsgResync) into the RCT under the write-stamp guard.
+func (n *LiveNode) applyBackup(m *Message, ack MsgType) *Message {
+	ps := n.dev.PageSize()
+	if len(m.Data) != len(m.LPNs)*ps {
+		return &Message{Type: MsgError, Err: fmt.Sprintf("%v payload size mismatch", m.Type)}
+	}
+	if len(m.Stamps) != 0 && len(m.Stamps) != len(m.LPNs) {
+		return &Message{Type: MsgError, Err: fmt.Sprintf("%v stamp count mismatch", m.Type)}
+	}
+	n.mu.Lock()
+	n.remote.Insert(m.LPNs)
+	for i, lpn := range m.LPNs {
+		if !n.remote.Contains(lpn) {
+			continue
+		}
+		var st uint64
+		if len(m.Stamps) > 0 {
+			st = m.Stamps[i]
+		}
+		// Writers enqueue forwards outside the node mutex, so two
+		// backups for one page can arrive in either order; keep the
+		// one with the newer stamp.
+		if cur, ok := n.remoteStamp[lpn]; ok && cur > st {
+			continue
+		}
+		pg := n.remoteData[lpn]
+		if pg == nil {
+			pg = n.getPage()
+		}
+		copy(pg, m.Data[i*ps:(i+1)*ps])
+		n.remoteData[lpn] = pg
+		n.remoteStamp[lpn] = st
+	}
+	n.gcRemoteDataLocked()
+	n.mu.Unlock()
+	return &Message{Type: ack}
 }
 
 // gcRemoteDataLocked drops payloads whose RCT entries were evicted by

@@ -95,11 +95,18 @@ func newPeerClient(addr string, timeout time.Duration, dial dialFunc) *peerClien
 // call sends one request and waits for its response (or timeout). It is
 // safe for concurrent use; concurrent calls share the pipeline.
 func (p *peerClient) call(m *Message) (*Message, error) {
+	return p.callT(m, p.timeout)
+}
+
+// callT is call with a caller-chosen wait budget: bulk transfers (RCT
+// recovery, resync streams) get a larger timeout than per-page traffic so
+// a big but healthy frame isn't mistaken for a hung partner.
+func (p *peerClient) callT(m *Message, timeout time.Duration) (*Message, error) {
 	pc, err := p.start(m)
 	if err != nil {
 		return nil, err
 	}
-	return p.wait(pc)
+	return p.waitT(pc, timeout)
 }
 
 // start enqueues a request onto the pipeline without waiting for the
@@ -147,7 +154,12 @@ func (p *peerClient) start(m *Message) (*peerCall, error) {
 // timeout tears the session down (the connection is no longer trustworthy:
 // a late response would be matched against nothing).
 func (p *peerClient) wait(pc *peerCall) (*Message, error) {
-	t := time.NewTimer(p.timeout)
+	return p.waitT(pc, p.timeout)
+}
+
+// waitT is wait with an explicit timeout (see callT).
+func (p *peerClient) waitT(pc *peerCall, timeout time.Duration) (*Message, error) {
+	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
 	case <-pc.done:
@@ -198,6 +210,23 @@ func (p *peerClient) dialLocked() (*peerSession, error) {
 	go s.writeLoop()
 	go s.readLoop()
 	return s, nil
+}
+
+// nextDialIn reports how long the redial backoff gate stays closed: zero
+// when a session is live (or a dial may be attempted now), otherwise the
+// remaining window. The prober paces itself with this instead of guessing,
+// so it rides the same jittered exponential backoff as everyone else.
+func (p *peerClient) nextDialIn() time.Duration {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.sess != nil || p.closed {
+		return 0
+	}
+	d := time.Until(p.nextDial)
+	if d < 0 {
+		d = 0
+	}
+	return d
 }
 
 // dialStats reports dial attempts and backoff-gated rejections (tests).

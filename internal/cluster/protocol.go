@@ -37,6 +37,8 @@ const (
 	MsgWorkloadInfo // dynamic-allocation exchange
 	MsgWorkloadInfoAck
 	MsgError
+	MsgResync // re-replicate degraded writes after an outage: LPNs + Stamps + page data
+	MsgResyncAck
 )
 
 // String names the message type.
@@ -49,7 +51,8 @@ func (t MsgType) String() string {
 		MsgFetchRCT: "fetch-rct", MsgRCTData: "rct-data",
 		MsgCleanRemote: "clean-remote", MsgCleanAck: "clean-ack",
 		MsgWorkloadInfo: "workload-info", MsgWorkloadInfoAck: "workload-info-ack",
-		MsgError: "error",
+		MsgError:  "error",
+		MsgResync: "resync", MsgResyncAck: "resync-ack",
 	}
 	if s, ok := names[t]; ok {
 		return s

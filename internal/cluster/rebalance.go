@@ -115,6 +115,8 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 			delete(n.dirtyData, p)
 		}
 		delete(n.dirtyStamp, p)
+		// A trimmed page has nothing left to resync.
+		delete(n.outage, p)
 		if err := n.store.remove(p); err != nil {
 			n.mu.Unlock()
 			return err
@@ -124,7 +126,7 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 		n.mu.Unlock()
 		return err
 	}
-	if len(dropped) > 0 && n.peerAlive && n.peer != nil {
+	if len(dropped) > 0 && n.lc.alive() && n.peer != nil {
 		n.enqueueDiscard(dropped, stamps)
 	}
 	n.mu.Unlock()

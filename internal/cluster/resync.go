@@ -1,0 +1,278 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// probeBaseDelay floors the prober's pacing so a kicked prober with an
+// open dial gate still doesn't spin.
+const probeBaseDelay = 20 * time.Millisecond
+
+// maxResyncPasses bounds how many journal generations one rejoin attempt
+// drains before resuming cooperative forwarding: concurrent degraded
+// writes keep refilling the journal while the stream runs, and a writer
+// outpacing the stream must not pin the node in Resyncing forever.
+const maxResyncPasses = 8
+
+// journalLocked records one degraded write-through for later resync.
+// Caller holds n.mu. The journal is a set keyed by LPN (the stream sends
+// the page's latest durable payload, so overwrites coalesce); past the
+// configured cap new pages are dropped and counted — they stay durable
+// locally and the stamp guards keep the partner from serving older data,
+// the pair just loses the warm backup for them.
+func (n *LiveNode) journalLocked(lpn int64, st uint64) {
+	if n.peer == nil {
+		return
+	}
+	if cur, ok := n.outage[lpn]; ok {
+		if st > cur {
+			n.outage[lpn] = st
+		}
+		return
+	}
+	if len(n.outage) >= n.cfg.ResyncJournalLimit {
+		atomic.AddInt64(&n.stats.JournalDrops, 1)
+		return
+	}
+	n.outage[lpn] = st
+}
+
+// startProber launches the background probe loop if it is not already
+// running. The prober owns the Degraded/Suspect→Probing→Resyncing walk;
+// at most one instance exists per node.
+func (n *LiveNode) startProber() {
+	if n.peer == nil {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.proberRunning || n.closing {
+		return
+	}
+	n.proberRunning = true
+	n.wg.Add(1)
+	go n.probeLoop()
+}
+
+// probeLoop re-dials the partner after a failover. It paces itself by the
+// peer client's jittered exponential dial backoff (nextDialIn) instead of
+// the heartbeat tick, and can be woken early (probeKick) when a heartbeat
+// reaches the partner first. On an answered probe it runs the full rejoin
+// (resync the degraded-write journal, then flip Healthy) and exits.
+func (n *LiveNode) probeLoop() {
+	defer n.wg.Done()
+	for {
+		d := n.peer.nextDialIn()
+		if d < probeBaseDelay {
+			d = probeBaseDelay
+		}
+		t := time.NewTimer(d)
+		select {
+		case <-n.stop:
+			t.Stop()
+			n.mu.Lock()
+			n.proberRunning = false
+			n.mu.Unlock()
+			return
+		case <-n.probeKick:
+			t.Stop()
+		case <-t.C:
+		}
+		n.mu.Lock()
+		switch n.lc.state {
+		case StateHealthy:
+			// Somebody else (an explicit ConnectPeer) completed the
+			// rejoin; exit inside the same critical section that clears
+			// proberRunning so a concurrent startProber can't double-run.
+			n.proberRunning = false
+			n.mu.Unlock()
+			return
+		case StateDegraded, StateSuspect:
+			n.lc.probeStart()
+		default:
+			// Probing/Resyncing: a ConnectPeer owns the walk right now;
+			// check back shortly.
+			n.mu.Unlock()
+			continue
+		}
+		n.mu.Unlock()
+		atomic.AddInt64(&n.stats.Probes, 1)
+		if _, err := n.peer.call(&Message{Type: MsgHeartbeat}); err != nil {
+			atomic.AddInt64(&n.stats.ProbeFailures, 1)
+			n.mu.Lock()
+			// Re-check: a concurrent ConnectPeer may have taken the walk
+			// past Probing while our probe was on the wire.
+			if n.lc.state == StateProbing {
+				n.lc.probeFailed()
+			}
+			n.mu.Unlock()
+			continue
+		}
+		_ = n.rejoin()
+	}
+}
+
+// rejoin walks the lifecycle from any failed-over state through Resyncing
+// to Healthy: stream the degraded-write journal to the partner's RCT,
+// then resume cooperative buffering. It is shared by the prober and by
+// explicit ConnectPeer calls; resyncMu makes sure only one walk runs.
+func (n *LiveNode) rejoin() error {
+	n.resyncMu.Lock()
+	defer n.resyncMu.Unlock()
+	n.mu.Lock()
+	// A first-ever connect walks the same edges but is not a REjoin.
+	wasFailedOver := n.lc.failedOver
+	switch n.lc.state {
+	case StateHealthy:
+		n.mu.Unlock()
+		return nil
+	case StateDegraded, StateSuspect:
+		n.lc.probeStart()
+	}
+	n.lc.probeOK()
+	n.mu.Unlock()
+	resumed, err := n.resyncJournal()
+	if !resumed {
+		atomic.AddInt64(&n.stats.ResyncFailures, 1)
+		n.mu.Lock()
+		n.lc.resyncFailed()
+		n.mu.Unlock()
+		// The journal keeps its unsent pages; the prober retries.
+		n.startProber()
+		return err
+	}
+	n.brk.reset()
+	if wasFailedOver {
+		atomic.AddInt64(&n.stats.Rejoins, 1)
+	}
+	if err != nil {
+		// Cooperative buffering resumed but the post-resume tail push
+		// failed; the requeued pages go out on the next rejoin walk.
+		atomic.AddInt64(&n.stats.ResyncFailures, 1)
+	}
+	return nil
+}
+
+// resyncJournal drains the degraded-write journal to the partner and flips
+// the lifecycle back to Healthy. Each pass swaps the journal out whole;
+// writes that go degraded mid-stream land in the fresh map and are picked
+// up by the next pass. Under sustained write load the journal refills
+// faster than the stream drains it, so after maxResyncPasses the node
+// resumes cooperative forwarding anyway — that freezes the journal (new
+// writes forward instead of journaling) — and pushes the remainder after.
+// The empty-check and the Healthy flip share one critical section so no
+// degraded write can slip between them.
+//
+// Returns resumed=true once the lifecycle reached Healthy; err carries any
+// stream failure (pages already requeued).
+func (n *LiveNode) resyncJournal() (resumed bool, err error) {
+	ps := n.dev.PageSize()
+	for phase := 0; phase < 2; phase++ {
+		for pass := 0; pass < maxResyncPasses; pass++ {
+			n.mu.Lock()
+			if len(n.outage) == 0 {
+				if !resumed {
+					n.lc.resyncDone()
+					resumed = true
+				}
+				n.mu.Unlock()
+				return resumed, nil
+			}
+			n.mu.Unlock()
+			if err := n.sendJournalPass(ps); err != nil {
+				return resumed, err
+			}
+		}
+		if !resumed {
+			n.mu.Lock()
+			n.lc.resyncDone()
+			n.mu.Unlock()
+			resumed = true
+		}
+	}
+	// Both phases exhausted with entries still queued (the node re-degraded
+	// mid-push and is refilling again); leave them for the next rejoin.
+	return resumed, nil
+}
+
+// sendJournalPass streams one journal generation to the partner in
+// MaxBatchPages-sized MsgResync frames under the bulk timeout.
+func (n *LiveNode) sendJournalPass(ps int) error {
+	lpns, stamps, data := n.takeJournal(ps)
+	for off := 0; off < len(lpns); off += n.cfg.MaxBatchPages {
+		end := off + n.cfg.MaxBatchPages
+		if end > len(lpns) {
+			end = len(lpns)
+		}
+		select {
+		case <-n.stop:
+			n.requeueJournal(lpns[off:], stamps[off:])
+			return errNodeClosing
+		default:
+		}
+		msg := &Message{
+			Type:   MsgResync,
+			LPNs:   lpns[off:end],
+			Stamps: stamps[off:end],
+			Data:   data[off*ps : end*ps],
+		}
+		resp, err := n.peer.callT(msg, n.cfg.BulkTimeout)
+		if err == nil && resp.Type != MsgResyncAck {
+			err = fmt.Errorf("cluster: unexpected resync response %v", resp.Type)
+		}
+		if err != nil {
+			// Put the unacked tail back so no degraded write is lost
+			// to a mid-stream reset; the next attempt resends it.
+			n.requeueJournal(lpns[off:], stamps[off:])
+			return err
+		}
+		atomic.AddInt64(&n.stats.ResyncedPages, int64(end-off))
+	}
+	return nil
+}
+
+// takeJournal atomically swaps the journal out and snapshots the current
+// durable payload and stamp of every journaled page. Pages since trimmed
+// (no durable copy) are skipped.
+func (n *LiveNode) takeJournal(ps int) (lpns []int64, stamps []uint64, data []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.outage) == 0 {
+		return nil, nil, nil
+	}
+	old := n.outage
+	n.outage = make(map[int64]uint64)
+	lpns = make([]int64, 0, len(old))
+	stamps = make([]uint64, 0, len(old))
+	data = make([]byte, 0, len(old)*ps)
+	for lpn := range old {
+		pg := n.store.get(lpn)
+		st, ok := n.store.getStamp(lpn)
+		if pg == nil || !ok {
+			continue
+		}
+		lpns = append(lpns, lpn)
+		stamps = append(stamps, st)
+		data = append(data, pg...)
+	}
+	return lpns, stamps, data
+}
+
+// requeueJournal puts unsent pages back after a failed stream, never
+// clobbering a newer entry written in the meantime.
+func (n *LiveNode) requeueJournal(lpns []int64, stamps []uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i, lpn := range lpns {
+		if cur, ok := n.outage[lpn]; ok && cur >= stamps[i] {
+			continue
+		}
+		if _, ok := n.outage[lpn]; !ok && len(n.outage) >= n.cfg.ResyncJournalLimit {
+			atomic.AddInt64(&n.stats.JournalDrops, 1)
+			continue
+		}
+		n.outage[lpn] = stamps[i]
+	}
+}

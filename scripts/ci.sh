@@ -14,12 +14,20 @@ go test -cover ./...
 # through the race detector here.
 go test -race ./internal/experiments/... ./internal/cluster/...
 
+# Link-flap smoke: three asymmetric partition/heal cycles against a live
+# pair with writers running, durability-checked after every heal, under
+# the race detector. Replays with CHAOS_SEED=<seed>.
+CHAOS_FLAPS=3 go test -race -run 'TestChaosLinkFlap' ./internal/cluster/check/
+
 # Fuzz smoke: a short budget per target catches frame-decoder and trace-
 # parser regressions without benchmark-length time. Each invocation fuzzes
 # exactly one target (-run '^$' skips the unit tests, already run above).
-go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s ./internal/cluster/
-go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 10s ./internal/cluster/
-go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s ./internal/trace/
+# -fuzzminimizetime is bounded so fresh corpora don't spend the whole
+# budget minimizing their first interesting inputs.
+go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeResync$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 # Smoke-test the live write path end to end: a small loadgen run over a
 # localhost pair exercises the pipelined forwarder, batching, and the
