@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster profile
+.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster bench-shard profile
 
 all: build
 
@@ -55,6 +55,16 @@ bench:
 # latency percentiles over a localhost pair, recorded as BENCH_cluster.json.
 bench-cluster:
 	$(GO) run ./cmd/loadgen -writers 32 -ops 32000 -json BENCH_cluster.json
+
+# Shard-scaling ladder: the eviction-bound write mix against a file-backed
+# fsync-on-flush store at 1, 4, and 16 shards, recorded as BENCH_shard.json.
+# Small erase blocks + queue depth 1 keep every rung fsync-bound; the large
+# device keeps simulated GC out of the measurement; each rung reports the
+# median of three reps to ride out host fsync jitter.
+bench-shard:
+	$(GO) run ./cmd/loadgen -shard-scale 1,4,16 -writers 32 -ops 24000 \
+		-buffer 1024 -remote 32768 -evict-queue 1 -ppb 2 -blocks 65536 \
+		-reps 3 -json BENCH_shard.json
 
 # Just the grid-backed figures plus the per-cell perf record.
 bench-grid:

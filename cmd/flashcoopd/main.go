@@ -48,6 +48,8 @@ func main() {
 		syncW    = flag.Bool("sync", false, "fsync the page store on every persist")
 		batch    = flag.Int("batch", 0, "max pages group-committed per forward frame (0 = default)")
 		inflight = flag.Int("inflight", 0, "max unacked forward frames on the wire (0 = default)")
+		shards   = flag.Int("shards", 0, "buffer lock stripes / concurrent flush streams (0 = default)")
+		evictQ   = flag.Int("evict-queue", 0, "per-shard eviction queue depth (0 = default)")
 		chaos    = flag.Int64("chaos-seed", 0, "run this node's transport through a seeded fault injector (0 = off); for failure drills, never production")
 	)
 	flag.Parse()
@@ -64,6 +66,8 @@ func main() {
 		SyncWrites:    *syncW,
 		MaxBatchPages: *batch,
 		MaxInflight:   *inflight,
+		Shards:        *shards,
+		EvictQueue:    *evictQ,
 	}
 	if *chaos != 0 {
 		// A moderate, framing-preserving schedule: enough latency and

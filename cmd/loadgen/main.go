@@ -21,6 +21,18 @@
 // flapping link is tracked the same way raw throughput is:
 //
 //	loadgen -flap 3 [-flap-seed 1] [-writers 8] [-json BENCH_cluster.json]
+//
+// With -shard-scale the workload becomes a hot-path scaling ladder
+// instead: the same eviction-bound write mix runs once per shard count,
+// against a file-backed, fsync-on-flush page store, so throughput is
+// gated by the flush pipeline the way a real SSD-backed node is. More
+// shards mean more concurrent evictors — and more overlapping fsync
+// streams — so writes/sec should climb with the ladder even on one core.
+// Each rung runs -reps times and reports the median repetition:
+//
+//	loadgen -shard-scale 1,4,16 [-writers 32] [-ops 24000] [-buffer 1024]
+//	        [-evict-queue 1] [-ppb 2] [-blocks 65536] [-reps 3]
+//	        [-json BENCH_shard.json]
 package main
 
 import (
@@ -31,6 +43,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,16 +57,19 @@ import (
 )
 
 type options struct {
-	writers  int
-	ops      int
-	pages    int
-	span     int
-	policy   string
-	buffer   int
-	remote   int
-	blocks   int
-	batch    int
-	inflight int
+	writers    int
+	ops        int
+	pages      int
+	span       int
+	policy     string
+	buffer     int
+	remote     int
+	blocks     int
+	batch      int
+	inflight   int
+	evictQueue int
+	ppb        int
+	reps       int
 }
 
 // runResult is one benchmark run, JSON-serialized into BENCH_cluster.json.
@@ -88,15 +107,41 @@ type flapResult struct {
 	BreakerTrips  int64   `json:"breaker_trips"`
 }
 
+// shardRun is one rung of the -shard-scale ladder.
+type shardRun struct {
+	Shards        int     `json:"shards"`
+	Writers       int     `json:"writers"`
+	Ops           int     `json:"ops"`
+	Seconds       float64 `json:"seconds"`
+	WritesPerSec  float64 `json:"writes_per_sec"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	Persists      int64   `json:"persists"`
+	EvictorStalls int64   `json:"evictor_stalls"`
+}
+
+// shardScale is the whole ladder plus the headline ratio. Each ladder
+// entry is the median-throughput repetition of its rung.
+type shardScale struct {
+	EvictQueue int        `json:"evict_queue"`
+	Reps       int        `json:"reps"`
+	Ladder     []shardRun `json:"ladder"`
+	// Speedup is writes/sec at the largest shard count over the 1-shard
+	// rung (0 when the ladder does not include 1).
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
 type report struct {
 	GeneratedAt string      `json:"generated_at"`
 	GoVersion   string      `json:"go_version"`
 	CPUs        int         `json:"cpus"`
-	Runs        []runResult `json:"runs"`
+	Runs        []runResult `json:"runs,omitempty"`
 	// Speedup is pipelined writes/sec over sync writes/sec (0 when only
 	// one run was requested).
-	Speedup float64     `json:"speedup,omitempty"`
-	Flap    *flapResult `json:"flap,omitempty"`
+	Speedup    float64     `json:"speedup,omitempty"`
+	Flap       *flapResult `json:"flap,omitempty"`
+	ShardScale *shardScale `json:"shard_scale,omitempty"`
 }
 
 func main() {
@@ -104,8 +149,10 @@ func main() {
 		opt      options
 		compare  = flag.Bool("compare", true, "also run the synchronous (batch=1, inflight=1) configuration and report speedup")
 		jsonPath = flag.String("json", "", "write results to this JSON file (e.g. BENCH_cluster.json)")
-		flap     = flag.Int("flap", 0, "run a link-flap drill with this many partition/heal cycles instead of the throughput runs (0 = off)")
-		flapSeed = flag.Int64("flap-seed", 1, "fault-injector seed for -flap (drills are reproducible per seed)")
+		flap       = flag.Int("flap", 0, "run a link-flap drill with this many partition/heal cycles instead of the throughput runs (0 = off)")
+		flapSeed   = flag.Int64("flap-seed", 1, "fault-injector seed for -flap (drills are reproducible per seed)")
+		shardScale = flag.String("shard-scale", "", "run the eviction-bound shard-scaling ladder over these comma-separated shard counts (e.g. 1,4,16) instead of the throughput runs")
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile")
 	)
 	flag.IntVar(&opt.writers, "writers", 8, "concurrent writer goroutines")
 	flag.IntVar(&opt.ops, "ops", 40000, "total writes, split across writers")
@@ -117,7 +164,18 @@ func main() {
 	flag.IntVar(&opt.blocks, "blocks", 8192, "SSD erase blocks")
 	flag.IntVar(&opt.batch, "batch", 64, "max pages group-committed per forward frame")
 	flag.IntVar(&opt.inflight, "inflight", 4, "max unacked frames on the wire")
+	flag.IntVar(&opt.evictQueue, "evict-queue", 4, "per-shard eviction queue depth for -shard-scale (small = tight backpressure)")
+	flag.IntVar(&opt.ppb, "ppb", 2, "pages per erase block for -shard-scale (small blocks keep flush units small, so the ladder stays fsync-bound)")
+	flag.IntVar(&opt.reps, "reps", 3, "repetitions per -shard-scale rung (the median-throughput rep is kept)")
 	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
 
 	rep := report{
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
@@ -135,6 +193,30 @@ func main() {
 		fmt.Printf("  writes: %d acked, %d shed (ErrOverloaded), %d failed\n", fr.Acked, fr.Shed, fr.Failed)
 		fmt.Printf("  lifecycle: %d failovers, %d rejoins, %d pages resynced, %d overloads, %d breaker trips\n",
 			fr.Failovers, fr.Rejoins, fr.ResyncedPages, fr.Overloads, fr.BreakerTrips)
+		writeReport(rep, *jsonPath)
+		return
+	}
+	if *shardScale != "" {
+		sc, err := runShardScale(opt, *shardScale)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep.ShardScale = &sc
+		tbl := metrics.Table{
+			Title:   "Shard-scaling ladder (eviction-bound, fsync-on-flush store)",
+			Headers: []string{"shards", "writers", "ops", "writes/s", "p50 ms", "p95 ms", "p99 ms", "persists", "stalls"},
+		}
+		for _, r := range sc.Ladder {
+			tbl.AddRow(r.Shards, r.Writers, r.Ops, r.WritesPerSec,
+				r.P50Ms, r.P95Ms, r.P99Ms, fmt.Sprintf("%d", r.Persists), fmt.Sprintf("%d", r.EvictorStalls))
+		}
+		if err := tbl.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		if sc.Speedup > 0 {
+			fmt.Printf("\n%d-shard/1-shard write throughput: %.2fx\n",
+				sc.Ladder[len(sc.Ladder)-1].Shards, sc.Speedup)
+		}
 		writeReport(rep, *jsonPath)
 		return
 	}
@@ -385,6 +467,156 @@ func runFlap(opt options, cycles int, seed int64) (flapResult, error) {
 		ResyncedPages: st.ResyncedPages,
 		Overloads:     st.Overloads,
 		BreakerTrips:  st.BreakerTrips,
+	}, nil
+}
+
+// runShardScale runs the eviction-bound workload per rung of the
+// comma-separated shard ladder and reports how write throughput scales
+// with the number of concurrent flush streams. Each rung runs -reps times
+// and keeps the median-throughput repetition: a rung lasts only a few
+// seconds, and on shared hosts fsync latency drifts on that same scale,
+// so a single sample can swing a rung by 2x in either direction.
+func runShardScale(opt options, ladder string) (shardScale, error) {
+	var counts []int
+	for _, f := range strings.Split(ladder, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n <= 0 {
+			return shardScale{}, fmt.Errorf("bad -shard-scale entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	reps := opt.reps
+	if reps < 1 {
+		reps = 1
+	}
+	sc := shardScale{EvictQueue: opt.evictQueue, Reps: reps}
+	for _, shards := range counts {
+		var runs []shardRun
+		for rep := 0; rep < reps; rep++ {
+			r, err := runShardOnce(opt, shards)
+			if err != nil {
+				return shardScale{}, fmt.Errorf("shards=%d: %w", shards, err)
+			}
+			runs = append(runs, r)
+			runtime.GC()
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].WritesPerSec < runs[j].WritesPerSec })
+		sc.Ladder = append(sc.Ladder, runs[len(runs)/2])
+	}
+	for _, r := range sc.Ladder {
+		if r.Shards == 1 && r.WritesPerSec > 0 {
+			sc.Speedup = sc.Ladder[len(sc.Ladder)-1].WritesPerSec / r.WritesPerSec
+			break
+		}
+	}
+	return sc, nil
+}
+
+// runShardOnce drives one rung: a fresh pair whose writer persists to a
+// throwaway on-disk store with fsync-on-flush, under a working set far
+// larger than the buffer. Every write evicts, so throughput is gated by
+// how many flush streams the shard layer can keep in flight at once.
+func runShardOnce(opt options, shards int) (shardRun, error) {
+	dir, err := os.MkdirTemp("", "flashcoop-shard-")
+	if err != nil {
+		return shardRun{}, err
+	}
+	defer os.RemoveAll(dir)
+	// Small erase blocks keep each flush unit (and so each fsync) to a few
+	// pages: the rung then measures how many persist streams the shard
+	// layer keeps in flight, not how well one stream amortizes a batch.
+	geom := flashcoop.TableIIFlash()
+	geom.PagesPerBlock = opt.ppb
+	geom.BlocksPerPlane = opt.blocks
+	geom.PlanesPerDie = 1
+	// Page-mapped FTL with generous over-provisioning: tiny erase blocks
+	// would drown a block-mapped scheme in merges (and a tight spare pool
+	// in victim scans), and the rung measures the flush pipeline, not
+	// simulated garbage collection.
+	ssdCfg := flashcoop.SSDConfig{Scheme: "page", FTL: flashcoop.FTLConfig{Flash: geom, OPRatio: 0.5}}
+	backup, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "backup", ListenAddr: "127.0.0.1:0",
+		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+		SSD:    ssdCfg,
+		Shards: shards,
+	})
+	if err != nil {
+		return shardRun{}, err
+	}
+	defer backup.Close()
+	writer, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "writer", ListenAddr: "127.0.0.1:0", PeerAddr: backup.Addr(),
+		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+		SSD:           ssdCfg,
+		MaxBatchPages: opt.batch, MaxInflight: opt.inflight,
+		Shards: shards, EvictQueue: opt.evictQueue,
+		DataDir: dir, SyncWrites: true,
+	})
+	if err != nil {
+		return shardRun{}, err
+	}
+	defer writer.Close()
+	if err := writer.ConnectPeer(); err != nil {
+		return shardRun{}, err
+	}
+
+	ps := writer.Device().PageSize()
+	ppb := int64(writer.Device().PagesPerBlock())
+	// Writers own disjoint block ranges and stride block-by-block, so
+	// every shard sees traffic and eviction churns continuously instead
+	// of settling into a cache-resident span.
+	blocks := writer.Device().UserPages() / ppb
+	span := blocks / int64(opt.writers)
+	if span < 1 {
+		span = 1
+	}
+	perWriter := opt.ops / opt.writers
+	hists := make(chan *metrics.LatencyHist, opt.writers)
+	errs := make(chan error, opt.writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var h metrics.LatencyHist
+			buf := make([]byte, ps)
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			base := int64(w) * span
+			for i := 0; i < perWriter; i++ {
+				lpn := (base + int64(i)%span) * ppb
+				t0 := time.Now()
+				if err := writer.Write(lpn, buf); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				h.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+			}
+			hists <- &h
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return shardRun{}, err
+	}
+	close(hists)
+	var all metrics.LatencyHist
+	for h := range hists {
+		all.Merge(h)
+	}
+	st := writer.Stats()
+	ops := opt.writers * perWriter
+	return shardRun{
+		Shards: shards, Writers: opt.writers, Ops: ops,
+		Seconds:      elapsed,
+		WritesPerSec: float64(ops) / elapsed,
+		P50Ms:        all.P50(), P95Ms: all.P95(), P99Ms: all.P99(),
+		Persists:      st.Persists,
+		EvictorStalls: st.EvictorStalls,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 )
@@ -73,6 +74,102 @@ func BenchmarkLiveWriteRTT(b *testing.B) {
 		if err := bn.Write(int64(i)%user, pg); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchPair builds a cooperative pair with the given shard count for the
+// parallel benchmarks. Buffers are sized small relative to the touched LPN
+// range so the write benchmark constantly evicts through the background
+// flush pipeline.
+func benchPair(b *testing.B, shards, bufPages int) *LiveNode {
+	b.Helper()
+	a, err := NewLiveNode(LiveConfig{
+		Name: "a", ListenAddr: "127.0.0.1:0",
+		BufferPages: bufPages, RemotePages: 1 << 20, SSD: liveSSD(),
+		Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bn, err := NewLiveNode(LiveConfig{
+		Name: "b", ListenAddr: "127.0.0.1:0", PeerAddr: a.Addr(),
+		BufferPages: bufPages, RemotePages: 1 << 20, SSD: liveSSD(),
+		Shards: shards,
+	})
+	if err != nil {
+		a.Close()
+		b.Fatal(err)
+	}
+	if err := bn.ConnectPeer(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		bn.Close()
+		a.Close()
+	})
+	return bn
+}
+
+// BenchmarkLiveWriteParallel measures parallel writers against the striped
+// hot path at several shard counts: lock striping plus per-shard evictors
+// should scale writes/sec with the shard count until cores or the forward
+// pipeline saturate.
+func BenchmarkLiveWriteParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			bn := benchPair(b, shards, 256)
+			ps := bn.Device().PageSize()
+			user := bn.Device().UserPages()
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(int64(ps))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				pg := make([]byte, ps)
+				for pb.Next() {
+					lpn := (next.Add(1) * 8) % user
+					if err := bn.Write(lpn, pg); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkLiveReadParallel measures parallel readers over a working set
+// larger than the buffer, so reads mix shard-striped cache hits with
+// store lookups.
+func BenchmarkLiveReadParallel(b *testing.B) {
+	for _, shards := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			bn := benchPair(b, shards, 256)
+			ps := bn.Device().PageSize()
+			pg := make([]byte, ps)
+			span := bn.Device().UserPages() / 8
+			for i := int64(0); i < span; i++ {
+				if err := bn.Write(i*8, pg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bn.FlushAll(); err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(int64(ps))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					lpn := ((next.Add(1) * 8) % (span * 8))
+					if _, err := bn.Read(lpn, 1); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+		})
 	}
 }
 

@@ -54,6 +54,17 @@ const (
 	chaosMinOps   = 200 // the run must exercise at least this many writes
 )
 
+// chaosShards picks the hot-path shard count (CHAOS_SHARDS to override;
+// default 4 so the suite always runs the striped configuration).
+func chaosShards() int {
+	if s := os.Getenv("CHAOS_SHARDS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 4
+}
+
 func chaosSSD() ssd.Config {
 	return ssd.Config{
 		Scheme: "page",
@@ -85,8 +96,18 @@ func (c *chaosPair) nodeConfig(name, addr, dir string, nw *faultnet.Network) clu
 		// RemotePages covers the whole LPN space so the RCT never drops a
 		// backup for capacity — that overflow is a documented sizing
 		// tradeoff (core.RemoteStore), not the bug class hunted here.
-		BufferPages:       48,
-		RemotePages:       chaosLPNSpace * 2,
+		// ... it also gives the RCT room for the flush-pipeline backlog:
+		// evicted pages pinned in flight are volatile beyond BufferPages,
+		// so the partner must hold more than BufferPages backups or an
+		// overflow drop could lose an acked write to a crash (the sizing
+		// rule in DESIGN.md §11).
+		BufferPages: 48,
+		RemotePages: chaosLPNSpace * 2,
+		// Stripe the hot path and keep the per-shard eviction queues tiny
+		// so the chaos run constantly exercises evictor backpressure and
+		// reads that overlap in-flight flushes.
+		Shards:            chaosShards(),
+		EvictQueue:        4,
 		SSD:               chaosSSD(),
 		DataDir:           dir,
 		HeartbeatInterval: 25 * time.Millisecond,

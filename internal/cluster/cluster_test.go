@@ -227,6 +227,11 @@ func TestLiveEvictionPersistsData(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
+	// Eviction flushing is asynchronous; give the evictors a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) && a.Stats().Persists == 0 {
+		time.Sleep(2 * time.Millisecond)
+	}
 	if a.Stats().Persists == 0 {
 		t.Fatal("nothing persisted despite overflow")
 	}

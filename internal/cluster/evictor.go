@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"flashcoop/internal/buffer"
+)
+
+// flushPage is one evicted page travelling through the flush pipeline:
+// the payload buffer is owned by the job carrying it (and recycled into
+// the page pool once the pipeline is done with it), and the stamp
+// identifies exactly which version was evicted. The same struct is the
+// value of a shard's inflight map — "pinned dirty" pages that have left
+// the cache but are not durable yet.
+type flushPage struct {
+	lpn   int64
+	data  []byte
+	stamp uint64
+}
+
+// flushJob is one eviction unit handed to a shard's evictor goroutine.
+type flushJob struct {
+	pages []flushPage
+}
+
+// evictBatchJobs caps how many queued jobs one evictor iteration absorbs
+// into a single batched persist (one device burst + one store flush). The
+// configured queue depth caps the batch too: EvictQueue is the knob for
+// how far durability may lag eviction, and letting a batch absorb blocked
+// writers past the queue depth would quietly widen that window.
+const evictBatchJobs = 16
+
+// extractFlushLocked turns the flush units of one Access into evictor
+// jobs. The caller holds the shard lock. Each evicted dirty page moves
+// from the shard's dirty map into its inflight map — still visible to
+// reads and crash-recovery snapshots, no longer re-writable in place —
+// and its payload buffer changes owner to the returned job. An eviction
+// of a page whose older version is already in flight simply replaces the
+// map entry: the older job detects the stamp mismatch when it runs and
+// recycles its buffer without persisting.
+func (n *LiveNode) extractFlushLocked(sh *liveShard, units []buffer.FlushUnit) []flushJob {
+	var jobs []flushJob
+	for _, u := range units {
+		var job flushJob
+		for _, p := range u.Pages {
+			data, ok := sh.dirtyData[p]
+			if !ok {
+				continue // clean page in a rewritten block: nothing to persist
+			}
+			fp := flushPage{lpn: p, data: data, stamp: sh.dirtyStamp[p]}
+			delete(sh.dirtyData, p)
+			delete(sh.dirtyStamp, p)
+			sh.inflight[p] = fp
+			job.pages = append(job.pages, fp)
+		}
+		if len(job.pages) > 0 {
+			jobs = append(jobs, job)
+		}
+	}
+	return jobs
+}
+
+// enqueueFlush hands eviction jobs to the shard's evictor. It must be
+// called after the shard lock is released (the evictor takes that lock to
+// persist). A full queue applies backpressure: the writer blocks until
+// the evictor drains a slot, which is the bound on how much evicted-but-
+// volatile data can pile up. During shutdown the jobs are abandoned —
+// Close's FlushAll persists the pinned pages synchronously, and after a
+// Crash they are lost exactly like the rest of RAM.
+func (n *LiveNode) enqueueFlush(si int, jobs []flushJob) {
+	sh := &n.shards[si]
+	for _, j := range jobs {
+		select {
+		case sh.evictq <- j:
+			continue
+		default:
+		}
+		atomic.AddInt64(&n.stats.EvictorStalls, 1)
+		select {
+		case sh.evictq <- j:
+		case <-n.stop:
+			return
+		}
+	}
+}
+
+// evictLoop is shard si's background evictor. One goroutine per shard
+// keeps per-page persist order FIFO within the shard (pages never change
+// shards), while separate shards flush — and with a file-backed store,
+// fsync — concurrently.
+func (n *LiveNode) evictLoop(si int) {
+	defer n.wg.Done()
+	sh := &n.shards[si]
+	for {
+		select {
+		case <-n.stop:
+			return
+		case j := <-sh.evictq:
+			batchCap := evictBatchJobs
+			if q := cap(sh.evictq); q < batchCap {
+				batchCap = q
+			}
+			jobs := append(make([]flushJob, 0, batchCap), j)
+		drain:
+			for len(jobs) < batchCap {
+				select {
+				case j2 := <-sh.evictq:
+					jobs = append(jobs, j2)
+				default:
+					break drain
+				}
+			}
+			n.flushJobs(si, jobs)
+		}
+	}
+}
+
+// flushJobs persists one batch of eviction jobs. It holds the shard's
+// persistMu end to end, but takes the shard data lock only for the two
+// brief map passes around the persist — so the shard keeps serving reads
+// and writes (including reads of the very pages being flushed, out of the
+// inflight map) while the device write and store fsync run. Pages whose
+// inflight entry no longer matches the job's stamp were superseded,
+// trimmed, or already persisted by FlushAll; they are skipped and their
+// buffers recycled. Discards for persisted pages go out only after the
+// store flush — the partner must never drop a backup whose page is not
+// durable here (the DiscardSafety invariant).
+//
+// A persist error leaves the affected pages pinned in the inflight map
+// (still readable, retried by the next FlushAll) rather than dropping
+// them on the floor.
+func (n *LiveNode) flushJobs(si int, jobs []flushJob) {
+	sh := &n.shards[si]
+	sh.persistMu.Lock()
+	n.buf.LockShard(si)
+	var items []flushPage
+	for _, j := range jobs {
+		for _, fp := range j.pages {
+			if cur, ok := sh.inflight[fp.lpn]; ok && cur.stamp == fp.stamp {
+				items = append(items, fp)
+			}
+		}
+	}
+	n.buf.UnlockShard(si)
+
+	done, err := n.persistSet(items)
+	if err != nil {
+		atomic.AddInt64(&n.stats.PersistFailures, 1)
+	}
+
+	n.buf.LockShard(si)
+	flushed := make([]int64, 0, len(done))
+	stamps := make([]uint64, 0, len(done))
+	for _, fp := range done {
+		// The entry may have been replaced by a newer eviction of the
+		// same page while we persisted; only unpin our own version.
+		if cur, ok := sh.inflight[fp.lpn]; ok && cur.stamp == fp.stamp {
+			delete(sh.inflight, fp.lpn)
+		}
+		flushed = append(flushed, fp.lpn)
+		stamps = append(stamps, fp.stamp)
+	}
+	// A job buffer is recyclable unless its page is still pinned (persist
+	// failed and the entry was kept for retry).
+	var recycle [][]byte
+	for _, j := range jobs {
+		for _, fp := range j.pages {
+			if cur, ok := sh.inflight[fp.lpn]; ok && cur.stamp == fp.stamp {
+				continue
+			}
+			recycle = append(recycle, fp.data)
+		}
+	}
+	n.buf.UnlockShard(si)
+	sh.persistMu.Unlock()
+	if len(flushed) > 0 && n.alive.Load() && n.peer != nil {
+		n.enqueueDiscard(flushed, stamps)
+	}
+	for _, pg := range recycle {
+		n.putPage(pg)
+	}
+}
+
+// persistSet makes a set of pages durable: one device write per
+// contiguous run (the batched sequential flush LAR's block eviction is
+// designed for), a stamp-guarded store put per page, and a single store
+// flush for the whole set. The caller holds the persistMu of the shard
+// every item belongs to, which is what makes the guard-then-put atomic.
+//
+// The stamp guard skips pages whose durable copy is already at an equal
+// or newer version — that makes double persists idempotent and stops a
+// lagging eviction from rolling back a page that degraded write-through
+// (or a later eviction) persisted first. Skipped pages count as done.
+//
+// Returns the items now known durable; on error the remainder was not
+// persisted and stays the caller's responsibility.
+func (n *LiveNode) persistSet(items []flushPage) (done []flushPage, err error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	// All items live in one shard, so only that shard's store section
+	// needs syncing; a full-store flush here would serialize every
+	// evictor's fsync stream on every other's.
+	flush := n.store.flush
+	if sf, ok := n.store.(interface{ flushOf(int64) error }); ok {
+		anchor := items[0].lpn
+		flush = func() error { return sf.flushOf(anchor) }
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i].lpn < items[j].lpn })
+	toWrite := items[:0:0]
+	for _, it := range items {
+		if cur, ok := n.store.getStamp(it.lpn); ok && cur >= it.stamp {
+			done = append(done, it)
+			continue
+		}
+		toWrite = append(toWrite, it)
+	}
+	for i := 0; i < len(toWrite); {
+		j := i + 1
+		for j < len(toWrite) && toWrite[j].lpn == toWrite[j-1].lpn+1 {
+			j++
+		}
+		n.devMu.Lock()
+		_, derr := n.dev.Write(n.vnow(), toWrite[i].lpn, j-i)
+		n.devMu.Unlock()
+		if derr != nil {
+			flush()
+			return done, fmt.Errorf("cluster %s: persist lpn %d: %w", n.cfg.Name, toWrite[i].lpn, derr)
+		}
+		for k := i; k < j; k++ {
+			if perr := n.store.put(toWrite[k].lpn, toWrite[k].data, toWrite[k].stamp); perr != nil {
+				flush()
+				return done, perr
+			}
+			atomic.AddInt64(&n.stats.Persists, 1)
+			done = append(done, toWrite[k])
+		}
+		i = j
+	}
+	if ferr := flush(); ferr != nil {
+		return done, ferr
+	}
+	return done, nil
+}

@@ -25,60 +25,76 @@ type fwdEntry struct {
 func (e fwdEntry) isDiscard() bool { return e.data == nil }
 
 // forwardLoop is the node's single forwarder goroutine. It drains the
-// forward queue, group-commits consecutive same-type entries into one
-// frame (amortizing frames, syscalls, and peer round trips across
-// concurrent writers), and keeps up to MaxInflight frames on the wire —
-// batch k+1 is sent while batch k's ack is still pending.
+// forward queue, group-commits entries into frames (amortizing frames,
+// syscalls, and peer round trips across concurrent writers), and keeps up
+// to MaxInflight frames on the wire — batch k+1 is sent while batch k's
+// ack is still pending.
 //
 // The batching is self-clocking: a batch keeps absorbing queued entries
 // for exactly as long as it waits for a free in-flight slot. Under light
 // load a slot is free immediately and a single write goes out with no
 // added latency; under heavy load the wire is busy, the wait is one frame
 // service time, and every write that arrives in that window rides the
-// same frame. Entries of different types are never merged across each
-// other, so the per-LPN write/discard order clients produced is preserved
-// on the wire.
+// same frame.
+//
+// Writes and discards accumulate in separate batches, so the advisory
+// discard stream (one entry per eviction flush) never splits a write
+// frame into tiny ones. That lets a discard frame reorder against write
+// frames, which is safe: both carry write stamps, the partner's backup
+// apply is max-wins, and its discard apply only drops versions at or
+// below the discard's stamp — a reordered pair converges to the same
+// remote state, at worst keeping an already-durable page's backup around
+// until the next discard cleans it.
 func (n *LiveNode) forwardLoop() {
 	defer n.wg.Done()
 	inflight := make(chan struct{}, n.cfg.MaxInflight)
-	var carry *fwdEntry
-	abort := func(batch []fwdEntry) {
-		ackBatch(batch, errNodeClosing)
-		if carry != nil {
-			ackBatch([]fwdEntry{*carry}, errNodeClosing)
+	var writes, discards []fwdEntry
+	wpages, dpages := 0, 0
+	add := func(e fwdEntry) {
+		if e.isDiscard() {
+			discards = append(discards, e)
+			dpages += len(e.lpns)
+		} else {
+			writes = append(writes, e)
+			wpages += len(e.lpns)
 		}
+	}
+	abort := func() {
+		ackBatch(writes, errNodeClosing)
+		ackBatch(discards, errNodeClosing)
 		n.drainForwardQueue()
 	}
 	for {
-		var first fwdEntry
-		if carry != nil {
-			first, carry = *carry, nil
-		} else {
+		if wpages == 0 && dpages == 0 {
 			select {
 			case <-n.stop:
-				abort(nil)
+				abort()
 				return
-			case first = <-n.fwdq:
+			case e := <-n.fwdq:
+				add(e)
 			}
 		}
-		batch := append(make([]fwdEntry, 0, 8), first)
-		pages := len(first.lpns)
 		acquired := false
 	collect:
-		for pages < n.cfg.MaxBatchPages {
+		for wpages < n.cfg.MaxBatchPages && dpages < n.cfg.MaxBatchPages {
+			// Absorb everything already queued before competing for an
+			// in-flight slot: a select would pick randomly between a
+			// waiting entry and a free slot, and every entry that loses
+			// that coin flip ships as its own tiny frame.
 			select {
 			case e := <-n.fwdq:
-				if e.isDiscard() != first.isDiscard() {
-					carry = &e
-					break collect
-				}
-				batch = append(batch, e)
-				pages += len(e.lpns)
+				add(e)
+				continue
+			default:
+			}
+			select {
+			case e := <-n.fwdq:
+				add(e)
 			case inflight <- struct{}{}:
 				acquired = true
 				break collect
 			case <-n.stop:
-				abort(batch)
+				abort()
 				return
 			}
 		}
@@ -86,11 +102,21 @@ func (n *LiveNode) forwardLoop() {
 			select {
 			case inflight <- struct{}{}:
 			case <-n.stop:
-				abort(batch)
+				abort()
 				return
 			}
 		}
-		n.sendBatch(batch, inflight)
+		// Writers wait on their acks, so write frames go first. A full
+		// discard batch preempts them — discard production tracks the
+		// flush pipeline, so under sustained write load the cap is hit
+		// quickly and the advisory stream is never starved outright.
+		if wpages > 0 && dpages < n.cfg.MaxBatchPages {
+			n.sendBatch(writes, inflight)
+			writes, wpages = nil, 0
+		} else {
+			n.sendBatch(discards, inflight)
+			discards, dpages = nil, 0
+		}
 	}
 }
 
@@ -131,6 +157,7 @@ func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
 			atomic.AddInt64(&n.stats.BreakerTrips, 1)
 			n.mu.Lock()
 			act := n.lc.forwardFailed()
+			n.syncAliveLocked()
 			n.mu.Unlock()
 			n.applyAction(act)
 		}

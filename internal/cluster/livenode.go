@@ -27,11 +27,30 @@ type LiveConfig struct {
 	RemotePages int
 	SSD         ssd.Config
 
-	// DataDir, when set, persists flushed pages in a slotted file there
-	// so the node's durable contents survive restarts. Empty keeps an
-	// in-memory store (like the simulator).
+	// Shards stripes the serving hot path: the cooperative buffer, the
+	// dirty/stamp/journal maps, the page store, and the background flush
+	// pipeline are split N ways by logical block number, so concurrent
+	// Writes and Reads to different blocks stop serializing on one lock.
+	// Must be stable across restarts of the same DataDir (the sharded
+	// file store routes pages to per-shard files). Default 4; clamped to
+	// BufferPages.
+	Shards int
+
+	// EvictQueue sizes each shard's eviction queue (in flush jobs, one
+	// per evicted block). Evicted pages wait here — pinned dirty, still
+	// readable — until the shard's evictor persists them; a full queue
+	// applies backpressure to the writer that caused the eviction. The
+	// depth also caps how many jobs one evictor persist (and store fsync)
+	// absorbs, so it is the knob for how far durability may lag eviction:
+	// shallow = tight lag and little batching, deep = the reverse.
+	// Default 64.
+	EvictQueue int
+
+	// DataDir, when set, persists flushed pages in slotted files there
+	// (one per shard) so the node's durable contents survive restarts.
+	// Empty keeps an in-memory store (like the simulator).
 	DataDir string
-	// SyncWrites fsyncs the page store after every persist (slower,
+	// SyncWrites fsyncs the page store after every persist batch (slower,
 	// stronger durability). Only meaningful with DataDir.
 	SyncWrites bool
 
@@ -62,9 +81,10 @@ type LiveConfig struct {
 	BreakerWindow    int
 
 	// ResyncJournalLimit caps the degraded-write journal (lpn→stamp, so
-	// ~16 bytes/entry). Pages dropped beyond the cap are counted and
-	// simply not resynced — they are durable locally and the stamp guards
-	// keep the partner from ever serving a staler version. Default 262144.
+	// ~16 bytes/entry) across all shards. Pages dropped beyond the cap are
+	// counted and simply not resynced — they are durable locally and the
+	// stamp guards keep the partner from ever serving a staler version.
+	// Default 262144.
 	ResyncJournalLimit int
 
 	// Replication pipeline knobs. MaxBatchPages caps how many pages the
@@ -97,6 +117,12 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	}
 	if c.Policy == "" {
 		c.Policy = buffer.PolicyLAR
+	}
+	if c.Shards <= 0 {
+		c.Shards = 4
+	}
+	if c.EvictQueue <= 0 {
+		c.EvictQueue = 64
 	}
 	if c.MaxBatchPages <= 0 {
 		c.MaxBatchPages = 64
@@ -132,8 +158,7 @@ func (c LiveConfig) withDefaults() LiveConfig {
 }
 
 // LiveStats counts live-node activity. All fields are updated and read
-// atomically, so hot paths never take the node mutex just to bump a
-// counter.
+// atomically, so hot paths never take a lock just to bump a counter.
 type LiveStats struct {
 	Writes          int64
 	Reads           int64
@@ -151,6 +176,10 @@ type LiveStats struct {
 	// stamp (e.g. the page was written through degraded mode while the
 	// partner still held an old backup).
 	StaleRecoverySkips int64
+
+	// Flush pipeline counters (see evictor.go).
+	EvictorStalls   int64 // writers that blocked on a full eviction queue
+	PersistFailures int64 // evictor batches that hit a persist error (pages stay pinned)
 
 	// Lifecycle counters (see lifecycle.go).
 	Suspects       int64 // Healthy→Suspect transitions (first heartbeat miss)
@@ -173,31 +202,78 @@ type LatencyStats struct {
 	P50, P95, P99 float64
 }
 
-// LiveNode is a FlashCoop storage server over real TCP. It owns a policy
-// buffer with an actual data plane (page payloads), a simulated SSD for
-// timing/wear accounting, and a remote store of partner backups. Backup
-// forwarding is pipelined: writers enqueue onto a coalescing forward queue
-// and a single forwarder goroutine group-commits batches over the peer
-// client's duplex connection (see forwarder.go, peerclient.go).
+// liveShard is the per-shard slice of the node's write-path state. All of
+// it is guarded by the corresponding shard lock of n.buf (the node locks
+// a shard with n.buf.LockShard and then owns the shard's cache AND these
+// maps for the critical section), so one Write touches exactly the locks
+// of the shards its pages map to.
+type liveShard struct {
+	dirtyData  map[int64][]byte    // payloads of locally buffered dirty pages
+	dirtyStamp map[int64]uint64    // write stamps of those pages
+	inflight   map[int64]flushPage // evicted pages pinned until the evictor persists them
+	outage     map[int64]uint64    // degraded-write journal bucket: lpn → stamp at write-through
+	evictq     chan flushJob       // this shard's flush pipeline
+
+	// persistMu serializes every durable-store mutation for this shard's
+	// pages (evictor flush, degraded write-through, FlushAll, Trim,
+	// recovery) so the stamp-guarded read-check-put in persistSet is
+	// atomic. Crucially it is a different lock than the shard data lock:
+	// the evictor holds only persistMu across the slow device write +
+	// store fsync, so reads and writes on the shard proceed while an
+	// eviction flush is in flight (pinned pages stay readable from the
+	// inflight map). Lock order: persistMu → shard lock → n.mu; never
+	// acquire persistMu while holding a shard lock.
+	persistMu sync.Mutex
+}
+
+// LiveNode is a FlashCoop storage server over real TCP. It owns a
+// lock-striped policy buffer with an actual data plane (page payloads), a
+// simulated SSD for timing/wear accounting, and a remote store of partner
+// backups. The serving hot path is sharded by logical block number: each
+// shard has its own cache instance, dirty-page and stamp maps, degraded-
+// write journal bucket, page-store stripe, and background evictor, so
+// concurrent clients only collide when they touch the same block range.
+// Eviction flushing is asynchronous (see evictor.go): Access never writes
+// the SSD inline; evicted pages stay pinned readable until a background
+// evictor persists them in batched sequential runs. Backup forwarding is
+// pipelined: writers enqueue onto a coalescing forward queue and a single
+// forwarder goroutine group-commits batches over the peer client's duplex
+// connection (see forwarder.go, peerclient.go).
 type LiveNode struct {
 	cfg LiveConfig
 
+	buf      *buffer.Sharded
+	shards   []liveShard
+	stampCtr atomic.Uint64 // monotonic write stamp; resumes from store.maxStamp()
+	store    pageStore     // the "SSD" contents (durable medium); internally synchronized
+	devMu    sync.Mutex    // serializes the timing/wear model (ssd.Device is not thread-safe)
+	dev      *ssd.Device
+	pageSize int
+
+	// mu guards the partner-facing state: the remote (RCT) store and its
+	// payload/stamp maps, and the peer lifecycle machine. Lock ordering:
+	// a shard lock may be taken before n.mu (degraded writes journal under
+	// both); n.mu must never wait on a shard lock.
 	mu            sync.Mutex
-	buf           buffer.Cache
-	dirtyData     map[int64][]byte // payloads of locally buffered dirty pages
-	dirtyStamp    map[int64]uint64 // write stamps of those pages
-	stamp         uint64           // monotonic write stamp; resumes from store.maxStamp()
-	store         pageStore        // the "SSD" contents (durable medium)
-	dev           *ssd.Device
 	remote        *core.RemoteStore
 	remoteData    map[int64][]byte // payloads backed up for the partner
 	remoteStamp   map[int64]uint64 // write stamps of those backups
 	lc            lifecycle        // peer lifecycle state machine (see lifecycle.go)
-	outage        map[int64]uint64 // degraded-write journal: lpn → stamp at write-through
 	proberRunning bool
-	closing       bool  // set by shutdown before stop closes; gates prober starts
-	winReads      int64 // workload window for dynamic allocation
-	winWrites     int64
+	closing       bool // set by shutdown before stop closes; gates prober starts
+
+	// alive mirrors lc.alive() so the write hot path reads one atomic
+	// instead of taking n.mu; it is updated inside every critical section
+	// that feeds the lifecycle an event (syncAliveLocked).
+	alive atomic.Bool
+
+	// outageLen tracks journal entries across all shard buckets. Inserts
+	// from degraded writers happen with n.mu held so the resync stream's
+	// "journal empty → flip Healthy" check stays race-free (resync.go).
+	outageLen atomic.Int64
+
+	winReads  atomic.Int64 // workload window for dynamic allocation
+	winWrites atomic.Int64
 
 	// resyncMu serializes rejoin attempts: the background prober and an
 	// explicit ConnectPeer may race, and only one of them may own the
@@ -210,9 +286,8 @@ type LiveNode struct {
 	stats    LiveStats // atomic access only
 	pagePool sync.Pool // page-size []byte buffers for dirtyData/remoteData
 
-	latMu    sync.Mutex
-	writeLat metrics.LatencyHist // full Write latency, ms
-	fwdLat   metrics.LatencyHist // forward enqueue-to-ack latency, ms
+	writeLat *metrics.StripedLatencyHist // full Write latency, ms
+	fwdLat   *metrics.StripedLatencyHist // forward enqueue-to-ack latency, ms
 
 	fwdq chan fwdEntry
 
@@ -237,13 +312,14 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
 	}
-	buf, err := buffer.New(cfg.Policy, cfg.BufferPages, dev.PagesPerBlock())
+	buf, err := buffer.NewSharded(cfg.Policy, cfg.BufferPages, dev.PagesPerBlock(), cfg.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
 	}
-	var store pageStore = newMemStore()
+	ns := buf.NumShards()
+	var store pageStore = newShardedMemStore(ns, dev.PagesPerBlock())
 	if cfg.DataDir != "" {
-		store, err = newFileStore(cfg.DataDir, dev.PageSize(), cfg.SyncWrites)
+		store, err = newShardedFileStore(cfg.DataDir, dev.PageSize(), cfg.SyncWrites, ns, dev.PagesPerBlock())
 		if err != nil {
 			return nil, err
 		}
@@ -260,33 +336,46 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	n := &LiveNode{
 		cfg:         cfg,
 		buf:         buf,
-		dirtyData:   make(map[int64][]byte),
-		dirtyStamp:  make(map[int64]uint64),
-		stamp:       store.maxStamp(),
+		shards:      make([]liveShard, ns),
 		store:       store,
 		dev:         dev,
+		pageSize:    dev.PageSize(),
 		remote:      core.NewRemoteStore(cfg.RemotePages),
 		remoteData:  make(map[int64][]byte),
 		remoteStamp: make(map[int64]uint64),
 		lc:          lifecycle{state: StateDegraded, threshold: cfg.FailureThreshold},
-		outage:      make(map[int64]uint64),
 		probeKick:   make(chan struct{}, 1),
 		admit:       make(chan struct{}, cfg.AdmissionLimit),
 		brk:         breaker{threshold: int64(cfg.BreakerThreshold), window: int32(cfg.BreakerWindow)},
+		writeLat:    metrics.NewStripedLatencyHist(ns),
+		fwdLat:      metrics.NewStripedLatencyHist(ns),
 		fwdq:        make(chan fwdEntry, cfg.ForwardQueue),
 		ln:          ln,
 		start:       time.Now(),
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
 	}
+	n.stampCtr.Store(store.maxStamp())
+	for i := range n.shards {
+		n.shards[i] = liveShard{
+			dirtyData:  make(map[int64][]byte),
+			dirtyStamp: make(map[int64]uint64),
+			inflight:   make(map[int64]flushPage),
+			outage:     make(map[int64]uint64),
+			evictq:     make(chan flushJob, cfg.EvictQueue),
+		}
+	}
 	ps := dev.PageSize()
 	n.pagePool.New = func() any { return make([]byte, ps) }
 	if cfg.PeerAddr != "" {
 		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout, cfg.Dialer)
 	}
-	n.wg.Add(2)
+	n.wg.Add(2 + ns)
 	go n.acceptLoop()
 	go n.forwardLoop()
+	for i := 0; i < ns; i++ {
+		go n.evictLoop(i)
+	}
 	return n, nil
 }
 
@@ -311,6 +400,8 @@ func (n *LiveNode) Stats() LiveStats {
 		Failovers:          atomic.LoadInt64(&n.stats.Failovers),
 		Rebalances:         atomic.LoadInt64(&n.stats.Rebalances),
 		StaleRecoverySkips: atomic.LoadInt64(&n.stats.StaleRecoverySkips),
+		EvictorStalls:      atomic.LoadInt64(&n.stats.EvictorStalls),
+		PersistFailures:    atomic.LoadInt64(&n.stats.PersistFailures),
 		Suspects:           atomic.LoadInt64(&n.stats.Suspects),
 		Probes:             atomic.LoadInt64(&n.stats.Probes),
 		ProbeFailures:      atomic.LoadInt64(&n.stats.ProbeFailures),
@@ -326,39 +417,29 @@ func (n *LiveNode) Stats() LiveStats {
 // WriteLatencyStats reports percentiles of the full Write path (local
 // buffering + forward ack, or degraded write-through).
 func (n *LiveNode) WriteLatencyStats() LatencyStats {
-	n.latMu.Lock()
-	defer n.latMu.Unlock()
-	return snapshotLatency(&n.writeLat)
+	return snapshotLatency(n.writeLat)
 }
 
 // ForwardLatencyStats reports percentiles of the forward enqueue-to-ack
 // leg alone.
 func (n *LiveNode) ForwardLatencyStats() LatencyStats {
-	n.latMu.Lock()
-	defer n.latMu.Unlock()
-	return snapshotLatency(&n.fwdLat)
+	return snapshotLatency(n.fwdLat)
 }
 
-func snapshotLatency(h *metrics.LatencyHist) LatencyStats {
+func snapshotLatency(s *metrics.StripedLatencyHist) LatencyStats {
+	h := s.Snapshot()
 	return LatencyStats{Count: h.Count(), P50: h.P50(), P95: h.P95(), P99: h.P99()}
 }
 
-func (n *LiveNode) recordLatency(h *metrics.LatencyHist, since time.Time) {
-	ms := float64(time.Since(since)) / float64(time.Millisecond)
-	n.latMu.Lock()
-	h.Add(ms)
-	n.latMu.Unlock()
+func (n *LiveNode) recordLatency(h *metrics.StripedLatencyHist, since time.Time) {
+	h.Add(float64(time.Since(since)) / float64(time.Millisecond))
 }
 
 // PeerAlive reports whether cooperative buffering is currently on:
 // Healthy, or Suspect with the session still live. A node that failed
 // over stays not-alive until a resync completes, however many heartbeats
 // succeed in between.
-func (n *LiveNode) PeerAlive() bool {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.lc.alive()
-}
+func (n *LiveNode) PeerAlive() bool { return n.alive.Load() }
 
 // PeerLifecycle reports the partner lifecycle state.
 func (n *LiveNode) PeerLifecycle() PeerState {
@@ -367,11 +448,24 @@ func (n *LiveNode) PeerLifecycle() PeerState {
 	return n.lc.state
 }
 
-// Device exposes the timing/wear model.
+// syncAliveLocked refreshes the hot-path alive mirror; it must be called
+// before releasing n.mu in every critical section that fed the lifecycle
+// an event.
+func (n *LiveNode) syncAliveLocked() { n.alive.Store(n.lc.alive()) }
+
+// Device exposes the timing/wear model. The node serializes its own
+// accesses internally; external callers should treat it as read-only
+// while the node is serving.
 func (n *LiveNode) Device() *ssd.Device { return n.dev }
 
-// Buffer exposes the local buffer.
+// Buffer exposes the local buffer as its thread-safe sharded aggregate.
+// Inspection (Len, DirtyLen, IsDirty, Stats) is safe while serving;
+// mutating it from outside bypasses the node's dirty-payload bookkeeping
+// and is only sound on a quiesced node.
 func (n *LiveNode) Buffer() buffer.Cache { return n.buf }
+
+// NumShards reports the hot-path shard count.
+func (n *LiveNode) NumShards() int { return len(n.shards) }
 
 // Remote exposes the partner-backup store. The store itself is not
 // synchronized and the serve loop mutates it on partner messages, so only
@@ -460,6 +554,7 @@ func (n *LiveNode) heartbeatOnce() {
 			atomic.AddInt64(&n.stats.Suspects, 1)
 		}
 	}
+	n.syncAliveLocked()
 	n.mu.Unlock()
 	n.applyAction(act)
 }
@@ -489,14 +584,16 @@ func (n *LiveNode) applyAction(act lcAction) {
 
 // Write stores one page-aligned write. data must be pages*PageSize bytes.
 //
-// The local part (buffer insert, dirty payload capture, any eviction
-// flush) happens under the node mutex; the backup forward does not. The
-// write is queued onto the forwarder, which coalesces it with other
-// pending writes into one frame, and the caller blocks only until its
-// batch's ack arrives — many Write goroutines therefore share round trips
-// and overlap with each other's local work.
+// The local part — buffer insert and dirty payload capture, per shard run
+// — happens under only the shard locks the pages map to; evictions are
+// handed to the shard's background evictor instead of being persisted
+// inline. The backup forward happens outside all locks: the write is
+// queued onto the forwarder, which coalesces it with other pending writes
+// into one frame, and the caller blocks only until its batch's ack
+// arrives — many Write goroutines therefore share round trips and overlap
+// with each other's local work.
 func (n *LiveNode) Write(lpn int64, data []byte) error {
-	ps := n.dev.PageSize()
+	ps := n.pageSize
 	if len(data) == 0 || len(data)%ps != 0 {
 		return fmt.Errorf("cluster %s: write of %d bytes not page aligned", n.cfg.Name, len(data))
 	}
@@ -507,9 +604,11 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 	}
 	defer n.releaseWrite()
 	atomic.AddInt64(&n.stats.Writes, 1)
+	n.winWrites.Add(1)
 
-	// Copy payloads into pooled buffers before taking the lock.
+	// Copy payloads into pooled buffers before taking any lock.
 	lpns := make([]int64, pages)
+	stamps := make([]uint64, pages)
 	copies := make([][]byte, pages)
 	for i := 0; i < pages; i++ {
 		lpns[i] = lpn + int64(i)
@@ -518,27 +617,28 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 		copies[i] = pg
 	}
 
-	n.mu.Lock()
-	n.winWrites++
-	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: true})
-	stamps := make([]uint64, pages)
-	for i, p := range lpns {
-		if old := n.dirtyData[p]; old != nil {
-			n.putPage(old)
+	runs := n.buf.SplitRequest(lpn, pages)
+	for _, run := range runs {
+		sh := &n.shards[run.Shard]
+		n.buf.LockShard(run.Shard)
+		c := n.buf.ShardCache(run.Shard)
+		res := c.Access(buffer.Request{LPN: run.LPN, Pages: run.Pages, Write: true})
+		for p := run.LPN; p < run.LPN+int64(run.Pages); p++ {
+			i := int(p - lpn)
+			if old := sh.dirtyData[p]; old != nil {
+				n.putPage(old)
+			}
+			sh.dirtyData[p] = copies[i]
+			st := n.stampCtr.Add(1)
+			stamps[i] = st
+			sh.dirtyStamp[p] = st
 		}
-		n.dirtyData[p] = copies[i]
-		n.stamp++
-		stamps[i] = n.stamp
-		n.dirtyStamp[p] = n.stamp
-	}
-	err := n.applyFlushLocked(res.Flush)
-	alive := n.lc.alive()
-	n.mu.Unlock()
-	if err != nil {
-		return err
+		jobs := n.extractFlushLocked(sh, res.Flush)
+		n.buf.UnlockShard(run.Shard)
+		n.enqueueFlush(run.Shard, jobs)
 	}
 
-	if alive && n.peer != nil {
+	if n.alive.Load() && n.peer != nil {
 		tf := time.Now()
 		done, ferr := n.enqueueForward(lpns, stamps, data)
 		if ferr == nil {
@@ -552,8 +652,8 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 		}
 		if ferr == nil {
 			atomic.AddInt64(&n.stats.Forwards, 1)
-			n.recordLatency(&n.fwdLat, tf)
-			n.recordLatency(&n.writeLat, t0)
+			n.recordLatency(n.fwdLat, tf)
+			n.recordLatency(n.writeLat, t0)
 			return nil
 		}
 		if errors.Is(ferr, ErrOverloaded) {
@@ -565,27 +665,71 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 		atomic.AddInt64(&n.stats.ForwardFailures, 1)
 		n.mu.Lock()
 		act := n.lc.forwardFailed()
+		n.syncAliveLocked()
 		n.mu.Unlock()
 		n.applyAction(act)
 	}
 	// Degraded mode: no backup exists, write through synchronously — and
-	// journal the page so the resync stream re-replicates it on rejoin.
-	n.mu.Lock()
-	journal := n.peer != nil && !n.lc.alive()
-	for _, p := range lpns {
-		st := n.dirtyStamp[p]
-		if err := n.persistLocked(p); err != nil {
-			n.mu.Unlock()
+	// journal the pages so the resync stream re-replicates them on rejoin.
+	for _, run := range runs {
+		if err := n.writeThroughRun(run, lpn, stamps); err != nil {
 			return err
 		}
-		n.buf.MarkClean(p)
-		if journal {
-			n.journalLocked(p, st)
+	}
+	n.recordLatency(n.writeLat, t0)
+	return nil
+}
+
+// writeThroughRun synchronously persists one shard run of a degraded
+// write and journals it for the next resync. The pages are found in the
+// shard's dirty map — or, if a concurrent access evicted them between the
+// buffering phase and here, pinned in the inflight map; both are this
+// write's (or a newer) version and both must be durable before the write
+// is acked without a backup.
+func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uint64) error {
+	sh := &n.shards[run.Shard]
+	sh.persistMu.Lock()
+	defer sh.persistMu.Unlock()
+	n.buf.LockShard(run.Shard)
+	defer n.buf.UnlockShard(run.Shard)
+	c := n.buf.ShardCache(run.Shard)
+
+	var dirtyItems, pinnedItems []flushPage
+	for p := run.LPN; p < run.LPN+int64(run.Pages); p++ {
+		if d := sh.dirtyData[p]; d != nil {
+			dirtyItems = append(dirtyItems, flushPage{lpn: p, data: d, stamp: sh.dirtyStamp[p]})
+		} else if fp, ok := sh.inflight[p]; ok {
+			pinnedItems = append(pinnedItems, fp)
+		}
+	}
+	done, err := n.persistSet(dirtyItems)
+	for _, fp := range done {
+		delete(sh.dirtyData, fp.lpn)
+		delete(sh.dirtyStamp, fp.lpn)
+		n.putPage(fp.data)
+		c.MarkClean(fp.lpn)
+	}
+	if err == nil {
+		// Persist pinned pages too, but leave their buffers to the queued
+		// job that owns them (it recycles them on the stamp mismatch).
+		var donePinned []flushPage
+		donePinned, err = n.persistSet(pinnedItems)
+		for _, fp := range donePinned {
+			delete(sh.inflight, fp.lpn)
+		}
+	}
+	// Journal every page of the run under n.mu so no insert can race the
+	// resync stream's empty-check+flip critical section. Pages persisted
+	// by a concurrent eviction moments ago still need the journal entry —
+	// their backup never reached the partner either.
+	n.mu.Lock()
+	if n.peer != nil && !n.lc.alive() {
+		for p := run.LPN; p < run.LPN+int64(run.Pages); p++ {
+			n.journalShardLocked(sh, p, stamps[p-base])
 		}
 	}
 	n.mu.Unlock()
-	n.recordLatency(&n.writeLat, t0)
-	return nil
+	return err
 }
 
 // admitWrite claims one admission slot, shedding the write with
@@ -615,94 +759,89 @@ func (n *LiveNode) admitWrite() error {
 func (n *LiveNode) releaseWrite() { <-n.admit }
 
 // Read returns the payload of `pages` pages starting at lpn. Unwritten
-// pages read as zeros.
+// pages read as zeros. The payload lookup order per page is: the shard's
+// dirty map (newest acked version), then the inflight map (evicted but
+// not yet durable — a read during an in-flight flush must see the pinned
+// dirty payload, never a half-persisted store state), then the store.
 func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
 	if pages <= 0 {
 		return nil, fmt.Errorf("cluster %s: empty read", n.cfg.Name)
 	}
-	ps := n.dev.PageSize()
+	ps := n.pageSize
 	out := make([]byte, pages*ps)
 	atomic.AddInt64(&n.stats.Reads, 1)
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.winReads++
-	res := n.buf.Access(buffer.Request{LPN: lpn, Pages: pages, Write: false})
-	for i := 0; i < pages; i++ {
-		p := lpn + int64(i)
-		src := n.dirtyData[p]
-		if src == nil {
-			src = n.store.get(p)
+	n.winReads.Add(1)
+	for _, run := range n.buf.SplitRequest(lpn, pages) {
+		sh := &n.shards[run.Shard]
+		n.buf.LockShard(run.Shard)
+		c := n.buf.ShardCache(run.Shard)
+		res := c.Access(buffer.Request{LPN: run.LPN, Pages: run.Pages, Write: false})
+		for p := run.LPN; p < run.LPN+int64(run.Pages); p++ {
+			i := int(p - lpn)
+			src := sh.dirtyData[p]
+			if src == nil {
+				if fp, ok := sh.inflight[p]; ok {
+					src = fp.data
+				}
+			}
+			if src == nil {
+				src = n.store.get(p)
+			}
+			if src != nil {
+				copy(out[i*ps:(i+1)*ps], src)
+			}
 		}
-		if src != nil {
-			copy(out[i*ps:], src)
+		var derr error
+		if len(res.ReadMisses) > 0 {
+			n.devMu.Lock()
+			_, derr = n.dev.Read(n.vnow(), res.ReadMisses[0], len(res.ReadMisses))
+			n.devMu.Unlock()
 		}
-	}
-	if len(res.ReadMisses) > 0 {
-		if _, err := n.dev.Read(n.vnow(), res.ReadMisses[0], len(res.ReadMisses)); err != nil {
-			return nil, err
+		jobs := n.extractFlushLocked(sh, res.Flush)
+		n.buf.UnlockShard(run.Shard)
+		n.enqueueFlush(run.Shard, jobs)
+		if derr != nil {
+			return nil, derr
 		}
-	}
-	if err := n.applyFlushLocked(res.Flush); err != nil {
-		return nil, err
 	}
 	return out, nil
 }
 
-// persistLocked makes one page durable in the store and the timing model.
-// The dirty payload buffer is recycled into the page pool.
-func (n *LiveNode) persistLocked(lpn int64) error {
-	data := n.dirtyData[lpn]
-	if data == nil {
-		return nil // clean or unknown: already durable
-	}
-	if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
-		return fmt.Errorf("cluster %s: persist lpn %d: %w", n.cfg.Name, lpn, err)
-	}
-	if err := n.store.put(lpn, data, n.dirtyStamp[lpn]); err != nil {
-		return err
-	}
-	delete(n.dirtyData, lpn)
-	delete(n.dirtyStamp, lpn)
-	n.putPage(data)
-	atomic.AddInt64(&n.stats.Persists, 1)
-	return nil
-}
-
-// applyFlushLocked persists eviction units and queues backup discards on
-// the forward pipeline (ordered behind any backup still queued for the
-// same pages, unlike the old fire-and-forget goroutine).
-func (n *LiveNode) applyFlushLocked(units []buffer.FlushUnit) error {
-	var flushed []int64
-	var stamps []uint64
-	for _, u := range units {
-		for _, p := range u.Pages {
-			// Capture the stamp before persistLocked retires it: the
-			// partner drops its backup only when the discard's stamp is
-			// at least as new as the backup it holds.
-			st := n.dirtyStamp[p]
-			if err := n.persistLocked(p); err != nil {
-				return err
-			}
-			flushed = append(flushed, p)
-			stamps = append(stamps, st)
-		}
-	}
-	if len(flushed) > 0 && n.lc.alive() && n.peer != nil {
-		n.enqueueDiscard(flushed, stamps)
-	}
-	return nil
-}
-
-// FlushAll persists every dirty page (used at shutdown and on failover).
+// FlushAll persists every dirty page — buffered and in flight — across
+// all shards (used at shutdown and on failover).
 func (n *LiveNode) FlushAll() error {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	units := n.buf.FlushAll()
-	for _, u := range units {
-		for _, p := range u.Pages {
-			if err := n.persistLocked(p); err != nil {
-				return err
+	for si := range n.shards {
+		sh := &n.shards[si]
+		sh.persistMu.Lock()
+		n.buf.LockShard(si)
+		n.buf.ShardCache(si).FlushAll()
+		items := make([]flushPage, 0, len(sh.dirtyData))
+		for p, d := range sh.dirtyData {
+			items = append(items, flushPage{lpn: p, data: d, stamp: sh.dirtyStamp[p]})
+		}
+		done, err := n.persistSet(items)
+		for _, fp := range done {
+			delete(sh.dirtyData, fp.lpn)
+			delete(sh.dirtyStamp, fp.lpn)
+			n.putPage(fp.data)
+		}
+		if err == nil {
+			// In-flight evictions become durable here too; their buffers
+			// stay with the queued jobs, which recycle them on the miss.
+			pinned := make([]flushPage, 0, len(sh.inflight))
+			for _, fp := range sh.inflight {
+				pinned = append(pinned, fp)
 			}
+			var donePinned []flushPage
+			donePinned, err = n.persistSet(pinned)
+			for _, fp := range donePinned {
+				delete(sh.inflight, fp.lpn)
+			}
+		}
+		n.buf.UnlockShard(si)
+		sh.persistMu.Unlock()
+		if err != nil {
+			return err
 		}
 	}
 	return nil
@@ -732,34 +871,47 @@ func (n *LiveNode) RecoverFromPeer() error {
 	if resp.Type != MsgRCTData {
 		return fmt.Errorf("cluster: unexpected RCT response %v", resp.Type)
 	}
-	ps := n.dev.PageSize()
+	ps := n.pageSize
 	if len(resp.Data) != len(resp.LPNs)*ps {
 		return fmt.Errorf("%w: RCT payload size mismatch", ErrBadFrame)
 	}
 	if len(resp.Stamps) != len(resp.LPNs) {
 		return fmt.Errorf("%w: RCT stamp count mismatch", ErrBadFrame)
 	}
-	n.mu.Lock()
 	for i, lpn := range resp.LPNs {
 		st := resp.Stamps[i]
+		sh := &n.shards[n.buf.ShardIndex(lpn)]
+		sh.persistMu.Lock()
 		if local, ok := n.store.getStamp(lpn); ok && local >= st {
 			atomic.AddInt64(&n.stats.StaleRecoverySkips, 1)
+			sh.persistMu.Unlock()
 			continue
 		}
-		if _, err := n.dev.Write(n.vnow(), lpn, 1); err != nil {
-			n.mu.Unlock()
-			return err
+		n.devMu.Lock()
+		_, derr := n.dev.Write(n.vnow(), lpn, 1)
+		n.devMu.Unlock()
+		if derr != nil {
+			sh.persistMu.Unlock()
+			return derr
 		}
-		if err := n.store.put(lpn, resp.Data[i*ps:(i+1)*ps], st); err != nil {
-			n.mu.Unlock()
-			return err
+		if perr := n.store.put(lpn, resp.Data[i*ps:(i+1)*ps], st); perr != nil {
+			sh.persistMu.Unlock()
+			return perr
 		}
 		atomic.AddInt64(&n.stats.Persists, 1)
-		if st > n.stamp {
-			n.stamp = st
+		sh.persistMu.Unlock()
+		// Resume the global stamp past every recovered version so new
+		// writes order after them on every shard.
+		for {
+			cur := n.stampCtr.Load()
+			if st <= cur || n.stampCtr.CompareAndSwap(cur, st) {
+				break
+			}
 		}
 	}
-	n.mu.Unlock()
+	if err := n.store.flush(); err != nil {
+		return err
+	}
 	_, err = n.peer.callT(&Message{Type: MsgCleanRemote}, n.cfg.BulkTimeout)
 	return err
 }
@@ -776,7 +928,8 @@ func (n *LiveNode) Close() error {
 }
 
 // Crash simulates an abrupt failure: all networking stops and NOTHING is
-// flushed — volatile state is lost exactly as on a power cut, while the
+// flushed — volatile state (buffered dirty pages AND evicted pages still
+// in the flush pipeline) is lost exactly as on a power cut, while the
 // durable page store (the "SSD") is released so a replacement node can
 // reopen it. Used by failure-injection tests and the failover example.
 func (n *LiveNode) Crash() {
@@ -793,7 +946,7 @@ func (n *LiveNode) closeStore() error {
 }
 
 // shutdown stops the listener, all accepted connections, the forwarder,
-// and the peer client; it is safe to call more than once.
+// the evictors, and the peer client; it is safe to call more than once.
 func (n *LiveNode) shutdown() {
 	n.stopOnce.Do(func() {
 		// Mark closing under the mutex first so no new prober goroutine
@@ -898,7 +1051,7 @@ func (n *LiveNode) handle(m *Message) *Message {
 		n.mu.Unlock()
 		return &Message{Type: MsgDiscardAck}
 	case MsgFetchRCT:
-		ps := n.dev.PageSize()
+		ps := n.pageSize
 		n.mu.Lock()
 		lpns := make([]int64, 0, n.remote.Len())
 		for lpn := range n.remoteData {
@@ -928,10 +1081,7 @@ func (n *LiveNode) handle(m *Message) *Message {
 		n.mu.Unlock()
 		return &Message{Type: MsgCleanAck}
 	case MsgWorkloadInfo:
-		n.mu.Lock()
-		info := n.localInfoLocked()
-		n.mu.Unlock()
-		return &Message{Type: MsgWorkloadInfoAck, Info: info}
+		return &Message{Type: MsgWorkloadInfoAck, Info: n.localInfo()}
 	default:
 		return &Message{Type: MsgError, Err: fmt.Sprintf("unhandled message %v", m.Type)}
 	}
@@ -940,7 +1090,7 @@ func (n *LiveNode) handle(m *Message) *Message {
 // applyBackup inserts one frame of partner pages (a live MsgWriteFwd or a
 // rejoin MsgResync) into the RCT under the write-stamp guard.
 func (n *LiveNode) applyBackup(m *Message, ack MsgType) *Message {
-	ps := n.dev.PageSize()
+	ps := n.pageSize
 	if len(m.Data) != len(m.LPNs)*ps {
 		return &Message{Type: MsgError, Err: fmt.Sprintf("%v payload size mismatch", m.Type)}
 	}
@@ -999,17 +1149,30 @@ func (n *LiveNode) SetPeer(addr string) {
 	n.peer = newPeerClient(addr, n.cfg.CallTimeout, n.cfg.Dialer)
 }
 
-// SnapshotDirty returns a copy of the locally buffered dirty payloads,
-// keyed by LPN. It is an inspection hook for invariant checkers (see
-// internal/cluster/check); taking it briefly blocks the write path.
+// SnapshotDirty returns a copy of the locally buffered dirty payloads —
+// including evicted pages still pinned in the flush pipeline, which are
+// volatile in exactly the same way — keyed by LPN. It is an inspection
+// hook for invariant checkers (see internal/cluster/check); taking it
+// briefly blocks the write path one shard at a time.
 func (n *LiveNode) SnapshotDirty() map[int64][]byte {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	out := make(map[int64][]byte, len(n.dirtyData))
-	for lpn, pg := range n.dirtyData {
-		cp := make([]byte, len(pg))
-		copy(cp, pg)
-		out[lpn] = cp
+	out := make(map[int64][]byte)
+	for si := range n.shards {
+		sh := &n.shards[si]
+		n.buf.LockShard(si)
+		for lpn, pg := range sh.dirtyData {
+			cp := make([]byte, len(pg))
+			copy(cp, pg)
+			out[lpn] = cp
+		}
+		for lpn, fp := range sh.inflight {
+			if _, ok := out[lpn]; ok {
+				continue // a newer dirty version shadows the in-flight one
+			}
+			cp := make([]byte, len(fp.data))
+			copy(cp, fp.data)
+			out[lpn] = cp
+		}
+		n.buf.UnlockShard(si)
 	}
 	return out
 }
@@ -1034,7 +1197,5 @@ func (n *LiveNode) SnapshotRemote() map[int64][]byte {
 // DurableGet returns a copy of the persisted payload for lpn, or nil when
 // the page has never been flushed. Inspection hook for invariant checkers.
 func (n *LiveNode) DurableGet(lpn int64) []byte {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	return n.store.get(lpn)
 }

@@ -13,8 +13,14 @@ import (
 // page has been flushed from the cooperative buffer. Each page carries its
 // write stamp (the node's monotonic per-page version) so that crash
 // recovery can tell a stale peer backup from newer durable data.
+//
+// Implementations are safe for concurrent use: the sharded live node
+// persists from several shard sections at once, so stores synchronize
+// internally instead of leaning on a caller's lock. get returns a copy
+// that the caller owns — mutating a read result can never corrupt the
+// store.
 type pageStore interface {
-	// get returns the stored payload for lpn, or nil when absent.
+	// get returns a copy of the stored payload for lpn, or nil when absent.
 	get(lpn int64) []byte
 	// getStamp returns the stored write stamp for lpn.
 	getStamp(lpn int64) (uint64, bool)
@@ -27,12 +33,17 @@ type pageStore interface {
 	// maxStamp reports the largest stamp currently stored; a restarted
 	// node resumes its stamp counter from here.
 	maxStamp() uint64
+	// flush makes every preceding put durable (fsync in sync mode). puts
+	// are batched between flushes so an evictor draining a whole flush
+	// unit pays one sync, not one per page.
+	flush() error
 	close() error
 }
 
 // memStore is the default in-memory medium (contents die with the process,
 // like the simulator's SSD).
 type memStore struct {
+	mu  sync.Mutex
 	m   map[int64]memPage
 	max uint64
 }
@@ -44,9 +55,21 @@ type memPage struct {
 
 func newMemStore() *memStore { return &memStore{m: make(map[int64]memPage)} }
 
-func (s *memStore) get(lpn int64) []byte { return s.m[lpn].data }
+func (s *memStore) get(lpn int64) []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, ok := s.m[lpn]
+	if !ok {
+		return nil
+	}
+	cp := make([]byte, len(p.data))
+	copy(cp, p.data)
+	return cp
+}
 
 func (s *memStore) getStamp(lpn int64) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	p, ok := s.m[lpn]
 	return p.stamp, ok
 }
@@ -54,6 +77,8 @@ func (s *memStore) getStamp(lpn int64) (uint64, bool) {
 func (s *memStore) put(lpn int64, data []byte, stamp uint64) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.m[lpn] = memPage{data: cp, stamp: stamp}
 	if stamp > s.max {
 		s.max = stamp
@@ -62,13 +87,25 @@ func (s *memStore) put(lpn int64, data []byte, stamp uint64) error {
 }
 
 func (s *memStore) remove(lpn int64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	delete(s.m, lpn)
 	return nil
 }
 
-func (s *memStore) pages() int { return len(s.m) }
+func (s *memStore) pages() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.m)
+}
 
-func (s *memStore) maxStamp() uint64 { return s.max }
+func (s *memStore) maxStamp() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.max
+}
+
+func (s *memStore) flush() error { return nil }
 
 func (s *memStore) close() error { return nil }
 
@@ -84,7 +121,8 @@ type fileStore struct {
 	free     []int64            // reusable slots
 	slots    int64              // total slots in the file
 	max      uint64             // largest stamp seen
-	sync     bool               // fsync after every put
+	sync     bool               // fsync on flush
+	unsynced bool               // puts since the last fsync
 }
 
 type fileSlot struct {
@@ -102,10 +140,17 @@ const freeSlotMarker = int64(-1)
 
 // newFileStore opens (creating if needed) the page store in dir.
 func newFileStore(dir string, pageSize int, syncWrites bool) (*fileStore, error) {
+	return newFileStoreAt(dir, fileStoreName, pageSize, syncWrites)
+}
+
+// newFileStoreAt opens a page store under an explicit file name; the
+// sharded store gives each shard its own file so per-shard evictors fsync
+// independent streams instead of convoying on one inode.
+func newFileStoreAt(dir, name string, pageSize int, syncWrites bool) (*fileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: pagestore dir: %w", err)
 	}
-	path := filepath.Join(dir, fileStoreName)
+	path := filepath.Join(dir, name)
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: pagestore: %w", err)
@@ -207,10 +252,18 @@ func (s *fileStore) put(lpn int64, data []byte, stamp uint64) error {
 	if stamp > s.max {
 		s.max = stamp
 	}
-	if s.sync {
-		return s.f.Sync()
-	}
+	s.unsynced = true
 	return nil
+}
+
+func (s *fileStore) flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.sync || !s.unsynced {
+		return nil
+	}
+	s.unsynced = false
+	return s.f.Sync()
 }
 
 func (s *fileStore) remove(lpn int64) error {
@@ -250,4 +303,107 @@ func (s *fileStore) close() error {
 		return err
 	}
 	return s.f.Close()
+}
+
+// shardedStore stripes a pageStore across one sub-store per buffer shard,
+// routed by the same block→shard function the buffer uses, so a shard's
+// evictor only ever touches its own sub-store (and, with a fileStore
+// backing, its own file descriptor and fsync stream). This is what keeps
+// the durable medium from re-serializing the sharded write path.
+type shardedStore struct {
+	subs []pageStore
+	ppb  int64
+}
+
+// newShardedMemStore builds an n-way striped in-memory store.
+func newShardedMemStore(n, pagesPerBlock int) *shardedStore {
+	s := &shardedStore{subs: make([]pageStore, n), ppb: int64(pagesPerBlock)}
+	for i := range s.subs {
+		s.subs[i] = newMemStore()
+	}
+	return s
+}
+
+// shardStoreName names shard i's backing file. Shard 0 keeps the legacy
+// single-store name, so a 1-shard node reopens data written before
+// sharding existed.
+func shardStoreName(i int) string {
+	if i == 0 {
+		return fileStoreName
+	}
+	return fmt.Sprintf("pagestore-%d.dat", i)
+}
+
+// newShardedFileStore builds an n-way striped file store in dir. The
+// shard count must be stable across restarts of the same DataDir: pages
+// are routed to files by shard index, so reopening with a different count
+// would look up pages in the wrong sub-store.
+func newShardedFileStore(dir string, pageSize int, syncWrites bool, n, pagesPerBlock int) (*shardedStore, error) {
+	s := &shardedStore{subs: make([]pageStore, n), ppb: int64(pagesPerBlock)}
+	for i := range s.subs {
+		sub, err := newFileStoreAt(dir, shardStoreName(i), pageSize, syncWrites)
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.subs[j].close()
+			}
+			return nil, err
+		}
+		s.subs[i] = sub
+	}
+	return s, nil
+}
+
+func (s *shardedStore) sub(lpn int64) pageStore {
+	return s.subs[uint64(lpn/s.ppb)%uint64(len(s.subs))]
+}
+
+func (s *shardedStore) get(lpn int64) []byte              { return s.sub(lpn).get(lpn) }
+func (s *shardedStore) getStamp(lpn int64) (uint64, bool) { return s.sub(lpn).getStamp(lpn) }
+func (s *shardedStore) put(lpn int64, data []byte, stamp uint64) error {
+	return s.sub(lpn).put(lpn, data, stamp)
+}
+func (s *shardedStore) remove(lpn int64) error { return s.sub(lpn).remove(lpn) }
+
+func (s *shardedStore) pages() int {
+	total := 0
+	for _, sub := range s.subs {
+		total += sub.pages()
+	}
+	return total
+}
+
+func (s *shardedStore) maxStamp() uint64 {
+	var max uint64
+	for _, sub := range s.subs {
+		if m := sub.maxStamp(); m > max {
+			max = m
+		}
+	}
+	return max
+}
+
+func (s *shardedStore) flush() error {
+	var first error
+	for _, sub := range s.subs {
+		if err := sub.flush(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// flushOf makes only the section holding lpn durable. A persist batch
+// always stays within one shard, and syncing the sibling sections too
+// would convoy every evictor's fsync stream on every other's — undoing
+// exactly the concurrency the striped store exists for.
+func (s *shardedStore) flushOf(lpn int64) error { return s.sub(lpn).flush() }
+
+func (s *shardedStore) close() error {
+	var first error
+	for _, sub := range s.subs {
+		if err := sub.close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }

@@ -189,11 +189,7 @@ func TestBatchedForwarding(t *testing.T) {
 		st.Forwards, st.FwdFrames, float64(st.Forwards)/float64(st.FwdFrames))
 	// Backups present unless already flushed+discarded: every written page
 	// must be either backed up on b or durable on a.
-	durable := func(lpn int64) bool {
-		a.mu.Lock()
-		defer a.mu.Unlock()
-		return a.store.get(lpn) != nil
-	}
+	durable := func(lpn int64) bool { return a.DurableGet(lpn) != nil }
 	for w := 0; w < workers; w++ {
 		for i := 0; i < perWorker; i++ {
 			lpn := int64(1000 + w*perWorker + i)

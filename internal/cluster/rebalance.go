@@ -4,21 +4,28 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flashcoop/internal/buffer"
 	"flashcoop/internal/core"
 )
 
-// localInfoLocked measures this node's workload window and resource usage
-// for the dynamic-allocation exchange. Callers hold n.mu.
-func (n *LiveNode) localInfoLocked() Info {
+// localInfo measures this node's workload window and resource usage for
+// the dynamic-allocation exchange. It takes no node mutex — the window
+// counters are atomics and the sharded buffer aggregates under its own
+// shard locks — so the partner's MsgWorkloadInfo handler can call it
+// without ordering against n.mu (which must never wait on shard locks).
+func (n *LiveNode) localInfo() Info {
 	info := Info{}
-	if total := n.winReads + n.winWrites; total > 0 {
-		info.WriteFrac = float64(n.winWrites) / float64(total)
+	r := n.winReads.Swap(0)
+	w := n.winWrites.Swap(0)
+	if total := r + w; total > 0 {
+		info.WriteFrac = float64(w) / float64(total)
 	}
-	n.winReads, n.winWrites = 0, 0
-	if n.buf.Capacity() > 0 {
-		info.Mem = float64(n.buf.Len()) / float64(n.buf.Capacity())
+	if c := n.buf.Capacity(); c > 0 {
+		info.Mem = float64(n.buf.Len()) / float64(c)
 	}
+	n.devMu.Lock()
 	info.CPU = n.dev.Utilization(n.vnow())
+	n.devMu.Unlock()
 	return info
 }
 
@@ -30,9 +37,7 @@ func (n *LiveNode) RebalanceOnce() (float64, error) {
 	if n.peer == nil {
 		return 0, errNoPeer
 	}
-	n.mu.Lock()
-	local := n.localInfoLocked()
-	n.mu.Unlock()
+	local := n.localInfo()
 
 	resp, err := n.peer.call(&Message{Type: MsgWorkloadInfo, Info: local})
 	if err != nil {
@@ -52,23 +57,27 @@ func (n *LiveNode) RebalanceOnce() (float64, error) {
 	}
 	theta := core.Theta(core.DefaultAllocParams(), localInfo, peerInfo)
 
-	n.mu.Lock()
 	total := n.cfg.BufferPages + n.cfg.RemotePages
 	remotePages := int(theta * float64(total))
 	localPages := total - remotePages
+	n.mu.Lock()
 	n.remote.Resize(remotePages)
 	n.gcRemoteDataLocked()
-	units := n.buf.Resize(localPages)
-	for _, u := range units {
-		for _, p := range u.Pages {
-			if err := n.persistLocked(p); err != nil {
-				n.mu.Unlock()
-				return theta, err
-			}
+	n.mu.Unlock()
+	// Shrinking the buffer evicts dirty blocks; they go through the normal
+	// flush pipeline (pinned readable until their shard's evictor persists
+	// them) rather than stalling the rebalance round on the SSD.
+	for _, u := range n.buf.Resize(localPages) {
+		if len(u.Pages) == 0 {
+			continue
 		}
+		si := n.buf.ShardIndex(u.Pages[0])
+		n.buf.LockShard(si)
+		jobs := n.extractFlushLocked(&n.shards[si], []buffer.FlushUnit{u})
+		n.buf.UnlockShard(si)
+		n.enqueueFlush(si, jobs)
 	}
 	atomic.AddInt64(&n.stats.Rebalances, 1)
-	n.mu.Unlock()
 	return theta, nil
 }
 
@@ -95,40 +104,60 @@ func (n *LiveNode) StartRebalance(interval time.Duration) {
 }
 
 // Trim discards pages of a deleted short-lived file: buffered dirty copies
-// die without ever being persisted, the partner's backups are dropped, and
-// the SSD mapping is trimmed.
+// die without ever being persisted, in-flight flushes are cancelled, the
+// partner's backups are dropped, and the SSD mapping is trimmed.
 func (n *LiveNode) Trim(lpn int64, pages int) error {
-	n.mu.Lock()
 	var dropped []int64
 	var stamps []uint64
-	for i := 0; i < pages; i++ {
-		p := lpn + int64(i)
-		wasDirty := n.buf.IsDirty(p)
-		if n.buf.Invalidate(p) && wasDirty {
-			dropped = append(dropped, p)
-			// The trim supersedes every version written so far, so the
-			// discard carries the node's current stamp.
-			stamps = append(stamps, n.stamp)
+	for _, run := range n.buf.SplitRequest(lpn, pages) {
+		sh := &n.shards[run.Shard]
+		// persistMu keeps a lagging eviction flush from re-persisting a
+		// page this trim is about to remove from the store.
+		sh.persistMu.Lock()
+		n.buf.LockShard(run.Shard)
+		c := n.buf.ShardCache(run.Shard)
+		for p := run.LPN; p < run.LPN+int64(run.Pages); p++ {
+			wasDirty := c.IsDirty(p)
+			droppedThis := c.Invalidate(p) && wasDirty
+			if pg := sh.dirtyData[p]; pg != nil {
+				n.putPage(pg)
+				delete(sh.dirtyData, p)
+			}
+			delete(sh.dirtyStamp, p)
+			if _, ok := sh.inflight[p]; ok {
+				// Cancel the pending persist; the queued job recycles its
+				// buffer when it sees the entry gone.
+				delete(sh.inflight, p)
+				droppedThis = true
+			}
+			if droppedThis {
+				dropped = append(dropped, p)
+				// The trim supersedes every version written so far, so the
+				// discard carries the node's current stamp.
+				stamps = append(stamps, n.stampCtr.Load())
+			}
+			if _, ok := sh.outage[p]; ok {
+				// A trimmed page has nothing left to resync.
+				delete(sh.outage, p)
+				n.outageLen.Add(-1)
+			}
+			if err := n.store.remove(p); err != nil {
+				n.buf.UnlockShard(run.Shard)
+				sh.persistMu.Unlock()
+				return err
+			}
 		}
-		if pg := n.dirtyData[p]; pg != nil {
-			n.putPage(pg)
-			delete(n.dirtyData, p)
-		}
-		delete(n.dirtyStamp, p)
-		// A trimmed page has nothing left to resync.
-		delete(n.outage, p)
-		if err := n.store.remove(p); err != nil {
-			n.mu.Unlock()
-			return err
-		}
+		n.buf.UnlockShard(run.Shard)
+		sh.persistMu.Unlock()
 	}
-	if err := n.dev.Trim(lpn, pages); err != nil {
-		n.mu.Unlock()
+	n.devMu.Lock()
+	err := n.dev.Trim(lpn, pages)
+	n.devMu.Unlock()
+	if err != nil {
 		return err
 	}
-	if len(dropped) > 0 && n.lc.alive() && n.peer != nil {
+	if len(dropped) > 0 && n.alive.Load() && n.peer != nil {
 		n.enqueueDiscard(dropped, stamps)
 	}
-	n.mu.Unlock()
 	return nil
 }

@@ -16,27 +16,32 @@ const probeBaseDelay = 20 * time.Millisecond
 // outpacing the stream must not pin the node in Resyncing forever.
 const maxResyncPasses = 8
 
-// journalLocked records one degraded write-through for later resync.
-// Caller holds n.mu. The journal is a set keyed by LPN (the stream sends
-// the page's latest durable payload, so overwrites coalesce); past the
-// configured cap new pages are dropped and counted — they stay durable
-// locally and the stamp guards keep the partner from serving older data,
-// the pair just loses the warm backup for them.
-func (n *LiveNode) journalLocked(lpn int64, st uint64) {
+// journalShardLocked records one degraded write-through for later resync
+// in the page's shard bucket. Caller holds the shard's lock AND n.mu —
+// the mutex makes the insert atomic with respect to the resync stream's
+// "journal empty → flip Healthy" critical section (which reads outageLen
+// under n.mu), so no degraded write can slip in unjournaled behind the
+// flip. The journal is a set keyed by LPN (the stream sends the page's
+// latest durable payload, so overwrites coalesce); past the configured
+// cap new pages are dropped and counted — they stay durable locally and
+// the stamp guards keep the partner from serving older data, the pair
+// just loses the warm backup for them.
+func (n *LiveNode) journalShardLocked(sh *liveShard, lpn int64, st uint64) {
 	if n.peer == nil {
 		return
 	}
-	if cur, ok := n.outage[lpn]; ok {
+	if cur, ok := sh.outage[lpn]; ok {
 		if st > cur {
-			n.outage[lpn] = st
+			sh.outage[lpn] = st
 		}
 		return
 	}
-	if len(n.outage) >= n.cfg.ResyncJournalLimit {
+	if n.outageLen.Load() >= int64(n.cfg.ResyncJournalLimit) {
 		atomic.AddInt64(&n.stats.JournalDrops, 1)
 		return
 	}
-	n.outage[lpn] = st
+	sh.outage[lpn] = st
+	n.outageLen.Add(1)
 }
 
 // startProber launches the background probe loop if it is not already
@@ -91,6 +96,7 @@ func (n *LiveNode) probeLoop() {
 			return
 		case StateDegraded, StateSuspect:
 			n.lc.probeStart()
+			n.syncAliveLocked()
 		default:
 			// Probing/Resyncing: a ConnectPeer owns the walk right now;
 			// check back shortly.
@@ -106,6 +112,7 @@ func (n *LiveNode) probeLoop() {
 			// past Probing while our probe was on the wire.
 			if n.lc.state == StateProbing {
 				n.lc.probeFailed()
+				n.syncAliveLocked()
 			}
 			n.mu.Unlock()
 			continue
@@ -132,12 +139,14 @@ func (n *LiveNode) rejoin() error {
 		n.lc.probeStart()
 	}
 	n.lc.probeOK()
+	n.syncAliveLocked()
 	n.mu.Unlock()
 	resumed, err := n.resyncJournal()
 	if !resumed {
 		atomic.AddInt64(&n.stats.ResyncFailures, 1)
 		n.mu.Lock()
 		n.lc.resyncFailed()
+		n.syncAliveLocked()
 		n.mu.Unlock()
 		// The journal keeps its unsent pages; the prober retries.
 		n.startProber()
@@ -156,25 +165,27 @@ func (n *LiveNode) rejoin() error {
 }
 
 // resyncJournal drains the degraded-write journal to the partner and flips
-// the lifecycle back to Healthy. Each pass swaps the journal out whole;
-// writes that go degraded mid-stream land in the fresh map and are picked
-// up by the next pass. Under sustained write load the journal refills
-// faster than the stream drains it, so after maxResyncPasses the node
-// resumes cooperative forwarding anyway — that freezes the journal (new
-// writes forward instead of journaling) — and pushes the remainder after.
-// The empty-check and the Healthy flip share one critical section so no
-// degraded write can slip between them.
+// the lifecycle back to Healthy. Each pass swaps the shard buckets out
+// whole; writes that go degraded mid-stream land in the fresh maps and are
+// picked up by the next pass. Under sustained write load the journal
+// refills faster than the stream drains it, so after maxResyncPasses the
+// node resumes cooperative forwarding anyway — that freezes the journal
+// (new writes forward instead of journaling) — and pushes the remainder
+// after. The empty-check (outageLen, whose inserts happen with n.mu held)
+// and the Healthy flip share one critical section so no degraded write can
+// slip between them.
 //
 // Returns resumed=true once the lifecycle reached Healthy; err carries any
 // stream failure (pages already requeued).
 func (n *LiveNode) resyncJournal() (resumed bool, err error) {
-	ps := n.dev.PageSize()
+	ps := n.pageSize
 	for phase := 0; phase < 2; phase++ {
 		for pass := 0; pass < maxResyncPasses; pass++ {
 			n.mu.Lock()
-			if len(n.outage) == 0 {
+			if n.outageLen.Load() == 0 {
 				if !resumed {
 					n.lc.resyncDone()
+					n.syncAliveLocked()
 					resumed = true
 				}
 				n.mu.Unlock()
@@ -188,6 +199,7 @@ func (n *LiveNode) resyncJournal() (resumed bool, err error) {
 		if !resumed {
 			n.mu.Lock()
 			n.lc.resyncDone()
+			n.syncAliveLocked()
 			n.mu.Unlock()
 			resumed = true
 		}
@@ -233,46 +245,55 @@ func (n *LiveNode) sendJournalPass(ps int) error {
 	return nil
 }
 
-// takeJournal atomically swaps the journal out and snapshots the current
-// durable payload and stamp of every journaled page. Pages since trimmed
-// (no durable copy) are skipped.
+// takeJournal swaps every shard's journal bucket out and snapshots the
+// current durable payload and stamp of every journaled page. Pages since
+// trimmed (no durable copy) are skipped. Each bucket swap is atomic under
+// its shard lock; the payload snapshot happens after release (the store is
+// internally synchronized and returns copies).
 func (n *LiveNode) takeJournal(ps int) (lpns []int64, stamps []uint64, data []byte) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if len(n.outage) == 0 {
-		return nil, nil, nil
-	}
-	old := n.outage
-	n.outage = make(map[int64]uint64)
-	lpns = make([]int64, 0, len(old))
-	stamps = make([]uint64, 0, len(old))
-	data = make([]byte, 0, len(old)*ps)
-	for lpn := range old {
-		pg := n.store.get(lpn)
-		st, ok := n.store.getStamp(lpn)
-		if pg == nil || !ok {
+	for si := range n.shards {
+		sh := &n.shards[si]
+		n.buf.LockShard(si)
+		if len(sh.outage) == 0 {
+			n.buf.UnlockShard(si)
 			continue
 		}
-		lpns = append(lpns, lpn)
-		stamps = append(stamps, st)
-		data = append(data, pg...)
+		old := sh.outage
+		sh.outage = make(map[int64]uint64)
+		n.outageLen.Add(-int64(len(old)))
+		n.buf.UnlockShard(si)
+		for lpn := range old {
+			pg := n.store.get(lpn)
+			st, ok := n.store.getStamp(lpn)
+			if pg == nil || !ok {
+				continue
+			}
+			lpns = append(lpns, lpn)
+			stamps = append(stamps, st)
+			data = append(data, pg...)
+		}
 	}
 	return lpns, stamps, data
 }
 
 // requeueJournal puts unsent pages back after a failed stream, never
-// clobbering a newer entry written in the meantime.
+// clobbering a newer entry written in the meantime. It runs only on the
+// (resyncMu-serialized) rejoin walk, so it never races the empty-check.
 func (n *LiveNode) requeueJournal(lpns []int64, stamps []uint64) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
 	for i, lpn := range lpns {
-		if cur, ok := n.outage[lpn]; ok && cur >= stamps[i] {
-			continue
-		}
-		if _, ok := n.outage[lpn]; !ok && len(n.outage) >= n.cfg.ResyncJournalLimit {
+		si := n.buf.ShardIndex(lpn)
+		sh := &n.shards[si]
+		n.buf.LockShard(si)
+		if cur, ok := sh.outage[lpn]; ok {
+			if stamps[i] > cur {
+				sh.outage[lpn] = stamps[i]
+			}
+		} else if n.outageLen.Load() >= int64(n.cfg.ResyncJournalLimit) {
 			atomic.AddInt64(&n.stats.JournalDrops, 1)
-			continue
+		} else {
+			sh.outage[lpn] = stamps[i]
+			n.outageLen.Add(1)
 		}
-		n.outage[lpn] = stamps[i]
+		n.buf.UnlockShard(si)
 	}
 }

@@ -1,0 +1,62 @@
+package metrics
+
+import (
+	"math/rand/v2"
+	"sync"
+)
+
+// StripedLatencyHist is a LatencyHist sharded across several
+// independently locked stripes so that high-frequency recorders (every
+// Write on every shard of a live node) stop contending on one histogram
+// mutex. Add picks a stripe pseudo-randomly — the log-bucketed histogram
+// is a pure counter set, so any assignment of samples to stripes merges
+// back to the exact same distribution.
+type StripedLatencyHist struct {
+	stripes []latStripe
+}
+
+type latStripe struct {
+	mu sync.Mutex
+	h  LatencyHist
+	// Keep neighbouring stripe locks off one cache line.
+	_ [32]byte
+}
+
+// NewStripedLatencyHist builds a histogram with the given stripe count
+// (minimum 1).
+func NewStripedLatencyHist(stripes int) *StripedLatencyHist {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &StripedLatencyHist{stripes: make([]latStripe, stripes)}
+}
+
+// Add records one sample on a pseudo-random stripe.
+func (s *StripedLatencyHist) Add(v float64) {
+	st := &s.stripes[rand.IntN(len(s.stripes))]
+	st.mu.Lock()
+	st.h.Add(v)
+	st.mu.Unlock()
+}
+
+// Count reports the total samples recorded across stripes.
+func (s *StripedLatencyHist) Count() int64 {
+	var total int64
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		total += s.stripes[i].h.Count()
+		s.stripes[i].mu.Unlock()
+	}
+	return total
+}
+
+// Snapshot merges every stripe into one LatencyHist for quantile reads.
+func (s *StripedLatencyHist) Snapshot() LatencyHist {
+	var out LatencyHist
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+		out.Merge(&s.stripes[i].h)
+		s.stripes[i].mu.Unlock()
+	}
+	return out
+}

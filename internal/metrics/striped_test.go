@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestStripedLatencyHistMatchesPlain records the same samples into a
+// plain and a striped histogram: counts must match exactly and quantiles
+// must agree (striping only changes which stripe counts a sample, never
+// its bucket).
+func TestStripedLatencyHistMatchesPlain(t *testing.T) {
+	var plain LatencyHist
+	s := NewStripedLatencyHist(8)
+	for i := 1; i <= 10000; i++ {
+		v := float64(i%997) / 10
+		plain.Add(v)
+		s.Add(v)
+	}
+	if s.Count() != plain.Count() {
+		t.Fatalf("Count = %d, want %d", s.Count(), plain.Count())
+	}
+	snap := s.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a, b := snap.Quantile(q), plain.Quantile(q); math.Abs(a-b) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want %v", q, a, b)
+		}
+	}
+}
+
+// TestStripedLatencyHistConcurrent is the -race proof: many adders, one
+// snapshotter, no lost samples.
+func TestStripedLatencyHistConcurrent(t *testing.T) {
+	s := NewStripedLatencyHist(4)
+	const writers, perWriter = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				s.Add(float64(w+1) * 0.25)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			s.Snapshot()
+			s.Count()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := s.Count(); got != writers*perWriter {
+		t.Fatalf("Count = %d, want %d", got, writers*perWriter)
+	}
+}

@@ -11,8 +11,9 @@ go test -cover ./...
 
 # The ./internal/cluster/... pattern includes internal/cluster/check, so
 # the seeded chaos runs (crash/recover cycles under injected faults) go
-# through the race detector here.
-go test -race ./internal/experiments/... ./internal/cluster/...
+# through the race detector here. CHAOS_SHARDS pins the striped hot path
+# (shards > 1) rather than relying on the suite's default.
+CHAOS_SHARDS=4 go test -race ./internal/experiments/... ./internal/cluster/...
 
 # Link-flap smoke: three asymmetric partition/heal cycles against a live
 # pair with writers running, durability-checked after every heal, under
@@ -33,3 +34,10 @@ go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s -fuzzminimizetime 20x ./inte
 # localhost pair exercises the pipelined forwarder, batching, and the
 # latency histograms without taking benchmark-length time.
 go run ./cmd/loadgen -writers 4 -ops 2000 -compare=false
+
+# Sharded hot-path smoke: a few iterations of the parallel write/read
+# benchmarks (correctness of the striped buffer under the benchmark
+# harness, not a perf measurement), then one tiny shard-scale rung to
+# exercise the fsync-on-flush evictor pipeline end to end.
+go test -run '^$' -bench 'LiveWriteParallel|LiveReadParallel' -benchtime 100x ./internal/cluster/
+go run ./cmd/loadgen -shard-scale 4 -writers 4 -ops 1000 -buffer 256 -evict-queue 1 -reps 1
