@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster bench-shard profile
+.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster bench-shard bench-gate profile
 
 all: build
 
@@ -40,6 +40,7 @@ chaos-flap:
 # whole budget minimizing their first interesting inputs.
 fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzReadFrameV2$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeResync$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
@@ -60,11 +61,23 @@ bench-cluster:
 # fsync-on-flush store at 1, 4, and 16 shards, recorded as BENCH_shard.json.
 # Small erase blocks + queue depth 1 keep every rung fsync-bound; the large
 # device keeps simulated GC out of the measurement; each rung reports the
-# median of three reps to ride out host fsync jitter.
+# median of three reps to ride out host fsync jitter. The sync ladder
+# reruns the widest rung across group-commit sync intervals: -1 disables
+# the coordinator (every evictor pays its own fsync), 0 self-clocks, and
+# the positive rungs hold the pass open to trade latency for batching.
 bench-shard:
 	$(GO) run ./cmd/loadgen -shard-scale 1,4,16 -writers 32 -ops 24000 \
 		-buffer 1024 -remote 32768 -evict-queue 1 -ppb 2 -blocks 65536 \
-		-reps 3 -json BENCH_shard.json
+		-sync-scale=-1,0,0.5,2 -reps 3 -json BENCH_shard.json
+
+# Rerun the committed ladder and gate against it: fails when any rung's
+# throughput regressed more than 10%. This is the tail of `make ci`;
+# run it alone after perf-sensitive changes.
+bench-gate:
+	$(GO) run ./cmd/loadgen -shard-scale 1,4,16 -writers 32 -ops 24000 \
+		-buffer 1024 -remote 32768 -evict-queue 1 -ppb 2 -blocks 65536 \
+		-reps 3 -json /tmp/BENCH_shard.ci.json
+	$(GO) run ./cmd/benchgate -committed BENCH_shard.json -current /tmp/BENCH_shard.ci.json
 
 # Just the grid-backed figures plus the per-cell perf record.
 bench-grid:

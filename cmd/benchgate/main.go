@@ -1,0 +1,111 @@
+// Command benchgate is the CI regression gate for the shard-scaling
+// benchmark: it compares a freshly generated BENCH_shard.json against
+// the committed one and fails (exit 1) when any rung's write throughput
+// regressed by more than the tolerance. Rungs are matched by their full
+// workload identity (shards, writers, ops) so a ladder reshape can never
+// silently compare unlike rungs; a committed rung with no match in the
+// current run is itself a failure.
+//
+// Only regressions gate. Improvements pass (and should be committed by
+// regenerating the baseline with `make bench-shard`), and the latency
+// percentiles are reported for eyeballing but not gated — on shared CI
+// hosts tail latency swings far more than median throughput does.
+//
+// Usage:
+//
+//	benchgate -committed BENCH_shard.json -current /tmp/BENCH_shard.ci.json [-tolerance 0.10]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type shardRun struct {
+	Shards       int     `json:"shards"`
+	Writers      int     `json:"writers"`
+	Ops          int     `json:"ops"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
+type report struct {
+	CPUs       int `json:"cpus"`
+	ShardScale *struct {
+		Ladder []shardRun `json:"ladder"`
+	} `json:"shard_scale"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(b, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if r.ShardScale == nil || len(r.ShardScale.Ladder) == 0 {
+		return r, fmt.Errorf("%s: no shard_scale ladder", path)
+	}
+	return r, nil
+}
+
+func main() {
+	committed := flag.String("committed", "BENCH_shard.json", "committed baseline report")
+	current := flag.String("current", "", "freshly generated report to gate (required)")
+	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed fractional throughput regression per rung")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
+		os.Exit(2)
+	}
+	base, err := load(*committed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(2)
+	}
+	if base.CPUs != cur.CPUs {
+		fmt.Printf("note: baseline recorded on %d CPUs, current host has %d — throughput comparison is indicative only\n",
+			base.CPUs, cur.CPUs)
+	}
+
+	index := make(map[[3]int]shardRun, len(cur.ShardScale.Ladder))
+	for _, r := range cur.ShardScale.Ladder {
+		index[[3]int{r.Shards, r.Writers, r.Ops}] = r
+	}
+	failed := false
+	for _, b := range base.ShardScale.Ladder {
+		c, ok := index[[3]int{b.Shards, b.Writers, b.Ops}]
+		if !ok {
+			fmt.Printf("FAIL shards=%d writers=%d ops=%d: rung missing from current run\n", b.Shards, b.Writers, b.Ops)
+			failed = true
+			continue
+		}
+		ratio := 0.0
+		if b.WritesPerSec > 0 {
+			ratio = c.WritesPerSec / b.WritesPerSec
+		}
+		verdict := "ok  "
+		if ratio < 1-*tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s shards=%-3d %9.1f -> %9.1f w/s (%+.1f%%)  p50 %.2f->%.2f ms  p99 %.2f->%.2f ms\n",
+			verdict, b.Shards, b.WritesPerSec, c.WritesPerSec, (ratio-1)*100,
+			b.P50Ms, c.P50Ms, b.P99Ms, c.P99Ms)
+	}
+	if failed {
+		fmt.Printf("benchgate: throughput regressed beyond %.0f%% tolerance\n", *tolerance*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all rungs within tolerance")
+}

@@ -46,6 +46,7 @@ func main() {
 		recover  = flag.Bool("recover", false, "recover dirty data from the partner on startup")
 		dataDir  = flag.String("datadir", "", "persist flushed pages here (survives restarts)")
 		syncW    = flag.Bool("sync", false, "fsync the page store on every persist")
+		syncB    = flag.Bool("sync-barrier", false, "settle multi-section fsync passes with one syncfs; use only when -datadir has its own filesystem")
 		batch    = flag.Int("batch", 0, "max pages group-committed per forward frame (0 = default)")
 		inflight = flag.Int("inflight", 0, "max unacked forward frames on the wire (0 = default)")
 		shards   = flag.Int("shards", 0, "buffer lock stripes / concurrent flush streams (0 = default)")
@@ -64,6 +65,7 @@ func main() {
 		SSD:           flashcoop.DefaultSSD(*scheme, *blocks),
 		DataDir:       *dataDir,
 		SyncWrites:    *syncW,
+		SyncBarrier:   *syncB,
 		MaxBatchPages: *batch,
 		MaxInflight:   *inflight,
 		Shards:        *shards,
@@ -189,18 +191,30 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			if st.FwdFrames > 0 {
 				batching = float64(st.Forwards) / float64(st.FwdFrames)
 			}
+			pagesPerSync := 0.0
+			if st.GroupCommitBatches > 0 {
+				pagesPerSync = float64(st.PagesSynced) / float64(st.GroupCommitBatches)
+			}
 			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d fwdFrames=%d batching=%.2f persists=%d failovers=%d rebalances=%d peerAlive=%v state=%s "+
 				"rejoins=%d resynced=%d overloads=%d breakerTrips=%d "+
+				"evictorStalls=%d groupCommitBatches=%d pagesPerSync=%.1f "+
 				"wlat_p50=%.3fms wlat_p95=%.3fms wlat_p99=%.3fms flat_p50=%.3fms flat_p95=%.3fms flat_p99=%.3fms\n",
 				st.Writes, st.Reads, st.Forwards, st.FwdFrames, batching, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive(), node.PeerLifecycle(),
 				st.Rejoins, st.ResyncedPages, st.Overloads, st.BreakerTrips,
+				st.EvictorStalls, st.GroupCommitBatches, pagesPerSync,
 				wl.P50, wl.P95, wl.P99, fl.P50, fl.P95, fl.P99)
 		case "HEALTH":
 			st := node.Stats()
+			pagesPerSync := 0.0
+			if st.GroupCommitBatches > 0 {
+				pagesPerSync = float64(st.PagesSynced) / float64(st.GroupCommitBatches)
+			}
 			fmt.Fprintf(conn, "OK state=%s peerAlive=%v failovers=%d suspects=%d probes=%d probeFailures=%d rejoins=%d "+
-				"resyncedPages=%d resyncFailures=%d journalDrops=%d overloads=%d breakerTrips=%d\n",
+				"resyncedPages=%d resyncFailures=%d journalDrops=%d overloads=%d breakerTrips=%d "+
+				"evictorStalls=%d persistFailures=%d groupCommitBatches=%d pagesPerSync=%.1f\n",
 				node.PeerLifecycle(), node.PeerAlive(), st.Failovers, st.Suspects, st.Probes, st.ProbeFailures, st.Rejoins,
-				st.ResyncedPages, st.ResyncFailures, st.JournalDrops, st.Overloads, st.BreakerTrips)
+				st.ResyncedPages, st.ResyncFailures, st.JournalDrops, st.Overloads, st.BreakerTrips,
+				st.EvictorStalls, st.PersistFailures, st.GroupCommitBatches, pagesPerSync)
 		case "QUIT":
 			return
 		default:

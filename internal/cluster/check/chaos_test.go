@@ -13,6 +13,7 @@ import (
 	"flashcoop/internal/flash"
 	"flashcoop/internal/ftl"
 	"flashcoop/internal/ssd"
+	"flashcoop/internal/transport"
 )
 
 // The chaos harness drives a localhost cooperative pair with concurrent
@@ -198,13 +199,27 @@ func (c *chaosPair) restartB() {
 }
 
 func runChaos(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker) {
+	runChaosOver(t, seed, faults, tap, nil)
+}
+
+// runChaosOver is runChaos with the fault layer stacked over a custom
+// transport: a non-nil inet runs the whole drill on the in-process
+// channel transport — same framing bytes, no loopback TCP — so the
+// suite covers both the kernel path and the path the experiment grid
+// uses.
+func runChaosOver(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker, inet *transport.Net) {
 	t.Logf("chaos seed %d (rerun: CHAOS_SEED=%d go test -run %s ./internal/cluster/check)", seed, seed, t.Name())
 
+	netA, netB := faultnet.New(seed), faultnet.New(seed+1)
+	if inet != nil {
+		netA = faultnet.NewOver(seed, inet.Dial, inet.Listen)
+		netB = faultnet.NewOver(seed+1, inet.Dial, inet.Listen)
+	}
 	c := &chaosPair{
 		t:      t,
 		seed:   seed,
-		netA:   faultnet.New(seed),
-		netB:   faultnet.New(seed + 1),
+		netA:   netA,
+		netB:   netB,
 		faults: faults,
 		dirA:   t.TempDir(),
 	}
@@ -382,4 +397,19 @@ func TestChaosCorrupting(t *testing.T) {
 		TruncateProb: 0.003,
 		ResetProb:    0.008,
 	}, nil)
+}
+
+// TestChaosInproc runs the clean-fault script on the in-process channel
+// transport (internal/transport) instead of loopback TCP: the durability
+// invariants must hold on the exact framing code the experiment grid
+// exercises, with the group-commit syncer in its default configuration.
+func TestChaosInproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	runChaosOver(t, chaosSeed(t)+200, faultnet.Faults{
+		DelayProb: 0.2,
+		DelayMax:  2 * time.Millisecond,
+		ResetProb: 0.01,
+	}, NewSeqChecker(), transport.NewNet())
 }

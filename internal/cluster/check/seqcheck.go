@@ -63,9 +63,12 @@ func (s *SeqChecker) Observe(connID uint64, dialed, outbound bool, b []byte) {
 	s.drainLocked(connID, c, outbound)
 }
 
-// drainLocked parses every complete frame buffered for one direction. A
-// trailing incomplete frame is left in place — the connection may simply
-// have died mid-frame, which is not a protocol violation.
+// drainLocked parses every complete frame buffered for one direction,
+// sniffing v1 (length-prefixed) versus v2 (magic + CRC) per frame the
+// same way cluster.ReadFrame does; a v2 frame's checksum is verified
+// against the bytes that actually crossed the wire. A trailing
+// incomplete frame is left in place — the connection may simply have
+// died mid-frame, which is not a protocol violation.
 func (s *SeqChecker) drainLocked(connID uint64, c *seqConn, outbound bool) {
 	buf := &c.respBuf
 	if outbound {
@@ -75,7 +78,25 @@ func (s *SeqChecker) drainLocked(connID uint64, c *seqConn, outbound bool) {
 		if len(*buf) < 4 {
 			return
 		}
-		n := binary.BigEndian.Uint32(*buf)
+		hdr := 4
+		var n uint32
+		if (*buf)[0] == cluster.FrameMagicV2 {
+			if (*buf)[1] != cluster.FrameVersion2 || (*buf)[2] != 0 || (*buf)[3] != 0 {
+				s.violations = append(s.violations, Violation{
+					Invariant: "seq", LPN: -1,
+					Detail: fmt.Sprintf("conn %d: bad v2 frame header % x", connID, (*buf)[:4]),
+				})
+				c.broken = true
+				return
+			}
+			if len(*buf) < cluster.FrameHdrV2Len {
+				return
+			}
+			hdr = cluster.FrameHdrV2Len
+			n = binary.BigEndian.Uint32((*buf)[4:8])
+		} else {
+			n = binary.BigEndian.Uint32(*buf)
+		}
 		if n > cluster.MaxFrameBytes || n < 9 {
 			s.violations = append(s.violations, Violation{
 				Invariant: "seq", LPN: -1,
@@ -84,10 +105,20 @@ func (s *SeqChecker) drainLocked(connID uint64, c *seqConn, outbound bool) {
 			c.broken = true
 			return
 		}
-		if len(*buf) < 4+int(n) {
+		if len(*buf) < hdr+int(n) {
 			return
 		}
-		body := (*buf)[4 : 4+n]
+		body := (*buf)[hdr : hdr+int(n)]
+		if hdr == cluster.FrameHdrV2Len {
+			if want := binary.BigEndian.Uint32((*buf)[8:12]); cluster.ChecksumV2(body) != want {
+				s.violations = append(s.violations, Violation{
+					Invariant: "seq", LPN: -1,
+					Detail: fmt.Sprintf("conn %d: v2 frame checksum mismatch", connID),
+				})
+				c.broken = true
+				return
+			}
+		}
 		seq := binary.BigEndian.Uint64(body[1:9])
 		if outbound {
 			if c.seen[seq] {
@@ -113,7 +144,7 @@ func (s *SeqChecker) drainLocked(connID uint64, c *seqConn, outbound bool) {
 				c.answered[seq] = true
 			}
 		}
-		*buf = (*buf)[4+n:]
+		*buf = (*buf)[hdr+int(n):]
 	}
 }
 

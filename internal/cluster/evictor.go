@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"flashcoop/internal/buffer"
@@ -31,6 +32,13 @@ type flushJob struct {
 // how far durability may lag eviction, and letting a batch absorb blocked
 // writers past the queue depth would quietly widen that window.
 const evictBatchJobs = 16
+
+// syncStageDepth is the per-shard buffer between the evictor's persist
+// stage and its sync stage. Deeper than one slot so that a slow fsync
+// accumulates persisted batches behind it, which the sync stage then
+// settles with a single section sync; it also caps how far durability may
+// lag beyond the EvictQueue bound, so it stays small.
+const syncStageDepth = 4
 
 // extractFlushLocked turns the flush units of one Access into evictor
 // jobs. The caller holds the shard lock. Each evicted dirty page moves
@@ -90,9 +98,53 @@ func (n *LiveNode) enqueueFlush(si int, jobs []flushJob) {
 // keeps per-page persist order FIFO within the shard (pages never change
 // shards), while separate shards flush — and with a file-backed store,
 // fsync — concurrently.
+//
+// The flush pipeline within a shard has two overlapped stages: this loop
+// runs batch persists (the device burst and store puts), and a companion
+// sync goroutine runs the durable-after fsyncs plus the unpin / discard
+// bookkeeping that must wait for them. The channel between them lets
+// batch k+1's device writes run while batch k's fsync is in flight, and
+// the sync stage drains every batch queued behind a slow fsync and covers
+// them all with ONE section sync — each drained batch's puts finished
+// before the sync starts, so the single fsync settles the lot. The slower
+// the medium gets, the more batches share a sync: the per-shard fsync
+// rate degrades gracefully instead of multiplying the slowdown by the
+// batch count. At most syncStageDepth persisted-but-unsynced batches
+// exist per shard beyond the eviction queue, so the durability lag
+// EvictQueue bounds grows by at most that many batches.
 func (n *LiveNode) evictLoop(si int) {
 	defer n.wg.Done()
 	sh := &n.shards[si]
+	// The sync stage drains even during shutdown (gc.sync fails fast once
+	// n.stop closes), so this send never deadlocks; closing the channel
+	// lets the syncer exit once the last batch completes.
+	syncq := make(chan persistedBatch, syncStageDepth)
+	var syncWG sync.WaitGroup
+	syncWG.Add(1)
+	go func() {
+		defer syncWG.Done()
+		batches := make([]persistedBatch, 0, syncStageDepth+1)
+		for b := range syncq {
+			batches = append(batches[:0], b)
+		gather:
+			for len(batches) < cap(batches) {
+				select {
+				case b2, ok := <-syncq:
+					if !ok {
+						break gather // closed mid-drain: settle what we hold
+					}
+					batches = append(batches, b2)
+				default:
+					break gather
+				}
+			}
+			n.completeBatches(si, batches)
+		}
+	}()
+	defer func() {
+		close(syncq)
+		syncWG.Wait()
+	}()
 	for {
 		select {
 		case <-n.stop:
@@ -112,26 +164,33 @@ func (n *LiveNode) evictLoop(si int) {
 					break drain
 				}
 			}
-			n.flushJobs(si, jobs)
+			syncq <- n.persistJobs(si, jobs)
 		}
 	}
 }
 
-// flushJobs persists one batch of eviction jobs. It holds the shard's
-// persistMu end to end, but takes the shard data lock only for the two
-// brief map passes around the persist — so the shard keeps serving reads
-// and writes (including reads of the very pages being flushed, out of the
-// inflight map) while the device write and store fsync run. Pages whose
-// inflight entry no longer matches the job's stamp were superseded,
-// trimmed, or already persisted by FlushAll; they are skipped and their
-// buffers recycled. Discards for persisted pages go out only after the
-// store flush — the partner must never drop a backup whose page is not
-// durable here (the DiscardSafety invariant).
-//
-// A persist error leaves the affected pages pinned in the inflight map
-// (still readable, retried by the next FlushAll) rather than dropping
-// them on the floor.
-func (n *LiveNode) flushJobs(si int, jobs []flushJob) {
+// persistedBatch carries one batch between the evictor's persist stage
+// and its sync stage: the original jobs (whose buffers the sync stage
+// recycles), the stamp-matched items that were persisted, and the
+// persist outcome so far.
+type persistedBatch struct {
+	jobs  []flushJob
+	items []flushPage
+	done  []flushPage
+	err   error
+}
+
+// persistJobs is the evictor pipeline's first stage: under the shard's
+// persistMu it stamp-filters the jobs' pages against the inflight map
+// (pages superseded, trimmed, or already persisted by FlushAll drop out
+// here) and runs the device burst plus the stamp-guarded store puts. It
+// takes the shard data lock only for the brief filter pass, so the shard
+// keeps serving reads and writes — including reads of the very pages
+// being flushed, out of the inflight map — while the device writes run.
+// The durable-after fsync is NOT part of this stage: the returned batch
+// must go through completeJobs, and nothing is unpinned or discarded
+// until then.
+func (n *LiveNode) persistJobs(si int, jobs []flushJob) persistedBatch {
 	sh := &n.shards[si]
 	sh.persistMu.Lock()
 	n.buf.LockShard(si)
@@ -144,12 +203,63 @@ func (n *LiveNode) flushJobs(si int, jobs []flushJob) {
 		}
 	}
 	n.buf.UnlockShard(si)
+	done, err := n.persistSet(items, false)
+	sh.persistMu.Unlock()
+	return persistedBatch{jobs: jobs, items: items, done: done, err: err}
+}
 
-	done, err := n.persistSet(items)
+// completeBatches is the evictor pipeline's second stage: one durable-
+// after sync covers every batch drained from the stage queue — all their
+// puts finished before the sync starts, so a single section fsync settles
+// the whole set — then each batch runs its unpin / discard / recycle tail
+// with the shared sync outcome. The sync runs with persistMu released —
+// the puts were ordered while the lock was held (guard-then-put was
+// atomic under it), and waiting under the lock would stall the next
+// batch's device writes behind this sync, which is exactly the overlap
+// the pipeline exists for. Pages are only unpinned after the covering
+// fsync, and discards go out only after that too — the partner must never
+// drop a backup whose page is not durable here (the DiscardSafety
+// invariant).
+func (n *LiveNode) completeBatches(si int, batches []persistedBatch) {
+	var anchor int64
+	pages := 0
+	for i := range batches {
+		if len(batches[i].done) > 0 {
+			anchor = batches[i].done[0].lpn
+			pages += len(batches[i].done)
+		}
+	}
+	var ferr error
+	if pages > 0 {
+		// All of one shard's persists land in one store section, so any
+		// done page anchors the sync for every batch in the set.
+		ferr = n.syncSection(anchor, pages)
+	}
+	for i := range batches {
+		n.finishBatch(si, batches[i], ferr)
+	}
+}
+
+// finishBatch runs one batch's post-sync bookkeeping. A persist or sync
+// error leaves the affected pages pinned in the inflight map (still
+// readable, retried by the next FlushAll) rather than dropping them on
+// the floor.
+func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
+	sh := &n.shards[si]
+	jobs, done, err := b.jobs, b.done, b.err
+	if ferr != nil {
+		// The fsync outcome is unknown, so none of the batch is provably
+		// durable; keep every page pinned for retry.
+		done = nil
+		if err == nil {
+			err = ferr
+		}
+	}
 	if err != nil {
 		atomic.AddInt64(&n.stats.PersistFailures, 1)
 	}
 
+	sh.persistMu.Lock()
 	n.buf.LockShard(si)
 	flushed := make([]int64, 0, len(done))
 	stamps := make([]uint64, 0, len(done))
@@ -185,28 +295,40 @@ func (n *LiveNode) flushJobs(si int, jobs []flushJob) {
 
 // persistSet makes a set of pages durable: one device write per
 // contiguous run (the batched sequential flush LAR's block eviction is
-// designed for), a stamp-guarded store put per page, and a single store
-// flush for the whole set. The caller holds the persistMu of the shard
-// every item belongs to, which is what makes the guard-then-put atomic.
+// designed for), a stamp-guarded batched store put per run, and a single
+// durable-after sync for the whole set. The caller holds the persistMu of
+// the shard every item belongs to, which is what makes the guard-then-put
+// atomic.
 //
 // The stamp guard skips pages whose durable copy is already at an equal
 // or newer version — that makes double persists idempotent and stops a
 // lagging eviction from rolling back a page that degraded write-through
 // (or a later eviction) persisted first. Skipped pages count as done.
 //
-// Returns the items now known durable; on error the remainder was not
-// persisted and stays the caller's responsibility.
-func (n *LiveNode) persistSet(items []flushPage) (done []flushPage, err error) {
+// The sync boundary goes through syncSection: with the group-commit
+// coordinator running, this batch's fsync coalesces with every other
+// shard's pending sync into one pass (see groupcommit.go). syncAfter
+// false skips every sync (including on error paths) — the caller owns
+// the durable-after boundary and must call syncSection itself before
+// treating any returned item as durable; flushJobs uses this to wait for
+// the fsync outside persistMu.
+//
+// Returns the items now known durable (with syncAfter) or persisted
+// pending sync (without); on error the remainder was not persisted and
+// stays the caller's responsibility.
+func (n *LiveNode) persistSet(items []flushPage, syncAfter bool) (done []flushPage, err error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
 	// All items live in one shard, so only that shard's store section
 	// needs syncing; a full-store flush here would serialize every
 	// evictor's fsync stream on every other's.
-	flush := n.store.flush
-	if sf, ok := n.store.(interface{ flushOf(int64) error }); ok {
-		anchor := items[0].lpn
-		flush = func() error { return sf.flushOf(anchor) }
+	anchor := items[0].lpn
+	flush := func() error {
+		if !syncAfter {
+			return nil
+		}
+		return n.syncSection(anchor, len(items))
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].lpn < items[j].lpn })
 	toWrite := items[:0:0]
@@ -217,6 +339,7 @@ func (n *LiveNode) persistSet(items []flushPage) (done []flushPage, err error) {
 		}
 		toWrite = append(toWrite, it)
 	}
+	rp, batchPuts := n.store.(runPutter)
 	for i := 0; i < len(toWrite); {
 		j := i + 1
 		for j < len(toWrite) && toWrite[j].lpn == toWrite[j-1].lpn+1 {
@@ -229,13 +352,29 @@ func (n *LiveNode) persistSet(items []flushPage) (done []flushPage, err error) {
 			flush()
 			return done, fmt.Errorf("cluster %s: persist lpn %d: %w", n.cfg.Name, toWrite[i].lpn, derr)
 		}
-		for k := i; k < j; k++ {
-			if perr := n.store.put(toWrite[k].lpn, toWrite[k].data, toWrite[k].stamp); perr != nil {
+		if batchPuts && j-i > 1 {
+			run := toWrite[i:j]
+			lpns := make([]int64, len(run))
+			data := make([][]byte, len(run))
+			stamps := make([]uint64, len(run))
+			for k, it := range run {
+				lpns[k], data[k], stamps[k] = it.lpn, it.data, it.stamp
+			}
+			if perr := rp.putRun(lpns, data, stamps); perr != nil {
 				flush()
 				return done, perr
 			}
-			atomic.AddInt64(&n.stats.Persists, 1)
-			done = append(done, toWrite[k])
+			atomic.AddInt64(&n.stats.Persists, int64(len(run)))
+			done = append(done, run...)
+		} else {
+			for k := i; k < j; k++ {
+				if perr := n.store.put(toWrite[k].lpn, toWrite[k].data, toWrite[k].stamp); perr != nil {
+					flush()
+					return done, perr
+				}
+				atomic.AddInt64(&n.stats.Persists, 1)
+				done = append(done, toWrite[k])
+			}
 		}
 		i = j
 	}

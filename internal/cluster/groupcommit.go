@@ -1,0 +1,331 @@
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// groupCommit is the node's fsync coordinator. With SyncWrites on, every
+// per-shard evictor used to end its persist batch by fsyncing its own
+// store section — correct, but on a busy node that is one fsync per batch
+// per shard, and the fsyncs of different shards never share a pass even
+// when they are pending at the same instant. The coordinator moves the
+// sync boundary: persistSet enqueues a durable-after request (the section
+// to sync plus a completion channel) and a single goroutine coalesces
+// everything pending into one batched pass — each distinct section is
+// fsynced exactly once per pass, concurrently with its siblings (separate
+// files, separate fsync streams), and every waiter completes with its own
+// section's outcome.
+//
+// Ordering is unchanged: a waiter's pages are written to its section
+// before the request is enqueued, the pass's fsync starts after the
+// request is taken, and fsync covers every prior write to the file — so
+// when sync() returns nil the waiter's pages are durable, and the
+// discard-after-durable invariant in evictor.go holds exactly as before.
+// Under load the win is that N shards' evictors pay one coalesced pass
+// (≤ N concurrent fsyncs, shared pass latency) instead of N serialized
+// fsync round trips on the same spindle/flash queue.
+type groupCommit struct {
+	// interval > 0 lets a pass linger that long for more requests before
+	// fsyncing (bigger batches, up to that much extra persist latency);
+	// 0 is self-clocking — a pass absorbs whatever queued while the
+	// previous pass ran and starts immediately.
+	interval time.Duration
+	maxBatch int
+	reqs     chan syncReq
+	stop     <-chan struct{}
+	stats    *LiveStats
+
+	// barrierMu serializes whole-filesystem barrier passes. Targets are
+	// re-read under it, so a pass that queued behind a barrier covering
+	// its sections piggybacks instead of issuing another syncfs — the
+	// cross-file analogue of fileStore.flush's generation check.
+	barrierMu sync.Mutex
+}
+
+// syncReq is one durable-after request: fsync section, then complete done
+// with the outcome. pages is accounting only (pages covered by the
+// request's persist batch).
+type syncReq struct {
+	section pageStore
+	pages   int
+	done    chan error
+}
+
+func newGroupCommit(interval time.Duration, maxBatch int, stop <-chan struct{}, stats *LiveStats) *groupCommit {
+	return &groupCommit{
+		interval: interval,
+		maxBatch: maxBatch,
+		reqs:     make(chan syncReq, maxBatch),
+		stop:     stop,
+		stats:    stats,
+	}
+}
+
+// sync blocks until the coalesced fsync pass covering section (enqueued
+// after the caller's puts) completes, and returns that section's fsync
+// outcome. During shutdown it fails conservatively with errNodeClosing:
+// the caller treats that as a persist failure and keeps its pages pinned.
+func (g *groupCommit) sync(section pageStore, pages int) error {
+	r := syncReq{section: section, pages: pages, done: make(chan error, 1)}
+	select {
+	case g.reqs <- r:
+	case <-g.stop:
+		return errNodeClosing
+	}
+	select {
+	case err := <-r.done:
+		return err
+	case <-g.stop:
+		// The coordinator drains and fails queued requests on stop, but a
+		// request that raced the stop may never be picked up; don't hang
+		// on it. done is buffered, so a late completion is not leaked.
+		select {
+		case err := <-r.done:
+			return err
+		default:
+			return errNodeClosing
+		}
+	}
+}
+
+// run is the coordinator goroutine: gather a batch (first request blocks,
+// then drain everything queued, then optionally linger for interval),
+// dispatch the pass, repeat. The gather overlaps the previous pass's sync
+// — while pass P's barrier or fsyncs are in flight, arriving requests
+// accumulate into pass P+1 instead of dispatching one thin pass each.
+// That in-flight window is what creates real batches under steady load:
+// a sync takes a device round trip, many evictors land requests inside
+// it, and the next pass covers them all with one barrier. Exactly one
+// pass is in flight at a time, but evictors still pipeline — each one's
+// persist stage for batch k+1 overlaps its sync wait for batch k.
+func (g *groupCommit) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	batch := make([]syncReq, 0, g.maxBatch)
+	// Up to passWindow passes run concurrently. The window is the
+	// coordinator's self-tuning knob: while syncs are fast it never
+	// fills, every request dispatches immediately, and the store-level
+	// generation dedup is all the coalescing needed; when the medium
+	// slows down the window fills, gathering overlaps the oldest
+	// in-flight pass, real multi-section batches form, and the
+	// filesystem barrier amortizes them — batching appears exactly when
+	// syncs are expensive enough to be worth batching. Concurrent
+	// barrier passes serialize on barrierMu, where the re-read targets
+	// turn a follow-up syncfs into a piggyback when the first barrier
+	// already covered it.
+	var inflight []<-chan struct{}
+	for {
+		batch = batch[:0]
+		select {
+		case r := <-g.reqs:
+			batch = append(batch, r)
+		case <-g.stop:
+			g.drainFailed()
+			return
+		}
+	drain:
+		for len(batch) < g.maxBatch {
+			select {
+			case r := <-g.reqs:
+				batch = append(batch, r)
+			default:
+				break drain
+			}
+		}
+		for len(inflight) >= passWindow {
+			rc := g.reqs
+			if len(batch) >= g.maxBatch {
+				rc = nil // full: stop gathering, wait out the pass (reqs buffers)
+			}
+			select {
+			case r := <-rc:
+				batch = append(batch, r)
+			case <-inflight[0]:
+				inflight = inflight[1:]
+			case <-g.stop:
+				for _, r := range batch {
+					r.done <- errNodeClosing
+				}
+				g.drainFailed()
+				return
+			}
+		}
+		// Reap already-settled passes so the window reflects only passes
+		// still in flight.
+		for len(inflight) > 0 {
+			select {
+			case <-inflight[0]:
+				inflight = inflight[1:]
+				continue
+			default:
+			}
+			break
+		}
+		if g.interval > 0 && len(batch) < g.maxBatch {
+			t := time.NewTimer(g.interval)
+		gather:
+			for len(batch) < g.maxBatch {
+				select {
+				case r := <-g.reqs:
+					batch = append(batch, r)
+				case <-t.C:
+					break gather
+				case <-g.stop:
+					t.Stop()
+					for _, r := range batch {
+						r.done <- errNodeClosing
+					}
+					g.drainFailed()
+					return
+				}
+			}
+			t.Stop()
+		}
+		inflight = append(inflight, g.pass(batch))
+	}
+}
+
+// passWindow caps concurrently in-flight fsync passes. See run: small
+// enough that a slow medium fills it and forces coalescing, large enough
+// that a fast medium never queues behind it.
+const passWindow = 4
+
+// pass dispatches one coalesced fsync: group the batch's waiters by store
+// section, settle every distinct section — one whole-filesystem barrier
+// when the sections support it, else one fsync per section (concurrently;
+// they are independent files) — and complete every waiter with its
+// section's error. It does not wait for the fsyncs itself; the returned
+// channel closes when the pass has settled, and run() uses it to gather
+// the next batch for exactly that long.
+func (g *groupCommit) pass(batch []syncReq) <-chan struct{} {
+	var pages int64
+	for _, r := range batch {
+		pages += int64(r.pages)
+	}
+	atomic.AddInt64(&g.stats.GroupCommitBatches, 1)
+	atomic.AddInt64(&g.stats.PagesSynced, pages)
+	settled := make(chan struct{})
+	if len(batch) == 1 {
+		r := batch[0]
+		go func() {
+			defer close(settled)
+			r.done <- r.section.flush()
+		}()
+		return settled
+	}
+	works := make([]sectionWork, 0, len(batch))
+	idx := make(map[pageStore]int, len(batch))
+	for _, r := range batch {
+		i, ok := idx[r.section]
+		if !ok {
+			i = len(works)
+			idx[r.section] = i
+			works = append(works, sectionWork{section: r.section})
+		}
+		works[i].reqs = append(works[i].reqs, r)
+	}
+	// Several distinct sections pending at once is the case per-section
+	// fsyncs scale badly on: each section file pays its own journal
+	// commit, so the pass costs O(shards) syscalls. When every section
+	// can take part (file-backed, same-node DataDir, platform has
+	// syncfs), one filesystem-wide barrier covers them all.
+	if len(works) > 1 && barrierCapable(works) {
+		go func() {
+			defer close(settled)
+			g.barrier(works)
+		}()
+		return settled
+	}
+	var workers sync.WaitGroup
+	for i := range works {
+		w := works[i]
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			w.complete(w.section.flush())
+		}()
+	}
+	go func() {
+		workers.Wait()
+		close(settled)
+	}()
+	return settled
+}
+
+// sectionWork is one distinct section's share of a pass.
+type sectionWork struct {
+	section pageStore
+	reqs    []syncReq
+}
+
+func (w sectionWork) complete(err error) {
+	for _, r := range w.reqs {
+		r.done <- err
+	}
+}
+
+// barrierCapable reports whether every section in the pass advertises the
+// whole-filesystem barrier capability.
+func barrierCapable(works []sectionWork) bool {
+	for _, w := range works {
+		b, ok := w.section.(fsBarrier)
+		if !ok || !b.barrierReady() {
+			return false
+		}
+	}
+	return true
+}
+
+// barrier settles one multi-section pass with a single syncfs. Targets
+// are captured before the barrier and published after it, so any put
+// racing the syscall stays pending for a later pass. On a barrier error
+// each section falls back to its own fsync and reports its own outcome —
+// a failed syncfs says nothing about which section's data is at risk.
+func (g *groupCommit) barrier(works []sectionWork) {
+	g.barrierMu.Lock()
+	defer g.barrierMu.Unlock()
+	type pendingSec struct {
+		w      sectionWork
+		b      fsBarrier
+		target uint64
+	}
+	pending := make([]pendingSec, 0, len(works))
+	for _, w := range works {
+		b := w.section.(fsBarrier)
+		if target, ok := b.syncTarget(); ok {
+			pending = append(pending, pendingSec{w: w, b: b, target: target})
+		} else {
+			// Covered by a barrier or fsync that completed after this pass
+			// was dispatched; the waiters' puts preceded it, so durable.
+			w.complete(nil)
+		}
+	}
+	if len(pending) == 0 {
+		return
+	}
+	if err := pending[0].b.syncFS(); err != nil {
+		for _, p := range pending {
+			p.w.complete(p.w.section.flush())
+		}
+		return
+	}
+	atomic.AddInt64(&g.stats.FsBarriers, 1)
+	for _, p := range pending {
+		p.b.markSynced(p.target)
+		p.w.complete(nil)
+	}
+}
+
+// drainFailed fails every request still queued when the node stopped, so
+// no evictor is left waiting on a pass that will never run.
+func (g *groupCommit) drainFailed() {
+	for {
+		select {
+		case r := <-g.reqs:
+			r.done <- errNodeClosing
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,229 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flushCountStore is a pageStore stub that counts flushes and can fail.
+type flushCountStore struct {
+	memStore
+	flushes atomic.Int64
+	fail    atomic.Bool
+}
+
+var errStubFlush = errors.New("stub flush failure")
+
+func (s *flushCountStore) flush() error {
+	s.flushes.Add(1)
+	if s.fail.Load() {
+		return errStubFlush
+	}
+	return nil
+}
+
+// TestGroupCommitCompletesWaiters checks every concurrent sync() caller
+// completes with its own section's outcome and each section is fsynced
+// at least once.
+func TestGroupCommitCompletesWaiters(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	var stats LiveStats
+	gc := newGroupCommit(0, 16, stop, &stats)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go gc.run(&wg)
+
+	good := &flushCountStore{}
+	bad := &flushCountStore{}
+	bad.fail.Store(true)
+	var callers sync.WaitGroup
+	errc := make(chan error, 8)
+	for i := 0; i < 4; i++ {
+		callers.Add(1)
+		go func() { defer callers.Done(); errc <- gc.sync(good, 2) }()
+		callers.Add(1)
+		go func() { defer callers.Done(); errc <- gc.sync(bad, 3) }()
+	}
+	callers.Wait()
+	close(errc)
+	var oks, fails int
+	for err := range errc {
+		switch {
+		case err == nil:
+			oks++
+		case errors.Is(err, errStubFlush):
+			fails++
+		default:
+			t.Fatalf("unexpected sync error: %v", err)
+		}
+	}
+	if oks != 4 || fails != 4 {
+		t.Fatalf("got %d ok / %d failed, want 4/4", oks, fails)
+	}
+	if good.flushes.Load() == 0 || bad.flushes.Load() == 0 {
+		t.Fatal("a section was never flushed")
+	}
+	if atomic.LoadInt64(&stats.GroupCommitBatches) == 0 {
+		t.Fatal("no batches counted")
+	}
+	if got := atomic.LoadInt64(&stats.PagesSynced); got != 4*2+4*3 {
+		t.Fatalf("PagesSynced = %d, want 20", got)
+	}
+}
+
+// TestGroupCommitCoalesces checks that requests for one section pending
+// at the same time share fsync passes instead of each paying its own:
+// with an interval window holding the pass open, N waiters must complete
+// with far fewer than N flushes.
+func TestGroupCommitCoalesces(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	var stats LiveStats
+	gc := newGroupCommit(20*time.Millisecond, 64, stop, &stats)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go gc.run(&wg)
+
+	sec := &flushCountStore{}
+	const waiters = 16
+	var callers sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		callers.Add(1)
+		go func() {
+			defer callers.Done()
+			if err := gc.sync(sec, 1); err != nil {
+				t.Errorf("sync: %v", err)
+			}
+		}()
+	}
+	callers.Wait()
+	if got := sec.flushes.Load(); got >= waiters/2 {
+		t.Fatalf("%d flushes for %d coalescable waiters; the pass is not batching", got, waiters)
+	}
+}
+
+// slowFlushStore stretches each flush so passes overlap queued requests.
+type slowFlushStore struct {
+	flushCountStore
+	delay time.Duration
+}
+
+func (s *slowFlushStore) flush() error {
+	time.Sleep(s.delay)
+	return s.flushCountStore.flush()
+}
+
+// TestGroupCommitSelfClockedCoalesces checks the in-flight window batches
+// without an interval: while one pass's slow sync runs, arriving requests
+// gather into the next pass instead of each dispatching its own.
+func TestGroupCommitSelfClockedCoalesces(t *testing.T) {
+	stop := make(chan struct{})
+	defer close(stop)
+	var stats LiveStats
+	gc := newGroupCommit(0, 64, stop, &stats)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go gc.run(&wg)
+
+	sec := &slowFlushStore{delay: 3 * time.Millisecond}
+	const waiters = 12
+	var callers sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		callers.Add(1)
+		go func() {
+			defer callers.Done()
+			if err := gc.sync(sec, 1); err != nil {
+				t.Errorf("sync: %v", err)
+			}
+		}()
+	}
+	callers.Wait()
+	if got := sec.flushes.Load(); got >= waiters*2/3 {
+		t.Fatalf("%d flushes for %d overlapping waiters; the in-flight window is not batching", got, waiters)
+	}
+}
+
+// TestGroupCommitBarrier checks a pass spanning several barrier-capable
+// sections settles with one whole-filesystem barrier: every waiter
+// completes durable and every section's sync generation advances.
+func TestGroupCommitBarrier(t *testing.T) {
+	if !hasSyncFS {
+		t.Skip("platform has no syncfs; barrier passes cannot run")
+	}
+	dir := t.TempDir()
+	stop := make(chan struct{})
+	defer close(stop)
+	var stats LiveStats
+	gc := newGroupCommit(10*time.Millisecond, 64, stop, &stats)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go gc.run(&wg)
+
+	const pageSize = 64
+	secs := make([]*fileStore, 3)
+	for i := range secs {
+		s, err := newFileStoreAt(dir, shardStoreName(i), pageSize, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.close()
+		s.barrier = true
+		if err := s.put(int64(i), make([]byte, pageSize), 1); err != nil {
+			t.Fatal(err)
+		}
+		secs[i] = s
+	}
+	var callers sync.WaitGroup
+	for _, s := range secs {
+		for j := 0; j < 2; j++ {
+			callers.Add(1)
+			go func(s *fileStore) {
+				defer callers.Done()
+				if err := gc.sync(s, 1); err != nil {
+					t.Errorf("sync: %v", err)
+				}
+			}(s)
+		}
+	}
+	callers.Wait()
+	if atomic.LoadInt64(&stats.FsBarriers) == 0 {
+		t.Fatal("no pass settled via the filesystem barrier")
+	}
+	for i, s := range secs {
+		if target, ok := s.syncTarget(); ok {
+			t.Fatalf("section %d still pending generation %d after the barrier", i, target)
+		}
+	}
+}
+
+// TestGroupCommitStop checks shutdown fails waiters conservatively with
+// errNodeClosing instead of hanging them or reporting durability.
+func TestGroupCommitStop(t *testing.T) {
+	stop := make(chan struct{})
+	var stats LiveStats
+	gc := newGroupCommit(0, 4, stop, &stats)
+	// No run() goroutine: requests queue until the channel fills, exactly
+	// the race a node shutdown can hit.
+	sec := &flushCountStore{}
+	done := make(chan error, 8)
+	for i := 0; i < 6; i++ {
+		go func() { done <- gc.sync(sec, 1) }()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	gc.drainFailed()
+	for i := 0; i < 6; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, errNodeClosing) {
+				t.Fatalf("got %v, want errNodeClosing", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("sync caller hung through shutdown")
+		}
+	}
+}

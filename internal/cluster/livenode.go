@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -53,6 +54,28 @@ type LiveConfig struct {
 	// SyncWrites fsyncs the page store after every persist batch (slower,
 	// stronger durability). Only meaningful with DataDir.
 	SyncWrites bool
+
+	// SyncInterval and MaxSyncBatch tune the group-commit fsync
+	// coordinator (see groupcommit.go; only active with DataDir and
+	// SyncWrites). Evictors no longer fsync their shard section directly:
+	// they enqueue durable-after requests, and one coordinator coalesces
+	// every section with pending requests into a single batched fsync
+	// pass. SyncInterval > 0 lets a pass linger that long to absorb more
+	// sections (larger batches, up to that much added persist latency);
+	// 0 (the default) is self-clocking — a pass takes whatever queued
+	// while the previous pass ran, adding no idle latency. A negative
+	// SyncInterval disables the coordinator entirely (every evictor
+	// fsyncs its own section, the pre-group-commit behavior). MaxSyncBatch
+	// caps the requests absorbed into one pass; default 4×Shards.
+	SyncInterval time.Duration
+	MaxSyncBatch int
+	// SyncBarrier lets the coordinator settle a multi-section pass with
+	// one whole-filesystem barrier (Linux syncfs) instead of per-section
+	// fsyncs. Opt-in: it is a clear win only when DataDir sits on its own
+	// filesystem — syncfs flushes everything dirty on the filesystem, so
+	// on a shared one the pass inherits every other tenant's writeback as
+	// tail latency. Ignored where syncfs is unavailable.
+	SyncBarrier bool
 
 	HeartbeatInterval time.Duration // default 500ms
 	FailureThreshold  int           // default 3
@@ -154,6 +177,11 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	if c.ResyncJournalLimit <= 0 {
 		c.ResyncJournalLimit = 1 << 18
 	}
+	if c.MaxSyncBatch <= 0 {
+		// Room for every shard's evictor plus stragglers (FlushAll,
+		// degraded write-throughs) in one pass.
+		c.MaxSyncBatch = 4 * c.Shards
+	}
 	return c
 }
 
@@ -181,6 +209,11 @@ type LiveStats struct {
 	EvictorStalls   int64 // writers that blocked on a full eviction queue
 	PersistFailures int64 // evictor batches that hit a persist error (pages stay pinned)
 
+	// Group-commit fsync counters (see groupcommit.go).
+	GroupCommitBatches int64 // coalesced fsync passes run by the coordinator
+	PagesSynced        int64 // pages covered by those passes (PagesSynced/GroupCommitBatches = pages per sync)
+	FsBarriers         int64 // passes settled by one whole-filesystem barrier instead of per-section fsyncs
+
 	// Lifecycle counters (see lifecycle.go).
 	Suspects       int64 // Healthy→Suspect transitions (first heartbeat miss)
 	Probes         int64 // probe round trips attempted while failed over
@@ -198,8 +231,8 @@ type LiveStats struct {
 // LatencyStats summarizes a latency distribution; quantiles are in
 // milliseconds.
 type LatencyStats struct {
-	Count         int64
-	P50, P95, P99 float64
+	Count               int64
+	P50, P95, P99, P999 float64
 }
 
 // liveShard is the per-shard slice of the node's write-path state. All of
@@ -246,6 +279,7 @@ type LiveNode struct {
 	shards   []liveShard
 	stampCtr atomic.Uint64 // monotonic write stamp; resumes from store.maxStamp()
 	store    pageStore     // the "SSD" contents (durable medium); internally synchronized
+	gc       *groupCommit  // fsync coordinator; nil when sync writes are off or disabled
 	devMu    sync.Mutex    // serializes the timing/wear model (ssd.Device is not thread-safe)
 	dev      *ssd.Device
 	pageSize int
@@ -319,7 +353,7 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	ns := buf.NumShards()
 	var store pageStore = newShardedMemStore(ns, dev.PagesPerBlock())
 	if cfg.DataDir != "" {
-		store, err = newShardedFileStore(cfg.DataDir, dev.PageSize(), cfg.SyncWrites, ns, dev.PagesPerBlock())
+		store, err = newShardedFileStore(cfg.DataDir, dev.PageSize(), cfg.SyncWrites, cfg.SyncBarrier, ns, dev.PagesPerBlock())
 		if err != nil {
 			return nil, err
 		}
@@ -370,6 +404,13 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	if cfg.PeerAddr != "" {
 		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout, cfg.Dialer)
 	}
+	if cfg.DataDir != "" && cfg.SyncWrites && cfg.SyncInterval >= 0 {
+		// The coordinator lives on n.stop, which Close only fires after
+		// FlushAll — so shutdown-path persists still group-commit.
+		n.gc = newGroupCommit(cfg.SyncInterval, cfg.MaxSyncBatch, n.stop, &n.stats)
+		n.wg.Add(1)
+		go n.gc.run(&n.wg)
+	}
 	n.wg.Add(2 + ns)
 	go n.acceptLoop()
 	go n.forwardLoop()
@@ -377,6 +418,29 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		go n.evictLoop(i)
 	}
 	return n, nil
+}
+
+// syncSection makes the store section holding anchor durable, covering at
+// least every put that preceded the call. With the group-commit
+// coordinator running, the request coalesces with every other pending
+// section sync into one batched fsync pass; otherwise it degrades to the
+// direct per-section flush.
+func (n *LiveNode) syncSection(anchor int64, pages int) error {
+	if n.gc != nil {
+		return n.gc.sync(n.sectionFor(anchor), pages)
+	}
+	if sf, ok := n.store.(sectionedStore); ok {
+		return sf.flushOf(anchor)
+	}
+	return n.store.flush()
+}
+
+// sectionFor resolves the store section an lpn's persists land in.
+func (n *LiveNode) sectionFor(anchor int64) pageStore {
+	if ss, ok := n.store.(*shardedStore); ok {
+		return ss.sub(anchor)
+	}
+	return n.store
 }
 
 func (n *LiveNode) getPage() []byte  { return n.pagePool.Get().([]byte) }
@@ -402,6 +466,9 @@ func (n *LiveNode) Stats() LiveStats {
 		StaleRecoverySkips: atomic.LoadInt64(&n.stats.StaleRecoverySkips),
 		EvictorStalls:      atomic.LoadInt64(&n.stats.EvictorStalls),
 		PersistFailures:    atomic.LoadInt64(&n.stats.PersistFailures),
+		GroupCommitBatches: atomic.LoadInt64(&n.stats.GroupCommitBatches),
+		PagesSynced:        atomic.LoadInt64(&n.stats.PagesSynced),
+		FsBarriers:         atomic.LoadInt64(&n.stats.FsBarriers),
 		Suspects:           atomic.LoadInt64(&n.stats.Suspects),
 		Probes:             atomic.LoadInt64(&n.stats.Probes),
 		ProbeFailures:      atomic.LoadInt64(&n.stats.ProbeFailures),
@@ -428,7 +495,7 @@ func (n *LiveNode) ForwardLatencyStats() LatencyStats {
 
 func snapshotLatency(s *metrics.StripedLatencyHist) LatencyStats {
 	h := s.Snapshot()
-	return LatencyStats{Count: h.Count(), P50: h.P50(), P95: h.P95(), P99: h.P99()}
+	return LatencyStats{Count: h.Count(), P50: h.P50(), P95: h.P95(), P99: h.P99(), P999: h.P999()}
 }
 
 func (n *LiveNode) recordLatency(h *metrics.StripedLatencyHist, since time.Time) {
@@ -702,7 +769,7 @@ func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uin
 			pinnedItems = append(pinnedItems, fp)
 		}
 	}
-	done, err := n.persistSet(dirtyItems)
+	done, err := n.persistSet(dirtyItems, true)
 	for _, fp := range done {
 		delete(sh.dirtyData, fp.lpn)
 		delete(sh.dirtyStamp, fp.lpn)
@@ -713,7 +780,7 @@ func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uin
 		// Persist pinned pages too, but leave their buffers to the queued
 		// job that owns them (it recycles them on the stamp mismatch).
 		var donePinned []flushPage
-		donePinned, err = n.persistSet(pinnedItems)
+		donePinned, err = n.persistSet(pinnedItems, true)
 		for _, fp := range donePinned {
 			delete(sh.inflight, fp.lpn)
 		}
@@ -819,7 +886,7 @@ func (n *LiveNode) FlushAll() error {
 		for p, d := range sh.dirtyData {
 			items = append(items, flushPage{lpn: p, data: d, stamp: sh.dirtyStamp[p]})
 		}
-		done, err := n.persistSet(items)
+		done, err := n.persistSet(items, true)
 		for _, fp := range done {
 			delete(sh.dirtyData, fp.lpn)
 			delete(sh.dirtyStamp, fp.lpn)
@@ -833,7 +900,7 @@ func (n *LiveNode) FlushAll() error {
 				pinned = append(pinned, fp)
 			}
 			var donePinned []flushPage
-			donePinned, err = n.persistSet(pinned)
+			donePinned, err = n.persistSet(pinned, true)
 			for _, fp := range donePinned {
 				delete(sh.inflight, fp.lpn)
 			}
@@ -998,14 +1065,22 @@ func (n *LiveNode) serveConn(conn net.Conn) {
 		delete(n.conns, conn)
 		n.connsMu.Unlock()
 	}()
+	// Requests are read through one buffered reader: a pipelined burst of
+	// forward frames arrives as one segment, so the header/body reads of
+	// consecutive frames share syscalls instead of paying three each.
+	br := bufio.NewReaderSize(conn, 256<<10)
 	for {
-		msg, err := ReadFrame(conn)
+		msg, err := ReadFrame(br)
 		if err != nil {
 			return
 		}
 		resp := n.handle(msg)
 		resp.Seq = msg.Seq
-		if err := WriteFrame(conn, resp); err != nil {
+		// Replies go out in the v2 format: one gather write per ack
+		// instead of v1's header+body pair, and the checksum protects
+		// the RCT recovery payloads. ReadFrame on the other side accepts
+		// both formats, so a v1 sender still gets its replies decoded.
+		if err := WriteFrameV2(conn, resp); err != nil {
 			return
 		}
 	}

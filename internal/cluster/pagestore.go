@@ -3,10 +3,10 @@ package cluster
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 )
 
 // pageStore is the durable medium behind a live node: what survives once a
@@ -38,6 +38,49 @@ type pageStore interface {
 	// unit pays one sync, not one per page.
 	flush() error
 	close() error
+}
+
+// sectionedStore is the optional per-section sync extension: flushOf makes
+// only the section holding lpn durable. The sharded store implements it so
+// a persist batch (always within one shard) syncs one file, not all.
+type sectionedStore interface {
+	flushOf(lpn int64) error
+}
+
+// fsBarrier is the optional whole-filesystem durability extension. All of
+// one node's section files live in a single DataDir, so on hosts with
+// syncfs(2) the group-commit coordinator can settle a pass spanning many
+// sections with ONE filesystem-wide barrier instead of one fsync per
+// section file — the per-pass syscall count stops scaling with the shard
+// count. The barrier is opt-in (LiveConfig.SyncBarrier): syncfs flushes
+// EVERYTHING dirty on the filesystem, so it only wins when the DataDir
+// sits on its own filesystem; on a shared one it inherits every other
+// tenant's writeback as tail latency. The protocol is: read each pending
+// section's syncTarget, issue
+// syncFS through any one of them, then markSynced the captured targets.
+// Any put racing the barrier lands in a later generation and stays
+// pending, exactly like the per-file generation check in fileStore.flush.
+type fsBarrier interface {
+	// barrierReady reports whether the section can take part in a
+	// filesystem barrier (sync mode on, platform has syncfs).
+	barrierReady() bool
+	// syncTarget returns the put generation a barrier must cover for this
+	// section's pending puts; ok is false when it is already durable.
+	syncTarget() (target uint64, ok bool)
+	// syncFS issues one durability barrier over the whole filesystem
+	// holding the section, covering every sibling section on it too.
+	syncFS() error
+	// markSynced records that an external barrier covered generation
+	// target, so later flushes of already-covered puts become no-ops.
+	markSynced(target uint64)
+}
+
+// runPutter is the optional batched-put extension: store a run of
+// consecutive-LPN pages in one shot, letting file-backed stores coalesce
+// records that land in adjacent slots into single pwrites. The slices run
+// parallel; semantics are identical to calling put page by page.
+type runPutter interface {
+	putRun(lpns []int64, data [][]byte, stamps []uint64) error
 }
 
 // memStore is the default in-memory medium (contents die with the process,
@@ -122,7 +165,31 @@ type fileStore struct {
 	slots    int64              // total slots in the file
 	max      uint64             // largest stamp seen
 	sync     bool               // fsync on flush
-	unsynced bool               // puts since the last fsync
+	barrier  bool               // advertise the whole-filesystem barrier (see fsBarrier)
+	puts     uint64             // write generation: bumped by every put
+
+	// syncMu serializes fsync, deliberately apart from mu: holding the
+	// record lock across f.Sync would stall every put (and get) behind the
+	// sync, re-serializing exactly the put/fsync overlap the group-commit
+	// pipeline depends on. synced is the put generation the last completed
+	// sync covered; a flush whose target generation is already covered
+	// returns without another fsync — concurrent flushes group-commit at
+	// the file level. It is atomic (advanced monotonically) rather than
+	// syncMu-guarded so the coordinator's filesystem barrier can publish
+	// coverage without queueing behind an in-flight per-file fsync.
+	syncMu sync.Mutex
+	synced atomic.Uint64
+}
+
+// advanceSynced raises gen to at least v, never lowering it: coverage from
+// a barrier and from a per-file fsync may land in either order.
+func advanceSynced(gen *atomic.Uint64, v uint64) {
+	for {
+		cur := gen.Load()
+		if v <= cur || gen.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 type fileSlot struct {
@@ -252,19 +319,123 @@ func (s *fileStore) put(lpn int64, data []byte, stamp uint64) error {
 	if stamp > s.max {
 		s.max = stamp
 	}
-	s.unsynced = true
+	s.puts++
 	return nil
 }
 
-func (s *fileStore) flush() error {
+// runBufPool recycles the combined-record buffers putRun assembles, so a
+// steady eviction stream doesn't allocate one per persist batch.
+var runBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); return &b }}
+
+// putRun stores a run of consecutive-LPN pages. Records whose slots come
+// out adjacent — the common case: a block's pages were first written
+// together, so they were appended together — are combined into one
+// WriteAt, halving (ppb=2) or better the pwrite syscalls per persist
+// batch versus per-page put.
+func (s *fileStore) putRun(lpns []int64, data [][]byte, stamps []uint64) error {
+	for _, d := range data {
+		if len(d) != s.pageSize {
+			return fmt.Errorf("cluster: pagestore put of %d bytes, want %d", len(d), s.pageSize)
+		}
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if !s.sync || !s.unsynced {
+	rs := s.recordSize()
+	slots := make([]int64, len(lpns))
+	for i, lpn := range lpns {
+		if fs, ok := s.index[lpn]; ok {
+			slots[i] = fs.slot
+		} else if n := len(s.free); n > 0 {
+			slots[i] = s.free[n-1]
+			s.free = s.free[:n-1]
+		} else {
+			slots[i] = s.slots
+			s.slots++
+		}
+	}
+	bufp := runBufPool.Get().(*[]byte)
+	defer runBufPool.Put(bufp)
+	for i := 0; i < len(lpns); {
+		j := i + 1
+		for j < len(lpns) && slots[j] == slots[j-1]+1 {
+			j++
+		}
+		need := int(rs) * (j - i)
+		buf := (*bufp)[:0]
+		if cap(buf) < need {
+			buf = make([]byte, 0, need)
+			*bufp = buf
+		}
+		buf = buf[:need]
+		for k := i; k < j; k++ {
+			rec := buf[(k-i)*int(rs):]
+			binary.BigEndian.PutUint64(rec[:8], uint64(lpns[k]))
+			binary.BigEndian.PutUint64(rec[8:16], stamps[k])
+			copy(rec[fileHeaderSize:int(rs)], data[k])
+		}
+		if _, err := s.f.WriteAt(buf, slots[i]*rs); err != nil {
+			return fmt.Errorf("cluster: pagestore write: %w", err)
+		}
+		for k := i; k < j; k++ {
+			s.index[lpns[k]] = fileSlot{slot: slots[k], stamp: stamps[k]}
+			if stamps[k] > s.max {
+				s.max = stamps[k]
+			}
+		}
+		i = j
+	}
+	s.puts++
+	return nil
+}
+
+// flush makes every completed put durable. Generation tracking makes it
+// both safe and cheap under concurrency: the target generation is read
+// before taking syncMu, so a flush that finds its target already covered
+// piggybacked on a sibling's completed fsync (syncMu means waiting for
+// that fsync to finish, never just to start), and a put racing an fsync
+// simply lands in a later generation for the next flush to cover.
+func (s *fileStore) flush() error {
+	if !s.sync {
 		return nil
 	}
-	s.unsynced = false
-	return s.f.Sync()
+	s.mu.Lock()
+	target := s.puts
+	s.mu.Unlock()
+	s.syncMu.Lock()
+	defer s.syncMu.Unlock()
+	if s.synced.Load() >= target {
+		return nil
+	}
+	s.mu.Lock()
+	covered := s.puts // everything written before this fsync starts
+	s.mu.Unlock()
+	if err := datasync(s.f); err != nil {
+		return err
+	}
+	advanceSynced(&s.synced, covered)
+	return nil
 }
+
+// fsBarrier implementation: see the interface comment for the protocol.
+
+func (s *fileStore) barrierReady() bool { return s.sync && s.barrier && hasSyncFS }
+
+func (s *fileStore) syncTarget() (uint64, bool) {
+	if !s.sync {
+		return 0, false
+	}
+	s.mu.Lock()
+	target := s.puts
+	s.mu.Unlock()
+	if s.synced.Load() >= target {
+		return 0, false
+	}
+	return target, true
+}
+
+func (s *fileStore) syncFS() error { return syncFilesystem(s.f) }
+
+func (s *fileStore) markSynced(target uint64) { advanceSynced(&s.synced, target) }
 
 func (s *fileStore) remove(lpn int64) error {
 	s.mu.Lock()
@@ -298,7 +469,10 @@ func (s *fileStore) maxStamp() uint64 {
 func (s *fileStore) close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if err := s.f.Sync(); err != nil && err != io.EOF {
+	// fsync never legitimately returns io.EOF; any error here means the
+	// final records may not have reached the medium, and it must surface
+	// as a persist failure instead of being swallowed.
+	if err := s.f.Sync(); err != nil {
 		s.f.Close()
 		return err
 	}
@@ -338,7 +512,7 @@ func shardStoreName(i int) string {
 // shard count must be stable across restarts of the same DataDir: pages
 // are routed to files by shard index, so reopening with a different count
 // would look up pages in the wrong sub-store.
-func newShardedFileStore(dir string, pageSize int, syncWrites bool, n, pagesPerBlock int) (*shardedStore, error) {
+func newShardedFileStore(dir string, pageSize int, syncWrites, barrier bool, n, pagesPerBlock int) (*shardedStore, error) {
 	s := &shardedStore{subs: make([]pageStore, n), ppb: int64(pagesPerBlock)}
 	for i := range s.subs {
 		sub, err := newFileStoreAt(dir, shardStoreName(i), pageSize, syncWrites)
@@ -348,6 +522,7 @@ func newShardedFileStore(dir string, pageSize int, syncWrites bool, n, pagesPerB
 			}
 			return nil, err
 		}
+		sub.barrier = barrier
 		s.subs[i] = sub
 	}
 	return s, nil
@@ -363,6 +538,33 @@ func (s *shardedStore) put(lpn int64, data []byte, stamp uint64) error {
 	return s.sub(lpn).put(lpn, data, stamp)
 }
 func (s *shardedStore) remove(lpn int64) error { return s.sub(lpn).remove(lpn) }
+
+// putRun routes a consecutive-LPN run to its sub-stores, keeping each
+// sub-store's span intact so a file-backed sub can coalesce the pwrites.
+// A run can cross a block boundary into another section mid-way, so the
+// split walks by routing, not just by the first page.
+func (s *shardedStore) putRun(lpns []int64, data [][]byte, stamps []uint64) error {
+	for i := 0; i < len(lpns); {
+		sub := s.sub(lpns[i])
+		j := i + 1
+		for j < len(lpns) && s.sub(lpns[j]) == sub {
+			j++
+		}
+		if rp, ok := sub.(runPutter); ok {
+			if err := rp.putRun(lpns[i:j], data[i:j], stamps[i:j]); err != nil {
+				return err
+			}
+		} else {
+			for k := i; k < j; k++ {
+				if err := sub.put(lpns[k], data[k], stamps[k]); err != nil {
+					return err
+				}
+			}
+		}
+		i = j
+	}
+	return nil
+}
 
 func (s *shardedStore) pages() int {
 	total := 0

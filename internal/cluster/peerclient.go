@@ -56,13 +56,17 @@ type peerClient struct {
 	wg sync.WaitGroup
 }
 
-// peerCall is one in-flight request.
+// peerCall is one in-flight request. chunks, when non-nil, is the
+// request's page payload as a gather list: the frame encoder splices the
+// slices onto the wire by reference (see appendFrameV2), so the caller
+// must keep them untouched until the call completes.
 type peerCall struct {
-	msg  *Message
-	sess *peerSession
-	done chan struct{}
-	resp *Message
-	err  error
+	msg    *Message
+	chunks [][]byte
+	sess   *peerSession
+	done   chan struct{}
+	resp   *Message
+	err    error
 }
 
 // peerSession is the state of one live connection: its send queue, the
@@ -112,6 +116,15 @@ func (p *peerClient) callT(m *Message, timeout time.Duration) (*Message, error) 
 // start enqueues a request onto the pipeline without waiting for the
 // response. The caller must eventually wait(pc).
 func (p *peerClient) start(m *Message) (*peerCall, error) {
+	return p.startChunks(m, nil)
+}
+
+// startChunks is start with the page payload supplied as a gather list
+// instead of m.Data: the chunks go onto the wire zero-copy, in order,
+// after whatever m.Data holds. The caller must not mutate or recycle the
+// chunk slices until the call completes (the writer's Write blocks on
+// exactly that completion).
+func (p *peerClient) startChunks(m *Message, chunks [][]byte) (*peerCall, error) {
 	p.mu.Lock()
 	if p.closed {
 		p.mu.Unlock()
@@ -127,7 +140,7 @@ func (p *peerClient) start(m *Message) (*peerCall, error) {
 	}
 	p.seq++
 	m.Seq = p.seq
-	pc := &peerCall{msg: m, sess: s, done: make(chan struct{})}
+	pc := &peerCall{msg: m, chunks: chunks, sess: s, done: make(chan struct{})}
 	s.mu.Lock()
 	if s.err != nil {
 		err := s.err
@@ -248,25 +261,63 @@ func (p *peerClient) close() {
 	p.wg.Wait()
 }
 
-// writeLoop streams queued frames onto the socket through one buffered
-// writer, flushing only when the queue momentarily drains — consecutive
-// frames from a hot queue share syscalls.
+// sendBatchFrames caps how many queued frames one writev gathers. The
+// cap bounds the gather list (and the scratch blocks pinned at once),
+// not throughput — a hot queue just fills the next batch immediately.
+const sendBatchFrames = 64
+
+// writeLoop streams queued frames onto the socket as checksummed v2
+// gather lists: every frame's metadata is encoded into a pooled scratch
+// block, its page payload is spliced in by reference, and everything the
+// queue holds at that moment leaves in a single writev — no buffered-
+// writer copy, no payload copy, and consecutive frames from a hot queue
+// share one syscall.
 func (s *peerSession) writeLoop() {
 	defer s.client.wg.Done()
-	bw := bufio.NewWriterSize(s.conn, 64<<10)
+	var (
+		bufs    net.Buffers
+		scratch []*[]byte
+	)
+	release := func() {
+		for _, sp := range scratch {
+			releaseFrameScratch(sp)
+		}
+		scratch = scratch[:0]
+	}
 	for {
 		select {
 		case pc := <-s.sendq:
-			_ = s.conn.SetWriteDeadline(time.Now().Add(s.client.timeout))
-			if err := WriteFrame(bw, pc.msg); err != nil {
-				s.fail(err)
-				return
-			}
-			if len(s.sendq) == 0 {
-				if err := bw.Flush(); err != nil {
+			bufs = bufs[:0]
+			for {
+				nb, sp, err := appendFrameV2(bufs, pc.msg, pc.chunks)
+				if err != nil {
+					release()
 					s.fail(err)
 					return
 				}
+				bufs, scratch = nb, append(scratch, sp)
+				if len(scratch) >= sendBatchFrames {
+					break
+				}
+				var more bool
+				select {
+				case pc = <-s.sendq:
+					more = true
+				default:
+				}
+				if !more {
+					break
+				}
+			}
+			_ = s.conn.SetWriteDeadline(time.Now().Add(s.client.timeout))
+			// WriteTo consumes the slice it is invoked on; keep bufs
+			// intact so its backing array is reused next batch.
+			out := bufs
+			_, err := out.WriteTo(s.conn)
+			release()
+			if err != nil {
+				s.fail(err)
+				return
 			}
 		case <-s.dead:
 			return
@@ -275,11 +326,15 @@ func (s *peerSession) writeLoop() {
 }
 
 // readLoop matches response frames to pending calls by Seq, tolerating
-// out-of-order completion.
+// out-of-order completion. The connection is read through one buffered
+// reader: a frame header is a handful of bytes, and a pipelined burst of
+// acks arrives as one segment, so buffering turns several tiny reads per
+// frame into one syscall per burst.
 func (s *peerSession) readLoop() {
 	defer s.client.wg.Done()
+	br := bufio.NewReaderSize(s.conn, 64<<10)
 	for {
-		msg, err := ReadFrame(s.conn)
+		msg, err := ReadFrame(br)
 		if err != nil {
 			s.fail(err)
 			return

@@ -268,11 +268,18 @@ func WriteFrame(w io.Writer, m *Message) error {
 	return err
 }
 
-// ReadFrame reads one length-prefixed message from r.
+// ReadFrame reads one message from r, accepting both wire formats: the
+// v1 length-prefixed frame and the v2 checksummed frame (see framing.go).
+// The first byte disambiguates — a valid v1 length for a ≤16 MiB frame
+// starts with 0x00 or 0x01, so the 0xFC magic can never be confused for
+// one.
 func ReadFrame(r io.Reader) (*Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
+	}
+	if hdr[0] == FrameMagicV2 {
+		return readFrameV2(r, hdr)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrameBytes {

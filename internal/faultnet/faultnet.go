@@ -65,6 +65,8 @@ type Network struct {
 	tap         Tap
 	nextID      uint64
 	partitioned atomic.Bool
+	dialFn      DialFunc
+	listenFn    ListenFunc
 
 	steps     atomic.Uint64
 	crashStep uint64
@@ -72,8 +74,24 @@ type Network struct {
 	crashOnce sync.Once
 }
 
-// New builds a Network whose fault schedule derives from seed.
+// DialFunc and ListenFunc are the underlying transport hooks a Network
+// injects faults over. They match net.DialTimeout and net.Listen.
+type (
+	DialFunc   func(network, addr string, timeout time.Duration) (net.Conn, error)
+	ListenFunc func(network, addr string) (net.Listener, error)
+)
+
+// New builds a Network whose fault schedule derives from seed, injecting
+// over real TCP (net.DialTimeout / net.Listen).
 func New(seed int64) *Network { return &Network{seed: seed} }
+
+// NewOver builds a Network that injects its fault schedule over a custom
+// transport — e.g. the channel-backed in-process one in
+// internal/transport, so chaos drills exercise the live framing code
+// without loopback sockets. A nil dial or listen falls back to TCP.
+func NewOver(seed int64, dial DialFunc, listen ListenFunc) *Network {
+	return &Network{seed: seed, dialFn: dial, listenFn: listen}
+}
 
 // SetFaults replaces the fault probabilities. Existing connections pick up
 // the change on their next operation.
@@ -135,23 +153,32 @@ func (n *Network) connRNG(id uint64) *rand.Rand {
 	return rand.New(rand.NewSource(n.seed ^ int64(id*0x9E3779B97F4A7C15)))
 }
 
-// Dial connects like net.DialTimeout through the fault layer.
+// Dial connects like net.DialTimeout (or the injected transport) through
+// the fault layer.
 func (n *Network) Dial(network, addr string, timeout time.Duration) (net.Conn, error) {
 	n.step()
 	if n.partitioned.Load() {
 		return nil, ErrPartitioned
 	}
-	c, err := net.DialTimeout(network, addr, timeout)
+	dial := n.dialFn
+	if dial == nil {
+		dial = net.DialTimeout
+	}
+	c, err := dial(network, addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	return n.wrap(c, true), nil
 }
 
-// Listen binds like net.Listen; accepted connections go through the fault
-// layer too.
+// Listen binds like net.Listen (or the injected transport); accepted
+// connections go through the fault layer too.
 func (n *Network) Listen(network, addr string) (net.Listener, error) {
-	ln, err := net.Listen(network, addr)
+	listen := n.listenFn
+	if listen == nil {
+		listen = net.Listen
+	}
+	ln, err := listen(network, addr)
 	if err != nil {
 		return nil, err
 	}

@@ -323,3 +323,6 @@ func (h *LatencyHist) P95() float64 { return h.Quantile(0.95) }
 
 // P99 returns the 99th percentile upper bound.
 func (h *LatencyHist) P99() float64 { return h.Quantile(0.99) }
+
+// P999 returns the 99.9th percentile upper bound.
+func (h *LatencyHist) P999() float64 { return h.Quantile(0.999) }

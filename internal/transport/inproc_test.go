@@ -1,0 +1,249 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func pair(t *testing.T) (client, server net.Conn, cleanup func()) {
+	t.Helper()
+	n := NewNet()
+	ln, err := n.Listen("inproc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, aerr := ln.Accept()
+		if aerr == nil {
+			accepted <- c
+		}
+	}()
+	c, err := n.Dial("inproc", ln.Addr().String(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := <-accepted
+	return c, s, func() { c.Close(); s.Close(); ln.Close() }
+}
+
+func TestInprocRoundTrip(t *testing.T) {
+	c, s, cleanup := pair(t)
+	defer cleanup()
+	msg := []byte("hello across the channel")
+	if _, err := c.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	// And the reverse direction.
+	if _, err := s.Write([]byte("ack")); err != nil {
+		t.Fatal(err)
+	}
+	got = make([]byte, 3)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "ack" {
+		t.Fatalf("got %q, want ack", got)
+	}
+}
+
+// TestInprocWriteBufferReuse checks Write copies the caller's slice —
+// the property the cluster's pooled-scratch writev path depends on.
+func TestInprocWriteBufferReuse(t *testing.T) {
+	c, s, cleanup := pair(t)
+	defer cleanup()
+	buf := []byte("first")
+	if _, err := c.Write(buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "XXXXX") // mutate immediately after Write returns
+	got := make([]byte, 5)
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "first" {
+		t.Fatalf("reader saw mutated buffer: %q", got)
+	}
+}
+
+// TestInprocShortRead checks a chunk larger than the read buffer is
+// carried over to subsequent reads.
+func TestInprocShortRead(t *testing.T) {
+	c, s, cleanup := pair(t)
+	defer cleanup()
+	if _, err := c.Write([]byte("abcdefgh")); err != nil {
+		t.Fatal(err)
+	}
+	small := make([]byte, 3)
+	var got []byte
+	for len(got) < 8 {
+		n, err := s.Read(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, small[:n]...)
+	}
+	if string(got) != "abcdefgh" {
+		t.Fatalf("reassembled %q", got)
+	}
+}
+
+// TestInprocPeerCloseDrains checks bytes written before a close are
+// still readable (FIN semantics), then EOF.
+func TestInprocPeerCloseDrains(t *testing.T) {
+	c, s, cleanup := pair(t)
+	defer cleanup()
+	if _, err := c.Write([]byte("last words")); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	got := make([]byte, 10)
+	if _, err := io.ReadFull(s, got); err != nil {
+		t.Fatalf("pre-close bytes lost: %v", err)
+	}
+	if _, err := s.Read(got); err != io.EOF {
+		t.Fatalf("after drain got %v, want io.EOF", err)
+	}
+	if _, err := s.Write([]byte("x")); err == nil {
+		t.Fatal("write to closed peer succeeded")
+	}
+}
+
+func TestInprocReadDeadline(t *testing.T) {
+	c, _, cleanup := pair(t)
+	defer cleanup()
+	c.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	start := time.Now()
+	_, err := c.Read(make([]byte, 1))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("deadline wildly overshot")
+	}
+	var ne net.Error
+	if !errors.As(err, &ne) || !ne.Timeout() {
+		t.Fatalf("deadline error %v is not a net.Error timeout", err)
+	}
+}
+
+func TestInprocWriteDeadlineOnFullBuffer(t *testing.T) {
+	c, _, cleanup := pair(t)
+	defer cleanup()
+	c.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+	var err error
+	for i := 0; i < chunkCap+2; i++ { // nobody reads: channel fills
+		if _, err = c.Write([]byte("spam")); err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded on full buffer", err)
+	}
+}
+
+func TestInprocAddressing(t *testing.T) {
+	n := NewNet()
+	// ":0"-style requests auto-assign distinct names.
+	l1, err := n.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := n.Listen("tcp", ":0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.Addr().String() == l2.Addr().String() {
+		t.Fatalf("auto-assigned addresses collide: %s", l1.Addr())
+	}
+	if !strings.HasPrefix(l1.Addr().String(), "inproc-") {
+		t.Fatalf("unexpected auto address %s", l1.Addr())
+	}
+	// A live address cannot be rebound; a closed one can (crash-replace).
+	if _, err := n.Listen("tcp", l1.Addr().String()); err == nil {
+		t.Fatal("rebinding a live address succeeded")
+	}
+	l1.Close()
+	l3, err := n.Listen("tcp", l1.Addr().String())
+	if err != nil {
+		t.Fatalf("rebinding a closed address: %v", err)
+	}
+	l3.Close()
+	l2.Close()
+	// Dialing a closed or unknown address is refused.
+	if _, err := n.Dial("tcp", l2.Addr().String(), time.Second); err == nil {
+		t.Fatal("dial to closed listener succeeded")
+	}
+	if _, err := n.Dial("tcp", "nowhere", time.Second); err == nil {
+		t.Fatal("dial to unknown address succeeded")
+	}
+}
+
+func TestInprocListenerClose(t *testing.T) {
+	n := NewNet()
+	ln, err := n.Listen("inproc", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, aerr := ln.Accept()
+		done <- aerr
+	}()
+	ln.Close()
+	select {
+	case aerr := <-done:
+		if !errors.Is(aerr, net.ErrClosed) {
+			t.Fatalf("Accept returned %v, want net.ErrClosed", aerr)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Accept did not return after Close")
+	}
+}
+
+// TestInprocConcurrent hammers one connection from both sides to catch
+// races under -race.
+func TestInprocConcurrent(t *testing.T) {
+	c, s, cleanup := pair(t)
+	defer cleanup()
+	const msgs = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < msgs; i++ {
+			if _, err := c.Write([]byte{byte(i)}); err != nil {
+				t.Errorf("write %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		buf := make([]byte, 64)
+		total := 0
+		for total < msgs {
+			n, err := s.Read(buf)
+			if err != nil {
+				t.Errorf("read at %d: %v", total, err)
+				return
+			}
+			total += n
+		}
+	}()
+	wg.Wait()
+}
