@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster bench-shard bench-gate profile
+.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-gate profile
 
 all: build
 
@@ -69,6 +69,18 @@ bench-shard:
 	$(GO) run ./cmd/loadgen -shard-scale 1,4,16 -writers 32 -ops 24000 \
 		-buffer 1024 -remote 32768 -evict-queue 1 -ppb 2 -blocks 65536 \
 		-sync-scale=-1,0,0.5,2 -reps 3 -json BENCH_shard.json
+	$(GO) run ./cmd/loadgen -stream-scale -writers 8 -ops 60000 -hotfrac 0.7 \
+		-json BENCH_shard.json
+
+# Multi-stream flash-wear A/B alone: the mixed hot/cold workload replayed
+# with eviction stream tagging on and then with -streams=off at equal ops,
+# over a high-utilization device (2% spare), reporting total erases, GC
+# copies, and the per-temperature wear split. Its workload flags differ
+# from the shard ladder's (fewer, hotter writers; more ops so GC reaches
+# steady state), which is why bench-shard records it with a second loadgen
+# invocation — writeReport merges sections into the existing report.
+bench-streams:
+	$(GO) run ./cmd/loadgen -stream-scale -writers 8 -ops 60000 -hotfrac 0.7
 
 # Rerun the committed ladder and gate against it: fails when any rung's
 # throughput regressed more than 10%. This is the tail of `make ci`;

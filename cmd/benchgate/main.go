@@ -7,9 +7,10 @@
 // current run is itself a failure.
 //
 // Only regressions gate. Improvements pass (and should be committed by
-// regenerating the baseline with `make bench-shard`), and the latency
-// percentiles are reported for eyeballing but not gated — on shared CI
-// hosts tail latency swings far more than median throughput does.
+// regenerating the baseline with `make bench-shard`). Besides throughput,
+// each rung's p99 write latency gates under the same fractional
+// tolerance (a rung whose baseline recorded no p99 is skipped); p50 is
+// reported for eyeballing only.
 //
 // Usage:
 //
@@ -99,12 +100,20 @@ func main() {
 			verdict = "FAIL"
 			failed = true
 		}
+		// The tail gates too: a change that holds throughput but stretches
+		// p99 (say, an eviction stall moved onto the write path) must not
+		// pass. Higher is worse for latency, so the check mirrors the
+		// throughput one around 1+tolerance.
+		if b.P99Ms > 0 && c.P99Ms > b.P99Ms*(1+*tolerance) {
+			verdict = "FAIL"
+			failed = true
+		}
 		fmt.Printf("%s shards=%-3d %9.1f -> %9.1f w/s (%+.1f%%)  p50 %.2f->%.2f ms  p99 %.2f->%.2f ms\n",
 			verdict, b.Shards, b.WritesPerSec, c.WritesPerSec, (ratio-1)*100,
 			b.P50Ms, c.P50Ms, b.P99Ms, c.P99Ms)
 	}
 	if failed {
-		fmt.Printf("benchgate: throughput regressed beyond %.0f%% tolerance\n", *tolerance*100)
+		fmt.Printf("benchgate: throughput or p99 latency regressed beyond %.0f%% tolerance\n", *tolerance*100)
 		os.Exit(1)
 	}
 	fmt.Println("benchgate: all rungs within tolerance")

@@ -31,6 +31,7 @@ import (
 
 	"flashcoop"
 	"flashcoop/internal/faultnet"
+	"flashcoop/internal/stream"
 )
 
 func main() {
@@ -120,6 +121,22 @@ func main() {
 	}
 }
 
+// streamFields renders the per-temperature flash wear counters as STATS
+// key=value fields: erases and GC copies attributed to the stream each
+// erase block was serving ("untagged" covers blocks that only ever held
+// GC-relocated pages).
+func streamFields(fs flashcoop.StreamStats) string {
+	var b strings.Builder
+	for i := range fs.Erases {
+		name := "untagged"
+		if i < int(stream.NumStreams) {
+			name = stream.Stream(i).String()
+		}
+		fmt.Fprintf(&b, " erases_%s=%d copies_%s=%d", name, fs.Erases[i], name, fs.Copies[i])
+	}
+	return b.String()
+}
+
 func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
@@ -198,10 +215,12 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d fwdFrames=%d batching=%.2f persists=%d failovers=%d rebalances=%d peerAlive=%v state=%s "+
 				"rejoins=%d resynced=%d overloads=%d breakerTrips=%d "+
 				"evictorStalls=%d groupCommitBatches=%d pagesPerSync=%.1f "+
+				"gcPressure=%.2f drainDeferrals=%d discardDeferrals=%d%s "+
 				"wlat_p50=%.3fms wlat_p95=%.3fms wlat_p99=%.3fms flat_p50=%.3fms flat_p95=%.3fms flat_p99=%.3fms\n",
 				st.Writes, st.Reads, st.Forwards, st.FwdFrames, batching, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive(), node.PeerLifecycle(),
 				st.Rejoins, st.ResyncedPages, st.Overloads, st.BreakerTrips,
 				st.EvictorStalls, st.GroupCommitBatches, pagesPerSync,
+				node.GCPressure(), st.DrainDeferrals, st.DiscardDeferrals, streamFields(node.StreamStats()),
 				wl.P50, wl.P95, wl.P99, fl.P50, fl.P95, fl.P99)
 		case "HEALTH":
 			st := node.Stats()

@@ -38,6 +38,18 @@
 // each listed group-commit interval (ms; 0 = self-clocking, negative =
 // coordinator disabled), so the fsync-coalescing window's cost/benefit
 // is tracked alongside shard scaling.
+//
+// With -stream-scale the workload becomes a flash-wear A/B instead: a
+// deterministic mixed hot/cold trace (single-page rewrites into a small
+// hot region, full-block sequential streams over the cold rest, total
+// volume a small multiple of device capacity so GC runs hot) is replayed
+// twice through fresh pairs at equal ops — once with temperature-tagged
+// multi-stream eviction and once with -streams=off — and the erase and
+// GC-copy counts are compared. The trace's skew is classified once up
+// front (workload.ClassifyHeat), not per-op:
+//
+//	loadgen -stream-scale [-hotfrac 0.5] [-ops 40000] [-writers 8]
+//	        [-json BENCH_shard.json]
 package main
 
 import (
@@ -56,9 +68,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"math/rand"
+
 	"flashcoop"
 	"flashcoop/internal/faultnet"
 	"flashcoop/internal/metrics"
+	"flashcoop/internal/stream"
+	"flashcoop/internal/trace"
+	"flashcoop/internal/workload"
 )
 
 type options struct {
@@ -75,6 +92,8 @@ type options struct {
 	evictQueue int
 	ppb        int
 	reps       int
+	hotfrac    float64
+	streams    bool
 }
 
 // runResult is one benchmark run, JSON-serialized into BENCH_cluster.json.
@@ -153,6 +172,48 @@ type shardScale struct {
 	SyncLadder []shardRun `json:"sync_ladder,omitempty"`
 }
 
+// streamRun is one leg of the -stream-scale A/B: the mixed hot/cold
+// trace replayed with multi-stream eviction either on or off.
+type streamRun struct {
+	Streams      bool    `json:"streams"`
+	Writers      int     `json:"writers"`
+	Ops          int     `json:"ops"`
+	PagesWritten int64   `json:"pages_written"`
+	Seconds      float64 `json:"seconds"`
+	PagesPerSec  float64 `json:"pages_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	// Erases / GCCopies are the device-wide totals; the per-stream maps
+	// attribute them to the temperature class each erase block was
+	// serving (plus "untagged" for blocks never host-written).
+	Erases           int64            `json:"erases"`
+	GCCopies         int64            `json:"gc_copies"`
+	StreamPrograms   map[string]int64 `json:"stream_programs,omitempty"`
+	StreamErases     map[string]int64 `json:"stream_erases,omitempty"`
+	StreamCopies     map[string]int64 `json:"stream_copies,omitempty"`
+	DrainDeferrals   int64            `json:"drain_deferrals"`
+	DiscardDeferrals int64            `json:"discard_deferrals"`
+}
+
+// streamScale is the whole -stream-scale section: the workload's shape,
+// its once-per-trace skew classification, both legs, and the headline
+// erase reduction of tagged eviction over the untagged baseline.
+type streamScale struct {
+	HotFrac       float64   `json:"hotfrac"`
+	PagesPerBlock int       `json:"pages_per_block"`
+	UserPages     int64     `json:"user_pages"`
+	HotPages      int64     `json:"hot_pages"`
+	BufferPages   int       `json:"buffer_pages"`
+	HotBlocks     int       `json:"hot_blocks"`
+	ColdBlocks    int       `json:"cold_blocks"`
+	HotWriteShare float64   `json:"hot_write_share"`
+	Tagged        streamRun `json:"tagged"`
+	Untagged      streamRun `json:"untagged"`
+	// EraseReduction is 1 - tagged.Erases/untagged.Erases: the fraction
+	// of erases the stream segregation avoided at equal ops.
+	EraseReduction float64 `json:"erase_reduction"`
+}
+
 type report struct {
 	GeneratedAt string      `json:"generated_at"`
 	GoVersion   string      `json:"go_version"`
@@ -160,21 +221,24 @@ type report struct {
 	Runs        []runResult `json:"runs,omitempty"`
 	// Speedup is pipelined writes/sec over sync writes/sec (0 when only
 	// one run was requested).
-	Speedup    float64     `json:"speedup,omitempty"`
-	Flap       *flapResult `json:"flap,omitempty"`
-	ShardScale *shardScale `json:"shard_scale,omitempty"`
+	Speedup     float64      `json:"speedup,omitempty"`
+	Flap        *flapResult  `json:"flap,omitempty"`
+	ShardScale  *shardScale  `json:"shard_scale,omitempty"`
+	StreamScale *streamScale `json:"stream_scale,omitempty"`
 }
 
 func main() {
 	var (
-		opt      options
-		compare  = flag.Bool("compare", true, "also run the synchronous (batch=1, inflight=1) configuration and report speedup")
-		jsonPath = flag.String("json", "", "write results to this JSON file (e.g. BENCH_cluster.json)")
-		flap       = flag.Int("flap", 0, "run a link-flap drill with this many partition/heal cycles instead of the throughput runs (0 = off)")
-		flapSeed   = flag.Int64("flap-seed", 1, "fault-injector seed for -flap (drills are reproducible per seed)")
-		shardScale = flag.String("shard-scale", "", "run the eviction-bound shard-scaling ladder over these comma-separated shard counts (e.g. 1,4,16) instead of the throughput runs")
-		syncScale  = flag.String("sync-scale", "", "with -shard-scale: rerun the largest shard count under these comma-separated group-commit intervals in ms (0 = self-clocking, negative = coordinator off), e.g. -1,0,0.5,2")
-		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile")
+		opt         options
+		compare     = flag.Bool("compare", true, "also run the synchronous (batch=1, inflight=1) configuration and report speedup")
+		jsonPath    = flag.String("json", "", "write results to this JSON file (e.g. BENCH_cluster.json)")
+		flap        = flag.Int("flap", 0, "run a link-flap drill with this many partition/heal cycles instead of the throughput runs (0 = off)")
+		flapSeed    = flag.Int64("flap-seed", 1, "fault-injector seed for -flap (drills are reproducible per seed)")
+		shardScale  = flag.String("shard-scale", "", "run the eviction-bound shard-scaling ladder over these comma-separated shard counts (e.g. 1,4,16) instead of the throughput runs")
+		syncScale   = flag.String("sync-scale", "", "with -shard-scale: rerun the largest shard count under these comma-separated group-commit intervals in ms (0 = self-clocking, negative = coordinator off), e.g. -1,0,0.5,2")
+		streamBench = flag.Bool("stream-scale", false, "run the mixed hot/cold multi-stream flash-wear A/B (tagged vs -streams=off at equal ops) instead of the throughput runs")
+		streamsFlag = flag.String("streams", "on", "temperature-tagged multi-stream eviction: on|off (off forces every flush onto the default stream)")
+		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile")
 	)
 	flag.IntVar(&opt.writers, "writers", 8, "concurrent writer goroutines")
 	flag.IntVar(&opt.ops, "ops", 40000, "total writes, split across writers")
@@ -189,7 +253,16 @@ func main() {
 	flag.IntVar(&opt.evictQueue, "evict-queue", 4, "per-shard eviction queue depth for -shard-scale (small = tight backpressure)")
 	flag.IntVar(&opt.ppb, "ppb", 2, "pages per erase block for -shard-scale (small blocks keep flush units small, so the ladder stays fsync-bound)")
 	flag.IntVar(&opt.reps, "reps", 3, "repetitions per -shard-scale rung (the median-throughput rep is kept)")
+	flag.Float64Var(&opt.hotfrac, "hotfrac", 0.7, "fraction of page-write volume aimed at the hot region (for -stream-scale)")
 	flag.Parse()
+	switch strings.ToLower(*streamsFlag) {
+	case "on", "true", "1":
+		opt.streams = true
+	case "off", "false", "0":
+		opt.streams = false
+	default:
+		log.Fatalf("bad -streams value %q (want on or off)", *streamsFlag)
+	}
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
@@ -217,41 +290,22 @@ func main() {
 		writeReport(rep, *jsonPath)
 		return
 	}
-	if *shardScale != "" {
-		sc, err := runShardScale(opt, *shardScale, *syncScale)
-		if err != nil {
-			log.Fatal(err)
-		}
-		rep.ShardScale = &sc
-		tbl := metrics.Table{
-			Title:   "Shard-scaling ladder (eviction-bound, fsync-on-flush store)",
-			Headers: []string{"shards", "writers", "ops", "writes/s", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "persists", "stalls", "pg/sync"},
-		}
-		for _, r := range sc.Ladder {
-			tbl.AddRow(r.Shards, r.Writers, r.Ops, r.WritesPerSec,
-				r.P50Ms, r.P95Ms, r.P99Ms, r.P999Ms,
-				fmt.Sprintf("%d", r.Persists), fmt.Sprintf("%d", r.EvictorStalls), r.PagesPerSync)
-		}
-		if err := tbl.Render(os.Stdout); err != nil {
-			log.Fatal(err)
-		}
-		if sc.Speedup > 0 {
-			fmt.Printf("\n%d-shard/1-shard write throughput: %.2fx\n",
-				sc.Ladder[len(sc.Ladder)-1].Shards, sc.Speedup)
-		}
-		if len(sc.SyncLadder) > 0 {
-			stbl := metrics.Table{
-				Title:   fmt.Sprintf("\nSync-interval ladder (%d shards; negative = group commit off)", sc.SyncLadder[0].Shards),
-				Headers: []string{"sync ms", "writes/s", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "stalls", "pg/sync"},
-			}
-			for _, r := range sc.SyncLadder {
-				stbl.AddRow(r.SyncIntervalMs, r.WritesPerSec,
-					r.P50Ms, r.P95Ms, r.P99Ms, r.P999Ms,
-					fmt.Sprintf("%d", r.EvictorStalls), r.PagesPerSync)
-			}
-			if err := stbl.Render(os.Stdout); err != nil {
+	if *shardScale != "" || *streamBench {
+		if *shardScale != "" {
+			sc, err := runShardScale(opt, *shardScale, *syncScale)
+			if err != nil {
 				log.Fatal(err)
 			}
+			rep.ShardScale = &sc
+			printShardScale(sc)
+		}
+		if *streamBench {
+			ss, err := runStreamScale(opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.StreamScale = &ss
+			printStreamScale(ss)
 		}
 		writeReport(rep, *jsonPath)
 		return
@@ -292,9 +346,85 @@ func main() {
 	writeReport(rep, *jsonPath)
 }
 
+func printShardScale(sc shardScale) {
+	tbl := metrics.Table{
+		Title:   "Shard-scaling ladder (eviction-bound, fsync-on-flush store)",
+		Headers: []string{"shards", "writers", "ops", "writes/s", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "persists", "stalls", "pg/sync"},
+	}
+	for _, r := range sc.Ladder {
+		tbl.AddRow(r.Shards, r.Writers, r.Ops, r.WritesPerSec,
+			r.P50Ms, r.P95Ms, r.P99Ms, r.P999Ms,
+			fmt.Sprintf("%d", r.Persists), fmt.Sprintf("%d", r.EvictorStalls), r.PagesPerSync)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if sc.Speedup > 0 {
+		fmt.Printf("\n%d-shard/1-shard write throughput: %.2fx\n",
+			sc.Ladder[len(sc.Ladder)-1].Shards, sc.Speedup)
+	}
+	if len(sc.SyncLadder) > 0 {
+		stbl := metrics.Table{
+			Title:   fmt.Sprintf("\nSync-interval ladder (%d shards; negative = group commit off)", sc.SyncLadder[0].Shards),
+			Headers: []string{"sync ms", "writes/s", "p50 ms", "p95 ms", "p99 ms", "p999 ms", "stalls", "pg/sync"},
+		}
+		for _, r := range sc.SyncLadder {
+			stbl.AddRow(r.SyncIntervalMs, r.WritesPerSec,
+				r.P50Ms, r.P95Ms, r.P99Ms, r.P999Ms,
+				fmt.Sprintf("%d", r.EvictorStalls), r.PagesPerSync)
+		}
+		if err := stbl.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func printStreamScale(ss streamScale) {
+	tbl := metrics.Table{
+		Title: fmt.Sprintf("\nMulti-stream eviction A/B (hotfrac %.2f, %d hot / %d cold blocks, hot set absorbs %.0f%% of writes)",
+			ss.HotFrac, ss.HotBlocks, ss.ColdBlocks, ss.HotWriteShare*100),
+		Headers: []string{"streams", "ops", "pages", "pages/s", "p50 ms", "p99 ms", "erases", "gc copies", "drain defers", "discard defers"},
+	}
+	for _, r := range []streamRun{ss.Tagged, ss.Untagged} {
+		mode := "on"
+		if !r.Streams {
+			mode = "off"
+		}
+		tbl.AddRow(mode, r.Ops, fmt.Sprintf("%d", r.PagesWritten), r.PagesPerSec,
+			r.P50Ms, r.P99Ms, fmt.Sprintf("%d", r.Erases), fmt.Sprintf("%d", r.GCCopies),
+			fmt.Sprintf("%d", r.DrainDeferrals), fmt.Sprintf("%d", r.DiscardDeferrals))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nerase reduction (tagged vs -streams=off, equal ops): %.1f%%\n", ss.EraseReduction*100)
+}
+
+// writeReport writes rep to jsonPath. Sections this invocation did not run
+// are carried over from an existing report at the same path, so sections
+// that need different workload flags — the shard ladder and the stream
+// A/B, say — can be recorded by separate invocations into one file; each
+// run refreshes only what it measured.
 func writeReport(rep report, jsonPath string) {
 	if jsonPath == "" {
 		return
+	}
+	if prev, err := os.ReadFile(jsonPath); err == nil {
+		var old report
+		if json.Unmarshal(prev, &old) == nil {
+			if rep.Runs == nil {
+				rep.Runs, rep.Speedup = old.Runs, old.Speedup
+			}
+			if rep.Flap == nil {
+				rep.Flap = old.Flap
+			}
+			if rep.ShardScale == nil {
+				rep.ShardScale = old.ShardScale
+			}
+			if rep.StreamScale == nil {
+				rep.StreamScale = old.StreamScale
+			}
+		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -322,6 +452,7 @@ func runOnce(name string, opt options, batch, inflight int) (runResult, error) {
 		Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
 		SSD:           flashcoop.DefaultSSD("bast", opt.blocks),
 		MaxBatchPages: batch, MaxInflight: inflight,
+		DisableStreams: !opt.streams,
 	})
 	if err != nil {
 		return runResult{}, err
@@ -614,7 +745,8 @@ func runShardOnce(opt options, shards int, syncInterval time.Duration) (shardRun
 		MaxBatchPages: opt.batch, MaxInflight: opt.inflight,
 		Shards: shards, EvictQueue: opt.evictQueue,
 		DataDir: dir, SyncWrites: true,
-		SyncInterval: syncInterval,
+		SyncInterval:   syncInterval,
+		DisableStreams: !opt.streams,
 	})
 	if err != nil {
 		return shardRun{}, err
@@ -689,6 +821,216 @@ func runShardOnce(opt options, shards int, syncInterval time.Duration) (shardRun
 		r.PagesPerSync = float64(st.PagesSynced) / float64(st.GroupCommitBatches)
 	}
 	return r, nil
+}
+
+// Stream-bench geometry. Small enough that the default op count writes
+// the device over several times (so simulated GC runs hot), big enough
+// that the hot region dwarfs the buffer (so hot rewrites actually reach
+// flash instead of dying in cache — a hot set that fits the buffer never
+// pollutes an erase block and the A/B would measure nothing).
+const (
+	streamPPB      = 32   // pages per erase block
+	streamBlocks   = 512  // erase blocks (one plane)
+	streamOPRatio  = 0.02 // tight spare pool: GC runs at high utilization
+	streamBufPages = 512  // local buffer: a small fraction of the hot region
+	streamHotPages = 6144 // hot region: 12x the buffer, so rewrites reach flash
+)
+
+// streamOp is one generated request of the mixed hot/cold trace.
+type streamOp struct {
+	lpn   int64
+	pages int
+}
+
+// genStreamOps builds each writer's deterministic op list: with
+// probability pHot a single-page rewrite of a random hot-region page,
+// otherwise the writer's next cold block written whole in one request
+// (one sequential stream per writer, wrapping its private range).
+// pHot is chosen so hot PAGES (not ops) make up hotfrac of the volume —
+// a cold op carries a whole block's worth of pages. The combined trace
+// is returned alongside for the once-per-trace skew classification.
+func genStreamOps(writers int, totalPages int64, hotfrac float64, user int64, ppb int) ([][]streamOp, []trace.Request) {
+	coldBlocks := (user - streamHotPages) / int64(ppb)
+	perCold := coldBlocks / int64(writers)
+	if perCold < 1 {
+		perCold = 1
+	}
+	pHot := hotfrac * float64(ppb) / (hotfrac*float64(ppb) + (1 - hotfrac))
+	perWriter := totalPages / int64(writers)
+	lists := make([][]streamOp, writers)
+	var all []trace.Request
+	for w := 0; w < writers; w++ {
+		rng := rand.New(rand.NewSource(int64(w)*7919 + 12345))
+		base := streamHotPages + int64(w)*perCold*int64(ppb)
+		var next, pages int64
+		for pages < perWriter {
+			op := streamOp{pages: 1}
+			if rng.Float64() < pHot {
+				op.lpn = rng.Int63n(streamHotPages)
+			} else {
+				op.lpn = base + (next%perCold)*int64(ppb)
+				op.pages = ppb
+				next++
+			}
+			lists[w] = append(lists[w], op)
+			pages += int64(op.pages)
+			all = append(all, trace.Request{Op: trace.Write, LPN: op.lpn, Pages: op.pages})
+		}
+	}
+	return lists, all
+}
+
+// runStreamScale replays the same mixed hot/cold trace through two fresh
+// pairs — multi-stream eviction on, then off — and reports the flash
+// wear (erases, GC copies) each mode paid for identical host traffic.
+func runStreamScale(opt options) (streamScale, error) {
+	geom := flashcoop.TableIIFlash()
+	geom.PagesPerBlock = streamPPB
+	geom.BlocksPerPlane = streamBlocks
+	geom.PlanesPerDie = 1
+	ssdCfg := flashcoop.SSDConfig{Scheme: "page", FTL: flashcoop.FTLConfig{Flash: geom, OPRatio: streamOPRatio}}
+
+	newPair := func(streamsOn bool) (*flashcoop.LiveNode, *flashcoop.LiveNode, error) {
+		backup, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+			Name: "backup", ListenAddr: "127.0.0.1:0",
+			Policy: flashcoop.PolicyLAR, BufferPages: streamBufPages, RemotePages: streamBufPages,
+			SSD: ssdCfg,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		writer, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+			Name: "writer", ListenAddr: "127.0.0.1:0", PeerAddr: backup.Addr(),
+			Policy: flashcoop.PolicyLAR, BufferPages: streamBufPages, RemotePages: streamBufPages,
+			SSD:           ssdCfg,
+			MaxBatchPages: opt.batch, MaxInflight: opt.inflight,
+			DisableStreams: !streamsOn,
+		})
+		if err != nil {
+			backup.Close()
+			return nil, nil, err
+		}
+		if err := writer.ConnectPeer(); err != nil {
+			writer.Close()
+			backup.Close()
+			return nil, nil, err
+		}
+		return backup, writer, nil
+	}
+
+	var ss streamScale
+	var lists [][]streamOp
+	runLeg := func(streamsOn bool) (streamRun, error) {
+		backup, writer, err := newPair(streamsOn)
+		if err != nil {
+			return streamRun{}, err
+		}
+		defer backup.Close()
+		defer writer.Close()
+		if lists == nil {
+			// The device exists now, so the generator can size the cold
+			// region from the real user capacity; both legs replay these
+			// exact lists, so the A/B is at equal ops by construction.
+			user := writer.Device().UserPages()
+			var reqs []trace.Request
+			lists, reqs = genStreamOps(opt.writers, int64(opt.ops), opt.hotfrac, user, streamPPB)
+			heat := workload.ClassifyHeat(reqs, streamPPB, 0.5)
+			ss.HotFrac = opt.hotfrac
+			ss.PagesPerBlock = streamPPB
+			ss.UserPages = user
+			ss.HotPages = streamHotPages
+			ss.BufferPages = streamBufPages
+			ss.HotBlocks = heat.HotBlocks
+			ss.ColdBlocks = heat.ColdBlocks
+			ss.HotWriteShare = heat.HotWriteShare
+		}
+		ps := writer.Device().PageSize()
+		hists := make(chan *metrics.LatencyHist, opt.writers)
+		errs := make(chan error, opt.writers)
+		var wg sync.WaitGroup
+		start := time.Now()
+		for w := 0; w < opt.writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var h metrics.LatencyHist
+				buf := make([]byte, streamPPB*ps)
+				for i := range buf {
+					buf[i] = byte(w + 1)
+				}
+				for _, op := range lists[w] {
+					t0 := time.Now()
+					if err := writer.Write(op.lpn, buf[:op.pages*ps]); err != nil {
+						errs <- fmt.Errorf("writer %d: %w", w, err)
+						return
+					}
+					h.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+				}
+				hists <- &h
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		close(errs)
+		for err := range errs {
+			return streamRun{}, err
+		}
+		close(hists)
+		var all metrics.LatencyHist
+		for h := range hists {
+			all.Merge(h)
+		}
+		st := writer.Stats()
+		fs := writer.StreamStats()
+		var ops int
+		var pages int64
+		for _, l := range lists {
+			ops += len(l)
+			for _, op := range l {
+				pages += int64(op.pages)
+			}
+		}
+		r := streamRun{
+			Streams: streamsOn, Writers: opt.writers, Ops: ops, PagesWritten: pages,
+			Seconds:     elapsed,
+			PagesPerSec: float64(pages) / elapsed,
+			P50Ms:       all.P50(), P99Ms: all.P99(),
+			StreamPrograms:   make(map[string]int64),
+			StreamErases:     make(map[string]int64),
+			StreamCopies:     make(map[string]int64),
+			DrainDeferrals:   st.DrainDeferrals,
+			DiscardDeferrals: st.DiscardDeferrals,
+		}
+		for i, n := range fs.Programs {
+			r.StreamPrograms[stream.Stream(i).String()] = n
+		}
+		for i := range fs.Erases {
+			name := "untagged"
+			if i < int(stream.NumStreams) {
+				name = stream.Stream(i).String()
+			}
+			r.StreamErases[name] = fs.Erases[i]
+			r.StreamCopies[name] = fs.Copies[i]
+			r.Erases += fs.Erases[i]
+			r.GCCopies += fs.Copies[i]
+		}
+		return r, nil
+	}
+
+	tagged, err := runLeg(true)
+	if err != nil {
+		return streamScale{}, err
+	}
+	runtime.GC()
+	untagged, err := runLeg(false)
+	if err != nil {
+		return streamScale{}, err
+	}
+	ss.Tagged, ss.Untagged = tagged, untagged
+	if untagged.Erases > 0 {
+		ss.EraseReduction = 1 - float64(tagged.Erases)/float64(untagged.Erases)
+	}
+	return ss, nil
 }
 
 func waitUntil(timeout time.Duration, cond func() bool) error {

@@ -117,6 +117,9 @@ type (
 	LiveNode = cluster.LiveNode
 	// LiveStats counts live-node activity.
 	LiveStats = cluster.LiveStats
+	// StreamStats breaks flash wear down by eviction temperature stream
+	// (see LiveNode.StreamStats).
+	StreamStats = cluster.StreamStats
 	// LatencyStats summarizes a live node's latency percentiles (ms).
 	LatencyStats = cluster.LatencyStats
 	// PeerState is a live node's partner lifecycle state.

@@ -15,6 +15,8 @@ package buffer
 import (
 	"fmt"
 	"slices"
+
+	"flashcoop/internal/stream"
 )
 
 // Request is one host access applied to a cache.
@@ -40,6 +42,12 @@ type FlushUnit struct {
 	// must be read back from the SSD before the write (BPLRU's block
 	// padding). Empty for all other policies.
 	PadPages []int64
+	// Stream is the temperature class the evicting policy derived for
+	// this unit (from block popularity, dirtiness, and run shape), used
+	// by multi-stream FTLs to segregate lifetimes into separate erase
+	// blocks. Policies without temperature information leave the zero
+	// value (the default stream).
+	Stream stream.Stream
 }
 
 // Len reports the number of pages in the unit.

@@ -3,6 +3,8 @@ package buffer
 import (
 	"container/list"
 	"slices"
+
+	"flashcoop/internal/stream"
 )
 
 // LAROptions expose the design choices of the Locality-Aware Replacement
@@ -452,6 +454,27 @@ func (c *LAR) removeBlock(b *larBlock) {
 	c.advanceMinPop()
 }
 
+// streamFor derives the temperature tag of an evicted block from the very
+// signals LAR already ranks victims by. A block accessed exactly once whose
+// whole span sits buffered contiguously is a sequential streaming write
+// (SeqAsOneAccess keeps such blocks at pop 1); other once-touched blocks
+// are cold. Moderately re-referenced blocks are warm, and blocks that
+// survived several re-references before finally losing the popularity race
+// are hot — their pages are the likeliest to be overwritten again soon, so
+// segregating them from cold data is what saves erases.
+func (c *LAR) streamFor(pop int64, fullBlock bool) stream.Stream {
+	switch {
+	case pop <= 1 && fullBlock:
+		return stream.Seq
+	case pop <= 1:
+		return stream.Cold
+	case pop < 4:
+		return stream.Warm
+	default:
+		return stream.Hot
+	}
+}
+
 // evictBlock evicts block b (possibly clustering further tail blocks into
 // the same flush) and returns the flush units.
 func (c *LAR) evictBlock(b *larBlock, exclude []int64) []FlushUnit {
@@ -475,6 +498,7 @@ func (c *LAR) evictBlock(b *larBlock, exclude []int64) []FlushUnit {
 
 	var units []FlushUnit
 	base := c.base(b)
+	strm := c.streamFor(b.pop, b.count == c.ppb)
 	for _, run := range runsOf(pages) {
 		dirty := 0
 		for _, p := range run {
@@ -482,7 +506,7 @@ func (c *LAR) evictBlock(b *larBlock, exclude []int64) []FlushUnit {
 				dirty++
 			}
 		}
-		units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true})
+		units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true, Stream: strm})
 		c.stats.Evictions++
 		c.stats.FlushPages += int64(len(run))
 	}
@@ -548,7 +572,9 @@ func (c *LAR) clusterFlush(b *larBlock, exclude []int64) FlushUnit {
 	slices.Sort(cluster)
 	c.stats.Evictions++
 	c.stats.FlushPages += int64(len(cluster))
-	return FlushUnit{Pages: cluster, Dirty: dirtyTotal, Contiguous: false}
+	// Clustered leftovers are by construction sparse, least-popular tail
+	// data: tag the whole scattered write cold.
+	return FlushUnit{Pages: cluster, Dirty: dirtyTotal, Contiguous: false, Stream: stream.Cold}
 }
 
 // MarkClean implements Cache.
@@ -606,8 +632,9 @@ func (c *LAR) FlushAll() []FlushUnit {
 			}
 		}
 		c.stats.CleanDrops += int64(b.count - len(dirty))
+		strm := c.streamFor(b.pop, b.count == c.ppb)
 		for _, run := range runsOf(dirty) {
-			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true})
+			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true, Stream: strm})
 			c.stats.Evictions++
 			c.stats.FlushPages += int64(len(run))
 		}

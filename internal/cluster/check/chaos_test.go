@@ -84,13 +84,17 @@ type chaosPair struct {
 	addrA, addrB string
 	dirA         string
 
+	// mutate, when set, adjusts every node config before use (the
+	// GC-throttled drill tightens the spare pool and defer thresholds).
+	mutate func(*cluster.LiveConfig)
+
 	mu sync.RWMutex // writers hold R around each op; cycles hold W to swap A
 	a  *cluster.LiveNode
 	b  *cluster.LiveNode
 }
 
 func (c *chaosPair) nodeConfig(name, addr, dir string, nw *faultnet.Network) cluster.LiveConfig {
-	return cluster.LiveConfig{
+	cfg := cluster.LiveConfig{
 		Name:       name,
 		ListenAddr: addr,
 		Policy:     "lar",
@@ -117,6 +121,10 @@ func (c *chaosPair) nodeConfig(name, addr, dir string, nw *faultnet.Network) clu
 		Dialer:            nw.Dial,
 		Listener:          nw.Listen,
 	}
+	if c.mutate != nil {
+		c.mutate(&cfg)
+	}
+	return cfg
 }
 
 // startNode creates a node, retrying briefly: a replacement rebinds the
@@ -199,7 +207,7 @@ func (c *chaosPair) restartB() {
 }
 
 func runChaos(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker) {
-	runChaosOver(t, seed, faults, tap, nil)
+	runChaosOver(t, seed, faults, tap, nil, nil)
 }
 
 // runChaosOver is runChaos with the fault layer stacked over a custom
@@ -207,7 +215,7 @@ func runChaos(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker)
 // channel transport — same framing bytes, no loopback TCP — so the
 // suite covers both the kernel path and the path the experiment grid
 // uses.
-func runChaosOver(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker, inet *transport.Net) {
+func runChaosOver(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChecker, inet *transport.Net, mutate func(*cluster.LiveConfig)) cluster.LiveStats {
 	t.Logf("chaos seed %d (rerun: CHAOS_SEED=%d go test -run %s ./internal/cluster/check)", seed, seed, t.Name())
 
 	netA, netB := faultnet.New(seed), faultnet.New(seed+1)
@@ -222,6 +230,7 @@ func runChaosOver(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChec
 		netB:   netB,
 		faults: faults,
 		dirA:   t.TempDir(),
+		mutate: mutate,
 	}
 	if tap != nil {
 		c.netA.SetTap(tap)
@@ -363,9 +372,10 @@ func runChaosOver(t *testing.T, seed int64, faults faultnet.Faults, tap *SeqChec
 	}
 
 	st := c.a.Stats()
-	t.Logf("ops=%d acked_pages=%d forwards=%d fwd_failures=%d failovers=%d stale_recovery_skips=%d net_steps=%d/%d",
+	t.Logf("ops=%d acked_pages=%d forwards=%d fwd_failures=%d failovers=%d stale_recovery_skips=%d drain_defers=%d discard_defers=%d net_steps=%d/%d",
 		tr.Ops(), len(tr.Pages()), st.Forwards, st.ForwardFailures, st.Failovers,
-		st.StaleRecoverySkips, c.netA.Steps(), c.netB.Steps())
+		st.StaleRecoverySkips, st.DrainDeferrals, st.DiscardDeferrals, c.netA.Steps(), c.netB.Steps())
+	return st
 }
 
 // TestChaosClean runs the script under framing-preserving faults (latency
@@ -411,5 +421,38 @@ func TestChaosInproc(t *testing.T) {
 		DelayProb: 0.2,
 		DelayMax:  2 * time.Millisecond,
 		ResetProb: 0.01,
-	}, NewSeqChecker(), transport.NewNet())
+	}, NewSeqChecker(), transport.NewNet(), nil)
+}
+
+// TestChaosGCThrottled runs the clean-fault script with both nodes'
+// spare pools squeezed so the FTLs report sustained GC pressure, and the
+// defer knobs on a hair trigger (defer at any nonzero pressure, visible
+// backoff window). The drain and discard deferral paths then fire
+// constantly while partitions, crashes, and recoveries run — and the
+// same durability and discard-safety invariants must hold: deferral may
+// delay flushes and advisory discards, never drop or misorder them.
+func TestChaosGCThrottled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run skipped in -short mode")
+	}
+	throttled := func(cfg *cluster.LiveConfig) {
+		// A flash barely larger than the chaos LPN space: the write churn
+		// fills it, simulated GC runs continuously, and the free pool
+		// hovers at the watermarks so GCPressure stays nonzero.
+		cfg.SSD = ssd.Config{
+			Scheme: "page",
+			FTL:    ftl.Config{Flash: flash.Small(24, 8), OPRatio: 0.2},
+		}
+		cfg.GCDeferThreshold = 0.01
+		cfg.GCDrainBackoff = 2 * time.Millisecond
+	}
+	st := runChaosOver(t, chaosSeed(t)+300, faultnet.Faults{
+		DelayProb: 0.2,
+		DelayMax:  2 * time.Millisecond,
+		ResetProb: 0.01,
+	}, NewSeqChecker(), nil, throttled)
+	// The drill only means something if the throttle actually engaged.
+	if st.DrainDeferrals == 0 && st.DiscardDeferrals == 0 {
+		t.Error("GC-throttled drill never deferred a drain or a discard; the pressure path did not engage")
+	}
 }

@@ -5,8 +5,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"flashcoop/internal/buffer"
+	"flashcoop/internal/stream"
 )
 
 // flushPage is one evicted page travelling through the flush pipeline:
@@ -14,11 +16,15 @@ import (
 // the page pool once the pipeline is done with it), and the stamp
 // identifies exactly which version was evicted. The same struct is the
 // value of a shard's inflight map — "pinned dirty" pages that have left
-// the cache but are not durable yet.
+// the cache but are not durable yet. strm is the temperature tag the
+// evicting policy derived for the page's flush unit; it rides along to
+// the device write (multi-stream segregation) and onto the discard frame
+// the partner receives once the page is durable.
 type flushPage struct {
 	lpn   int64
 	data  []byte
 	stamp uint64
+	strm  stream.Stream
 }
 
 // flushJob is one eviction unit handed to a shard's evictor goroutine.
@@ -51,13 +57,17 @@ const syncStageDepth = 4
 func (n *LiveNode) extractFlushLocked(sh *liveShard, units []buffer.FlushUnit) []flushJob {
 	var jobs []flushJob
 	for _, u := range units {
+		strm := u.Stream
+		if n.cfg.DisableStreams {
+			strm = stream.Warm // baseline mode: one shared frontier
+		}
 		var job flushJob
 		for _, p := range u.Pages {
 			data, ok := sh.dirtyData[p]
 			if !ok {
 				continue // clean page in a rewritten block: nothing to persist
 			}
-			fp := flushPage{lpn: p, data: data, stamp: sh.dirtyStamp[p]}
+			fp := flushPage{lpn: p, data: data, stamp: sh.dirtyStamp[p], strm: strm}
 			delete(sh.dirtyData, p)
 			delete(sh.dirtyStamp, p)
 			sh.inflight[p] = fp
@@ -164,9 +174,47 @@ func (n *LiveNode) evictLoop(si int) {
 					break drain
 				}
 			}
+			n.maybeDeferDrain(si)
 			syncq <- n.persistJobs(si, jobs)
 		}
 	}
+}
+
+// maybeDeferDrain is the evictor's GC-aware drain scheduling: when the
+// local FTL reports pressure at or above the configured threshold AND the
+// shard's eviction queue is under half full (no writer is anywhere near
+// backpressure), the drain pauses for one GCDrainBackoff and donates the
+// pause to the device as background-GC budget, so the FTL digests its
+// reclaim debt before the next flush burst lands on it. The deferral is a
+// single bounded pause per batch — never a loop — so the durability lag
+// stays capped by EvictQueue + syncStageDepth exactly as without it, just
+// shifted by at most one backoff. Backpressure always wins: a filling
+// queue skips the pause entirely.
+func (n *LiveNode) maybeDeferDrain(si int) {
+	if n.cfg.GCDeferThreshold <= 0 || n.cfg.GCDrainBackoff <= 0 {
+		return
+	}
+	sh := &n.shards[si]
+	if len(sh.evictq) > cap(sh.evictq)/2 {
+		return
+	}
+	if n.localGCPressure() < n.cfg.GCDeferThreshold {
+		return
+	}
+	atomic.AddInt64(&n.stats.DrainDeferrals, 1)
+	t := time.NewTimer(n.cfg.GCDrainBackoff)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-n.stop:
+		return
+	}
+	// Grant the FTL the window we just waited out for background reclaim,
+	// and refresh the pressure reading it produced.
+	n.devMu.Lock()
+	_, _ = n.dev.MaintainBefore(n.vnow(), 0)
+	n.refreshGCPressureLocked()
+	n.devMu.Unlock()
 }
 
 // persistedBatch carries one batch between the evictor's persist stage
@@ -263,6 +311,7 @@ func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 	n.buf.LockShard(si)
 	flushed := make([]int64, 0, len(done))
 	stamps := make([]uint64, 0, len(done))
+	strms := make([]stream.Stream, 0, len(done))
 	for _, fp := range done {
 		// The entry may have been replaced by a newer eviction of the
 		// same page while we persisted; only unpin our own version.
@@ -271,6 +320,7 @@ func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 		}
 		flushed = append(flushed, fp.lpn)
 		stamps = append(stamps, fp.stamp)
+		strms = append(strms, fp.strm)
 	}
 	// A job buffer is recyclable unless its page is still pinned (persist
 	// failed and the entry was kept for retry).
@@ -286,7 +336,7 @@ func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 	n.buf.UnlockShard(si)
 	sh.persistMu.Unlock()
 	if len(flushed) > 0 && n.alive.Load() && n.peer != nil {
-		n.enqueueDiscard(flushed, stamps)
+		n.enqueueDiscard(flushed, stamps, strms)
 	}
 	for _, pg := range recycle {
 		n.putPage(pg)
@@ -341,12 +391,16 @@ func (n *LiveNode) persistSet(items []flushPage, syncAfter bool) (done []flushPa
 	}
 	rp, batchPuts := n.store.(runPutter)
 	for i := 0; i < len(toWrite); {
+		// A device run breaks on a stream boundary as well as an LPN gap:
+		// one tagged write lands whole in its stream's active block, so a
+		// run mixing temperatures would silently merge frontiers.
 		j := i + 1
-		for j < len(toWrite) && toWrite[j].lpn == toWrite[j-1].lpn+1 {
+		for j < len(toWrite) && toWrite[j].lpn == toWrite[j-1].lpn+1 && toWrite[j].strm == toWrite[i].strm {
 			j++
 		}
 		n.devMu.Lock()
-		_, derr := n.dev.Write(n.vnow(), toWrite[i].lpn, j-i)
+		_, derr := n.dev.WriteTagged(n.vnow(), toWrite[i].lpn, j-i, toWrite[i].strm)
+		n.refreshGCPressureLocked()
 		n.devMu.Unlock()
 		if derr != nil {
 			flush()

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync/atomic"
 	"time"
+
+	"flashcoop/internal/stream"
 )
 
 // errNodeClosing aborts forwards caught in a shutdown.
@@ -14,10 +16,13 @@ var errNodeClosing = errors.New("cluster: node closing")
 // write backup (data non-nil, done non-nil) or a discard (data and done
 // nil — discards are advisory and never acked to a caller). stamps runs
 // parallel to lpns so the partner can order the frame against backups it
-// already holds.
+// already holds; strms (discards only) carries the temperature tag each
+// page was flushed under, so the partner sees the pair's stream
+// assignment for every evicted flush that crosses the wire.
 type fwdEntry struct {
 	lpns   []int64
 	stamps []uint64
+	strms  []stream.Stream
 	data   []byte
 	done   chan error
 }
@@ -50,6 +55,7 @@ func (n *LiveNode) forwardLoop() {
 	inflight := make(chan struct{}, n.cfg.MaxInflight)
 	var writes, discards []fwdEntry
 	wpages, dpages := 0, 0
+	discardDefers := 0
 	add := func(e fwdEntry) {
 		if e.isDiscard() {
 			discards = append(discards, e)
@@ -113,12 +119,42 @@ func (n *LiveNode) forwardLoop() {
 		if wpages > 0 && dpages < n.cfg.MaxBatchPages {
 			n.sendBatch(writes, inflight)
 			writes, wpages = nil, 0
-		} else {
-			n.sendBatch(discards, inflight)
-			discards, dpages = nil, 0
+			continue
 		}
+		// GC-aware deferral of the non-urgent stream: while the partner
+		// reports GC pressure, a below-cap discard-only batch is held back
+		// so the advisory traffic does not land on an FTL busy reclaiming.
+		// The hold is bounded (a few ticks, then it ships regardless) and
+		// a full batch always ships, so discard lag stays bounded by the
+		// same MaxBatchPages cap as before; correctness never depends on
+		// discard timing — they only free remote buffer space.
+		if dpages < n.cfg.MaxBatchPages && discardDefers < maxDiscardDefers &&
+			n.PeerGCPressure() >= n.cfg.GCDeferThreshold && n.cfg.GCDeferThreshold > 0 {
+			discardDefers++
+			atomic.AddInt64(&n.stats.DiscardDeferrals, 1)
+			<-inflight // return the slot; nothing is on the wire
+			t := time.NewTimer(n.cfg.GCDrainBackoff)
+			select {
+			case e := <-n.fwdq:
+				add(e)
+			case <-t.C:
+			case <-n.stop:
+				t.Stop()
+				abort()
+				return
+			}
+			t.Stop()
+			continue
+		}
+		n.sendBatch(discards, inflight)
+		discards, dpages = nil, 0
+		discardDefers = 0
 	}
 }
+
+// maxDiscardDefers bounds how many consecutive backoff ticks a discard
+// batch may wait out a GC-busy partner before shipping anyway.
+const maxDiscardDefers = 8
 
 // sendBatch builds one coalesced frame, starts it on the pipeline, and
 // hands completion to a goroutine so the forwarder can keep batching.
@@ -177,7 +213,13 @@ func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
 // the frame is on the wire.
 func buildBatchMessage(batch []fwdEntry) (*Message, [][]byte) {
 	if batch[0].isDiscard() {
-		lpns, stamps := batch[0].lpns, batch[0].stamps
+		lpns, stamps, strms := batch[0].lpns, batch[0].stamps, batch[0].strms
+		tagged := len(strms) > 0
+		for _, e := range batch[1:] {
+			if len(e.strms) > 0 {
+				tagged = true
+			}
+		}
 		if len(batch) > 1 {
 			lpns = append([]int64(nil), lpns...)
 			stamps = append([]uint64(nil), stamps...)
@@ -186,7 +228,20 @@ func buildBatchMessage(batch []fwdEntry) (*Message, [][]byte) {
 				stamps = append(stamps, e.stamps...)
 			}
 		}
-		return &Message{Type: MsgDiscard, LPNs: lpns, Stamps: stamps}, nil
+		if !tagged {
+			return &Message{Type: MsgDiscard, LPNs: lpns, Stamps: stamps}, nil
+		}
+		// Streams must stay parallel to LPNs; entries without tags
+		// (trims) pad with the default stream.
+		strms = make([]stream.Stream, 0, len(lpns))
+		for _, e := range batch {
+			if len(e.strms) == len(e.lpns) {
+				strms = append(strms, e.strms...)
+			} else {
+				strms = append(strms, make([]stream.Stream, len(e.lpns))...)
+			}
+		}
+		return &Message{Type: MsgDiscard, LPNs: lpns, Stamps: stamps, Streams: strms}, nil
 	}
 	if len(batch) == 1 {
 		return &Message{Type: MsgWriteFwd, LPNs: batch[0].lpns, Stamps: batch[0].stamps}, [][]byte{batch[0].data}
@@ -260,9 +315,9 @@ func (n *LiveNode) enqueueForward(lpns []int64, stamps []uint64, data []byte) (c
 // enqueueDiscard queues an advisory discard. It never blocks: when the
 // queue is saturated with write traffic the discard is dropped (counted),
 // which only costs remote buffer space until the next overwrite or clean.
-func (n *LiveNode) enqueueDiscard(lpns []int64, stamps []uint64) {
+func (n *LiveNode) enqueueDiscard(lpns []int64, stamps []uint64, strms []stream.Stream) {
 	select {
-	case n.fwdq <- fwdEntry{lpns: lpns, stamps: stamps}:
+	case n.fwdq <- fwdEntry{lpns: lpns, stamps: stamps, strms: strms}:
 	default:
 		atomic.AddInt64(&n.stats.DiscardDrops, 1)
 	}

@@ -86,7 +86,7 @@ func appendFrameV2(bufs net.Buffers, m *Message, chunks [][]byte) (net.Buffers, 
 	for _, c := range chunks {
 		dataLen += len(c)
 	}
-	bodyLen := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + 8*len(m.Stamps) + 4 + dataLen + 8*4 + 2 + len(m.Err)
+	bodyLen := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + 8*len(m.Stamps) + 4 + dataLen + 8*4 + 2 + len(m.Err) + m.extLen()
 	if bodyLen > MaxFrameBytes {
 		return bufs, nil, ErrFrameTooLarge
 	}
@@ -114,6 +114,9 @@ func appendFrameV2(bufs net.Buffers, m *Message, chunks [][]byte) (net.Buffers, 
 	}
 	blk = binary.BigEndian.AppendUint16(blk, uint16(len(m.Err)))
 	blk = append(blk, m.Err...)
+	// The trailing extension (stream tags + GC pressure) is metadata, so
+	// it lands in the trailing scratch piece after the payload splice.
+	blk = m.appendExt(blk)
 
 	crc := crc32.Update(0, castagnoli, blk[FrameHdrV2Len:split])
 	if len(m.Data) > 0 {

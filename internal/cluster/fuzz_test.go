@@ -8,11 +8,15 @@ import (
 
 	"flashcoop/internal/core"
 	"flashcoop/internal/ssd"
+	"flashcoop/internal/stream"
 )
 
 // messagesEqual compares two messages field by field, with Info floats
 // compared bitwise: the wire format preserves NaN payloads exactly, but
-// NaN != NaN under reflect.DeepEqual.
+// NaN != NaN under reflect.DeepEqual. Pressure is the one float compared
+// by VALUE (plus a both-NaN case): the trailing extension is omitted
+// when Pressure == 0, and -0.0 == 0, so a decoded -0.0 legitimately
+// re-encodes to +0.0 — a bitwise comparison would flag that as drift.
 func messagesEqual(a, b *Message) bool {
 	bits := func(i Info) [4]uint64 {
 		return [4]uint64{
@@ -20,10 +24,14 @@ func messagesEqual(a, b *Message) bool {
 			math.Float64bits(i.CPU), math.Float64bits(i.Net),
 		}
 	}
+	pressureEq := a.Pressure == b.Pressure ||
+		(math.IsNaN(a.Pressure) && math.IsNaN(b.Pressure))
 	return a.Type == b.Type && a.Seq == b.Seq && a.Err == b.Err &&
 		reflect.DeepEqual(a.LPNs, b.LPNs) &&
 		reflect.DeepEqual(a.Stamps, b.Stamps) &&
 		bytes.Equal(a.Data, b.Data) &&
+		reflect.DeepEqual(a.Streams, b.Streams) &&
+		pressureEq &&
 		bits(a.Info) == bits(b.Info)
 }
 
@@ -39,6 +47,15 @@ func fuzzSeedMessages() []*Message {
 		{Type: MsgWorkloadInfo, Seq: 2, Info: Info{WriteFrac: 0.75, Mem: 0.5, CPU: 0.1, Net: 0.9}},
 		{Type: MsgError, Seq: 3, Err: "something broke"},
 		{Type: MsgResync, Seq: 11, LPNs: []int64{4, 5}, Stamps: []uint64{8, 2}, Data: bytes.Repeat([]byte{0xCD}, 1024)},
+		// Trailing-extension frames: stream-tagged discards (one per tag,
+		// one mixed) and GC-pressure heartbeats, so the fuzzers mutate the
+		// optional tail as well as the fixed body.
+		{Type: MsgDiscard, Seq: 13, LPNs: []int64{8, 9, 10, 11}, Stamps: []uint64{1, 2, 3, 4},
+			Streams: []stream.Stream{stream.Hot, stream.Warm, stream.Cold, stream.Seq}},
+		{Type: MsgDiscard, Seq: 14, LPNs: []int64{12}, Stamps: []uint64{5},
+			Streams: []stream.Stream{stream.Seq}, Pressure: 0.25},
+		{Type: MsgHeartbeat, Seq: 15, Pressure: 1},
+		{Type: MsgHeartbeatAck, Seq: 16, Pressure: math.SmallestNonzeroFloat64},
 	}
 }
 

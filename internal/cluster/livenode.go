@@ -10,11 +10,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"math"
+
 	"flashcoop/internal/buffer"
 	"flashcoop/internal/core"
 	"flashcoop/internal/metrics"
 	"flashcoop/internal/sim"
 	"flashcoop/internal/ssd"
+	"flashcoop/internal/stream"
 )
 
 // LiveConfig parameterizes a live TCP FlashCoop node.
@@ -120,6 +123,23 @@ type LiveConfig struct {
 	MaxInflight   int // default 4
 	ForwardQueue  int // default 256
 
+	// DisableStreams turns off multi-stream write segregation: every
+	// eviction flush is written under the default stream regardless of the
+	// temperature the policy derived, reproducing the single-frontier
+	// baseline. The A/B knob behind loadgen's -streams flag.
+	DisableStreams bool
+
+	// GCDeferThreshold and GCDrainBackoff tune GC-aware drain scheduling.
+	// When an FTL's GCPressure reaches the threshold, each shard evictor
+	// prefixes a batch with one GCDrainBackoff pause donated to background
+	// reclaim (queue under half full only — backpressure always wins), and
+	// the forwarder holds below-cap discard-only batches for up to a few
+	// backoff ticks while the PARTNER reports pressure at the threshold.
+	// Threshold <= 0 disables both (the default 0.75 applies when unset;
+	// set negative to disable). Backoff defaults to 500µs.
+	GCDeferThreshold float64
+	GCDrainBackoff   time.Duration
+
 	// Dialer and Listener inject the transport. nil defaults to the real
 	// net package (net.DialTimeout / net.Listen) at zero cost; tests and
 	// chaos harnesses plug fault-injecting wrappers in here (see
@@ -182,6 +202,12 @@ func (c LiveConfig) withDefaults() LiveConfig {
 		// degraded write-throughs) in one pass.
 		c.MaxSyncBatch = 4 * c.Shards
 	}
+	if c.GCDeferThreshold == 0 {
+		c.GCDeferThreshold = 0.75
+	}
+	if c.GCDrainBackoff == 0 {
+		c.GCDrainBackoff = 500 * time.Microsecond
+	}
 	return c
 }
 
@@ -208,6 +234,10 @@ type LiveStats struct {
 	// Flush pipeline counters (see evictor.go).
 	EvictorStalls   int64 // writers that blocked on a full eviction queue
 	PersistFailures int64 // evictor batches that hit a persist error (pages stay pinned)
+
+	// GC-aware drain scheduling counters.
+	DrainDeferrals   int64 // evictor batches that paused for local GC pressure
+	DiscardDeferrals int64 // discard batches held back for partner GC pressure
 
 	// Group-commit fsync counters (see groupcommit.go).
 	GroupCommitBatches int64 // coalesced fsync passes run by the coordinator
@@ -308,6 +338,14 @@ type LiveNode struct {
 
 	winReads  atomic.Int64 // workload window for dynamic allocation
 	winWrites atomic.Int64
+
+	// localPressure / peerPressure cache GC-pressure readings as float
+	// bits: local is refreshed under devMu whenever the device is touched
+	// (and on each heartbeat), peer is whatever the partner last gossiped
+	// on a heartbeat or its ack. Atomics, so the evictor's drain check and
+	// the forwarder's deferral check never take a lock.
+	localPressure atomic.Uint64
+	peerPressure  atomic.Uint64
 
 	// resyncMu serializes rejoin attempts: the background prober and an
 	// explicit ConnectPeer may race, and only one of them may own the
@@ -446,6 +484,51 @@ func (n *LiveNode) sectionFor(anchor int64) pageStore {
 func (n *LiveNode) getPage() []byte  { return n.pagePool.Get().([]byte) }
 func (n *LiveNode) putPage(p []byte) { n.pagePool.Put(p) }
 
+// refreshGCPressureLocked re-reads the FTL's GC pressure into the atomic
+// mirror. Caller holds devMu (the device is not thread-safe).
+func (n *LiveNode) refreshGCPressureLocked() {
+	n.localPressure.Store(math.Float64bits(n.dev.GCPressure()))
+}
+
+// localGCPressure reports the last observed local GC pressure in [0,1].
+func (n *LiveNode) localGCPressure() float64 {
+	return math.Float64frombits(n.localPressure.Load())
+}
+
+// PeerGCPressure reports the partner's last gossiped GC pressure in [0,1]
+// (0 until the first heartbeat exchange).
+func (n *LiveNode) PeerGCPressure() float64 {
+	return math.Float64frombits(n.peerPressure.Load())
+}
+
+// GCPressure reports the node's own current GC pressure in [0,1],
+// refreshing the cached reading from the FTL.
+func (n *LiveNode) GCPressure() float64 {
+	n.devMu.Lock()
+	n.refreshGCPressureLocked()
+	n.devMu.Unlock()
+	return n.localGCPressure()
+}
+
+// StreamStats is a snapshot of the device's per-stream flash counters:
+// host programs by temperature tag, and erases / GC page copies by the
+// erased or copied-from block's stream bucket. The extra trailing bucket
+// (index stream.NumStreams) collects blocks never host-tagged since their
+// last erase — GC destination blocks and pre-stream history.
+type StreamStats struct {
+	Programs [stream.NumStreams]int64
+	Erases   [stream.NumStreams + 1]int64
+	Copies   [stream.NumStreams + 1]int64
+}
+
+// StreamStats snapshots the per-stream flash counters.
+func (n *LiveNode) StreamStats() StreamStats {
+	n.devMu.Lock()
+	st := n.dev.FTL().Flash().Stats()
+	n.devMu.Unlock()
+	return StreamStats{Programs: st.StreamPrograms, Erases: st.StreamErases, Copies: st.StreamCopies}
+}
+
 // Addr reports the node's listen address.
 func (n *LiveNode) Addr() string { return n.ln.Addr().String() }
 
@@ -466,6 +549,8 @@ func (n *LiveNode) Stats() LiveStats {
 		StaleRecoverySkips: atomic.LoadInt64(&n.stats.StaleRecoverySkips),
 		EvictorStalls:      atomic.LoadInt64(&n.stats.EvictorStalls),
 		PersistFailures:    atomic.LoadInt64(&n.stats.PersistFailures),
+		DrainDeferrals:     atomic.LoadInt64(&n.stats.DrainDeferrals),
+		DiscardDeferrals:   atomic.LoadInt64(&n.stats.DiscardDeferrals),
 		GroupCommitBatches: atomic.LoadInt64(&n.stats.GroupCommitBatches),
 		PagesSynced:        atomic.LoadInt64(&n.stats.PagesSynced),
 		FsBarriers:         atomic.LoadInt64(&n.stats.FsBarriers),
@@ -608,7 +693,13 @@ func (n *LiveNode) heartbeatOnce() {
 		return
 	}
 	atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
-	_, err := n.peer.call(&Message{Type: MsgHeartbeat})
+	// Each heartbeat carries this node's GC pressure and brings back the
+	// partner's: the gossip that drives GC-aware drain scheduling rides
+	// the existing liveness exchange, no extra round trips.
+	resp, err := n.peer.call(&Message{Type: MsgHeartbeat, Pressure: n.GCPressure()})
+	if err == nil {
+		n.peerPressure.Store(math.Float64bits(resp.Pressure))
+	}
 	n.mu.Lock()
 	var act lcAction
 	if err == nil {
@@ -954,8 +1045,14 @@ func (n *LiveNode) RecoverFromPeer() error {
 			sh.persistMu.Unlock()
 			continue
 		}
+		// Honor temperature tags if the partner's RCT carried them
+		// (per-LPN, parallel to LPNs); absent tags write default-stream.
+		strm := stream.Warm
+		if len(resp.Streams) == len(resp.LPNs) {
+			strm = resp.Streams[i]
+		}
 		n.devMu.Lock()
-		_, derr := n.dev.Write(n.vnow(), lpn, 1)
+		_, derr := n.dev.WriteTagged(n.vnow(), lpn, 1, strm)
 		n.devMu.Unlock()
 		if derr != nil {
 			sh.persistMu.Unlock()
@@ -1092,7 +1189,10 @@ func (n *LiveNode) handle(m *Message) *Message {
 	case MsgHello:
 		return &Message{Type: MsgHelloAck}
 	case MsgHeartbeat:
-		return &Message{Type: MsgHeartbeatAck}
+		// Record the partner's gossiped GC pressure and answer with ours,
+		// so one exchange refreshes both directions.
+		n.peerPressure.Store(math.Float64bits(m.Pressure))
+		return &Message{Type: MsgHeartbeatAck, Pressure: n.GCPressure()}
 	case MsgWriteFwd:
 		return n.applyBackup(m, MsgWriteAck)
 	case MsgResync:

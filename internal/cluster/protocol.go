@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"flashcoop/internal/stream"
 )
 
 // MsgType identifies a protocol message.
@@ -81,6 +83,44 @@ type Message struct {
 	Data   []byte
 	Info   Info
 	Err    string
+	// Streams, when present, runs parallel to LPNs and carries each
+	// page's temperature tag so the receiver's FTL can keep the pair's
+	// stream segregation intact across the backup path. Tags travel in an
+	// optional trailing extension (see Marshal); frames from older
+	// senders simply have none, and unknown tag bytes degrade to the
+	// default stream rather than erroring.
+	Streams []stream.Stream
+	// Pressure is the sender's garbage-collection pressure in [0,1]
+	// (ftl.FTL.GCPressure), gossiped on heartbeats and acks so each node
+	// can defer non-urgent traffic toward a partner digesting GC. It
+	// rides the same trailing extension as Streams.
+	Pressure float64
+}
+
+// hasExt reports whether the message carries trailing-extension fields.
+// Messages without them encode byte-identically to the pre-extension
+// format, so mixed-version pairs interoperate.
+func (m *Message) hasExt() bool { return len(m.Streams) > 0 || m.Pressure != 0 }
+
+// extLen is the encoded size of the trailing extension (0 when absent).
+func (m *Message) extLen() int {
+	if !m.hasExt() {
+		return 0
+	}
+	return 4 + len(m.Streams) + 8
+}
+
+// appendExt appends the trailing extension: a stream-tag count and bytes
+// (parallel to LPNs) followed by the sender's GC pressure.
+func (m *Message) appendExt(buf []byte) []byte {
+	if !m.hasExt() {
+		return buf
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(m.Streams)))
+	for _, s := range m.Streams {
+		buf = append(buf, byte(s))
+	}
+	return binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Pressure))
 }
 
 // MaxFrameBytes bounds a single frame (16 MiB of payload covers thousands
@@ -98,7 +138,7 @@ func (m *Message) Marshal() ([]byte, error) {
 	if len(m.Err) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: error string too long", ErrBadFrame)
 	}
-	size := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + 8*len(m.Stamps) + 4 + len(m.Data) + 8*4 + 2 + len(m.Err)
+	size := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + 8*len(m.Stamps) + 4 + len(m.Data) + 8*4 + 2 + len(m.Err) + m.extLen()
 	if size > MaxFrameBytes {
 		return nil, ErrFrameTooLarge
 	}
@@ -120,6 +160,7 @@ func (m *Message) Marshal() ([]byte, error) {
 	}
 	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Err)))
 	buf = append(buf, m.Err...)
+	buf = m.appendExt(buf)
 	return buf, nil
 }
 
@@ -187,6 +228,37 @@ func (m *Message) Unmarshal(buf []byte) error {
 		return err
 	}
 	m.Err = string(eb)
+	// Optional trailing extension (stream tags + GC pressure). A body
+	// ending here came from a pre-extension sender: leave the fields at
+	// their zero values.
+	m.Streams, m.Pressure = nil, 0
+	if r.off == len(r.buf) {
+		return nil
+	}
+	nt, err := r.u32()
+	if err != nil {
+		return err
+	}
+	if int(nt) > len(r.buf)-r.off {
+		return fmt.Errorf("%w: stream-tag count %d exceeds frame", ErrBadFrame, nt)
+	}
+	if nt > 0 {
+		m.Streams = make([]stream.Stream, nt)
+		for i := range m.Streams {
+			b, err := r.u8()
+			if err != nil {
+				return err
+			}
+			// Unknown tags from newer senders degrade to the default
+			// stream instead of failing the frame.
+			m.Streams[i] = stream.FromByte(b)
+		}
+	}
+	pv, err := r.u64()
+	if err != nil {
+		return err
+	}
+	m.Pressure = math.Float64frombits(pv)
 	if r.off != len(r.buf) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(r.buf)-r.off)
 	}

@@ -157,7 +157,8 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 		return err
 	}
 	if len(dropped) > 0 && n.alive.Load() && n.peer != nil {
-		n.enqueueDiscard(dropped, stamps)
+		// Trimmed pages have no flush temperature; no stream tags.
+		n.enqueueDiscard(dropped, stamps, nil)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // Page states as tracked in the simulated out-of-band metadata.
@@ -141,6 +142,10 @@ func (p Params) PlaneOfBlock(pbn int) int { return pbn / p.BlocksPerPlane }
 // DieOfBlock reports the die index holding block pbn.
 func (p Params) DieOfBlock(pbn int) int { return pbn / (p.BlocksPerPlane * p.PlanesPerDie) }
 
+// StreamUntagged indexes the per-stream counter bucket for blocks that
+// were never host-tagged (GC-destination blocks, pre-tagging writes).
+const StreamUntagged = stream.NumStreams
+
 // Stats aggregates operation counts for a flash array.
 type Stats struct {
 	Reads    int64 // page reads
@@ -151,6 +156,17 @@ type Stats struct {
 	// behalf of host I/O. FTLs mark these via the *Internal op variants.
 	CopyReads    int64
 	CopyPrograms int64
+
+	// Per-stream attribution for the multi-stream eviction path.
+	// StreamPrograms counts host programs by their write's stream tag.
+	// StreamErases attributes each erase to the stream the block was
+	// tagged with at its first host program since the previous erase;
+	// StreamCopies attributes GC page copies to the stream of the page
+	// being moved. Index StreamUntagged collects operations on blocks
+	// (or from sources) that carried no tag.
+	StreamPrograms [stream.NumStreams]int64
+	StreamErases   [stream.NumStreams + 1]int64
+	StreamCopies   [stream.NumStreams + 1]int64
 }
 
 type blockMeta struct {
@@ -158,6 +174,24 @@ type blockMeta struct {
 	nextProgram int // next programmable page offset within the block
 	validPages  int
 	wornOut     bool
+
+	// Stream bookkeeping, reset on erase: strm is the tag of the first
+	// host program since the erase (valid when tagged), mixed records a
+	// later host program with a different tag, and hasInternal records
+	// GC/merge programs landing here (which may legitimately mix
+	// streams, so segregation invariants exclude such blocks).
+	strm        stream.Stream
+	tagged      bool
+	mixed       bool
+	hasInternal bool
+}
+
+// streamBucket maps a block's tag to its per-stream counter index.
+func (b *blockMeta) streamBucket() int {
+	if b.tagged {
+		return int(b.strm)
+	}
+	return StreamUntagged
 }
 
 type pageMeta struct {
@@ -240,15 +274,50 @@ func (a *Array) read(ppn int, internal bool) (sim.VTime, error) {
 // pages within a block must be programmed in ascending order, and the block
 // must not be worn out.
 func (a *Array) ProgramPage(ppn int, lpn int64) (sim.VTime, error) {
-	return a.program(ppn, lpn, false)
+	return a.program(ppn, lpn, false, stream.Warm)
+}
+
+// ProgramPageTagged is ProgramPage carrying the host write's stream tag.
+// The first tagged program since an erase tags the whole block; later
+// programs with a different tag mark the block mixed (visible via
+// BlockInfo, for segregation invariant checks).
+func (a *Array) ProgramPageTagged(ppn int, lpn int64, s stream.Stream) (sim.VTime, error) {
+	return a.program(ppn, lpn, false, s)
 }
 
 // ProgramPageInternal is ProgramPage for FTL-internal data movement.
 func (a *Array) ProgramPageInternal(ppn int, lpn int64) (sim.VTime, error) {
-	return a.program(ppn, lpn, true)
+	return a.programInternal(ppn, lpn, StreamUntagged)
 }
 
-func (a *Array) program(ppn int, lpn int64, internal bool) (sim.VTime, error) {
+// ProgramPageInternalFrom is ProgramPageInternal attributing the copied
+// page to the stream of its source block (srcBucket as returned by
+// BlockStreamBucket), so GC copy cost is accounted per stream.
+func (a *Array) ProgramPageInternalFrom(ppn int, lpn int64, srcBucket int) (sim.VTime, error) {
+	return a.programInternal(ppn, lpn, srcBucket)
+}
+
+// BlockStreamBucket reports the per-stream counter bucket of block pbn
+// (StreamUntagged when the block carries no host tag).
+func (a *Array) BlockStreamBucket(pbn int) int {
+	if pbn < 0 || pbn >= len(a.blocks) {
+		return StreamUntagged
+	}
+	return a.blocks[pbn].streamBucket()
+}
+
+func (a *Array) programInternal(ppn int, lpn int64, srcBucket int) (sim.VTime, error) {
+	if srcBucket < 0 || srcBucket > StreamUntagged {
+		srcBucket = StreamUntagged
+	}
+	t, err := a.program(ppn, lpn, true, stream.Warm)
+	if err == nil {
+		a.stats.StreamCopies[srcBucket]++
+	}
+	return t, err
+}
+
+func (a *Array) program(ppn int, lpn int64, internal bool, s stream.Stream) (sim.VTime, error) {
 	if err := a.checkPage(ppn); err != nil {
 		return 0, err
 	}
@@ -270,6 +339,17 @@ func (a *Array) program(ppn int, lpn int64, internal bool) (sim.VTime, error) {
 	a.stats.Programs++
 	if internal {
 		a.stats.CopyPrograms++
+		blk.hasInternal = true
+	} else {
+		if !s.Valid() {
+			s = stream.Warm
+		}
+		a.stats.StreamPrograms[s]++
+		if !blk.tagged {
+			blk.strm, blk.tagged = s, true
+		} else if blk.strm != s {
+			blk.mixed = true
+		}
 	}
 	return a.p.BusLatency + a.p.ProgramLatency, nil
 }
@@ -310,6 +390,8 @@ func (a *Array) EraseBlock(pbn int) (sim.VTime, error) {
 	blk.nextProgram = 0
 	blk.eraseCount++
 	a.stats.Erases++
+	a.stats.StreamErases[blk.streamBucket()]++
+	blk.strm, blk.tagged, blk.mixed, blk.hasInternal = 0, false, false, false
 	if a.p.EraseCycles > 0 && blk.eraseCount >= a.p.EraseCycles {
 		blk.wornOut = true
 	}
@@ -333,6 +415,15 @@ type BlockInfo struct {
 	FreePages   int
 	NextProgram int
 	WornOut     bool
+
+	// Stream is the tag of the block's first host program since its last
+	// erase (meaningful only when StreamTagged). StreamMixed reports a
+	// later host program with a different tag; HasInternal reports GC or
+	// merge programs, whose pages may legitimately mix streams.
+	Stream       stream.Stream
+	StreamTagged bool
+	StreamMixed  bool
+	HasInternal  bool
 }
 
 // BlockInfo reports the state of erase block pbn.
@@ -342,11 +433,15 @@ func (a *Array) BlockInfo(pbn int) (BlockInfo, error) {
 	}
 	b := a.blocks[pbn]
 	return BlockInfo{
-		EraseCount:  b.eraseCount,
-		ValidPages:  b.validPages,
-		FreePages:   a.p.PagesPerBlock - b.nextProgram,
-		NextProgram: b.nextProgram,
-		WornOut:     b.wornOut,
+		EraseCount:   b.eraseCount,
+		ValidPages:   b.validPages,
+		FreePages:    a.p.PagesPerBlock - b.nextProgram,
+		NextProgram:  b.nextProgram,
+		WornOut:      b.wornOut,
+		Stream:       b.strm,
+		StreamTagged: b.tagged,
+		StreamMixed:  b.mixed,
+		HasInternal:  b.hasInternal,
 	}, nil
 }
 
@@ -423,9 +518,11 @@ func (a *Array) CopyBack(srcPPN, dstPPN int) (sim.VTime, error) {
 	dst.lpn = src.lpn
 	blk.nextProgram++
 	blk.validPages++
+	blk.hasInternal = true
 	a.stats.Reads++
 	a.stats.CopyReads++
 	a.stats.Programs++
 	a.stats.CopyPrograms++
+	a.stats.StreamCopies[a.blocks[a.BlockOfPage(srcPPN)].streamBucket()]++
 	return a.p.ReadLatency + a.p.ProgramLatency, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // BAST (Block-Associative Sector Translation) is a hybrid FTL: most of the
@@ -40,6 +41,12 @@ type bastLog struct {
 	writePtr int
 	seqSoFar bool // every write i so far targeted logical offset i
 	lastUse  int64
+	// strm is the temperature recorded at log allocation. A BAST log
+	// block is dedicated to one logical block, so it is single-stream by
+	// construction; the first write's tag classifies the whole log for
+	// erase/copy attribution, and later writes program under it even if
+	// their request tag drifted.
+	strm stream.Stream
 }
 
 var _ FTL = (*BAST)(nil)
@@ -145,12 +152,22 @@ func (f *BAST) Read(lpn int64, n int) (sim.VTime, error) {
 
 // Write implements FTL.
 func (f *BAST) Write(lpn int64, n int) (sim.VTime, error) {
+	return f.WriteTagged(lpn, n, stream.Warm)
+}
+
+// WriteTagged implements FTL. BAST's log blocks are block-associative
+// (one logical block per log), so streams segregate by construction; the
+// tag classifies the log at allocation for per-stream accounting.
+func (f *BAST) WriteTagged(lpn int64, n int, s stream.Stream) (sim.VTime, error) {
 	if err := checkRange(lpn, n, f.userPages); err != nil {
 		return 0, err
 	}
+	if !s.Valid() {
+		s = stream.Warm
+	}
 	var total sim.VTime
 	for i := 0; i < n; i++ {
-		lat, err := f.writeOne(lpn + int64(i))
+		lat, err := f.writeOne(lpn+int64(i), s)
 		if err != nil {
 			return total, err
 		}
@@ -162,7 +179,23 @@ func (f *BAST) Write(lpn int64, n int) (sim.VTime, error) {
 	return total, nil
 }
 
-func (f *BAST) writeOne(lpn int64) (sim.VTime, error) {
+// GCPressure implements FTL: pressure rises as log slots fill and as
+// resident logs fill up (a full log forces a merge on its next write).
+func (f *BAST) GCPressure() float64 {
+	full := 0
+	for _, l := range f.logs {
+		if l.writePtr == f.ppb {
+			full++
+		}
+	}
+	p := float64(len(f.logs)+full) / float64(2*f.cfg.LogBlocks)
+	if p > 1 {
+		p = 1
+	}
+	return p
+}
+
+func (f *BAST) writeOne(lpn int64, s stream.Stream) (sim.VTime, error) {
 	lbn, off := f.split(lpn)
 	var total sim.VTime
 
@@ -192,6 +225,7 @@ func (f *BAST) writeOne(lpn int64) (sim.VTime, error) {
 			return total, err
 		}
 		log = f.newLog(lbn, pbn)
+		log.strm = s
 		f.logs[lbn] = log
 	}
 
@@ -210,7 +244,7 @@ func (f *BAST) writeOne(lpn int64) (sim.VTime, error) {
 	}
 
 	ppn := log.pbn*f.ppb + log.writePtr
-	lat, err := f.arr.ProgramPage(ppn, lpn)
+	lat, err := f.arr.ProgramPageTagged(ppn, lpn, log.strm)
 	if err != nil {
 		return total, err
 	}
@@ -350,7 +384,9 @@ func (f *BAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 	}
 	for off := from; off <= last; off++ {
 		lpn := int64(lbn)*int64(f.ppb) + int64(off)
+		bucket := flash.StreamUntagged
 		if s := src[off]; s >= 0 {
+			bucket = f.arr.BlockStreamBucket(f.arr.BlockOfPage(int(s)))
 			rlat, err := f.arr.ReadPageInternal(int(s))
 			if err != nil {
 				return total, err
@@ -362,7 +398,7 @@ func (f *BAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 		}
 		// Program the destination whether we found a source or are
 		// padding a hole below live data.
-		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		wlat, err := f.arr.ProgramPageInternalFrom(dst*f.ppb+off, lpn, bucket)
 		total += wlat
 		if err != nil {
 			return total, err
@@ -402,7 +438,9 @@ func (f *BAST) fullMerge(log *bastLog) (sim.VTime, error) {
 	}
 	for off := 0; off <= last; off++ {
 		lpn := int64(log.lbn)*int64(f.ppb) + int64(off)
+		bucket := flash.StreamUntagged
 		if s := src[off]; s >= 0 {
+			bucket = f.arr.BlockStreamBucket(f.arr.BlockOfPage(int(s)))
 			rlat, err := f.arr.ReadPageInternal(int(s))
 			if err != nil {
 				return total, err
@@ -412,7 +450,7 @@ func (f *BAST) fullMerge(log *bastLog) (sim.VTime, error) {
 				return total, err
 			}
 		}
-		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		wlat, err := f.arr.ProgramPageInternalFrom(dst*f.ppb+off, lpn, bucket)
 		total += wlat
 		if err != nil {
 			return total, err

@@ -7,6 +7,7 @@ import (
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // DFTL is the Demand-based Flash Translation Layer (Gupta, Kim, Urgaonkar —
@@ -42,7 +43,7 @@ type DFTL struct {
 	cmtHits int64
 	cmtMiss int64
 
-	activeData  int
+	activeData  [stream.NumStreams]int // per-stream host data frontiers
 	activeTrans int
 	gcActive    int
 	pool        *blockPool
@@ -103,10 +104,12 @@ func NewDFTL(cfg Config) (*DFTL, error) {
 		cmt:         make(map[int64]*list.Element),
 		cmtLRU:      list.New(),
 		cmtCap:      cfg.CMTEntries,
-		activeData:  -1,
 		activeTrans: -1,
 		gcActive:    -1,
 		pool:        newBlockPool(arr),
+	}
+	for s := range f.activeData {
+		f.activeData[s] = -1
 	}
 	if f.cmtCap == 0 {
 		f.cmtCap = 4096
@@ -305,8 +308,17 @@ func (f *DFTL) Read(lpn int64, n int) (sim.VTime, error) {
 
 // Write implements FTL.
 func (f *DFTL) Write(lpn int64, n int) (sim.VTime, error) {
+	return f.WriteTagged(lpn, n, stream.Warm)
+}
+
+// WriteTagged implements FTL: data pages are programmed at the stream's
+// own data frontier so lifetimes stay segregated per erase block.
+func (f *DFTL) WriteTagged(lpn int64, n int, s stream.Stream) (sim.VTime, error) {
 	if err := checkRange(lpn, n, f.userPages); err != nil {
 		return 0, err
+	}
+	if !s.Valid() {
+		s = stream.Warm
 	}
 	var total sim.VTime
 	for i := 0; i < n; i++ {
@@ -316,9 +328,10 @@ func (f *DFTL) Write(lpn int64, n int) (sim.VTime, error) {
 		if err != nil {
 			return total, err
 		}
-		// Program the data page at the data frontier. Host programs go
-		// through the public op so CopyPrograms stays internal-only.
-		if f.activeData < 0 || f.blockFull(f.activeData) {
+		// Program the data page at the stream's data frontier. Host
+		// programs go through the public op so CopyPrograms stays
+		// internal-only.
+		if f.activeData[s] < 0 || f.blockFull(f.activeData[s]) {
 			if f.pool.len() <= f.cfg.GCLowWater {
 				gcLat, err := f.collect()
 				total += gcLat
@@ -330,14 +343,14 @@ func (f *DFTL) Write(lpn int64, n int) (sim.VTime, error) {
 			if err != nil {
 				return total, err
 			}
-			f.activeData = b
+			f.activeData[s] = b
 		}
-		bi, err := f.arr.BlockInfo(f.activeData)
+		bi, err := f.arr.BlockInfo(f.activeData[s])
 		if err != nil {
 			return total, err
 		}
-		ppn := f.activeData*f.ppb + bi.NextProgram
-		wlat, err := f.arr.ProgramPage(ppn, p)
+		ppn := f.activeData[s]*f.ppb + bi.NextProgram
+		wlat, err := f.arr.ProgramPageTagged(ppn, p, s)
 		total += wlat
 		if err != nil {
 			return total, err
@@ -408,10 +421,29 @@ func (f *DFTL) collect() (sim.VTime, error) {
 	return total, nil
 }
 
+// isFrontier reports whether pbn is one of the per-stream data frontiers,
+// the translation frontier, or the GC destination.
+func (f *DFTL) isFrontier(pbn int) bool {
+	if pbn == f.activeTrans || pbn == f.gcActive {
+		return true
+	}
+	for _, a := range f.activeData {
+		if pbn == a {
+			return true
+		}
+	}
+	return false
+}
+
+// GCPressure implements FTL.
+func (f *DFTL) GCPressure() float64 {
+	return poolPressure(f.pool.len(), f.cfg.GCLowWater, 2*f.cfg.GCHighWater)
+}
+
 func (f *DFTL) pickVictim() int {
 	best, bestInvalid, bestErase := -1, 0, 0
 	for b := 0; b < f.cfg.Flash.TotalBlocks(); b++ {
-		if b == f.activeData || b == f.activeTrans || b == f.gcActive || f.pool.contains(b) {
+		if f.isFrontier(b) || f.pool.contains(b) {
 			continue
 		}
 		bi, err := f.arr.BlockInfo(b)
@@ -435,6 +467,7 @@ func (f *DFTL) pickVictim() int {
 func (f *DFTL) reclaim(victim int, touched map[int64]bool) (sim.VTime, error) {
 	var total sim.VTime
 	base := victim * f.ppb
+	srcBucket := f.arr.BlockStreamBucket(victim)
 	for off := 0; off < f.ppb; off++ {
 		ppn := base + off
 		st, oob, err := f.arr.PageInfo(ppn)
@@ -455,7 +488,7 @@ func (f *DFTL) reclaim(victim int, touched map[int64]bool) (sim.VTime, error) {
 		if oob < 0 {
 			// Translation page: rewrite it at the translation frontier.
 			tvpn := -oob - 1
-			newPPN, wlat, err := f.gcProgram(tvpn, true)
+			newPPN, wlat, err := f.gcProgram(tvpn, true, srcBucket)
 			total += wlat
 			if err != nil {
 				return total, err
@@ -465,7 +498,7 @@ func (f *DFTL) reclaim(victim int, touched map[int64]bool) (sim.VTime, error) {
 		}
 		// Data page: relocate and note its translation page for a
 		// batched mapping update.
-		newPPN, wlat, err := f.gcProgram(oob, false)
+		newPPN, wlat, err := f.gcProgram(oob, false, srcBucket)
 		total += wlat
 		if err != nil {
 			return total, err
@@ -486,8 +519,9 @@ func (f *DFTL) reclaim(victim int, touched map[int64]bool) (sim.VTime, error) {
 	return total, nil
 }
 
-// gcProgram relocates one page (data or translation) to the GC frontier.
-func (f *DFTL) gcProgram(key int64, translation bool) (int, sim.VTime, error) {
+// gcProgram relocates one page (data or translation) to the GC frontier,
+// attributing the copy to the victim block's stream bucket.
+func (f *DFTL) gcProgram(key int64, translation bool, srcBucket int) (int, sim.VTime, error) {
 	oob := key
 	if translation {
 		oob = -(key + 1)
@@ -505,7 +539,7 @@ func (f *DFTL) gcProgram(key int64, translation bool) (int, sim.VTime, error) {
 		return 0, total, err
 	}
 	ppn := f.gcActive*f.ppb + bi.NextProgram
-	lat, err := f.arr.ProgramPageInternal(ppn, oob)
+	lat, err := f.arr.ProgramPageInternalFrom(ppn, oob, srcBucket)
 	total += lat
 	if err != nil {
 		return 0, total, err

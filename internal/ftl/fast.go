@@ -6,6 +6,7 @@ import (
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // FAST (Fully-Associative Sector Translation) is a hybrid FTL that keeps a
@@ -25,7 +26,12 @@ type FAST struct {
 	dataMap []int32         // lbn -> physical data block; -1 when unmapped
 	logMap  map[int64]int32 // lpn -> ppn for pages currently living in a log block
 	swLog   *fastLog        // sequential log block, nil when inactive
-	rwLogs  []*fastLog      // random log blocks, oldest first; frontier is the last
+	rwLogs  []*fastLog      // random log blocks, oldest first (reclaim order)
+	// rwFront points at each stream's active random-log frontier inside
+	// rwLogs (nil when that stream has none). All streams share the
+	// cfg.LogBlocks random-log budget; reclamation still takes the oldest
+	// log across every stream.
+	rwFront [stream.NumStreams]*fastLog
 	pool    *blockPool
 	stats   Stats
 
@@ -39,7 +45,8 @@ type FAST struct {
 type fastLog struct {
 	pbn      int
 	writePtr int
-	lbn      int // associated lbn for the sequential log; -1 for random logs
+	lbn      int           // associated lbn for the sequential log; -1 for random logs
+	strm     stream.Stream // temperature this log accepts (Seq for the sequential log)
 }
 
 var _ FTL = (*FAST)(nil)
@@ -136,12 +143,23 @@ func (f *FAST) Read(lpn int64, n int) (sim.VTime, error) {
 
 // Write implements FTL.
 func (f *FAST) Write(lpn int64, n int) (sim.VTime, error) {
+	return f.WriteTagged(lpn, n, stream.Warm)
+}
+
+// WriteTagged implements FTL: random writes append to their stream's own
+// random-log frontier (all streams share the cfg.LogBlocks budget), so
+// hot and cold random pages never cohabit a log block. Sequential runs
+// use the dedicated sequential log regardless of the request tag.
+func (f *FAST) WriteTagged(lpn int64, n int, s stream.Stream) (sim.VTime, error) {
 	if err := checkRange(lpn, n, f.userPages); err != nil {
 		return 0, err
 	}
+	if !s.Valid() {
+		s = stream.Warm
+	}
 	var total sim.VTime
 	for i := 0; i < n; i++ {
-		lat, err := f.writeOne(lpn + int64(i))
+		lat, err := f.writeOne(lpn+int64(i), s)
 		if err != nil {
 			return total, err
 		}
@@ -153,7 +171,7 @@ func (f *FAST) Write(lpn int64, n int) (sim.VTime, error) {
 	return total, nil
 }
 
-func (f *FAST) writeOne(lpn int64) (sim.VTime, error) {
+func (f *FAST) writeOne(lpn int64, s stream.Stream) (sim.VTime, error) {
 	lbn, off := f.split(lpn)
 	var total sim.VTime
 
@@ -175,11 +193,11 @@ func (f *FAST) writeOne(lpn int64) (sim.VTime, error) {
 		if err != nil {
 			return total, err
 		}
-		f.swLog = &fastLog{pbn: pbn, lbn: lbn}
+		f.swLog = &fastLog{pbn: pbn, lbn: lbn, strm: stream.Seq}
 		return f.appendLog(f.swLog, lpn, total)
 	default:
-		// Random write: append to the random log frontier.
-		frontier, lat, err := f.rwFrontier()
+		// Random write: append to the stream's random log frontier.
+		frontier, lat, err := f.rwFrontierFor(s)
 		total += lat
 		if err != nil {
 			return total, err
@@ -188,12 +206,13 @@ func (f *FAST) writeOne(lpn int64) (sim.VTime, error) {
 	}
 }
 
-// rwFrontier returns the random log block with free space, reclaiming the
-// oldest random log if the pool of slots is exhausted.
-func (f *FAST) rwFrontier() (*fastLog, sim.VTime, error) {
+// rwFrontierFor returns stream s's random log block with free space,
+// reclaiming the oldest random log (of any stream) when the shared pool
+// of slots is exhausted.
+func (f *FAST) rwFrontierFor(s stream.Stream) (*fastLog, sim.VTime, error) {
 	var total sim.VTime
-	if n := len(f.rwLogs); n > 0 && f.rwLogs[n-1].writePtr < f.ppb {
-		return f.rwLogs[n-1], total, nil
+	if l := f.rwFront[s]; l != nil && l.writePtr < f.ppb {
+		return l, total, nil
 	}
 	if len(f.rwLogs) >= f.cfg.LogBlocks {
 		lat, err := f.reclaimOldestRW()
@@ -206,9 +225,35 @@ func (f *FAST) rwFrontier() (*fastLog, sim.VTime, error) {
 	if err != nil {
 		return nil, total, err
 	}
-	log := &fastLog{pbn: pbn, lbn: -1}
+	log := &fastLog{pbn: pbn, lbn: -1, strm: s}
 	f.rwLogs = append(f.rwLogs, log)
+	f.rwFront[s] = log
 	return log, total, nil
+}
+
+// rwExhausted reports that no stream's random-log frontier has free
+// space, i.e. the next random write (whatever its stream) must allocate
+// — and, with the slot pool full, reclaim first.
+func (f *FAST) rwExhausted() bool {
+	for _, l := range f.rwFront {
+		if l != nil && l.writePtr < f.ppb {
+			return false
+		}
+	}
+	return true
+}
+
+// GCPressure implements FTL: 1 when the next random write must pay for a
+// reclamation, otherwise the fill fraction of the random-log budget.
+func (f *FAST) GCPressure() float64 {
+	if len(f.rwLogs) >= f.cfg.LogBlocks && f.rwExhausted() {
+		return 1
+	}
+	used := 0
+	for _, l := range f.rwLogs {
+		used += l.writePtr
+	}
+	return float64(used) / float64(f.cfg.LogBlocks*f.ppb)
 }
 
 // appendLog programs lpn at the log's frontier, maintaining invalidation
@@ -220,7 +265,7 @@ func (f *FAST) appendLog(log *fastLog, lpn int64, total sim.VTime) (sim.VTime, e
 		}
 	}
 	ppn := log.pbn*f.ppb + log.writePtr
-	lat, err := f.arr.ProgramPage(ppn, lpn)
+	lat, err := f.arr.ProgramPageTagged(ppn, lpn, log.strm)
 	if err != nil {
 		return total, err
 	}
@@ -332,7 +377,9 @@ func (f *FAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 	for off := from; off <= last; off++ {
 		lpn := int64(lbn)*int64(f.ppb) + int64(off)
 		src := int(srcs[off])
+		bucket := flash.StreamUntagged
 		if src >= 0 {
+			bucket = f.arr.BlockStreamBucket(f.arr.BlockOfPage(src))
 			rlat, err := f.arr.ReadPageInternal(src)
 			if err != nil {
 				return total, err
@@ -343,7 +390,7 @@ func (f *FAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 			}
 			delete(f.logMap, lpn)
 		}
-		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		wlat, err := f.arr.ProgramPageInternalFrom(dst*f.ppb+off, lpn, bucket)
 		total += wlat
 		if err != nil {
 			return total, err
@@ -359,6 +406,11 @@ func (f *FAST) copyTail(dst, lbn, from int) (sim.VTime, error) {
 func (f *FAST) reclaimOldestRW() (sim.VTime, error) {
 	victim := f.rwLogs[0]
 	f.rwLogs = f.rwLogs[1:]
+	for s := range f.rwFront {
+		if f.rwFront[s] == victim {
+			f.rwFront[s] = nil
+		}
+	}
 	var total sim.VTime
 
 	// Collect the distinct logical blocks with live pages in the victim.
@@ -425,7 +477,9 @@ func (f *FAST) fullMergeLBN(lbn int) (sim.VTime, error) {
 	for off := 0; off <= last; off++ {
 		lpn := base + int64(off)
 		src := int(srcs[off])
+		bucket := flash.StreamUntagged
 		if src >= 0 {
+			bucket = f.arr.BlockStreamBucket(f.arr.BlockOfPage(src))
 			rlat, err := f.arr.ReadPageInternal(src)
 			if err != nil {
 				return total, err
@@ -436,7 +490,7 @@ func (f *FAST) fullMergeLBN(lbn int) (sim.VTime, error) {
 			}
 			delete(f.logMap, lpn)
 		}
-		wlat, err := f.arr.ProgramPageInternal(dst*f.ppb+off, lpn)
+		wlat, err := f.arr.ProgramPageInternalFrom(dst*f.ppb+off, lpn, bucket)
 		total += wlat
 		if err != nil {
 			return total, err
@@ -535,8 +589,7 @@ func (f *FAST) Trim(lpn int64, n int) error {
 func (f *FAST) CollectBackground(budget sim.VTime) (sim.VTime, error) {
 	var spent sim.VTime
 	for spent < budget {
-		n := len(f.rwLogs)
-		if n < f.cfg.LogBlocks || f.rwLogs[n-1].writePtr < f.ppb {
+		if len(f.rwLogs) < f.cfg.LogBlocks || !f.rwExhausted() {
 			break
 		}
 		lat, err := f.reclaimOldestRW()

@@ -27,6 +27,7 @@ import (
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // Errors returned by FTL operations.
@@ -48,8 +49,23 @@ type FTL interface {
 
 	// Write services a host write of n consecutive logical pages starting
 	// at lpn and returns the device time consumed, including any merges
-	// or garbage collection performed in the critical path.
+	// or garbage collection performed in the critical path. It is
+	// WriteTagged with the default stream.
 	Write(lpn int64, n int) (sim.VTime, error)
+
+	// WriteTagged is Write carrying the host write's temperature stream.
+	// Multi-stream FTLs direct the pages to per-stream active/log blocks
+	// so pages with different lifetimes never share an erase block;
+	// single-frontier schemes may ignore the tag.
+	WriteTagged(lpn int64, n int, s stream.Stream) (sim.VTime, error)
+
+	// GCPressure reports how loaded the FTL's reclamation machinery is,
+	// in [0,1]: 0 means free space is plentiful and no merge/erase work
+	// is pending, 1 means the scheme is at (or beyond) its GC low-water
+	// mark and host writes are about to pay for collection inline. The
+	// cluster layer gossips this signal on the heartbeat so partners can
+	// defer non-urgent work toward a device that is mid-GC.
+	GCPressure() float64
 
 	// Trim invalidates n consecutive logical pages starting at lpn
 	// (TRIM/discard): their flash copies become garbage immediately,
@@ -222,6 +238,23 @@ func interleaveDiscount(n, ways int, program sim.VTime) sim.VTime {
 	serial := sim.VTime(n) * program
 	parallel := sim.VTime((n+ways-1)/ways) * program
 	return serial - parallel
+}
+
+// poolPressure maps a free-resource count onto [0,1] GC pressure: 1 at or
+// below lo (collection is imminent or running), 0 at or above hi, linear
+// in between.
+func poolPressure(free, lo, hi int) float64 {
+	if hi <= lo {
+		hi = lo + 1
+	}
+	switch {
+	case free <= lo:
+		return 1
+	case free >= hi:
+		return 0
+	default:
+		return float64(hi-free) / float64(hi-lo)
+	}
 }
 
 // checkRange validates a host request against the logical address space.

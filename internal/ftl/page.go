@@ -5,21 +5,24 @@ import (
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // PageFTL is a page-level mapping FTL: every logical page maps independently
-// to a physical page, writes always go to the current active block's write
-// frontier, and a greedy garbage collector reclaims the block with the most
-// invalid pages when the free pool runs low (Section II.B of the paper).
+// to a physical page, writes go to the write frontier of their stream's
+// active block (multi-stream: one frontier per temperature class, so pages
+// with different lifetimes never share an erase block), and a greedy
+// garbage collector reclaims the block with the most invalid pages when the
+// free pool runs low (Section II.B of the paper).
 type PageFTL struct {
 	cfg       Config
 	arr       *flash.Array
 	ppb       int
 	userPages int64
 
-	l2p      []int32 // lpn -> ppn; -1 when unmapped
-	active   int     // host write frontier block; -1 when none
-	gcActive int     // GC copy destination block; -1 when none
+	l2p      []int32                // lpn -> ppn; -1 when unmapped
+	active   [stream.NumStreams]int // per-stream host write frontiers; -1 when none
+	gcActive int                    // GC copy destination block; -1 when none
 	pool     *blockPool
 	stats    Stats
 }
@@ -59,9 +62,11 @@ func NewPageFTL(cfg Config) (*PageFTL, error) {
 		ppb:       ppb,
 		userPages: int64(userBlocks) * int64(ppb),
 		l2p:       make([]int32, int64(userBlocks)*int64(ppb)),
-		active:    -1,
 		gcActive:  -1,
 		pool:      newBlockPool(arr),
+	}
+	for s := range f.active {
+		f.active[s] = -1
 	}
 	for i := range f.l2p {
 		f.l2p[i] = -1
@@ -113,12 +118,21 @@ func (f *PageFTL) Read(lpn int64, n int) (sim.VTime, error) {
 
 // Write implements FTL.
 func (f *PageFTL) Write(lpn int64, n int) (sim.VTime, error) {
+	return f.WriteTagged(lpn, n, stream.Warm)
+}
+
+// WriteTagged implements FTL: the pages are programmed at the write
+// frontier of the stream's own active block.
+func (f *PageFTL) WriteTagged(lpn int64, n int, s stream.Stream) (sim.VTime, error) {
 	if err := checkRange(lpn, n, f.userPages); err != nil {
 		return 0, err
 	}
+	if !s.Valid() {
+		s = stream.Warm
+	}
 	var total sim.VTime
 	for i := 0; i < n; i++ {
-		lat, err := f.writeOne(lpn + int64(i))
+		lat, err := f.writeOne(lpn+int64(i), s)
 		if err != nil {
 			return total, err
 		}
@@ -130,11 +144,11 @@ func (f *PageFTL) Write(lpn int64, n int) (sim.VTime, error) {
 	return total, nil
 }
 
-func (f *PageFTL) writeOne(lpn int64) (sim.VTime, error) {
+func (f *PageFTL) writeOne(lpn int64, s stream.Stream) (sim.VTime, error) {
 	var total sim.VTime
-	// Ensure the host frontier has a free page, collecting garbage first
-	// if the free pool is low.
-	if f.active < 0 || f.blockFull(f.active) {
+	// Ensure the stream's host frontier has a free page, collecting
+	// garbage first if the free pool is low.
+	if f.active[s] < 0 || f.blockFull(f.active[s]) {
 		if f.pool.len() <= f.cfg.GCLowWater {
 			gcLat, err := f.collect()
 			total += gcLat
@@ -146,14 +160,14 @@ func (f *PageFTL) writeOne(lpn int64) (sim.VTime, error) {
 		if err != nil {
 			return total, err
 		}
-		f.active = b
+		f.active[s] = b
 	}
-	bi, err := f.arr.BlockInfo(f.active)
+	bi, err := f.arr.BlockInfo(f.active[s])
 	if err != nil {
 		return total, err
 	}
-	ppn := f.active*f.ppb + bi.NextProgram
-	lat, err := f.arr.ProgramPage(ppn, lpn)
+	ppn := f.active[s]*f.ppb + bi.NextProgram
+	lat, err := f.arr.ProgramPageTagged(ppn, lpn, s)
 	if err != nil {
 		return total, err
 	}
@@ -165,6 +179,26 @@ func (f *PageFTL) writeOne(lpn int64) (sim.VTime, error) {
 	}
 	f.l2p[lpn] = int32(ppn)
 	return total, nil
+}
+
+// isFrontier reports whether pbn is one of the per-stream host frontiers
+// or the GC destination (none of which may be GC victims).
+func (f *PageFTL) isFrontier(pbn int) bool {
+	if pbn == f.gcActive {
+		return true
+	}
+	for _, a := range f.active {
+		if pbn == a {
+			return true
+		}
+	}
+	return false
+}
+
+// GCPressure implements FTL: free-pool occupancy between the low-water
+// mark (pressure 1) and twice the high-water mark (pressure 0).
+func (f *PageFTL) GCPressure() float64 {
+	return poolPressure(f.pool.len(), f.cfg.GCLowWater, 2*f.cfg.GCHighWater)
 }
 
 func (f *PageFTL) blockFull(pbn int) bool {
@@ -203,7 +237,7 @@ func (f *PageFTL) collect() (sim.VTime, error) {
 func (f *PageFTL) pickVictim() int {
 	best, bestInvalid, bestErase := -1, 0, 0
 	for b := 0; b < f.cfg.Flash.TotalBlocks(); b++ {
-		if b == f.active || b == f.gcActive || f.pool.contains(b) {
+		if f.isFrontier(b) || f.pool.contains(b) {
 			continue
 		}
 		bi, err := f.arr.BlockInfo(b)
@@ -285,7 +319,8 @@ func (f *PageFTL) gcMove(src int, lpn int64) (sim.VTime, error) {
 		if err != nil {
 			return total, err
 		}
-		wlat, err := f.arr.ProgramPageInternal(dst, lpn)
+		wlat, err := f.arr.ProgramPageInternalFrom(dst, lpn,
+			f.arr.BlockStreamBucket(f.arr.BlockOfPage(src)))
 		total += wlat
 		if err != nil {
 			return total, err
@@ -407,7 +442,7 @@ func (f *PageFTL) wearLevel() (sim.VTime, error) {
 		if bi.EraseCount > maxErase {
 			maxErase = bi.EraseCount
 		}
-		if b == f.active || b == f.gcActive || f.pool.contains(b) ||
+		if f.isFrontier(b) || f.pool.contains(b) ||
 			bi.NextProgram != f.ppb || bi.WornOut {
 			continue
 		}

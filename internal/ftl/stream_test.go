@@ -1,0 +1,146 @@
+package ftl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"flashcoop/internal/stream"
+)
+
+// streamSchemes are the multi-stream FTLs: each keeps a separate active or
+// log frontier per temperature tag, so host pages with different tags must
+// never land in the same erase block. The superblock scheme is exempt — it
+// is a single-frontier design and the interface permits it to ignore tags.
+var streamSchemes = []string{"page", "dftl", "bast", "fast"}
+
+// checkSegregation asserts the multi-stream placement invariant over every
+// erase block: a block whose pages all came from host writes (no GC or
+// merge relocations) must hold a single stream. Only GC is allowed to mix
+// lifetimes — it relocates survivors to internal frontiers, and a block it
+// has touched is marked HasInternal.
+func checkSegregation(t *testing.T, f FTL, scheme, when string) {
+	t.Helper()
+	arr := f.Flash()
+	for pbn := 0; pbn < arr.Params().TotalBlocks(); pbn++ {
+		bi, err := arr.BlockInfo(pbn)
+		if err != nil {
+			t.Fatalf("%s: BlockInfo(%d): %v", scheme, pbn, err)
+		}
+		if bi.StreamTagged && !bi.HasInternal && bi.StreamMixed {
+			t.Fatalf("%s: %s: block %d mixes streams with no GC involvement (first tag %v)",
+				scheme, when, pbn, bi.Stream)
+		}
+	}
+	if p := f.GCPressure(); p < 0 || p > 1 {
+		t.Fatalf("%s: %s: GCPressure %v outside [0,1]", scheme, when, p)
+	}
+}
+
+// TestStreamSegregation hammers each multi-stream FTL with an interleaved
+// four-temperature workload — hot single-page rewrites, warm and cold
+// random pages, multi-page sequential runs — for several device
+// overwrites, checking after every slice of traffic that no GC-untouched
+// erase block ever held two streams. Run it under -race: the FTLs are
+// called from one goroutine here, but the invariant must hold at every
+// intermediate state, not just the final one.
+func TestStreamSegregation(t *testing.T) {
+	for _, scheme := range streamSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			f := newFTL(t, scheme, testConfig())
+			user := f.UserPages()
+			rng := rand.New(rand.NewSource(0x5EED + int64(len(scheme))))
+
+			// Region layout: hot rewrites churn the first eighth of the
+			// space, warm the next quarter, cold the next quarter, and
+			// sequential runs sweep the rest in order.
+			hotEnd := user / 8
+			warmEnd := hotEnd + user/4
+			coldEnd := warmEnd + user/4
+			seqAt := coldEnd
+
+			total := 3 * user // several overwrites, so GC runs for real
+			var written int64
+			for written < total {
+				// A slice of mixed traffic between invariant checks.
+				for i := 0; i < 200 && written < total; i++ {
+					var err error
+					switch rng.Intn(4) {
+					case 0:
+						_, err = f.WriteTagged(rng.Int63n(hotEnd), 1, stream.Hot)
+						written++
+					case 1:
+						_, err = f.WriteTagged(hotEnd+rng.Int63n(warmEnd-hotEnd), 1, stream.Warm)
+						written++
+					case 2:
+						_, err = f.WriteTagged(warmEnd+rng.Int63n(coldEnd-warmEnd), 1, stream.Cold)
+						written++
+					case 3:
+						n := int64(4 + rng.Intn(8))
+						if seqAt+n > user {
+							seqAt = coldEnd
+						}
+						_, err = f.WriteTagged(seqAt, int(n), stream.Seq)
+						seqAt += n
+						written += n
+					}
+					if err != nil {
+						t.Fatalf("%s: tagged write after %d pages: %v", scheme, written, err)
+					}
+				}
+				checkSegregation(t, f, scheme, fmt.Sprintf("after %d pages", written))
+			}
+
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+			checkSegregation(t, f, scheme, "final state")
+
+			// The tags must have been honored, not just not mixed: with four
+			// temperatures in flight the device should have programmed host
+			// pages under at least three distinct tags (Seq runs may fold
+			// into another stream's count on hybrids that split runs).
+			fs := f.Flash().Stats()
+			tagged := 0
+			for s := 0; s < int(stream.NumStreams); s++ {
+				if fs.StreamPrograms[s] > 0 {
+					tagged++
+				}
+			}
+			if tagged < 3 {
+				t.Errorf("%s: only %d streams saw host programs, want >= 3 (%v)",
+					scheme, tagged, fs.StreamPrograms)
+			}
+		})
+	}
+}
+
+// TestStreamSegregationSurvivesTrim interleaves discards with the tagged
+// traffic: Trim invalidates pages in place, which must not disturb block
+// tags or let a later re-write of the trimmed range mix streams.
+func TestStreamSegregationSurvivesTrim(t *testing.T) {
+	for _, scheme := range streamSchemes {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			f := newFTL(t, scheme, testConfig())
+			user := f.UserPages()
+			rng := rand.New(rand.NewSource(0x7517 ^ int64(len(scheme))))
+			for round := 0; round < 6; round++ {
+				for i := int64(0); i < user; i += 4 {
+					s := stream.Stream(rng.Intn(int(stream.NumStreams)))
+					if _, err := f.WriteTagged(i, 2, s); err != nil {
+						t.Fatalf("%s: write: %v", scheme, err)
+					}
+				}
+				if err := f.Trim(rng.Int63n(user/2), int(user/8)); err != nil {
+					t.Fatalf("%s: trim: %v", scheme, err)
+				}
+				checkSegregation(t, f, scheme, fmt.Sprintf("round %d", round))
+			}
+			if err := f.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", scheme, err)
+			}
+		})
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"flashcoop/internal/flash"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // Superblock is the Superblock FTL (Kang, Jo, Kim, Lee — EMSOFT/ICES 2006),
@@ -134,12 +135,23 @@ func (f *Superblock) Read(lpn int64, n int) (sim.VTime, error) {
 
 // Write implements FTL.
 func (f *Superblock) Write(lpn int64, n int) (sim.VTime, error) {
+	return f.WriteTagged(lpn, n, stream.Warm)
+}
+
+// WriteTagged implements FTL. The superblock scheme keeps its page-level
+// mapping local to each superblock, whose members already share spatial
+// (and hence lifetime) locality; the tag is recorded on the programmed
+// block for accounting but does not split frontiers.
+func (f *Superblock) WriteTagged(lpn int64, n int, s stream.Stream) (sim.VTime, error) {
 	if err := checkRange(lpn, n, f.userPages); err != nil {
 		return 0, err
 	}
+	if !s.Valid() {
+		s = stream.Warm
+	}
 	var total sim.VTime
 	for i := 0; i < n; i++ {
-		lat, err := f.writeOne(lpn + int64(i))
+		lat, err := f.writeOne(lpn+int64(i), s)
 		if err != nil {
 			return total, err
 		}
@@ -151,7 +163,19 @@ func (f *Superblock) Write(lpn int64, n int) (sim.VTime, error) {
 	return total, nil
 }
 
-func (f *Superblock) writeOne(lpn int64) (sim.VTime, error) {
+// GCPressure implements FTL: the fraction of superblocks whose physical
+// budget is exhausted (their next write pays for a local compaction).
+func (f *Superblock) GCPressure() float64 {
+	exhausted := 0
+	for _, sb := range f.sbs {
+		if len(sb.phys) >= f.maxPhys {
+			exhausted++
+		}
+	}
+	return float64(exhausted) / float64(len(f.sbs))
+}
+
+func (f *Superblock) writeOne(lpn int64, s stream.Stream) (sim.VTime, error) {
 	sb := f.sbOf(lpn)
 	var total sim.VTime
 	lat, err := f.ensureFrontier(sb)
@@ -165,7 +189,7 @@ func (f *Superblock) writeOne(lpn int64) (sim.VTime, error) {
 		return total, err
 	}
 	ppn := pbn*f.ppb + bi.NextProgram
-	wlat, err := f.arr.ProgramPage(ppn, lpn)
+	wlat, err := f.arr.ProgramPageTagged(ppn, lpn, s)
 	total += wlat
 	if err != nil {
 		return total, err

@@ -17,6 +17,7 @@ import (
 	"flashcoop/internal/ftl"
 	"flashcoop/internal/metrics"
 	"flashcoop/internal/sim"
+	"flashcoop/internal/stream"
 )
 
 // Config selects and parameterizes the device's FTL.
@@ -129,6 +130,27 @@ func (d *Device) Write(at sim.VTime, lpn int64, n int) (sim.VTime, error) {
 	return finish, nil
 }
 
+// WriteTagged is Write carrying the evicting policy's temperature tag, so
+// multi-stream FTLs can direct the pages to the stream's own active block.
+func (d *Device) WriteTagged(at sim.VTime, lpn int64, n int, s stream.Stream) (sim.VTime, error) {
+	svc, err := d.f.WriteTagged(lpn, n, s)
+	if err != nil {
+		return 0, fmt.Errorf("ssd write lpn=%d n=%d stream=%v: %w", lpn, n, s, err)
+	}
+	_, finish := d.q.Serve(at, svc)
+	d.stats.WriteOps++
+	d.stats.WritePages += int64(n)
+	d.stats.WriteTime += finish - at
+	d.stats.WriteLengths.Add(n)
+	return finish, nil
+}
+
+// GCPressure reports the FTL's garbage-collection pressure in [0,1]: 0 when
+// free space is plentiful, 1 when the next host write may have to wait for
+// reclaim. Cooperating nodes gossip this so partners can defer non-urgent
+// backup traffic while a device digests GC.
+func (d *Device) GCPressure() float64 { return d.f.GCPressure() }
+
 // WriteCluster submits a gathered write of non-contiguous pages issued as
 // one multi-page program burst — FlashCoop's "clustering multiple small
 // writes into a full block" optimization (Section III.B.3). Device time is
@@ -149,6 +171,32 @@ func (d *Device) WriteCluster(at sim.VTime, lpns []int64) (sim.VTime, error) {
 	}
 	// The burst programs across planes like one large write: grant it the
 	// same interleave benefit an equally-sized contiguous write receives.
+	svc -= interleaveBenefit(d.f, len(lpns))
+	if svc < 0 {
+		svc = 0
+	}
+	_, finish := d.q.Serve(at, svc)
+	d.stats.WriteOps++
+	d.stats.WritePages += int64(len(lpns))
+	d.stats.WriteTime += finish - at
+	d.stats.WriteLengths.Add(len(lpns))
+	return finish, nil
+}
+
+// WriteClusterTagged is WriteCluster carrying the evicting policy's
+// temperature tag for every page of the scattered burst.
+func (d *Device) WriteClusterTagged(at sim.VTime, lpns []int64, s stream.Stream) (sim.VTime, error) {
+	if len(lpns) == 0 {
+		return at, nil
+	}
+	var svc sim.VTime
+	for _, lpn := range lpns {
+		sv, err := d.f.WriteTagged(lpn, 1, s)
+		if err != nil {
+			return 0, fmt.Errorf("ssd cluster write lpn=%d stream=%v: %w", lpn, s, err)
+		}
+		svc += sv
+	}
 	svc -= interleaveBenefit(d.f, len(lpns))
 	if svc < 0 {
 		svc = 0

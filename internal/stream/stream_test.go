@@ -1,0 +1,41 @@
+package stream
+
+import "testing"
+
+func TestFromByteDegradesUnknown(t *testing.T) {
+	for b := 0; b < 256; b++ {
+		s := FromByte(byte(b))
+		if b < int(NumStreams) {
+			if s != Stream(b) {
+				t.Fatalf("FromByte(%d) = %v, want %v", b, s, Stream(b))
+			}
+			continue
+		}
+		// A tag from a newer peer must place, not fail: unknown bytes
+		// degrade to the default stream.
+		if s != Warm {
+			t.Fatalf("FromByte(%d) = %v, want Warm", b, s)
+		}
+	}
+}
+
+func TestZeroValueIsDefault(t *testing.T) {
+	var s Stream
+	if s != Warm {
+		t.Fatalf("zero Stream = %v, want Warm (untagged wire frames must decode to the default)", s)
+	}
+}
+
+func TestStringTotal(t *testing.T) {
+	seen := map[string]bool{}
+	for s := Stream(0); s < NumStreams; s++ {
+		name := s.String()
+		if name == "" || seen[name] {
+			t.Fatalf("stream %d: String() = %q (empty or duplicate)", s, name)
+		}
+		seen[name] = true
+	}
+	if got := Stream(200).String(); got == "" {
+		t.Fatal("out-of-range stream must still render a name")
+	}
+}

@@ -43,6 +43,12 @@ go run ./cmd/loadgen -writers 4 -ops 2000 -compare=false
 go test -run '^$' -bench 'LiveWriteParallel|LiveReadParallel' -benchtime 100x ./internal/cluster/
 go run ./cmd/loadgen -shard-scale 4 -writers 4 -ops 1000 -buffer 256 -evict-queue 1 -reps 1
 
+# Multi-stream smoke: a short run of the flash-wear A/B exercises tagged
+# eviction, the per-stream wear counters, and the -streams=off ablation
+# path end to end. Too few ops for the erase-reduction number to mean
+# anything — `make bench-streams` is the measured run.
+go run ./cmd/loadgen -stream-scale -writers 4 -ops 6000
+
 # Bench regression gate: rerun the committed shard ladder with identical
 # workload parameters and fail if any rung's throughput drops more than
 # 10% below the committed BENCH_shard.json. Matching the bench-shard
