@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos chaos-flap fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-gate profile
+.PHONY: all build test race vet ci chaos chaos-flap chaos-ring fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-gate profile
 
 all: build
 
@@ -35,6 +35,14 @@ chaos:
 chaos-flap:
 	$(GO) test -race -v -run 'TestChaosLinkFlap' ./internal/cluster/check/
 
+# The membership-churn suite alone: a live 3-node ring under write load
+# through join, leave (stale frames against the epoch gate), crash
+# mid-resync with replacement, rejoin, and primary crash/recovery, with
+# durability invariants checked at every quiescent point. Three seeds per
+# run; CHAOS_SEED=<seed> make chaos-ring replays.
+chaos-ring:
+	$(GO) test -race -v -run 'TestChaosMembershipChurn' ./internal/cluster/check/
+
 # Short fuzz budgets for the wire-format and trace-parser fuzz targets.
 # The bounded -fuzzminimizetime keeps fresh corpora from spending the
 # whole budget minimizing their first interesting inputs.
@@ -43,6 +51,8 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzReadFrameV2$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMessage$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeResync$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMembership$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEpoch$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 cover:
@@ -53,9 +63,12 @@ bench:
 	$(GO) run ./cmd/benchrunner
 
 # Measure the live replication path: sync vs pipelined throughput and
-# latency percentiles over a localhost pair, recorded as BENCH_cluster.json.
+# latency percentiles over a localhost pair, then the ring-scale ladder
+# (one driven member, 2-node pair vs 3-node ring), both recorded into
+# BENCH_cluster.json (writeReport merges the sections).
 bench-cluster:
 	$(GO) run ./cmd/loadgen -writers 32 -ops 32000 -json BENCH_cluster.json
+	$(GO) run ./cmd/loadgen -ring-scale 2,3 -reps 3 -json BENCH_cluster.json
 
 # Shard-scaling ladder: the eviction-bound write mix against a file-backed
 # fsync-on-flush store at 1, 4, and 16 shards, recorded as BENCH_shard.json.
@@ -90,6 +103,8 @@ bench-gate:
 		-buffer 1024 -remote 32768 -evict-queue 1 -ppb 2 -blocks 65536 \
 		-reps 3 -json /tmp/BENCH_shard.ci.json
 	$(GO) run ./cmd/benchgate -committed BENCH_shard.json -current /tmp/BENCH_shard.ci.json
+	$(GO) run ./cmd/loadgen -ring-scale 2,3 -reps 3 -json /tmp/BENCH_cluster.ci.json
+	$(GO) run ./cmd/benchgate -committed BENCH_cluster.json -current /tmp/BENCH_cluster.ci.json
 
 # Just the grid-backed figures plus the per-cell perf record.
 bench-grid:

@@ -1,20 +1,29 @@
-// Command benchgate is the CI regression gate for the shard-scaling
-// benchmark: it compares a freshly generated BENCH_shard.json against
-// the committed one and fails (exit 1) when any rung's write throughput
-// regressed by more than the tolerance. Rungs are matched by their full
-// workload identity (shards, writers, ops) so a ladder reshape can never
-// silently compare unlike rungs; a committed rung with no match in the
-// current run is itself a failure.
+// Command benchgate is the CI regression gate for the scaling benchmarks:
+// it compares a freshly generated report against the committed one and
+// fails (exit 1) when any rung's write throughput regressed by more than
+// the tolerance. Rungs are matched by their full workload identity
+// (shards/nodes, writers, ops) so a ladder reshape can never silently
+// compare unlike rungs; a committed rung with no match in the current run
+// is itself a failure.
+//
+// Two report sections gate, each only when the committed baseline carries
+// it: the shard-scaling ladder (BENCH_shard.json) and the ring-scaling
+// ladder (BENCH_cluster.json). Ring reports additionally gate on an
+// absolute floor: the largest ring rung's per-node throughput must stay
+// within -ring-floor of the 2-node pair rung's (per_node_ratio), so ring
+// membership can never quietly tax a member's own write path no matter
+// what the committed baseline drifted to.
 //
 // Only regressions gate. Improvements pass (and should be committed by
-// regenerating the baseline with `make bench-shard`). Besides throughput,
-// each rung's p99 write latency gates under the same fractional
-// tolerance (a rung whose baseline recorded no p99 is skipped); p50 is
-// reported for eyeballing only.
+// regenerating the baseline). Besides throughput, each rung's p99 write
+// latency gates under the same fractional tolerance (a rung whose
+// baseline recorded no p99 is skipped); p50 is reported for eyeballing
+// only.
 //
 // Usage:
 //
 //	benchgate -committed BENCH_shard.json -current /tmp/BENCH_shard.ci.json [-tolerance 0.10]
+//	benchgate -committed BENCH_cluster.json -current /tmp/BENCH_cluster.ci.json [-ring-floor 0.75]
 package main
 
 import (
@@ -33,11 +42,24 @@ type shardRun struct {
 	P99Ms        float64 `json:"p99_ms"`
 }
 
+type ringRun struct {
+	Nodes        int     `json:"nodes"`
+	Writers      int     `json:"writers"`
+	Ops          int     `json:"ops"`
+	WritesPerSec float64 `json:"writes_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+}
+
 type report struct {
 	CPUs       int `json:"cpus"`
 	ShardScale *struct {
 		Ladder []shardRun `json:"ladder"`
 	} `json:"shard_scale"`
+	RingScale *struct {
+		Ladder       []ringRun `json:"ladder"`
+		PerNodeRatio float64   `json:"per_node_ratio"`
+	} `json:"ring_scale"`
 }
 
 func load(path string) (report, error) {
@@ -49,8 +71,10 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(b, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if r.ShardScale == nil || len(r.ShardScale.Ladder) == 0 {
-		return r, fmt.Errorf("%s: no shard_scale ladder", path)
+	hasShard := r.ShardScale != nil && len(r.ShardScale.Ladder) > 0
+	hasRing := r.RingScale != nil && len(r.RingScale.Ladder) > 0
+	if !hasShard && !hasRing {
+		return r, fmt.Errorf("%s: no shard_scale or ring_scale ladder", path)
 	}
 	return r, nil
 }
@@ -59,6 +83,7 @@ func main() {
 	committed := flag.String("committed", "BENCH_shard.json", "committed baseline report")
 	current := flag.String("current", "", "freshly generated report to gate (required)")
 	tolerance := flag.Float64("tolerance", 0.10, "maximum allowed fractional throughput regression per rung")
+	ringFloor := flag.Float64("ring-floor", 0.75, "minimum ring per_node_ratio (largest ring rung's per-node throughput over the 2-node pair rung's)")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchgate: -current is required")
@@ -79,42 +104,100 @@ func main() {
 			base.CPUs, cur.CPUs)
 	}
 
-	index := make(map[[3]int]shardRun, len(cur.ShardScale.Ladder))
-	for _, r := range cur.ShardScale.Ladder {
+	failed := false
+	if base.ShardScale != nil && len(base.ShardScale.Ladder) > 0 {
+		if cur.ShardScale == nil || len(cur.ShardScale.Ladder) == 0 {
+			fmt.Println("FAIL shard_scale: section missing from current run")
+			failed = true
+		} else if gateShards(base.ShardScale.Ladder, cur.ShardScale.Ladder, *tolerance) {
+			failed = true
+		}
+	}
+	if base.RingScale != nil && len(base.RingScale.Ladder) > 0 {
+		if cur.RingScale == nil || len(cur.RingScale.Ladder) == 0 {
+			fmt.Println("FAIL ring_scale: section missing from current run")
+			failed = true
+		} else {
+			if gateRing(base.RingScale.Ladder, cur.RingScale.Ladder, *tolerance) {
+				failed = true
+			}
+			// Absolute floor, independent of the baseline: the ring must
+			// never cost a member more than (1 - floor) of its pair-mode
+			// write throughput.
+			if r := cur.RingScale.PerNodeRatio; r > 0 && r < *ringFloor {
+				fmt.Printf("FAIL ring per_node_ratio %.2f below floor %.2f\n", r, *ringFloor)
+				failed = true
+			} else if r > 0 {
+				fmt.Printf("ok   ring per_node_ratio %.2f (floor %.2f)\n", r, *ringFloor)
+			}
+		}
+	}
+	if failed {
+		fmt.Printf("benchgate: throughput, p99 latency, or ring ratio regressed beyond tolerance\n")
+		os.Exit(1)
+	}
+	fmt.Println("benchgate: all rungs within tolerance")
+}
+
+// gateRung applies the shared throughput + p99 rule to one matched rung
+// pair and prints its verdict line. Higher is worse for latency, so the
+// p99 check mirrors the throughput one around 1+tolerance.
+func gateRung(label string, baseW, curW, baseP50, curP50, baseP99, curP99, tolerance float64) bool {
+	ratio := 0.0
+	if baseW > 0 {
+		ratio = curW / baseW
+	}
+	bad := ratio < 1-tolerance
+	if baseP99 > 0 && curP99 > baseP99*(1+tolerance) {
+		bad = true
+	}
+	verdict := "ok  "
+	if bad {
+		verdict = "FAIL"
+	}
+	fmt.Printf("%s %s %9.1f -> %9.1f w/s (%+.1f%%)  p50 %.2f->%.2f ms  p99 %.2f->%.2f ms\n",
+		verdict, label, baseW, curW, (ratio-1)*100, baseP50, curP50, baseP99, curP99)
+	return bad
+}
+
+func gateShards(base, cur []shardRun, tolerance float64) bool {
+	index := make(map[[3]int]shardRun, len(cur))
+	for _, r := range cur {
 		index[[3]int{r.Shards, r.Writers, r.Ops}] = r
 	}
 	failed := false
-	for _, b := range base.ShardScale.Ladder {
+	for _, b := range base {
 		c, ok := index[[3]int{b.Shards, b.Writers, b.Ops}]
 		if !ok {
 			fmt.Printf("FAIL shards=%d writers=%d ops=%d: rung missing from current run\n", b.Shards, b.Writers, b.Ops)
 			failed = true
 			continue
 		}
-		ratio := 0.0
-		if b.WritesPerSec > 0 {
-			ratio = c.WritesPerSec / b.WritesPerSec
-		}
-		verdict := "ok  "
-		if ratio < 1-*tolerance {
-			verdict = "FAIL"
+		if gateRung(fmt.Sprintf("shards=%-3d", b.Shards),
+			b.WritesPerSec, c.WritesPerSec, b.P50Ms, c.P50Ms, b.P99Ms, c.P99Ms, tolerance) {
 			failed = true
 		}
-		// The tail gates too: a change that holds throughput but stretches
-		// p99 (say, an eviction stall moved onto the write path) must not
-		// pass. Higher is worse for latency, so the check mirrors the
-		// throughput one around 1+tolerance.
-		if b.P99Ms > 0 && c.P99Ms > b.P99Ms*(1+*tolerance) {
-			verdict = "FAIL"
+	}
+	return failed
+}
+
+func gateRing(base, cur []ringRun, tolerance float64) bool {
+	index := make(map[[3]int]ringRun, len(cur))
+	for _, r := range cur {
+		index[[3]int{r.Nodes, r.Writers, r.Ops}] = r
+	}
+	failed := false
+	for _, b := range base {
+		c, ok := index[[3]int{b.Nodes, b.Writers, b.Ops}]
+		if !ok {
+			fmt.Printf("FAIL nodes=%d writers=%d ops=%d: rung missing from current run\n", b.Nodes, b.Writers, b.Ops)
+			failed = true
+			continue
+		}
+		if gateRung(fmt.Sprintf("nodes=%-3d ", b.Nodes),
+			b.WritesPerSec, c.WritesPerSec, b.P50Ms, c.P50Ms, b.P99Ms, c.P99Ms, tolerance) {
 			failed = true
 		}
-		fmt.Printf("%s shards=%-3d %9.1f -> %9.1f w/s (%+.1f%%)  p50 %.2f->%.2f ms  p99 %.2f->%.2f ms\n",
-			verdict, b.Shards, b.WritesPerSec, c.WritesPerSec, (ratio-1)*100,
-			b.P50Ms, c.P50Ms, b.P99Ms, c.P99Ms)
 	}
-	if failed {
-		fmt.Printf("benchgate: throughput or p99 latency regressed beyond %.0f%% tolerance\n", *tolerance*100)
-		os.Exit(1)
-	}
-	fmt.Println("benchgate: all rungs within tolerance")
+	return failed
 }

@@ -6,6 +6,7 @@
 //	flashcoopctl -addr 127.0.0.1:8001 read <lpn>
 //	flashcoopctl -addr 127.0.0.1:8001 stats
 //	flashcoopctl -addr 127.0.0.1:8001 health
+//	flashcoopctl -addr 127.0.0.1:8001 ring            # ring epoch + per-partner states
 //	flashcoopctl -addr 127.0.0.1:8001 bench -n 1000   # sequential write benchmark
 package main
 
@@ -67,6 +68,25 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(resp)
+	case "ring":
+		// Ring view: the HEALTH fields that describe the ring layout (epoch,
+		// member count, per-partner lifecycle states), one per line.
+		resp, err := call(conn, rd, "HEALTH")
+		if err != nil {
+			fatal(err)
+		}
+		printed := false
+		for _, f := range strings.Fields(resp) {
+			if f == "OK" || strings.HasPrefix(f, "epoch=") || strings.HasPrefix(f, "members=") ||
+				strings.HasPrefix(f, "peer_") || strings.HasPrefix(f, "epochRejects=") ||
+				strings.HasPrefix(f, "membershipChanges=") {
+				fmt.Println(f)
+				printed = true
+			}
+		}
+		if !printed || !strings.Contains(resp, "epoch=") {
+			fmt.Println("pair mode (no ring)")
+		}
 	case "bench":
 		start := time.Now()
 		for i := 0; i < *n; i++ {
@@ -103,7 +123,7 @@ func call(conn net.Conn, rd *bufio.Reader, line string) (string, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | bench [-n count]")
+	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | ring | bench [-n count]")
 	os.Exit(2)
 }
 

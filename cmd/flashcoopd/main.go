@@ -14,6 +14,15 @@
 //	           [-buffer 8192] [-remote 8192] [-recover]
 //	           [-batch 64] [-inflight 4] [-chaos-seed N]
 //
+// Ring mode replaces -peer with the full member list (this node's -listen
+// address is added automatically if absent):
+//
+//	flashcoopd -listen :7001 -client :8001 \
+//	           -peers host1:7001,host2:7002,host3:7003 [-replication 1]
+//
+// Every member must be started with the same -peers list; HEALTH then
+// reports the ring epoch and each partner link's lifecycle state.
+//
 // STATS reports, besides the counters, the write and forward latency
 // percentiles (wlat_*/flat_*) and the forward batching factor.
 package main
@@ -25,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -39,6 +49,8 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:7001", "partner-facing address")
 		client   = flag.String("client", "127.0.0.1:8001", "client-facing address")
 		peer     = flag.String("peer", "", "partner address (empty = degraded)")
+		peers    = flag.String("peers", "", "comma-separated ring member list (replaces -peer; own -listen address added if absent)")
+		repl     = flag.Int("replication", 1, "ring backup owners per erase block (with -peers)")
 		policy   = flag.String("policy", flashcoop.PolicyLAR, "buffer policy: lar, lru, lfu")
 		bufPg    = flag.Int("buffer", 8192, "local buffer pages")
 		remote   = flag.Int("remote", 8192, "remote buffer pages")
@@ -56,10 +68,34 @@ func main() {
 	)
 	flag.Parse()
 
+	var members []string
+	if *peers != "" {
+		if *peer != "" {
+			log.Fatal("flashcoopd: -peer and -peers are mutually exclusive")
+		}
+		self := false
+		for _, m := range strings.Split(*peers, ",") {
+			m = strings.TrimSpace(m)
+			if m == "" {
+				continue
+			}
+			if m == *listen {
+				self = true
+			}
+			members = append(members, m)
+		}
+		if !self {
+			members = append(members, *listen)
+		}
+	}
+
 	cfg := flashcoop.LiveConfig{
 		Name:          *listen,
 		ListenAddr:    *listen,
 		PeerAddr:      *peer,
+		Peers:         members,
+		NodeID:        *listen,
+		Replication:   *repl,
 		Policy:        *policy,
 		BufferPages:   *bufPg,
 		RemotePages:   *remote,
@@ -93,7 +129,7 @@ func main() {
 	defer node.Close()
 	log.Printf("flashcoopd: partner port %s, client port %s, policy %s", node.Addr(), *client, *policy)
 
-	if *peer != "" {
+	if *peer != "" || len(members) > 0 {
 		if err := node.ConnectPeer(); err != nil {
 			log.Printf("flashcoopd: partner not reachable yet: %v", err)
 		} else if *recover {
@@ -105,6 +141,10 @@ func main() {
 		}
 		node.StartHeartbeat()
 		node.StartRebalance(5 * time.Second)
+	}
+	if len(members) > 0 {
+		log.Printf("flashcoopd: ring of %d members at epoch %d, replication %d",
+			len(node.RingMembers()), node.RingEpoch(), *repl)
 	}
 
 	ln, err := net.Listen("tcp", *client)
@@ -133,6 +173,28 @@ func streamFields(fs flashcoop.StreamStats) string {
 			name = stream.Stream(i).String()
 		}
 		fmt.Fprintf(&b, " erases_%s=%d copies_%s=%d", name, fs.Erases[i], name, fs.Copies[i])
+	}
+	return b.String()
+}
+
+// ringFields renders the ring health as HEALTH key=value fields: the
+// ownership epoch, the member count, and each partner link's lifecycle
+// state. Empty in pair mode.
+func ringFields(node *flashcoop.LiveNode) string {
+	epoch := node.RingEpoch()
+	if epoch == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " epoch=%d members=%d", epoch, len(node.RingMembers()))
+	states := node.PeerStates()
+	ids := make([]string, 0, len(states))
+	for id := range states {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Fprintf(&b, " peer_%s=%s", id, states[id])
 	}
 	return b.String()
 }
@@ -230,10 +292,12 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			}
 			fmt.Fprintf(conn, "OK state=%s peerAlive=%v failovers=%d suspects=%d probes=%d probeFailures=%d rejoins=%d "+
 				"resyncedPages=%d resyncFailures=%d journalDrops=%d overloads=%d breakerTrips=%d "+
-				"evictorStalls=%d persistFailures=%d groupCommitBatches=%d pagesPerSync=%.1f\n",
+				"evictorStalls=%d persistFailures=%d groupCommitBatches=%d pagesPerSync=%.1f "+
+				"membershipChanges=%d epochRejects=%d%s\n",
 				node.PeerLifecycle(), node.PeerAlive(), st.Failovers, st.Suspects, st.Probes, st.ProbeFailures, st.Rejoins,
 				st.ResyncedPages, st.ResyncFailures, st.JournalDrops, st.Overloads, st.BreakerTrips,
-				st.EvictorStalls, st.PersistFailures, st.GroupCommitBatches, pagesPerSync)
+				st.EvictorStalls, st.PersistFailures, st.GroupCommitBatches, pagesPerSync,
+				st.MembershipChanges, st.EpochRejects, ringFields(node))
 		case "QUIT":
 			return
 		default:

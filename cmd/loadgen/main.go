@@ -39,6 +39,19 @@
 // coordinator disabled), so the fsync-coalescing window's cost/benefit
 // is tracked alongside shard scaling.
 //
+// With -ring-scale the workload becomes a cooperative-ring scaling
+// ladder instead: one rung per listed member count, each a fresh
+// consistent-hash ring with the cache-resident writer pool driving one
+// member, whose backups hash across its partners. The 2-node rung is the
+// classic pair; larger rungs split the member's backup stream over more
+// forwarders, and the report carries the per-node ratio of the largest
+// rung over the pair rung, which cmd/benchgate holds to a floor (the
+// bench host is one machine, so one member is driven per rung — a
+// multi-host ring would see roughly N times the per-node number):
+//
+//	loadgen -ring-scale 2,3 [-writers 8] [-ops 40000] [-reps 3]
+//	        [-json BENCH_cluster.json]
+//
 // With -stream-scale the workload becomes a flash-wear A/B instead: a
 // deterministic mixed hot/cold trace (single-page rewrites into a small
 // hot region, full-block sequential streams over the cold rest, total
@@ -214,6 +227,48 @@ type streamScale struct {
 	EraseReduction float64 `json:"erase_reduction"`
 }
 
+// ringRun is one rung of the -ring-scale ladder: an N-member
+// consistent-hash ring with the full writer pool driving ONE member, so
+// the rung measures what ring membership costs a single member's own
+// replicated-write path. The bench host is one machine — members share
+// its cores, so driving every member at once would only measure CPU
+// splitting; a multi-host ring would see roughly N times the per-node
+// number reported here. The 2-node rung is the classic pair (the driven
+// member's only possible partner is the other); larger rungs hash the
+// member's erase blocks across more successors, splitting its backup
+// stream over several forwarders.
+type ringRun struct {
+	Nodes       int     `json:"nodes"`
+	Replication int     `json:"replication"`
+	Writers     int     `json:"writers"`
+	Ops         int     `json:"ops"`
+	Seconds     float64 `json:"seconds"`
+	// WritesPerSec is the driven member's throughput — the per-node
+	// number the gate compares across rungs.
+	WritesPerSec   float64 `json:"writes_per_sec"`
+	P50Ms          float64 `json:"p50_ms"`
+	P95Ms          float64 `json:"p95_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	Forwards       int64   `json:"forwards"`
+	FwdFrames      int64   `json:"fwd_frames"`
+	BatchingFactor float64 `json:"batching_factor"`
+	// Partners is how many distinct holders actually received backups —
+	// proof the rung exercised a real ring split, not a de-facto pair.
+	Partners int `json:"partners"`
+}
+
+// ringScale is the whole -ring-scale ladder plus the headline ratio. Each
+// rung is the median-throughput repetition.
+type ringScale struct {
+	Reps   int       `json:"reps"`
+	Ladder []ringRun `json:"ladder"`
+	// PerNodeRatio is the largest ring rung's per-node throughput over the
+	// 2-node pair rung's (0 when the ladder has no 2-node rung). The ring
+	// earns its keep when this stays near 1: adding members must not tax
+	// a member's own write path.
+	PerNodeRatio float64 `json:"per_node_ratio,omitempty"`
+}
+
 type report struct {
 	GeneratedAt string      `json:"generated_at"`
 	GoVersion   string      `json:"go_version"`
@@ -225,6 +280,7 @@ type report struct {
 	Flap        *flapResult  `json:"flap,omitempty"`
 	ShardScale  *shardScale  `json:"shard_scale,omitempty"`
 	StreamScale *streamScale `json:"stream_scale,omitempty"`
+	RingScale   *ringScale   `json:"ring_scale,omitempty"`
 }
 
 func main() {
@@ -237,6 +293,7 @@ func main() {
 		shardScale  = flag.String("shard-scale", "", "run the eviction-bound shard-scaling ladder over these comma-separated shard counts (e.g. 1,4,16) instead of the throughput runs")
 		syncScale   = flag.String("sync-scale", "", "with -shard-scale: rerun the largest shard count under these comma-separated group-commit intervals in ms (0 = self-clocking, negative = coordinator off), e.g. -1,0,0.5,2")
 		streamBench = flag.Bool("stream-scale", false, "run the mixed hot/cold multi-stream flash-wear A/B (tagged vs -streams=off at equal ops) instead of the throughput runs")
+		ringScaleF  = flag.String("ring-scale", "", "run the cooperative-ring scaling ladder over these comma-separated member counts (e.g. 2,3) instead of the throughput runs; every member takes client writes")
 		streamsFlag = flag.String("streams", "on", "temperature-tagged multi-stream eviction: on|off (off forces every flush onto the default stream)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile")
 	)
@@ -290,7 +347,15 @@ func main() {
 		writeReport(rep, *jsonPath)
 		return
 	}
-	if *shardScale != "" || *streamBench {
+	if *shardScale != "" || *streamBench || *ringScaleF != "" {
+		if *ringScaleF != "" {
+			rs, err := runRingScale(opt, *ringScaleF)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.RingScale = &rs
+			printRingScale(rs)
+		}
 		if *shardScale != "" {
 			sc, err := runShardScale(opt, *shardScale, *syncScale)
 			if err != nil {
@@ -424,6 +489,9 @@ func writeReport(rep report, jsonPath string) {
 			if rep.StreamScale == nil {
 				rep.StreamScale = old.StreamScale
 			}
+			if rep.RingScale == nil {
+				rep.RingScale = old.RingScale
+			}
 		}
 	}
 	out, err := json.MarshalIndent(rep, "", "  ")
@@ -528,6 +596,165 @@ func runOnce(name string, opt options, batch, inflight int) (runResult, error) {
 		r.BatchingFactor = float64(st.Forwards) / float64(st.FwdFrames)
 	}
 	return r, nil
+}
+
+// runRingScale runs the symmetric write workload once per rung of the
+// comma-separated member-count ladder and reports how per-node throughput
+// holds as the ring grows. Each rung runs -reps times and keeps the
+// median-aggregate repetition, like the shard ladder.
+func runRingScale(opt options, ladder string) (ringScale, error) {
+	var counts []int
+	for _, f := range strings.Split(ladder, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 2 {
+			return ringScale{}, fmt.Errorf("bad -ring-scale entry %q (member counts must be >= 2)", f)
+		}
+		counts = append(counts, n)
+	}
+	reps := opt.reps
+	if reps < 1 {
+		reps = 1
+	}
+	rs := ringScale{Reps: reps}
+	for _, nodes := range counts {
+		var runs []ringRun
+		for rep := 0; rep < reps; rep++ {
+			r, err := runRingOnce(opt, nodes)
+			if err != nil {
+				return ringScale{}, fmt.Errorf("nodes=%d: %w", nodes, err)
+			}
+			runs = append(runs, r)
+			runtime.GC()
+		}
+		sort.Slice(runs, func(i, j int) bool { return runs[i].WritesPerSec < runs[j].WritesPerSec })
+		rs.Ladder = append(rs.Ladder, runs[len(runs)/2])
+	}
+	for _, r := range rs.Ladder {
+		if r.Nodes == 2 && r.WritesPerSec > 0 {
+			rs.PerNodeRatio = rs.Ladder[len(rs.Ladder)-1].WritesPerSec / r.WritesPerSec
+			break
+		}
+	}
+	return rs, nil
+}
+
+// runRingOnce drives one rung: a fresh n-member ring with the writer pool
+// hammering member 0, whose backups hash across its n-1 partners.
+func runRingOnce(opt options, n int) (ringRun, error) {
+	cfgs := make([]flashcoop.LiveConfig, n)
+	for i := range cfgs {
+		cfgs[i] = flashcoop.LiveConfig{
+			Name: fmt.Sprintf("ring%d", i), ListenAddr: "127.0.0.1:0",
+			Policy: opt.policy, BufferPages: opt.buffer, RemotePages: opt.remote,
+			SSD:           flashcoop.DefaultSSD("bast", opt.blocks),
+			MaxBatchPages: opt.batch, MaxInflight: opt.inflight,
+			DisableStreams: !opt.streams,
+		}
+	}
+	nodes, err := flashcoop.NewLiveRing(cfgs, 1)
+	if err != nil {
+		return ringRun{}, err
+	}
+	defer func() {
+		for _, m := range nodes {
+			m.Close()
+		}
+	}()
+	for _, m := range nodes {
+		if err := m.ConnectPeer(); err != nil {
+			return ringRun{}, err
+		}
+	}
+
+	driven := nodes[0]
+	ps := driven.Device().PageSize()
+	user := driven.Device().UserPages()
+	// Same cache-resident span discipline as runOnce: the rung measures
+	// the replication path, not eviction.
+	span := int64(opt.span) * int64(opt.pages)
+	if max := user / int64(opt.writers); span > max {
+		span = max
+	}
+	if max := int64(opt.buffer) / int64(opt.writers); span > max {
+		span = max
+	}
+	perWriter := opt.ops / opt.writers
+	hists := make(chan *metrics.LatencyHist, opt.writers)
+	errs := make(chan error, opt.writers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < opt.writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var h metrics.LatencyHist
+			buf := make([]byte, opt.pages*ps)
+			for i := range buf {
+				buf[i] = byte(w + 1)
+			}
+			base := int64(w) * span
+			for i := 0; i < perWriter; i++ {
+				lpn := base + (int64(i)*int64(opt.pages))%span
+				t0 := time.Now()
+				if err := driven.Write(lpn, buf); err != nil {
+					errs <- fmt.Errorf("writer %d: %w", w, err)
+					return
+				}
+				h.Add(float64(time.Since(t0)) / float64(time.Millisecond))
+			}
+			hists <- &h
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+	close(errs)
+	for err := range errs {
+		return ringRun{}, err
+	}
+	close(hists)
+	var all metrics.LatencyHist
+	for h := range hists {
+		all.Merge(h)
+	}
+	partners := 0
+	for _, m := range nodes[1:] {
+		if len(m.SnapshotRemoteFor(driven.Addr())) > 0 {
+			partners++
+		}
+	}
+	st := driven.Stats()
+	ops := opt.writers * perWriter
+	r := ringRun{
+		Nodes: n, Replication: 1,
+		Writers: opt.writers, Ops: ops,
+		Seconds:      elapsed,
+		WritesPerSec: float64(ops) / elapsed,
+		P50Ms:        all.P50(), P95Ms: all.P95(), P99Ms: all.P99(),
+		Forwards: st.Forwards, FwdFrames: st.FwdFrames,
+		Partners: partners,
+	}
+	if st.FwdFrames > 0 {
+		r.BatchingFactor = float64(st.Forwards) / float64(st.FwdFrames)
+	}
+	return r, nil
+}
+
+func printRingScale(rs ringScale) {
+	tbl := metrics.Table{
+		Title:   "Ring-scaling ladder (one driven member; 2 nodes = the classic pair)",
+		Headers: []string{"nodes", "writers", "ops", "writes/s", "p50 ms", "p95 ms", "p99 ms", "batch x", "partners"},
+	}
+	for _, r := range rs.Ladder {
+		tbl.AddRow(r.Nodes, r.Writers, r.Ops, r.WritesPerSec,
+			r.P50Ms, r.P95Ms, r.P99Ms, r.BatchingFactor, r.Partners)
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	if rs.PerNodeRatio > 0 {
+		fmt.Printf("\n%d-node/2-node per-node throughput: %.2fx\n",
+			rs.Ladder[len(rs.Ladder)-1].Nodes, rs.PerNodeRatio)
+	}
 }
 
 // runFlap cuts and heals the writer→backup link cycles times while the

@@ -159,6 +159,16 @@ func Replay(n *Node, reqs []Request, opts ReplayOptions) (ReplayStats, error) {
 // NewLiveNode constructs a live TCP node (see package cluster).
 func NewLiveNode(cfg LiveConfig) (*LiveNode, error) { return cluster.NewLiveNode(cfg) }
 
+// NewLiveRing constructs N live TCP nodes wired into one consistent-hash
+// cooperative ring at epoch 1: each node's dirty pages are backed up on
+// the ring successors of their erase block, `replication` distinct
+// members deep. The nodes are returned started but not connected — call
+// ConnectPeer (and StartHeartbeat) on each, as with a pair. See package
+// cluster (ring.go, membership.go).
+func NewLiveRing(cfgs []LiveConfig, replication int) ([]*LiveNode, error) {
+	return cluster.NewLiveRing(cfgs, replication)
+}
+
 // TableIIFlash returns the paper's Table II NAND configuration (4KB pages,
 // 256KB blocks, 4GB die, 25µs/200µs/1.5ms/100µs timings, 100K cycles).
 func TableIIFlash() FlashParams { return flash.TableII() }

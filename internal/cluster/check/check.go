@@ -151,15 +151,42 @@ func (t *Tracker) Valid(lpn int64, data []byte) bool {
 	return false
 }
 
-// copies gathers every copy of lpn the pair currently holds. peer may be
-// nil (crashed partner): only local copies count then.
-func copies(lpn int64, dirty, remote map[int64][]byte, local NodeState) [][]byte {
+// RemoteHolder is the surface a ring backup holder exposes: its per-origin
+// hold snapshot. *cluster.LiveNode satisfies it.
+type RemoteHolder interface {
+	// SnapshotRemoteFor returns the backups this node holds for the named
+	// origin (a member ID) by LPN.
+	SnapshotRemoteFor(origin string) map[int64][]byte
+}
+
+// RingRemotes gathers every live holder's backups for one origin. On a
+// ring the origin's pages are spread across its partners (and, after a
+// membership change, possibly duplicated on former owners with stale
+// versions), so the checkers must consider the union: a copy on ANY
+// holder counts, and the stamp guards make stale duplicates harmless.
+// Nil holders (crashed members) are skipped.
+func RingRemotes(origin string, holders ...RemoteHolder) []map[int64][]byte {
+	out := make([]map[int64][]byte, 0, len(holders))
+	for _, h := range holders {
+		if h == nil {
+			continue
+		}
+		out = append(out, h.SnapshotRemoteFor(origin))
+	}
+	return out
+}
+
+// copies gathers every copy of lpn the cluster currently holds for the
+// tracked node: its dirty buffer, each remote map, and its store.
+func copies(lpn int64, dirty map[int64][]byte, remotes []map[int64][]byte, local NodeState) [][]byte {
 	var out [][]byte
 	if pg := dirty[lpn]; pg != nil {
 		out = append(out, pg)
 	}
-	if pg := remote[lpn]; pg != nil {
-		out = append(out, pg)
+	for _, remote := range remotes {
+		if pg := remote[lpn]; pg != nil {
+			out = append(out, pg)
+		}
 	}
 	if pg := local.DurableGet(lpn); pg != nil {
 		out = append(out, pg)
@@ -172,14 +199,21 @@ func copies(lpn int64, dirty, remote map[int64][]byte, local NodeState) [][]byte
 // partner RCT, and persisted store must hold a tracked value. peer is the
 // partner that backs up local's writes; pass nil when it is down.
 func Durability(t *Tracker, local, peer NodeState) []Violation {
-	dirty := local.SnapshotDirty()
-	remote := map[int64][]byte{}
+	var remotes []map[int64][]byte
 	if peer != nil {
-		remote = peer.SnapshotRemote()
+		remotes = append(remotes, peer.SnapshotRemote())
 	}
+	return DurabilityRemotes(t, local, remotes)
+}
+
+// DurabilityRemotes is Durability over an arbitrary set of backup holders
+// — the ring form, where local's pages are spread across several
+// partners' per-origin holds (see RingRemotes).
+func DurabilityRemotes(t *Tracker, local NodeState, remotes []map[int64][]byte) []Violation {
+	dirty := local.SnapshotDirty()
 	var out []Violation
 	for _, lpn := range t.Pages() {
-		cs := copies(lpn, dirty, remote, local)
+		cs := copies(lpn, dirty, remotes, local)
 		if len(cs) == 0 {
 			out = append(out, Violation{
 				Invariant: "durability", LPN: lpn,
@@ -209,15 +243,31 @@ func Durability(t *Tracker, local, peer NodeState) []Violation {
 // node only issues a discard after persisting the page, so "no backup, no
 // buffer, no store copy" means a discard ran ahead of durability.
 func DiscardSafety(t *Tracker, local, peer NodeState) []Violation {
-	dirty := local.SnapshotDirty()
-	remote := map[int64][]byte{}
+	var remotes []map[int64][]byte
 	if peer != nil {
-		remote = peer.SnapshotRemote()
+		remotes = append(remotes, peer.SnapshotRemote())
 	}
+	return DiscardSafetyRemotes(t, local, remotes)
+}
+
+// DiscardSafetyRemotes is DiscardSafety over an arbitrary set of backup
+// holders (the ring form; see RingRemotes).
+func DiscardSafetyRemotes(t *Tracker, local NodeState, remotes []map[int64][]byte) []Violation {
+	dirty := local.SnapshotDirty()
 	var out []Violation
 	for _, lpn := range t.Pages() {
-		if dirty[lpn] != nil || remote[lpn] != nil {
+		if dirty[lpn] != nil {
 			continue // a live copy exists upstream of the store
+		}
+		held := false
+		for _, remote := range remotes {
+			if remote[lpn] != nil {
+				held = true
+				break
+			}
+		}
+		if held {
+			continue
 		}
 		if pg := local.DurableGet(lpn); pg == nil {
 			out = append(out, Violation{

@@ -335,8 +335,8 @@ func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 	}
 	n.buf.UnlockShard(si)
 	sh.persistMu.Unlock()
-	if len(flushed) > 0 && n.alive.Load() && n.peer != nil {
-		n.enqueueDiscard(flushed, stamps, strms)
+	if len(flushed) > 0 {
+		n.enqueueDiscardRouted(flushed, stamps, strms)
 	}
 	for _, pg := range recycle {
 		n.putPage(pg)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sync/atomic"
 	"time"
 
@@ -12,12 +13,12 @@ import (
 // errNodeClosing aborts forwards caught in a shutdown.
 var errNodeClosing = errors.New("cluster: node closing")
 
-// fwdEntry is one unit of partner traffic queued for the forwarder: a
-// write backup (data non-nil, done non-nil) or a discard (data and done
+// fwdEntry is one unit of partner traffic queued for a link's forwarder:
+// a write backup (data non-nil, done non-nil) or a discard (data and done
 // nil — discards are advisory and never acked to a caller). stamps runs
 // parallel to lpns so the partner can order the frame against backups it
 // already holds; strms (discards only) carries the temperature tag each
-// page was flushed under, so the partner sees the pair's stream
+// page was flushed under, so the partner sees the cluster's stream
 // assignment for every evicted flush that crosses the wire.
 type fwdEntry struct {
 	lpns   []int64
@@ -29,7 +30,8 @@ type fwdEntry struct {
 
 func (e fwdEntry) isDiscard() bool { return e.data == nil }
 
-// forwardLoop is the node's single forwarder goroutine. It drains the
+// forwardLoop is a link's single forwarder goroutine: every partner gets
+// its own instance, queue, and in-flight window. It drains the link's
 // forward queue, group-commits entries into frames (amortizing frames,
 // syscalls, and peer round trips across concurrent writers), and keeps up
 // to MaxInflight frames on the wire — batch k+1 is sent while batch k's
@@ -50,8 +52,9 @@ func (e fwdEntry) isDiscard() bool { return e.data == nil }
 // below the discard's stamp — a reordered pair converges to the same
 // remote state, at worst keeping an already-durable page's backup around
 // until the next discard cleans it.
-func (n *LiveNode) forwardLoop() {
-	defer n.wg.Done()
+func (l *peerLink) forwardLoop() {
+	n := l.n
+	defer l.wg.Done()
 	inflight := make(chan struct{}, n.cfg.MaxInflight)
 	var writes, discards []fwdEntry
 	wpages, dpages := 0, 0
@@ -68,15 +71,15 @@ func (n *LiveNode) forwardLoop() {
 	abort := func() {
 		ackBatch(writes, errNodeClosing)
 		ackBatch(discards, errNodeClosing)
-		n.drainForwardQueue()
+		l.drainForwardQueue()
 	}
 	for {
 		if wpages == 0 && dpages == 0 {
 			select {
-			case <-n.stop:
+			case <-l.stop:
 				abort()
 				return
-			case e := <-n.fwdq:
+			case e := <-l.fwdq:
 				add(e)
 			}
 		}
@@ -88,18 +91,18 @@ func (n *LiveNode) forwardLoop() {
 			// waiting entry and a free slot, and every entry that loses
 			// that coin flip ships as its own tiny frame.
 			select {
-			case e := <-n.fwdq:
+			case e := <-l.fwdq:
 				add(e)
 				continue
 			default:
 			}
 			select {
-			case e := <-n.fwdq:
+			case e := <-l.fwdq:
 				add(e)
 			case inflight <- struct{}{}:
 				acquired = true
 				break collect
-			case <-n.stop:
+			case <-l.stop:
 				abort()
 				return
 			}
@@ -107,7 +110,7 @@ func (n *LiveNode) forwardLoop() {
 		if !acquired {
 			select {
 			case inflight <- struct{}{}:
-			case <-n.stop:
+			case <-l.stop:
 				abort()
 				return
 			}
@@ -117,11 +120,11 @@ func (n *LiveNode) forwardLoop() {
 		// flush pipeline, so under sustained write load the cap is hit
 		// quickly and the advisory stream is never starved outright.
 		if wpages > 0 && dpages < n.cfg.MaxBatchPages {
-			n.sendBatch(writes, inflight)
+			l.sendBatch(writes, inflight)
 			writes, wpages = nil, 0
 			continue
 		}
-		// GC-aware deferral of the non-urgent stream: while the partner
+		// GC-aware deferral of the non-urgent stream: while THIS partner
 		// reports GC pressure, a below-cap discard-only batch is held back
 		// so the advisory traffic does not land on an FTL busy reclaiming.
 		// The hold is bounded (a few ticks, then it ships regardless) and
@@ -129,16 +132,16 @@ func (n *LiveNode) forwardLoop() {
 		// same MaxBatchPages cap as before; correctness never depends on
 		// discard timing — they only free remote buffer space.
 		if dpages < n.cfg.MaxBatchPages && discardDefers < maxDiscardDefers &&
-			n.PeerGCPressure() >= n.cfg.GCDeferThreshold && n.cfg.GCDeferThreshold > 0 {
+			l.gcPressure() >= n.cfg.GCDeferThreshold && n.cfg.GCDeferThreshold > 0 {
 			discardDefers++
 			atomic.AddInt64(&n.stats.DiscardDeferrals, 1)
 			<-inflight // return the slot; nothing is on the wire
 			t := time.NewTimer(n.cfg.GCDrainBackoff)
 			select {
-			case e := <-n.fwdq:
+			case e := <-l.fwdq:
 				add(e)
 			case <-t.C:
-			case <-n.stop:
+			case <-l.stop:
 				t.Stop()
 				abort()
 				return
@@ -146,7 +149,7 @@ func (n *LiveNode) forwardLoop() {
 			t.Stop()
 			continue
 		}
-		n.sendBatch(discards, inflight)
+		l.sendBatch(discards, inflight)
 		discards, dpages = nil, 0
 		discardDefers = 0
 	}
@@ -163,15 +166,16 @@ const maxDiscardDefers = 8
 // the read loop re-enters a blocking read, and on a small GOMAXPROCS
 // they all wait out the syscall handoff. The dedicated waiter keeps ack
 // fanout off the connection's critical path.)
-func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
-	peer := n.peer
-	if peer == nil {
-		<-inflight
-		ackBatch(batch, errNoPeer)
-		return
-	}
+func (l *peerLink) sendBatch(batch []fwdEntry, inflight chan struct{}) {
+	n := l.n
 	msg, chunks := buildBatchMessage(batch)
-	pc, err := peer.startChunks(msg, chunks)
+	// Ring frames carry the sender's identity and ownership epoch so the
+	// receiver files backups per origin and rejects frames routed under a
+	// stale layout; pair frames stay byte-identical to the pre-ring wire.
+	if rs := n.rs.Load(); rs != nil && rs.ring != nil {
+		msg.Origin, msg.Epoch = rs.self, rs.epoch
+	}
+	pc, err := l.client.startChunks(msg, chunks)
 	if err != nil {
 		<-inflight
 		ackBatch(batch, err)
@@ -181,28 +185,32 @@ func (n *LiveNode) sendBatch(batch []fwdEntry, inflight chan struct{}) {
 		atomic.AddInt64(&n.stats.FwdFrames, 1)
 	}
 	t0 := time.Now()
-	n.wg.Add(1)
+	l.wg.Add(1)
 	go func() {
-		defer n.wg.Done()
+		defer l.wg.Done()
 		defer func() { <-inflight }()
-		resp, err := peer.wait(pc)
+		resp, err := l.client.wait(pc)
+		if err == nil && resp.Type == MsgError {
+			err = fmt.Errorf("cluster: forward rejected: %s", resp.Err)
+		}
 		if err == nil && resp.Type != MsgWriteAck && resp.Type != MsgDiscardAck {
 			err = fmt.Errorf("cluster: unexpected forward response %v", resp.Type)
 		}
 		ackBatch(batch, err)
 		// Feed the circuit breaker with the frame's service time: a
 		// partner answering, but so slowly that the inflight window stays
-		// saturated, eventually trips the node to Degraded just as a dead
+		// saturated, eventually trips this link to Degraded just as a dead
 		// partner would (failed frames already degrade via the writer).
-		if err == nil && !batch[0].isDiscard() && n.brk.observe(int64(time.Since(t0))) {
+		if err == nil && !batch[0].isDiscard() && l.brk.observe(int64(time.Since(t0))) {
 			atomic.AddInt64(&n.stats.BreakerTrips, 1)
-			n.mu.Lock()
-			act := n.lc.forwardFailed()
-			n.syncAliveLocked()
-			n.mu.Unlock()
-			n.applyAction(act)
+			l.noteForwardFailed()
 		}
 	}()
+}
+
+// gcPressure reports this partner's last gossiped GC pressure.
+func (l *peerLink) gcPressure() float64 {
+	return math.Float64frombits(l.pressure.Load())
 }
 
 // buildBatchMessage coalesces a same-type batch into one wire message
@@ -271,12 +279,12 @@ func ackBatch(batch []fwdEntry, err error) {
 	}
 }
 
-// drainForwardQueue fails whatever is still queued at shutdown so no
+// drainForwardQueue fails whatever is still queued at link teardown so no
 // Write goroutine is left waiting on an ack that will never come.
-func (n *LiveNode) drainForwardQueue() {
+func (l *peerLink) drainForwardQueue() {
 	for {
 		select {
-		case e := <-n.fwdq:
+		case e := <-l.fwdq:
 			ackBatch([]fwdEntry{e}, errNodeClosing)
 		default:
 			return
@@ -284,17 +292,20 @@ func (n *LiveNode) drainForwardQueue() {
 	}
 }
 
-// enqueueForward queues a write backup and returns its ack channel. A
-// momentarily full queue applies backpressure, but only up to the write
-// deadline: past it the write is shed with ErrOverloaded rather than
-// queueing without bound behind a saturated pipeline. Fails fast during
-// shutdown.
-func (n *LiveNode) enqueueForward(lpns []int64, stamps []uint64, data []byte) (chan error, error) {
+// enqueueForward queues a write backup on this link and returns its ack
+// channel. A momentarily full queue applies backpressure, but only up to
+// the write deadline: past it the write is shed with ErrOverloaded rather
+// than queueing without bound behind a saturated pipeline. Fails fast
+// during shutdown or link removal.
+func (l *peerLink) enqueueForward(lpns []int64, stamps []uint64, data []byte) (chan error, error) {
+	n := l.n
 	done := make(chan error, 1)
 	e := fwdEntry{lpns: lpns, stamps: stamps, data: data, done: done}
 	select {
-	case n.fwdq <- e:
+	case l.fwdq <- e:
 		return done, nil
+	case <-l.stop:
+		return nil, errPeerRemoved
 	case <-n.stop:
 		return nil, errNodeClosing
 	default:
@@ -302,11 +313,13 @@ func (n *LiveNode) enqueueForward(lpns []int64, stamps []uint64, data []byte) (c
 	t := time.NewTimer(n.cfg.WriteDeadline)
 	defer t.Stop()
 	select {
-	case n.fwdq <- e:
+	case l.fwdq <- e:
 		return done, nil
 	case <-t.C:
 		atomic.AddInt64(&n.stats.Overloads, 1)
 		return nil, ErrOverloaded
+	case <-l.stop:
+		return nil, errPeerRemoved
 	case <-n.stop:
 		return nil, errNodeClosing
 	}
@@ -315,10 +328,10 @@ func (n *LiveNode) enqueueForward(lpns []int64, stamps []uint64, data []byte) (c
 // enqueueDiscard queues an advisory discard. It never blocks: when the
 // queue is saturated with write traffic the discard is dropped (counted),
 // which only costs remote buffer space until the next overwrite or clean.
-func (n *LiveNode) enqueueDiscard(lpns []int64, stamps []uint64, strms []stream.Stream) {
+func (l *peerLink) enqueueDiscard(lpns []int64, stamps []uint64, strms []stream.Stream) {
 	select {
-	case n.fwdq <- fwdEntry{lpns: lpns, stamps: stamps, strms: strms}:
+	case l.fwdq <- fwdEntry{lpns: lpns, stamps: stamps, strms: strms}:
 	default:
-		atomic.AddInt64(&n.stats.DiscardDrops, 1)
+		atomic.AddInt64(&l.n.stats.DiscardDrops, 1)
 	}
 }

@@ -32,7 +32,9 @@ func messagesEqual(a, b *Message) bool {
 		bytes.Equal(a.Data, b.Data) &&
 		reflect.DeepEqual(a.Streams, b.Streams) &&
 		pressureEq &&
-		bits(a.Info) == bits(b.Info)
+		bits(a.Info) == bits(b.Info) &&
+		a.Epoch == b.Epoch && a.Origin == b.Origin &&
+		reflect.DeepEqual(a.Members, b.Members)
 }
 
 // fuzzSeedMessages are valid frames covering every field combination, so
@@ -56,6 +58,17 @@ func fuzzSeedMessages() []*Message {
 			Streams: []stream.Stream{stream.Seq}, Pressure: 0.25},
 		{Type: MsgHeartbeat, Seq: 15, Pressure: 1},
 		{Type: MsgHeartbeatAck, Seq: 16, Pressure: math.SmallestNonzeroFloat64},
+		// Ring-mode frames: data-plane traffic stamped with the sender's
+		// identity and ownership epoch, and the membership control frames,
+		// so the fuzzers mutate the second trailing extension too.
+		{Type: MsgWriteFwd, Seq: 17, LPNs: []int64{20}, Stamps: []uint64{4}, Data: []byte("zz"),
+			Origin: "10.0.0.1:7000", Epoch: 3},
+		{Type: MsgDiscard, Seq: 18, LPNs: []int64{21}, Stamps: []uint64{5},
+			Origin: "10.0.0.2:7001", Epoch: ^uint64(0)},
+		{Type: MsgHeartbeat, Seq: 19, Pressure: 0.5, Origin: "10.0.0.3:7002"},
+		{Type: MsgMembership, Seq: 20, Epoch: 7, Origin: "10.0.0.2:7001",
+			Members: []string{"10.0.0.1:7000", "10.0.0.2:7001", "10.0.0.3:7002"}},
+		{Type: MsgMembershipAck, Seq: 21, Epoch: 7},
 	}
 }
 
@@ -188,6 +201,136 @@ func FuzzReadFrameV2(f *testing.F) {
 		}
 		if !messagesEqual(m, m2) {
 			t.Fatalf("v2 round trip changed the message:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeMembership decodes arbitrary bytes as a MsgMembership frame
+// and runs it through the membership validator at several local epochs:
+// the validator must never panic, must reject zero/stale epochs and
+// malformed member lists, and any frame it accepts must satisfy the
+// invariants SetMembers relies on (strictly newer epoch; non-empty,
+// unique, non-empty-string members) and survive a marshal round trip.
+func FuzzDecodeMembership(f *testing.F) {
+	seeds := []*Message{
+		{Type: MsgMembership, Epoch: 2, Members: []string{"10.0.0.1:7000", "10.0.0.2:7001"}},
+		{Type: MsgMembership, Epoch: 9, Origin: "10.0.0.3:7002",
+			Members: []string{"10.0.0.1:7000", "10.0.0.2:7001", "10.0.0.3:7002", "10.0.0.4:7003"}},
+		{Type: MsgMembership, Epoch: 1, Members: []string{"a:1", "a:1"}},        // duplicate
+		{Type: MsgMembership, Epoch: 1, Members: []string{""}},                 // empty ID
+		{Type: MsgMembership, Epoch: 0, Members: []string{"a:1", "b:2"}},       // zero epoch
+		{Type: MsgMembership, Epoch: ^uint64(0), Members: []string{"x:1"}},     // max epoch
+		{Type: MsgMembership, Epoch: 3},                                        // no members
+		{Type: MsgMembership, Epoch: 5, Members: ringMembers(16), Origin: "q"}, // big ring
+	}
+	for _, m := range seeds {
+		b, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unmarshal(data); err != nil {
+			return
+		}
+		m.Type = MsgMembership
+		for _, cur := range []uint64{0, 1, m.Epoch, ^uint64(0)} {
+			err := checkMembership(&m, cur)
+			if err != nil {
+				continue
+			}
+			if m.Epoch == 0 || m.Epoch <= cur {
+				t.Fatalf("validator accepted epoch %d at current %d", m.Epoch, cur)
+			}
+			if len(m.Members) == 0 {
+				t.Fatal("validator accepted empty member list")
+			}
+			seen := map[string]bool{}
+			for _, id := range m.Members {
+				if id == "" {
+					t.Fatal("validator accepted empty member ID")
+				}
+				if seen[id] {
+					t.Fatalf("validator accepted duplicate member %q", id)
+				}
+				seen[id] = true
+			}
+		}
+		b, err := m.Marshal()
+		if err != nil {
+			t.Fatalf("decoded membership frame failed to re-marshal: %v", err)
+		}
+		var m2 Message
+		if err := m2.Unmarshal(b); err != nil {
+			t.Fatalf("re-marshaled membership frame failed to decode: %v", err)
+		}
+		if !messagesEqual(&m, &m2) {
+			t.Fatalf("round trip changed the frame:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeEpoch decodes arbitrary bytes as a MsgWriteFwd frame and feeds
+// it to a node sitting at a nonzero ownership epoch: the epoch gate plus
+// the stamp-guarded backup insert must never panic, must answer every
+// frame with write-ack or error, and must never ack a frame routed under
+// a stale epoch — that is the invariant that keeps late traffic from a
+// previous ring layout out of the backup holds.
+func FuzzDecodeEpoch(f *testing.F) {
+	const curEpoch = 5
+	dev, err := ssd.New(liveSSD())
+	if err != nil {
+		f.Fatal(err)
+	}
+	// A bare node, as in FuzzDecodeResync: the epoch gate and backup
+	// insert only need the hold side. RemotePages bounds the per-origin
+	// holds fuzzed Origins create.
+	n := &LiveNode{
+		dev:         dev,
+		remote:      core.NewRemoteStore(128),
+		remoteData:  make(map[int64][]byte),
+		remoteStamp: make(map[int64]uint64),
+	}
+	n.cfg.RemotePages = 128
+	n.pageSize = dev.PageSize()
+	n.pagePool.New = func() any { return make([]byte, n.pageSize) }
+	n.epochA.Store(curEpoch)
+
+	ps := dev.PageSize()
+	fresh := &Message{Type: MsgWriteFwd, LPNs: []int64{0}, Stamps: []uint64{1}, Data: make([]byte, ps),
+		Origin: "10.0.0.1:7000", Epoch: curEpoch}
+	newer := &Message{Type: MsgWriteFwd, LPNs: []int64{1}, Stamps: []uint64{2}, Data: make([]byte, ps),
+		Origin: "10.0.0.1:7000", Epoch: curEpoch + 3}
+	stale := &Message{Type: MsgWriteFwd, LPNs: []int64{2}, Stamps: []uint64{3}, Data: make([]byte, ps),
+		Origin: "10.0.0.2:7001", Epoch: curEpoch - 1}
+	pair := &Message{Type: MsgWriteFwd, LPNs: []int64{3}, Stamps: []uint64{4}, Data: make([]byte, ps)}
+	for _, m := range []*Message{fresh, newer, stale, pair} {
+		b, err := m.Marshal()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := m.Unmarshal(data); err != nil {
+			return
+		}
+		m.Type = MsgWriteFwd
+		resp := n.handle(&m)
+		if resp == nil {
+			t.Fatal("handler returned no response")
+		}
+		switch resp.Type {
+		case MsgWriteAck:
+			if m.Epoch != 0 && m.Epoch < curEpoch {
+				t.Fatalf("stale epoch %d acked at current %d", m.Epoch, curEpoch)
+			}
+		case MsgError:
+		default:
+			t.Fatalf("forward frame answered with %v, want write-ack or error", resp.Type)
 		}
 	})
 }

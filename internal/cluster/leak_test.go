@@ -98,3 +98,114 @@ func TestNoLeakRecoverFromPeerError(t *testing.T) {
 
 	verify()
 }
+
+// ringForLeak builds an n-node ring the leak tests tear down themselves
+// (no t.Cleanup — the verifier must run after the last Close).
+func ringForLeak(t *testing.T, n int) []*LiveNode {
+	t.Helper()
+	cfgs := make([]LiveConfig, n)
+	for i := range cfgs {
+		cfgs[i] = LiveConfig{
+			Name: "lk", ListenAddr: "127.0.0.1:0",
+			BufferPages: 16, RemotePages: 64, SSD: liveSSD(),
+			HeartbeatInterval: 5 * time.Millisecond,
+			FailureThreshold:  2,
+			CallTimeout:       100 * time.Millisecond,
+		}
+	}
+	nodes, err := NewLiveRing(cfgs, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nodes
+}
+
+// TestNoLeakRingCloseRace closes a whole ring at staggered points after
+// startup: every member's per-link goroutine set (N-1 forwarders, peer
+// clients, heartbeat monitor, probers mid-backoff) must wind down whether
+// the node barely started or is in steady state.
+func TestNoLeakRingCloseRace(t *testing.T) {
+	verify := testutil.CheckGoroutineLeak(t)
+	for _, delay := range []time.Duration{0, 10 * time.Millisecond, 50 * time.Millisecond} {
+		nodes := ringForLeak(t, 3)
+		for _, m := range nodes {
+			if err := m.ConnectPeer(); err != nil {
+				t.Fatal(err)
+			}
+			m.StartHeartbeat()
+		}
+		// Kill one member first so the survivors' links to it degrade and
+		// spin up probers; their backoff loops must also obey Close.
+		nodes[2].Crash()
+		time.Sleep(delay)
+		for _, m := range nodes[:2] {
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	verify()
+}
+
+// TestNoLeakRingMemberRemoval removes a ring member by membership change —
+// including a member that is down with probers chasing it and degraded
+// writes journaled for it — and verifies the departed link's forwarder,
+// prober, and client goroutines are reaped by the removal itself, not
+// only by node shutdown.
+func TestNoLeakRingMemberRemoval(t *testing.T) {
+	verify := testutil.CheckGoroutineLeak(t)
+	nodes := ringForLeak(t, 4)
+	for _, m := range nodes {
+		if err := m.ConnectPeer(); err != nil {
+			t.Fatal(err)
+		}
+		m.StartHeartbeat()
+	}
+	ps := nodes[0].Device().PageSize()
+
+	// Healthy removal: drop nodes[3] from the layout. ProposeMembership
+	// tells every surviving member; each must halt and reap its link.
+	survivors := []string{nodes[0].Addr(), nodes[1].Addr(), nodes[2].Addr()}
+	if _, err := nodes[0].ProposeMembership(survivors); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range nodes[:3] {
+		if got := len(m.PeerStates()); got != 2 {
+			t.Fatalf("node %s still tracks %d links, want 2", m.cfg.Name, got)
+		}
+	}
+	if err := nodes[3].Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Down-member removal: crash nodes[2], let the survivors degrade and
+	// start probing it, journal some degraded writes against it, then
+	// remove it. The halt must stop a prober mid-backoff and abandon the
+	// journal without wedging.
+	nodes[2].Crash()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		st := nodes[0].PeerStates()[nodes[2].Addr()]
+		if st == StateDegraded || st == StateProbing || st == StateResyncing {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for blk := 0; blk < 8; blk++ {
+		if err := nodes[0].Write(int64(blk*nodes[0].ppb), page(0xAA, ps)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := nodes[0].ProposeMembership([]string{nodes[0].Addr(), nodes[1].Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(nodes[0].PeerStates()); got != 1 {
+		t.Fatalf("node 0 still tracks %d links, want 1", got)
+	}
+	for _, m := range nodes[:2] {
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	verify()
+}

@@ -24,7 +24,24 @@ import (
 type LiveConfig struct {
 	Name       string
 	ListenAddr string // e.g. "127.0.0.1:0"
-	PeerAddr   string // partner address; empty starts degraded
+	PeerAddr   string // pair-mode partner address; empty starts degraded
+
+	// Peers, when set, wires the node into an N-node cooperative ring at
+	// epoch 1 instead of a fixed pair: the list is the full membership —
+	// every member's partner listen address, INCLUDING this node's own
+	// (see NodeID) — and each page's backup owners are chosen by hashing
+	// its erase block onto a consistent-hash ring over the list (see
+	// ring.go). Mutually exclusive with PeerAddr.
+	Peers []string
+	// NodeID is this node's ring member ID; it must match the entry in
+	// Peers that refers to this node. Defaults to the bound listen address
+	// (fine when ListenAddr is concrete; with ":0" pass the advertised
+	// address explicitly).
+	NodeID string
+	// Replication is how many distinct ring members back up each dirty
+	// page (clamped to len(members)-1). Default 1 — the pair-equivalent
+	// protection level, generalized to N nodes.
+	Replication int
 
 	Policy      string // "lar", "lru", "lfu", "bplru", "fab", "lbclock"
 	BufferPages int
@@ -208,6 +225,9 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	if c.GCDrainBackoff == 0 {
 		c.GCDrainBackoff = 500 * time.Microsecond
 	}
+	if c.Replication <= 0 {
+		c.Replication = 1
+	}
 	return c
 }
 
@@ -256,6 +276,10 @@ type LiveStats struct {
 	// Overload counters.
 	Overloads    int64 // writes shed with ErrOverloaded
 	BreakerTrips int64 // circuit-breaker trips to Degraded on saturated forwards
+
+	// Ring membership counters (see membership.go).
+	EpochRejects      int64 // data-plane frames rejected for a stale ownership epoch
+	MembershipChanges int64 // SetMembers reconfigurations applied
 }
 
 // LatencyStats summarizes a latency distribution; quantiles are in
@@ -274,7 +298,6 @@ type liveShard struct {
 	dirtyData  map[int64][]byte    // payloads of locally buffered dirty pages
 	dirtyStamp map[int64]uint64    // write stamps of those pages
 	inflight   map[int64]flushPage // evicted pages pinned until the evictor persists them
-	outage     map[int64]uint64    // degraded-write journal bucket: lpn → stamp at write-through
 	evictq     chan flushJob       // this shard's flush pipeline
 
 	// persistMu serializes every durable-store mutation for this shard's
@@ -314,46 +337,57 @@ type LiveNode struct {
 	dev      *ssd.Device
 	pageSize int
 
-	// mu guards the partner-facing state: the remote (RCT) store and its
-	// payload/stamp maps, and the peer lifecycle machine. Lock ordering:
-	// a shard lock may be taken before n.mu (degraded writes journal under
-	// both); n.mu must never wait on a shard lock.
-	mu            sync.Mutex
-	remote        *core.RemoteStore
-	remoteData    map[int64][]byte // payloads backed up for the partner
-	remoteStamp   map[int64]uint64 // write stamps of those backups
-	lc            lifecycle        // peer lifecycle state machine (see lifecycle.go)
-	proberRunning bool
-	closing       bool // set by shutdown before stop closes; gates prober starts
+	// mu guards the partner-facing state: the per-origin backup holds,
+	// every link's lifecycle machine and degraded-write journal, and the
+	// membership fields (links/ring/epoch/members). Lock ordering: a shard
+	// lock may be taken before n.mu (degraded writes journal under both);
+	// n.mu must never wait on a shard lock.
+	mu      sync.Mutex
+	closing bool // set by shutdown before stop closes; gates prober starts
 
-	// alive mirrors lc.alive() so the write hot path reads one atomic
-	// instead of taking n.mu; it is updated inside every critical section
-	// that feeds the lifecycle an event (syncAliveLocked).
+	// Partner links and ring layout (all guarded by n.mu; hot paths read
+	// the immutable snapshot in rs instead). Pair mode is links of length
+	// one with ring nil and epoch 0; ring mode carries the full sorted
+	// member list including selfID.
+	links   []*peerLink
+	ring    *Ring
+	epoch   uint64
+	members []string
+	selfID  string
+
+	// rs is the atomic routing snapshot (see peerlink.go); epochA mirrors
+	// epoch so the serve loop's stale-frame check never takes n.mu.
+	rs     atomic.Pointer[ringState]
+	epochA atomic.Uint64
+
+	// Per-origin backup holds. The default hold (defHold, lazily built)
+	// aliases the legacy remote/remoteData/remoteStamp fields and serves
+	// pair-mode partners, whose frames carry no origin; ring partners get
+	// their own hold in remotes, keyed by member ID, with the remote-page
+	// budget split across them by observed write intensity (rebalance.go).
+	remote      *core.RemoteStore
+	remoteData  map[int64][]byte // payloads backed up for the pair partner
+	remoteStamp map[int64]uint64 // write stamps of those backups
+	defHold     *remoteHold
+	remotes     map[string]*remoteHold
+
+	// alive aggregates the links' lifecycle states (all links alive) so
+	// pair-mode callers of PeerAlive read one atomic; per-link routing
+	// reads each link's own alive mirror. Updated by syncAliveLocked
+	// inside every critical section that fed a lifecycle an event.
 	alive atomic.Bool
-
-	// outageLen tracks journal entries across all shard buckets. Inserts
-	// from degraded writers happen with n.mu held so the resync stream's
-	// "journal empty → flip Healthy" check stays race-free (resync.go).
-	outageLen atomic.Int64
 
 	winReads  atomic.Int64 // workload window for dynamic allocation
 	winWrites atomic.Int64
 
-	// localPressure / peerPressure cache GC-pressure readings as float
-	// bits: local is refreshed under devMu whenever the device is touched
-	// (and on each heartbeat), peer is whatever the partner last gossiped
-	// on a heartbeat or its ack. Atomics, so the evictor's drain check and
-	// the forwarder's deferral check never take a lock.
+	// localPressure caches this node's GC-pressure reading as float bits,
+	// refreshed under devMu whenever the device is touched (and on each
+	// heartbeat); each link's pressure atomic holds what that partner last
+	// gossiped. Atomics, so the evictor's drain check and the forwarders'
+	// deferral checks never take a lock.
 	localPressure atomic.Uint64
-	peerPressure  atomic.Uint64
 
-	// resyncMu serializes rejoin attempts: the background prober and an
-	// explicit ConnectPeer may race, and only one of them may own the
-	// Probing→Resyncing→Healthy walk at a time.
-	resyncMu  sync.Mutex
-	probeKick chan struct{} // buffered(1): wakes the prober out of its backoff sleep
-	admit     chan struct{} // write admission semaphore (AdmissionLimit slots)
-	brk       breaker
+	admit chan struct{} // write admission semaphore (AdmissionLimit slots)
 
 	stats    LiveStats // atomic access only
 	pagePool sync.Pool // page-size []byte buffers for dirtyData/remoteData
@@ -361,10 +395,8 @@ type LiveNode struct {
 	writeLat *metrics.StripedLatencyHist // full Write latency, ms
 	fwdLat   *metrics.StripedLatencyHist // forward enqueue-to-ack latency, ms
 
-	fwdq chan fwdEntry
-
 	ln        net.Listener
-	peer      *peerClient
+	ppb       int // device pages per erase block (block routing granularity)
 	start     time.Time
 	stop      chan struct{}
 	stopOnce  sync.Once
@@ -412,20 +444,21 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		store:       store,
 		dev:         dev,
 		pageSize:    dev.PageSize(),
+		ppb:         dev.PagesPerBlock(),
 		remote:      core.NewRemoteStore(cfg.RemotePages),
 		remoteData:  make(map[int64][]byte),
 		remoteStamp: make(map[int64]uint64),
-		lc:          lifecycle{state: StateDegraded, threshold: cfg.FailureThreshold},
-		probeKick:   make(chan struct{}, 1),
 		admit:       make(chan struct{}, cfg.AdmissionLimit),
-		brk:         breaker{threshold: int64(cfg.BreakerThreshold), window: int32(cfg.BreakerWindow)},
 		writeLat:    metrics.NewStripedLatencyHist(ns),
 		fwdLat:      metrics.NewStripedLatencyHist(ns),
-		fwdq:        make(chan fwdEntry, cfg.ForwardQueue),
 		ln:          ln,
 		start:       time.Now(),
 		stop:        make(chan struct{}),
 		conns:       make(map[net.Conn]struct{}),
+	}
+	n.selfID = cfg.NodeID
+	if n.selfID == "" {
+		n.selfID = ln.Addr().String()
 	}
 	n.stampCtr.Store(store.maxStamp())
 	for i := range n.shards {
@@ -433,15 +466,11 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 			dirtyData:  make(map[int64][]byte),
 			dirtyStamp: make(map[int64]uint64),
 			inflight:   make(map[int64]flushPage),
-			outage:     make(map[int64]uint64),
 			evictq:     make(chan flushJob, cfg.EvictQueue),
 		}
 	}
 	ps := dev.PageSize()
 	n.pagePool.New = func() any { return make([]byte, ps) }
-	if cfg.PeerAddr != "" {
-		n.peer = newPeerClient(cfg.PeerAddr, cfg.CallTimeout, cfg.Dialer)
-	}
 	if cfg.DataDir != "" && cfg.SyncWrites && cfg.SyncInterval >= 0 {
 		// The coordinator lives on n.stop, which Close only fires after
 		// FlushAll — so shutdown-path persists still group-commit.
@@ -449,11 +478,18 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		n.wg.Add(1)
 		go n.gc.run(&n.wg)
 	}
-	n.wg.Add(2 + ns)
+	n.wg.Add(1 + ns)
 	go n.acceptLoop()
-	go n.forwardLoop()
 	for i := 0; i < ns; i++ {
 		go n.evictLoop(i)
+	}
+	if cfg.PeerAddr != "" {
+		n.SetPeer(cfg.PeerAddr)
+	} else if len(cfg.Peers) > 0 {
+		if err := n.SetMembers(1, cfg.Peers); err != nil {
+			n.Close()
+			return nil, err
+		}
 	}
 	return n, nil
 }
@@ -495,10 +531,16 @@ func (n *LiveNode) localGCPressure() float64 {
 	return math.Float64frombits(n.localPressure.Load())
 }
 
-// PeerGCPressure reports the partner's last gossiped GC pressure in [0,1]
-// (0 until the first heartbeat exchange).
+// PeerGCPressure reports the highest GC pressure any partner last
+// gossiped, in [0,1] (0 until the first heartbeat exchange).
 func (n *LiveNode) PeerGCPressure() float64 {
-	return math.Float64frombits(n.peerPressure.Load())
+	var max float64
+	for _, l := range n.linksSnapshot() {
+		if p := math.Float64frombits(l.pressure.Load()); p > max {
+			max = p
+		}
+	}
+	return max
 }
 
 // GCPressure reports the node's own current GC pressure in [0,1],
@@ -563,6 +605,8 @@ func (n *LiveNode) Stats() LiveStats {
 		JournalDrops:       atomic.LoadInt64(&n.stats.JournalDrops),
 		Overloads:          atomic.LoadInt64(&n.stats.Overloads),
 		BreakerTrips:       atomic.LoadInt64(&n.stats.BreakerTrips),
+		EpochRejects:       atomic.LoadInt64(&n.stats.EpochRejects),
+		MembershipChanges:  atomic.LoadInt64(&n.stats.MembershipChanges),
 	}
 }
 
@@ -587,23 +631,44 @@ func (n *LiveNode) recordLatency(h *metrics.StripedLatencyHist, since time.Time)
 	h.Add(float64(time.Since(since)) / float64(time.Millisecond))
 }
 
-// PeerAlive reports whether cooperative buffering is currently on:
-// Healthy, or Suspect with the session still live. A node that failed
-// over stays not-alive until a resync completes, however many heartbeats
-// succeed in between.
+// PeerAlive reports whether cooperative buffering is currently on with
+// EVERY partner: each link Healthy, or Suspect with its session still
+// live. A link that failed over stays not-alive until a resync completes,
+// however many heartbeats succeed in between. With one link (pair mode)
+// this is exactly the pre-ring semantics.
 func (n *LiveNode) PeerAlive() bool { return n.alive.Load() }
 
-// PeerLifecycle reports the partner lifecycle state.
+// PeerLifecycle reports the partner lifecycle state: with one link, that
+// link's state; with several, Healthy only when all are Healthy, else the
+// first non-healthy link's state (per-link detail is in PeerStates).
 func (n *LiveNode) PeerLifecycle() PeerState {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.lc.state
+	if len(n.links) == 0 {
+		return StateDegraded
+	}
+	for _, l := range n.links {
+		if l.lc.state != StateHealthy {
+			return l.lc.state
+		}
+	}
+	return StateHealthy
 }
 
-// syncAliveLocked refreshes the hot-path alive mirror; it must be called
-// before releasing n.mu in every critical section that fed the lifecycle
-// an event.
-func (n *LiveNode) syncAliveLocked() { n.alive.Store(n.lc.alive()) }
+// syncAliveLocked refreshes every link's hot-path alive mirror and the
+// aggregate; it must be called before releasing n.mu in every critical
+// section that fed a lifecycle an event (or changed the link set).
+func (n *LiveNode) syncAliveLocked() {
+	all := len(n.links) > 0
+	for _, l := range n.links {
+		a := l.lc.alive()
+		l.alive.Store(a)
+		if !a {
+			all = false
+		}
+	}
+	n.alive.Store(all)
+}
 
 // Device exposes the timing/wear model. The node serializes its own
 // accesses internally; external callers should treat it as read-only
@@ -647,27 +712,36 @@ func (n *LiveNode) vnow() sim.VTime { return sim.FromDuration(time.Since(n.start
 // errNoPeer is returned by partner operations on a solo node.
 var errNoPeer = errors.New("cluster: no peer configured")
 
-// ConnectPeer dials the partner, performs the hello exchange, and walks
-// the lifecycle to Healthy — including a resync of any degraded-write
-// journal, so a reconnect after an outage never skips re-replication.
+// ConnectPeer dials every partner, performs the hello exchange, and walks
+// each link's lifecycle to Healthy — including a resync of any degraded-
+// write journal, so a reconnect after an outage never skips
+// re-replication. Returns the first error; remaining links are still
+// attempted (their probers retry the stragglers).
 func (n *LiveNode) ConnectPeer() error {
-	if n.peer == nil {
+	links := n.linksSnapshot()
+	if len(links) == 0 {
 		return errNoPeer
 	}
-	n.mu.Lock()
-	healthy := n.lc.state == StateHealthy
-	n.mu.Unlock()
-	if healthy {
-		return nil
+	var firstErr error
+	for _, l := range links {
+		n.mu.Lock()
+		healthy := l.lc.state == StateHealthy
+		n.mu.Unlock()
+		if healthy {
+			continue
+		}
+		resp, err := l.client.call(&Message{Type: MsgHello})
+		if err == nil && resp.Type != MsgHelloAck {
+			err = fmt.Errorf("cluster: unexpected hello response %v", resp.Type)
+		}
+		if err == nil {
+			err = l.rejoin()
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
-	resp, err := n.peer.call(&Message{Type: MsgHello})
-	if err != nil {
-		return err
-	}
-	if resp.Type != MsgHelloAck {
-		return fmt.Errorf("cluster: unexpected hello response %v", resp.Type)
-	}
-	return n.rejoin()
+	return firstErr
 }
 
 // StartHeartbeat launches the background availability monitor.
@@ -689,54 +763,44 @@ func (n *LiveNode) StartHeartbeat() {
 }
 
 func (n *LiveNode) heartbeatOnce() {
-	if n.peer == nil {
+	links := n.linksSnapshot()
+	if len(links) == 0 {
 		return
 	}
-	atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
-	// Each heartbeat carries this node's GC pressure and brings back the
-	// partner's: the gossip that drives GC-aware drain scheduling rides
-	// the existing liveness exchange, no extra round trips.
-	resp, err := n.peer.call(&Message{Type: MsgHeartbeat, Pressure: n.GCPressure()})
-	if err == nil {
-		n.peerPressure.Store(math.Float64bits(resp.Pressure))
+	// One GC-pressure reading covers the whole round.
+	pressure := n.GCPressure()
+	origin := ""
+	if rs := n.rs.Load(); rs != nil && rs.ring != nil {
+		origin = rs.self
 	}
-	n.mu.Lock()
-	var act lcAction
-	if err == nil {
-		act = n.lc.heartbeatOK()
-	} else {
-		atomic.AddInt64(&n.stats.HeartbeatMisses, 1)
-		before := n.lc.state
-		act = n.lc.heartbeatMiss()
-		if before == StateHealthy && n.lc.state != StateHealthy {
-			atomic.AddInt64(&n.stats.Suspects, 1)
+	for _, l := range links {
+		atomic.AddInt64(&n.stats.HeartbeatsSent, 1)
+		// Each heartbeat carries this node's GC pressure and brings back
+		// the partner's: the gossip that drives GC-aware drain scheduling
+		// rides the existing liveness exchange, no extra round trips.
+		resp, err := l.client.call(&Message{Type: MsgHeartbeat, Pressure: pressure, Origin: origin})
+		if err == nil {
+			l.pressure.Store(math.Float64bits(resp.Pressure))
 		}
-	}
-	n.syncAliveLocked()
-	n.mu.Unlock()
-	n.applyAction(act)
-}
-
-// applyAction executes the side effect a lifecycle event demanded; it must
-// be called without n.mu held.
-func (n *LiveNode) applyAction(act lcAction) {
-	switch act {
-	case lcFailover:
-		atomic.AddInt64(&n.stats.Failovers, 1)
-		n.startProber()
-		// Remote failure: buffered dirty data has lost its backup;
-		// make it durable immediately (paper Section III.D).
-		if err := n.FlushAll(); err != nil {
-			// The flush failing is unrecoverable state-wise; the
-			// data stays dirty and will be retried on next write.
-			_ = err
+		n.mu.Lock()
+		if l.removed {
+			n.mu.Unlock()
+			continue
 		}
-	case lcKickProbe:
-		n.startProber()
-		select {
-		case n.probeKick <- struct{}{}:
-		default:
+		var act lcAction
+		if err == nil {
+			act = l.lc.heartbeatOK()
+		} else {
+			atomic.AddInt64(&n.stats.HeartbeatMisses, 1)
+			before := l.lc.state
+			act = l.lc.heartbeatMiss()
+			if before == StateHealthy && l.lc.state != StateHealthy {
+				atomic.AddInt64(&n.stats.Suspects, 1)
+			}
 		}
+		n.syncAliveLocked()
+		n.mu.Unlock()
+		n.applyLinkAction(l, act)
 	}
 }
 
@@ -796,41 +860,85 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 		n.enqueueFlush(run.Shard, jobs)
 	}
 
-	if n.alive.Load() && n.peer != nil {
-		tf := time.Now()
-		done, ferr := n.enqueueForward(lpns, stamps, data)
-		if ferr == nil {
-			// Also watch n.stop: an entry enqueued as the forwarder exits
-			// would otherwise wait forever for an ack nobody sends.
-			select {
-			case ferr = <-done:
-			case <-n.stop:
-				ferr = errNodeClosing
+	// Forward phase: plan the write's pages onto their owner links (the
+	// single partner in pair mode; the ring successors of each page's
+	// erase block in ring mode), enqueue one group per live owner, then
+	// wait for EVERY group's ack — the payload slices ride to the socket
+	// by reference, so no frame may still be in flight when Write returns.
+	rs := n.rs.Load()
+	var targets map[int64][]*peerLink
+	if rs != nil {
+		groups, tgs := n.planForward(rs, lpns)
+		targets = tgs
+		if len(groups) > 0 {
+			tf := time.Now()
+			dones := make([]chan error, len(groups))
+			for gi, g := range groups {
+				gl, gs, gd := g.finalize(lpns, stamps, data, ps)
+				done, ferr := g.link.enqueueForward(gl, gs, gd)
+				if ferr != nil {
+					g.err = ferr
+					continue
+				}
+				dones[gi] = done
+			}
+			for gi, g := range groups {
+				if dones[gi] == nil {
+					continue
+				}
+				// Also watch n.stop: an entry enqueued as a forwarder exits
+				// would otherwise wait forever for an ack nobody sends.
+				select {
+				case g.err = <-dones[gi]:
+				case <-n.stop:
+					g.err = errNodeClosing
+				}
+			}
+			overloaded, failed := false, false
+			for _, g := range groups {
+				switch {
+				case g.err == nil:
+				case errors.Is(g.err, ErrOverloaded):
+					overloaded = true
+				default:
+					failed = true
+				}
+			}
+			if overloaded {
+				// Shedding is not a peer failure: the partners are fine, we
+				// are saturated. The write fails fast unacked (its pages stay
+				// dirty locally and get persisted by normal eviction).
+				return ErrOverloaded
+			}
+			if !failed && targets == nil {
+				atomic.AddInt64(&n.stats.Forwards, 1)
+				n.recordLatency(n.fwdLat, tf)
+				n.recordLatency(n.writeLat, t0)
+				return nil
+			}
+			if failed {
+				atomic.AddInt64(&n.stats.ForwardFailures, 1)
+				for _, g := range groups {
+					if g.err == nil {
+						continue
+					}
+					g.link.noteForwardFailed()
+					if targets == nil {
+						targets = make(map[int64][]*peerLink)
+					}
+					for _, idx := range g.idxs {
+						targets[lpns[idx]] = append(targets[lpns[idx]], g.link)
+					}
+				}
 			}
 		}
-		if ferr == nil {
-			atomic.AddInt64(&n.stats.Forwards, 1)
-			n.recordLatency(n.fwdLat, tf)
-			n.recordLatency(n.writeLat, t0)
-			return nil
-		}
-		if errors.Is(ferr, ErrOverloaded) {
-			// Shedding is not a peer failure: the partner is fine, we are
-			// saturated. The write fails fast unacked (its page stays
-			// dirty locally and gets persisted by normal eviction).
-			return ferr
-		}
-		atomic.AddInt64(&n.stats.ForwardFailures, 1)
-		n.mu.Lock()
-		act := n.lc.forwardFailed()
-		n.syncAliveLocked()
-		n.mu.Unlock()
-		n.applyAction(act)
 	}
-	// Degraded mode: no backup exists, write through synchronously — and
-	// journal the pages so the resync stream re-replicates them on rejoin.
+	// Degraded mode: pages whose owners are down (or whose forward just
+	// failed) have no backup; write the request through synchronously —
+	// and journal those pages into each missing owner's per-link journal
+	// so its resync stream re-replicates them on rejoin.
 	for _, run := range runs {
-		if err := n.writeThroughRun(run, lpn, stamps); err != nil {
+		if err := n.writeThroughRun(run, lpn, stamps, targets); err != nil {
 			return err
 		}
 	}
@@ -839,12 +947,12 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 }
 
 // writeThroughRun synchronously persists one shard run of a degraded
-// write and journals it for the next resync. The pages are found in the
-// shard's dirty map — or, if a concurrent access evicted them between the
-// buffering phase and here, pinned in the inflight map; both are this
-// write's (or a newer) version and both must be durable before the write
-// is acked without a backup.
-func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uint64) error {
+// write and journals it for the next resync of each link in targets. The
+// pages are found in the shard's dirty map — or, if a concurrent access
+// evicted them between the buffering phase and here, pinned in the
+// inflight map; both are this write's (or a newer) version and both must
+// be durable before the write is acked without a full backup set.
+func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uint64, targets map[int64][]*peerLink) error {
 	sh := &n.shards[run.Shard]
 	sh.persistMu.Lock()
 	defer sh.persistMu.Unlock()
@@ -876,17 +984,19 @@ func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uin
 			delete(sh.inflight, fp.lpn)
 		}
 	}
-	// Journal every page of the run under n.mu so no insert can race the
-	// resync stream's empty-check+flip critical section. Pages persisted
-	// by a concurrent eviction moments ago still need the journal entry —
-	// their backup never reached the partner either.
-	n.mu.Lock()
-	if n.peer != nil && !n.lc.alive() {
+	// Journal every targeted page of the run under n.mu so no insert can
+	// race a resync stream's empty-check+flip critical section. Pages
+	// persisted by a concurrent eviction moments ago still need the
+	// journal entry — their backup never reached that partner either.
+	if len(targets) > 0 {
+		n.mu.Lock()
 		for p := run.LPN; p < run.LPN+int64(run.Pages); p++ {
-			n.journalShardLocked(sh, p, stamps[p-base])
+			for _, l := range targets[p] {
+				n.journalLinkLocked(l, p, stamps[p-base])
+			}
 		}
+		n.mu.Unlock()
 	}
-	n.mu.Unlock()
 	return err
 }
 
@@ -1017,12 +1127,33 @@ func (n *LiveNode) FlushAll() error {
 // through degraded mode, and a blind recovery would roll acknowledged
 // writes back to those stale versions.
 func (n *LiveNode) RecoverFromPeer() error {
-	if n.peer == nil {
+	links := n.linksSnapshot()
+	if len(links) == 0 {
 		return errNoPeer
 	}
-	// The RCT fetch moves the partner's whole remote buffer in one frame;
+	// Ring partners file this node's backups under its member ID; the
+	// fetch names it so each holder returns OUR hold, not someone else's.
+	origin := ""
+	if rs := n.rs.Load(); rs != nil && rs.ring != nil {
+		origin = rs.self
+	}
+	var firstErr error
+	for _, l := range links {
+		// Every holder is drained even when one fails (the stamp guard
+		// makes overlapping applies safe in any order); the first error is
+		// reported so the caller knows recovery may be partial.
+		if err := n.recoverFromLink(l, origin); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// recoverFromLink fetches, applies, and cleans one holder's backup set.
+func (n *LiveNode) recoverFromLink(l *peerLink, origin string) error {
+	// The RCT fetch moves the holder's whole remote buffer in one frame;
 	// budget it as a bulk transfer, not a per-page call.
-	resp, err := n.peer.callT(&Message{Type: MsgFetchRCT}, n.cfg.BulkTimeout)
+	resp, err := l.client.callT(&Message{Type: MsgFetchRCT, Origin: origin}, n.cfg.BulkTimeout)
 	if err != nil {
 		return err
 	}
@@ -1076,7 +1207,7 @@ func (n *LiveNode) RecoverFromPeer() error {
 	if err := n.store.flush(); err != nil {
 		return err
 	}
-	_, err = n.peer.callT(&Message{Type: MsgCleanRemote}, n.cfg.BulkTimeout)
+	_, err = l.client.callT(&Message{Type: MsgCleanRemote, Origin: origin}, n.cfg.BulkTimeout)
 	return err
 }
 
@@ -1085,10 +1216,23 @@ func (n *LiveNode) Close() error {
 	err := n.FlushAll()
 	n.shutdown()
 	n.wg.Wait()
+	n.waitLinks()
 	if cerr := n.closeStore(); err == nil {
 		err = cerr
 	}
 	return err
+}
+
+// waitLinks reaps every link's goroutines (forwarder, prober, in-flight
+// ack waiters) after shutdown halted them. The link set is static by now:
+// closing (set under n.mu before the halt) gates SetMembers and SetPeer.
+func (n *LiveNode) waitLinks() {
+	n.mu.Lock()
+	links := append([]*peerLink(nil), n.links...)
+	n.mu.Unlock()
+	for _, l := range links {
+		l.wg.Wait()
+	}
 }
 
 // Crash simulates an abrupt failure: all networking stops and NOTHING is
@@ -1099,6 +1243,7 @@ func (n *LiveNode) Close() error {
 func (n *LiveNode) Crash() {
 	n.shutdown()
 	n.wg.Wait()
+	n.waitLinks()
 	n.closeStore()
 }
 
@@ -1109,14 +1254,15 @@ func (n *LiveNode) closeStore() error {
 	return n.storeErr
 }
 
-// shutdown stops the listener, all accepted connections, the forwarder,
-// the evictors, and the peer client; it is safe to call more than once.
+// shutdown stops the listener, all accepted connections, the evictors,
+// and every partner link; it is safe to call more than once.
 func (n *LiveNode) shutdown() {
 	n.stopOnce.Do(func() {
 		// Mark closing under the mutex first so no new prober goroutine
-		// can wg.Add after wg.Wait has started.
+		// (or membership change) can wg.Add after wg.Wait has started.
 		n.mu.Lock()
 		n.closing = true
+		links := append([]*peerLink(nil), n.links...)
 		n.mu.Unlock()
 		close(n.stop)
 		n.ln.Close()
@@ -1125,8 +1271,8 @@ func (n *LiveNode) shutdown() {
 			c.Close()
 		}
 		n.connsMu.Unlock()
-		if n.peer != nil {
-			n.peer.close()
+		for _, l := range links {
+			l.halt()
 		}
 	})
 }
@@ -1183,7 +1329,10 @@ func (n *LiveNode) serveConn(conn net.Conn) {
 	}
 }
 
-// handle dispatches one partner request.
+// handle dispatches one partner request. Data-plane frames (forwards,
+// resyncs, discards) are epoch-checked first: a frame routed under an
+// older ring layout than ours is rejected so late traffic from a previous
+// epoch can never land in (or drop from) a hold its sender no longer owns.
 func (n *LiveNode) handle(m *Message) *Message {
 	switch m.Type {
 	case MsgHello:
@@ -1191,46 +1340,68 @@ func (n *LiveNode) handle(m *Message) *Message {
 	case MsgHeartbeat:
 		// Record the partner's gossiped GC pressure and answer with ours,
 		// so one exchange refreshes both directions.
-		n.peerPressure.Store(math.Float64bits(m.Pressure))
+		if l := n.linkByOrigin(m.Origin); l != nil {
+			l.pressure.Store(math.Float64bits(m.Pressure))
+		}
 		return &Message{Type: MsgHeartbeatAck, Pressure: n.GCPressure()}
 	case MsgWriteFwd:
+		if rej := n.checkEpoch(m); rej != nil {
+			return rej
+		}
 		return n.applyBackup(m, MsgWriteAck)
 	case MsgResync:
 		// A partner re-replicating its degraded-write journal after an
 		// outage. Identical stamp-guarded RCT insert as a live forward:
 		// resync frames may interleave with fresh forwards once the
 		// partner flips back to Healthy, and the newest stamp must win.
+		if rej := n.checkEpoch(m); rej != nil {
+			return rej
+		}
 		return n.applyBackup(m, MsgResyncAck)
 	case MsgDiscard:
+		if rej := n.checkEpoch(m); rej != nil {
+			return rej
+		}
 		n.mu.Lock()
+		h := n.holdForLocked(m.Origin, false)
+		if h == nil {
+			// No backups held for this origin; nothing to drop.
+			n.mu.Unlock()
+			return &Message{Type: MsgDiscardAck}
+		}
 		dropped := m.LPNs
 		if len(m.Stamps) == len(m.LPNs) {
 			// A discard only covers the version it was issued for: a
 			// backup newer than the discard's stamp must survive.
 			dropped = dropped[:0:0]
 			for i, lpn := range m.LPNs {
-				if cur, ok := n.remoteStamp[lpn]; ok && cur > m.Stamps[i] {
+				if cur, ok := h.stamp[lpn]; ok && cur > m.Stamps[i] {
 					continue
 				}
 				dropped = append(dropped, lpn)
 			}
 		}
-		n.remote.Discard(dropped)
+		h.store.Discard(dropped)
 		for _, lpn := range dropped {
-			if pg := n.remoteData[lpn]; pg != nil {
+			if pg := h.data[lpn]; pg != nil {
 				n.putPage(pg)
-				delete(n.remoteData, lpn)
+				delete(h.data, lpn)
 			}
-			delete(n.remoteStamp, lpn)
+			delete(h.stamp, lpn)
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgDiscardAck}
 	case MsgFetchRCT:
 		ps := n.pageSize
 		n.mu.Lock()
-		lpns := make([]int64, 0, n.remote.Len())
-		for lpn := range n.remoteData {
-			if n.remote.Contains(lpn) {
+		h := n.holdForLocked(m.Origin, false)
+		if h == nil {
+			n.mu.Unlock()
+			return &Message{Type: MsgRCTData}
+		}
+		lpns := make([]int64, 0, h.store.Len())
+		for lpn := range h.data {
+			if h.store.Contains(lpn) {
 				lpns = append(lpns, lpn)
 			}
 		}
@@ -1238,23 +1409,36 @@ func (n *LiveNode) handle(m *Message) *Message {
 		data := make([]byte, 0, len(lpns)*ps)
 		stamps := make([]uint64, 0, len(lpns))
 		for _, lpn := range lpns {
-			data = append(data, n.remoteData[lpn]...)
-			stamps = append(stamps, n.remoteStamp[lpn])
+			data = append(data, h.data[lpn]...)
+			stamps = append(stamps, h.stamp[lpn])
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgRCTData, LPNs: lpns, Stamps: stamps, Data: data}
 	case MsgCleanRemote:
 		n.mu.Lock()
-		n.remote.Drain()
-		for lpn, pg := range n.remoteData {
-			n.putPage(pg)
-			delete(n.remoteData, lpn)
-		}
-		for lpn := range n.remoteStamp {
-			delete(n.remoteStamp, lpn)
+		if h := n.holdForLocked(m.Origin, false); h != nil {
+			h.store.Drain()
+			for lpn, pg := range h.data {
+				n.putPage(pg)
+				delete(h.data, lpn)
+			}
+			for lpn := range h.stamp {
+				delete(h.stamp, lpn)
+			}
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgCleanAck}
+	case MsgMembership:
+		// A partner proposing a new ring layout. Validate the frame shape
+		// and epoch, then apply it through the same SetMembers path a local
+		// administrator uses.
+		if err := checkMembership(m, n.epochA.Load()); err != nil {
+			return &Message{Type: MsgError, Err: err.Error()}
+		}
+		if err := n.SetMembers(m.Epoch, m.Members); err != nil {
+			return &Message{Type: MsgError, Err: err.Error()}
+		}
+		return &Message{Type: MsgMembershipAck, Epoch: m.Epoch}
 	case MsgWorkloadInfo:
 		return &Message{Type: MsgWorkloadInfoAck, Info: n.localInfo()}
 	default:
@@ -1263,7 +1447,7 @@ func (n *LiveNode) handle(m *Message) *Message {
 }
 
 // applyBackup inserts one frame of partner pages (a live MsgWriteFwd or a
-// rejoin MsgResync) into the RCT under the write-stamp guard.
+// rejoin MsgResync) into the sender's hold under the write-stamp guard.
 func (n *LiveNode) applyBackup(m *Message, ack MsgType) *Message {
 	ps := n.pageSize
 	if len(m.Data) != len(m.LPNs)*ps {
@@ -1273,9 +1457,11 @@ func (n *LiveNode) applyBackup(m *Message, ack MsgType) *Message {
 		return &Message{Type: MsgError, Err: fmt.Sprintf("%v stamp count mismatch", m.Type)}
 	}
 	n.mu.Lock()
-	n.remote.Insert(m.LPNs)
+	h := n.holdForLocked(m.Origin, true)
+	h.winInserts += int64(len(m.LPNs))
+	h.store.Insert(m.LPNs)
 	for i, lpn := range m.LPNs {
-		if !n.remote.Contains(lpn) {
+		if !h.store.Contains(lpn) {
 			continue
 		}
 		var st uint64
@@ -1285,18 +1471,18 @@ func (n *LiveNode) applyBackup(m *Message, ack MsgType) *Message {
 		// Writers enqueue forwards outside the node mutex, so two
 		// backups for one page can arrive in either order; keep the
 		// one with the newer stamp.
-		if cur, ok := n.remoteStamp[lpn]; ok && cur > st {
+		if cur, ok := h.stamp[lpn]; ok && cur > st {
 			continue
 		}
-		pg := n.remoteData[lpn]
+		pg := h.data[lpn]
 		if pg == nil {
 			pg = n.getPage()
 		}
 		copy(pg, m.Data[i*ps:(i+1)*ps])
-		n.remoteData[lpn] = pg
-		n.remoteStamp[lpn] = st
+		h.data[lpn] = pg
+		h.stamp[lpn] = st
 	}
-	n.gcRemoteDataLocked()
+	n.gcHoldLocked(h)
 	n.mu.Unlock()
 	return &Message{Type: ack}
 }
@@ -1316,12 +1502,34 @@ func (n *LiveNode) gcRemoteDataLocked() {
 	}
 }
 
-// SetPeer points the node at its partner's address, creating the peer
-// client with the node's configured dialer and timeout. Call it before any
-// partner traffic (ConnectPeer, Write, StartHeartbeat); it exists so a
-// pair can be wired up after both listeners are bound.
+// SetPeer points the node at its pair partner's address, creating (and
+// starting) the partner link with the node's configured dialer and
+// timeout. Call it before any partner traffic (ConnectPeer, Write,
+// StartHeartbeat); it exists so a pair can be wired up after both
+// listeners are bound. Any previously configured links are torn down.
 func (n *LiveNode) SetPeer(addr string) {
-	n.peer = newPeerClient(addr, n.cfg.CallTimeout, n.cfg.Dialer)
+	n.mu.Lock()
+	if n.closing {
+		n.mu.Unlock()
+		return
+	}
+	var old []*peerLink
+	for _, l := range n.links {
+		l.removed = true
+		old = append(old, l)
+	}
+	l := n.newLinkLocked(addr)
+	n.links = []*peerLink{l}
+	n.ring = nil
+	n.members = nil
+	n.publishRSLocked()
+	n.syncAliveLocked()
+	n.mu.Unlock()
+	for _, o := range old {
+		o.halt()
+		o.wg.Wait()
+	}
+	l.start()
 }
 
 // SnapshotDirty returns a copy of the locally buffered dirty payloads —
@@ -1352,14 +1560,37 @@ func (n *LiveNode) SnapshotDirty() map[int64][]byte {
 	return out
 }
 
-// SnapshotRemote returns a copy of the partner backups held here, keyed by
-// LPN. Inspection hook for invariant checkers.
+// SnapshotRemote returns a copy of the pair-mode partner backups held
+// here (the default hold), keyed by LPN. Inspection hook for invariant
+// checkers; ring holds are inspected per origin with SnapshotRemoteFor.
 func (n *LiveNode) SnapshotRemote() map[int64][]byte {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := make(map[int64][]byte, len(n.remoteData))
 	for lpn, pg := range n.remoteData {
 		if !n.remote.Contains(lpn) {
+			continue
+		}
+		cp := make([]byte, len(pg))
+		copy(cp, pg)
+		out[lpn] = cp
+	}
+	return out
+}
+
+// SnapshotRemoteFor returns a copy of the backups held here for one ring
+// origin (a member ID), keyed by LPN; nil when no hold exists for it.
+// Inspection hook for invariant checkers.
+func (n *LiveNode) SnapshotRemoteFor(origin string) map[int64][]byte {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	h := n.holdForLocked(origin, false)
+	if h == nil {
+		return nil
+	}
+	out := make(map[int64][]byte, len(h.data))
+	for lpn, pg := range h.data {
+		if !h.store.Contains(lpn) {
 			continue
 		}
 		cp := make([]byte, len(pg))

@@ -1,0 +1,373 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"flashcoop/internal/core"
+	"flashcoop/internal/stream"
+)
+
+// errPeerRemoved aborts forwards caught in a membership change that
+// removed their partner link.
+var errPeerRemoved = errors.New("cluster: peer removed from ring")
+
+// peerLink bundles everything the node runs per cooperative partner: the
+// pipelined client, a dedicated group-commit forwarder (queue + loop), a
+// circuit breaker, a prober, a degraded-write journal, and one lifecycle
+// state machine. A pair node has exactly one link; a ring node has one
+// per fellow member. All lifecycle and journal state is guarded by the
+// NODE's mutex (n.mu) — per-link mutexes would buy little (membership
+// changes are rare, lifecycle events cheap) and a single lock keeps the
+// "journal empty → flip Healthy" race-freedom argument identical to the
+// pair code.
+type peerLink struct {
+	n      *LiveNode
+	id     string // ring member ID == the partner's listen address
+	client *peerClient
+
+	fwdq      chan fwdEntry
+	probeKick chan struct{} // buffered(1): wakes the prober out of its backoff sleep
+	stop      chan struct{} // closed on removal or node shutdown
+	stopOnce  sync.Once
+	wg        sync.WaitGroup // forwarder, prober, and in-flight ack waiters
+
+	brk breaker
+
+	// Guarded by n.mu.
+	lc            lifecycle
+	proberRunning bool
+	removed       bool
+	outage        map[int64]uint64 // degraded-write journal for THIS partner: lpn → stamp
+
+	// alive mirrors lc.alive() so hot paths read one atomic per link.
+	alive atomic.Bool
+	// pressure is the partner's last gossiped GC pressure (float bits).
+	pressure atomic.Uint64
+
+	// resyncMu serializes rejoin walks and journal pushes for this link.
+	resyncMu sync.Mutex
+}
+
+// newLinkLocked constructs (but does not start) a link to the given
+// partner. Caller holds n.mu.
+func (n *LiveNode) newLinkLocked(id string) *peerLink {
+	return &peerLink{
+		n:         n,
+		id:        id,
+		client:    newPeerClient(id, n.cfg.CallTimeout, n.cfg.Dialer),
+		fwdq:      make(chan fwdEntry, n.cfg.ForwardQueue),
+		probeKick: make(chan struct{}, 1),
+		stop:      make(chan struct{}),
+		brk:       breaker{threshold: int64(n.cfg.BreakerThreshold), window: int32(n.cfg.BreakerWindow)},
+		lc:        lifecycle{state: StateDegraded, threshold: n.cfg.FailureThreshold},
+		outage:    make(map[int64]uint64),
+	}
+}
+
+// start launches the link's forwarder goroutine.
+func (l *peerLink) start() {
+	l.wg.Add(1)
+	go l.forwardLoop()
+}
+
+// halt stops the link: the forwarder aborts (failing queued entries), the
+// client's session dies (failing in-flight calls fast), and the prober
+// exits on its next wakeup. Callers that need the goroutines gone wait on
+// l.wg afterwards. Safe to call more than once.
+func (l *peerLink) halt() {
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.client.close()
+}
+
+// noteForwardFailed feeds one hard forward failure into the link's
+// lifecycle and executes the demanded action. Must be called without n.mu.
+func (l *peerLink) noteForwardFailed() {
+	n := l.n
+	n.mu.Lock()
+	act := l.lc.forwardFailed()
+	n.syncAliveLocked()
+	n.mu.Unlock()
+	n.applyLinkAction(l, act)
+}
+
+// ringState is the immutable routing snapshot hot paths read through one
+// atomic load: the ring layout (nil in pair mode), the ownership epoch,
+// this node's member ID, and the live partner links. Membership changes
+// and SetPeer publish a fresh snapshot under n.mu.
+type ringState struct {
+	ring  *Ring // nil = pair mode: links[0] owns every block
+	epoch uint64
+	self  string
+	links []*peerLink
+	byID  map[string]*peerLink
+}
+
+// ownerLinks appends the links owning lpn's erase block under this
+// snapshot. Pair mode: the single link owns everything.
+func (rs *ringState) ownerLinks(out []*peerLink, lpn int64, ppb int) []*peerLink {
+	if rs.ring == nil {
+		return append(out, rs.links...)
+	}
+	block := lpn / int64(ppb)
+	if lpn < 0 && lpn%int64(ppb) != 0 {
+		block--
+	}
+	ids := make([]string, 0, rs.ring.Replicas())
+	rs.ring.appendOwners(&ids, BlockKey(rs.self, block), rs.self)
+	for _, id := range ids {
+		if l := rs.byID[id]; l != nil {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// publishRSLocked rebuilds the atomic routing snapshot from the node's
+// current links and ring. Caller holds n.mu.
+func (n *LiveNode) publishRSLocked() {
+	if len(n.links) == 0 {
+		n.rs.Store(nil)
+		n.epochA.Store(n.epoch)
+		return
+	}
+	rs := &ringState{
+		ring:  n.ring,
+		epoch: n.epoch,
+		self:  n.selfID,
+		links: append([]*peerLink(nil), n.links...),
+		byID:  make(map[string]*peerLink, len(n.links)),
+	}
+	for _, l := range n.links {
+		rs.byID[l.id] = l
+	}
+	n.rs.Store(rs)
+	n.epochA.Store(n.epoch)
+}
+
+// linksSnapshot returns the current partner links without holding n.mu
+// afterwards.
+func (n *LiveNode) linksSnapshot() []*peerLink {
+	rs := n.rs.Load()
+	if rs == nil {
+		return nil
+	}
+	return rs.links
+}
+
+// linkByOrigin resolves the link a partner frame came from. Pair-mode
+// frames carry no origin; with exactly one link it is unambiguous.
+func (n *LiveNode) linkByOrigin(origin string) *peerLink {
+	rs := n.rs.Load()
+	if rs == nil {
+		return nil
+	}
+	if origin == "" {
+		if len(rs.links) == 1 {
+			return rs.links[0]
+		}
+		return nil
+	}
+	return rs.byID[origin]
+}
+
+// remoteHold is one origin's backup state on the receiving side: the RCT
+// occupancy model plus the payload and stamp maps. The pair-mode default
+// hold (origin "") aliases the node's legacy remote fields; ring origins
+// get their own, created on first insert and sized by the remote-budget
+// split. All holds are guarded by n.mu.
+type remoteHold struct {
+	store *core.RemoteStore
+	data  map[int64][]byte
+	stamp map[int64]uint64
+	// winInserts counts backup pages inserted since the last rebalance
+	// round: the per-origin write-intensity window that drives the Eq. 1
+	// style budget split (see RebalanceOnce).
+	winInserts int64
+}
+
+// holdForLocked resolves the backup hold for an origin, optionally
+// creating it. Caller holds n.mu.
+func (n *LiveNode) holdForLocked(origin string, create bool) *remoteHold {
+	if origin == "" {
+		if n.defHold == nil {
+			n.defHold = &remoteHold{store: n.remote, data: n.remoteData, stamp: n.remoteStamp}
+		}
+		return n.defHold
+	}
+	if h, ok := n.remotes[origin]; ok {
+		return h
+	}
+	if !create {
+		return nil
+	}
+	if n.remotes == nil {
+		n.remotes = make(map[string]*remoteHold)
+	}
+	// Initial share: an even split of the remote budget across the
+	// origins currently backing up here (including this new one); the
+	// rebalance loop reshapes the split by observed write intensity.
+	share := n.cfg.RemotePages / (len(n.remotes) + 1)
+	if share < 1 {
+		share = 1
+	}
+	h := &remoteHold{
+		store: core.NewRemoteStore(share),
+		data:  make(map[int64][]byte),
+		stamp: make(map[int64]uint64),
+	}
+	n.remotes[origin] = h
+	return h
+}
+
+// gcHoldLocked drops payloads whose RCT entries were evicted by
+// remote-store overflow. Caller holds n.mu.
+func (n *LiveNode) gcHoldLocked(h *remoteHold) {
+	if len(h.data) <= h.store.Len() {
+		return
+	}
+	for lpn, pg := range h.data {
+		if !h.store.Contains(lpn) {
+			n.putPage(pg)
+			delete(h.data, lpn)
+			delete(h.stamp, lpn)
+		}
+	}
+}
+
+// fwdGroup is the slice of one write's pages destined for one partner
+// link during forward planning.
+type fwdGroup struct {
+	link *peerLink
+	idxs []int // page indexes into the write's lpns/stamps/data
+	err  error
+}
+
+// finalize materializes the group's wire slices. When the group covers
+// the whole write (the pair case, and the common ring case of a write
+// within one erase block) the caller's slices ride through zero-copy;
+// a split write copies its pages into a contiguous buffer per group.
+func (g *fwdGroup) finalize(lpns []int64, stamps []uint64, data []byte, ps int) ([]int64, []uint64, []byte) {
+	if len(g.idxs) == len(lpns) {
+		return lpns, stamps, data
+	}
+	gl := make([]int64, len(g.idxs))
+	gs := make([]uint64, len(g.idxs))
+	gd := make([]byte, len(g.idxs)*ps)
+	for i, idx := range g.idxs {
+		gl[i] = lpns[idx]
+		gs[i] = stamps[idx]
+		copy(gd[i*ps:(i+1)*ps], data[idx*ps:(idx+1)*ps])
+	}
+	return gl, gs, gd
+}
+
+// planForward groups a write's pages by live owner link and collects, per
+// page, the down owners whose journal must record the write-through.
+// Pages with at least one down owner force the degraded path for the
+// whole request (conservative: with one link this reduces exactly to the
+// pair behavior).
+func (n *LiveNode) planForward(rs *ringState, lpns []int64) (groups []*fwdGroup, targets map[int64][]*peerLink) {
+	byLink := make(map[*peerLink]*fwdGroup, 1)
+	var owners []*peerLink
+	lastBlock := int64(-1 << 62)
+	haveBlock := false
+	for i, lpn := range lpns {
+		block := lpn / int64(n.ppb)
+		if lpn < 0 && lpn%int64(n.ppb) != 0 {
+			block--
+		}
+		if !haveBlock || block != lastBlock {
+			owners = rs.ownerLinks(owners[:0], lpn, n.ppb)
+			lastBlock, haveBlock = block, true
+		}
+		for _, l := range owners {
+			if l.alive.Load() {
+				g := byLink[l]
+				if g == nil {
+					g = &fwdGroup{link: l}
+					byLink[l] = g
+					groups = append(groups, g)
+				}
+				g.idxs = append(g.idxs, i)
+			} else {
+				if targets == nil {
+					targets = make(map[int64][]*peerLink)
+				}
+				targets[lpn] = append(targets[lpn], l)
+			}
+		}
+	}
+	return groups, targets
+}
+
+// enqueueDiscardRouted fans an advisory discard out to the live owner
+// link of each page. Pair mode short-circuits to the single link; ring
+// mode groups pages per owner so every partner only hears about backups
+// it actually holds.
+func (n *LiveNode) enqueueDiscardRouted(lpns []int64, stamps []uint64, strms []stream.Stream) {
+	rs := n.rs.Load()
+	if rs == nil {
+		return
+	}
+	if rs.ring == nil {
+		l := rs.links[0]
+		if l.alive.Load() {
+			l.enqueueDiscard(lpns, stamps, strms)
+		}
+		return
+	}
+	type group struct {
+		lpns   []int64
+		stamps []uint64
+		strms  []stream.Stream
+	}
+	byLink := make(map[*peerLink]*group, 1)
+	var owners []*peerLink
+	for i, lpn := range lpns {
+		owners = rs.ownerLinks(owners[:0], lpn, n.ppb)
+		for _, l := range owners {
+			if !l.alive.Load() {
+				continue
+			}
+			g := byLink[l]
+			if g == nil {
+				g = &group{}
+				byLink[l] = g
+			}
+			g.lpns = append(g.lpns, lpn)
+			g.stamps = append(g.stamps, stamps[i])
+			if strms != nil {
+				g.strms = append(g.strms, strms[i])
+			}
+		}
+	}
+	for l, g := range byLink {
+		l.enqueueDiscard(g.lpns, g.stamps, g.strms)
+	}
+}
+
+// applyLinkAction executes the side effect a link's lifecycle event
+// demanded; it must be called without n.mu held.
+func (n *LiveNode) applyLinkAction(l *peerLink, act lcAction) {
+	switch act {
+	case lcFailover:
+		atomic.AddInt64(&n.stats.Failovers, 1)
+		l.startProber()
+		// The partner holding this link's backups failed: buffered dirty
+		// data has lost (part of) its backup; make it durable immediately
+		// (paper Section III.D). With several links this over-flushes —
+		// pages owned by still-healthy partners get persisted too — which
+		// costs write amplification, never correctness.
+		if err := n.FlushAll(); err != nil {
+			_ = err
+		}
+	case lcKickProbe:
+		l.startProber()
+		select {
+		case l.probeKick <- struct{}{}:
+		default:
+		}
+	}
+}

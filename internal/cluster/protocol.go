@@ -41,6 +41,8 @@ const (
 	MsgError
 	MsgResync // re-replicate degraded writes after an outage: LPNs + Stamps + page data
 	MsgResyncAck
+	MsgMembership // propagate a ring layout: Epoch + Members
+	MsgMembershipAck
 )
 
 // String names the message type.
@@ -55,6 +57,7 @@ func (t MsgType) String() string {
 		MsgWorkloadInfo: "workload-info", MsgWorkloadInfoAck: "workload-info-ack",
 		MsgError:  "error",
 		MsgResync: "resync", MsgResyncAck: "resync-ack",
+		MsgMembership: "membership", MsgMembershipAck: "membership-ack",
 	}
 	if s, ok := names[t]; ok {
 		return s
@@ -95,23 +98,52 @@ type Message struct {
 	// can defer non-urgent traffic toward a partner digesting GC. It
 	// rides the same trailing extension as Streams.
 	Pressure float64
+	// Epoch is the sender's ownership epoch: the version of the ring
+	// layout the frame was routed under. A receiver on a newer epoch
+	// rejects data-plane frames from an older one, so late frames routed
+	// by a previous ring layout can never land in the wrong backup hold.
+	// Zero means "pair mode / no ring" and is never rejected. Epoch,
+	// Origin, and Members ride a second trailing extension after
+	// Pressure; frames without them encode byte-identically to the
+	// pre-ring format.
+	Epoch uint64
+	// Origin identifies the sending member (its partner listen address)
+	// on ring data-plane frames, so the receiver files backups into the
+	// per-origin hold and answers RCT fetches with exactly that origin's
+	// pages. Empty means the pair-mode default hold.
+	Origin string
+	// Members carries the ring member list on MsgMembership frames.
+	Members []string
 }
 
 // hasExt reports whether the message carries trailing-extension fields.
 // Messages without them encode byte-identically to the pre-extension
 // format, so mixed-version pairs interoperate.
-func (m *Message) hasExt() bool { return len(m.Streams) > 0 || m.Pressure != 0 }
+func (m *Message) hasExt() bool { return len(m.Streams) > 0 || m.Pressure != 0 || m.hasExt2() }
 
-// extLen is the encoded size of the trailing extension (0 when absent).
+// hasExt2 reports whether the ring extension (epoch, origin, members) is
+// present. It can only appear after the first extension, so a frame that
+// carries it also encodes the stream/pressure block.
+func (m *Message) hasExt2() bool { return m.Epoch != 0 || m.Origin != "" || len(m.Members) > 0 }
+
+// extLen is the encoded size of the trailing extensions (0 when absent).
 func (m *Message) extLen() int {
 	if !m.hasExt() {
 		return 0
 	}
-	return 4 + len(m.Streams) + 8
+	n := 4 + len(m.Streams) + 8
+	if m.hasExt2() {
+		n += 8 + 2 + len(m.Origin) + 2
+		for _, mem := range m.Members {
+			n += 2 + len(mem)
+		}
+	}
+	return n
 }
 
-// appendExt appends the trailing extension: a stream-tag count and bytes
-// (parallel to LPNs) followed by the sender's GC pressure.
+// appendExt appends the trailing extensions: a stream-tag count and bytes
+// (parallel to LPNs) followed by the sender's GC pressure, then — on ring
+// frames — the ownership epoch, origin ID, and member list.
 func (m *Message) appendExt(buf []byte) []byte {
 	if !m.hasExt() {
 		return buf
@@ -120,7 +152,19 @@ func (m *Message) appendExt(buf []byte) []byte {
 	for _, s := range m.Streams {
 		buf = append(buf, byte(s))
 	}
-	return binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Pressure))
+	buf = binary.BigEndian.AppendUint64(buf, math.Float64bits(m.Pressure))
+	if !m.hasExt2() {
+		return buf
+	}
+	buf = binary.BigEndian.AppendUint64(buf, m.Epoch)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Origin)))
+	buf = append(buf, m.Origin...)
+	buf = binary.BigEndian.AppendUint16(buf, uint16(len(m.Members)))
+	for _, mem := range m.Members {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(mem)))
+		buf = append(buf, mem...)
+	}
+	return buf
 }
 
 // MaxFrameBytes bounds a single frame (16 MiB of payload covers thousands
@@ -137,6 +181,17 @@ var (
 func (m *Message) Marshal() ([]byte, error) {
 	if len(m.Err) > math.MaxUint16 {
 		return nil, fmt.Errorf("%w: error string too long", ErrBadFrame)
+	}
+	if len(m.Origin) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: origin ID too long", ErrBadFrame)
+	}
+	if len(m.Members) > math.MaxUint16 {
+		return nil, fmt.Errorf("%w: member list too long", ErrBadFrame)
+	}
+	for _, mem := range m.Members {
+		if len(mem) > math.MaxUint16 {
+			return nil, fmt.Errorf("%w: member ID too long", ErrBadFrame)
+		}
 	}
 	size := 1 + 8 + 4 + 8*len(m.LPNs) + 4 + 8*len(m.Stamps) + 4 + len(m.Data) + 8*4 + 2 + len(m.Err) + m.extLen()
 	if size > MaxFrameBytes {
@@ -259,6 +314,46 @@ func (m *Message) Unmarshal(buf []byte) error {
 		return err
 	}
 	m.Pressure = math.Float64frombits(pv)
+	// Optional second extension (ownership epoch, origin, members). A
+	// body ending here came from a pre-ring sender: leave the fields at
+	// their zero values.
+	m.Epoch, m.Origin, m.Members = 0, "", nil
+	if r.off == len(r.buf) {
+		return nil
+	}
+	if m.Epoch, err = r.u64(); err != nil {
+		return err
+	}
+	no, err := r.u16()
+	if err != nil {
+		return err
+	}
+	ob, err := r.bytes(int(no))
+	if err != nil {
+		return err
+	}
+	m.Origin = string(ob)
+	nm, err := r.u16()
+	if err != nil {
+		return err
+	}
+	if int(nm)*2 > len(r.buf)-r.off {
+		return fmt.Errorf("%w: member count %d exceeds frame", ErrBadFrame, nm)
+	}
+	if nm > 0 {
+		m.Members = make([]string, nm)
+		for i := range m.Members {
+			ml, err := r.u16()
+			if err != nil {
+				return err
+			}
+			mb, err := r.bytes(int(ml))
+			if err != nil {
+				return err
+			}
+			m.Members[i] = string(mb)
+		}
+	}
 	if r.off != len(r.buf) {
 		return fmt.Errorf("%w: %d trailing bytes", ErrBadFrame, len(r.buf)-r.off)
 	}

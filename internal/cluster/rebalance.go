@@ -29,17 +29,31 @@ func (n *LiveNode) localInfo() Info {
 	return info
 }
 
-// RebalanceOnce runs one dynamic-allocation round: exchange workload
-// information with the partner, evaluate Equation 1, and resize the local
-// buffer / remote store partition over the pooled memory. It returns the
-// effective θ.
+// RebalanceOnce runs one dynamic-allocation round.
+//
+// Pair mode: exchange workload information with the partner, evaluate
+// Equation 1, and resize the local buffer / remote store partition over
+// the pooled memory; returns the effective θ.
+//
+// Ring mode: the remote-page budget is split ACROSS the per-origin holds
+// proportional to each origin's observed write intensity (backup pages
+// inserted since the last round), with a floor so an idle partner keeps a
+// warm minimum. The local/remote split itself stays fixed — an N-way
+// θ negotiation would need global agreement; the per-origin split is the
+// Equation 1 idea applied where this node has sole authority. Returns 0.
 func (n *LiveNode) RebalanceOnce() (float64, error) {
-	if n.peer == nil {
+	rs := n.rs.Load()
+	if rs == nil {
 		return 0, errNoPeer
+	}
+	if rs.ring != nil {
+		n.rebalanceHolds()
+		atomic.AddInt64(&n.stats.Rebalances, 1)
+		return 0, nil
 	}
 	local := n.localInfo()
 
-	resp, err := n.peer.call(&Message{Type: MsgWorkloadInfo, Info: local})
+	resp, err := rs.links[0].client.call(&Message{Type: MsgWorkloadInfo, Info: local})
 	if err != nil {
 		return 0, err
 	}
@@ -79,6 +93,47 @@ func (n *LiveNode) RebalanceOnce() (float64, error) {
 	}
 	atomic.AddInt64(&n.stats.Rebalances, 1)
 	return theta, nil
+}
+
+// rebalanceHolds reshapes the per-origin backup holds over the node's
+// remote-page budget by each origin's write intensity in the last window.
+func (n *LiveNode) rebalanceHolds() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.remotes) == 0 {
+		return
+	}
+	budget := n.cfg.RemotePages
+	if budget < len(n.remotes) {
+		budget = len(n.remotes)
+	}
+	// Every origin keeps at least a quarter of an even share: a partner
+	// idle this window must not lose its warm backups to one burst
+	// elsewhere, and the floor keeps the split stable when all are idle.
+	floor := budget / (4 * len(n.remotes))
+	if floor < 1 {
+		floor = 1
+	}
+	var total int64
+	for _, h := range n.remotes {
+		total += h.winInserts
+	}
+	even := budget / len(n.remotes)
+	if even < 1 {
+		even = 1
+	}
+	for _, h := range n.remotes {
+		share := even
+		if total > 0 {
+			share = int(int64(budget) * h.winInserts / total)
+			if share < floor {
+				share = floor
+			}
+		}
+		h.winInserts = 0
+		h.store.Resize(share)
+		n.gcHoldLocked(h)
+	}
 }
 
 // StartRebalance launches a background loop that runs RebalanceOnce at the
@@ -136,11 +191,9 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 				// discard carries the node's current stamp.
 				stamps = append(stamps, n.stampCtr.Load())
 			}
-			if _, ok := sh.outage[p]; ok {
-				// A trimmed page has nothing left to resync.
-				delete(sh.outage, p)
-				n.outageLen.Add(-1)
-			}
+			// Per-link degraded-write journals are NOT scrubbed here: a
+			// trimmed page has no durable copy, so takeJournal naturally
+			// skips its entry at stream time.
 			if err := n.store.remove(p); err != nil {
 				n.buf.UnlockShard(run.Shard)
 				sh.persistMu.Unlock()
@@ -156,9 +209,10 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 	if err != nil {
 		return err
 	}
-	if len(dropped) > 0 && n.alive.Load() && n.peer != nil {
-		// Trimmed pages have no flush temperature; no stream tags.
-		n.enqueueDiscard(dropped, stamps, nil)
+	if len(dropped) > 0 {
+		// Trimmed pages have no flush temperature; no stream tags. The
+		// routed fan-out sends each page's discard to its live owners only.
+		n.enqueueDiscardRouted(dropped, stamps, nil)
 	}
 	return nil
 }

@@ -13,63 +13,61 @@ const probeBaseDelay = 20 * time.Millisecond
 // maxResyncPasses bounds how many journal generations one rejoin attempt
 // drains before resuming cooperative forwarding: concurrent degraded
 // writes keep refilling the journal while the stream runs, and a writer
-// outpacing the stream must not pin the node in Resyncing forever.
+// outpacing the stream must not pin the link in Resyncing forever.
 const maxResyncPasses = 8
 
-// journalShardLocked records one degraded write-through for later resync
-// in the page's shard bucket. Caller holds the shard's lock AND n.mu —
-// the mutex makes the insert atomic with respect to the resync stream's
-// "journal empty → flip Healthy" critical section (which reads outageLen
-// under n.mu), so no degraded write can slip in unjournaled behind the
-// flip. The journal is a set keyed by LPN (the stream sends the page's
-// latest durable payload, so overwrites coalesce); past the configured
-// cap new pages are dropped and counted — they stay durable locally and
-// the stamp guards keep the partner from serving older data, the pair
-// just loses the warm backup for them.
-func (n *LiveNode) journalShardLocked(sh *liveShard, lpn int64, st uint64) {
-	if n.peer == nil {
+// journalLinkLocked records one degraded write-through for later resync
+// to the given partner. Caller holds n.mu — the mutex makes the insert
+// atomic with respect to that link's resync stream's "journal empty →
+// flip Healthy" critical section, so no degraded write can slip in
+// unjournaled behind the flip. The journal is a set keyed by LPN (the
+// stream sends the page's latest durable payload, so overwrites
+// coalesce); past the configured cap new pages are dropped and counted —
+// they stay durable locally and the stamp guards keep the partner from
+// serving older data, the cluster just loses the warm backup for them.
+func (n *LiveNode) journalLinkLocked(l *peerLink, lpn int64, st uint64) {
+	if l == nil || l.removed {
 		return
 	}
-	if cur, ok := sh.outage[lpn]; ok {
+	if cur, ok := l.outage[lpn]; ok {
 		if st > cur {
-			sh.outage[lpn] = st
+			l.outage[lpn] = st
 		}
 		return
 	}
-	if n.outageLen.Load() >= int64(n.cfg.ResyncJournalLimit) {
+	if len(l.outage) >= n.cfg.ResyncJournalLimit {
 		atomic.AddInt64(&n.stats.JournalDrops, 1)
 		return
 	}
-	sh.outage[lpn] = st
-	n.outageLen.Add(1)
+	l.outage[lpn] = st
 }
 
-// startProber launches the background probe loop if it is not already
-// running. The prober owns the Degraded/Suspect→Probing→Resyncing walk;
-// at most one instance exists per node.
-func (n *LiveNode) startProber() {
-	if n.peer == nil {
-		return
-	}
+// startProber launches this link's background probe loop if it is not
+// already running. The prober owns the Degraded/Suspect→Probing→Resyncing
+// walk; at most one instance exists per link.
+func (l *peerLink) startProber() {
+	n := l.n
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if n.proberRunning || n.closing {
+	if l.proberRunning || l.removed || n.closing {
 		return
 	}
-	n.proberRunning = true
-	n.wg.Add(1)
-	go n.probeLoop()
+	l.proberRunning = true
+	l.wg.Add(1)
+	go l.probeLoop()
 }
 
 // probeLoop re-dials the partner after a failover. It paces itself by the
 // peer client's jittered exponential dial backoff (nextDialIn) instead of
 // the heartbeat tick, and can be woken early (probeKick) when a heartbeat
 // reaches the partner first. On an answered probe it runs the full rejoin
-// (resync the degraded-write journal, then flip Healthy) and exits.
-func (n *LiveNode) probeLoop() {
-	defer n.wg.Done()
+// (resync this link's degraded-write journal, then flip Healthy) and
+// exits.
+func (l *peerLink) probeLoop() {
+	n := l.n
+	defer l.wg.Done()
 	for {
-		d := n.peer.nextDialIn()
+		d := l.client.nextDialIn()
 		if d < probeBaseDelay {
 			d = probeBaseDelay
 		}
@@ -78,24 +76,35 @@ func (n *LiveNode) probeLoop() {
 		case <-n.stop:
 			t.Stop()
 			n.mu.Lock()
-			n.proberRunning = false
+			l.proberRunning = false
 			n.mu.Unlock()
 			return
-		case <-n.probeKick:
+		case <-l.stop:
+			t.Stop()
+			n.mu.Lock()
+			l.proberRunning = false
+			n.mu.Unlock()
+			return
+		case <-l.probeKick:
 			t.Stop()
 		case <-t.C:
 		}
 		n.mu.Lock()
-		switch n.lc.state {
+		if l.removed {
+			l.proberRunning = false
+			n.mu.Unlock()
+			return
+		}
+		switch l.lc.state {
 		case StateHealthy:
 			// Somebody else (an explicit ConnectPeer) completed the
 			// rejoin; exit inside the same critical section that clears
 			// proberRunning so a concurrent startProber can't double-run.
-			n.proberRunning = false
+			l.proberRunning = false
 			n.mu.Unlock()
 			return
 		case StateDegraded, StateSuspect:
-			n.lc.probeStart()
+			l.lc.probeStart()
 			n.syncAliveLocked()
 		default:
 			// Probing/Resyncing: a ConnectPeer owns the walk right now;
@@ -105,54 +114,60 @@ func (n *LiveNode) probeLoop() {
 		}
 		n.mu.Unlock()
 		atomic.AddInt64(&n.stats.Probes, 1)
-		if _, err := n.peer.call(&Message{Type: MsgHeartbeat}); err != nil {
+		if _, err := l.client.call(&Message{Type: MsgHeartbeat}); err != nil {
 			atomic.AddInt64(&n.stats.ProbeFailures, 1)
 			n.mu.Lock()
 			// Re-check: a concurrent ConnectPeer may have taken the walk
 			// past Probing while our probe was on the wire.
-			if n.lc.state == StateProbing {
-				n.lc.probeFailed()
+			if l.lc.state == StateProbing {
+				l.lc.probeFailed()
 				n.syncAliveLocked()
 			}
 			n.mu.Unlock()
 			continue
 		}
-		_ = n.rejoin()
+		_ = l.rejoin()
 	}
 }
 
-// rejoin walks the lifecycle from any failed-over state through Resyncing
-// to Healthy: stream the degraded-write journal to the partner's RCT,
-// then resume cooperative buffering. It is shared by the prober and by
-// explicit ConnectPeer calls; resyncMu makes sure only one walk runs.
-func (n *LiveNode) rejoin() error {
-	n.resyncMu.Lock()
-	defer n.resyncMu.Unlock()
+// rejoin walks this link's lifecycle from any failed-over state through
+// Resyncing to Healthy: stream the link's degraded-write journal to the
+// partner's hold, then resume cooperative buffering. It is shared by the
+// prober and by explicit ConnectPeer calls; resyncMu makes sure only one
+// walk runs per link.
+func (l *peerLink) rejoin() error {
+	n := l.n
+	l.resyncMu.Lock()
+	defer l.resyncMu.Unlock()
 	n.mu.Lock()
+	if l.removed {
+		n.mu.Unlock()
+		return errPeerRemoved
+	}
 	// A first-ever connect walks the same edges but is not a REjoin.
-	wasFailedOver := n.lc.failedOver
-	switch n.lc.state {
+	wasFailedOver := l.lc.failedOver
+	switch l.lc.state {
 	case StateHealthy:
 		n.mu.Unlock()
 		return nil
 	case StateDegraded, StateSuspect:
-		n.lc.probeStart()
+		l.lc.probeStart()
 	}
-	n.lc.probeOK()
+	l.lc.probeOK()
 	n.syncAliveLocked()
 	n.mu.Unlock()
-	resumed, err := n.resyncJournal()
+	resumed, err := l.resyncJournal()
 	if !resumed {
 		atomic.AddInt64(&n.stats.ResyncFailures, 1)
 		n.mu.Lock()
-		n.lc.resyncFailed()
+		l.lc.resyncFailed()
 		n.syncAliveLocked()
 		n.mu.Unlock()
 		// The journal keeps its unsent pages; the prober retries.
-		n.startProber()
+		l.startProber()
 		return err
 	}
-	n.brk.reset()
+	l.brk.reset()
 	if wasFailedOver {
 		atomic.AddInt64(&n.stats.Rejoins, 1)
 	}
@@ -164,27 +179,27 @@ func (n *LiveNode) rejoin() error {
 	return nil
 }
 
-// resyncJournal drains the degraded-write journal to the partner and flips
-// the lifecycle back to Healthy. Each pass swaps the shard buckets out
-// whole; writes that go degraded mid-stream land in the fresh maps and are
-// picked up by the next pass. Under sustained write load the journal
-// refills faster than the stream drains it, so after maxResyncPasses the
-// node resumes cooperative forwarding anyway — that freezes the journal
-// (new writes forward instead of journaling) — and pushes the remainder
-// after. The empty-check (outageLen, whose inserts happen with n.mu held)
-// and the Healthy flip share one critical section so no degraded write can
-// slip between them.
+// resyncJournal drains this link's degraded-write journal to the partner
+// and flips the lifecycle back to Healthy. Each pass swaps the journal
+// map out whole; writes that go degraded mid-stream land in the fresh map
+// and are picked up by the next pass. Under sustained write load the
+// journal refills faster than the stream drains it, so after
+// maxResyncPasses the link resumes cooperative forwarding anyway — that
+// freezes the journal (new writes forward instead of journaling) — and
+// pushes the remainder after. The empty-check and the Healthy flip share
+// one n.mu critical section so no degraded write can slip between them.
 //
 // Returns resumed=true once the lifecycle reached Healthy; err carries any
 // stream failure (pages already requeued).
-func (n *LiveNode) resyncJournal() (resumed bool, err error) {
+func (l *peerLink) resyncJournal() (resumed bool, err error) {
+	n := l.n
 	ps := n.pageSize
 	for phase := 0; phase < 2; phase++ {
 		for pass := 0; pass < maxResyncPasses; pass++ {
 			n.mu.Lock()
-			if n.outageLen.Load() == 0 {
+			if len(l.outage) == 0 {
 				if !resumed {
-					n.lc.resyncDone()
+					l.lc.resyncDone()
 					n.syncAliveLocked()
 					resumed = true
 				}
@@ -192,27 +207,46 @@ func (n *LiveNode) resyncJournal() (resumed bool, err error) {
 				return resumed, nil
 			}
 			n.mu.Unlock()
-			if err := n.sendJournalPass(ps); err != nil {
+			if err := l.sendJournalPass(ps); err != nil {
 				return resumed, err
 			}
 		}
 		if !resumed {
 			n.mu.Lock()
-			n.lc.resyncDone()
+			l.lc.resyncDone()
 			n.syncAliveLocked()
 			n.mu.Unlock()
 			resumed = true
 		}
 	}
-	// Both phases exhausted with entries still queued (the node re-degraded
+	// Both phases exhausted with entries still queued (the link re-degraded
 	// mid-push and is refilling again); leave them for the next rejoin.
 	return resumed, nil
 }
 
+// pushJournal drains this link's journal once, outside any lifecycle
+// walk: a membership change journals moved pages into their new owners
+// and kicks this push so healthy links get warm backups immediately
+// instead of waiting for their next failover/rejoin cycle. Lifecycle
+// state is untouched — errors simply leave the entries requeued for the
+// next push or rejoin. Callers have already done l.wg.Add(1) under n.mu.
+func (l *peerLink) pushJournal() {
+	defer l.wg.Done()
+	l.resyncMu.Lock()
+	defer l.resyncMu.Unlock()
+	_ = l.sendJournalPass(l.n.pageSize)
+}
+
 // sendJournalPass streams one journal generation to the partner in
 // MaxBatchPages-sized MsgResync frames under the bulk timeout.
-func (n *LiveNode) sendJournalPass(ps int) error {
-	lpns, stamps, data := n.takeJournal(ps)
+func (l *peerLink) sendJournalPass(ps int) error {
+	n := l.n
+	lpns, stamps, data := l.takeJournal(ps)
+	var origin string
+	var epoch uint64
+	if rs := n.rs.Load(); rs != nil && rs.ring != nil {
+		origin, epoch = rs.self, rs.epoch
+	}
 	for off := 0; off < len(lpns); off += n.cfg.MaxBatchPages {
 		end := off + n.cfg.MaxBatchPages
 		if end > len(lpns) {
@@ -220,8 +254,11 @@ func (n *LiveNode) sendJournalPass(ps int) error {
 		}
 		select {
 		case <-n.stop:
-			n.requeueJournal(lpns[off:], stamps[off:])
+			l.requeueJournal(lpns[off:], stamps[off:])
 			return errNodeClosing
+		case <-l.stop:
+			l.requeueJournal(lpns[off:], stamps[off:])
+			return errPeerRemoved
 		default:
 		}
 		msg := &Message{
@@ -229,15 +266,17 @@ func (n *LiveNode) sendJournalPass(ps int) error {
 			LPNs:   lpns[off:end],
 			Stamps: stamps[off:end],
 			Data:   data[off*ps : end*ps],
+			Origin: origin,
+			Epoch:  epoch,
 		}
-		resp, err := n.peer.callT(msg, n.cfg.BulkTimeout)
+		resp, err := l.client.callT(msg, n.cfg.BulkTimeout)
 		if err == nil && resp.Type != MsgResyncAck {
 			err = fmt.Errorf("cluster: unexpected resync response %v", resp.Type)
 		}
 		if err != nil {
 			// Put the unacked tail back so no degraded write is lost
 			// to a mid-stream reset; the next attempt resends it.
-			n.requeueJournal(lpns[off:], stamps[off:])
+			l.requeueJournal(lpns[off:], stamps[off:])
 			return err
 		}
 		atomic.AddInt64(&n.stats.ResyncedPages, int64(end-off))
@@ -245,33 +284,30 @@ func (n *LiveNode) sendJournalPass(ps int) error {
 	return nil
 }
 
-// takeJournal swaps every shard's journal bucket out and snapshots the
-// current durable payload and stamp of every journaled page. Pages since
-// trimmed (no durable copy) are skipped. Each bucket swap is atomic under
-// its shard lock; the payload snapshot happens after release (the store is
-// internally synchronized and returns copies).
-func (n *LiveNode) takeJournal(ps int) (lpns []int64, stamps []uint64, data []byte) {
-	for si := range n.shards {
-		sh := &n.shards[si]
-		n.buf.LockShard(si)
-		if len(sh.outage) == 0 {
-			n.buf.UnlockShard(si)
+// takeJournal swaps this link's journal map out and snapshots the current
+// durable payload and stamp of every journaled page. Pages since trimmed
+// (no durable copy) are skipped. The swap is atomic under n.mu; the
+// payload snapshot happens after release (the store is internally
+// synchronized and returns copies).
+func (l *peerLink) takeJournal(ps int) (lpns []int64, stamps []uint64, data []byte) {
+	n := l.n
+	n.mu.Lock()
+	if len(l.outage) == 0 {
+		n.mu.Unlock()
+		return nil, nil, nil
+	}
+	old := l.outage
+	l.outage = make(map[int64]uint64)
+	n.mu.Unlock()
+	for lpn := range old {
+		pg := n.store.get(lpn)
+		st, ok := n.store.getStamp(lpn)
+		if pg == nil || !ok {
 			continue
 		}
-		old := sh.outage
-		sh.outage = make(map[int64]uint64)
-		n.outageLen.Add(-int64(len(old)))
-		n.buf.UnlockShard(si)
-		for lpn := range old {
-			pg := n.store.get(lpn)
-			st, ok := n.store.getStamp(lpn)
-			if pg == nil || !ok {
-				continue
-			}
-			lpns = append(lpns, lpn)
-			stamps = append(stamps, st)
-			data = append(data, pg...)
-		}
+		lpns = append(lpns, lpn)
+		stamps = append(stamps, st)
+		data = append(data, pg...)
 	}
 	return lpns, stamps, data
 }
@@ -279,21 +315,19 @@ func (n *LiveNode) takeJournal(ps int) (lpns []int64, stamps []uint64, data []by
 // requeueJournal puts unsent pages back after a failed stream, never
 // clobbering a newer entry written in the meantime. It runs only on the
 // (resyncMu-serialized) rejoin walk, so it never races the empty-check.
-func (n *LiveNode) requeueJournal(lpns []int64, stamps []uint64) {
+func (l *peerLink) requeueJournal(lpns []int64, stamps []uint64) {
+	n := l.n
+	n.mu.Lock()
+	defer n.mu.Unlock()
 	for i, lpn := range lpns {
-		si := n.buf.ShardIndex(lpn)
-		sh := &n.shards[si]
-		n.buf.LockShard(si)
-		if cur, ok := sh.outage[lpn]; ok {
+		if cur, ok := l.outage[lpn]; ok {
 			if stamps[i] > cur {
-				sh.outage[lpn] = stamps[i]
+				l.outage[lpn] = stamps[i]
 			}
-		} else if n.outageLen.Load() >= int64(n.cfg.ResyncJournalLimit) {
+		} else if len(l.outage) >= n.cfg.ResyncJournalLimit {
 			atomic.AddInt64(&n.stats.JournalDrops, 1)
 		} else {
-			sh.outage[lpn] = stamps[i]
-			n.outageLen.Add(1)
+			l.outage[lpn] = stamps[i]
 		}
-		n.buf.UnlockShard(si)
 	}
 }

@@ -1,0 +1,222 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// ringMembers builds n distinct synthetic member IDs shaped like the real
+// ones (host:port partner addresses).
+func ringMembers(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("10.0.0.%d:7%03d", i+1, i)
+	}
+	return ids
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing([]string{"a:1"}, 1); err == nil {
+		t.Fatal("single-member ring accepted")
+	}
+	if _, err := NewRing([]string{"a:1", ""}, 1); err == nil {
+		t.Fatal("empty member ID accepted")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 1); err == nil {
+		t.Fatal("duplicate member accepted")
+	}
+	r, err := NewRing([]string{"a:1", "b:2", "c:3"}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Replicas(); got != 2 {
+		t.Fatalf("replicas not clamped to members-1: got %d", got)
+	}
+	r, err = NewRing([]string{"a:1", "b:2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Replicas(); got != 1 {
+		t.Fatalf("replicas not clamped up to 1: got %d", got)
+	}
+}
+
+// TestRingDeterministicAcrossPermutations: owner assignment must depend
+// only on the membership SET — every permutation of the member list, and
+// every independently constructed ring, maps each key to the same owners.
+func TestRingDeterministicAcrossPermutations(t *testing.T) {
+	for _, size := range []int{2, 3, 4, 8, 16} {
+		members := ringMembers(size)
+		base, err := NewRing(members, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for seed := int64(1); seed <= 5; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			perm := append([]string(nil), members...)
+			rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+			r, err := NewRing(perm, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for block := int64(0); block < 256; block++ {
+				self := members[int(block)%size]
+				key := BlockKey(self, block)
+				a := base.Owners(key, self)
+				b := r.Owners(key, self)
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Fatalf("size=%d seed=%d block=%d: owners differ across permutations: %v vs %v",
+						size, seed, block, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestRingReplicationFactor: every key must get exactly min(replicas,
+// members-1) DISTINCT owners, never including the excluded home node.
+func TestRingReplicationFactor(t *testing.T) {
+	for _, size := range []int{2, 3, 5, 16} {
+		for replicas := 1; replicas <= 3; replicas++ {
+			members := ringMembers(size)
+			r, err := NewRing(members, replicas)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := replicas
+			if want > size-1 {
+				want = size - 1
+			}
+			for block := int64(0); block < 512; block++ {
+				self := members[int(block)%size]
+				owners := r.Owners(BlockKey(self, block), self)
+				if len(owners) != want {
+					t.Fatalf("size=%d replicas=%d block=%d: got %d owners, want %d",
+						size, replicas, block, len(owners), want)
+				}
+				seen := map[string]bool{}
+				for _, o := range owners {
+					if o == self {
+						t.Fatalf("size=%d block=%d: home node %q among its own owners", size, block, self)
+					}
+					if seen[o] {
+						t.Fatalf("size=%d block=%d: duplicate owner %q", size, block, o)
+					}
+					seen[o] = true
+				}
+			}
+		}
+	}
+}
+
+// TestRingMinimalRemapping: the consistent-hashing contract. Adding or
+// removing one member must remap only roughly K/N of the K watched blocks
+// — far fewer than a modulo partitioning would (nearly all).
+func TestRingMinimalRemapping(t *testing.T) {
+	const blocks = 2048
+	for _, size := range []int{3, 4, 8, 16} {
+		members := ringMembers(size)
+		before, err := NewRing(members, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		self := members[0]
+		owner := func(r *Ring, block int64) string {
+			return r.Owners(BlockKey(self, block), self)[0]
+		}
+
+		// Grow by one.
+		grown, err := NewRing(append(append([]string(nil), members...), "10.0.9.9:7999"), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for b := int64(0); b < blocks; b++ {
+			if owner(before, b) != owner(grown, b) {
+				moved++
+			}
+		}
+		// Expectation ~ blocks/(size+1); allow generous slack for vnode
+		// variance but stay far below a full reshuffle.
+		limit := 3 * blocks / (size + 1)
+		if moved > limit {
+			t.Fatalf("grow %d→%d: %d/%d blocks moved, want <= %d", size, size+1, moved, blocks, limit)
+		}
+		if moved == 0 {
+			t.Fatalf("grow %d→%d: no blocks moved to the new member", size, size+1)
+		}
+
+		// Shrink by one (drop the last member; recompute against survivors).
+		if size > 2 {
+			shrunk, err := NewRing(members[:size-1], 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			moved = 0
+			lost := members[size-1]
+			for b := int64(0); b < blocks; b++ {
+				was := owner(before, b)
+				now := owner(shrunk, b)
+				if was != now {
+					moved++
+					if was != lost {
+						// A block not owned by the departed member must
+						// keep its owner.
+						t.Fatalf("shrink: block %d moved %q→%q though %q departed", b, was, now, lost)
+					}
+				}
+			}
+			limit = 3 * blocks / size
+			if moved > limit {
+				t.Fatalf("shrink %d→%d: %d/%d blocks moved, want <= %d", size, size-1, moved, blocks, limit)
+			}
+		}
+	}
+}
+
+// TestRingBalance: with 64 vnodes per member the per-member load should
+// stay within a reasonable factor of even.
+func TestRingBalance(t *testing.T) {
+	const blocks = 8192
+	for _, size := range []int{2, 4, 8, 16} {
+		members := ringMembers(size)
+		r, err := NewRing(members, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for b := int64(0); b < blocks; b++ {
+			self := members[int(b)%size]
+			counts[r.Owners(BlockKey(self, b), self)[0]]++
+		}
+		// Every member must receive some load, and nobody more than 3x of
+		// an even share (vnode variance at 64 points is well under this).
+		even := blocks / size
+		for _, m := range members {
+			if counts[m] == 0 {
+				t.Fatalf("size=%d: member %q owns no blocks", size, m)
+			}
+			if counts[m] > 3*even {
+				t.Fatalf("size=%d: member %q owns %d blocks (even share %d)", size, m, counts[m], even)
+			}
+		}
+	}
+}
+
+// TestRingMembersSorted: Members() reports the canonical sorted list
+// whatever the construction order.
+func TestRingMembersSorted(t *testing.T) {
+	r, err := NewRing([]string{"c:3", "a:1", "b:2"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Members()
+	if !sort.StringsAreSorted(got) {
+		t.Fatalf("members not sorted: %v", got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("members = %v", got)
+	}
+}

@@ -20,6 +20,12 @@ CHAOS_SHARDS=4 go test -race ./internal/experiments/... ./internal/cluster/...
 # the race detector. Replays with CHAOS_SEED=<seed>.
 CHAOS_FLAPS=3 go test -race -run 'TestChaosLinkFlap' ./internal/cluster/check/
 
+# Ring-churn smoke: the 3-node membership-churn suite once more at a
+# pinned seed (the race sweep above already ran it at the default), so
+# every CI run covers at least one deterministic, replayable churn
+# script in addition to the suite's own per-run seeds.
+CHAOS_SEED=42 go test -race -run 'TestChaosMembershipChurn' ./internal/cluster/check/
+
 # Fuzz smoke: a short budget per target catches frame-decoder and trace-
 # parser regressions without benchmark-length time. Each invocation fuzzes
 # exactly one target (-run '^$' skips the unit tests, already run above).
@@ -29,12 +35,17 @@ go test -run '^$' -fuzz '^FuzzReadFrame$' -fuzztime 10s -fuzzminimizetime 20x ./
 go test -run '^$' -fuzz '^FuzzReadFrameV2$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzDecodeResync$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeMembership$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeEpoch$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 # Smoke-test the live write path end to end: a small loadgen run over a
 # localhost pair exercises the pipelined forwarder, batching, and the
-# latency histograms without taking benchmark-length time.
+# latency histograms without taking benchmark-length time; the ring rung
+# does the same for consistent-hash partner selection and the split
+# forwarder set (too few ops to be a measurement — the gate below is).
 go run ./cmd/loadgen -writers 4 -ops 2000 -compare=false
+go run ./cmd/loadgen -ring-scale 2,3 -writers 4 -ops 2000 -reps 1
 
 # Sharded hot-path smoke: a few iterations of the parallel write/read
 # benchmarks (correctness of the striped buffer under the benchmark
@@ -66,4 +77,14 @@ if [ -z "${CI_SKIP_BENCHGATE:-}" ]; then
 		go run ./cmd/benchgate -committed BENCH_shard.json -current /tmp/BENCH_shard.ci.json
 	}
 	run_gate || { echo "benchgate: retrying once (host noise vs regression)"; run_gate; }
+
+	# Ring gate: rerun the committed ring-scale ladder (same identity:
+	# default writers/ops, nodes 2 and 3) and hold both the per-rung
+	# regression tolerance and the absolute 0.75 per-node floor — ring
+	# membership must never tax a member's write path more than 25%.
+	ring_gate() {
+		go run ./cmd/loadgen -ring-scale 2,3 -reps 3 -json /tmp/BENCH_cluster.ci.json
+		go run ./cmd/benchgate -committed BENCH_cluster.json -current /tmp/BENCH_cluster.ci.json
+	}
+	ring_gate || { echo "benchgate: retrying once (host noise vs regression)"; ring_gate; }
 fi
