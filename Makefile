@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos chaos-flap chaos-ring fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-gate profile
+.PHONY: all build test race vet ci chaos chaos-flap chaos-ring chaos-disk fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-gate profile
 
 all: build
 
@@ -43,6 +43,15 @@ chaos-flap:
 chaos-ring:
 	$(GO) test -race -v -run 'TestChaosMembershipChurn' ./internal/cluster/check/
 
+# The disk-fault drill alone: a live pair whose primary store runs over
+# the seeded faultfs injector — torn writes at a power cut mid-eviction,
+# restart over the damaged files, scrub-and-repair from the partner's
+# backups to zero checksum mismatches, then the fsyncgate drill (a failed
+# fsync must degrade the node, not ack unsyncable writes). Three pinned
+# seeds per run; CHAOS_SEED=<seed> make chaos-disk replays.
+chaos-disk:
+	$(GO) test -race -v -run 'TestChaosTornWriteRepair' ./internal/cluster/check/
+
 # Short fuzz budgets for the wire-format and trace-parser fuzz targets.
 # The bounded -fuzzminimizetime keeps fresh corpora from spending the
 # whole budget minimizing their first interesting inputs.
@@ -53,6 +62,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeResync$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMembership$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEpoch$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSlot$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 cover:

@@ -6,6 +6,7 @@
 //	flashcoopctl -addr 127.0.0.1:8001 read <lpn>
 //	flashcoopctl -addr 127.0.0.1:8001 stats
 //	flashcoopctl -addr 127.0.0.1:8001 health
+//	flashcoopctl -addr 127.0.0.1:8001 scrub           # full on-disk checksum pass, now
 //	flashcoopctl -addr 127.0.0.1:8001 ring            # ring epoch + per-partner states
 //	flashcoopctl -addr 127.0.0.1:8001 bench -n 1000   # sequential write benchmark
 package main
@@ -68,6 +69,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(resp)
+	case "scrub":
+		resp, err := call(conn, rd, "SCRUB")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(resp)
 	case "ring":
 		// Ring view: the HEALTH fields that describe the ring layout (epoch,
 		// member count, per-partner lifecycle states), one per line.
@@ -123,7 +130,7 @@ func call(conn net.Conn, rd *bufio.Reader, line string) (string, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | ring | bench [-n count]")
+	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | scrub | ring | bench [-n count]")
 	os.Exit(2)
 }
 

@@ -6,12 +6,14 @@
 //	READ <lpn>                   read one page (prints first 16 bytes hex)
 //	STATS                        print node counters
 //	HEALTH                       print the peer lifecycle state and counters
+//	SCRUB                        verify every on-disk checksum now
 //	QUIT                         close the client connection
 //
 // Usage:
 //
 //	flashcoopd -listen :7001 -client :8001 [-peer host:7002] [-policy lar]
 //	           [-buffer 8192] [-remote 8192] [-recover]
+//	           [-datadir DIR -sync -scrub-interval 1h]
 //	           [-batch 64] [-inflight 4] [-chaos-seed N]
 //
 // Ring mode replaces -peer with the full member list (this node's -listen
@@ -64,9 +66,41 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max unacked forward frames on the wire (0 = default)")
 		shards   = flag.Int("shards", 0, "buffer lock stripes / concurrent flush streams (0 = default)")
 		evictQ   = flag.Int("evict-queue", 0, "per-shard eviction queue depth (0 = default)")
+		scrubInt = flag.Duration("scrub-interval", 0, "background on-disk checksum scrub period (0 = off; needs -datadir)")
 		chaos    = flag.Int64("chaos-seed", 0, "run this node's transport through a seeded fault injector (0 = off); for failure drills, never production")
 	)
 	flag.Parse()
+
+	// Reject nonsense before it turns into a panic or a silently-default
+	// config deep inside the node: every message names the flag, the bad
+	// value, and the accepted range.
+	if *bufPg <= 0 {
+		log.Fatalf("flashcoopd: -buffer %d is invalid: want a positive page count", *bufPg)
+	}
+	if *remote <= 0 {
+		log.Fatalf("flashcoopd: -remote %d is invalid: want a positive page count", *remote)
+	}
+	if *blocks <= 0 {
+		log.Fatalf("flashcoopd: -blocks %d is invalid: want a positive erase-block count", *blocks)
+	}
+	if *shards < 0 {
+		log.Fatalf("flashcoopd: -shards %d is invalid: want 0 (auto-size) or a positive stripe count", *shards)
+	}
+	if *evictQ < 0 {
+		log.Fatalf("flashcoopd: -evict-queue %d is invalid: want 0 (default) or a positive queue depth", *evictQ)
+	}
+	if *batch < 0 {
+		log.Fatalf("flashcoopd: -batch %d is invalid: want 0 (default) or a positive page count", *batch)
+	}
+	if *inflight < 0 {
+		log.Fatalf("flashcoopd: -inflight %d is invalid: want 0 (default) or a positive frame count", *inflight)
+	}
+	if *scrubInt < 0 {
+		log.Fatalf("flashcoopd: -scrub-interval %v is invalid: want 0 (off) or a positive period", *scrubInt)
+	}
+	if *scrubInt > 0 && *dataDir == "" {
+		log.Fatal("flashcoopd: -scrub-interval needs -datadir: a memory-backed node has no on-disk checksums to scrub")
+	}
 
 	var members []string
 	if *peers != "" {
@@ -86,6 +120,13 @@ func main() {
 		}
 		if !self {
 			members = append(members, *listen)
+		}
+		if len(members) < 2 {
+			log.Fatalf("flashcoopd: -peers lists %d member(s): a cooperative ring needs at least 2", len(members))
+		}
+		if *repl < 1 || *repl > len(members)-1 {
+			log.Fatalf("flashcoopd: -replication %d is out of range for a %d-member ring: want 1..%d backup owners per erase block",
+				*repl, len(members), len(members)-1)
 		}
 	}
 
@@ -107,6 +148,7 @@ func main() {
 		MaxInflight:   *inflight,
 		Shards:        *shards,
 		EvictQueue:    *evictQ,
+		ScrubInterval: *scrubInt,
 	}
 	if *chaos != 0 {
 		// A moderate, framing-preserving schedule: enough latency and
@@ -293,11 +335,18 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			fmt.Fprintf(conn, "OK state=%s peerAlive=%v failovers=%d suspects=%d probes=%d probeFailures=%d rejoins=%d "+
 				"resyncedPages=%d resyncFailures=%d journalDrops=%d overloads=%d breakerTrips=%d "+
 				"evictorStalls=%d persistFailures=%d groupCommitBatches=%d pagesPerSync=%.1f "+
+				"corruptSlots=%d repairedPages=%d scrubPasses=%d fsyncPoisoned=%d poisonedEvictions=%d "+
 				"membershipChanges=%d epochRejects=%d%s\n",
 				node.PeerLifecycle(), node.PeerAlive(), st.Failovers, st.Suspects, st.Probes, st.ProbeFailures, st.Rejoins,
 				st.ResyncedPages, st.ResyncFailures, st.JournalDrops, st.Overloads, st.BreakerTrips,
 				st.EvictorStalls, st.PersistFailures, st.GroupCommitBatches, pagesPerSync,
+				st.CorruptSlots, st.RepairedPages, st.ScrubPasses, st.FsyncPoisoned, st.PoisonedEvictions,
 				st.MembershipChanges, st.EpochRejects, ringFields(node))
+		case "SCRUB":
+			checked, corrupt := node.ScrubOnce()
+			st := node.Stats()
+			fmt.Fprintf(conn, "OK checked=%d corrupt=%d queued=%d corruptSlots=%d repairedPages=%d scrubPasses=%d\n",
+				checked, corrupt, node.RepairQueueLen(), st.CorruptSlots, st.RepairedPages, st.ScrubPasses)
 		case "QUIT":
 			return
 		default:

@@ -106,6 +106,48 @@ func TestClientProtocolHealth(t *testing.T) {
 	}
 }
 
+func TestClientProtocolScrub(t *testing.T) {
+	// A memory-backed node has no on-disk checksums: SCRUB reports a
+	// zero-width pass, and HEALTH carries the integrity counters.
+	node := testNode(t)
+	resps := protoSession(t, node, []string{"SCRUB", "HEALTH"})
+	if !strings.HasPrefix(resps[0], "OK checked=0 corrupt=0") {
+		t.Fatalf("SCRUB on a memory store: %q", resps[0])
+	}
+	for _, want := range []string{"corruptSlots=0", "repairedPages=0", "scrubPasses=0", "fsyncPoisoned=0", "poisonedEvictions=0"} {
+		if !strings.Contains(resps[1], want) {
+			t.Errorf("HEALTH missing %q: %q", want, resps[1])
+		}
+	}
+
+	// A disk-backed node checks every durable record.
+	disk, err := flashcoop.NewLiveNode(flashcoop.LiveConfig{
+		Name: "proto-disk", ListenAddr: "127.0.0.1:0",
+		BufferPages: 64, RemotePages: 64,
+		SSD:         flashcoop.DefaultSSD("page", 128),
+		DataDir:     t.TempDir(),
+		CallTimeout: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { disk.Close() })
+	resps = protoSession(t, disk, []string{"WRITE 1 aa", "SCRUB"})
+	if resps[0] != "OK" {
+		t.Fatalf("WRITE: %q", resps[0])
+	}
+	if err := disk.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	resps = protoSession(t, disk, []string{"SCRUB"})
+	if !strings.HasPrefix(resps[0], "OK checked=") || strings.HasPrefix(resps[0], "OK checked=0") {
+		t.Fatalf("SCRUB after flush should check durable records: %q", resps[0])
+	}
+	if !strings.Contains(resps[0], "corrupt=0") {
+		t.Fatalf("SCRUB flagged healthy records: %q", resps[0])
+	}
+}
+
 func TestClientProtocolQuit(t *testing.T) {
 	node := testNode(t)
 	server, client := net.Pipe()

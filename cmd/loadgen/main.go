@@ -312,6 +312,43 @@ func main() {
 	flag.IntVar(&opt.reps, "reps", 3, "repetitions per -shard-scale rung (the median-throughput rep is kept)")
 	flag.Float64Var(&opt.hotfrac, "hotfrac", 0.7, "fraction of page-write volume aimed at the hot region (for -stream-scale)")
 	flag.Parse()
+	// Validate up front: a bad knob should name itself and its range, not
+	// surface later as a divide-by-zero or a run that silently did nothing.
+	if opt.writers <= 0 {
+		log.Fatalf("bad -writers value %d (want a positive goroutine count)", opt.writers)
+	}
+	if opt.ops <= 0 {
+		log.Fatalf("bad -ops value %d (want a positive write count)", opt.ops)
+	}
+	if opt.pages <= 0 {
+		log.Fatalf("bad -pages value %d (want a positive pages-per-write count)", opt.pages)
+	}
+	if opt.span <= 0 {
+		log.Fatalf("bad -span value %d (want a positive working-set size)", opt.span)
+	}
+	if opt.buffer <= 0 || opt.remote <= 0 || opt.blocks <= 0 {
+		log.Fatalf("bad buffer geometry -buffer=%d -remote=%d -blocks=%d (all must be positive)",
+			opt.buffer, opt.remote, opt.blocks)
+	}
+	if opt.batch <= 0 || opt.inflight <= 0 {
+		log.Fatalf("bad pipeline shape -batch=%d -inflight=%d (both must be positive; use 1,1 for synchronous)",
+			opt.batch, opt.inflight)
+	}
+	if opt.evictQueue < 0 {
+		log.Fatalf("bad -evict-queue value %d (want 0 for the default or a positive depth)", opt.evictQueue)
+	}
+	if opt.ppb <= 0 {
+		log.Fatalf("bad -ppb value %d (want a positive pages-per-block count)", opt.ppb)
+	}
+	if opt.reps <= 0 {
+		log.Fatalf("bad -reps value %d (want a positive repetition count)", opt.reps)
+	}
+	if opt.hotfrac < 0 || opt.hotfrac > 1 {
+		log.Fatalf("bad -hotfrac value %g (want a fraction in [0, 1])", opt.hotfrac)
+	}
+	if *flap < 0 {
+		log.Fatalf("bad -flap value %d (want 0 for off or a positive cycle count)", *flap)
+	}
 	switch strings.ToLower(*streamsFlag) {
 	case "on", "true", "1":
 		opt.streams = true

@@ -143,6 +143,14 @@ const (
 // write deadline; the write was shed, not acknowledged.
 var ErrOverloaded = cluster.ErrOverloaded
 
+// ErrSyncPoisoned is returned by LiveNode.Write (and the persistence
+// paths) once an fsync of the node's page store has failed: the kernel
+// may already have dropped the dirty pages, so retrying the fsync would
+// report success without durability. The section stays poisoned until
+// the process restarts and recovers from its ring replicas; the node
+// degrades instead of acking writes it cannot persist.
+var ErrSyncPoisoned = cluster.ErrSyncPoisoned
+
 // NewNode constructs a stand-alone simulated node; attach a partner with
 // Node.Attach or use NewPair.
 func NewNode(cfg Config) (*Node, error) { return core.NewNode(cfg) }

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -291,7 +292,13 @@ func (n *LiveNode) completeBatches(si int, batches []persistedBatch) {
 // finishBatch runs one batch's post-sync bookkeeping. A persist or sync
 // error leaves the affected pages pinned in the inflight map (still
 // readable, retried by the next FlushAll) rather than dropping them on
-// the floor.
+// the floor — except a typed ErrSyncPoisoned, which is permanent: the
+// section's fsync failed once, so the kernel may already have dropped
+// dirty pages and a "successful" retry would prove nothing (fsyncgate).
+// The store latched the poison and its onPoison hook is already driving
+// the lifecycle to Degraded (scrub.go); here we only count the failure
+// and keep the pages pinned so they stay readable from the buffer —
+// their backups at the ring holders are the surviving durable copies.
 func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 	sh := &n.shards[si]
 	jobs, done, err := b.jobs, b.done, b.err
@@ -305,6 +312,12 @@ func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 	}
 	if err != nil {
 		atomic.AddInt64(&n.stats.PersistFailures, 1)
+		if errors.Is(err, ErrSyncPoisoned) {
+			// No point waking the drain scheduler for a retry that the
+			// poisoned section will reject at the put gate; the next
+			// FlushAll fails fast instead of re-running device writes.
+			atomic.AddInt64(&n.stats.PoisonedEvictions, int64(len(b.items)))
+		}
 	}
 
 	sh.persistMu.Lock()

@@ -216,7 +216,7 @@ func FuzzDecodeMembership(f *testing.F) {
 		{Type: MsgMembership, Epoch: 2, Members: []string{"10.0.0.1:7000", "10.0.0.2:7001"}},
 		{Type: MsgMembership, Epoch: 9, Origin: "10.0.0.3:7002",
 			Members: []string{"10.0.0.1:7000", "10.0.0.2:7001", "10.0.0.3:7002", "10.0.0.4:7003"}},
-		{Type: MsgMembership, Epoch: 1, Members: []string{"a:1", "a:1"}},        // duplicate
+		{Type: MsgMembership, Epoch: 1, Members: []string{"a:1", "a:1"}},       // duplicate
 		{Type: MsgMembership, Epoch: 1, Members: []string{""}},                 // empty ID
 		{Type: MsgMembership, Epoch: 0, Members: []string{"a:1", "b:2"}},       // zero epoch
 		{Type: MsgMembership, Epoch: ^uint64(0), Members: []string{"x:1"}},     // max epoch
@@ -363,6 +363,54 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if !messagesEqual(m, m2) {
 			t.Fatalf("frame round trip changed the message:\n  first:  %+v\n  second: %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeSlot feeds arbitrary bytes to the v1 page-store record
+// decoder: it must never panic, never accept a record whose checksum or
+// self-description is wrong, and any live record it does accept must
+// re-encode to the identical bytes — the property that makes scrub and
+// repair trustworthy against torn, misdirected, and bit-rotted writes.
+func FuzzDecodeSlot(f *testing.F) {
+	const ps = 64
+	live := make([]byte, slotHeaderSize+ps)
+	encodeSlot(live, 42, 7, bytes.Repeat([]byte{0x5A}, ps))
+	free := make([]byte, slotHeaderSize+ps)
+	encodeFreeSlot(free)
+	f.Add(live)
+	f.Add(free)
+	flipped := append([]byte(nil), live...)
+	flipped[slotHeaderSize] ^= 1
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add(live[:slotHeaderSize]) // truncated: header only
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Wrong-length inputs must be rejected, not sliced out of bounds.
+		if _, _, _, ok := decodeSlot(data, ps); ok && len(data) != slotHeaderSize+ps {
+			t.Fatalf("decoder accepted %d bytes as a %d-byte record", len(data), slotHeaderSize+ps)
+		}
+		dps := len(data) - slotHeaderSize
+		if dps < 0 {
+			return
+		}
+		lpn, stamp, isFree, ok := decodeSlot(data, dps)
+		if !ok {
+			return
+		}
+		if isFree {
+			if lpn != freeSlotMarker || stamp != 0 {
+				t.Fatalf("accepted free slot decodes to lpn=%d stamp=%d", lpn, stamp)
+			}
+			return
+		}
+		if lpn < 0 {
+			t.Fatalf("accepted live record with negative lpn %d", lpn)
+		}
+		re := make([]byte, len(data))
+		encodeSlot(re, lpn, stamp, data[slotHeaderSize:])
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted record is not canonical:\n  got  % x\n  want % x", data, re)
 		}
 	})
 }

@@ -14,6 +14,7 @@ import (
 
 	"flashcoop/internal/buffer"
 	"flashcoop/internal/core"
+	"flashcoop/internal/faultfs"
 	"flashcoop/internal/metrics"
 	"flashcoop/internal/sim"
 	"flashcoop/internal/ssd"
@@ -74,6 +75,18 @@ type LiveConfig struct {
 	// SyncWrites fsyncs the page store after every persist batch (slower,
 	// stronger durability). Only meaningful with DataDir.
 	SyncWrites bool
+	// FS injects the filesystem layer under the page-store files. nil
+	// defaults to the real OS (faultfs.OS()); chaos harnesses plug a
+	// seeded faultfs.Injector in here so disk faults (torn writes, failed
+	// fsyncs, bit rot, power cuts) compose with faultnet's network faults.
+	// Only meaningful with DataDir.
+	FS faultfs.FS
+	// ScrubInterval, when positive, runs a background integrity scrubber
+	// that re-reads and checksums a batch of store records each tick,
+	// queueing any corrupt page for repair from its ring holders. 0 (the
+	// default) disables background scrubbing; ScrubOnce remains available
+	// either way. Only meaningful with DataDir.
+	ScrubInterval time.Duration
 
 	// SyncInterval and MaxSyncBatch tune the group-commit fsync
 	// coordinator (see groupcommit.go; only active with DataDir and
@@ -280,6 +293,13 @@ type LiveStats struct {
 	// Ring membership counters (see membership.go).
 	EpochRejects      int64 // data-plane frames rejected for a stale ownership epoch
 	MembershipChanges int64 // SetMembers reconfigurations applied
+
+	// Storage-integrity counters (see scrub.go, pagestore.go).
+	CorruptSlots      int64 // store records that failed checksum/self-description verification
+	RepairedPages     int64 // corrupt/missing pages healed from ring holders (repair + recovery)
+	ScrubPasses       int64 // completed full-store scrub sweeps
+	FsyncPoisoned     int64 // store sections permanently poisoned by a failed fsync
+	PoisonedEvictions int64 // evicted pages whose sync stage hit a poisoned section (stay pinned)
 }
 
 // LatencyStats summarizes a latency distribution; quantiles are in
@@ -389,6 +409,19 @@ type LiveNode struct {
 
 	admit chan struct{} // write admission semaphore (AdmissionLimit slots)
 
+	// Storage-integrity machinery (see scrub.go). repairSet is the dedup'd
+	// queue of LPNs awaiting repair from ring holders (fed by load-time
+	// scan, runtime read verification, and the scrubber); poisonCh carries
+	// fsync-poison events from store sections to the watcher goroutine —
+	// the poison hook can fire under persistMu + shard lock, so lifecycle
+	// propagation must be asynchronous. poisonedAny is the Write fast
+	// path's cheap gate.
+	repairMu    sync.Mutex
+	repairSet   map[int64]struct{}
+	repairKick  chan struct{}
+	poisonCh    chan error
+	poisonedAny atomic.Bool
+
 	stats    LiveStats // atomic access only
 	pagePool sync.Pool // page-size []byte buffers for dirtyData/remoteData
 
@@ -423,7 +456,11 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	ns := buf.NumShards()
 	var store pageStore = newShardedMemStore(ns, dev.PagesPerBlock())
 	if cfg.DataDir != "" {
-		store, err = newShardedFileStore(cfg.DataDir, dev.PageSize(), cfg.SyncWrites, cfg.SyncBarrier, ns, dev.PagesPerBlock())
+		fsys := cfg.FS
+		if fsys == nil {
+			fsys = faultfs.OS()
+		}
+		store, err = newShardedFileStore(fsys, cfg.DataDir, dev.PageSize(), cfg.SyncWrites, cfg.SyncBarrier, ns, dev.PagesPerBlock())
 		if err != nil {
 			return nil, err
 		}
@@ -478,6 +515,10 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		n.wg.Add(1)
 		go n.gc.run(&n.wg)
 	}
+	// Integrity hooks must be wired before any evictor or serve goroutine
+	// can touch the store (they fire from flush/get deep inside persist
+	// critical sections).
+	n.initIntegrity()
 	n.wg.Add(1 + ns)
 	go n.acceptLoop()
 	for i := 0; i < ns; i++ {
@@ -607,6 +648,11 @@ func (n *LiveNode) Stats() LiveStats {
 		BreakerTrips:       atomic.LoadInt64(&n.stats.BreakerTrips),
 		EpochRejects:       atomic.LoadInt64(&n.stats.EpochRejects),
 		MembershipChanges:  atomic.LoadInt64(&n.stats.MembershipChanges),
+		CorruptSlots:       atomic.LoadInt64(&n.stats.CorruptSlots),
+		RepairedPages:      atomic.LoadInt64(&n.stats.RepairedPages),
+		ScrubPasses:        atomic.LoadInt64(&n.stats.ScrubPasses),
+		FsyncPoisoned:      atomic.LoadInt64(&n.stats.FsyncPoisoned),
+		PoisonedEvictions:  atomic.LoadInt64(&n.stats.PoisonedEvictions),
 	}
 }
 
@@ -825,6 +871,17 @@ func (n *LiveNode) Write(lpn int64, data []byte) error {
 		return err
 	}
 	defer n.releaseWrite()
+	// A write whose pages land in a poisoned store section can never be
+	// made durable — fail fast instead of acking and buffering data with
+	// no way down (see ErrSyncPoisoned). The atomic gate keeps the check
+	// off the hot path until a poisoning actually happens.
+	if n.poisonedAny.Load() {
+		for i := 0; i < pages; i++ {
+			if psn, ok := n.sectionFor(lpn + int64(i)).(poisonedSection); ok && psn.storePoisoned() {
+				return fmt.Errorf("cluster %s: %w", n.cfg.Name, ErrSyncPoisoned)
+			}
+		}
+	}
 	atomic.AddInt64(&n.stats.Writes, 1)
 	n.winWrites.Add(1)
 
@@ -1171,7 +1228,10 @@ func (n *LiveNode) recoverFromLink(l *peerLink, origin string) error {
 		st := resp.Stamps[i]
 		sh := &n.shards[n.buf.ShardIndex(lpn)]
 		sh.persistMu.Lock()
-		if local, ok := n.store.getStamp(lpn); ok && local >= st {
+		// The stale-skip additionally demands the local record verify: a
+		// corrupt local copy with a winning stamp must NOT suppress the
+		// only intact version of the page the ring still holds.
+		if local, ok := n.store.getStamp(lpn); ok && local >= st && storeVerify(n.store, lpn) {
 			atomic.AddInt64(&n.stats.StaleRecoverySkips, 1)
 			sh.persistMu.Unlock()
 			continue
@@ -1194,6 +1254,11 @@ func (n *LiveNode) recoverFromLink(l *peerLink, origin string) error {
 			return perr
 		}
 		atomic.AddInt64(&n.stats.Persists, 1)
+		// A recovered page that was queued for repair (corrupt at load or
+		// detected since) just got healed by this apply.
+		if n.clearRepair(lpn) {
+			atomic.AddInt64(&n.stats.RepairedPages, 1)
+		}
 		sh.persistMu.Unlock()
 		// Resume the global stamp past every recovered version so new
 		// writes order after them on every shard.
@@ -1414,6 +1479,29 @@ func (n *LiveNode) handle(m *Message) *Message {
 		}
 		n.mu.Unlock()
 		return &Message{Type: MsgRCTData, LPNs: lpns, Stamps: stamps, Data: data}
+	case MsgRepair:
+		// A partner asking for the newest backup copies it can get of
+		// specific (corrupt on its side) pages. Unlike MsgFetchRCT this is
+		// a targeted read-only probe: the hold is NOT cleaned — the pages
+		// stay protected until the owner's normal discard flow drops them.
+		n.mu.Lock()
+		h := n.holdForLocked(m.Origin, false)
+		var lpns []int64
+		var stamps []uint64
+		var data []byte
+		if h != nil {
+			for _, lpn := range m.LPNs {
+				pg := h.data[lpn]
+				if pg == nil || !h.store.Contains(lpn) {
+					continue
+				}
+				lpns = append(lpns, lpn)
+				stamps = append(stamps, h.stamp[lpn])
+				data = append(data, pg...)
+			}
+		}
+		n.mu.Unlock()
+		return &Message{Type: MsgRepairResp, LPNs: lpns, Stamps: stamps, Data: data}
 	case MsgCleanRemote:
 		n.mu.Lock()
 		if h := n.holdForLocked(m.Origin, false); h != nil {

@@ -1,13 +1,28 @@
 package cluster
 
 import (
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
+
+	"flashcoop/internal/faultfs"
 )
+
+// ErrSyncPoisoned is returned by every put/flush on a store section whose
+// fsync has failed once. Per fsyncgate semantics, a failed fsync means the
+// kernel may already have DROPPED the dirty pages — a retried fsync then
+// "succeeds" while covering nothing, so retrying and pretending is the one
+// unforgivable response. The section latches the failure permanently:
+// writes fail fast, the lifecycle is driven to Degraded, and only a
+// process restart (which rebuilds state from the medium and its peers)
+// clears it.
+var ErrSyncPoisoned = errors.New("cluster: store section poisoned by failed fsync")
 
 // pageStore is the durable medium behind a live node: what survives once a
 // page has been flushed from the cooperative buffer. Each page carries its
@@ -20,7 +35,8 @@ import (
 // that the caller owns — mutating a read result can never corrupt the
 // store.
 type pageStore interface {
-	// get returns a copy of the stored payload for lpn, or nil when absent.
+	// get returns a copy of the stored payload for lpn, or nil when absent
+	// (or, for checksummed stores, when the record fails verification).
 	get(lpn int64) []byte
 	// getStamp returns the stored write stamp for lpn.
 	getStamp(lpn int64) (uint64, bool)
@@ -81,6 +97,31 @@ type fsBarrier interface {
 // parallel; semantics are identical to calling put page by page.
 type runPutter interface {
 	putRun(lpns []int64, data [][]byte, stamps []uint64) error
+}
+
+// storeVerifier is the optional integrity extension: verify re-reads and
+// checksums lpn's record without mutating any counters, reporting whether
+// the local durable copy is intact. Recovery and repair use it to decide
+// whether a stamp comparison against a peer copy can be trusted.
+type storeVerifier interface {
+	verify(lpn int64) bool
+}
+
+// corruptTracker is the optional corruption-accounting extension.
+type corruptTracker interface {
+	// takeCorrupt drains the LPNs of records that failed verification at
+	// load time (their lpn self-description was still parseable) — repair
+	// candidates for the ring.
+	takeCorrupt() []int64
+	// corruptCount reports how many corrupt records have been detected
+	// over the store's lifetime (load + runtime).
+	corruptCount() int64
+}
+
+// poisonedSection is the optional fsync-poison extension (see
+// ErrSyncPoisoned).
+type poisonedSection interface {
+	storePoisoned() bool
 }
 
 // memStore is the default in-memory medium (contents die with the process,
@@ -152,13 +193,99 @@ func (s *memStore) flush() error { return nil }
 
 func (s *memStore) close() error { return nil }
 
+// On-disk format (v1). The file opens with a 16-byte header:
+//
+//	[4B magic "FCPS"][1B version][3B zero][4B BE page size][4B zero]
+//
+// followed by fixed-size slots of a 24-byte record header plus the page
+// payload:
+//
+//	[4B BE CRC32-C][1B flags][3B zero][8B BE lpn][8B BE stamp][payload]
+//
+// The CRC (Castagnoli, same table the v2 wire frames use) covers bytes
+// 4..24+pageSize of a live record and bytes 4..24 of a free one (flags
+// bit 0 set, lpn = -1, stamp = 0), so a free slot's stale payload bytes
+// never count against it. The lpn in the record is self-description: a
+// read that returns a VALID record for the WRONG lpn (a misdirected
+// write) fails verification just like a torn one. Legacy v0 files
+// ([8B lpn][8B stamp][payload] per record, no file header, no checksums)
+// are migrated to v1 once at open via a write-to-temp + rename.
+var storeMagic = [4]byte{'F', 'C', 'P', 'S'}
+
+const (
+	storeVersion    = 1
+	storeHeaderSize = 16
+	slotHeaderSize  = 24
+	slotFlagFree    = 1 // flags bit 0: record is a free slot
+	slotHeaderV0    = 16
+)
+
+// freeSlotMarker marks a deleted record (the lpn field of a free slot).
+const freeSlotMarker = int64(-1)
+
+// encodeSlot fills rec (slotHeaderSize+len(payload) bytes) with a live v1
+// record.
+func encodeSlot(rec []byte, lpn int64, stamp uint64, payload []byte) {
+	rec[4], rec[5], rec[6], rec[7] = 0, 0, 0, 0
+	binary.BigEndian.PutUint64(rec[8:16], uint64(lpn))
+	binary.BigEndian.PutUint64(rec[16:24], stamp)
+	copy(rec[slotHeaderSize:], payload)
+	binary.BigEndian.PutUint32(rec[:4], crc32.Checksum(rec[4:], castagnoli))
+}
+
+// encodeFreeSlot fills hdr (at least slotHeaderSize bytes) with a free v1
+// record header; payload bytes beyond it are not covered by the CRC.
+func encodeFreeSlot(hdr []byte) {
+	hdr[4], hdr[5], hdr[6], hdr[7] = slotFlagFree, 0, 0, 0
+	marker := freeSlotMarker // via a variable: uint64(-1) is a constant overflow
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(marker))
+	binary.BigEndian.PutUint64(hdr[16:24], 0)
+	binary.BigEndian.PutUint32(hdr[:4], crc32.Checksum(hdr[4:slotHeaderSize], castagnoli))
+}
+
+// decodeSlot validates one v1 record carrying a pageSize-byte payload.
+// ok=false means the record is torn, bit-rotted, or malformed; free
+// reports a (valid) free slot.
+func decodeSlot(rec []byte, pageSize int) (lpn int64, stamp uint64, free, ok bool) {
+	if len(rec) != slotHeaderSize+pageSize {
+		return 0, 0, false, false
+	}
+	if rec[4]&^byte(slotFlagFree) != 0 || rec[5]|rec[6]|rec[7] != 0 {
+		return 0, 0, false, false
+	}
+	crc := binary.BigEndian.Uint32(rec[:4])
+	free = rec[4]&slotFlagFree != 0
+	cover := rec[4:]
+	if free {
+		cover = rec[4:slotHeaderSize]
+	}
+	if crc32.Checksum(cover, castagnoli) != crc {
+		return 0, 0, false, false
+	}
+	lpn = int64(binary.BigEndian.Uint64(rec[8:16]))
+	stamp = binary.BigEndian.Uint64(rec[16:24])
+	if free {
+		if lpn != freeSlotMarker || stamp != 0 {
+			return 0, 0, true, false
+		}
+		return lpn, stamp, true, true
+	}
+	if lpn < 0 {
+		return 0, 0, false, false
+	}
+	return lpn, stamp, false, true
+}
+
 // fileStore persists pages in a single slotted file so a restarted daemon
-// keeps its data. Layout: fixed-size records of [8-byte big-endian lpn |
-// 8-byte big-endian write stamp | page payload]; a record whose lpn field
-// is -1 is a free slot. The index is rebuilt by scanning the file at open.
+// keeps its data (see the v1 format comment above). The index is rebuilt
+// by scanning — and checksumming — every record at open; corrupt records
+// are freed, counted, and their self-described LPNs queued as repair
+// candidates.
 type fileStore struct {
 	mu       sync.Mutex
-	f        *os.File
+	f        faultfs.File
+	fsys     faultfs.FS
+	path     string
 	pageSize int
 	index    map[int64]fileSlot // lpn -> slot + cached stamp
 	free     []int64            // reusable slots
@@ -167,6 +294,24 @@ type fileStore struct {
 	sync     bool               // fsync on flush
 	barrier  bool               // advertise the whole-filesystem barrier (see fsBarrier)
 	puts     uint64             // write generation: bumped by every put
+	suspects []int64            // load-time corrupt records with a parseable lpn
+
+	// corrupt counts records that failed verification (load + runtime,
+	// each record at most once until repaired).
+	corrupt atomic.Int64
+	// onCorrupt, when set, is invoked (outside mu) with the lpn of each
+	// newly detected corrupt record — the node hooks this to queue ring
+	// repair. Set before the node's goroutines start, like barrier.
+	onCorrupt func(lpn int64)
+
+	// Fsync-poison latch (see ErrSyncPoisoned): once an fsync fails, the
+	// section permanently fails puts and flushes. perr is stored before
+	// poisonFlag flips so any reader that observes the flag also observes
+	// the error. onPoison fires exactly once, outside all store locks.
+	poisonFlag atomic.Bool
+	perr       atomic.Value // error
+	poisonOnce sync.Once
+	onPoison   func(err error)
 
 	// syncMu serializes fsync, deliberately apart from mu: holding the
 	// record lock across f.Sync would stall every put (and get) behind the
@@ -195,15 +340,20 @@ func advanceSynced(gen *atomic.Uint64, v uint64) {
 type fileSlot struct {
 	slot  int64
 	stamp uint64
+	bad   bool // record failed verification; awaiting repair
 }
 
 const fileStoreName = "pagestore.dat"
 
-// fileHeaderSize is the per-record metadata: lpn + write stamp.
-const fileHeaderSize = 16
-
-// freeSlotMarker marks a deleted record.
-const freeSlotMarker = int64(-1)
+// storeDatasync is datasync through the faultfs layer: real files keep the
+// fdatasync fast path, injected ones go through their Sync (where the
+// fault schedule lives).
+func storeDatasync(f faultfs.File) error {
+	if of, ok := f.(*faultfs.OSFile); ok {
+		return datasync(of.File)
+	}
+	return f.Sync()
+}
 
 // newFileStore opens (creating if needed) the page store in dir.
 func newFileStore(dir string, pageSize int, syncWrites bool) (*fileStore, error) {
@@ -214,75 +364,372 @@ func newFileStore(dir string, pageSize int, syncWrites bool) (*fileStore, error)
 // sharded store gives each shard its own file so per-shard evictors fsync
 // independent streams instead of convoying on one inode.
 func newFileStoreAt(dir, name string, pageSize int, syncWrites bool) (*fileStore, error) {
+	return newFileStoreFS(faultfs.OS(), dir, name, pageSize, syncWrites)
+}
+
+// newFileStoreFS opens a page store through an explicit filesystem layer —
+// faultfs.OS() in production, a faultfs.Injector under chaos.
+func newFileStoreFS(fsys faultfs.FS, dir, name string, pageSize int, syncWrites bool) (*fileStore, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cluster: pagestore dir: %w", err)
 	}
 	path := filepath.Join(dir, name)
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	f, err := fsys.OpenFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: pagestore: %w", err)
 	}
 	s := &fileStore{
 		f:        f,
+		fsys:     fsys,
+		path:     path,
 		pageSize: pageSize,
 		index:    make(map[int64]fileSlot),
 		sync:     syncWrites,
 	}
 	if err := s.load(); err != nil {
-		f.Close()
+		s.f.Close()
 		return nil, err
 	}
 	return s, nil
 }
 
-func (s *fileStore) recordSize() int64 { return int64(fileHeaderSize + s.pageSize) }
+func (s *fileStore) recordSize() int64 { return int64(slotHeaderSize + s.pageSize) }
 
-// load rebuilds the index from the slotted file.
-func (s *fileStore) load() error {
-	st, err := s.f.Stat()
-	if err != nil {
-		return err
-	}
-	rs := s.recordSize()
-	if st.Size()%rs != 0 {
-		return fmt.Errorf("cluster: pagestore size %d not a multiple of record size %d (page size or format mismatch?)",
-			st.Size(), rs)
-	}
-	s.slots = st.Size() / rs
-	var hdr [fileHeaderSize]byte
-	for slot := int64(0); slot < s.slots; slot++ {
-		if _, err := s.f.ReadAt(hdr[:], slot*rs); err != nil {
-			return fmt.Errorf("cluster: pagestore load: %w", err)
-		}
-		lpn := int64(binary.BigEndian.Uint64(hdr[:8]))
-		if lpn == freeSlotMarker {
-			s.free = append(s.free, slot)
-			continue
-		}
-		if lpn < 0 {
-			return fmt.Errorf("cluster: pagestore corrupt lpn %d at slot %d", lpn, slot)
-		}
-		stamp := binary.BigEndian.Uint64(hdr[8:])
-		s.index[lpn] = fileSlot{slot: slot, stamp: stamp}
-		if stamp > s.max {
-			s.max = stamp
-		}
+func (s *fileStore) slotOff(slot int64) int64 { return storeHeaderSize + slot*s.recordSize() }
+
+func (s *fileStore) writeHeader() error {
+	var hdr [storeHeaderSize]byte
+	copy(hdr[:4], storeMagic[:])
+	hdr[4] = storeVersion
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(s.pageSize))
+	if _, err := s.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("cluster: pagestore header: %w", err)
 	}
 	return nil
 }
 
+// load rebuilds the index from the slotted file, migrating legacy v0
+// files to the checksummed v1 format first.
+func (s *fileStore) load() error {
+	size, err := s.f.Size()
+	if err != nil {
+		return fmt.Errorf("cluster: pagestore: %w", err)
+	}
+	if size == 0 {
+		return s.writeHeader()
+	}
+	var hdr [storeHeaderSize]byte
+	if size >= storeHeaderSize {
+		if _, err := s.f.ReadAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("cluster: pagestore load: %w", err)
+		}
+	}
+	if size >= storeHeaderSize && bytes.Equal(hdr[:4], storeMagic[:]) {
+		if hdr[4] != storeVersion {
+			return fmt.Errorf("cluster: pagestore %s: unsupported format version %d", s.path, hdr[4])
+		}
+		if ps := int(binary.BigEndian.Uint32(hdr[8:12])); ps != s.pageSize {
+			return fmt.Errorf("cluster: pagestore %s: page size %d on disk, opened with %d (page size or format mismatch?)",
+				s.path, ps, s.pageSize)
+		}
+		return s.loadV1(size)
+	}
+	if err := s.migrateV0(size); err != nil {
+		return err
+	}
+	size, err = s.f.Size()
+	if err != nil {
+		return fmt.Errorf("cluster: pagestore: %w", err)
+	}
+	return s.loadV1(size)
+}
+
+// loadV1 scans and verifies every record. Corrupt records are counted,
+// their slot freed (a clean free header is written over them so later
+// scrub passes stay quiet), and their self-described lpn — when it parses
+// — queued as a repair suspect for the ring. A trailing partial record
+// (torn append at crash) is normalized into a free slot the same way.
+func (s *fileStore) loadV1(size int64) error {
+	rs := s.recordSize()
+	body := size - storeHeaderSize
+	s.slots = body / rs
+	tail := body % rs
+	rec := make([]byte, rs)
+	for slot := int64(0); slot < s.slots; slot++ {
+		if _, err := s.f.ReadAt(rec, s.slotOff(slot)); err != nil {
+			return fmt.Errorf("cluster: pagestore load: %w", err)
+		}
+		lpn, stamp, free, ok := decodeSlot(rec, s.pageSize)
+		switch {
+		case ok && free:
+			s.free = append(s.free, slot)
+		case ok:
+			s.index[lpn] = fileSlot{slot: slot, stamp: stamp}
+			if stamp > s.max {
+				s.max = stamp
+			}
+		default:
+			s.corrupt.Add(1)
+			if raw := int64(binary.BigEndian.Uint64(rec[8:16])); raw >= 0 {
+				s.suspects = append(s.suspects, raw)
+			}
+			s.freeSlotOnDisk(slot)
+			s.free = append(s.free, slot)
+		}
+	}
+	if tail > 0 {
+		s.corrupt.Add(1)
+		s.freeSlotOnDisk(s.slots)
+		s.free = append(s.free, s.slots)
+		s.slots++
+	}
+	return nil
+}
+
+// freeSlotOnDisk best-effort overwrites slot with a full-size clean free
+// record, so a once-detected corrupt slot is not re-detected every pass.
+func (s *fileStore) freeSlotOnDisk(slot int64) {
+	rec := make([]byte, s.recordSize())
+	encodeFreeSlot(rec)
+	s.f.WriteAt(rec, s.slotOff(slot)) //nolint:errcheck // best effort
+}
+
+// migrateV0 rewrites a legacy (un-checksummed) file as v1 via a temp file
+// and an atomic rename; free v0 slots are compacted away. A crash before
+// the rename leaves the original untouched; stale temp files are removed
+// at the next open.
+func (s *fileStore) migrateV0(size int64) error {
+	rsV0 := int64(slotHeaderV0 + s.pageSize)
+	if size%rsV0 != 0 {
+		return fmt.Errorf("cluster: pagestore size %d not a multiple of record size %d (page size or format mismatch?)",
+			size, rsV0)
+	}
+	tmp := s.path + ".migrate"
+	s.fsys.Remove(tmp) //nolint:errcheck // stale leftovers only
+	nf, err := s.fsys.OpenFile(tmp)
+	if err != nil {
+		return fmt.Errorf("cluster: pagestore migrate: %w", err)
+	}
+	fail := func(err error) error {
+		nf.Close()
+		s.fsys.Remove(tmp) //nolint:errcheck
+		return fmt.Errorf("cluster: pagestore migrate: %w", err)
+	}
+	var hdr [storeHeaderSize]byte
+	copy(hdr[:4], storeMagic[:])
+	hdr[4] = storeVersion
+	binary.BigEndian.PutUint32(hdr[8:12], uint32(s.pageSize))
+	if _, err := nf.WriteAt(hdr[:], 0); err != nil {
+		return fail(err)
+	}
+	rs := s.recordSize()
+	old := make([]byte, rsV0)
+	rec := make([]byte, rs)
+	out := int64(0)
+	for slot := int64(0); slot < size/rsV0; slot++ {
+		if _, err := s.f.ReadAt(old, slot*rsV0); err != nil {
+			return fail(err)
+		}
+		lpn := int64(binary.BigEndian.Uint64(old[:8]))
+		if lpn == freeSlotMarker {
+			continue
+		}
+		if lpn < 0 {
+			return fail(fmt.Errorf("corrupt lpn %d at v0 slot %d", lpn, slot))
+		}
+		encodeSlot(rec, lpn, binary.BigEndian.Uint64(old[8:16]), old[slotHeaderV0:])
+		if _, err := nf.WriteAt(rec, storeHeaderSize+out*rs); err != nil {
+			return fail(err)
+		}
+		out++
+	}
+	if err := nf.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := nf.Close(); err != nil {
+		return fail(err)
+	}
+	s.f.Close()
+	if err := s.fsys.Rename(tmp, s.path); err != nil {
+		return fmt.Errorf("cluster: pagestore migrate rename: %w", err)
+	}
+	f, err := s.fsys.OpenFile(s.path)
+	if err != nil {
+		return fmt.Errorf("cluster: pagestore migrate reopen: %w", err)
+	}
+	s.f = f
+	return nil
+}
+
+// get returns the verified payload for lpn, or nil. A record that fails
+// its checksum or does not self-describe as (lpn, indexed stamp) — a
+// torn, misdirected, or bit-rotted write — is reported once through
+// onCorrupt and KEPT in the index: its cached stamp still ranks repair
+// candidates, and a later put (repair or fresh write) heals the slot.
 func (s *fileStore) get(lpn int64) []byte {
+	s.mu.Lock()
+	fs, ok := s.index[lpn]
+	if !ok {
+		s.mu.Unlock()
+		return nil
+	}
+	var report func(int64)
+	rec := make([]byte, s.recordSize())
+	if _, err := s.f.ReadAt(rec, s.slotOff(fs.slot)); err != nil {
+		// Unreadable (I/O error): possibly transient, so no bad-mark, but
+		// still a repair candidate.
+		report = s.onCorrupt
+		s.mu.Unlock()
+		if report != nil {
+			report(lpn)
+		}
+		return nil
+	}
+	glpn, gstamp, free, okRec := decodeSlot(rec, s.pageSize)
+	if !okRec || free || glpn != lpn || gstamp != fs.stamp {
+		if !fs.bad {
+			fs.bad = true
+			s.index[lpn] = fs
+			s.corrupt.Add(1)
+			report = s.onCorrupt
+		}
+		s.mu.Unlock()
+		if report != nil {
+			report(lpn)
+		}
+		return nil
+	}
+	if fs.bad {
+		fs.bad = false
+		s.index[lpn] = fs
+	}
+	s.mu.Unlock()
+	return rec[slotHeaderSize:]
+}
+
+// verify reports whether lpn's durable record is present and intact,
+// without touching corruption counters.
+func (s *fileStore) verify(lpn int64) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fs, ok := s.index[lpn]
 	if !ok {
-		return nil
+		return false
 	}
-	buf := make([]byte, s.pageSize)
-	if _, err := s.f.ReadAt(buf, fs.slot*s.recordSize()+fileHeaderSize); err != nil {
-		return nil
+	rec := make([]byte, s.recordSize())
+	if _, err := s.f.ReadAt(rec, s.slotOff(fs.slot)); err != nil {
+		return false
 	}
-	return buf
+	glpn, gstamp, free, okRec := decodeSlot(rec, s.pageSize)
+	return okRec && !free && glpn == lpn && gstamp == fs.stamp
+}
+
+func (s *fileStore) takeCorrupt() []int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.suspects
+	s.suspects = nil
+	return out
+}
+
+func (s *fileStore) corruptCount() int64 { return s.corrupt.Load() }
+
+func (s *fileStore) storePoisoned() bool { return s.poisonFlag.Load() }
+
+// poison latches a permanent sync failure (see ErrSyncPoisoned) and
+// returns the latched error.
+func (s *fileStore) poison(cause error) error {
+	s.poisonOnce.Do(func() {
+		err := fmt.Errorf("%w: %s: %v", ErrSyncPoisoned, s.path, cause)
+		s.perr.Store(err)
+		s.poisonFlag.Store(true)
+		if s.onPoison != nil {
+			s.onPoison(err)
+		}
+	})
+	return s.poisonErr()
+}
+
+func (s *fileStore) poisonErr() error {
+	if e, _ := s.perr.Load().(error); e != nil {
+		return e
+	}
+	return ErrSyncPoisoned
+}
+
+// scrubRange verifies up to maxSlots records starting at slot start (one
+// lock hold — keep batches modest). It returns the next cursor (0 after
+// wrapping), how many slots were checked, and the LPNs of every indexed
+// record currently failing verification; newly detected ones are also
+// counted and reported through onCorrupt. Unindexed slots holding invalid
+// bytes (crash remnants on freed slots) are silently rewritten as clean
+// free records.
+func (s *fileStore) scrubRange(start int64, maxSlots int) (next int64, checked int, bad []int64) {
+	s.mu.Lock()
+	total := s.slots
+	if start >= total {
+		start = 0
+	}
+	if total == 0 {
+		s.mu.Unlock()
+		return 0, 0, nil
+	}
+	end := start + int64(maxSlots)
+	if end > total {
+		end = total
+	}
+	owner := make(map[int64]int64, maxSlots) // slot -> lpn, batch only
+	for lpn, fs := range s.index {
+		if fs.slot >= start && fs.slot < end {
+			owner[fs.slot] = lpn
+		}
+	}
+	var newly []int64
+	rec := make([]byte, s.recordSize())
+	for slot := start; slot < end; slot++ {
+		checked++
+		lpn, owned := owner[slot]
+		_, rerr := s.f.ReadAt(rec, s.slotOff(slot))
+		var glpn int64
+		var gstamp uint64
+		var free, okRec bool
+		if rerr == nil {
+			glpn, gstamp, free, okRec = decodeSlot(rec, s.pageSize)
+		}
+		if !owned {
+			if rerr == nil && !(okRec && free) {
+				s.freeSlotOnDisk(slot)
+			}
+			continue
+		}
+		fs := s.index[lpn]
+		if rerr == nil && okRec && !free && glpn == lpn && gstamp == fs.stamp {
+			if fs.bad {
+				fs.bad = false
+				s.index[lpn] = fs
+			}
+			continue
+		}
+		if !fs.bad {
+			fs.bad = true
+			s.index[lpn] = fs
+			s.corrupt.Add(1)
+			newly = append(newly, lpn)
+		}
+		bad = append(bad, lpn)
+	}
+	next = end
+	if next >= total {
+		next = 0
+	}
+	cb := s.onCorrupt
+	s.mu.Unlock()
+	if cb != nil {
+		for _, lpn := range newly {
+			cb(lpn)
+		}
+	}
+	return next, checked, bad
 }
 
 func (s *fileStore) getStamp(lpn int64) (uint64, bool) {
@@ -293,6 +740,9 @@ func (s *fileStore) getStamp(lpn int64) (uint64, bool) {
 }
 
 func (s *fileStore) put(lpn int64, data []byte, stamp uint64) error {
+	if s.poisonFlag.Load() {
+		return s.poisonErr()
+	}
 	if len(data) != s.pageSize {
 		return fmt.Errorf("cluster: pagestore put of %d bytes, want %d", len(data), s.pageSize)
 	}
@@ -309,10 +759,8 @@ func (s *fileStore) put(lpn int64, data []byte, stamp uint64) error {
 		s.slots++
 	}
 	rec := make([]byte, s.recordSize())
-	binary.BigEndian.PutUint64(rec[:8], uint64(lpn))
-	binary.BigEndian.PutUint64(rec[8:16], stamp)
-	copy(rec[fileHeaderSize:], data)
-	if _, err := s.f.WriteAt(rec, slot*s.recordSize()); err != nil {
+	encodeSlot(rec, lpn, stamp, data)
+	if _, err := s.f.WriteAt(rec, s.slotOff(slot)); err != nil {
 		return fmt.Errorf("cluster: pagestore write: %w", err)
 	}
 	s.index[lpn] = fileSlot{slot: slot, stamp: stamp}
@@ -333,6 +781,9 @@ var runBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64<<10); retur
 // WriteAt, halving (ppb=2) or better the pwrite syscalls per persist
 // batch versus per-page put.
 func (s *fileStore) putRun(lpns []int64, data [][]byte, stamps []uint64) error {
+	if s.poisonFlag.Load() {
+		return s.poisonErr()
+	}
 	for _, d := range data {
 		if len(d) != s.pageSize {
 			return fmt.Errorf("cluster: pagestore put of %d bytes, want %d", len(d), s.pageSize)
@@ -368,12 +819,9 @@ func (s *fileStore) putRun(lpns []int64, data [][]byte, stamps []uint64) error {
 		}
 		buf = buf[:need]
 		for k := i; k < j; k++ {
-			rec := buf[(k-i)*int(rs):]
-			binary.BigEndian.PutUint64(rec[:8], uint64(lpns[k]))
-			binary.BigEndian.PutUint64(rec[8:16], stamps[k])
-			copy(rec[fileHeaderSize:int(rs)], data[k])
+			encodeSlot(buf[(k-i)*int(rs):(k-i+1)*int(rs)], lpns[k], stamps[k], data[k])
 		}
-		if _, err := s.f.WriteAt(buf, slots[i]*rs); err != nil {
+		if _, err := s.f.WriteAt(buf, s.slotOff(slots[i])); err != nil {
 			return fmt.Errorf("cluster: pagestore write: %w", err)
 		}
 		for k := i; k < j; k++ {
@@ -393,8 +841,12 @@ func (s *fileStore) putRun(lpns []int64, data [][]byte, stamps []uint64) error {
 // before taking syncMu, so a flush that finds its target already covered
 // piggybacked on a sibling's completed fsync (syncMu means waiting for
 // that fsync to finish, never just to start), and a put racing an fsync
-// simply lands in a later generation for the next flush to cover.
+// simply lands in a later generation for the next flush to cover. A
+// failed fsync permanently poisons the section — see ErrSyncPoisoned.
 func (s *fileStore) flush() error {
+	if s.poisonFlag.Load() {
+		return s.poisonErr()
+	}
 	if !s.sync {
 		return nil
 	}
@@ -409,8 +861,8 @@ func (s *fileStore) flush() error {
 	s.mu.Lock()
 	covered := s.puts // everything written before this fsync starts
 	s.mu.Unlock()
-	if err := datasync(s.f); err != nil {
-		return err
+	if err := storeDatasync(s.f); err != nil {
+		return s.poison(err)
 	}
 	advanceSynced(&s.synced, covered)
 	return nil
@@ -418,10 +870,20 @@ func (s *fileStore) flush() error {
 
 // fsBarrier implementation: see the interface comment for the protocol.
 
-func (s *fileStore) barrierReady() bool { return s.sync && s.barrier && hasSyncFS }
+// barrierReady additionally requires a real *os.File behind the faultfs
+// layer: an injected file's Sync only covers its own overlay, so claiming
+// filesystem-wide barrier coverage through it would mark sibling sections
+// durable that are not.
+func (s *fileStore) barrierReady() bool {
+	if !(s.sync && s.barrier && hasSyncFS) || s.poisonFlag.Load() {
+		return false
+	}
+	_, isOS := s.f.(*faultfs.OSFile)
+	return isOS
+}
 
 func (s *fileStore) syncTarget() (uint64, bool) {
-	if !s.sync {
+	if !s.sync || s.poisonFlag.Load() {
 		return 0, false
 	}
 	s.mu.Lock()
@@ -433,20 +895,32 @@ func (s *fileStore) syncTarget() (uint64, bool) {
 	return target, true
 }
 
-func (s *fileStore) syncFS() error { return syncFilesystem(s.f) }
+func (s *fileStore) syncFS() error {
+	if s.poisonFlag.Load() {
+		return s.poisonErr()
+	}
+	of, ok := s.f.(*faultfs.OSFile)
+	if !ok {
+		return s.f.Sync()
+	}
+	return syncFilesystem(of.File)
+}
 
 func (s *fileStore) markSynced(target uint64) { advanceSynced(&s.synced, target) }
 
 func (s *fileStore) remove(lpn int64) error {
+	if s.poisonFlag.Load() {
+		return s.poisonErr()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fs, ok := s.index[lpn]
 	if !ok {
 		return nil
 	}
-	var hdr [8]byte
-	binary.BigEndian.PutUint64(hdr[:], ^uint64(0)) // freeSlotMarker (-1)
-	if _, err := s.f.WriteAt(hdr[:], fs.slot*s.recordSize()); err != nil {
+	var hdr [slotHeaderSize]byte
+	encodeFreeSlot(hdr[:])
+	if _, err := s.f.WriteAt(hdr[:], s.slotOff(fs.slot)); err != nil {
 		return fmt.Errorf("cluster: pagestore remove: %w", err)
 	}
 	delete(s.index, lpn)
@@ -469,6 +943,12 @@ func (s *fileStore) maxStamp() uint64 {
 func (s *fileStore) close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.poisonFlag.Load() {
+		// The section already failed durability; closing must not pretend
+		// otherwise (and the final sync would only re-fail).
+		s.f.Close()
+		return s.poisonErr()
+	}
 	// fsync never legitimately returns io.EOF; any error here means the
 	// final records may not have reached the medium, and it must surface
 	// as a persist failure instead of being swallowed.
@@ -508,14 +988,14 @@ func shardStoreName(i int) string {
 	return fmt.Sprintf("pagestore-%d.dat", i)
 }
 
-// newShardedFileStore builds an n-way striped file store in dir. The
-// shard count must be stable across restarts of the same DataDir: pages
-// are routed to files by shard index, so reopening with a different count
-// would look up pages in the wrong sub-store.
-func newShardedFileStore(dir string, pageSize int, syncWrites, barrier bool, n, pagesPerBlock int) (*shardedStore, error) {
+// newShardedFileStore builds an n-way striped file store in dir over fsys.
+// The shard count must be stable across restarts of the same DataDir:
+// pages are routed to files by shard index, so reopening with a different
+// count would look up pages in the wrong sub-store.
+func newShardedFileStore(fsys faultfs.FS, dir string, pageSize int, syncWrites, barrier bool, n, pagesPerBlock int) (*shardedStore, error) {
 	s := &shardedStore{subs: make([]pageStore, n), ppb: int64(pagesPerBlock)}
 	for i := range s.subs {
-		sub, err := newFileStoreAt(dir, shardStoreName(i), pageSize, syncWrites)
+		sub, err := newFileStoreFS(fsys, dir, shardStoreName(i), pageSize, syncWrites)
 		if err != nil {
 			for j := 0; j < i; j++ {
 				s.subs[j].close()
@@ -532,12 +1012,53 @@ func (s *shardedStore) sub(lpn int64) pageStore {
 	return s.subs[uint64(lpn/s.ppb)%uint64(len(s.subs))]
 }
 
+// fileSubs returns the file-backed sub-stores (nil entries elided); the
+// scrubber and the integrity hooks walk these.
+func (s *shardedStore) fileSubs() []*fileStore {
+	out := make([]*fileStore, 0, len(s.subs))
+	for _, sub := range s.subs {
+		if fs, ok := sub.(*fileStore); ok {
+			out = append(out, fs)
+		}
+	}
+	return out
+}
+
 func (s *shardedStore) get(lpn int64) []byte              { return s.sub(lpn).get(lpn) }
 func (s *shardedStore) getStamp(lpn int64) (uint64, bool) { return s.sub(lpn).getStamp(lpn) }
 func (s *shardedStore) put(lpn int64, data []byte, stamp uint64) error {
 	return s.sub(lpn).put(lpn, data, stamp)
 }
 func (s *shardedStore) remove(lpn int64) error { return s.sub(lpn).remove(lpn) }
+
+// verify routes to the sub-store; sub-stores without integrity metadata
+// (memStore) report intact.
+func (s *shardedStore) verify(lpn int64) bool {
+	if v, ok := s.sub(lpn).(storeVerifier); ok {
+		return v.verify(lpn)
+	}
+	return true
+}
+
+func (s *shardedStore) takeCorrupt() []int64 {
+	var out []int64
+	for _, sub := range s.subs {
+		if ct, ok := sub.(corruptTracker); ok {
+			out = append(out, ct.takeCorrupt()...)
+		}
+	}
+	return out
+}
+
+func (s *shardedStore) corruptCount() int64 {
+	var total int64
+	for _, sub := range s.subs {
+		if ct, ok := sub.(corruptTracker); ok {
+			total += ct.corruptCount()
+		}
+	}
+	return total
+}
 
 // putRun routes a consecutive-LPN run to its sub-stores, keeping each
 // sub-store's span intact so a file-backed sub can coalesce the pwrites.

@@ -43,6 +43,8 @@ const (
 	MsgResyncAck
 	MsgMembership // propagate a ring layout: Epoch + Members
 	MsgMembershipAck
+	MsgRepair     // fetch newest backup copies of corrupt local pages: LPNs
+	MsgRepairResp // response: LPNs + Stamps + page data (holder's subset)
 )
 
 // String names the message type.
@@ -58,6 +60,7 @@ func (t MsgType) String() string {
 		MsgError:  "error",
 		MsgResync: "resync", MsgResyncAck: "resync-ack",
 		MsgMembership: "membership", MsgMembershipAck: "membership-ack",
+		MsgRepair: "repair", MsgRepairResp: "repair-resp",
 	}
 	if s, ok := names[t]; ok {
 		return s

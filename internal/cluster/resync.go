@@ -95,6 +95,15 @@ func (l *peerLink) probeLoop() {
 			n.mu.Unlock()
 			return
 		}
+		if n.poisonedAny.Load() {
+			// A poisoned store cannot honor the rejoin contract: resynced
+			// backups would be acked without durability behind them. Stay
+			// Degraded until the process restarts and recovers from the
+			// ring. The latch never clears, so the prober can exit.
+			l.proberRunning = false
+			n.mu.Unlock()
+			return
+		}
 		switch l.lc.state {
 		case StateHealthy:
 			// Somebody else (an explicit ConnectPeer) completed the

@@ -1,0 +1,521 @@
+// Package faultfs wraps the file handles a durable store uses with a
+// seeded, scriptable storage-fault schedule: torn and short writes, fsync
+// failing once and silently dropping the dirty data (the "fsyncgate"
+// semantics real kernels exhibit — after a failed fsync the page cache is
+// clean, so a retry "succeeds" without making anything durable), bit
+// flips and short reads on the read path, ENOSPC, and crash-at-step
+// hooks. It is the storage-side sibling of internal/faultnet and mirrors
+// its API: every fault decision is drawn from a per-file PRNG derived
+// from the injector seed, so a failing run is reproducible from its seed
+// alone (modulo goroutine scheduling).
+//
+// The injector models the host page cache explicitly: WriteAt lands in an
+// in-memory overlay, ReadAt reads through it, and only Sync copies the
+// overlay down to the backing file. Crash drops every file's overlay the
+// way a power cut drops the page cache — except that each unsynced write
+// may independently have reached the medium in full, in part (a torn
+// write), or not at all, drawn from the schedule. That is exactly the
+// state space a checksummed store must recover from.
+//
+// Plug an Injector (or OS(), the pass-through implementation) into
+// cluster.LiveConfig's FS field.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Injected fault errors.
+var (
+	// ErrNoSpace is returned by a WriteAt the schedule fails wholesale,
+	// like a full filesystem: nothing is buffered.
+	ErrNoSpace = errors.New("faultfs: injected ENOSPC")
+	// ErrShortWrite is returned when the schedule tears a WriteAt: a
+	// strict prefix was buffered and n < len(p) reports how much.
+	ErrShortWrite = errors.New("faultfs: injected short write")
+	// ErrReadFault is returned by a ReadAt the schedule fails.
+	ErrReadFault = errors.New("faultfs: injected read error")
+	// ErrFsyncFailed is returned by a Sync the schedule fails. Per
+	// fsyncgate semantics the unsynced overlay is DROPPED: the data is
+	// gone and the next Sync succeeds vacuously, so a caller that retries
+	// fsync after an error and believes the retry is lying to itself.
+	ErrFsyncFailed = errors.New("faultfs: injected fsync failure (dirty data dropped)")
+	// ErrCrashed is returned by every operation on a crashed injector or
+	// its files.
+	ErrCrashed = errors.New("faultfs: filesystem crashed")
+)
+
+// File is the handle surface a store needs from its durable medium. The
+// page store performs positioned reads/writes and explicit syncs only, so
+// the interface stays this small on purpose.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	// Sync makes every preceding WriteAt durable (fsync).
+	Sync() error
+	// Size reports the file's current logical size in bytes.
+	Size() (int64, error)
+	Close() error
+}
+
+// FS is the filesystem surface behind a store's data directory.
+type FS interface {
+	// OpenFile opens path read-write, creating it if absent.
+	OpenFile(path string) (File, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+}
+
+// OSFile is the pass-through File over a real *os.File. Callers that have
+// platform fast paths (fdatasync, syncfs) may type-assert to it and reach
+// the underlying descriptor.
+type OSFile struct{ *os.File }
+
+// Size reports the file size via Stat.
+func (f *OSFile) Size() (int64, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	return st.Size(), nil
+}
+
+type osFS struct{}
+
+// OS returns the pass-through FS over the real os package — the
+// production default, injecting nothing.
+func OS() FS { return osFS{} }
+
+func (osFS) OpenFile(path string) (File, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &OSFile{File: f}, nil
+}
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
+
+// Faults are per-operation fault probabilities, all in [0,1]. The zero
+// value injects nothing (the overlay write-back model still applies, so
+// Crash still loses unsynced data even with no faults armed).
+type Faults struct {
+	// WriteErrProb fails a WriteAt with ErrNoSpace; nothing is buffered.
+	WriteErrProb float64
+	// ShortWriteProb buffers a strict prefix of a WriteAt and returns
+	// n < len(p) with ErrShortWrite.
+	ShortWriteProb float64
+	// ReadErrProb fails a ReadAt with ErrReadFault.
+	ReadErrProb float64
+	// ShortReadProb returns a strict prefix of a ReadAt with
+	// io.ErrUnexpectedEOF.
+	ShortReadProb float64
+	// BitFlipProb flips one random bit in a ReadAt result — silent media
+	// corruption, the fault class per-record checksums exist to catch.
+	BitFlipProb float64
+	// FsyncErrProb fails a Sync with ErrFsyncFailed and drops the
+	// unsynced overlay (fsyncgate). See also FailFsyncs for the
+	// deterministic one-shot form.
+	FsyncErrProb float64
+}
+
+// Injector is a fault-injecting FS. All methods are safe for concurrent
+// use.
+type Injector struct {
+	mu      sync.Mutex
+	seed    int64
+	faults  Faults
+	nextID  uint64
+	files   []*file // every open file, in open order (Crash walks them)
+	crashed bool
+
+	// fsyncFails arms the next N Sync calls (across all files) to fail
+	// with fsyncgate semantics, deterministically.
+	fsyncFails atomic.Int64
+
+	steps     atomic.Uint64
+	crashStep uint64
+	crashFn   func()
+	crashOnce sync.Once
+}
+
+// New builds an Injector whose fault schedule derives from seed.
+func New(seed int64) *Injector { return &Injector{seed: seed} }
+
+// SetFaults replaces the fault probabilities. Open files pick up the
+// change on their next operation.
+func (in *Injector) SetFaults(f Faults) {
+	in.mu.Lock()
+	in.faults = f
+	in.mu.Unlock()
+}
+
+// CurrentFaults reports the active fault probabilities.
+func (in *Injector) CurrentFaults() Faults {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.faults
+}
+
+// FailFsyncs arms the next n Sync calls (across all of the injector's
+// files) to fail with ErrFsyncFailed and drop their unsynced overlay —
+// the deterministic fsyncgate trigger, independent of FsyncErrProb.
+func (in *Injector) FailFsyncs(n int) { in.fsyncFails.Store(int64(n)) }
+
+// CrashAt arms a one-shot hook that fires the first time the injector's
+// operation counter reaches step — the "crash at I/O step N" primitive,
+// mirroring faultnet.Network.CrashAt. The hook runs on the I/O goroutine
+// that crossed the step; a hook that calls Crash (or LiveNode.Crash) must
+// do so from a fresh goroutine, since both wait for in-flight operations.
+func (in *Injector) CrashAt(step uint64, fn func()) {
+	in.mu.Lock()
+	in.crashStep = step
+	in.crashFn = fn
+	in.crashOnce = sync.Once{}
+	in.mu.Unlock()
+}
+
+// Steps reports how many file operations (reads, writes, syncs) the
+// injector has performed.
+func (in *Injector) Steps() uint64 { return in.steps.Load() }
+
+func (in *Injector) step() {
+	s := in.steps.Add(1)
+	in.mu.Lock()
+	fn, due := in.crashFn, in.crashFn != nil && s >= in.crashStep
+	in.mu.Unlock()
+	if due {
+		in.crashOnce.Do(fn)
+	}
+}
+
+// Crash simulates a power cut: every open file's unsynced overlay is
+// resolved against the backing file — each buffered write independently
+// reaches the medium in full, in part (a torn write: only a strict
+// prefix lands), or not at all, drawn from the file's seeded schedule —
+// and every handle goes dead (operations return ErrCrashed, Close is a
+// benign no-op). Synced data is untouched. Call it BEFORE crashing the
+// node that owns the handles, so the node's shutdown fsync cannot
+// retroactively save data a real power cut would have taken.
+//
+// A crashed injector refuses new OpenFile calls; restart with a fresh
+// Injector over the same directory, the way a rebooted host gets a fresh
+// page cache.
+func (in *Injector) Crash() {
+	in.mu.Lock()
+	in.crashed = true
+	files := append([]*file(nil), in.files...)
+	in.mu.Unlock()
+	for _, f := range files {
+		f.crash()
+	}
+}
+
+// Crashed reports whether Crash has been called.
+func (in *Injector) Crashed() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.crashed
+}
+
+// OpenFile opens path through the fault layer.
+func (in *Injector) OpenFile(path string) (File, error) {
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		return nil, ErrCrashed
+	}
+	in.nextID++
+	id := in.nextID
+	in.mu.Unlock()
+
+	base, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := base.Stat()
+	if err != nil {
+		base.Close()
+		return nil, err
+	}
+	f := &file{
+		in:   in,
+		f:    base,
+		size: st.Size(),
+		rng:  rand.New(rand.NewSource(in.seed ^ int64(id*0x9E3779B97F4A7C15))),
+	}
+	in.mu.Lock()
+	if in.crashed {
+		in.mu.Unlock()
+		base.Close()
+		return nil, ErrCrashed
+	}
+	in.files = append(in.files, f)
+	in.mu.Unlock()
+	return f, nil
+}
+
+// Rename passes through to the OS (metadata ops are not part of the fault
+// model; the stores only rename during offline format migration).
+func (in *Injector) Rename(oldpath, newpath string) error {
+	if in.Crashed() {
+		return ErrCrashed
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// Remove passes through to the OS.
+func (in *Injector) Remove(path string) error {
+	if in.Crashed() {
+		return ErrCrashed
+	}
+	return os.Remove(path)
+}
+
+// seg is one unsynced write buffered in a file's overlay: segments are
+// kept sorted by offset and non-overlapping (overlapping writes merge,
+// newest bytes winning).
+type seg struct {
+	off  int64
+	data []byte
+}
+
+// file is one fault-injected handle. The overlay models the host page
+// cache for this file: writes buffer here, reads merge it over the
+// backing file, Sync flushes it down, Crash resolves it adversarially.
+type file struct {
+	in   *Injector
+	f    *os.File
+	mu   sync.Mutex
+	rng  *rand.Rand
+	segs []seg // sorted by off, non-overlapping
+	size int64 // logical size (backing file + overlay extension)
+	dead bool
+}
+
+// writeSeg merges one write into the overlay, newest bytes winning.
+func (f *file) writeSeg(off int64, p []byte) {
+	end := off + int64(len(p))
+	out := make([]seg, 0, len(f.segs)+1)
+	i := 0
+	for i < len(f.segs) && f.segs[i].off+int64(len(f.segs[i].data)) < off {
+		out = append(out, f.segs[i])
+		i++
+	}
+	// Merge every segment overlapping or touching [off, end).
+	newOff, newEnd := off, end
+	first := i
+	for i < len(f.segs) && f.segs[i].off <= end {
+		if f.segs[i].off < newOff {
+			newOff = f.segs[i].off
+		}
+		if e := f.segs[i].off + int64(len(f.segs[i].data)); e > newEnd {
+			newEnd = e
+		}
+		i++
+	}
+	merged := make([]byte, newEnd-newOff)
+	for _, s := range f.segs[first:i] {
+		copy(merged[s.off-newOff:], s.data)
+	}
+	copy(merged[off-newOff:], p)
+	out = append(out, seg{off: newOff, data: merged})
+	out = append(out, f.segs[i:]...)
+	f.segs = out
+	if end > f.size {
+		f.size = end
+	}
+}
+
+// readThrough fills p from the backing file merged with the overlay.
+func (f *file) readThrough(p []byte, off int64) (int, error) {
+	if off >= f.size {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if off+int64(n) > f.size {
+		n = int(f.size - off)
+	}
+	for i := range p[:n] {
+		p[i] = 0
+	}
+	if _, err := f.f.ReadAt(p[:n], off); err != nil && err != io.EOF {
+		return 0, err
+	}
+	end := off + int64(n)
+	for _, s := range f.segs {
+		sEnd := s.off + int64(len(s.data))
+		if sEnd <= off || s.off >= end {
+			continue
+		}
+		from, to := s.off, sEnd
+		if from < off {
+			from = off
+		}
+		if to > end {
+			to = end
+		}
+		copy(p[from-off:to-off], s.data[from-s.off:to-s.off])
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (f *file) ReadAt(p []byte, off int64) (int, error) {
+	f.in.step()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, ErrCrashed
+	}
+	fl := f.in.CurrentFaults()
+	if fl.ReadErrProb > 0 && f.rng.Float64() < fl.ReadErrProb {
+		return 0, ErrReadFault
+	}
+	want := len(p)
+	short := false
+	if fl.ShortReadProb > 0 && want > 1 && f.rng.Float64() < fl.ShortReadProb {
+		want = 1 + f.rng.Intn(len(p)-1) // strict prefix
+		short = true
+	}
+	n, err := f.readThrough(p[:want], off)
+	if err == nil && fl.BitFlipProb > 0 && n > 0 && f.rng.Float64() < fl.BitFlipProb {
+		p[f.rng.Intn(n)] ^= 1 << uint(f.rng.Intn(8))
+	}
+	if err == nil && short {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (f *file) WriteAt(p []byte, off int64) (int, error) {
+	f.in.step()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, ErrCrashed
+	}
+	if len(p) == 0 {
+		return 0, nil
+	}
+	fl := f.in.CurrentFaults()
+	if fl.WriteErrProb > 0 && f.rng.Float64() < fl.WriteErrProb {
+		return 0, ErrNoSpace
+	}
+	if fl.ShortWriteProb > 0 && len(p) > 1 && f.rng.Float64() < fl.ShortWriteProb {
+		k := 1 + f.rng.Intn(len(p)-1) // strict prefix
+		f.writeSeg(off, p[:k])
+		return k, ErrShortWrite
+	}
+	f.writeSeg(off, p)
+	return len(p), nil
+}
+
+// Sync flushes the overlay to the backing file and fsyncs it — unless the
+// schedule fails it, in which case the overlay is DROPPED and the error
+// returned exactly once per armed failure: the fsyncgate contract, where
+// a failed fsync leaves the page cache clean and a retry succeeds without
+// the data.
+func (f *file) Sync() error {
+	f.in.step()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return ErrCrashed
+	}
+	fail := false
+	for {
+		k := f.in.fsyncFails.Load()
+		if k <= 0 {
+			break
+		}
+		if f.in.fsyncFails.CompareAndSwap(k, k-1) {
+			fail = true
+			break
+		}
+	}
+	if !fail {
+		fl := f.in.CurrentFaults()
+		fail = fl.FsyncErrProb > 0 && f.rng.Float64() < fl.FsyncErrProb
+	}
+	if fail {
+		f.segs = nil
+		if st, err := f.f.Stat(); err == nil {
+			f.size = st.Size()
+		}
+		return ErrFsyncFailed
+	}
+	for _, s := range f.segs {
+		if _, err := f.f.WriteAt(s.data, s.off); err != nil {
+			return err
+		}
+	}
+	f.segs = nil
+	return f.f.Sync()
+}
+
+func (f *file) Size() (int64, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return 0, ErrCrashed
+	}
+	return f.size, nil
+}
+
+// Close flushes the overlay to the backing file WITHOUT fsyncing — like a
+// real close, the data moves to the "page cache" state where only a crash
+// can lose it — and closes the handle.
+func (f *file) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return nil
+	}
+	f.dead = true
+	for _, s := range f.segs {
+		if _, err := f.f.WriteAt(s.data, s.off); err != nil {
+			f.f.Close()
+			return err
+		}
+	}
+	f.segs = nil
+	return f.f.Close()
+}
+
+// crash resolves the overlay adversarially and kills the handle.
+func (f *file) crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.dead {
+		return
+	}
+	f.dead = true
+	for _, s := range f.segs {
+		switch draw := f.rng.Float64(); {
+		case draw < 0.4:
+			// Lost outright: never left the page cache.
+		case draw < 0.6 && len(s.data) > 1:
+			// Torn: a strict prefix reached the medium before the cut.
+			k := 1 + f.rng.Intn(len(s.data)-1)
+			f.f.WriteAt(s.data[:k], s.off)
+		default:
+			// Reached the medium in full despite never being fsynced.
+			f.f.WriteAt(s.data, s.off)
+		}
+	}
+	f.segs = nil
+	// Make the resolved partial state real for whoever reopens the path.
+	f.f.Sync()
+	f.f.Close()
+}

@@ -1,0 +1,298 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func openInj(t *testing.T, in *Injector) (File, string) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data")
+	f, err := in.OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f, path
+}
+
+// Writes land in the overlay (invisible to the backing file), reads merge
+// through it, and Sync pushes everything down.
+func TestOverlayWriteReadSync(t *testing.T) {
+	in := New(1)
+	f, path := openInj(t, in)
+
+	if _, err := f.WriteAt([]byte("hello world"), 0); err != nil {
+		t.Fatalf("WriteAt: %v", err)
+	}
+	if _, err := f.WriteAt([]byte("WOR"), 6); err != nil { // overlap, newest wins
+		t.Fatalf("WriteAt overlap: %v", err)
+	}
+	got := make([]byte, 11)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(got) != "hello WORld" {
+		t.Fatalf("read-through = %q, want %q", got, "hello WORld")
+	}
+	if sz, _ := f.Size(); sz != 11 {
+		t.Fatalf("Size = %d, want 11", sz)
+	}
+	// Nothing durable yet.
+	if raw, _ := os.ReadFile(path); len(raw) != 0 {
+		t.Fatalf("backing file has %d bytes before Sync", len(raw))
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "hello WORld" {
+		t.Fatalf("backing file = %q after Sync", raw)
+	}
+}
+
+// Disjoint and touching writes keep the overlay sorted and merged.
+func TestOverlaySegmentMerge(t *testing.T) {
+	in := New(2)
+	f, _ := openInj(t, in)
+	// Out-of-order disjoint writes, then one bridging them.
+	f.WriteAt([]byte("dd"), 6)
+	f.WriteAt([]byte("aa"), 0)
+	f.WriteAt([]byte("bbcc"), 2)
+	got := make([]byte, 8)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("ReadAt: %v", err)
+	}
+	if string(got) != "aabbccdd" {
+		t.Fatalf("merged overlay = %q, want aabbccdd", got)
+	}
+	// Read past logical size → EOF.
+	if _, err := f.ReadAt(make([]byte, 4), 8); err != io.EOF {
+		t.Fatalf("read at EOF: %v, want io.EOF", err)
+	}
+	// Partial tail read returns n<len with EOF.
+	n, err := f.ReadAt(make([]byte, 8), 4)
+	if n != 4 || err != io.EOF {
+		t.Fatalf("tail read = (%d, %v), want (4, EOF)", n, err)
+	}
+}
+
+// A failed fsync drops the dirty overlay and the retry succeeds without
+// the data — the fsyncgate contract.
+func TestFailFsyncsDropsDirtyData(t *testing.T) {
+	in := New(3)
+	f, path := openInj(t, in)
+	f.WriteAt([]byte("durable"), 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("first Sync: %v", err)
+	}
+	f.WriteAt([]byte("DOOMED!"), 0)
+	in.FailFsyncs(1)
+	if err := f.Sync(); !errors.Is(err, ErrFsyncFailed) {
+		t.Fatalf("armed Sync = %v, want ErrFsyncFailed", err)
+	}
+	// The lying retry: reports success, data already gone.
+	if err := f.Sync(); err != nil {
+		t.Fatalf("retry Sync: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "durable" {
+		t.Fatalf("backing file = %q, want pre-failure contents", raw)
+	}
+	// The overlay is gone from the read path too (reads see the backing
+	// file, not the dropped write).
+	got := make([]byte, 7)
+	f.ReadAt(got, 0)
+	if string(got) != "durable" {
+		t.Fatalf("read after dropped fsync = %q", got)
+	}
+}
+
+// Crash resolves each unsynced segment to lost / torn-prefix / applied
+// and kills every handle; synced data survives untouched.
+func TestCrashResolvesOverlay(t *testing.T) {
+	in := New(4)
+	f, path := openInj(t, in)
+	synced := bytes.Repeat([]byte{0xAA}, 64)
+	f.WriteAt(synced, 0)
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.WriteAt(bytes.Repeat([]byte{0xBB}, 32), 64) // unsynced
+	in.Crash()
+
+	if _, err := f.WriteAt([]byte{1}, 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("WriteAt after crash = %v, want ErrCrashed", err)
+	}
+	if _, err := f.ReadAt(make([]byte, 1), 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("ReadAt after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("Sync after crash = %v, want ErrCrashed", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close after crash should be a benign no-op, got %v", err)
+	}
+	if _, err := in.OpenFile(path); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("OpenFile on crashed injector = %v, want ErrCrashed", err)
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("ReadFile: %v", err)
+	}
+	if len(raw) < 64 || !bytes.Equal(raw[:64], synced) {
+		t.Fatalf("synced prefix damaged by crash (len=%d)", len(raw))
+	}
+	// The unsynced segment must be a (possibly empty, possibly full)
+	// prefix of what was written — never torn mid-segment into garbage.
+	tail := raw[64:]
+	if len(tail) > 32 {
+		t.Fatalf("crash grew the file: tail len %d", len(tail))
+	}
+	for i, b := range tail {
+		if b != 0xBB {
+			t.Fatalf("tail byte %d = %#x, want 0xBB prefix", i, b)
+		}
+	}
+}
+
+// The same seed replays the same fault schedule.
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []bool {
+		in := New(42)
+		in.SetFaults(Faults{WriteErrProb: 0.5})
+		f, _ := openInj(t, in)
+		outcomes := make([]bool, 64)
+		for i := range outcomes {
+			_, err := f.WriteAt([]byte{byte(i)}, int64(i))
+			outcomes[i] = err == nil
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at op %d", i)
+		}
+	}
+}
+
+// Short writes buffer a strict prefix; short reads return a strict
+// prefix with ErrUnexpectedEOF; bit flips corrupt exactly one bit.
+func TestPartialAndCorruptIO(t *testing.T) {
+	in := New(7)
+	f, _ := openInj(t, in)
+	payload := bytes.Repeat([]byte{0x5A}, 128)
+	f.WriteAt(payload, 0)
+	f.Sync()
+
+	in.SetFaults(Faults{ShortWriteProb: 1})
+	n, err := f.WriteAt(payload, 0)
+	if !errors.Is(err, ErrShortWrite) || n <= 0 || n >= len(payload) {
+		t.Fatalf("short write = (%d, %v), want strict prefix with ErrShortWrite", n, err)
+	}
+
+	in.SetFaults(Faults{ShortReadProb: 1})
+	buf := make([]byte, 128)
+	n, err = f.ReadAt(buf, 0)
+	if err != io.ErrUnexpectedEOF || n <= 0 || n >= len(buf) {
+		t.Fatalf("short read = (%d, %v), want strict prefix with ErrUnexpectedEOF", n, err)
+	}
+
+	in.SetFaults(Faults{BitFlipProb: 1})
+	got := make([]byte, 128)
+	if _, err := f.ReadAt(got, 0); err != nil {
+		t.Fatalf("bit-flip read: %v", err)
+	}
+	diff := 0
+	for i := range got {
+		diff += popcount8(got[i] ^ payload[i])
+	}
+	if diff != 1 {
+		t.Fatalf("bit-flip read differs in %d bits, want exactly 1", diff)
+	}
+
+	in.SetFaults(Faults{ReadErrProb: 1})
+	if _, err := f.ReadAt(buf, 0); !errors.Is(err, ErrReadFault) {
+		t.Fatalf("read fault = %v, want ErrReadFault", err)
+	}
+	in.SetFaults(Faults{WriteErrProb: 1})
+	if _, err := f.WriteAt(payload, 0); !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("write fault = %v, want ErrNoSpace", err)
+	}
+}
+
+func popcount8(b byte) int {
+	n := 0
+	for ; b != 0; b &= b - 1 {
+		n++
+	}
+	return n
+}
+
+// CrashAt fires its hook exactly once when the operation counter crosses
+// the armed step.
+func TestCrashAtStep(t *testing.T) {
+	in := New(9)
+	f, _ := openInj(t, in)
+	f.WriteAt([]byte{1}, 0) // step 1
+	fired := 0
+	in.CrashAt(in.Steps()+2, func() { fired++ })
+	f.WriteAt([]byte{2}, 1) // step 2: below threshold
+	if fired != 0 {
+		t.Fatalf("hook fired early")
+	}
+	f.WriteAt([]byte{3}, 2) // step 3: crosses
+	f.WriteAt([]byte{4}, 3) // once only
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+// Close without Sync still lands the overlay in the backing file (page
+// cache state: only a crash while open could have lost it).
+func TestCloseFlushesWithoutFsync(t *testing.T) {
+	in := New(11)
+	f, path := openInj(t, in)
+	f.WriteAt([]byte("kept"), 0)
+	if err := f.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	raw, _ := os.ReadFile(path)
+	if string(raw) != "kept" {
+		t.Fatalf("backing file after Close = %q", raw)
+	}
+}
+
+// The pass-through FS behaves like the os package and its files support
+// the Size accessor the stores use.
+func TestOSPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	fs := OS()
+	path := filepath.Join(dir, "x")
+	f, err := fs.OpenFile(path)
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	if _, ok := f.(*OSFile); !ok {
+		t.Fatalf("OS().OpenFile returned %T, want *OSFile", f)
+	}
+	f.WriteAt([]byte("abc"), 0)
+	if sz, _ := f.Size(); sz != 3 {
+		t.Fatalf("Size = %d, want 3", sz)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync: %v", err)
+	}
+	f.Close()
+	if err := fs.Rename(path, path+".2"); err != nil {
+		t.Fatalf("Rename: %v", err)
+	}
+	if err := fs.Remove(path + ".2"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+}

@@ -6,6 +6,13 @@
 set -eux
 
 go vet ./...
+# staticcheck is optional tooling: run it when the host has it, never
+# install it from CI (the gate must work offline and unprivileged).
+if command -v staticcheck >/dev/null 2>&1; then
+	staticcheck ./...
+else
+	echo "staticcheck not installed; skipping (install locally for the extra lint pass)"
+fi
 go build ./...
 go test -cover ./...
 
@@ -26,6 +33,12 @@ CHAOS_FLAPS=3 go test -race -run 'TestChaosLinkFlap' ./internal/cluster/check/
 # script in addition to the suite's own per-run seeds.
 CHAOS_SEED=42 go test -race -run 'TestChaosMembershipChurn' ./internal/cluster/check/
 
+# Disk-fault smoke: the torn-write/power-cut/fsyncgate drill once more at
+# a pinned seed (same rationale as the ring smoke above) — the injector's
+# crash schedule, the scrub-and-repair convergence, and the poison-latch
+# degrade all replay deterministically from it.
+CHAOS_SEED=42 go test -race -run 'TestChaosTornWriteRepair' ./internal/cluster/check/
+
 # Fuzz smoke: a short budget per target catches frame-decoder and trace-
 # parser regressions without benchmark-length time. Each invocation fuzzes
 # exactly one target (-run '^$' skips the unit tests, already run above).
@@ -37,6 +50,7 @@ go test -run '^$' -fuzz '^FuzzDecodeMessage$' -fuzztime 10s -fuzzminimizetime 20
 go test -run '^$' -fuzz '^FuzzDecodeResync$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzDecodeMembership$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzDecodeEpoch$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeSlot$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 # Smoke-test the live write path end to end: a small loadgen run over a
