@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet ci chaos chaos-flap chaos-ring chaos-disk fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-gate profile
+.PHONY: all build test race vet ci chaos chaos-flap chaos-ring chaos-disk fuzz cover bench bench-grid bench-cluster bench-shard bench-streams bench-victim bench-gate profile
 
 all: build
 
@@ -63,6 +63,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeMembership$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeEpoch$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 	$(GO) test -run '^$$' -fuzz '^FuzzDecodeSlot$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+	$(GO) test -run '^$$' -fuzz '^FuzzDecodeVictimSegment$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/victim/
 	$(GO) test -run '^$$' -fuzz '^FuzzParse$$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 cover:
@@ -105,6 +106,18 @@ bench-shard:
 bench-streams:
 	$(GO) run ./cmd/loadgen -stream-scale -writers 8 -ops 60000 -hotfrac 0.7
 
+# Read-tier A/B: the read-heavy zipfian mix replayed with the flash victim
+# cache on and then off at equal ops, against a capacity-filled home device
+# with a tight spare pool (GC live in the measured window). Seed and warmup
+# run unpaced; the measured window runs under device pacing, so the read
+# percentiles are the modeled medium's — misses queueing behind home
+# writes and GC versus victim-log hits that skip that queue entirely. The
+# victim_scale section lands in BENCH_shard.json and the gate holds its
+# read-p99 and flash write-amp ratios.
+bench-victim:
+	$(GO) run ./cmd/loadgen -victim-scale -writers 8 -ops 60000 -reps 3 \
+		-readfrac 0.9 -zipf 1.5 -victim-segments 512 -json BENCH_shard.json
+
 # Rerun the committed ladder and gate against it: fails when any rung's
 # throughput regressed more than 10%. This is the tail of `make ci`;
 # run it alone after perf-sensitive changes.
@@ -112,6 +125,8 @@ bench-gate:
 	$(GO) run ./cmd/loadgen -shard-scale 1,4,16 -writers 32 -ops 24000 \
 		-buffer 1024 -remote 32768 -evict-queue 1 -ppb 2 -blocks 65536 \
 		-reps 3 -json /tmp/BENCH_shard.ci.json
+	$(GO) run ./cmd/loadgen -victim-scale -writers 8 -ops 60000 -reps 3 \
+		-readfrac 0.9 -zipf 1.5 -victim-segments 512 -json /tmp/BENCH_shard.ci.json
 	$(GO) run ./cmd/benchgate -committed BENCH_shard.json -current /tmp/BENCH_shard.ci.json
 	$(GO) run ./cmd/loadgen -ring-scale 2,3 -reps 3 -json /tmp/BENCH_cluster.ci.json
 	$(GO) run ./cmd/benchgate -committed BENCH_cluster.json -current /tmp/BENCH_cluster.ci.json

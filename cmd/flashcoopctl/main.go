@@ -8,6 +8,7 @@
 //	flashcoopctl -addr 127.0.0.1:8001 health
 //	flashcoopctl -addr 127.0.0.1:8001 scrub           # full on-disk checksum pass, now
 //	flashcoopctl -addr 127.0.0.1:8001 ring            # ring epoch + per-partner states
+//	flashcoopctl -addr 127.0.0.1:8001 victim          # flash victim-cache tier counters
 //	flashcoopctl -addr 127.0.0.1:8001 bench -n 1000   # sequential write benchmark
 package main
 
@@ -94,6 +95,24 @@ func main() {
 		if !printed || !strings.Contains(resp, "epoch=") {
 			fmt.Println("pair mode (no ring)")
 		}
+	case "victim":
+		// Victim-tier view: the STATS fields that describe the flash
+		// victim cache (hits, misses, admission split, wear), one per
+		// line. The daemon omits them entirely when the tier is off.
+		resp, err := call(conn, rd, "STATS")
+		if err != nil {
+			fatal(err)
+		}
+		printed := false
+		for _, f := range strings.Fields(resp) {
+			if strings.HasPrefix(f, "victim") {
+				fmt.Println(f)
+				printed = true
+			}
+		}
+		if !printed {
+			fmt.Println("victim tier off (start flashcoopd with -victim-segments)")
+		}
 	case "bench":
 		start := time.Now()
 		for i := 0; i < *n; i++ {
@@ -130,7 +149,7 @@ func call(conn net.Conn, rd *bufio.Reader, line string) (string, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | scrub | ring | bench [-n count]")
+	fmt.Fprintln(os.Stderr, "usage: flashcoopctl [-addr host:port] write <lpn> <hex> | read <lpn> | stats | health | scrub | ring | victim | bench [-n count]")
 	os.Exit(2)
 }
 

@@ -14,6 +14,7 @@
 //	flashcoopd -listen :7001 -client :8001 [-peer host:7002] [-policy lar]
 //	           [-buffer 8192] [-remote 8192] [-recover]
 //	           [-datadir DIR -sync -scrub-interval 1h]
+//	           [-victim-segments 128 -victim-segment-pages 64 -victim-min-reuse 2]
 //	           [-batch 64] [-inflight 4] [-chaos-seed N]
 //
 // Ring mode replaces -peer with the full member list (this node's -listen
@@ -67,6 +68,9 @@ func main() {
 		shards   = flag.Int("shards", 0, "buffer lock stripes / concurrent flush streams (0 = default)")
 		evictQ   = flag.Int("evict-queue", 0, "per-shard eviction queue depth (0 = default)")
 		scrubInt = flag.Duration("scrub-interval", 0, "background on-disk checksum scrub period (0 = off; needs -datadir)")
+		victSegs = flag.Int("victim-segments", 0, "flash victim-cache log segments (0 = tier off)")
+		victSegP = flag.Int("victim-segment-pages", 0, "pages per victim-cache segment (0 = the device's erase-block size; needs -victim-segments)")
+		victMinR = flag.Int64("victim-min-reuse", 0, "popularity floor for direct eviction-path victim admission (0 = default; needs -victim-segments)")
 		chaos    = flag.Int64("chaos-seed", 0, "run this node's transport through a seeded fault injector (0 = off); for failure drills, never production")
 	)
 	flag.Parse()
@@ -100,6 +104,18 @@ func main() {
 	}
 	if *scrubInt > 0 && *dataDir == "" {
 		log.Fatal("flashcoopd: -scrub-interval needs -datadir: a memory-backed node has no on-disk checksums to scrub")
+	}
+	if *victSegs < 0 || *victSegs == 1 {
+		log.Fatalf("flashcoopd: -victim-segments %d is invalid: want 0 (tier off) or at least 2 segments (one open, one stable)", *victSegs)
+	}
+	if *victSegP < 0 {
+		log.Fatalf("flashcoopd: -victim-segment-pages %d is invalid: want 0 (erase-block size) or a positive page count", *victSegP)
+	}
+	if *victMinR < 0 {
+		log.Fatalf("flashcoopd: -victim-min-reuse %d is invalid: want 0 (default) or a positive popularity floor", *victMinR)
+	}
+	if *victSegs == 0 && (*victSegP > 0 || *victMinR > 0) {
+		log.Fatal("flashcoopd: -victim-segment-pages and -victim-min-reuse need -victim-segments: they tune a tier that is off")
 	}
 
 	var members []string
@@ -149,6 +165,10 @@ func main() {
 		Shards:        *shards,
 		EvictQueue:    *evictQ,
 		ScrubInterval: *scrubInt,
+
+		VictimSegments:     *victSegs,
+		VictimSegmentPages: *victSegP,
+		AdmissionMinReuse:  *victMinR,
 	}
 	if *chaos != 0 {
 		// A moderate, framing-preserving schedule: enough latency and
@@ -217,6 +237,19 @@ func streamFields(fs flashcoop.StreamStats) string {
 		fmt.Fprintf(&b, " erases_%s=%d copies_%s=%d", name, fs.Erases[i], name, fs.Copies[i])
 	}
 	return b.String()
+}
+
+// victimFields renders the flash victim-cache tier's counters as STATS
+// key=value fields. Empty when the tier is off, so a tier-less STATS
+// line is byte-identical to the pre-tier one.
+func victimFields(node *flashcoop.LiveNode) string {
+	if !node.VictimEnabled() {
+		return ""
+	}
+	st := node.Stats()
+	return fmt.Sprintf(" victimHits=%d victimMisses=%d victimAdmits=%d victimFillAdmits=%d victimGhostAdmits=%d victimRejects=%d victimEvictions=%d victimInvalidates=%d victimPrograms=%d victimErases=%d",
+		st.VictimHits, st.VictimMisses, st.VictimAdmits, st.VictimFillAdmits, st.VictimGhostAdmits,
+		st.VictimRejects, st.VictimEvictions, st.VictimInvalidates, st.VictimPrograms, st.VictimErases)
 }
 
 // ringFields renders the ring health as HEALTH key=value fields: the
@@ -319,12 +352,12 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 			fmt.Fprintf(conn, "OK writes=%d reads=%d forwards=%d fwdFrames=%d batching=%.2f persists=%d failovers=%d rebalances=%d peerAlive=%v state=%s "+
 				"rejoins=%d resynced=%d overloads=%d breakerTrips=%d "+
 				"evictorStalls=%d groupCommitBatches=%d pagesPerSync=%.1f "+
-				"gcPressure=%.2f drainDeferrals=%d discardDeferrals=%d%s "+
+				"gcPressure=%.2f drainDeferrals=%d discardDeferrals=%d%s%s "+
 				"wlat_p50=%.3fms wlat_p95=%.3fms wlat_p99=%.3fms flat_p50=%.3fms flat_p95=%.3fms flat_p99=%.3fms\n",
 				st.Writes, st.Reads, st.Forwards, st.FwdFrames, batching, st.Persists, st.Failovers, st.Rebalances, node.PeerAlive(), node.PeerLifecycle(),
 				st.Rejoins, st.ResyncedPages, st.Overloads, st.BreakerTrips,
 				st.EvictorStalls, st.GroupCommitBatches, pagesPerSync,
-				node.GCPressure(), st.DrainDeferrals, st.DiscardDeferrals, streamFields(node.StreamStats()),
+				node.GCPressure(), st.DrainDeferrals, st.DiscardDeferrals, streamFields(node.StreamStats()), victimFields(node),
 				wl.P50, wl.P95, wl.P99, fl.P50, fl.P95, fl.P99)
 		case "HEALTH":
 			st := node.Stats()
@@ -336,12 +369,12 @@ func serveClient(node *flashcoop.LiveNode, conn net.Conn) {
 				"resyncedPages=%d resyncFailures=%d journalDrops=%d overloads=%d breakerTrips=%d "+
 				"evictorStalls=%d persistFailures=%d groupCommitBatches=%d pagesPerSync=%.1f "+
 				"corruptSlots=%d repairedPages=%d scrubPasses=%d fsyncPoisoned=%d poisonedEvictions=%d "+
-				"membershipChanges=%d epochRejects=%d%s\n",
+				"membershipChanges=%d epochRejects=%d victimEnabled=%v%s\n",
 				node.PeerLifecycle(), node.PeerAlive(), st.Failovers, st.Suspects, st.Probes, st.ProbeFailures, st.Rejoins,
 				st.ResyncedPages, st.ResyncFailures, st.JournalDrops, st.Overloads, st.BreakerTrips,
 				st.EvictorStalls, st.PersistFailures, st.GroupCommitBatches, pagesPerSync,
 				st.CorruptSlots, st.RepairedPages, st.ScrubPasses, st.FsyncPoisoned, st.PoisonedEvictions,
-				st.MembershipChanges, st.EpochRejects, ringFields(node))
+				st.MembershipChanges, st.EpochRejects, node.VictimEnabled(), ringFields(node))
 		case "SCRUB":
 			checked, corrupt := node.ScrubOnce()
 			st := node.Stats()

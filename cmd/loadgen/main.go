@@ -63,6 +63,16 @@
 //
 //	loadgen -stream-scale [-hotfrac 0.5] [-ops 40000] [-writers 8]
 //	        [-json BENCH_shard.json]
+//
+// With -victim-scale the workload becomes a read-tier A/B instead: a
+// deterministic read-heavy zipfian mix (single-page reads plus half-block
+// writes over a span far larger than the buffer) is replayed twice
+// through fresh file-backed pairs at equal ops — once with the flash
+// victim-cache tier on and once off — and the read percentiles, hit
+// ratio, and flash write-amplification are compared:
+//
+//	loadgen -victim-scale [-readfrac 0.9] [-zipf 1.3] [-victim-segments 128]
+//	        [-seed 1] [-ops 40000] [-writers 8] [-json BENCH_shard.json]
 package main
 
 import (
@@ -281,6 +291,7 @@ type report struct {
 	ShardScale  *shardScale  `json:"shard_scale,omitempty"`
 	StreamScale *streamScale `json:"stream_scale,omitempty"`
 	RingScale   *ringScale   `json:"ring_scale,omitempty"`
+	VictimScale *victimScale `json:"victim_scale,omitempty"`
 }
 
 func main() {
@@ -294,6 +305,11 @@ func main() {
 		syncScale   = flag.String("sync-scale", "", "with -shard-scale: rerun the largest shard count under these comma-separated group-commit intervals in ms (0 = self-clocking, negative = coordinator off), e.g. -1,0,0.5,2")
 		streamBench = flag.Bool("stream-scale", false, "run the mixed hot/cold multi-stream flash-wear A/B (tagged vs -streams=off at equal ops) instead of the throughput runs")
 		ringScaleF  = flag.String("ring-scale", "", "run the cooperative-ring scaling ladder over these comma-separated member counts (e.g. 2,3) instead of the throughput runs; every member takes client writes")
+		victimBench = flag.Bool("victim-scale", false, "run the read-heavy zipfian victim-tier A/B (tier on vs off at equal ops) instead of the throughput runs")
+		victimSegs  = flag.Int("victim-segments", 128, "victim log segments for the -victim-scale on-leg (each VictimSegmentPages pages)")
+		readfrac    = flag.Float64("readfrac", 0.9, "fraction of -victim-scale ops that are reads")
+		zipfS       = flag.Float64("zipf", 1.3, "zipf skew for the -victim-scale block distribution (>1; 0 = uniform)")
+		seed        = flag.Int64("seed", 1, "workload-generator seed for -victim-scale (runs are reproducible per seed)")
 		streamsFlag = flag.String("streams", "on", "temperature-tagged multi-stream eviction: on|off (off forces every flush onto the default stream)")
 		cpuProfile  = flag.String("cpuprofile", "", "write a CPU profile")
 	)
@@ -349,6 +365,15 @@ func main() {
 	if *flap < 0 {
 		log.Fatalf("bad -flap value %d (want 0 for off or a positive cycle count)", *flap)
 	}
+	if *readfrac < 0 || *readfrac > 1 {
+		log.Fatalf("bad -readfrac value %g (want a fraction in [0, 1])", *readfrac)
+	}
+	if *zipfS != 0 && *zipfS <= 1 {
+		log.Fatalf("bad -zipf value %g (want 0 for uniform or a skew > 1)", *zipfS)
+	}
+	if *victimSegs < 2 {
+		log.Fatalf("bad -victim-segments value %d (want >= 2: one open segment plus one reclaim target)", *victimSegs)
+	}
 	switch strings.ToLower(*streamsFlag) {
 	case "on", "true", "1":
 		opt.streams = true
@@ -384,7 +409,7 @@ func main() {
 		writeReport(rep, *jsonPath)
 		return
 	}
-	if *shardScale != "" || *streamBench || *ringScaleF != "" {
+	if *shardScale != "" || *streamBench || *ringScaleF != "" || *victimBench {
 		if *ringScaleF != "" {
 			rs, err := runRingScale(opt, *ringScaleF)
 			if err != nil {
@@ -408,6 +433,14 @@ func main() {
 			}
 			rep.StreamScale = &ss
 			printStreamScale(ss)
+		}
+		if *victimBench {
+			vs, err := runVictimScale(opt, *readfrac, *zipfS, *victimSegs, *seed)
+			if err != nil {
+				log.Fatal(err)
+			}
+			rep.VictimScale = &vs
+			printVictimScale(vs)
 		}
 		writeReport(rep, *jsonPath)
 		return
@@ -528,6 +561,9 @@ func writeReport(rep report, jsonPath string) {
 			}
 			if rep.RingScale == nil {
 				rep.RingScale = old.RingScale
+			}
+			if rep.VictimScale == nil {
+				rep.VictimScale = old.VictimScale
 			}
 		}
 	}

@@ -48,6 +48,11 @@ type FlushUnit struct {
 	// blocks. Policies without temperature information leave the zero
 	// value (the default stream).
 	Stream stream.Stream
+	// Pop is the evicting block's observed popularity (accesses while
+	// buffered) — the reuse signal a flash victim cache gates admission
+	// on. Only popularity-tracking policies (LAR) set it; zero means "no
+	// demonstrated reuse" and keeps the victim tier conservative.
+	Pop int64
 }
 
 // Len reports the number of pages in the unit.

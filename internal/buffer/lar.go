@@ -506,7 +506,7 @@ func (c *LAR) evictBlock(b *larBlock, exclude []int64) []FlushUnit {
 				dirty++
 			}
 		}
-		units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true, Stream: strm})
+		units = append(units, FlushUnit{Pages: run, Dirty: dirty, Contiguous: true, Stream: strm, Pop: b.pop})
 		c.stats.Evictions++
 		c.stats.FlushPages += int64(len(run))
 	}
@@ -574,7 +574,7 @@ func (c *LAR) clusterFlush(b *larBlock, exclude []int64) FlushUnit {
 	c.stats.FlushPages += int64(len(cluster))
 	// Clustered leftovers are by construction sparse, least-popular tail
 	// data: tag the whole scattered write cold.
-	return FlushUnit{Pages: cluster, Dirty: dirtyTotal, Contiguous: false, Stream: stream.Cold}
+	return FlushUnit{Pages: cluster, Dirty: dirtyTotal, Contiguous: false, Stream: stream.Cold, Pop: pop}
 }
 
 // MarkClean implements Cache.
@@ -634,7 +634,7 @@ func (c *LAR) FlushAll() []FlushUnit {
 		c.stats.CleanDrops += int64(b.count - len(dirty))
 		strm := c.streamFor(b.pop, b.count == c.ppb)
 		for _, run := range runsOf(dirty) {
-			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true, Stream: strm})
+			units = append(units, FlushUnit{Pages: run, Dirty: len(run), Contiguous: true, Stream: strm, Pop: b.pop})
 			c.stats.Evictions++
 			c.stats.FlushPages += int64(len(run))
 		}

@@ -2,8 +2,12 @@ package cluster
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
+
+	"flashcoop/internal/faultfs"
 )
 
 func BenchmarkMessageMarshal(b *testing.B) {
@@ -216,5 +220,135 @@ func BenchmarkLiveWriteConcurrent(b *testing.B) {
 	st := bn.Stats()
 	if st.FwdFrames > 0 {
 		b.ReportMetric(float64(st.Forwards)/float64(st.FwdFrames), "writes/frame")
+	}
+}
+
+// slowReadFS delays every store File.ReadAt by a fixed latency, modeling a
+// store whose fills are not free (a real pread off flash). Writes and
+// syncs are untouched, so only the read-miss fill path feels it.
+type slowReadFS struct {
+	faultfs.FS
+	delay time.Duration
+}
+
+func (s slowReadFS) OpenFile(path string) (faultfs.File, error) {
+	f, err := s.FS.OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return slowReadFile{File: f, delay: s.delay}, nil
+}
+
+type slowReadFile struct {
+	faultfs.File
+	delay time.Duration
+}
+
+func (f slowReadFile) ReadAt(p []byte, off int64) (int, error) {
+	time.Sleep(f.delay)
+	return f.File.ReadAt(p, off)
+}
+
+// BenchmarkLiveWriteUnderMissReader checks the off-lock fill property at
+// the macro level: measured write throughput on a SINGLE shard, with and
+// without a background reader sustaining buffer misses on that same
+// shard. Store reads carry a fixed artificial latency, so each of the
+// reader's miss fills parks in the store for a while — exactly the window
+// that used to sit inside the shard critical section. With fills off the
+// lock, reader=on should track reader=off; before the rework every fill
+// would have stalled all same-shard writers for the full store latency.
+func BenchmarkLiveWriteUnderMissReader(b *testing.B) {
+	for _, withReader := range []bool{false, true} {
+		name := "reader=off"
+		if withReader {
+			name = "reader=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			a, err := NewLiveNode(LiveConfig{
+				Name: "a", ListenAddr: "127.0.0.1:0",
+				BufferPages: 256, RemotePages: 1 << 20, SSD: liveSSD(),
+				Shards: 1,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			bn, err := NewLiveNode(LiveConfig{
+				Name: "b", ListenAddr: "127.0.0.1:0", PeerAddr: a.Addr(),
+				BufferPages: 256, RemotePages: 1 << 20, SSD: liveSSD(),
+				Shards:  1, // one shard: reader and writers MUST share the lock
+				DataDir: b.TempDir(),
+				FS:      slowReadFS{FS: faultfs.OS(), delay: 200 * time.Microsecond},
+			})
+			if err != nil {
+				a.Close()
+				b.Fatal(err)
+			}
+			b.Cleanup(func() {
+				bn.Close()
+				a.Close()
+			})
+			if err := bn.ConnectPeer(); err != nil {
+				b.Fatal(err)
+			}
+			ps := bn.Device().PageSize()
+			user := bn.Device().UserPages()
+			pg := make([]byte, ps)
+			// Seed a durable working set 4x the buffer in the low LPN
+			// range: the background reader sweeping it misses the buffer
+			// on nearly every read and parks in the slowed store fill.
+			span := int64(1024)
+			if span > user/2 {
+				span = user / 2
+			}
+			for i := int64(0); i < span; i++ {
+				if err := bn.Write(i, pg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := bn.FlushAll(); err != nil {
+				b.Fatal(err)
+			}
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			if withReader {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					var i int64
+					for {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						i++
+						if _, err := bn.Read(i%span, 1); err != nil {
+							return
+						}
+					}
+				}()
+			}
+			// Writers churn whole blocks in the upper half of the LPN
+			// space so they never hand the reader cache hits.
+			base := (user / 2) &^ 7
+			blocks := (user - base - 8) / 8
+			var next atomic.Int64
+			b.ReportAllocs()
+			b.SetBytes(int64(ps))
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				wpg := make([]byte, ps)
+				for pb.Next() {
+					lpn := base + (next.Add(1)%blocks)*8
+					if err := bn.Write(lpn, wpg); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			close(stop)
+			wg.Wait()
+		})
 	}
 }

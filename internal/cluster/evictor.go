@@ -26,6 +26,10 @@ type flushPage struct {
 	data  []byte
 	stamp uint64
 	strm  stream.Stream
+	// pop is the evicting block's observed popularity (the policy's reuse
+	// signal, see buffer.FlushUnit.Pop); the victim tier's admission gate
+	// reads it at persist time.
+	pop int64
 }
 
 // flushJob is one eviction unit handed to a shard's evictor goroutine.
@@ -68,7 +72,7 @@ func (n *LiveNode) extractFlushLocked(sh *liveShard, units []buffer.FlushUnit) [
 			if !ok {
 				continue // clean page in a rewritten block: nothing to persist
 			}
-			fp := flushPage{lpn: p, data: data, stamp: sh.dirtyStamp[p], strm: strm}
+			fp := flushPage{lpn: p, data: data, stamp: sh.dirtyStamp[p], strm: strm, pop: u.Pop}
 			delete(sh.dirtyData, p)
 			delete(sh.dirtyStamp, p)
 			sh.inflight[p] = fp
@@ -252,7 +256,7 @@ func (n *LiveNode) persistJobs(si int, jobs []flushJob) persistedBatch {
 		}
 	}
 	n.buf.UnlockShard(si)
-	done, err := n.persistSet(items, false)
+	done, err := n.persistSet(items, false, true)
 	sh.persistMu.Unlock()
 	return persistedBatch{jobs: jobs, items: items, done: done, err: err}
 }
@@ -376,10 +380,25 @@ func (n *LiveNode) finishBatch(si int, b persistedBatch, ferr error) {
 // treating any returned item as durable; flushJobs uses this to wait for
 // the fsync outside persistMu.
 //
+// The victim tier's bookkeeping is centralized here because this is the
+// one choke point every durable page mutation on the eviction/flush path
+// goes through (the caller holds persistMu). With admit true (the evictor
+// path, where items carry a real reuse signal) each item to be written is
+// OFFERED to the tier — admitted pages enter the victim log in addition
+// to their home write, bypassed ones only invalidate any stale cached
+// version. With admit false (FlushAll, degraded write-through — shutdown
+// and latency paths whose pages carry no eviction heat) every item just
+// invalidates. The victim op runs BEFORE the home write: inserting early
+// is safe (the payload is acked data; only staleness is a hazard), and it
+// closes the window where a reader could probe the tier between the store
+// put and a late invalidate and see the superseded version. Stamp-skipped
+// items invalidate too — the durable copy is at least as new as the skip
+// stamp, so any strictly-older cached entry is stale.
+//
 // Returns the items now known durable (with syncAfter) or persisted
 // pending sync (without); on error the remainder was not persisted and
 // stays the caller's responsibility.
-func (n *LiveNode) persistSet(items []flushPage, syncAfter bool) (done []flushPage, err error) {
+func (n *LiveNode) persistSet(items []flushPage, syncAfter, admit bool) (done []flushPage, err error) {
 	if len(items) == 0 {
 		return nil, nil
 	}
@@ -397,10 +416,27 @@ func (n *LiveNode) persistSet(items []flushPage, syncAfter bool) (done []flushPa
 	toWrite := items[:0:0]
 	for _, it := range items {
 		if cur, ok := n.store.getStamp(it.lpn); ok && cur >= it.stamp {
+			if n.victim != nil {
+				n.victim.InvalidateOlder(it.lpn, it.stamp)
+			}
 			done = append(done, it)
 			continue
 		}
 		toWrite = append(toWrite, it)
+	}
+	if n.victim != nil {
+		for _, it := range toWrite {
+			if admit {
+				// Offer errors are internal flash-model faults, already
+				// counted by the tier; the home persist must not fail over a
+				// cache problem.
+				if adm, _ := n.victim.Offer(it.lpn, it.stamp, it.strm, it.pop, it.data); adm {
+					n.paceVictim(n.victimProgSvc)
+				}
+			} else {
+				n.victim.InvalidateOlder(it.lpn, it.stamp)
+			}
+		}
 	}
 	rp, batchPuts := n.store.(runPutter)
 	for i := 0; i < len(toWrite); {
@@ -412,13 +448,17 @@ func (n *LiveNode) persistSet(items []flushPage, syncAfter bool) (done []flushPa
 			j++
 		}
 		n.devMu.Lock()
-		_, derr := n.dev.WriteTagged(n.vnow(), toWrite[i].lpn, j-i, toWrite[i].strm)
+		wdone, derr := n.dev.WriteTagged(n.vnow(), toWrite[i].lpn, j-i, toWrite[i].strm)
 		n.refreshGCPressureLocked()
 		n.devMu.Unlock()
 		if derr != nil {
 			flush()
 			return done, fmt.Errorf("cluster %s: persist lpn %d: %w", n.cfg.Name, toWrite[i].lpn, derr)
 		}
+		// Paced flushes slow the evictor, fill the buffer/evict queue, and
+		// land on writers as admission backpressure — the closed loop that
+		// keeps the device model's backlog bounded.
+		n.paceDevice(wdone)
 		if batchPuts && j-i > 1 {
 			run := toWrite[i:j]
 			lpns := make([]int64, len(run))
@@ -441,6 +481,17 @@ func (n *LiveNode) persistSet(items []flushPage, syncAfter bool) (done []flushPa
 				}
 				atomic.AddInt64(&n.stats.Persists, 1)
 				done = append(done, toWrite[k])
+			}
+		}
+		if n.victim != nil {
+			// Second half of the fill-admission handshake (see offerFill):
+			// re-invalidate AFTER the store mutation so a read fill that
+			// admitted the prior version between our pre-put victim op and
+			// the put itself cannot strand stale data. Items this persist
+			// admitted carry this same stamp and survive (the invalidate is
+			// strictly-older-only).
+			for k := i; k < j; k++ {
+				n.victim.InvalidateOlder(toWrite[k].lpn, toWrite[k].stamp)
 			}
 		}
 		i = j

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -15,10 +16,12 @@ import (
 	"flashcoop/internal/buffer"
 	"flashcoop/internal/core"
 	"flashcoop/internal/faultfs"
+	"flashcoop/internal/flash"
 	"flashcoop/internal/metrics"
 	"flashcoop/internal/sim"
 	"flashcoop/internal/ssd"
 	"flashcoop/internal/stream"
+	"flashcoop/internal/victim"
 )
 
 // LiveConfig parameterizes a live TCP FlashCoop node.
@@ -170,6 +173,37 @@ type LiveConfig struct {
 	GCDeferThreshold float64
 	GCDrainBackoff   time.Duration
 
+	// Victim-cache tier (internal/victim). VictimSegments > 0 enables a
+	// log-structured on-flash victim cache that absorbs evicted-but-still-
+	// warm pages: Hot/Warm evictions with demonstrated reuse are appended
+	// to the victim log in addition to their durable home write, and read
+	// misses probe the tier before paying a home-device read. 0 (the
+	// default) disables the tier entirely — no extra flash writes, the
+	// pre-tier read path. VictimSegmentPages sizes one erase-block
+	// segment of the log (0 = the home device's pages-per-block);
+	// AdmissionMinReuse is the popularity floor an eviction must show to
+	// be admitted without ghost-index feedback (0 = default 2). With
+	// DataDir set, sealed segments are mirrored to a victim.log file
+	// there (best effort, never fsynced, never reloaded — the tier is
+	// strictly a cache and starts cold after any restart).
+	VictimSegments     int
+	VictimSegmentPages int
+	AdmissionMinReuse  int64
+
+	// DevicePacing converts the SSD timing model's completion times into
+	// wall-clock waiting: every device-charged operation — read-miss
+	// fills, eviction flush bursts, victim-tier hits and admission
+	// programs — sleeps until the model says it would complete, so
+	// measured latency reflects the modeled medium (including reads
+	// queueing behind home writes and GC) instead of the host's page
+	// cache. Flush pacing propagates to writers as ordinary buffer/queue
+	// backpressure, which keeps the device queue's backlog bounded. Off
+	// by default: tests and non-benchmark callers want the model to keep
+	// books at host speed. Runtime-togglable via SetDevicePacing, so a
+	// benchmark can seed and warm up unpaced and pace only its measured
+	// window (re-anchor the queue with ResetDeviceMeasurement first).
+	DevicePacing bool
+
 	// Dialer and Listener inject the transport. nil defaults to the real
 	// net package (net.DialTimeout / net.Listen) at zero cost; tests and
 	// chaos harnesses plug fault-injecting wrappers in here (see
@@ -300,6 +334,24 @@ type LiveStats struct {
 	ScrubPasses       int64 // completed full-store scrub sweeps
 	FsyncPoisoned     int64 // store sections permanently poisoned by a failed fsync
 	PoisonedEvictions int64 // evicted pages whose sync stage hit a poisoned section (stay pinned)
+
+	// Victim-cache tier counters (see internal/victim). Unlike the fields
+	// above these are not atomics bumped in place: Stats() fills them from
+	// the tier's own snapshot, so the victim package stays the single
+	// source of truth. All zero when the tier is disabled.
+	VictimHits        int64 // read misses served from the victim log
+	VictimMisses      int64 // victim probes that fell through to the store
+	VictimAdmits      int64 // evicted pages admitted into the log
+	VictimRejects     int64 // evicted pages that bypassed the tier (class or reuse gate)
+	VictimEvictions   int64 // live entries dropped by whole-segment reclamation
+	VictimGhostAdmits int64 // admissions granted by ghost-index re-admission feedback
+	VictimFillAdmits  int64 // admissions earned on the read-miss fill path (repeat-miss proof)
+	VictimInvalidates int64 // entries dropped because a newer version persisted elsewhere
+	// Write-amp accounting from the tier's internal/flash model: the
+	// tier's own flash programs and erases (its entire write cost — GC
+	// copies are provably zero by segment discipline).
+	VictimPrograms int64
+	VictimErases   int64
 }
 
 // LatencyStats summarizes a latency distribution; quantiles are in
@@ -352,10 +404,21 @@ type LiveNode struct {
 	shards   []liveShard
 	stampCtr atomic.Uint64 // monotonic write stamp; resumes from store.maxStamp()
 	store    pageStore     // the "SSD" contents (durable medium); internally synchronized
+	victim   *victim.Cache // flash victim-cache tier; nil when disabled
 	gc       *groupCommit  // fsync coordinator; nil when sync writes are off or disabled
 	devMu    sync.Mutex    // serializes the timing/wear model (ssd.Device is not thread-safe)
 	dev      *ssd.Device
 	pageSize int
+
+	// Device pacing (see LiveConfig.DevicePacing). pacing gates the
+	// sleeps; victimQ is the victim log's own serial-service queue (the
+	// home device has one inside ssd.Device), and the two service
+	// constants are one page's read/program cost on the tier's medium.
+	pacing        atomic.Bool
+	victimQMu     sync.Mutex
+	victimQ       sim.Queue
+	victimReadSvc sim.VTime
+	victimProgSvc sim.VTime
 
 	// mu guards the partner-facing state: the per-origin backup holds,
 	// every link's lifecycle machine and degraded-write journal, and the
@@ -465,6 +528,34 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 			return nil, err
 		}
 	}
+	var vc *victim.Cache
+	if cfg.VictimSegments > 0 {
+		segPages := cfg.VictimSegmentPages
+		if segPages <= 0 {
+			segPages = dev.PagesPerBlock()
+		}
+		var mirror faultfs.File
+		if cfg.DataDir != "" {
+			fsys := cfg.FS
+			if fsys == nil {
+				fsys = faultfs.OS()
+			}
+			// Mirror failures are non-fatal: the tier degrades to RAM-index-
+			// only (same hit behavior, no flash-resident copy to debug from).
+			mirror, _ = fsys.OpenFile(filepath.Join(cfg.DataDir, "victim.log"))
+		}
+		vc, err = victim.New(victim.Config{
+			Segments:     cfg.VictimSegments,
+			SegmentPages: segPages,
+			PageSize:     dev.PageSize(),
+			MinReuse:     cfg.AdmissionMinReuse,
+			Log:          mirror,
+		})
+		if err != nil {
+			store.close()
+			return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
+		}
+	}
 	listen := cfg.Listener
 	if listen == nil {
 		listen = net.Listen
@@ -472,6 +563,9 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 	ln, err := listen("tcp", cfg.ListenAddr)
 	if err != nil {
 		store.close()
+		if vc != nil {
+			vc.Close()
+		}
 		return nil, fmt.Errorf("cluster %s: %w", cfg.Name, err)
 	}
 	n := &LiveNode{
@@ -479,6 +573,7 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		buf:         buf,
 		shards:      make([]liveShard, ns),
 		store:       store,
+		victim:      vc,
 		dev:         dev,
 		pageSize:    dev.PageSize(),
 		ppb:         dev.PagesPerBlock(),
@@ -498,6 +593,12 @@ func NewLiveNode(cfg LiveConfig) (*LiveNode, error) {
 		n.selfID = ln.Addr().String()
 	}
 	n.stampCtr.Store(store.maxStamp())
+	n.pacing.Store(cfg.DevicePacing)
+	// The victim log is NAND like the home device, so its per-page
+	// service costs come from the same geometry; what it lacks is the
+	// home device's GC and write queue, which is the whole trade.
+	n.victimReadSvc = cfg.SSD.FTL.Flash.ReadLatency + cfg.SSD.FTL.Flash.BusLatency
+	n.victimProgSvc = cfg.SSD.FTL.Flash.ProgramLatency + cfg.SSD.FTL.Flash.BusLatency
 	for i := range n.shards {
 		n.shards[i] = liveShard{
 			dirtyData:  make(map[int64][]byte),
@@ -617,7 +718,7 @@ func (n *LiveNode) Addr() string { return n.ln.Addr().String() }
 
 // Stats returns a snapshot of the node's counters.
 func (n *LiveNode) Stats() LiveStats {
-	return LiveStats{
+	s := LiveStats{
 		Writes:             atomic.LoadInt64(&n.stats.Writes),
 		Reads:              atomic.LoadInt64(&n.stats.Reads),
 		Forwards:           atomic.LoadInt64(&n.stats.Forwards),
@@ -654,6 +755,34 @@ func (n *LiveNode) Stats() LiveStats {
 		FsyncPoisoned:      atomic.LoadInt64(&n.stats.FsyncPoisoned),
 		PoisonedEvictions:  atomic.LoadInt64(&n.stats.PoisonedEvictions),
 	}
+	if n.victim != nil {
+		vs := n.victim.Stats()
+		s.VictimHits = vs.Hits
+		s.VictimMisses = vs.Misses
+		s.VictimAdmits = vs.Admits
+		s.VictimRejects = vs.Rejects
+		s.VictimEvictions = vs.Evictions
+		s.VictimGhostAdmits = vs.GhostAdmits
+		s.VictimFillAdmits = vs.FillAdmits
+		s.VictimInvalidates = vs.Invalidates
+		fs := n.victim.FlashStats()
+		s.VictimPrograms = fs.Programs
+		s.VictimErases = fs.Erases
+	}
+	return s
+}
+
+// VictimEnabled reports whether the flash victim-cache tier is on.
+func (n *LiveNode) VictimEnabled() bool { return n.victim != nil }
+
+// VictimFlashStats snapshots the victim tier's own flash counters (zero
+// value when the tier is disabled). The tier's write cost is Programs;
+// CopyReads/CopyPrograms stay zero by segment discipline.
+func (n *LiveNode) VictimFlashStats() flash.Stats {
+	if n.victim == nil {
+		return flash.Stats{}
+	}
+	return n.victim.FlashStats()
 }
 
 // WriteLatencyStats reports percentiles of the full Write path (local
@@ -754,6 +883,53 @@ func (n *LiveNode) RemoteContains(lpn int64) bool {
 
 // vnow maps wall-clock time onto the device's virtual time line.
 func (n *LiveNode) vnow() sim.VTime { return sim.FromDuration(time.Since(n.start)) }
+
+// paceDevice blocks until the home device model's completion time for an
+// operation has passed on the wall clock. Call with no locks held (or
+// only persistMu: the flush pipeline sleeping here is precisely how
+// device pacing turns into writer backpressure). No-op when pacing is
+// off.
+func (n *LiveNode) paceDevice(done sim.VTime) {
+	if !n.pacing.Load() {
+		return
+	}
+	if w := done.Duration() - time.Since(n.start); w > 0 {
+		time.Sleep(w)
+	}
+}
+
+// paceVictim charges one victim-log flash operation to the tier's own
+// serial queue and sleeps to its completion. The victim log has no GC
+// and absorbs only admission programs, so this queue stays near-empty —
+// the latency asymmetry against the GC-loaded home device is exactly
+// what the tier trades its extra flash writes for.
+func (n *LiveNode) paceVictim(service sim.VTime) {
+	if !n.pacing.Load() {
+		return
+	}
+	n.victimQMu.Lock()
+	_, done := n.victimQ.Serve(n.vnow(), service)
+	n.victimQMu.Unlock()
+	if w := done.Duration() - time.Since(n.start); w > 0 {
+		time.Sleep(w)
+	}
+}
+
+// SetDevicePacing flips device pacing (see LiveConfig.DevicePacing) at
+// runtime. Benchmarks run seed and warmup phases unpaced, re-anchor the
+// model with ResetDeviceMeasurement, and pace only the measured window.
+func (n *LiveNode) SetDevicePacing(on bool) { n.pacing.Store(on) }
+
+// ResetDeviceMeasurement clears the home device model's queue backlog
+// and op counters under the device lock (the wear state ages on). An
+// unpaced phase leaves the queue's busy-until far ahead of the wall
+// clock; re-anchoring keeps that virtual backlog from being billed to
+// the first paced operations that follow.
+func (n *LiveNode) ResetDeviceMeasurement() {
+	n.devMu.Lock()
+	n.dev.ResetMeasurement()
+	n.devMu.Unlock()
+}
 
 // errNoPeer is returned by partner operations on a solo node.
 var errNoPeer = errors.New("cluster: no peer configured")
@@ -1025,7 +1201,7 @@ func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uin
 			pinnedItems = append(pinnedItems, fp)
 		}
 	}
-	done, err := n.persistSet(dirtyItems, true)
+	done, err := n.persistSet(dirtyItems, true, false)
 	for _, fp := range done {
 		delete(sh.dirtyData, fp.lpn)
 		delete(sh.dirtyStamp, fp.lpn)
@@ -1036,7 +1212,7 @@ func (n *LiveNode) writeThroughRun(run buffer.ShardRun, base int64, stamps []uin
 		// Persist pinned pages too, but leave their buffers to the queued
 		// job that owns them (it recycles them on the stamp mismatch).
 		var donePinned []flushPage
-		donePinned, err = n.persistSet(pinnedItems, true)
+		donePinned, err = n.persistSet(pinnedItems, true, false)
 		for _, fp := range donePinned {
 			delete(sh.inflight, fp.lpn)
 		}
@@ -1084,10 +1260,22 @@ func (n *LiveNode) admitWrite() error {
 func (n *LiveNode) releaseWrite() { <-n.admit }
 
 // Read returns the payload of `pages` pages starting at lpn. Unwritten
-// pages read as zeros. The payload lookup order per page is: the shard's
-// dirty map (newest acked version), then the inflight map (evicted but
-// not yet durable — a read during an in-flight flush must see the pinned
-// dirty payload, never a half-persisted store state), then the store.
+// pages read as zeros. The payload lookup chain per page is: the shard's
+// dirty map (newest acked version) → the inflight map (evicted but not
+// yet durable — a read during an in-flight flush must see the pinned
+// dirty payload, never a half-persisted store state) → off the shard
+// lock, the victim tier (buffer misses only; a hit skips the home read
+// entirely) → the store, with the home device charged for the misses it
+// actually serves.
+//
+// Only the RAM resolution (dirty/inflight) and the policy Access run
+// under the shard lock; the victim probe, store reads, and device
+// charges all run after it is released, so a miss-heavy reader no
+// longer serializes writers to the same shard behind fill latency. The
+// off-lock fill is race-safe because every source hands back an owned
+// copy (both stores copy on get, the victim copies under its own lock),
+// and a write racing the fill simply lands before or after it — the
+// same either-version outcome any overlapping read/write pair has.
 func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
 	if pages <= 0 {
 		return nil, fmt.Errorf("cluster %s: empty read", n.cfg.Name)
@@ -1096,8 +1284,10 @@ func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
 	out := make([]byte, pages*ps)
 	atomic.AddInt64(&n.stats.Reads, 1)
 	n.winReads.Add(1)
+	var fills, misses []int64
 	for _, run := range n.buf.SplitRequest(lpn, pages) {
 		sh := &n.shards[run.Shard]
+		fills, misses = fills[:0], misses[:0]
 		n.buf.LockShard(run.Shard)
 		c := n.buf.ShardCache(run.Shard)
 		res := c.Access(buffer.Request{LPN: run.LPN, Pages: run.Pages, Write: false})
@@ -1109,27 +1299,106 @@ func (n *LiveNode) Read(lpn int64, pages int) ([]byte, error) {
 					src = fp.data
 				}
 			}
-			if src == nil {
-				src = n.store.get(p)
-			}
 			if src != nil {
 				copy(out[i*ps:(i+1)*ps], src)
+			} else {
+				fills = append(fills, p)
 			}
 		}
-		var derr error
-		if len(res.ReadMisses) > 0 {
-			n.devMu.Lock()
-			_, derr = n.dev.Read(n.vnow(), res.ReadMisses[0], len(res.ReadMisses))
-			n.devMu.Unlock()
-		}
+		misses = append(misses, res.ReadMisses...)
 		jobs := n.extractFlushLocked(sh, res.Flush)
 		n.buf.UnlockShard(run.Shard)
 		n.enqueueFlush(run.Shard, jobs)
-		if derr != nil {
+		if derr := n.fillPages(out, lpn, fills, misses); derr != nil {
 			return nil, derr
 		}
 	}
 	return out, nil
+}
+
+// fillPages resolves one shard run's pages that RAM did not hold, with no
+// shard lock held. fills is the pages absent from dirty/inflight (in
+// ascending order); misses is the policy's read-miss list for the same
+// run. Buffer misses probe the victim tier first; every remaining fill
+// reads the store (clean buffer hits model RAM residency, so they are
+// never device-charged). The device is charged one read burst per
+// CONTIGUOUS run of store-served misses: a page served from RAM or the
+// victim tier between two misses splits the charge instead of being
+// billed as part of one run.
+func (n *LiveNode) fillPages(out []byte, base int64, fills, misses []int64) error {
+	if len(fills) == 0 {
+		return nil
+	}
+	ps := n.pageSize
+	missSet := make(map[int64]struct{}, len(misses))
+	for _, p := range misses {
+		missSet[p] = struct{}{}
+	}
+	var charge []int64
+	for _, p := range fills {
+		i := int(p - base)
+		dst := out[i*ps : (i+1)*ps]
+		_, isMiss := missSet[p]
+		if isMiss && n.victim != nil {
+			if _, ok := n.victim.GetInto(p, dst); ok {
+				n.paceVictim(n.victimReadSvc)
+				continue
+			}
+		}
+		if src := n.store.get(p); src != nil {
+			copy(dst, src)
+			if isMiss && n.victim != nil {
+				n.offerFill(p, src)
+			}
+		}
+		if isMiss {
+			charge = append(charge, p)
+		}
+	}
+	for i := 0; i < len(charge); {
+		j := i + 1
+		for j < len(charge) && charge[j] == charge[j-1]+1 {
+			j++
+		}
+		n.devMu.Lock()
+		done, derr := n.dev.Read(n.vnow(), charge[i], j-i)
+		n.devMu.Unlock()
+		if derr != nil {
+			return derr
+		}
+		// Off the shard lock, so a paced miss delays only its own reader.
+		n.paceDevice(done)
+		i = j
+	}
+	return nil
+}
+
+// offerFill hands a store-served read miss to the victim tier's fill-side
+// admission (ghost-gated: only a repeat miss earns the flash write; see
+// victim.OfferFill), then re-validates the admission against the store.
+// The fill runs with no lock ordering against persists, so a writer can
+// slip a newer durable version in while we hold the older payload; the
+// handshake that makes this safe is two-sided. Every persist path runs a
+// victim invalidate/offer both BEFORE and AFTER its store mutation, and
+// the fill admits BEFORE re-reading the store stamp. So either the racing
+// persist's store mutation precedes our recheck — the changed stamp makes
+// us drop our own admission — or it follows it, and then the persist's
+// post-mutation invalidate runs after our admit and kills the stale entry.
+func (n *LiveNode) offerFill(lpn int64, data []byte) {
+	stamp, ok := n.store.getStamp(lpn)
+	if !ok {
+		return // trimmed mid-fill; nothing durable to cache
+	}
+	admitted, _ := n.victim.OfferFill(lpn, stamp, data)
+	if !admitted {
+		return
+	}
+	if cur, ok := n.store.getStamp(lpn); !ok || cur != stamp {
+		n.victim.Drop(lpn)
+		return
+	}
+	// The admission's log append is this reader's to pay for.
+	n.paceVictim(n.victimProgSvc)
 }
 
 // FlushAll persists every dirty page — buffered and in flight — across
@@ -1144,7 +1413,7 @@ func (n *LiveNode) FlushAll() error {
 		for p, d := range sh.dirtyData {
 			items = append(items, flushPage{lpn: p, data: d, stamp: sh.dirtyStamp[p]})
 		}
-		done, err := n.persistSet(items, true)
+		done, err := n.persistSet(items, true, false)
 		for _, fp := range done {
 			delete(sh.dirtyData, fp.lpn)
 			delete(sh.dirtyStamp, fp.lpn)
@@ -1158,7 +1427,7 @@ func (n *LiveNode) FlushAll() error {
 				pinned = append(pinned, fp)
 			}
 			var donePinned []flushPage
-			donePinned, err = n.persistSet(pinned, true)
+			donePinned, err = n.persistSet(pinned, true, false)
 			for _, fp := range donePinned {
 				delete(sh.inflight, fp.lpn)
 			}
@@ -1249,9 +1518,18 @@ func (n *LiveNode) recoverFromLink(l *peerLink, origin string) error {
 			sh.persistMu.Unlock()
 			return derr
 		}
+		if n.victim != nil {
+			// Recovery applies bypass admission (no eviction heat), but any
+			// older cached entry must die before the backup becomes durable.
+			n.victim.InvalidateOlder(lpn, st)
+		}
 		if perr := n.store.put(lpn, resp.Data[i*ps:(i+1)*ps], st); perr != nil {
 			sh.persistMu.Unlock()
 			return perr
+		}
+		if n.victim != nil {
+			// Post-put half of the fill-admission handshake (see offerFill).
+			n.victim.InvalidateOlder(lpn, st)
 		}
 		atomic.AddInt64(&n.stats.Persists, 1)
 		// A recovered page that was queued for repair (corrupt at load or
@@ -1315,7 +1593,14 @@ func (n *LiveNode) Crash() {
 // closeStore releases the durable medium exactly once; Close and Crash
 // may both run against the same node.
 func (n *LiveNode) closeStore() error {
-	n.storeOnce.Do(func() { n.storeErr = n.store.close() })
+	n.storeOnce.Do(func() {
+		n.storeErr = n.store.close()
+		if n.victim != nil {
+			// The mirror is expendable cache state; its close error never
+			// masks a store close failure.
+			n.victim.Close() //nolint:errcheck
+		}
+	})
 	return n.storeErr
 }
 

@@ -566,32 +566,62 @@ func (s *fileStore) migrateV0(size int64) error {
 // torn, misdirected, or bit-rotted write — is reported once through
 // onCorrupt and KEPT in the index: its cached stamp still ranks repair
 // candidates, and a later put (repair or fresh write) heals the slot.
+//
+// The pread runs with s.mu RELEASED: a read miss stalled in disk latency
+// must not serialize every put to the section behind it (the off-lock
+// read path depends on this store-level concurrency too). Dropping the
+// lock means a concurrent put or remove can rewrite or free the slot
+// mid-read; the verdict is therefore re-validated against the index
+// afterwards, and a snapshot that changed mid-read retries instead of
+// being misreported as corruption. The retry terminates because each
+// iteration means a concurrent writer advanced the entry.
 func (s *fileStore) get(lpn int64) []byte {
-	s.mu.Lock()
-	fs, ok := s.index[lpn]
-	if !ok {
+	for {
+		s.mu.Lock()
+		fs, ok := s.index[lpn]
+		f := s.f
 		s.mu.Unlock()
-		return nil
-	}
-	var report func(int64)
-	rec := make([]byte, s.recordSize())
-	if _, err := s.f.ReadAt(rec, s.slotOff(fs.slot)); err != nil {
-		// Unreadable (I/O error): possibly transient, so no bad-mark, but
-		// still a repair candidate.
-		report = s.onCorrupt
-		s.mu.Unlock()
-		if report != nil {
-			report(lpn)
+		if !ok {
+			return nil
 		}
-		return nil
-	}
-	glpn, gstamp, free, okRec := decodeSlot(rec, s.pageSize)
-	if !okRec || free || glpn != lpn || gstamp != fs.stamp {
-		if !fs.bad {
-			fs.bad = true
-			s.index[lpn] = fs
-			s.corrupt.Add(1)
+		rec := make([]byte, s.recordSize())
+		_, rerr := f.ReadAt(rec, s.slotOff(fs.slot))
+		var glpn int64
+		var gstamp uint64
+		var free, okRec bool
+		if rerr == nil {
+			glpn, gstamp, free, okRec = decodeSlot(rec, s.pageSize)
+		}
+		var report func(int64)
+		s.mu.Lock()
+		cur, ok := s.index[lpn]
+		if !ok {
+			s.mu.Unlock()
+			return nil // removed mid-read; the torn view is meaningless
+		}
+		if cur.slot != fs.slot || cur.stamp != fs.stamp {
+			s.mu.Unlock()
+			continue // rewritten mid-read; judge the new record instead
+		}
+		switch {
+		case rerr != nil:
+			// Unreadable (I/O error): possibly transient, so no bad-mark,
+			// but still a repair candidate.
 			report = s.onCorrupt
+		case !okRec || free || glpn != lpn || gstamp != cur.stamp:
+			if !cur.bad {
+				cur.bad = true
+				s.index[lpn] = cur
+				s.corrupt.Add(1)
+				report = s.onCorrupt
+			}
+		default:
+			if cur.bad {
+				cur.bad = false
+				s.index[lpn] = cur
+			}
+			s.mu.Unlock()
+			return rec[slotHeaderSize:]
 		}
 		s.mu.Unlock()
 		if report != nil {
@@ -599,12 +629,6 @@ func (s *fileStore) get(lpn int64) []byte {
 		}
 		return nil
 	}
-	if fs.bad {
-		fs.bad = false
-		s.index[lpn] = fs
-	}
-	s.mu.Unlock()
-	return rec[slotHeaderSize:]
 }
 
 // verify reports whether lpn's durable record is present and intact,

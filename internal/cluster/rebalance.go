@@ -191,6 +191,12 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 				// discard carries the node's current stamp.
 				stamps = append(stamps, n.stampCtr.Load())
 			}
+			if n.victim != nil {
+				// Discard semantics reach the cache tier too: the entry AND
+				// its ghost trace die, so a post-trim re-write of the page
+				// cannot earn admission off pre-trim history.
+				n.victim.Drop(p)
+			}
 			// Per-link degraded-write journals are NOT scrubbed here: a
 			// trimmed page has no durable copy, so takeJournal naturally
 			// skips its entry at stream time.
@@ -198,6 +204,13 @@ func (n *LiveNode) Trim(lpn int64, pages int) error {
 				n.buf.UnlockShard(run.Shard)
 				sh.persistMu.Unlock()
 				return err
+			}
+			if n.victim != nil {
+				// Post-remove half of the fill-admission handshake (see
+				// offerFill): a fill that admitted the pre-trim payload
+				// between the Drop above and the remove dies here; one that
+				// admits after the remove fails its own stamp recheck.
+				n.victim.Drop(p)
 			}
 		}
 		n.buf.UnlockShard(run.Shard)

@@ -274,9 +274,18 @@ func (n *LiveNode) repairPages(lpns []int64) {
 			sh.persistMu.Unlock()
 			continue
 		}
+		if n.victim != nil {
+			// The holder copy is about to become the durable truth; a stale
+			// victim entry must not outlive it.
+			n.victim.InvalidateOlder(lpn, c.stamp)
+		}
 		if perr := n.store.put(lpn, c.data, c.stamp); perr != nil {
 			sh.persistMu.Unlock()
 			continue
+		}
+		if n.victim != nil {
+			// Post-put half of the fill-admission handshake (see offerFill).
+			n.victim.InvalidateOlder(lpn, c.stamp)
 		}
 		atomic.AddInt64(&n.stats.RepairedPages, 1)
 		healed = true

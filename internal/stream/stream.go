@@ -67,6 +67,14 @@ func (s Stream) String() string {
 	}
 }
 
+// VictimAdmissible reports whether the class is even a candidate for the
+// flash victim cache. Hot and Warm evictions carry re-reference odds worth
+// a cache write; Cold (write-once) and Seq (streaming) pages would only
+// inflate the tier's write amplification for data nobody reads back soon,
+// so they bypass it unconditionally — the class check runs before any
+// popularity threshold.
+func (s Stream) VictimAdmissible() bool { return s == Hot || s == Warm }
+
 // Names lists the stream names in tag order, for stats emission.
 func Names() [NumStreams]string {
 	return [NumStreams]string{"warm", "hot", "cold", "seq"}

@@ -1,0 +1,44 @@
+package victim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeVictimSegment hammers the sealed-segment header parser with
+// corrupt and adversarial inputs. The parser fronts crash debris on the
+// mirror log, so it must never panic, never allocate from an attacker-
+// sized count, and accept exactly what the encoder emits: any successful
+// decode must re-encode byte-identically (canonical format).
+func FuzzDecodeVictimSegment(f *testing.F) {
+	f.Add(EncodeSegmentHeader(SegmentHeader{}), 64)
+	f.Add(EncodeSegmentHeader(SegmentHeader{Seq: 7, Entries: []SlotRecord{{LPN: 42, Stamp: 3}}}), 64)
+	full := SegmentHeader{Seq: 1 << 40}
+	for i := 0; i < 16; i++ {
+		full.Entries = append(full.Entries, SlotRecord{LPN: int64(i) * 131, Stamp: uint64(i)})
+	}
+	f.Add(EncodeSegmentHeader(full), 16)
+	f.Add([]byte("FCVS"), 4)
+	f.Add([]byte{}, 0)
+	f.Fuzz(func(t *testing.T, data []byte, maxEntries int) {
+		if maxEntries < 0 || maxEntries > 1<<16 {
+			maxEntries = 1 << 16 // the cap under fuzz is the allocation bound under test
+		}
+		h, used, err := DecodeSegmentHeader(data, maxEntries)
+		if err != nil {
+			return
+		}
+		if used < EncodedSize(0) || used > len(data) {
+			t.Fatalf("used = %d of %d", used, len(data))
+		}
+		if len(h.Entries) > maxEntries {
+			t.Fatalf("%d entries decoded past cap %d", len(h.Entries), maxEntries)
+		}
+		if used != EncodedSize(len(h.Entries)) {
+			t.Fatalf("used = %d, want %d for %d entries", used, EncodedSize(len(h.Entries)), len(h.Entries))
+		}
+		if !bytes.Equal(EncodeSegmentHeader(h), data[:used]) {
+			t.Fatal("decode/encode not canonical")
+		}
+	})
+}

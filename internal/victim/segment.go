@@ -1,0 +1,109 @@
+package victim
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Sealed-segment header wire format (also the on-log layout when the
+// cache mirrors segments to a file):
+//
+//	[4B magic "FCVS"][1B version][3B zero][8B seq BE][4B count BE]
+//	count × ([8B lpn BE][8B stamp BE])
+//	[4B CRC32C BE over everything above]
+//
+// The header describes which logical pages a sealed segment holds, in
+// slot order; payloads follow it on the log at pageSize granularity. The
+// CRC covers the whole header so a torn mirror write is detected, never
+// trusted — not that anything ever reloads the log for data (the tier is
+// strictly a cache and starts cold), but debugging tools and tests decode
+// it, and a parser over crash debris must hold up like any other.
+
+const (
+	segMagic     = "FCVS"
+	segVersion   = 1
+	segFixedSize = 4 + 1 + 3 + 8 + 4 // magic, version, pad, seq, count
+	segEntrySize = 16
+	segCRCSize   = 4
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// Decode errors. ErrBadSegment wraps every structural failure so callers
+// can errors.Is on one sentinel.
+var ErrBadSegment = errors.New("victim: bad segment header")
+
+// SlotRecord names one occupied slot of a sealed segment.
+type SlotRecord struct {
+	LPN   int64
+	Stamp uint64
+}
+
+// SegmentHeader is the decoded form of a sealed segment's header.
+type SegmentHeader struct {
+	Seq     uint64 // monotonic seal sequence number
+	Entries []SlotRecord
+}
+
+// EncodedSize reports the byte length EncodeSegmentHeader will produce
+// for a header with n entries.
+func EncodedSize(n int) int { return segFixedSize + n*segEntrySize + segCRCSize }
+
+// EncodeSegmentHeader renders h into the wire format above.
+func EncodeSegmentHeader(h SegmentHeader) []byte {
+	b := make([]byte, EncodedSize(len(h.Entries)))
+	copy(b, segMagic)
+	b[4] = segVersion
+	binary.BigEndian.PutUint64(b[8:], h.Seq)
+	binary.BigEndian.PutUint32(b[16:], uint32(len(h.Entries)))
+	off := segFixedSize
+	for _, e := range h.Entries {
+		binary.BigEndian.PutUint64(b[off:], uint64(e.LPN))
+		binary.BigEndian.PutUint64(b[off+8:], e.Stamp)
+		off += segEntrySize
+	}
+	binary.BigEndian.PutUint32(b[off:], crc32.Checksum(b[:off], crcTable))
+	return b
+}
+
+// DecodeSegmentHeader parses one segment header from the front of b,
+// returning the header and the number of bytes consumed. maxEntries
+// bounds the advertised slot count (a segment never holds more slots
+// than pages), so a corrupt count cannot provoke a giant allocation.
+func DecodeSegmentHeader(b []byte, maxEntries int) (SegmentHeader, int, error) {
+	var h SegmentHeader
+	if len(b) < segFixedSize+segCRCSize {
+		return h, 0, fmt.Errorf("%w: %d bytes, want at least %d", ErrBadSegment, len(b), segFixedSize+segCRCSize)
+	}
+	if string(b[:4]) != segMagic {
+		return h, 0, fmt.Errorf("%w: magic %q", ErrBadSegment, b[:4])
+	}
+	if b[4] != segVersion {
+		return h, 0, fmt.Errorf("%w: version %d, want %d", ErrBadSegment, b[4], segVersion)
+	}
+	if b[5] != 0 || b[6] != 0 || b[7] != 0 {
+		return h, 0, fmt.Errorf("%w: nonzero pad", ErrBadSegment)
+	}
+	count := binary.BigEndian.Uint32(b[16:])
+	if maxEntries >= 0 && count > uint32(maxEntries) {
+		return h, 0, fmt.Errorf("%w: %d entries, cap %d", ErrBadSegment, count, maxEntries)
+	}
+	n := segFixedSize + int(count)*segEntrySize + segCRCSize
+	if n < 0 || len(b) < n {
+		return h, 0, fmt.Errorf("%w: %d entries need %d bytes, have %d", ErrBadSegment, count, n, len(b))
+	}
+	if got, want := crc32.Checksum(b[:n-segCRCSize], crcTable), binary.BigEndian.Uint32(b[n-segCRCSize:]); got != want {
+		return h, 0, fmt.Errorf("%w: crc 0x%08x, want 0x%08x", ErrBadSegment, got, want)
+	}
+	h.Seq = binary.BigEndian.Uint64(b[8:])
+	h.Entries = make([]SlotRecord, count)
+	off := segFixedSize
+	for i := range h.Entries {
+		h.Entries[i].LPN = int64(binary.BigEndian.Uint64(b[off:]))
+		h.Entries[i].Stamp = binary.BigEndian.Uint64(b[off+8:])
+		off += segEntrySize
+	}
+	return h, n, nil
+}

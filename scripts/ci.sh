@@ -51,6 +51,7 @@ go test -run '^$' -fuzz '^FuzzDecodeResync$' -fuzztime 10s -fuzzminimizetime 20x
 go test -run '^$' -fuzz '^FuzzDecodeMembership$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzDecodeEpoch$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
 go test -run '^$' -fuzz '^FuzzDecodeSlot$' -fuzztime 10s -fuzzminimizetime 20x ./internal/cluster/
+go test -run '^$' -fuzz '^FuzzDecodeVictimSegment$' -fuzztime 10s -fuzzminimizetime 20x ./internal/victim/
 go test -run '^$' -fuzz '^FuzzParse$' -fuzztime 10s -fuzzminimizetime 20x ./internal/trace/
 
 # Smoke-test the live write path end to end: a small loadgen run over a
@@ -73,6 +74,14 @@ go run ./cmd/loadgen -shard-scale 4 -writers 4 -ops 1000 -buffer 256 -evict-queu
 # path end to end. Too few ops for the erase-reduction number to mean
 # anything — `make bench-streams` is the measured run.
 go run ./cmd/loadgen -stream-scale -writers 4 -ops 6000
+
+# Victim-tier smoke: a short run of the read-tier A/B exercises the
+# flash victim cache end to end — ghost-gated fill admission, the
+# off-lock probe/fill path, whole-segment reclamation, and the
+# -victim-segments=0 ablation leg — at a pinned workload. Too few ops
+# for the p99 separation to mean anything — `make bench-victim` is the
+# measured run.
+go run ./cmd/loadgen -victim-scale -writers 4 -ops 6000 -readfrac 0.9 -zipf 1.5 -victim-segments 64
 
 # Bench regression gate: rerun the committed shard ladder with identical
 # workload parameters and fail if any rung's throughput drops more than
